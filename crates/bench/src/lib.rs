@@ -1,0 +1,73 @@
+//! Shared helpers for the figure-regeneration binaries and Criterion
+//! benches.
+//!
+//! Each `fig*` binary regenerates one figure/table of the paper: it prints
+//! the same rows/series the paper plots and drops CSV files under
+//! `target/paper_figures/` for external plotting. Run them all with:
+//!
+//! ```text
+//! for f in 02 03 04 05 06 07 08 09 10 11; do cargo run --release -p sfet-bench --bin fig$f; done
+//! ```
+
+use std::path::PathBuf;
+
+/// Directory where the figure binaries drop their CSV series.
+///
+/// Created on first use; defaults to `target/paper_figures` under the
+/// workspace, overridable with the `SFET_FIG_DIR` environment variable.
+pub fn figure_dir() -> PathBuf {
+    let dir = std::env::var_os("SFET_FIG_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/paper_figures"));
+    std::fs::create_dir_all(&dir).expect("create figure output dir");
+    dir
+}
+
+/// Writes CSV columns for a figure and reports the path on stdout.
+pub fn save_csv(name: &str, columns: &[(&str, &sfet_waveform::Waveform)]) {
+    let path = figure_dir().join(name);
+    match sfet_waveform::csv::write_csv(&path, columns) {
+        Ok(()) => println!("  [csv] {}", path.display()),
+        Err(e) => eprintln!("  [csv] failed to write {}: {e}", path.display()),
+    }
+}
+
+/// Writes arbitrary text rows as a CSV file and reports the path.
+pub fn save_rows(name: &str, header: &str, rows: &[String]) {
+    let path = figure_dir().join(name);
+    let mut text = String::from(header);
+    text.push('\n');
+    for row in rows {
+        text.push_str(row);
+        text.push('\n');
+    }
+    match std::fs::write(&path, text) {
+        Ok(()) => println!("  [csv] {}", path.display()),
+        Err(e) => eprintln!("  [csv] failed to write {}: {e}", path.display()),
+    }
+}
+
+/// Prints the standard experiment banner.
+pub fn banner(fig: &str, title: &str) {
+    println!("==========================================================");
+    println!("{fig}: {title}");
+    println!("==========================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_dir_is_creatable() {
+        let d = figure_dir();
+        assert!(d.exists());
+    }
+
+    #[test]
+    fn save_rows_roundtrip() {
+        save_rows("unit_test.csv", "a,b", &["1,2".to_string()]);
+        let text = std::fs::read_to_string(figure_dir().join("unit_test.csv")).unwrap();
+        assert!(text.starts_with("a,b\n1,2"));
+    }
+}

@@ -1,0 +1,234 @@
+//! Netlist element instances.
+
+use crate::node::NodeId;
+use crate::waveform::SourceWaveform;
+use sfet_devices::mosfet::MosfetModel;
+use sfet_devices::ptm::PtmParams;
+
+/// Handle to an element within its [`Circuit`](crate::Circuit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ElementId(pub(crate) usize);
+
+impl ElementId {
+    /// Raw index into the circuit's element list.
+    #[inline]
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// A linear resistor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Resistor {
+    /// Instance name (unique within the circuit).
+    pub name: String,
+    /// Positive terminal.
+    pub p: NodeId,
+    /// Negative terminal.
+    pub n: NodeId,
+    /// Resistance \[Ω\], must be positive and finite.
+    pub ohms: f64,
+}
+
+/// A linear capacitor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Capacitor {
+    /// Instance name.
+    pub name: String,
+    /// Positive terminal.
+    pub p: NodeId,
+    /// Negative terminal.
+    pub n: NodeId,
+    /// Capacitance \[F\], must be positive and finite.
+    pub farads: f64,
+    /// Optional initial voltage for transient analysis \[V\].
+    pub ic: Option<f64>,
+}
+
+/// A linear inductor (adds one branch-current unknown in MNA).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Inductor {
+    /// Instance name.
+    pub name: String,
+    /// Positive terminal.
+    pub p: NodeId,
+    /// Negative terminal.
+    pub n: NodeId,
+    /// Inductance \[H\], must be positive and finite.
+    pub henries: f64,
+    /// Optional initial current for transient analysis \[A\].
+    pub ic: Option<f64>,
+}
+
+/// An independent voltage source (adds one branch-current unknown in MNA).
+///
+/// The branch current is defined flowing from `p` through the source to
+/// `n`; a positive branch current means the source is *sinking* current at
+/// its positive terminal. Rail-current measurements in the experiments use
+/// this branch current.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VoltageSource {
+    /// Instance name.
+    pub name: String,
+    /// Positive terminal.
+    pub p: NodeId,
+    /// Negative terminal.
+    pub n: NodeId,
+    /// Source waveform.
+    pub wave: SourceWaveform,
+}
+
+/// An independent current source.
+///
+/// A positive value drives current from `p` through the source into `n`
+/// (i.e. it removes current from node `p` and injects it into node `n`),
+/// matching SPICE conventions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CurrentSource {
+    /// Instance name.
+    pub name: String,
+    /// Positive terminal.
+    pub p: NodeId,
+    /// Negative terminal.
+    pub n: NodeId,
+    /// Source waveform.
+    pub wave: SourceWaveform,
+}
+
+/// A MOSFET instance: model card plus geometry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MosfetInstance {
+    /// Instance name.
+    pub name: String,
+    /// Drain node.
+    pub d: NodeId,
+    /// Gate node.
+    pub g: NodeId,
+    /// Source node.
+    pub s: NodeId,
+    /// Bulk node.
+    pub b: NodeId,
+    /// Model card.
+    pub model: MosfetModel,
+    /// Channel width \[m\].
+    pub w: f64,
+    /// Channel length \[m\].
+    pub l: f64,
+}
+
+/// A PTM device instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PtmInstance {
+    /// Instance name.
+    pub name: String,
+    /// Positive terminal.
+    pub p: NodeId,
+    /// Negative terminal.
+    pub n: NodeId,
+    /// Device parameters.
+    pub params: PtmParams,
+}
+
+/// Any netlist element.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Element {
+    /// Linear resistor.
+    Resistor(Resistor),
+    /// Linear capacitor.
+    Capacitor(Capacitor),
+    /// Linear inductor.
+    Inductor(Inductor),
+    /// Independent voltage source.
+    VoltageSource(VoltageSource),
+    /// Independent current source.
+    CurrentSource(CurrentSource),
+    /// MOSFET.
+    Mosfet(MosfetInstance),
+    /// Phase-transition-material device.
+    Ptm(PtmInstance),
+}
+
+impl Element {
+    /// Instance name of the element.
+    pub fn name(&self) -> &str {
+        match self {
+            Element::Resistor(e) => &e.name,
+            Element::Capacitor(e) => &e.name,
+            Element::Inductor(e) => &e.name,
+            Element::VoltageSource(e) => &e.name,
+            Element::CurrentSource(e) => &e.name,
+            Element::Mosfet(e) => &e.name,
+            Element::Ptm(e) => &e.name,
+        }
+    }
+
+    /// All nodes this element touches, in terminal order.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        match self {
+            Element::Resistor(e) => vec![e.p, e.n],
+            Element::Capacitor(e) => vec![e.p, e.n],
+            Element::Inductor(e) => vec![e.p, e.n],
+            Element::VoltageSource(e) => vec![e.p, e.n],
+            Element::CurrentSource(e) => vec![e.p, e.n],
+            Element::Mosfet(e) => vec![e.d, e.g, e.s, e.b],
+            Element::Ptm(e) => vec![e.p, e.n],
+        }
+    }
+
+    /// Whether this element contributes a branch-current unknown in MNA.
+    pub fn has_branch_current(&self) -> bool {
+        matches!(self, Element::VoltageSource(_) | Element::Inductor(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn element_name_dispatch() {
+        let r = Element::Resistor(Resistor {
+            name: "R1".into(),
+            p: NodeId(1),
+            n: NodeId(0),
+            ohms: 1e3,
+        });
+        assert_eq!(r.name(), "R1");
+        assert_eq!(r.nodes(), vec![NodeId(1), NodeId(0)]);
+        assert!(!r.has_branch_current());
+    }
+
+    #[test]
+    fn branch_current_elements() {
+        let v = Element::VoltageSource(VoltageSource {
+            name: "V1".into(),
+            p: NodeId(1),
+            n: NodeId(0),
+            wave: SourceWaveform::Dc(1.0),
+        });
+        assert!(v.has_branch_current());
+        let l = Element::Inductor(Inductor {
+            name: "L1".into(),
+            p: NodeId(1),
+            n: NodeId(0),
+            henries: 1e-9,
+            ic: None,
+        });
+        assert!(l.has_branch_current());
+    }
+
+    #[test]
+    fn mosfet_touches_four_nodes() {
+        let m = Element::Mosfet(MosfetInstance {
+            name: "M1".into(),
+            d: NodeId(1),
+            g: NodeId(2),
+            s: NodeId(0),
+            b: NodeId(0),
+            model: MosfetModel::nmos_40nm(),
+            w: 120e-9,
+            l: 40e-9,
+        });
+        assert_eq!(m.nodes().len(), 4);
+    }
+}

@@ -1,0 +1,97 @@
+use std::fmt;
+
+/// Errors from netlist construction, validation, and parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CircuitError {
+    /// An element with this name already exists in the circuit.
+    DuplicateElement(String),
+    /// An element value is outside its legal domain.
+    InvalidValue {
+        /// Element name.
+        element: String,
+        /// Explanation of the violated constraint.
+        reason: String,
+    },
+    /// Both terminals of a two-terminal element are the same node.
+    ShortedElement(String),
+    /// A node is referenced by only one element terminal and is not ground —
+    /// its voltage would be determined solely by leakage.
+    FloatingNode(String),
+    /// The circuit has no elements.
+    EmptyCircuit,
+    /// No element connects to the ground node, leaving the matrix singular.
+    NoGroundReference,
+    /// A device model failed validation; carries the device error text.
+    Device(String),
+    /// Netlist text could not be parsed. Carries line number and message.
+    Parse {
+        /// 1-based line number in the netlist source.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::DuplicateElement(name) => {
+                write!(f, "duplicate element name {name:?}")
+            }
+            CircuitError::InvalidValue { element, reason } => {
+                write!(f, "invalid value on {element:?}: {reason}")
+            }
+            CircuitError::ShortedElement(name) => {
+                write!(f, "element {name:?} has both terminals on the same node")
+            }
+            CircuitError::FloatingNode(name) => write!(f, "node {name:?} is floating"),
+            CircuitError::EmptyCircuit => write!(f, "circuit contains no elements"),
+            CircuitError::NoGroundReference => {
+                write!(f, "no element connects to ground (node 0)")
+            }
+            CircuitError::Device(msg) => write!(f, "device model error: {msg}"),
+            CircuitError::Parse { line, message } => {
+                write!(f, "netlist parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}
+
+impl From<sfet_devices::DeviceError> for CircuitError {
+    fn from(e: sfet_devices::DeviceError) -> Self {
+        CircuitError::Device(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(CircuitError::DuplicateElement("R1".into())
+            .to_string()
+            .contains("R1"));
+        assert!(CircuitError::EmptyCircuit.to_string().contains("no elements"));
+        let p = CircuitError::Parse {
+            line: 7,
+            message: "bad card".into(),
+        };
+        assert!(p.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn from_device_error() {
+        let de = sfet_devices::DeviceError::InconsistentParameters("x".into());
+        let ce: CircuitError = de.into();
+        assert!(matches!(ce, CircuitError::Device(_)));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync + std::error::Error>() {}
+        check::<CircuitError>();
+    }
+}

@@ -1,0 +1,53 @@
+//! Circuit netlist data model for the Soft-FET simulator.
+//!
+//! A [`Circuit`] is a flat netlist: named nodes (node `0` is ground) plus a
+//! list of element instances — passives ([`Resistor`], [`Capacitor`],
+//! [`Inductor`]), independent sources ([`VoltageSource`], [`CurrentSource`]
+//! driven by a [`SourceWaveform`]), and the two device families from
+//! `sfet-devices` ([`MosfetInstance`], [`PtmInstance`]).
+//!
+//! The crate is purely structural: it validates connectivity and values but
+//! contains no simulation semantics (those live in `sfet-sim`). A
+//! SPICE-like text representation is provided by [`parse`] and
+//! [`Circuit::to_netlist`].
+//!
+//! # Example
+//!
+//! Build the paper's PTM + capacitor soft-charging test structure (Fig. 3):
+//!
+//! ```
+//! use sfet_circuit::{Circuit, SourceWaveform};
+//! use sfet_devices::ptm::PtmParams;
+//!
+//! # fn main() -> Result<(), sfet_circuit::CircuitError> {
+//! let mut ckt = Circuit::new();
+//! let vin = ckt.node("in");
+//! let vc = ckt.node("c");
+//! let gnd = Circuit::ground();
+//! ckt.add_voltage_source("VIN", vin, gnd, SourceWaveform::ramp(0.0, 1.0, 0.0, 30e-12))?;
+//! ckt.add_ptm("P1", vin, vc, PtmParams::vo2_default())?;
+//! ckt.add_capacitor("C1", vc, gnd, 0.5e-15)?;
+//! ckt.validate()?;
+//! # Ok(())
+//! # }
+//! ```
+
+mod element;
+mod error;
+mod netlist;
+mod node;
+pub mod parse;
+pub mod si;
+mod waveform;
+
+pub use element::{
+    Capacitor, CurrentSource, Element, ElementId, Inductor, MosfetInstance, PtmInstance,
+    Resistor, VoltageSource,
+};
+pub use error::CircuitError;
+pub use netlist::Circuit;
+pub use node::NodeId;
+pub use waveform::SourceWaveform;
+
+/// Convenience result alias for netlist construction.
+pub type Result<T> = std::result::Result<T, CircuitError>;

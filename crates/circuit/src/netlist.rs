@@ -1,0 +1,646 @@
+//! The [`Circuit`] container and builder API.
+
+use std::collections::HashMap;
+
+use crate::element::{
+    Capacitor, CurrentSource, Element, ElementId, Inductor, MosfetInstance, PtmInstance,
+    Resistor, VoltageSource,
+};
+use crate::error::CircuitError;
+use crate::node::NodeId;
+use crate::waveform::SourceWaveform;
+use crate::Result;
+use sfet_devices::mosfet::MosfetModel;
+use sfet_devices::ptm::PtmParams;
+
+/// A flat netlist: named nodes plus element instances.
+///
+/// Nodes are interned by name; node `"0"` (also reachable via
+/// [`Circuit::ground`]) is the reference node. Elements are added through
+/// the `add_*` methods, which validate values eagerly and return an
+/// [`ElementId`] usable as a probe handle by the simulator.
+///
+/// # Example
+///
+/// ```
+/// use sfet_circuit::{Circuit, SourceWaveform};
+///
+/// # fn main() -> Result<(), sfet_circuit::CircuitError> {
+/// let mut ckt = Circuit::new();
+/// let a = ckt.node("a");
+/// let gnd = Circuit::ground();
+/// let vs = ckt.add_voltage_source("V1", a, gnd, SourceWaveform::Dc(1.0))?;
+/// ckt.add_resistor("R1", a, gnd, 50.0)?;
+/// ckt.validate()?;
+/// assert_eq!(ckt.element(vs).name(), "V1");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Circuit {
+    node_names: Vec<String>,
+    node_lookup: HashMap<String, NodeId>,
+    elements: Vec<Element>,
+    name_lookup: HashMap<String, ElementId>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit containing only the ground node.
+    pub fn new() -> Self {
+        let mut c = Circuit {
+            node_names: vec!["0".to_string()],
+            node_lookup: HashMap::new(),
+            elements: Vec::new(),
+            name_lookup: HashMap::new(),
+        };
+        c.node_lookup.insert("0".to_string(), NodeId(0));
+        c
+    }
+
+    /// The ground (reference) node.
+    pub fn ground() -> NodeId {
+        NodeId::GROUND
+    }
+
+    /// Interns a node by name, creating it on first use. The name `"0"`
+    /// (or `"gnd"`, case-insensitive) maps to ground.
+    pub fn node(&mut self, name: &str) -> NodeId {
+        let key = if name.eq_ignore_ascii_case("gnd") {
+            "0"
+        } else {
+            name
+        };
+        if let Some(&id) = self.node_lookup.get(key) {
+            return id;
+        }
+        let id = NodeId(self.node_names.len());
+        self.node_names.push(key.to_string());
+        self.node_lookup.insert(key.to_string(), id);
+        id
+    }
+
+    /// Looks up an existing node by name without creating it.
+    pub fn find_node(&self, name: &str) -> Option<NodeId> {
+        let key = if name.eq_ignore_ascii_case("gnd") {
+            "0"
+        } else {
+            name
+        };
+        self.node_lookup.get(key).copied()
+    }
+
+    /// Name of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this circuit.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.node_names[id.0]
+    }
+
+    /// Total number of nodes including ground.
+    pub fn node_count(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// The elements in insertion order.
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+
+    /// Looks up an element by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this circuit.
+    pub fn element(&self, id: ElementId) -> &Element {
+        &self.elements[id.0]
+    }
+
+    /// Finds an element id by instance name.
+    pub fn find_element(&self, name: &str) -> Option<ElementId> {
+        self.name_lookup.get(name).copied()
+    }
+
+    fn insert(&mut self, element: Element) -> Result<ElementId> {
+        let name = element.name().to_string();
+        if self.name_lookup.contains_key(&name) {
+            return Err(CircuitError::DuplicateElement(name));
+        }
+        let id = ElementId(self.elements.len());
+        self.name_lookup.insert(name, id);
+        self.elements.push(element);
+        Ok(id)
+    }
+
+    fn check_positive(name: &str, what: &str, v: f64) -> Result<()> {
+        if !(v.is_finite() && v > 0.0) {
+            return Err(CircuitError::InvalidValue {
+                element: name.to_string(),
+                reason: format!("{what} must be positive and finite, got {v:e}"),
+            });
+        }
+        Ok(())
+    }
+
+    fn check_distinct(name: &str, p: NodeId, n: NodeId) -> Result<()> {
+        if p == n {
+            return Err(CircuitError::ShortedElement(name.to_string()));
+        }
+        Ok(())
+    }
+
+    /// Adds a resistor.
+    ///
+    /// # Errors
+    ///
+    /// Duplicate name, non-positive/non-finite value, or shorted terminals.
+    pub fn add_resistor(&mut self, name: &str, p: NodeId, n: NodeId, ohms: f64) -> Result<ElementId> {
+        Self::check_positive(name, "resistance", ohms)?;
+        Self::check_distinct(name, p, n)?;
+        self.insert(Element::Resistor(Resistor {
+            name: name.to_string(),
+            p,
+            n,
+            ohms,
+        }))
+    }
+
+    /// Adds a capacitor.
+    ///
+    /// # Errors
+    ///
+    /// Duplicate name, non-positive/non-finite value, or shorted terminals.
+    pub fn add_capacitor(
+        &mut self,
+        name: &str,
+        p: NodeId,
+        n: NodeId,
+        farads: f64,
+    ) -> Result<ElementId> {
+        Self::check_positive(name, "capacitance", farads)?;
+        Self::check_distinct(name, p, n)?;
+        self.insert(Element::Capacitor(Capacitor {
+            name: name.to_string(),
+            p,
+            n,
+            farads,
+            ic: None,
+        }))
+    }
+
+    /// Adds a capacitor with an initial-condition voltage.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Circuit::add_capacitor`].
+    pub fn add_capacitor_ic(
+        &mut self,
+        name: &str,
+        p: NodeId,
+        n: NodeId,
+        farads: f64,
+        ic: f64,
+    ) -> Result<ElementId> {
+        Self::check_positive(name, "capacitance", farads)?;
+        Self::check_distinct(name, p, n)?;
+        self.insert(Element::Capacitor(Capacitor {
+            name: name.to_string(),
+            p,
+            n,
+            farads,
+            ic: Some(ic),
+        }))
+    }
+
+    /// Adds an inductor.
+    ///
+    /// # Errors
+    ///
+    /// Duplicate name, non-positive/non-finite value, or shorted terminals.
+    pub fn add_inductor(
+        &mut self,
+        name: &str,
+        p: NodeId,
+        n: NodeId,
+        henries: f64,
+    ) -> Result<ElementId> {
+        Self::check_positive(name, "inductance", henries)?;
+        Self::check_distinct(name, p, n)?;
+        self.insert(Element::Inductor(Inductor {
+            name: name.to_string(),
+            p,
+            n,
+            henries,
+            ic: None,
+        }))
+    }
+
+    /// Adds an independent voltage source.
+    ///
+    /// # Errors
+    ///
+    /// Duplicate name or shorted terminals.
+    pub fn add_voltage_source(
+        &mut self,
+        name: &str,
+        p: NodeId,
+        n: NodeId,
+        wave: SourceWaveform,
+    ) -> Result<ElementId> {
+        Self::check_distinct(name, p, n)?;
+        self.insert(Element::VoltageSource(VoltageSource {
+            name: name.to_string(),
+            p,
+            n,
+            wave,
+        }))
+    }
+
+    /// Adds an independent current source.
+    ///
+    /// # Errors
+    ///
+    /// Duplicate name or shorted terminals.
+    pub fn add_current_source(
+        &mut self,
+        name: &str,
+        p: NodeId,
+        n: NodeId,
+        wave: SourceWaveform,
+    ) -> Result<ElementId> {
+        Self::check_distinct(name, p, n)?;
+        self.insert(Element::CurrentSource(CurrentSource {
+            name: name.to_string(),
+            p,
+            n,
+            wave,
+        }))
+    }
+
+    /// Adds a MOSFET instance.
+    ///
+    /// # Errors
+    ///
+    /// Duplicate name, invalid geometry, or an invalid model card.
+    #[allow(clippy::too_many_arguments)] // a MOSFET simply has 4 terminals + model + geometry
+    pub fn add_mosfet(
+        &mut self,
+        name: &str,
+        d: NodeId,
+        g: NodeId,
+        s: NodeId,
+        b: NodeId,
+        model: MosfetModel,
+        w: f64,
+        l: f64,
+    ) -> Result<ElementId> {
+        Self::check_positive(name, "width", w)?;
+        Self::check_positive(name, "length", l)?;
+        model.validate()?;
+        self.insert(Element::Mosfet(MosfetInstance {
+            name: name.to_string(),
+            d,
+            g,
+            s,
+            b,
+            model,
+            w,
+            l,
+        }))
+    }
+
+    /// Adds a PTM device.
+    ///
+    /// # Errors
+    ///
+    /// Duplicate name, shorted terminals, or invalid PTM parameters.
+    pub fn add_ptm(&mut self, name: &str, p: NodeId, n: NodeId, params: PtmParams) -> Result<ElementId> {
+        Self::check_distinct(name, p, n)?;
+        params.validate()?;
+        self.insert(Element::Ptm(PtmInstance {
+            name: name.to_string(),
+            p,
+            n,
+            params,
+        }))
+    }
+
+    /// Validates global circuit consistency:
+    ///
+    /// * at least one element;
+    /// * at least one element terminal on ground;
+    /// * every non-ground node touched by at least two terminals (a node
+    ///   seen only once has no defined current path).
+    ///
+    /// # Errors
+    ///
+    /// The first violated rule, as a [`CircuitError`].
+    pub fn validate(&self) -> Result<()> {
+        if self.elements.is_empty() {
+            return Err(CircuitError::EmptyCircuit);
+        }
+        let mut touch = vec![0usize; self.node_names.len()];
+        for e in &self.elements {
+            for n in e.nodes() {
+                touch[n.0] += 1;
+            }
+        }
+        if touch[0] == 0 {
+            return Err(CircuitError::NoGroundReference);
+        }
+        for (idx, &count) in touch.iter().enumerate().skip(1) {
+            if count == 1 {
+                return Err(CircuitError::FloatingNode(self.node_names[idx].clone()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the circuit as a SPICE-like netlist (the inverse of
+    /// [`parse::parse_netlist`](crate::parse::parse_netlist) for the cards
+    /// it supports).
+    pub fn to_netlist(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("* netlist generated by sfet-circuit\n");
+        for e in &self.elements {
+            let line = match e {
+                Element::Resistor(r) => format!(
+                    "R{} {} {} {}",
+                    strip_prefix(&r.name, 'R'),
+                    self.node_name(r.p),
+                    self.node_name(r.n),
+                    crate::si::format_eng(r.ohms)
+                ),
+                Element::Capacitor(c) => format!(
+                    "C{} {} {} {}",
+                    strip_prefix(&c.name, 'C'),
+                    self.node_name(c.p),
+                    self.node_name(c.n),
+                    crate::si::format_eng(c.farads)
+                ),
+                Element::Inductor(l) => format!(
+                    "L{} {} {} {}",
+                    strip_prefix(&l.name, 'L'),
+                    self.node_name(l.p),
+                    self.node_name(l.n),
+                    crate::si::format_eng(l.henries)
+                ),
+                Element::VoltageSource(v) => format!(
+                    "V{} {} {} {}",
+                    strip_prefix(&v.name, 'V'),
+                    self.node_name(v.p),
+                    self.node_name(v.n),
+                    format_wave(&v.wave)
+                ),
+                Element::CurrentSource(i) => format!(
+                    "I{} {} {} {}",
+                    strip_prefix(&i.name, 'I'),
+                    self.node_name(i.p),
+                    self.node_name(i.n),
+                    format_wave(&i.wave)
+                ),
+                Element::Mosfet(m) => format!(
+                    "M{} {} {} {} {} {} W={} L={}",
+                    strip_prefix(&m.name, 'M'),
+                    self.node_name(m.d),
+                    self.node_name(m.g),
+                    self.node_name(m.s),
+                    self.node_name(m.b),
+                    m.model.name,
+                    crate::si::format_eng(m.w),
+                    crate::si::format_eng(m.l)
+                ),
+                Element::Ptm(p) => format!(
+                    "P{} {} {} VIMT={} VMIT={} RINS={} RMET={} TPTM={}",
+                    strip_prefix(&p.name, 'P'),
+                    self.node_name(p.p),
+                    self.node_name(p.n),
+                    crate::si::format_eng(p.params.v_imt),
+                    crate::si::format_eng(p.params.v_mit),
+                    crate::si::format_eng(p.params.r_ins),
+                    crate::si::format_eng(p.params.r_met),
+                    crate::si::format_eng(p.params.t_ptm)
+                ),
+            };
+            let _ = writeln!(out, "{line}");
+        }
+        out.push_str(".end\n");
+        out
+    }
+}
+
+fn strip_prefix(name: &str, prefix: char) -> &str {
+    name.strip_prefix(prefix)
+        .or_else(|| name.strip_prefix(prefix.to_ascii_lowercase()))
+        .unwrap_or(name)
+}
+
+fn format_wave(w: &SourceWaveform) -> String {
+    match w {
+        SourceWaveform::Dc(v) => format!("DC {}", crate::si::format_eng(*v)),
+        SourceWaveform::Ramp {
+            v0,
+            v1,
+            t_start,
+            t_rise,
+        } => format!(
+            "PWL(0 {} {} {} {} {})",
+            crate::si::format_eng(*v0),
+            crate::si::format_eng(t_start.max(1e-18)),
+            crate::si::format_eng(*v0),
+            crate::si::format_eng(t_start + t_rise),
+            crate::si::format_eng(*v1)
+        ),
+        SourceWaveform::Pulse {
+            v1,
+            v2,
+            delay,
+            rise,
+            fall,
+            width,
+            period,
+        } => {
+            let mut s = format!(
+                "PULSE({} {} {} {} {} {}",
+                crate::si::format_eng(*v1),
+                crate::si::format_eng(*v2),
+                crate::si::format_eng(*delay),
+                crate::si::format_eng(*rise),
+                crate::si::format_eng(*fall),
+                crate::si::format_eng(*width)
+            );
+            if period.is_finite() {
+                s.push(' ');
+                s.push_str(&crate::si::format_eng(*period));
+            }
+            s.push(')');
+            s
+        }
+        SourceWaveform::Pwl(p) => {
+            let mut s = String::from("PWL(");
+            for (i, (x, y)) in p.xs().iter().zip(p.ys()).enumerate() {
+                if i > 0 {
+                    s.push(' ');
+                }
+                s.push_str(&format!(
+                    "{} {}",
+                    crate::si::format_eng(*x),
+                    crate::si::format_eng(*y)
+                ));
+            }
+            s.push(')');
+            s
+        }
+        SourceWaveform::Sine {
+            offset,
+            ampl,
+            freq,
+            delay,
+        } => format!(
+            "SIN({} {} {} {})",
+            crate::si::format_eng(*offset),
+            crate::si::format_eng(*ampl),
+            crate::si::format_eng(*freq),
+            crate::si::format_eng(*delay)
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rc_circuit() -> Circuit {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let g = Circuit::ground();
+        c.add_voltage_source("V1", a, g, SourceWaveform::Dc(1.0))
+            .unwrap();
+        c.add_resistor("R1", a, g, 1e3).unwrap();
+        c
+    }
+
+    #[test]
+    fn node_interning() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        assert_ne!(a, b);
+        assert_eq!(c.node("a"), a);
+        assert_eq!(c.node_count(), 3);
+        assert_eq!(c.node_name(a), "a");
+    }
+
+    #[test]
+    fn gnd_aliases() {
+        let mut c = Circuit::new();
+        assert_eq!(c.node("0"), Circuit::ground());
+        assert_eq!(c.node("gnd"), Circuit::ground());
+        assert_eq!(c.node("GND"), Circuit::ground());
+        assert_eq!(c.find_node("gnd"), Some(Circuit::ground()));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut c = rc_circuit();
+        let a = c.node("a");
+        let g = Circuit::ground();
+        assert!(matches!(
+            c.add_resistor("R1", a, g, 2e3),
+            Err(CircuitError::DuplicateElement(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_values_rejected() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let g = Circuit::ground();
+        assert!(c.add_resistor("R1", a, g, 0.0).is_err());
+        assert!(c.add_resistor("R2", a, g, -5.0).is_err());
+        assert!(c.add_capacitor("C1", a, g, f64::NAN).is_err());
+        assert!(c.add_inductor("L1", a, g, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn shorted_element_rejected() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        assert!(matches!(
+            c.add_resistor("R1", a, a, 1e3),
+            Err(CircuitError::ShortedElement(_))
+        ));
+    }
+
+    #[test]
+    fn validate_passes_for_rc() {
+        rc_circuit().validate().unwrap();
+    }
+
+    #[test]
+    fn empty_circuit_invalid() {
+        assert!(matches!(
+            Circuit::new().validate(),
+            Err(CircuitError::EmptyCircuit)
+        ));
+    }
+
+    #[test]
+    fn floating_node_detected() {
+        let mut c = rc_circuit();
+        let a = c.node("a");
+        let dangling = c.node("x");
+        c.add_resistor("R9", a, dangling, 1e3).unwrap();
+        assert!(matches!(
+            c.validate(),
+            Err(CircuitError::FloatingNode(name)) if name == "x"
+        ));
+    }
+
+    #[test]
+    fn no_ground_detected() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_resistor("R1", a, b, 1e3).unwrap();
+        assert!(matches!(
+            c.validate(),
+            Err(CircuitError::NoGroundReference)
+        ));
+    }
+
+    #[test]
+    fn find_element_by_name() {
+        let c = rc_circuit();
+        let id = c.find_element("R1").unwrap();
+        assert_eq!(c.element(id).name(), "R1");
+        assert!(c.find_element("R999").is_none());
+    }
+
+    #[test]
+    fn ptm_params_validated_on_add() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        let bad = PtmParams::vo2_default().with_thresholds(0.1, 0.4);
+        assert!(matches!(
+            c.add_ptm("P1", a, b, bad),
+            Err(CircuitError::Device(_))
+        ));
+    }
+
+    #[test]
+    fn netlist_round_trips_core_elements() {
+        let mut c = Circuit::new();
+        let a = c.node("in");
+        let g = Circuit::ground();
+        c.add_voltage_source("V1", a, g, SourceWaveform::Dc(1.0))
+            .unwrap();
+        c.add_resistor("R1", a, g, 50.0).unwrap();
+        let text = c.to_netlist();
+        assert!(text.contains("V1 in 0 DC 1"));
+        assert!(text.contains("R1 in 0 50"));
+        assert!(text.ends_with(".end\n"));
+    }
+}

@@ -1,0 +1,68 @@
+//! Circuit node identifiers.
+
+/// A circuit node. `NodeId(0)` is the ground (reference) node.
+///
+/// Node ids are created by [`Circuit::node`](crate::Circuit::node) and are
+/// only meaningful within the circuit that produced them.
+///
+/// # Example
+///
+/// ```
+/// use sfet_circuit::{Circuit, NodeId};
+///
+/// let mut ckt = Circuit::new();
+/// let a = ckt.node("a");
+/// assert_ne!(a, Circuit::ground());
+/// assert_eq!(ckt.node("a"), a); // same name, same node
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// The ground (reference) node.
+    pub const GROUND: NodeId = NodeId(0);
+
+    /// Raw index of this node (0 = ground). Useful for indexing simulator
+    /// solution vectors.
+    #[inline]
+    pub fn index(&self) -> usize {
+        self.0
+    }
+
+    /// Reconstructs a node id from a raw index (the inverse of
+    /// [`NodeId::index`]). Intended for simulator backends iterating node
+    /// indices; the id is only valid for the circuit the index came from.
+    #[inline]
+    pub fn from_index(index: usize) -> NodeId {
+        NodeId(index)
+    }
+
+    /// Whether this is the ground node.
+    #[inline]
+    pub fn is_ground(&self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_properties() {
+        assert!(NodeId::GROUND.is_ground());
+        assert_eq!(NodeId::GROUND.index(), 0);
+        assert_eq!(NodeId::GROUND.to_string(), "n0");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId(1) < NodeId(2));
+    }
+}

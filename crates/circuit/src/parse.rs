@@ -1,0 +1,833 @@
+//! SPICE-like netlist parser.
+//!
+//! Supports the card subset the Soft-FET experiments use:
+//!
+//! ```text
+//! * comment                          ; inline comments after ';'
+//! R<name> p n <value>
+//! C<name> p n <value> [IC=<v>]
+//! L<name> p n <value>
+//! V<name> p n DC <v> | <v> | PWL(t v ...) | PULSE(v1 v2 d tr tf pw [per]) | SIN(off amp f [d])
+//! I<name> p n <same source syntax>
+//! M<name> d g s b <model> W=<w> L=<l>
+//! P<name> p n [VIMT=v] [VMIT=v] [RINS=r] [RMET=r] [TPTM=t]
+//! .model <name> nmos40|pmos40 [vt_shift=<v>]
+//! .subckt <name> <ports...> ... .ends    ; hierarchical cells
+//! X<name> <nodes...> <subckt>            ; instantiation (flattened)
+//! .tran <dtmax> <tstop>
+//! .end
+//! + <continuation of the previous card>
+//! ```
+//!
+//! Subcircuits are flattened at parse time: internal nodes and element
+//! names get the instance path as a prefix (`x1.mid`, `Mx1.P`), ports map
+//! to the instantiating nodes, and ground stays global.
+//!
+//! Values accept engineering suffixes (see [`crate::si::parse_eng`]).
+//! Model names `nmos40` and `pmos40` are predefined.
+//!
+//! # Example
+//!
+//! ```
+//! let deck = "\
+//! * inverter driving a load
+//! VDD vdd 0 DC 1.0
+//! VIN in 0 PWL(0 0 10p 0 40p 1)
+//! M1 out in vdd vdd pmos40 W=240n L=40n
+//! M2 out in 0 0 nmos40 W=120n L=40n
+//! C1 out 0 2f
+//! .tran 0.1p 200p
+//! .end";
+//! let parsed = sfet_circuit::parse::parse_netlist(deck).unwrap();
+//! assert_eq!(parsed.circuit.elements().len(), 5);
+//! assert_eq!(parsed.analyses.len(), 1);
+//! ```
+
+use std::collections::HashMap;
+
+use crate::error::CircuitError;
+use crate::netlist::Circuit;
+use crate::si::parse_eng;
+use crate::waveform::SourceWaveform;
+use sfet_devices::mosfet::MosfetModel;
+use sfet_devices::ptm::PtmParams;
+use sfet_numeric::interp::PiecewiseLinear;
+
+/// An analysis directive found in the netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Analysis {
+    /// `.tran <dtmax> <tstop>` — transient analysis request.
+    Tran {
+        /// Maximum time step \[s\].
+        dtmax: f64,
+        /// Stop time \[s\].
+        tstop: f64,
+    },
+}
+
+/// Result of parsing a netlist: the circuit plus analysis directives.
+#[derive(Debug, Clone)]
+pub struct ParsedNetlist {
+    /// The parsed circuit.
+    pub circuit: Circuit,
+    /// Analysis directives in file order.
+    pub analyses: Vec<Analysis>,
+}
+
+/// Parses a SPICE-like netlist.
+///
+/// # Errors
+///
+/// [`CircuitError::Parse`] with the 1-based line number of the offending
+/// card, or any construction error from the [`Circuit`] builder.
+pub fn parse_netlist(text: &str) -> Result<ParsedNetlist, CircuitError> {
+    // Join continuation lines, remembering each logical line's start line.
+    let mut logical: Vec<(usize, String)> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.split(';').next().unwrap_or("").trim_end();
+        if line.trim().is_empty() || line.trim_start().starts_with('*') {
+            continue;
+        }
+        if let Some(rest) = line.trim_start().strip_prefix('+') {
+            if let Some(last) = logical.last_mut() {
+                last.1.push(' ');
+                last.1.push_str(rest);
+                continue;
+            }
+            return Err(err(idx + 1, "continuation line with nothing to continue"));
+        }
+        logical.push((idx + 1, line.trim().to_string()));
+    }
+
+    // Extract .subckt definitions, then flatten X-card instantiations.
+    let (toplevel, subckts) = extract_subckts(logical)?;
+    let logical = expand_subckts(toplevel, &subckts, 0)?;
+
+    let mut models: HashMap<String, MosfetModel> = HashMap::new();
+    models.insert("nmos40".into(), MosfetModel::nmos_40nm());
+    models.insert("pmos40".into(), MosfetModel::pmos_40nm());
+
+    let mut circuit = Circuit::new();
+    let mut analyses = Vec::new();
+
+    for (line_no, line) in &logical {
+        let tokens = tokenize(line);
+        if tokens.is_empty() {
+            continue;
+        }
+        let head = tokens[0].to_ascii_lowercase();
+        let result = if head == ".end" {
+            break;
+        } else if head == ".model" {
+            parse_model(&tokens, &mut models)
+        } else if head == ".tran" {
+            parse_tran(&tokens).map(|a| analyses.push(a))
+        } else if head.starts_with('.') {
+            Err(err(0, &format!("unknown directive {:?}", tokens[0])))
+        } else {
+            parse_card(&tokens, &mut circuit, &models)
+        };
+        result.map_err(|e| rewrite_line(e, *line_no))?;
+    }
+
+    Ok(ParsedNetlist { circuit, analyses })
+}
+
+/// A subcircuit definition: port names plus body card lines.
+#[derive(Debug, Clone)]
+struct Subckt {
+    ports: Vec<String>,
+    body: Vec<(usize, String)>,
+}
+
+/// Numbered logical netlist lines.
+type NumberedLines = Vec<(usize, String)>;
+
+/// Splits the logical lines into top-level cards and `.subckt` blocks.
+fn extract_subckts(
+    logical: NumberedLines,
+) -> Result<(NumberedLines, HashMap<String, Subckt>), CircuitError> {
+    let mut toplevel = Vec::new();
+    let mut subckts: HashMap<String, Subckt> = HashMap::new();
+    let mut current: Option<(String, Subckt, usize)> = None;
+
+    for (line_no, line) in logical {
+        let head = line
+            .split_whitespace()
+            .next()
+            .unwrap_or("")
+            .to_ascii_lowercase();
+        match head.as_str() {
+            ".subckt" => {
+                if current.is_some() {
+                    return Err(err(line_no, "nested .subckt definitions are not allowed"));
+                }
+                let tokens: Vec<&str> = line.split_whitespace().collect();
+                if tokens.len() < 3 {
+                    return Err(err(line_no, ".subckt needs a name and at least one port"));
+                }
+                let name = tokens[1].to_ascii_lowercase();
+                if subckts.contains_key(&name) {
+                    return Err(err(line_no, &format!("duplicate subcircuit {name:?}")));
+                }
+                let ports = tokens[2..].iter().map(|s| s.to_string()).collect();
+                current = Some((
+                    name,
+                    Subckt {
+                        ports,
+                        body: Vec::new(),
+                    },
+                    line_no,
+                ));
+            }
+            ".ends" => match current.take() {
+                Some((name, def, _)) => {
+                    subckts.insert(name, def);
+                }
+                None => return Err(err(line_no, ".ends without a matching .subckt")),
+            },
+            _ => match &mut current {
+                Some((_, def, _)) => def.body.push((line_no, line)),
+                None => toplevel.push((line_no, line)),
+            },
+        }
+    }
+    if let Some((name, _, line_no)) = current {
+        return Err(err(line_no, &format!("unterminated .subckt {name:?}")));
+    }
+    Ok((toplevel, subckts))
+}
+
+/// Maximum subcircuit nesting depth (guards against recursive definitions).
+const MAX_SUBCKT_DEPTH: usize = 16;
+
+/// Recursively expands `X<name> <node...> <subckt>` cards into flat card
+/// lines. Internal nodes and element names are prefixed with the instance
+/// path (`x1.`); ground (`0`/`gnd`) stays global.
+fn expand_subckts(
+    lines: NumberedLines,
+    subckts: &HashMap<String, Subckt>,
+    depth: usize,
+) -> Result<NumberedLines, CircuitError> {
+    let mut out = Vec::with_capacity(lines.len());
+    for (line_no, line) in lines {
+        let is_x = line
+            .chars()
+            .next()
+            .map(|c| c.eq_ignore_ascii_case(&'x'))
+            .unwrap_or(false);
+        if !is_x {
+            out.push((line_no, line));
+            continue;
+        }
+        if depth >= MAX_SUBCKT_DEPTH {
+            return Err(err(line_no, "subcircuit nesting too deep (recursion?)"));
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        if tokens.len() < 3 {
+            return Err(err(line_no, "X card needs <name> <nodes...> <subckt>"));
+        }
+        let inst = tokens[0].to_ascii_lowercase();
+        let sub_name = tokens[tokens.len() - 1].to_ascii_lowercase();
+        let outer_nodes = &tokens[1..tokens.len() - 1];
+        let def = subckts
+            .get(&sub_name)
+            .ok_or_else(|| err(line_no, &format!("unknown subcircuit {sub_name:?}")))?;
+        if outer_nodes.len() != def.ports.len() {
+            return Err(err(
+                line_no,
+                &format!(
+                    "subcircuit {sub_name:?} has {} ports, {} nodes given",
+                    def.ports.len(),
+                    outer_nodes.len()
+                ),
+            ));
+        }
+        let port_map: HashMap<&str, &str> = def
+            .ports
+            .iter()
+            .map(String::as_str)
+            .zip(outer_nodes.iter().copied())
+            .collect();
+        let mut expanded_body = Vec::with_capacity(def.body.len());
+        for (body_line_no, body_line) in &def.body {
+            expanded_body.push((*body_line_no, rename_card(body_line, &inst, &port_map)));
+        }
+        // Recurse for nested X cards inside the body.
+        let flat = expand_subckts(expanded_body, subckts, depth + 1)?;
+        out.extend(flat);
+    }
+    Ok(out)
+}
+
+/// Rewrites one body card for instantiation: element name gets the
+/// instance prefix; node tokens map through the port map or get prefixed.
+fn rename_card(line: &str, inst: &str, port_map: &HashMap<&str, &str>) -> String {
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    if tokens.is_empty() {
+        return line.to_string();
+    }
+    let kind = tokens[0].chars().next().unwrap_or(' ').to_ascii_uppercase();
+    // Which token positions are node names, per card type.
+    let node_count = match kind {
+        'R' | 'C' | 'L' | 'V' | 'I' | 'P' => 2,
+        'M' => 4,
+        'X' => tokens.len().saturating_sub(2), // all but name and subckt name
+        _ => 0,
+    };
+    // The card's type letter must stay first (the card dispatcher keys on
+    // it), so the instance prefix goes after it: MP inside x1 -> Mx1.P.
+    let renamed = if kind == 'X' {
+        format!("{}.{}", inst, tokens[0])
+    } else {
+        format!("{}{}.{}", &tokens[0][..1], inst, &tokens[0][1..])
+    };
+    let mut out = vec![renamed];
+    for (i, tok) in tokens.iter().enumerate().skip(1) {
+        if i <= node_count {
+            out.push(map_node(tok, inst, port_map));
+        } else {
+            out.push(tok.to_string());
+        }
+    }
+    out.join(" ")
+}
+
+fn map_node(token: &str, inst: &str, port_map: &HashMap<&str, &str>) -> String {
+    if token == "0" || token.eq_ignore_ascii_case("gnd") {
+        return "0".to_string();
+    }
+    match port_map.get(token) {
+        Some(outer) => outer.to_string(),
+        None => format!("{inst}.{token}"),
+    }
+}
+
+fn err(line: usize, message: &str) -> CircuitError {
+    CircuitError::Parse {
+        line,
+        message: message.to_string(),
+    }
+}
+
+fn rewrite_line(e: CircuitError, line: usize) -> CircuitError {
+    match e {
+        CircuitError::Parse { message, .. } => CircuitError::Parse { line, message },
+        other => other,
+    }
+}
+
+/// Splits a card into tokens, treating parentheses and `=` as separators
+/// that also survive as their own tokens (for `(`/`)`) or vanish (`=`,
+/// commas).
+fn tokenize(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for ch in line.chars() {
+        match ch {
+            '(' | ')' => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+                out.push(ch.to_string());
+            }
+            c if c.is_whitespace() || c == ',' || c == '=' => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            c => cur.push(c),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn parse_model(
+    tokens: &[String],
+    models: &mut HashMap<String, MosfetModel>,
+) -> Result<(), CircuitError> {
+    if tokens.len() < 3 {
+        return Err(err(0, ".model needs a name and a base model"));
+    }
+    let name = tokens[1].to_ascii_lowercase();
+    let base = tokens[2].to_ascii_lowercase();
+    let mut model = models
+        .get(&base)
+        .cloned()
+        .ok_or_else(|| err(0, &format!("unknown base model {base:?}")))?;
+    let mut rest = tokens[3..].iter();
+    while let Some(key) = rest.next() {
+        let value = rest
+            .next()
+            .ok_or_else(|| err(0, &format!("missing value for {key}")))?;
+        let v = parse_eng(value)?;
+        match key.to_ascii_lowercase().as_str() {
+            "vt_shift" => model = model.with_vt_shift(v),
+            "kp" => model.kp = v,
+            "lambda" => model.lambda = v,
+            other => return Err(err(0, &format!("unknown model parameter {other:?}"))),
+        }
+    }
+    model.name = name.clone();
+    models.insert(name, model);
+    Ok(())
+}
+
+fn parse_tran(tokens: &[String]) -> Result<Analysis, CircuitError> {
+    if tokens.len() != 3 {
+        return Err(err(0, ".tran needs <dtmax> <tstop>"));
+    }
+    Ok(Analysis::Tran {
+        dtmax: parse_eng(&tokens[1])?,
+        tstop: parse_eng(&tokens[2])?,
+    })
+}
+
+fn parse_card(
+    tokens: &[String],
+    circuit: &mut Circuit,
+    models: &HashMap<String, MosfetModel>,
+) -> Result<(), CircuitError> {
+    let card = &tokens[0];
+    let kind = card
+        .chars()
+        .next()
+        .map(|c| c.to_ascii_uppercase())
+        .ok_or_else(|| err(0, "empty card"))?;
+    match kind {
+        'R' | 'C' | 'L' => {
+            if tokens.len() < 4 {
+                return Err(err(0, "passive card needs <name> <p> <n> <value>"));
+            }
+            let p = circuit.node(&tokens[1]);
+            let n = circuit.node(&tokens[2]);
+            let v = parse_eng(&tokens[3])?;
+            match kind {
+                'R' => circuit.add_resistor(card, p, n, v)?,
+                'C' => {
+                    // Optional IC=<v>.
+                    if tokens.len() >= 6 && tokens[4].eq_ignore_ascii_case("ic") {
+                        circuit.add_capacitor_ic(card, p, n, v, parse_eng(&tokens[5])?)?
+                    } else {
+                        circuit.add_capacitor(card, p, n, v)?
+                    }
+                }
+                _ => circuit.add_inductor(card, p, n, v)?,
+            };
+            Ok(())
+        }
+        'V' | 'I' => {
+            if tokens.len() < 4 {
+                return Err(err(0, "source card needs <name> <p> <n> <value>"));
+            }
+            let p = circuit.node(&tokens[1]);
+            let n = circuit.node(&tokens[2]);
+            let wave = parse_source(&tokens[3..])?;
+            if kind == 'V' {
+                circuit.add_voltage_source(card, p, n, wave)?;
+            } else {
+                circuit.add_current_source(card, p, n, wave)?;
+            }
+            Ok(())
+        }
+        'M' => {
+            if tokens.len() < 10 {
+                return Err(err(
+                    0,
+                    "mosfet card needs <name> d g s b <model> W=<w> L=<l>",
+                ));
+            }
+            let d = circuit.node(&tokens[1]);
+            let g = circuit.node(&tokens[2]);
+            let s = circuit.node(&tokens[3]);
+            let b = circuit.node(&tokens[4]);
+            let model = models
+                .get(&tokens[5].to_ascii_lowercase())
+                .cloned()
+                .ok_or_else(|| err(0, &format!("unknown model {:?}", tokens[5])))?;
+            let mut w = None;
+            let mut l = None;
+            let mut it = tokens[6..].iter();
+            while let Some(key) = it.next() {
+                let value = it
+                    .next()
+                    .ok_or_else(|| err(0, &format!("missing value for {key}")))?;
+                match key.to_ascii_lowercase().as_str() {
+                    "w" => w = Some(parse_eng(value)?),
+                    "l" => l = Some(parse_eng(value)?),
+                    other => return Err(err(0, &format!("unknown mosfet parameter {other:?}"))),
+                }
+            }
+            let w = w.ok_or_else(|| err(0, "mosfet missing W"))?;
+            let l = l.ok_or_else(|| err(0, "mosfet missing L"))?;
+            circuit.add_mosfet(card, d, g, s, b, model, w, l)?;
+            Ok(())
+        }
+        'P' => {
+            if tokens.len() < 3 {
+                return Err(err(0, "ptm card needs <name> <p> <n> [params]"));
+            }
+            let p = circuit.node(&tokens[1]);
+            let n = circuit.node(&tokens[2]);
+            let mut params = PtmParams::vo2_default();
+            let mut it = tokens[3..].iter();
+            while let Some(key) = it.next() {
+                let value = it
+                    .next()
+                    .ok_or_else(|| err(0, &format!("missing value for {key}")))?;
+                let v = parse_eng(value)?;
+                match key.to_ascii_lowercase().as_str() {
+                    "vimt" => params.v_imt = v,
+                    "vmit" => params.v_mit = v,
+                    "rins" => params.r_ins = v,
+                    "rmet" => params.r_met = v,
+                    "tptm" => params.t_ptm = v,
+                    other => return Err(err(0, &format!("unknown ptm parameter {other:?}"))),
+                }
+            }
+            circuit.add_ptm(card, p, n, params)?;
+            Ok(())
+        }
+        other => Err(err(0, &format!("unknown card type {other:?}"))),
+    }
+}
+
+/// Parses the value portion of a V/I card.
+fn parse_source(tokens: &[String]) -> Result<SourceWaveform, CircuitError> {
+    if tokens.is_empty() {
+        return Err(err(0, "missing source value"));
+    }
+    let head = tokens[0].to_ascii_uppercase();
+    match head.as_str() {
+        "DC" => {
+            let v = tokens
+                .get(1)
+                .ok_or_else(|| err(0, "DC needs a value"))
+                .and_then(|t| parse_eng(t))?;
+            Ok(SourceWaveform::Dc(v))
+        }
+        "PWL" => {
+            let args = paren_args(&tokens[1..])?;
+            if args.len() < 2 || args.len() % 2 != 0 {
+                return Err(err(0, "PWL needs an even number of (t, v) values"));
+            }
+            let (xs, ys): (Vec<f64>, Vec<f64>) = args
+                .chunks(2)
+                .map(|c| (c[0], c[1]))
+                .unzip();
+            let pwl = PiecewiseLinear::new(xs, ys)
+                .map_err(|e| err(0, &format!("bad PWL: {e}")))?;
+            Ok(SourceWaveform::Pwl(pwl))
+        }
+        "PULSE" => {
+            let a = paren_args(&tokens[1..])?;
+            if a.len() < 6 || a.len() > 7 {
+                return Err(err(0, "PULSE needs 6 or 7 arguments"));
+            }
+            Ok(SourceWaveform::Pulse {
+                v1: a[0],
+                v2: a[1],
+                delay: a[2],
+                rise: a[3],
+                fall: a[4],
+                width: a[5],
+                period: a.get(6).copied().unwrap_or(f64::INFINITY),
+            })
+        }
+        "SIN" => {
+            let a = paren_args(&tokens[1..])?;
+            if a.len() < 3 || a.len() > 4 {
+                return Err(err(0, "SIN needs 3 or 4 arguments"));
+            }
+            Ok(SourceWaveform::Sine {
+                offset: a[0],
+                ampl: a[1],
+                freq: a[2],
+                delay: a.get(3).copied().unwrap_or(0.0),
+            })
+        }
+        "RAMP" => {
+            let a = paren_args(&tokens[1..])?;
+            if a.len() != 4 {
+                return Err(err(0, "RAMP needs 4 arguments (v0 v1 tstart trise)"));
+            }
+            Ok(SourceWaveform::ramp(a[0], a[1], a[2], a[3]))
+        }
+        _ => {
+            // Bare value means DC.
+            Ok(SourceWaveform::Dc(parse_eng(&tokens[0])?))
+        }
+    }
+}
+
+/// Consumes `( v v ... )` token groups into numeric arguments.
+fn paren_args(tokens: &[String]) -> Result<Vec<f64>, CircuitError> {
+    if tokens.first().map(String::as_str) != Some("(") {
+        return Err(err(0, "expected '('"));
+    }
+    let close = tokens
+        .iter()
+        .position(|t| t == ")")
+        .ok_or_else(|| err(0, "missing ')'"))?;
+    tokens[1..close].iter().map(|t| parse_eng(t)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::Element;
+
+    #[test]
+    fn parse_rc_deck() {
+        let parsed = parse_netlist("V1 a 0 DC 1\nR1 a 0 1k\n.end").unwrap();
+        assert_eq!(parsed.circuit.elements().len(), 2);
+        parsed.circuit.validate().unwrap();
+    }
+
+    #[test]
+    fn parse_comments_and_blank_lines() {
+        let deck = "* title\n\nV1 a 0 1.0 ; the source\n* mid comment\nR1 a 0 50\n";
+        let parsed = parse_netlist(deck).unwrap();
+        assert_eq!(parsed.circuit.elements().len(), 2);
+    }
+
+    #[test]
+    fn parse_continuation_lines() {
+        let deck = "V1 a 0\n+ PWL(0 0\n+ 10p 1)\nR1 a 0 1k";
+        let parsed = parse_netlist(deck).unwrap();
+        match &parsed.circuit.elements()[0] {
+            Element::VoltageSource(v) => {
+                assert!((v.wave.eval(5e-12) - 0.5).abs() < 1e-12);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_pulse_source() {
+        let parsed =
+            parse_netlist("V1 a 0 PULSE(0 1 1n 0.1n 0.1n 0.3n 1n)\nR1 a 0 1k").unwrap();
+        match &parsed.circuit.elements()[0] {
+            Element::VoltageSource(v) => {
+                assert_eq!(v.wave.eval(1.2e-9), 1.0);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn parse_mosfet_with_model() {
+        let deck = "\
+.model hvtn nmos40 vt_shift=0.15
+VDD d 0 1
+M1 d g 0 0 hvtn W=120n L=40n
+R1 g 0 1k";
+        let parsed = parse_netlist(deck).unwrap();
+        match &parsed.circuit.elements()[1] {
+            Element::Mosfet(m) => {
+                assert!((m.model.vt0 - 0.60).abs() < 1e-12);
+                assert!((m.w - 120e-9).abs() < 1e-15);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn parse_ptm_card_with_overrides() {
+        let deck = "V1 a 0 1\nP1 a b VIMT=0.3 TPTM=5p\nC1 b 0 1f";
+        let parsed = parse_netlist(deck).unwrap();
+        match &parsed.circuit.elements()[1] {
+            Element::Ptm(p) => {
+                assert_eq!(p.params.v_imt, 0.3);
+                assert_eq!(p.params.t_ptm, 5e-12);
+                assert_eq!(p.params.r_ins, 500e3); // default retained
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn parse_tran_directive() {
+        let parsed = parse_netlist("V1 a 0 1\nR1 a 0 1\n.tran 0.1p 200p").unwrap();
+        assert_eq!(
+            parsed.analyses,
+            vec![Analysis::Tran {
+                dtmax: 0.1e-12,
+                tstop: 200e-12
+            }]
+        );
+    }
+
+    #[test]
+    fn error_carries_line_number() {
+        let e = parse_netlist("V1 a 0 1\nR1 a 0 oops").unwrap_err();
+        match e {
+            CircuitError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_card_rejected() {
+        assert!(parse_netlist("X1 a b c").is_err());
+    }
+
+    #[test]
+    fn unknown_model_rejected() {
+        assert!(parse_netlist("M1 d g 0 0 bogus W=1u L=1u").is_err());
+    }
+
+    #[test]
+    fn cap_with_initial_condition() {
+        let parsed = parse_netlist("V1 a 0 1\nC1 a 0 1f IC=0.5").unwrap();
+        match &parsed.circuit.elements()[1] {
+            Element::Capacitor(c) => assert_eq!(c.ic, Some(0.5)),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn round_trip_through_writer() {
+        let deck = "V1 in 0 DC 1\nR1 in out 50\nC1 out 0 2f";
+        let parsed = parse_netlist(deck).unwrap();
+        let text = parsed.circuit.to_netlist();
+        let reparsed = parse_netlist(&text).unwrap();
+        assert_eq!(
+            parsed.circuit.elements().len(),
+            reparsed.circuit.elements().len()
+        );
+    }
+
+    #[test]
+    fn stops_at_end_directive() {
+        let parsed = parse_netlist("V1 a 0 1\nR1 a 0 1\n.end\ngarbage here").unwrap();
+        assert_eq!(parsed.circuit.elements().len(), 2);
+    }
+}
+
+#[cfg(test)]
+mod subckt_tests {
+    use super::*;
+    use crate::element::Element;
+
+    const INV_DECK: &str = "\
+.subckt inv in out vdd
+MP out in vdd vdd pmos40 W=240n L=40n
+MN out in 0 0 nmos40 W=120n L=40n
+.ends
+VDD vdd 0 DC 1.0
+VIN a 0 DC 0.0
+X1 a b vdd inv
+X2 b c vdd inv
+C1 c 0 2f
+";
+
+    #[test]
+    fn subckt_expansion_flattens_two_instances() {
+        let parsed = parse_netlist(INV_DECK).unwrap();
+        // 3 top-level elements + 2 MOSFETs per instance.
+        assert_eq!(parsed.circuit.elements().len(), 7);
+        parsed.circuit.validate().unwrap();
+        // Instance-scoped element names.
+        assert!(parsed.circuit.find_element("Mx1.P").is_some());
+        assert!(parsed.circuit.find_element("Mx2.N").is_some());
+        // Ports map to outer nodes; no leaked internal nodes for this cell.
+        assert!(parsed.circuit.find_node("b").is_some());
+        assert!(parsed.circuit.find_node("x1.out").is_none());
+    }
+
+    #[test]
+    fn subckt_internal_nodes_are_scoped() {
+        let deck = "\
+.subckt divider top bot
+R1 top mid 1k
+R2 mid bot 1k
+.ends
+V1 a 0 DC 1.0
+Xu a 0 divider
+Xv a 0 divider
+";
+        let parsed = parse_netlist(deck).unwrap();
+        parsed.circuit.validate().unwrap();
+        assert!(parsed.circuit.find_node("xu.mid").is_some());
+        assert!(parsed.circuit.find_node("xv.mid").is_some());
+        // The two instances are electrically independent halves.
+        assert_eq!(parsed.circuit.elements().len(), 5);
+    }
+
+    #[test]
+    fn nested_subckts_expand() {
+        let deck = "\
+.subckt unit a b
+R1 a b 1k
+.ends
+.subckt pair p q
+X1 p m unit
+X2 m q unit
+.ends
+V1 in 0 DC 1.0
+Xtop in 0 pair
+";
+        let parsed = parse_netlist(deck).unwrap();
+        parsed.circuit.validate().unwrap();
+        let resistors = parsed
+            .circuit
+            .elements()
+            .iter()
+            .filter(|e| matches!(e, Element::Resistor(_)))
+            .count();
+        assert_eq!(resistors, 2);
+        assert!(parsed.circuit.find_node("xtop.m").is_some());
+    }
+
+    #[test]
+    fn ground_stays_global_inside_subckt() {
+        let deck = "\
+.subckt pulldown x
+R1 x 0 1k
+.ends
+V1 a 0 DC 1.0
+X1 a pulldown
+";
+        let parsed = parse_netlist(deck).unwrap();
+        parsed.circuit.validate().unwrap();
+        // Only nodes: ground + a.
+        assert_eq!(parsed.circuit.node_count(), 2);
+    }
+
+    #[test]
+    fn subckt_errors() {
+        assert!(parse_netlist(".subckt foo a\nR1 a 0 1k\n").is_err()); // unterminated
+        assert!(parse_netlist(".ends\n").is_err()); // stray .ends
+        assert!(parse_netlist("V1 a 0 1\nX1 a b nosuch\nR1 b 0 1k").is_err()); // unknown
+        // Port count mismatch.
+        let deck = ".subckt u a b\nR1 a b 1k\n.ends\nV1 x 0 1\nX1 x u\n";
+        assert!(parse_netlist(deck).is_err());
+        // Recursive definition trips the depth guard.
+        let deck = ".subckt loop a b\nX1 a b loop\n.ends\nV1 x 0 1\nX1 x 0 loop\n";
+        assert!(parse_netlist(deck).is_err());
+    }
+
+    #[test]
+    fn subckt_with_ptm_and_tran() {
+        let deck = "\
+.subckt softinv in out vdd
+P1 in g VIMT=0.4 VMIT=0.1
+MP out g vdd vdd pmos40 W=240n L=40n
+MN out g 0 0 nmos40 W=120n L=40n
+.ends
+VDD vdd 0 DC 1.0
+VIN a 0 PWL(0 1 20p 1 50p 0)
+X1 a y vdd softinv
+CL y 0 2f
+.tran 0.5p 300p
+";
+        let parsed = parse_netlist(deck).unwrap();
+        parsed.circuit.validate().unwrap();
+        assert!(parsed.circuit.find_element("Px1.1").is_some());
+        assert_eq!(parsed.analyses.len(), 1);
+    }
+}

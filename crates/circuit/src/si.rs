@@ -1,0 +1,201 @@
+//! Engineering (SPICE) notation: parsing and formatting.
+//!
+//! SPICE value syntax: an optional sign, a decimal number, an optional
+//! scale suffix (`f p n u m k meg g t`, case-insensitive), and optional
+//! trailing unit letters that are ignored (`30ps`, `500kOhm`, `1.2V`).
+
+use crate::error::CircuitError;
+
+/// Parses a SPICE-style engineering value such as `500k`, `0.5f`, `30p`,
+/// `2.5meg`, or `1.0`.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::Parse`] (with line 0; the caller rewrites the
+/// line number) when the text is not a valid value.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), sfet_circuit::CircuitError> {
+/// assert_eq!(sfet_circuit::si::parse_eng("500k")?, 500e3);
+/// assert_eq!(sfet_circuit::si::parse_eng("30ps")?, 30e-12);
+/// assert_eq!(sfet_circuit::si::parse_eng("2meg")?, 2e6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_eng(text: &str) -> Result<f64, CircuitError> {
+    let s = text.trim();
+    if s.is_empty() {
+        return Err(parse_err(s, "empty value"));
+    }
+    // Split the leading numeric part from the suffix.
+    let mut split = s.len();
+    for (i, ch) in s.char_indices() {
+        let numeric = ch.is_ascii_digit()
+            || ch == '.'
+            || ch == '+'
+            || ch == '-'
+            || ((ch == 'e' || ch == 'E')
+                && s[i + ch.len_utf8()..]
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_digit() || c == '+' || c == '-'));
+        if !numeric {
+            split = i;
+            break;
+        }
+    }
+    let (num, suffix) = s.split_at(split);
+    let base: f64 = num
+        .parse()
+        .map_err(|_| parse_err(s, "invalid numeric literal"))?;
+    let suffix = suffix.to_ascii_lowercase();
+    let scale = if suffix.is_empty() {
+        1.0
+    } else if suffix.starts_with("meg") {
+        1e6
+    } else if suffix.starts_with("mil") {
+        25.4e-6
+    } else {
+        match suffix.chars().next().unwrap() {
+            't' => 1e12,
+            'g' => 1e9,
+            'k' => 1e3,
+            'm' => 1e-3,
+            'u' => 1e-6,
+            'n' => 1e-9,
+            'p' => 1e-12,
+            'f' => 1e-15,
+            'a' => 1e-18,
+            // Unit-only suffix like "V" or "Ohm".
+            c if c.is_ascii_alphabetic() => 1.0,
+            _ => return Err(parse_err(s, "unknown scale suffix")),
+        }
+    };
+    Ok(base * scale)
+}
+
+fn parse_err(text: &str, why: &str) -> CircuitError {
+    CircuitError::Parse {
+        line: 0,
+        message: format!("{why}: {text:?}"),
+    }
+}
+
+/// Formats a value in engineering notation with a scale suffix, e.g.
+/// `500k`, `30p`, `1.5u`.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(sfet_circuit::si::format_eng(500e3), "500k");
+/// assert_eq!(sfet_circuit::si::format_eng(30e-12), "30p");
+/// assert_eq!(sfet_circuit::si::format_eng(0.0), "0");
+/// ```
+pub fn format_eng(value: f64) -> String {
+    if value == 0.0 {
+        return "0".to_string();
+    }
+    const SUFFIXES: [(f64, &str); 9] = [
+        (1e12, "t"),
+        (1e9, "g"),
+        (1e6, "meg"),
+        (1e3, "k"),
+        (1.0, ""),
+        (1e-3, "m"),
+        (1e-6, "u"),
+        (1e-9, "n"),
+        (1e-12, "p"),
+    ];
+    let mag = value.abs();
+    // Below the table, fall through to femto.
+    let (scale, suffix) = if mag < 0.9995e-12 {
+        (1e-15, "f")
+    } else {
+        *SUFFIXES
+            .iter()
+            .find(|(s, _)| mag >= *s * 0.9995)
+            .unwrap_or(&(1e-12, "p"))
+    };
+    let scaled = value / scale;
+    // Up to 4 significant digits, trailing zeros trimmed.
+    let text = format!("{scaled:.4}");
+    let trimmed = text.trim_end_matches('0').trim_end_matches('.');
+    format!("{trimmed}{suffix}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_plain_numbers() {
+        assert_eq!(parse_eng("42").unwrap(), 42.0);
+        assert_eq!(parse_eng("-1.5").unwrap(), -1.5);
+        assert_eq!(parse_eng("2e3").unwrap(), 2000.0);
+        assert_eq!(parse_eng("1E-9").unwrap(), 1e-9);
+    }
+
+    fn close(text: &str, expect: f64) {
+        let got = parse_eng(text).unwrap();
+        assert!(((got - expect) / expect).abs() < 1e-12, "{text}: {got} vs {expect}");
+    }
+
+    #[test]
+    fn parse_scale_suffixes() {
+        close("1t", 1e12);
+        close("1g", 1e9);
+        close("2meg", 2e6);
+        close("500K", 500e3);
+        close("3m", 3e-3);
+        close("10u", 10e-6);
+        close("5n", 5e-9);
+        close("30p", 30e-12);
+        close("0.5f", 0.5e-15);
+    }
+
+    #[test]
+    fn parse_with_unit_letters() {
+        assert_eq!(parse_eng("30ps").unwrap(), 30e-12);
+        assert_eq!(parse_eng("500kOhm").unwrap(), 500e3);
+        assert_eq!(parse_eng("1.0V").unwrap(), 1.0);
+        assert_eq!(parse_eng("2megohm").unwrap(), 2e6);
+    }
+
+    #[test]
+    fn parse_m_is_milli_not_mega() {
+        assert_eq!(parse_eng("1m").unwrap(), 1e-3);
+        assert_eq!(parse_eng("1meg").unwrap(), 1e6);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_eng("").is_err());
+        assert!(parse_eng("abc").is_err());
+        assert!(parse_eng("1..2").is_err());
+    }
+
+    #[test]
+    fn format_round_values() {
+        assert_eq!(format_eng(1e3), "1k");
+        assert_eq!(format_eng(500e3), "500k");
+        assert_eq!(format_eng(2e6), "2meg");
+        assert_eq!(format_eng(30e-12), "30p");
+        assert_eq!(format_eng(0.5e-15), "0.5f");
+        assert_eq!(format_eng(1.0), "1");
+        assert_eq!(format_eng(-3e-3), "-3m");
+    }
+
+    #[test]
+    fn format_parse_round_trip() {
+        for &v in &[1.0, 0.5e-15, 30e-12, 10e-9, 3.3e-6, 2e-3, 47.0, 500e3, 2e6, 1e9] {
+            let t = format_eng(v);
+            let back = parse_eng(&t).unwrap();
+            assert!(
+                ((back - v) / v).abs() < 1e-3,
+                "{v} -> {t} -> {back}"
+            );
+        }
+    }
+}

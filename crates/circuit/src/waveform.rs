@@ -1,0 +1,316 @@
+//! Independent-source waveforms.
+
+use sfet_numeric::interp::PiecewiseLinear;
+
+/// Time-domain waveform of an independent source.
+///
+/// The variants mirror the SPICE source syntax the paper's experiments
+/// need: DC levels, one-shot ramps (the paper's standard input stimulus),
+/// periodic pulses, arbitrary PWL, and sinusoids.
+///
+/// # Example
+///
+/// ```
+/// use sfet_circuit::SourceWaveform;
+///
+/// // 0 → 1 V ramp starting at t=0, 30 ps rise time (paper Fig. 4 input).
+/// let w = SourceWaveform::ramp(0.0, 1.0, 0.0, 30e-12);
+/// assert_eq!(w.eval(0.0), 0.0);
+/// assert_eq!(w.eval(15e-12), 0.5);
+/// assert_eq!(w.eval(1e-9), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum SourceWaveform {
+    /// Constant value.
+    Dc(f64),
+    /// One-shot linear ramp from `v0` to `v1` starting at `t_start` and
+    /// lasting `t_rise` (clamped at both ends).
+    Ramp {
+        /// Initial value.
+        v0: f64,
+        /// Final value.
+        v1: f64,
+        /// Ramp start time \[s\].
+        t_start: f64,
+        /// Ramp duration \[s\] (must be > 0).
+        t_rise: f64,
+    },
+    /// Periodic trapezoidal pulse (SPICE `PULSE`).
+    Pulse {
+        /// Initial/low value.
+        v1: f64,
+        /// Pulsed/high value.
+        v2: f64,
+        /// Delay before the first edge \[s\].
+        delay: f64,
+        /// Rise time \[s\].
+        rise: f64,
+        /// Fall time \[s\].
+        fall: f64,
+        /// High (plateau) width \[s\].
+        width: f64,
+        /// Repetition period \[s\]; `f64::INFINITY` for one-shot.
+        period: f64,
+    },
+    /// Arbitrary piecewise-linear waveform.
+    Pwl(PiecewiseLinear),
+    /// Sinusoid `offset + ampl * sin(2π f (t - delay))` for `t >= delay`.
+    Sine {
+        /// DC offset.
+        offset: f64,
+        /// Amplitude.
+        ampl: f64,
+        /// Frequency \[Hz\].
+        freq: f64,
+        /// Start delay \[s\].
+        delay: f64,
+    },
+}
+
+impl SourceWaveform {
+    /// Convenience constructor for the one-shot [`SourceWaveform::Ramp`].
+    pub fn ramp(v0: f64, v1: f64, t_start: f64, t_rise: f64) -> Self {
+        SourceWaveform::Ramp {
+            v0,
+            v1,
+            t_start,
+            t_rise,
+        }
+    }
+
+    /// Evaluates the waveform at time `t`.
+    pub fn eval(&self, t: f64) -> f64 {
+        match self {
+            SourceWaveform::Dc(v) => *v,
+            SourceWaveform::Ramp {
+                v0,
+                v1,
+                t_start,
+                t_rise,
+            } => {
+                if t <= *t_start {
+                    *v0
+                } else if t >= t_start + t_rise {
+                    *v1
+                } else {
+                    v0 + (v1 - v0) * (t - t_start) / t_rise
+                }
+            }
+            SourceWaveform::Pulse {
+                v1,
+                v2,
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+            } => {
+                if t < *delay {
+                    return *v1;
+                }
+                let mut tau = t - delay;
+                if period.is_finite() && *period > 0.0 {
+                    tau %= period;
+                }
+                if tau < *rise {
+                    if *rise == 0.0 {
+                        *v2
+                    } else {
+                        v1 + (v2 - v1) * tau / rise
+                    }
+                } else if tau < rise + width {
+                    *v2
+                } else if tau < rise + width + fall {
+                    if *fall == 0.0 {
+                        *v1
+                    } else {
+                        v2 + (v1 - v2) * (tau - rise - width) / fall
+                    }
+                } else {
+                    *v1
+                }
+            }
+            SourceWaveform::Pwl(p) => p.eval(t),
+            SourceWaveform::Sine {
+                offset,
+                ampl,
+                freq,
+                delay,
+            } => {
+                if t < *delay {
+                    *offset
+                } else {
+                    offset + ampl * (2.0 * std::f64::consts::PI * freq * (t - delay)).sin()
+                }
+            }
+        }
+    }
+
+    /// The next waveform corner strictly after `t`, if any. The transient
+    /// engine forces time steps onto corners so that slope discontinuities
+    /// are never straddled.
+    pub fn next_breakpoint(&self, t: f64) -> Option<f64> {
+        const EPS: f64 = 1e-21;
+        match self {
+            SourceWaveform::Dc(_) | SourceWaveform::Sine { .. } => None,
+            SourceWaveform::Ramp {
+                t_start, t_rise, ..
+            } => {
+                let corners = [*t_start, t_start + t_rise];
+                corners.iter().copied().find(|&c| c > t + EPS)
+            }
+            SourceWaveform::Pulse {
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+                ..
+            } => {
+                // Corners within one period, replicated if periodic.
+                let local = [0.0, *rise, rise + width, rise + width + fall];
+                let base = if period.is_finite() && *period > 0.0 && t >= *delay {
+                    delay + ((t - delay) / period).floor() * period
+                } else {
+                    *delay
+                };
+                for cycle in 0..2 {
+                    let off = base + cycle as f64 * if period.is_finite() { *period } else { 0.0 };
+                    for &c in &local {
+                        let corner = off + c;
+                        if corner > t + EPS {
+                            return Some(corner);
+                        }
+                    }
+                    if !period.is_finite() {
+                        break;
+                    }
+                }
+                None
+            }
+            SourceWaveform::Pwl(p) => p.next_breakpoint(t),
+        }
+    }
+
+    /// The waveform value at `t = 0` (used for the DC operating point).
+    pub fn initial_value(&self) -> f64 {
+        self.eval(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_constant() {
+        let w = SourceWaveform::Dc(1.2);
+        assert_eq!(w.eval(0.0), 1.2);
+        assert_eq!(w.eval(1.0), 1.2);
+        assert_eq!(w.next_breakpoint(0.0), None);
+    }
+
+    #[test]
+    fn ramp_endpoints_and_interior() {
+        let w = SourceWaveform::ramp(1.0, 0.0, 10e-12, 30e-12);
+        assert_eq!(w.eval(0.0), 1.0);
+        assert_eq!(w.eval(10e-12), 1.0);
+        assert!((w.eval(25e-12) - 0.5).abs() < 1e-12);
+        assert_eq!(w.eval(40e-12), 0.0);
+        assert_eq!(w.eval(1.0), 0.0);
+    }
+
+    #[test]
+    fn ramp_breakpoints() {
+        let w = SourceWaveform::ramp(0.0, 1.0, 10e-12, 30e-12);
+        assert_eq!(w.next_breakpoint(0.0), Some(10e-12));
+        assert_eq!(w.next_breakpoint(10e-12), Some(40e-12));
+        assert_eq!(w.next_breakpoint(40e-12), None);
+    }
+
+    #[test]
+    fn pulse_one_period() {
+        let w = SourceWaveform::Pulse {
+            v1: 0.0,
+            v2: 1.0,
+            delay: 1e-9,
+            rise: 0.1e-9,
+            fall: 0.1e-9,
+            width: 0.3e-9,
+            period: 1e-9,
+        };
+        assert_eq!(w.eval(0.5e-9), 0.0);
+        assert!((w.eval(1.05e-9) - 0.5).abs() < 1e-9);
+        assert_eq!(w.eval(1.2e-9), 1.0);
+        assert!((w.eval(1.45e-9) - 0.5).abs() < 1e-9);
+        assert_eq!(w.eval(1.8e-9), 0.0);
+        // Periodic repetition.
+        assert_eq!(w.eval(2.2e-9), 1.0);
+    }
+
+    #[test]
+    fn pulse_one_shot() {
+        let w = SourceWaveform::Pulse {
+            v1: 0.0,
+            v2: 1.0,
+            delay: 0.0,
+            rise: 1e-12,
+            fall: 1e-12,
+            width: 5e-12,
+            period: f64::INFINITY,
+        };
+        assert_eq!(w.eval(3e-12), 1.0);
+        assert_eq!(w.eval(100e-12), 0.0);
+    }
+
+    #[test]
+    fn pulse_breakpoints_advance() {
+        let w = SourceWaveform::Pulse {
+            v1: 0.0,
+            v2: 1.0,
+            delay: 1e-9,
+            rise: 0.1e-9,
+            fall: 0.1e-9,
+            width: 0.3e-9,
+            period: f64::INFINITY,
+        };
+        let mut t = 0.0;
+        let mut corners = Vec::new();
+        while let Some(c) = w.next_breakpoint(t) {
+            corners.push(c);
+            t = c;
+            if corners.len() > 10 {
+                break;
+            }
+        }
+        assert_eq!(corners.len(), 4);
+        assert!((corners[0] - 1e-9).abs() < 1e-18);
+        assert!((corners[3] - 1.5e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn sine_waveform() {
+        let w = SourceWaveform::Sine {
+            offset: 0.5,
+            ampl: 0.1,
+            freq: 1e9,
+            delay: 0.0,
+        };
+        assert!((w.eval(0.0) - 0.5).abs() < 1e-12);
+        assert!((w.eval(0.25e-9) - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pwl_wraps_piecewise_linear() {
+        let p = PiecewiseLinear::new(vec![0.0, 1e-9], vec![0.0, 1.0]).unwrap();
+        let w = SourceWaveform::Pwl(p);
+        assert!((w.eval(0.5e-9) - 0.5).abs() < 1e-12);
+        assert_eq!(w.next_breakpoint(0.0), Some(1e-9));
+    }
+
+    #[test]
+    fn initial_value_matches_eval_zero() {
+        let w = SourceWaveform::ramp(0.7, 0.0, 1e-12, 1e-12);
+        assert_eq!(w.initial_value(), 0.7);
+    }
+}

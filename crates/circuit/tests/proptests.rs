@@ -1,0 +1,131 @@
+//! Property tests for the netlist layer: parser/writer round-trips,
+//! waveform algebra, and builder invariants under random inputs.
+
+use proptest::prelude::*;
+use sfet_circuit::{parse::parse_netlist, Circuit, Element, SourceWaveform};
+
+fn arb_eng_value() -> impl Strategy<Value = f64> {
+    // Values spanning femto to mega, the range format_eng supports.
+    (-12i32..7, 1.0f64..9.99).prop_map(|(e, m)| m * 10f64.powi(e))
+}
+
+proptest! {
+    /// format_eng -> parse_eng round-trips within 0.1%.
+    #[test]
+    fn si_round_trip(v in arb_eng_value()) {
+        let text = sfet_circuit::si::format_eng(v);
+        let back = sfet_circuit::si::parse_eng(&text).unwrap();
+        prop_assert!(((back - v) / v).abs() < 1e-3, "{v} -> {text} -> {back}");
+    }
+
+    /// Random R/C ladders survive a netlist write → parse round trip with
+    /// identical element counts, names, and values.
+    #[test]
+    fn netlist_round_trip(values in proptest::collection::vec(arb_eng_value(), 1..8)) {
+        let mut ckt = Circuit::new();
+        let gnd = Circuit::ground();
+        let src = ckt.node("src");
+        ckt.add_voltage_source("V1", src, gnd, SourceWaveform::Dc(1.0)).unwrap();
+        let mut prev = src;
+        for (k, &v) in values.iter().enumerate() {
+            let n = ckt.node(&format!("n{k}"));
+            if k % 2 == 0 {
+                ckt.add_resistor(&format!("R{k}"), prev, n, v.abs().max(1e-3)).unwrap();
+            } else {
+                ckt.add_capacitor(&format!("C{k}"), prev, n, v.abs().max(1e-18)).unwrap();
+            }
+            prev = n;
+        }
+        let text = ckt.to_netlist();
+        let parsed = parse_netlist(&text).unwrap();
+        prop_assert_eq!(parsed.circuit.elements().len(), ckt.elements().len());
+        for (a, b) in ckt.elements().iter().zip(parsed.circuit.elements()) {
+            prop_assert_eq!(a.name(), b.name());
+            match (a, b) {
+                (Element::Resistor(x), Element::Resistor(y)) => {
+                    prop_assert!(((x.ohms - y.ohms) / x.ohms).abs() < 1e-3);
+                }
+                (Element::Capacitor(x), Element::Capacitor(y)) => {
+                    prop_assert!(((x.farads - y.farads) / x.farads).abs() < 1e-3);
+                }
+                (Element::VoltageSource(_), Element::VoltageSource(_)) => {}
+                other => prop_assert!(false, "element kind changed: {other:?}"),
+            }
+        }
+    }
+
+    /// Pulse waveforms always stay within [min(v1,v2), max(v1,v2)].
+    #[test]
+    fn pulse_bounded(
+        v1 in -2.0f64..2.0,
+        v2 in -2.0f64..2.0,
+        t in 0.0f64..10e-9,
+        rise in 1e-12f64..1e-10,
+        width in 1e-12f64..1e-9,
+        period_mult in 2.5f64..10.0,
+    ) {
+        let w = SourceWaveform::Pulse {
+            v1,
+            v2,
+            delay: 0.5e-9,
+            rise,
+            fall: rise,
+            width,
+            period: (2.0 * rise + width) * period_mult,
+        };
+        let v = w.eval(t);
+        let (lo, hi) = (v1.min(v2), v1.max(v2));
+        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12, "pulse value {v} outside [{lo}, {hi}]");
+    }
+
+    /// Ramp waveforms are monotone between their corners.
+    #[test]
+    fn ramp_monotone(
+        v0 in -1.0f64..1.0,
+        v1 in -1.0f64..1.0,
+        t_start in 0.0f64..1e-9,
+        t_rise in 1e-12f64..1e-9,
+        a in 0.0f64..1.0,
+        b in 0.0f64..1.0,
+    ) {
+        let w = SourceWaveform::ramp(v0, v1, t_start, t_rise);
+        let span = t_start + t_rise + 1e-9;
+        let (ta, tb) = (a.min(b) * span, a.max(b) * span);
+        let (va, vb) = (w.eval(ta), w.eval(tb));
+        if v1 >= v0 {
+            prop_assert!(vb >= va - 1e-12);
+        } else {
+            prop_assert!(vb <= va + 1e-12);
+        }
+    }
+
+    /// next_breakpoint is always strictly in the future and corners are
+    /// reachable by iterating it.
+    #[test]
+    fn breakpoints_strictly_advance(
+        t_start in 0.0f64..1e-9,
+        t_rise in 1e-12f64..1e-9,
+    ) {
+        let w = SourceWaveform::ramp(0.0, 1.0, t_start, t_rise);
+        let mut t = -1e-12;
+        let mut count = 0;
+        while let Some(bp) = w.next_breakpoint(t) {
+            prop_assert!(bp > t);
+            t = bp;
+            count += 1;
+            prop_assert!(count <= 2, "a one-shot ramp has exactly two corners");
+        }
+        prop_assert_eq!(count, 2);
+    }
+
+    /// Node interning is injective: distinct names, distinct ids.
+    #[test]
+    fn node_interning_injective(names in proptest::collection::hash_set("[a-z][a-z0-9]{0,6}", 1..20)) {
+        let mut ckt = Circuit::new();
+        let ids: Vec<_> = names.iter().map(|n| ckt.node(n)).collect();
+        let unique: std::collections::HashSet<_> = ids.iter().collect();
+        // "gnd" aliases ground; everything else must be unique and fresh.
+        let expected = names.len() - usize::from(names.contains("gnd"));
+        prop_assert!(unique.len() >= expected);
+    }
+}

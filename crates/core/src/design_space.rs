@@ -1,0 +1,434 @@
+//! PTM design-space exploration (paper Figs. 6, 8, 9).
+//!
+//! All sweeps are embarrassingly parallel across parameter points; they
+//! fan out over `std::thread::scope` with one worker per available core.
+
+use crate::inverter::{InverterSpec, Topology};
+use crate::metrics::{measure_inverter, InverterMetrics};
+use crate::Result;
+use sfet_devices::ptm::PtmParams;
+
+/// One point of the V_IMT × V_MIT grid (Fig. 6).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridPoint {
+    /// Insulator→metal threshold \[V\].
+    pub v_imt: f64,
+    /// Metal→insulator threshold \[V\].
+    pub v_mit: f64,
+    /// Peak rail current \[A\].
+    pub i_max: f64,
+    /// Maximum |di/dt| \[A/s\].
+    pub di_dt: f64,
+    /// Propagation delay \[s\].
+    pub delay: f64,
+    /// Number of PTM phase transitions during the edge.
+    pub transitions: usize,
+}
+
+/// One point of the T_PTM sweep (Fig. 8).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TptmPoint {
+    /// PTM switching time \[s\].
+    pub t_ptm: f64,
+    /// Peak rail current \[A\].
+    pub i_max: f64,
+    /// Maximum |di/dt| \[A/s\].
+    pub di_dt: f64,
+    /// Propagation delay \[s\].
+    pub delay: f64,
+    /// Number of PTM phase transitions.
+    pub transitions: usize,
+}
+
+/// One point of the input-slew sweep (Fig. 9).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlewPoint {
+    /// Input ramp duration \[s\].
+    pub t_rise: f64,
+    /// Soft-FET peak current \[A\].
+    pub i_max_soft: f64,
+    /// Baseline peak current at the same slew \[A\].
+    pub i_max_base: f64,
+    /// Peak-current reduction, percent.
+    pub reduction_pct: f64,
+    /// Soft-FET max |di/dt| \[A/s\].
+    pub di_dt_soft: f64,
+    /// Baseline max |di/dt| \[A/s\].
+    pub di_dt_base: f64,
+    /// Soft-FET delay \[s\].
+    pub delay_soft: f64,
+    /// Baseline delay \[s\].
+    pub delay_base: f64,
+    /// PTM transitions observed.
+    pub transitions: usize,
+}
+
+/// Runs `f` over `items` in parallel, preserving order.
+pub(crate) fn parallel_map<T, U, F>(items: &[T], f: F) -> Vec<Result<U>>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> Result<U> + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(items.len().max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut results: Vec<Option<Result<U>>> = (0..items.len()).map(|_| None).collect();
+    let slots = std::sync::Mutex::new(&mut results);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let out = f(&items[i]);
+                let mut guard = slots.lock().expect("sweep worker poisoned");
+                guard[i] = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every index filled"))
+        .collect()
+}
+
+/// Measures a Soft-FET inverter for one PTM parameter set at the paper's
+/// standard conditions (minimum inverter, V_CC = 1 V, 30 ps edge).
+fn soft_metrics(vdd: f64, ptm: PtmParams) -> Result<InverterMetrics> {
+    measure_inverter(&InverterSpec::minimum(vdd, Topology::SoftFet(ptm)))
+}
+
+/// Sweeps the V_IMT × V_MIT grid (Fig. 6). Grid points with
+/// `v_mit >= v_imt` are physically impossible and are skipped.
+///
+/// # Errors
+///
+/// Propagates the first simulation failure.
+///
+/// # Example
+///
+/// ```no_run
+/// let pts = softfet::design_space::vimt_vmit_grid(
+///     1.0,
+///     sfet_devices::ptm::PtmParams::vo2_default(),
+///     &[0.3, 0.4, 0.5],
+///     &[0.1],
+/// )?;
+/// assert_eq!(pts.len(), 3);
+/// # Ok::<(), softfet::SoftFetError>(())
+/// ```
+pub fn vimt_vmit_grid(
+    vdd: f64,
+    base: PtmParams,
+    v_imts: &[f64],
+    v_mits: &[f64],
+) -> Result<Vec<GridPoint>> {
+    let mut combos = Vec::new();
+    for &v_imt in v_imts {
+        for &v_mit in v_mits {
+            if v_mit < v_imt {
+                combos.push((v_imt, v_mit));
+            }
+        }
+    }
+    parallel_map(&combos, |&(v_imt, v_mit)| {
+        let m = soft_metrics(vdd, base.with_thresholds(v_imt, v_mit))?;
+        Ok(GridPoint {
+            v_imt,
+            v_mit,
+            i_max: m.i_max,
+            di_dt: m.di_dt,
+            delay: m.delay,
+            transitions: m.transitions,
+        })
+    })
+    .into_iter()
+    .collect()
+}
+
+/// Sweeps the intrinsic switching time T_PTM (Fig. 8).
+///
+/// # Errors
+///
+/// Propagates the first simulation failure.
+pub fn tptm_sweep(vdd: f64, base: PtmParams, t_ptms: &[f64]) -> Result<Vec<TptmPoint>> {
+    parallel_map(t_ptms, |&t_ptm| {
+        let m = soft_metrics(vdd, base.with_t_ptm(t_ptm))?;
+        Ok(TptmPoint {
+            t_ptm,
+            i_max: m.i_max,
+            di_dt: m.di_dt,
+            delay: m.delay,
+            transitions: m.transitions,
+        })
+    })
+    .into_iter()
+    .collect()
+}
+
+/// Sweeps the input slew (Fig. 9), measuring Soft-FET and baseline at each
+/// point so the percentage reduction is slew-consistent.
+///
+/// # Errors
+///
+/// Propagates the first simulation failure.
+pub fn slew_sweep(vdd: f64, ptm: PtmParams, t_rises: &[f64]) -> Result<Vec<SlewPoint>> {
+    parallel_map(t_rises, |&t_rise| {
+        // Stretch the window so slow edges still settle.
+        let t_stop = (20e-12 + t_rise) * 2.0 + 600e-12;
+        let soft = measure_inverter(
+            &InverterSpec::minimum(vdd, Topology::SoftFet(ptm))
+                .with_t_rise(t_rise)
+                .with_t_stop(t_stop),
+        )?;
+        let base = measure_inverter(
+            &InverterSpec::minimum(vdd, Topology::Baseline)
+                .with_t_rise(t_rise)
+                .with_t_stop(t_stop),
+        )?;
+        Ok(SlewPoint {
+            t_rise,
+            i_max_soft: soft.i_max,
+            i_max_base: base.i_max,
+            reduction_pct: 100.0 * (1.0 - soft.i_max / base.i_max),
+            di_dt_soft: soft.di_dt,
+            di_dt_base: base.di_dt,
+            delay_soft: soft.delay,
+            delay_base: base.delay,
+            transitions: soft.transitions,
+        })
+    })
+    .into_iter()
+    .collect()
+}
+
+/// Crate-internal re-export of the parallel sweep driver for sibling
+/// modules (Monte-Carlo variation).
+pub(crate) use parallel_map as parallel_map_pub;
+
+
+/// One point of the V_CC-dependence study: the V_IMT that minimises I_MAX
+/// at a given supply voltage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptimalVimtPoint {
+    /// Supply voltage \[V\].
+    pub vdd: f64,
+    /// The I_MAX-minimising V_IMT among the candidates \[V\].
+    pub best_v_imt: f64,
+    /// I_MAX at the optimum \[A\].
+    pub i_max: f64,
+    /// I_MAX of the baseline inverter at the same V_CC \[A\].
+    pub i_max_baseline: f64,
+}
+
+/// Finds the I_MAX-optimal V_IMT at each supply voltage — the paper's
+/// §IV-E remark that the optimum "is a strong function of V_CC" made
+/// quantitative. Candidates are scanned as fractions of V_CC.
+///
+/// # Errors
+///
+/// Propagates the first simulation failure.
+pub fn optimal_vimt_vs_vcc(
+    base: PtmParams,
+    vdds: &[f64],
+    vimt_fractions: &[f64],
+) -> Result<Vec<OptimalVimtPoint>> {
+    parallel_map(vdds, |&vdd| {
+        let baseline = measure_inverter(&InverterSpec::minimum(vdd, Topology::Baseline))?;
+        let mut best: Option<(f64, f64)> = None;
+        for &frac in vimt_fractions {
+            let v_imt = frac * vdd;
+            let v_mit = (base.v_mit).min(0.5 * v_imt);
+            let m = soft_metrics(vdd, base.with_thresholds(v_imt, v_mit))?;
+            if best.is_none_or(|(_, imax)| m.i_max < imax) {
+                best = Some((v_imt, m.i_max));
+            }
+        }
+        let (best_v_imt, i_max) = best.expect("candidate list is non-empty");
+        Ok(OptimalVimtPoint {
+            vdd,
+            best_v_imt,
+            i_max,
+            i_max_baseline: baseline.i_max,
+        })
+    })
+    .into_iter()
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<usize> = (0..32).collect();
+        let out: Vec<usize> = parallel_map(&items, |&i| Ok(i * 2))
+            .into_iter()
+            .collect::<Result<_>>()
+            .unwrap();
+        assert_eq!(out, (0..32).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_propagates_errors() {
+        let items = vec![1usize, 2, 3];
+        let res: Result<Vec<usize>> = parallel_map(&items, |&i| {
+            if i == 2 {
+                Err(crate::SoftFetError::Calibration("boom".into()))
+            } else {
+                Ok(i)
+            }
+        })
+        .into_iter()
+        .collect();
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn grid_skips_impossible_combos() {
+        let pts = vimt_vmit_grid(
+            1.0,
+            PtmParams::vo2_default(),
+            &[0.3],
+            &[0.1, 0.3, 0.5],
+        )
+        .unwrap();
+        // Only v_mit = 0.1 < v_imt = 0.3 survives.
+        assert_eq!(pts.len(), 1);
+        assert_eq!(pts[0].v_mit, 0.1);
+        assert!(pts[0].i_max > 0.0);
+    }
+
+    #[test]
+    fn imax_dips_near_optimal_vimt() {
+        // Fig. 6's headline: I_MAX(V_IMT=0.4) below both 0.25 and 0.55.
+        let pts = vimt_vmit_grid(
+            1.0,
+            PtmParams::vo2_default(),
+            &[0.25, 0.4, 0.55],
+            &[0.1],
+        )
+        .unwrap();
+        let imax_of = |v: f64| {
+            pts.iter()
+                .find(|p| (p.v_imt - v).abs() < 1e-9)
+                .expect("point exists")
+                .i_max
+        };
+        let (lo, opt, hi) = (imax_of(0.25), imax_of(0.4), imax_of(0.55));
+        assert!(opt < lo, "I_MAX dip: 0.4 ({opt:.3e}) vs 0.25 ({lo:.3e})");
+        assert!(opt < hi, "I_MAX dip: 0.4 ({opt:.3e}) vs 0.55 ({hi:.3e})");
+    }
+
+    #[test]
+    fn optimal_vimt_tracks_vcc() {
+        // The optimum V_IMT moves down with V_CC (paper §IV-E: "strong
+        // function of V_CC").
+        let pts = optimal_vimt_vs_vcc(
+            PtmParams::vo2_default(),
+            &[0.7, 1.0],
+            &[0.3, 0.4, 0.5, 0.6],
+        )
+        .unwrap();
+        assert!(pts[0].best_v_imt <= pts[1].best_v_imt + 1e-9);
+        // And at the per-V_CC optimum the Soft-FET beats baseline at both
+        // supplies.
+        for p in &pts {
+            assert!(
+                p.i_max < p.i_max_baseline,
+                "at vdd={}: soft {} vs base {}",
+                p.vdd,
+                p.i_max,
+                p.i_max_baseline
+            );
+        }
+    }
+
+    #[test]
+    fn slew_sweep_benefit_shrinks_for_slow_edges() {
+        // Fig. 9: soft-switching benefit vanishes with decreasing slew rate.
+        let pts = slew_sweep(
+            1.0,
+            PtmParams::vo2_default(),
+            &[30e-12, 600e-12],
+        )
+        .unwrap();
+        assert!(
+            pts[0].reduction_pct > pts[1].reduction_pct,
+            "fast {:.1}% vs slow {:.1}%",
+            pts[0].reduction_pct,
+            pts[1].reduction_pct
+        );
+    }
+}
+
+/// One point of the ambient-temperature study.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TemperaturePoint {
+    /// Ambient temperature [°C].
+    pub celsius: f64,
+    /// Soft-FET peak current with the temperature-adjusted PTM [A].
+    pub i_max_soft: f64,
+    /// Baseline peak current (temperature model applies to the PTM only;
+    /// the MOSFET cards stay at their nominal corner) [A].
+    pub i_max_base: f64,
+    /// Peak-current reduction, percent.
+    pub reduction_pct: f64,
+    /// PTM transitions observed.
+    pub transitions: usize,
+}
+
+/// Sweeps ambient temperature through the PTM thermal model
+/// ([`PtmParams::at_temperature`]): as the ambient approaches VO₂'s
+/// T_C ≈ 68 °C the thresholds collapse and the soft-switching benefit
+/// erodes — the thermal design envelope of a Soft-FET product.
+///
+/// # Errors
+///
+/// Propagates the first simulation failure.
+pub fn temperature_sweep(
+    vdd: f64,
+    base: PtmParams,
+    celsius_points: &[f64],
+) -> Result<Vec<TemperaturePoint>> {
+    let baseline = measure_inverter(&InverterSpec::minimum(vdd, Topology::Baseline))?;
+    parallel_map(celsius_points, |&celsius| {
+        let m = soft_metrics(vdd, base.at_temperature(celsius))?;
+        Ok(TemperaturePoint {
+            celsius,
+            i_max_soft: m.i_max,
+            i_max_base: baseline.i_max,
+            reduction_pct: 100.0 * (1.0 - m.i_max / baseline.i_max),
+            transitions: m.transitions,
+        })
+    })
+    .into_iter()
+    .collect()
+}
+
+#[cfg(test)]
+mod temperature_tests {
+    use super::*;
+
+    #[test]
+    fn benefit_erodes_near_transition_temperature() {
+        let pts =
+            temperature_sweep(1.0, PtmParams::vo2_default(), &[25.0, 45.0, 62.0]).unwrap();
+        // Nominal ambient keeps the headline benefit.
+        assert!(pts[0].reduction_pct > 40.0, "25C: {:.1}%", pts[0].reduction_pct);
+        // Near T_C the thresholds collapse and the benefit erodes.
+        assert!(
+            pts[2].reduction_pct < pts[0].reduction_pct,
+            "62C ({:.1}%) must be worse than 25C ({:.1}%)",
+            pts[2].reduction_pct,
+            pts[0].reduction_pct
+        );
+        // The inverter still functions at every point.
+        assert!(pts.iter().all(|p| p.i_max_soft.is_finite() && p.i_max_soft > 0.0));
+    }
+}

@@ -1,0 +1,90 @@
+use std::fmt;
+
+/// Errors from the Soft-FET experiment layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SoftFetError {
+    /// Circuit construction failed.
+    Circuit(sfet_circuit::CircuitError),
+    /// Simulation failed.
+    Sim(sfet_sim::SimError),
+    /// A waveform measurement failed.
+    Waveform(sfet_waveform::WaveformError),
+    /// A calibration loop (e.g. iso-I_MAX tuning) could not bracket or
+    /// converge on its target.
+    Calibration(String),
+    /// An experiment was configured with out-of-domain parameters.
+    InvalidSpec(String),
+}
+
+impl fmt::Display for SoftFetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SoftFetError::Circuit(e) => write!(f, "circuit error: {e}"),
+            SoftFetError::Sim(e) => write!(f, "simulation error: {e}"),
+            SoftFetError::Waveform(e) => write!(f, "measurement error: {e}"),
+            SoftFetError::Calibration(msg) => write!(f, "calibration failed: {msg}"),
+            SoftFetError::InvalidSpec(msg) => write!(f, "invalid experiment spec: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SoftFetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SoftFetError::Circuit(e) => Some(e),
+            SoftFetError::Sim(e) => Some(e),
+            SoftFetError::Waveform(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<sfet_circuit::CircuitError> for SoftFetError {
+    fn from(e: sfet_circuit::CircuitError) -> Self {
+        SoftFetError::Circuit(e)
+    }
+}
+
+impl From<sfet_sim::SimError> for SoftFetError {
+    fn from(e: sfet_sim::SimError) -> Self {
+        SoftFetError::Sim(e)
+    }
+}
+
+impl From<sfet_waveform::WaveformError> for SoftFetError {
+    fn from(e: sfet_waveform::WaveformError) -> Self {
+        SoftFetError::Waveform(e)
+    }
+}
+
+impl From<sfet_pdn::PdnError> for SoftFetError {
+    fn from(e: sfet_pdn::PdnError) -> Self {
+        match e {
+            sfet_pdn::PdnError::Circuit(c) => SoftFetError::Circuit(c),
+            sfet_pdn::PdnError::Sim(s) => SoftFetError::Sim(s),
+            sfet_pdn::PdnError::Waveform(w) => SoftFetError::Waveform(w),
+            sfet_pdn::PdnError::InvalidScenario(m) => SoftFetError::InvalidSpec(m),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error as _;
+        let e = SoftFetError::Calibration("no bracket".into());
+        assert!(e.to_string().contains("calibration"));
+        assert!(e.source().is_none());
+        let e = SoftFetError::Sim(sfet_sim::SimError::UnknownSignal("x".into()));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<SoftFetError>();
+    }
+}

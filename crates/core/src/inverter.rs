@@ -1,0 +1,364 @@
+//! Soft-FET inverter and baseline CMOS variants (paper Figs. 4, 5, 7).
+//!
+//! All topologies share a common harness: a V_CC supply, an input ramp,
+//! the inverter under test, and a fixed FO4 load capacitance. Node names
+//! are standardised so the measurement pipeline can probe any variant:
+//!
+//! * `in` — the stimulus node;
+//! * `g` — the (possibly PTM-decoupled) common gate node;
+//! * `out` — the inverter output;
+//! * supply source `VDD`, input source `VIN`, load `CL`.
+
+use crate::{Result, SoftFetError};
+use sfet_circuit::{Circuit, SourceWaveform};
+use sfet_devices::mosfet::{gate_caps, Corner, MosfetModel};
+use sfet_devices::ptm::PtmParams;
+
+/// Input edge direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Edge {
+    /// Input ramps 0 → V_CC (output falls; N_1 conducts the load current).
+    Rising,
+    /// Input ramps V_CC → 0 (output rises; P_1 draws the V_CC current —
+    /// the paper's Fig. 4 analysis case).
+    Falling,
+}
+
+/// Inverter topology under test.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Topology {
+    /// Plain CMOS inverter.
+    Baseline,
+    /// CMOS inverter with a PTM in series with the common gate — the
+    /// proposed Soft-FET.
+    SoftFet(PtmParams),
+    /// High-V_T variant: both devices' thresholds shifted by the given
+    /// amount \[V\].
+    Hvt(f64),
+    /// Constant series resistance at the gate \[Ω\].
+    SeriesR(f64),
+    /// `n`-high stacked NMOS and PMOS (n ≥ 2), devices upsized by the
+    /// given width multiplier to partially recover drive.
+    Stacked {
+        /// Stack height (number of series devices per network).
+        n: usize,
+        /// Width multiplier applied to every stacked device.
+        width_scale: f64,
+    },
+}
+
+impl Topology {
+    /// Short label used in report tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Topology::Baseline => "baseline",
+            Topology::SoftFet(_) => "soft-fet",
+            Topology::Hvt(_) => "hvt",
+            Topology::SeriesR(_) => "series-r",
+            Topology::Stacked { .. } => "stacked",
+        }
+    }
+}
+
+/// Full specification of one inverter experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InverterSpec {
+    /// Supply voltage \[V\].
+    pub vdd: f64,
+    /// PMOS width \[m\].
+    pub wp: f64,
+    /// NMOS width \[m\].
+    pub wn: f64,
+    /// Channel length \[m\].
+    pub l: f64,
+    /// Load capacitance \[F\]; [`InverterSpec::minimum`] uses an FO4 load.
+    pub c_load: f64,
+    /// Input edge direction.
+    pub edge: Edge,
+    /// Input ramp start time \[s\].
+    pub t_start: f64,
+    /// Input ramp duration \[s\] (the paper's 30 ps default).
+    pub t_rise: f64,
+    /// Topology under test.
+    pub topology: Topology,
+    /// Global process corner applied to both devices.
+    pub corner: Corner,
+    /// Simulation stop time \[s\]; must cover the transition plus the slow
+    /// Soft-FET gate settling tail.
+    pub t_stop: f64,
+}
+
+impl InverterSpec {
+    /// Minimum-size 40 nm-class inverter with an FO4 load and the paper's
+    /// 30 ps input ramp, falling edge (the Fig. 4 case).
+    pub fn minimum(vdd: f64, topology: Topology) -> Self {
+        let (wp, wn, l) = (240e-9, 120e-9, 40e-9);
+        let cin = gate_caps(&MosfetModel::pmos_40nm(), wp, l).total()
+            + gate_caps(&MosfetModel::nmos_40nm(), wn, l).total();
+        InverterSpec {
+            vdd,
+            wp,
+            wn,
+            l,
+            c_load: 4.0 * cin,
+            edge: Edge::Falling,
+            t_start: 20e-12,
+            t_rise: 30e-12,
+            topology,
+            corner: Corner::Typical,
+            t_stop: 600e-12,
+        }
+    }
+
+    /// Returns a copy with a different input ramp duration.
+    pub fn with_t_rise(mut self, t_rise: f64) -> Self {
+        self.t_rise = t_rise;
+        self
+    }
+
+    /// Returns a copy with a different edge direction.
+    pub fn with_edge(mut self, edge: Edge) -> Self {
+        self.edge = edge;
+        self
+    }
+
+    /// Returns a copy with a different stop time.
+    pub fn with_t_stop(mut self, t_stop: f64) -> Self {
+        self.t_stop = t_stop;
+        self
+    }
+
+    /// Returns a copy at a different process corner.
+    pub fn with_corner(mut self, corner: Corner) -> Self {
+        self.corner = corner;
+        self
+    }
+
+    /// Input waveform implied by the spec.
+    pub fn input_wave(&self) -> SourceWaveform {
+        match self.edge {
+            Edge::Rising => SourceWaveform::ramp(0.0, self.vdd, self.t_start, self.t_rise),
+            Edge::Falling => SourceWaveform::ramp(self.vdd, 0.0, self.t_start, self.t_rise),
+        }
+    }
+
+    /// Validates the spec.
+    ///
+    /// # Errors
+    ///
+    /// [`SoftFetError::InvalidSpec`] describing the violated constraint.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.vdd > 0.0 && self.vdd <= 2.0) {
+            return Err(SoftFetError::InvalidSpec(format!(
+                "vdd must be in (0, 2] V, got {}",
+                self.vdd
+            )));
+        }
+        if !(self.t_rise > 0.0 && self.t_stop > self.t_start + self.t_rise) {
+            return Err(SoftFetError::InvalidSpec(
+                "need t_rise > 0 and t_stop beyond the input edge".into(),
+            ));
+        }
+        if let Topology::Stacked { n, width_scale } = &self.topology {
+            if *n < 2 || *width_scale <= 0.0 {
+                return Err(SoftFetError::InvalidSpec(
+                    "stacked topology needs n >= 2 and width_scale > 0".into(),
+                ));
+            }
+        }
+        if let Topology::SeriesR(r) = &self.topology {
+            if *r <= 0.0 {
+                return Err(SoftFetError::InvalidSpec(
+                    "series resistance must be positive".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds the test-bench circuit for this spec.
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit-construction failures.
+    pub fn build(&self) -> Result<Circuit> {
+        self.validate()?;
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let inp = ckt.node("in");
+        let gate = ckt.node("g");
+        let out = ckt.node("out");
+        let gnd = Circuit::ground();
+
+        let vssm = ckt.node("vssm");
+        ckt.add_voltage_source("VDD", vdd, gnd, SourceWaveform::Dc(self.vdd))?;
+        // 0 V ammeter in the NMOS source path: i(VSSM) is the current sunk
+        // into ground (the rising-edge rail current of Fig. 4's dual case).
+        ckt.add_voltage_source("VSSM", vssm, gnd, SourceWaveform::Dc(0.0))?;
+        ckt.add_voltage_source("VIN", inp, gnd, self.input_wave())?;
+        ckt.add_capacitor("CL", out, gnd, self.c_load)?;
+
+        let (pmodel, nmodel) = match &self.topology {
+            Topology::Hvt(dvt) => (
+                MosfetModel::pmos_40nm().with_vt_shift(*dvt),
+                MosfetModel::nmos_40nm().with_vt_shift(*dvt),
+            ),
+            _ => (MosfetModel::pmos_40nm(), MosfetModel::nmos_40nm()),
+        };
+        let (pmodel, nmodel) = (
+            pmodel.at_corner(self.corner),
+            nmodel.at_corner(self.corner),
+        );
+
+        // Gate coupling: direct, through a PTM, or through a resistor.
+        match &self.topology {
+            Topology::SoftFet(params) => {
+                ckt.add_ptm("PG1", inp, gate, *params)?;
+            }
+            Topology::SeriesR(r) => {
+                ckt.add_resistor("RG1", inp, gate, *r)?;
+            }
+            _ => {
+                // Tie gate to input with a negligible resistance so the node
+                // naming stays uniform across topologies.
+                ckt.add_resistor("RG1", inp, gate, 0.1)?;
+            }
+        }
+
+        match &self.topology {
+            Topology::Stacked { n, width_scale } => {
+                let wp = self.wp * width_scale;
+                let wn = self.wn * width_scale;
+                // PMOS stack from vdd to out.
+                let mut upper = vdd;
+                for k in 0..*n {
+                    let lower = if k + 1 == *n {
+                        out
+                    } else {
+                        ckt.node(&format!("ps{k}"))
+                    };
+                    ckt.add_mosfet(
+                        &format!("MP{k}"),
+                        lower,
+                        gate,
+                        upper,
+                        vdd,
+                        pmodel.clone(),
+                        wp,
+                        self.l,
+                    )?;
+                    upper = lower;
+                }
+                // NMOS stack from out to the ground ammeter.
+                let mut upper_n = out;
+                for k in 0..*n {
+                    let lower = if k + 1 == *n {
+                        vssm
+                    } else {
+                        ckt.node(&format!("ns{k}"))
+                    };
+                    ckt.add_mosfet(
+                        &format!("MN{k}"),
+                        upper_n,
+                        gate,
+                        lower,
+                        gnd,
+                        nmodel.clone(),
+                        wn,
+                        self.l,
+                    )?;
+                    upper_n = lower;
+                }
+            }
+            _ => {
+                ckt.add_mosfet("MP1", out, gate, vdd, vdd, pmodel, self.wp, self.l)?;
+                ckt.add_mosfet("MN1", out, gate, vssm, gnd, nmodel, self.wn, self.l)?;
+            }
+        }
+        Ok(ckt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimum_spec_validates_and_builds() {
+        for topo in [
+            Topology::Baseline,
+            Topology::SoftFet(PtmParams::vo2_default()),
+            Topology::Hvt(0.15),
+            Topology::SeriesR(100e3),
+            Topology::Stacked {
+                n: 2,
+                width_scale: 1.5,
+            },
+        ] {
+            let spec = InverterSpec::minimum(1.0, topo);
+            let ckt = spec.build().unwrap();
+            ckt.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn fo4_load_scales_with_input_cap() {
+        let spec = InverterSpec::minimum(1.0, Topology::Baseline);
+        assert!(spec.c_load > 1e-15 && spec.c_load < 5e-15, "{}", spec.c_load);
+    }
+
+    #[test]
+    fn invalid_specs_rejected() {
+        let mut s = InverterSpec::minimum(1.0, Topology::Baseline);
+        s.vdd = 0.0;
+        assert!(s.validate().is_err());
+        let mut s = InverterSpec::minimum(1.0, Topology::Stacked { n: 1, width_scale: 1.0 });
+        assert!(s.validate().is_err());
+        s = InverterSpec::minimum(1.0, Topology::SeriesR(-5.0));
+        assert!(s.validate().is_err());
+        let mut s = InverterSpec::minimum(1.0, Topology::Baseline);
+        s.t_stop = s.t_start;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn input_wave_directions() {
+        let f = InverterSpec::minimum(1.0, Topology::Baseline);
+        assert_eq!(f.input_wave().eval(0.0), 1.0);
+        let r = f.clone().with_edge(Edge::Rising);
+        assert_eq!(r.input_wave().eval(0.0), 0.0);
+    }
+
+    #[test]
+    fn stacked_creates_intermediate_nodes() {
+        let spec = InverterSpec::minimum(
+            1.0,
+            Topology::Stacked {
+                n: 3,
+                width_scale: 2.0,
+            },
+        );
+        let ckt = spec.build().unwrap();
+        assert!(ckt.find_node("ps0").is_some());
+        assert!(ckt.find_node("ns1").is_some());
+        assert_eq!(
+            ckt.elements()
+                .iter()
+                .filter(|e| matches!(e, sfet_circuit::Element::Mosfet(_)))
+                .count(),
+            6
+        );
+    }
+
+    #[test]
+    fn corner_spec_builds() {
+        let spec = InverterSpec::minimum(1.0, Topology::Baseline).with_corner(Corner::Slow);
+        spec.build().unwrap().validate().unwrap();
+    }
+
+    #[test]
+    fn labels_stable() {
+        assert_eq!(Topology::Baseline.label(), "baseline");
+        assert_eq!(Topology::SoftFet(PtmParams::vo2_default()).label(), "soft-fet");
+    }
+}

@@ -1,0 +1,220 @@
+//! Iso-I_MAX calibration (paper Fig. 5).
+//!
+//! The paper's comparison is only fair at equal peak current: each CMOS
+//! variant's knob (HVT threshold shift, gate series resistance, stack
+//! width) is tuned so its I_MAX at V_CC = 1 V matches the Soft-FET's.
+//! Every knob is monotone in I_MAX, so bisection suffices.
+
+use crate::inverter::{InverterSpec, Topology};
+use crate::{Result, SoftFetError};
+use sfet_devices::ptm::PtmParams;
+
+/// Calibrated variant parameters that all hit the same I_MAX at 1 V.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IsoImaxCalibration {
+    /// The Soft-FET peak current everything is matched to \[A\].
+    pub target_imax: f64,
+    /// HVT threshold shift \[V\].
+    pub hvt_dvt: f64,
+    /// Gate series resistance \[Ω\].
+    pub series_r: f64,
+    /// Width multiplier for the 2-stack variant.
+    pub stack_width_scale: f64,
+}
+
+impl IsoImaxCalibration {
+    /// The calibrated topology set, in the paper's Fig. 5 order
+    /// (Soft-FET, HVT, series-R, stacked).
+    pub fn topologies(&self, ptm: PtmParams) -> Vec<Topology> {
+        vec![
+            Topology::SoftFet(ptm),
+            Topology::Hvt(self.hvt_dvt),
+            Topology::SeriesR(self.series_r),
+            Topology::Stacked {
+                n: 2,
+                width_scale: self.stack_width_scale,
+            },
+        ]
+    }
+}
+
+/// Measures I_MAX of one topology at the given supply.
+///
+/// Unlike the full [`measure_inverter`](crate::metrics::measure_inverter)
+/// pipeline this only needs the rail
+/// current, so it works even for variants too slow to finish switching
+/// inside the standard window (a mis-calibrated series-R can have an RC
+/// constant of nanoseconds).
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn imax_of(vdd: f64, topology: Topology) -> Result<f64> {
+    let spec = InverterSpec::minimum(vdd, topology);
+    let result = crate::metrics::run_inverter(&spec)?;
+    let i_rail = result.supply_current("VDD")?;
+    Ok(i_rail.peak_abs().1.abs())
+}
+
+/// Bisects a monotone scalar knob until `imax(knob)` matches `target`
+/// within `rel_tol`.
+///
+/// `increasing` states whether I_MAX grows with the knob.
+fn bisect_knob<F>(
+    mut eval: F,
+    mut lo: f64,
+    mut hi: f64,
+    target: f64,
+    increasing: bool,
+    rel_tol: f64,
+) -> Result<f64>
+where
+    F: FnMut(f64) -> Result<f64>,
+{
+    let f_lo = eval(lo)?;
+    let f_hi = eval(hi)?;
+    let (mut bracket_lo, mut bracket_hi) = (f_lo, f_hi);
+    if increasing {
+        if !(bracket_lo <= target && target <= bracket_hi) {
+            return Err(SoftFetError::Calibration(format!(
+                "target {target:.3e} outside knob range [{bracket_lo:.3e}, {bracket_hi:.3e}]"
+            )));
+        }
+    } else if !(bracket_hi <= target && target <= bracket_lo) {
+        return Err(SoftFetError::Calibration(format!(
+            "target {target:.3e} outside knob range [{bracket_hi:.3e}, {bracket_lo:.3e}]"
+        )));
+    }
+    for _ in 0..40 {
+        let mid = 0.5 * (lo + hi);
+        let f_mid = eval(mid)?;
+        if (f_mid - target).abs() <= rel_tol * target {
+            return Ok(mid);
+        }
+        let go_up = if increasing {
+            f_mid < target
+        } else {
+            f_mid > target
+        };
+        if go_up {
+            lo = mid;
+            bracket_lo = f_mid;
+        } else {
+            hi = mid;
+            bracket_hi = f_mid;
+        }
+        let _ = (bracket_lo, bracket_hi);
+    }
+    Ok(0.5 * (lo + hi))
+}
+
+/// Calibrates all three CMOS variants to the Soft-FET's I_MAX at
+/// `V_CC = 1 V` for the given PTM.
+///
+/// # Errors
+///
+/// [`SoftFetError::Calibration`] if a knob's range cannot bracket the
+/// target; simulation errors propagate.
+///
+/// # Example
+///
+/// ```no_run
+/// use softfet::iso_imax::calibrate_iso_imax;
+/// use sfet_devices::ptm::PtmParams;
+///
+/// # fn main() -> Result<(), softfet::SoftFetError> {
+/// let cal = calibrate_iso_imax(PtmParams::vo2_default())?;
+/// assert!(cal.hvt_dvt > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn calibrate_iso_imax(ptm: PtmParams) -> Result<IsoImaxCalibration> {
+    let target = imax_of(1.0, Topology::SoftFet(ptm))?;
+    let rel_tol = 0.02;
+
+    let hvt_dvt = bisect_knob(
+        |dvt| imax_of(1.0, Topology::Hvt(dvt)),
+        0.0,
+        0.40,
+        target,
+        false,
+        rel_tol,
+    )?;
+    // Bisect the series resistance in log space (the response spans decades).
+    let log_r = bisect_knob(
+        |lr| imax_of(1.0, Topology::SeriesR(10f64.powf(lr))),
+        3.0,
+        7.5,
+        target,
+        false,
+        rel_tol,
+    )?;
+    let stack_width_scale = bisect_knob(
+        |ws| {
+            imax_of(
+                1.0,
+                Topology::Stacked {
+                    n: 2,
+                    width_scale: ws,
+                },
+            )
+        },
+        0.1,
+        4.0,
+        target,
+        true,
+        rel_tol,
+    )?;
+
+    Ok(IsoImaxCalibration {
+        target_imax: target,
+        hvt_dvt,
+        series_r: 10f64.powf(log_r),
+        stack_width_scale,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_knob_increasing() {
+        let r = bisect_knob(|x| Ok(x * x), 0.0, 10.0, 25.0, true, 1e-6).unwrap();
+        assert!((r - 5.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn bisect_knob_decreasing() {
+        let r = bisect_knob(|x| Ok(100.0 - x), 0.0, 100.0, 30.0, false, 1e-9).unwrap();
+        assert!((r - 70.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn bisect_unbracketed_target_fails() {
+        assert!(matches!(
+            bisect_knob(Ok, 0.0, 1.0, 5.0, true, 1e-6),
+            Err(SoftFetError::Calibration(_))
+        ));
+    }
+
+    /// Full calibration: slow-ish (dozens of transients) but the linchpin
+    /// of Fig. 5, so it runs in the unit tier.
+    #[test]
+    fn calibration_matches_targets() {
+        let ptm = PtmParams::vo2_default();
+        let cal = calibrate_iso_imax(ptm).unwrap();
+        assert!(cal.hvt_dvt > 0.0 && cal.hvt_dvt < 0.4);
+        assert!(cal.series_r > 1e3 && cal.series_r < 3e7);
+        for topo in cal.topologies(ptm) {
+            let imax = imax_of(1.0, topo.clone()).unwrap();
+            assert!(
+                (imax - cal.target_imax).abs() < 0.08 * cal.target_imax,
+                "{}: {:.3e} vs target {:.3e}",
+                topo.label(),
+                imax,
+                cal.target_imax
+            );
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Soft-FET power-gate comparison (paper Fig. 10).
+
+use crate::Result;
+use sfet_devices::ptm::PtmParams;
+use sfet_pdn::power_gate::{PowerGateOutcome, PowerGateScenario};
+
+/// Baseline vs Soft-FET power-gate wake-up on the same PDN.
+#[derive(Debug, Clone)]
+pub struct PowerGateComparison {
+    /// Direct-drive header outcome.
+    pub baseline: PowerGateOutcome,
+    /// PTM-gated header outcome.
+    pub soft: PowerGateOutcome,
+}
+
+impl PowerGateComparison {
+    /// Droop improvement in millivolts (positive = Soft-FET better), the
+    /// paper's "~20 mV lower supply droop".
+    pub fn droop_improvement_mv(&self) -> f64 {
+        (self.baseline.droop.droop - self.soft.droop.droop) * 1e3
+    }
+
+    /// Peak inrush reduction factor (paper: "reduces the current by 2X").
+    pub fn current_reduction_factor(&self) -> f64 {
+        self.baseline.peak_inrush / self.soft.peak_inrush
+    }
+
+    /// Wake-time penalty of the Soft-FET header \[s\], when both woke.
+    pub fn wake_time_penalty(&self) -> Option<f64> {
+        match (self.soft.wake_time, self.baseline.wake_time) {
+            (Some(s), Some(b)) => Some(s - b),
+            _ => None,
+        }
+    }
+}
+
+/// Runs the baseline and Soft-FET variants of a power-gate scenario.
+///
+/// # Errors
+///
+/// Propagates scenario and simulation failures.
+///
+/// # Example
+///
+/// ```no_run
+/// use sfet_pdn::power_gate::PowerGateScenario;
+/// use sfet_devices::ptm::PtmParams;
+///
+/// # fn main() -> Result<(), softfet::SoftFetError> {
+/// let cmp = softfet::power_gate::compare_power_gate(
+///     &PowerGateScenario::default(),
+///     PtmParams::vo2_default(),
+/// )?;
+/// assert!(cmp.droop_improvement_mv() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn compare_power_gate(
+    scenario: &PowerGateScenario,
+    logic_ptm: PtmParams,
+) -> Result<PowerGateComparison> {
+    let baseline_scenario = PowerGateScenario {
+        ptm: None,
+        ..scenario.clone()
+    };
+    let soft_scenario = scenario.with_soft_fet(logic_ptm);
+    let baseline = baseline_scenario.run()?;
+    let soft = soft_scenario.run()?;
+    Ok(PowerGateComparison { baseline, soft })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_shows_paper_trends() {
+        let cmp =
+            compare_power_gate(&PowerGateScenario::default(), PtmParams::vo2_default()).unwrap();
+        assert!(
+            cmp.droop_improvement_mv() > 0.0,
+            "droop improved by {:.1} mV",
+            cmp.droop_improvement_mv()
+        );
+        assert!(
+            cmp.current_reduction_factor() > 1.2,
+            "inrush reduction {:.2}x",
+            cmp.current_reduction_factor()
+        );
+        // Soft gating trades wake latency.
+        if let Some(penalty) = cmp.wake_time_penalty() {
+            assert!(penalty > 0.0, "soft wake should be slower");
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Design recommendations (paper §IV-E).
+//!
+//! The paper recommends keeping the ratio of input slew time to PTM
+//! switching time around 1.5–3 for the best peak-current reduction. This
+//! module sweeps that ratio (by varying T_PTM under a fixed input edge)
+//! and reports where the benefit actually peaks.
+
+use crate::design_space::tptm_sweep;
+use crate::inverter::{InverterSpec, Topology};
+use crate::metrics::measure_inverter;
+use crate::Result;
+use sfet_devices::ptm::PtmParams;
+
+/// The paper's recommended slew-time : T_PTM ratio band.
+pub const RECOMMENDED_RATIO: (f64, f64) = (1.5, 3.0);
+
+/// One point of the ratio analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RatioPoint {
+    /// Input slew time / T_PTM.
+    pub ratio: f64,
+    /// T_PTM used \[s\].
+    pub t_ptm: f64,
+    /// Peak-current reduction vs the baseline inverter, percent.
+    pub reduction_pct: f64,
+    /// Number of phase transitions.
+    pub transitions: usize,
+}
+
+/// Sweeps the slew/T_PTM ratio at a fixed input edge.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+///
+/// # Example
+///
+/// ```no_run
+/// let pts = softfet::recommend::ratio_sweep(
+///     1.0,
+///     sfet_devices::ptm::PtmParams::vo2_default(),
+///     30e-12,
+///     &[1.0, 2.0, 4.0],
+/// )?;
+/// assert_eq!(pts.len(), 3);
+/// # Ok::<(), softfet::SoftFetError>(())
+/// ```
+pub fn ratio_sweep(
+    vdd: f64,
+    base: PtmParams,
+    t_rise: f64,
+    ratios: &[f64],
+) -> Result<Vec<RatioPoint>> {
+    let base_imax =
+        measure_inverter(&InverterSpec::minimum(vdd, Topology::Baseline).with_t_rise(t_rise))?
+            .i_max;
+    let t_ptms: Vec<f64> = ratios.iter().map(|r| t_rise / r).collect();
+    let sweep = tptm_sweep(vdd, base, &t_ptms)?;
+    Ok(sweep
+        .iter()
+        .zip(ratios)
+        .map(|(p, &ratio)| RatioPoint {
+            ratio,
+            t_ptm: p.t_ptm,
+            reduction_pct: 100.0 * (1.0 - p.i_max / base_imax),
+            transitions: p.transitions,
+        })
+        .collect())
+}
+
+/// The ratio with the largest peak-current reduction.
+///
+/// Returns `None` for an empty sweep.
+pub fn best_ratio(points: &[RatioPoint]) -> Option<f64> {
+    points
+        .iter()
+        .max_by(|a, b| {
+            a.reduction_pct
+                .partial_cmp(&b.reduction_pct)
+                .expect("reductions are finite")
+        })
+        .map(|p| p.ratio)
+}
+
+/// Whether a ratio falls in the paper's recommended band.
+pub fn in_recommended_band(ratio: f64) -> bool {
+    ratio >= RECOMMENDED_RATIO.0 && ratio <= RECOMMENDED_RATIO.1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn band_membership() {
+        assert!(in_recommended_band(2.0));
+        assert!(!in_recommended_band(0.5));
+        assert!(!in_recommended_band(10.0));
+    }
+
+    #[test]
+    fn best_ratio_picks_max() {
+        let pts = vec![
+            RatioPoint {
+                ratio: 1.0,
+                t_ptm: 30e-12,
+                reduction_pct: 10.0,
+                transitions: 1,
+            },
+            RatioPoint {
+                ratio: 2.0,
+                t_ptm: 15e-12,
+                reduction_pct: 30.0,
+                transitions: 1,
+            },
+        ];
+        assert_eq!(best_ratio(&pts), Some(2.0));
+        assert_eq!(best_ratio(&[]), None);
+    }
+}

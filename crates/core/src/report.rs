@@ -1,0 +1,153 @@
+//! Plain-text table rendering for the figure-regeneration binaries.
+
+/// A fixed-width text table.
+///
+/// # Example
+///
+/// ```
+/// use softfet::report::Table;
+///
+/// let mut t = Table::new(&["topology", "I_MAX"]);
+/// t.add_row(vec!["baseline".into(), "82 uA".into()]);
+/// let text = t.to_string();
+/// assert!(text.contains("baseline"));
+/// assert!(text.lines().count() >= 3); // header, rule, row
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row. Short rows are padded with empty cells; long rows
+    /// are truncated to the header width.
+    pub fn add_row(&mut self, mut cells: Vec<String>) {
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let ncol = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let write_row = |f: &mut std::fmt::Formatter<'_>, cells: &[String]| -> std::fmt::Result {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:>w$}", w = w)?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncol.saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a value in engineering units, e.g. `82.3 uA`, `18.4 mV`, `37 ps`.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(softfet::report::fmt_si(82.3e-6, "A"), "82.30 uA");
+/// assert_eq!(softfet::report::fmt_si(0.0, "V"), "0 V");
+/// ```
+pub fn fmt_si(value: f64, unit: &str) -> String {
+    if value == 0.0 {
+        return format!("0 {unit}");
+    }
+    const SCALES: [(f64, &str); 9] = [
+        (1e12, "T"),
+        (1e9, "G"),
+        (1e6, "M"),
+        (1e3, "k"),
+        (1.0, ""),
+        (1e-3, "m"),
+        (1e-6, "u"),
+        (1e-9, "n"),
+        (1e-12, "p"),
+    ];
+    let mag = value.abs();
+    let (scale, prefix) = if mag < 0.9995e-12 {
+        (1e-15, "f")
+    } else {
+        *SCALES
+            .iter()
+            .find(|(s, _)| mag >= *s * 0.9995)
+            .unwrap_or(&(1e-12, "p"))
+    };
+    format!("{:.2} {}{}", value / scale, prefix, unit)
+}
+
+/// Formats a percentage with one decimal.
+pub fn fmt_pct(value: f64) -> String {
+    format!("{value:.1}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = Table::new(&["a", "bbbb"]);
+        t.add_row(vec!["xx".into(), "y".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // All lines share the same width.
+        assert_eq!(lines[0].len(), lines[2].len());
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let mut t = Table::new(&["a", "b", "c"]);
+        t.add_row(vec!["1".into()]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        let _ = t.to_string();
+    }
+
+    #[test]
+    fn si_formatting() {
+        assert_eq!(fmt_si(1.5e3, "Ohm"), "1.50 kOhm");
+        assert_eq!(fmt_si(-20e-3, "V"), "-20.00 mV");
+        assert_eq!(fmt_si(10e-12, "s"), "10.00 ps");
+        assert_eq!(fmt_si(0.5e-15, "F"), "0.50 fF");
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(fmt_pct(46.04), "46.0%");
+    }
+}

@@ -1,0 +1,57 @@
+use std::fmt;
+
+/// Errors from device-model construction and validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeviceError {
+    /// A model or instance parameter is outside its physical domain.
+    InvalidParameter {
+        /// Parameter name as it appears in the model card.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+        /// Constraint that was violated.
+        constraint: &'static str,
+    },
+    /// Two parameters are mutually inconsistent (e.g. `V_MIT >= V_IMT`).
+    InconsistentParameters(String),
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => write!(f, "parameter {name}={value:.3e} violates {constraint}"),
+            DeviceError::InconsistentParameters(msg) => {
+                write!(f, "inconsistent parameters: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_invalid_parameter() {
+        let e = DeviceError::InvalidParameter {
+            name: "r_ins",
+            value: -1.0,
+            constraint: "r_ins > 0",
+        };
+        let s = e.to_string();
+        assert!(s.contains("r_ins"));
+        assert!(s.contains("violates"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync + std::error::Error>() {}
+        check::<DeviceError>();
+    }
+}

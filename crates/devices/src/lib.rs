@@ -1,0 +1,34 @@
+//! Device models for the Soft-FET reproduction.
+//!
+//! Two model families are provided:
+//!
+//! * [`mosfet`] — an EKV-style all-region analytic MOSFET, calibrated to a
+//!   40 nm-class CMOS process. The paper simulates with proprietary 40 nm
+//!   foundry models; the EKV formulation reproduces the behaviour the
+//!   Soft-FET mechanism depends on — continuous subthreshold → strong
+//!   inversion conduction and the gate capacitance that the PTM charges.
+//! * [`ptm`] — the phase transition material: a two-terminal hysteretic
+//!   resistor (insulating `R_INS` ↔ metallic `R_MET`) with voltage
+//!   thresholds `V_IMT` / `V_MIT` and a finite switching time `T_PTM`,
+//!   mirroring the Verilog-A behavioural model used in the paper.
+//!
+//! # Example
+//!
+//! ```
+//! use sfet_devices::mosfet::{self, MosfetModel};
+//!
+//! let nmos = MosfetModel::nmos_40nm();
+//! // Minimum-size device, full gate drive: a strongly-on transistor.
+//! let op = mosfet::eval(&nmos, 120e-9, 40e-9, 1.0, 1.0, 0.0, 0.0);
+//! assert!(op.id > 10e-6);
+//! ```
+
+pub mod mosfet;
+pub mod ptm;
+
+mod error;
+
+pub use error::DeviceError;
+
+/// Convenience result alias for device-model construction.
+pub type Result<T> = std::result::Result<T, DeviceError>;

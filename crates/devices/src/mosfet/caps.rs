@@ -1,0 +1,95 @@
+//! Intrinsic gate capacitances.
+//!
+//! The Soft-FET mechanism is governed by the R_PTM·C_gate time constant, so
+//! the gate capacitance is a first-class model output. We use the constant
+//! (Meyer-style, worst-case) partition: the channel charge splits equally
+//! between source and drain, plus overlap capacitance on each side and a
+//! small gate-bulk term. Constant capacitances keep the transient Jacobian
+//! linear in the cap branches while preserving the total gate charge the
+//! PTM must deliver.
+
+use super::model::MosfetModel;
+
+/// Lumped gate capacitances of a MOSFET instance \[F\].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GateCaps {
+    /// Gate–source capacitance.
+    pub cgs: f64,
+    /// Gate–drain capacitance.
+    pub cgd: f64,
+    /// Gate–bulk capacitance.
+    pub cgb: f64,
+}
+
+impl GateCaps {
+    /// Total capacitance seen looking into the gate terminal.
+    pub fn total(&self) -> f64 {
+        self.cgs + self.cgd + self.cgb
+    }
+}
+
+/// Computes the lumped gate capacitances for a device of width `w` and
+/// length `l` (metres).
+///
+/// # Panics
+///
+/// Debug-asserts `w > 0` and `l > 0`.
+///
+/// # Example
+///
+/// ```
+/// use sfet_devices::mosfet::{gate_caps, MosfetModel};
+///
+/// let c = gate_caps(&MosfetModel::nmos_40nm(), 120e-9, 40e-9);
+/// // Minimum 40 nm-class device: a fraction of a femtofarad.
+/// assert!(c.total() > 0.05e-15 && c.total() < 1e-15);
+/// ```
+pub fn gate_caps(model: &MosfetModel, w: f64, l: f64) -> GateCaps {
+    debug_assert!(w > 0.0 && l > 0.0, "device geometry must be positive");
+    let c_channel = model.cox * w * l;
+    let c_ov = model.cov * w;
+    GateCaps {
+        cgs: 0.45 * c_channel + c_ov,
+        cgd: 0.45 * c_channel + c_ov,
+        cgb: 0.10 * c_channel,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caps_scale_with_width() {
+        let m = MosfetModel::nmos_40nm();
+        let a = gate_caps(&m, 120e-9, 40e-9);
+        let b = gate_caps(&m, 240e-9, 40e-9);
+        assert!((b.total() / a.total() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn channel_charge_fully_partitioned() {
+        let m = MosfetModel::nmos_40nm();
+        let c = gate_caps(&m, 200e-9, 40e-9);
+        let channel = m.cox * 200e-9 * 40e-9;
+        let overlap = 2.0 * m.cov * 200e-9;
+        assert!((c.total() - (channel + overlap)).abs() < 1e-21);
+    }
+
+    #[test]
+    fn min_inverter_gate_cap_magnitude() {
+        // Wn=120n + Wp=240n inverter input cap should be ~0.3-1 fF: the value
+        // the PTM time constant calibration in DESIGN.md relies on.
+        let n = gate_caps(&MosfetModel::nmos_40nm(), 120e-9, 40e-9);
+        let p = gate_caps(&MosfetModel::pmos_40nm(), 240e-9, 40e-9);
+        let cin = n.total() + p.total();
+        assert!(cin > 0.2e-15 && cin < 1.5e-15, "Cin = {:.3e}", cin);
+    }
+
+    #[test]
+    fn symmetric_source_drain_split() {
+        let c = gate_caps(&MosfetModel::pmos_40nm(), 240e-9, 40e-9);
+        assert_eq!(c.cgs, c.cgd);
+        assert!(c.cgb < c.cgs);
+    }
+}

@@ -1,0 +1,22 @@
+//! EKV-style all-region MOSFET model.
+//!
+//! The Soft-FET mechanism depends on two transistor properties:
+//!
+//! 1. the *shape* of I_D(V_GS) from subthreshold through strong inversion —
+//!    the paper's "weakly turned on" vs "strongly turned on" distinction —
+//!    which requires a model that is smooth and accurate across regions; and
+//! 2. the gate capacitance the PTM has to charge.
+//!
+//! The EKV formulation provides (1) with a single C∞ expression (no
+//! region-stitching discontinuities to upset Newton), and the model card
+//! carries the oxide/overlap capacitances for (2). See [`MosfetModel`] for the
+//! 40 nm-class calibration targets and [`eval`] for the current/derivative
+//! evaluation used by the MNA stamps.
+
+mod caps;
+mod ekv;
+mod model;
+
+pub use caps::{gate_caps, GateCaps};
+pub use ekv::{eval, MosOp};
+pub use model::{Corner, MosfetModel, Polarity};

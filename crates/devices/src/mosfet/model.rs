@@ -1,0 +1,244 @@
+//! MOSFET model cards and 40 nm-class presets.
+
+use crate::{DeviceError, Result};
+
+/// Channel polarity of a MOSFET.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Polarity {
+    /// N-channel device.
+    Nmos,
+    /// P-channel device.
+    Pmos,
+}
+
+/// Global process corner for MOSFET model cards.
+///
+/// Corners shift threshold voltage and transconductance together the way
+/// foundry SS/TT/FF cards do; used to check that Soft-FET benefits survive
+/// process spread (an extension of the paper's §IV sensitivity study).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Corner {
+    /// Slow-slow: higher |V_T|, lower mobility.
+    Slow,
+    /// Typical-typical.
+    #[default]
+    Typical,
+    /// Fast-fast: lower |V_T|, higher mobility.
+    Fast,
+}
+
+impl std::fmt::Display for Corner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Corner::Slow => "ss",
+            Corner::Typical => "tt",
+            Corner::Fast => "ff",
+        })
+    }
+}
+
+impl std::fmt::Display for Polarity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Polarity::Nmos => "nmos",
+            Polarity::Pmos => "pmos",
+        })
+    }
+}
+
+/// EKV-style MOSFET model card.
+///
+/// The default cards ([`MosfetModel::nmos_40nm`] / [`MosfetModel::pmos_40nm`])
+/// are calibrated to 40 nm-class targets: |V_T0| ≈ 0.45 V, minimum-size
+/// (W = 3·L) on-current of ~100 µA at V_GS = V_DS = 1 V, subthreshold slope
+/// ≈ 85 mV/dec, and a gate capacitance around 0.2 fF for the minimum device.
+/// The paper's proprietary foundry model differs in absolute numbers, but
+/// every paper experiment is a *relative* comparison (iso-I_MAX, percentage
+/// reductions), which these cards preserve.
+///
+/// # Example
+///
+/// ```
+/// use sfet_devices::mosfet::MosfetModel;
+///
+/// let hvt = MosfetModel::nmos_40nm().with_vt_shift(0.15);
+/// assert!(hvt.vt0 > MosfetModel::nmos_40nm().vt0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MosfetModel {
+    /// Model name (used by the netlist parser/writer).
+    pub name: String,
+    /// Channel polarity.
+    pub polarity: Polarity,
+    /// Threshold voltage magnitude at zero back-bias \[V\].
+    pub vt0: f64,
+    /// Subthreshold slope factor `n` (dimensionless, > 1).
+    pub slope_n: f64,
+    /// Transconductance parameter `k' = µ·C_ox` \[A/V²\].
+    pub kp: f64,
+    /// Channel-length modulation coefficient \[1/V\].
+    pub lambda: f64,
+    /// Gate-oxide capacitance per unit area \[F/m²\].
+    pub cox: f64,
+    /// Gate overlap capacitance per unit width \[F/m\] (each of source/drain side).
+    pub cov: f64,
+    /// Thermal voltage kT/q \[V\].
+    pub ut: f64,
+}
+
+impl MosfetModel {
+    /// 40 nm-class NMOS card.
+    pub fn nmos_40nm() -> Self {
+        MosfetModel {
+            name: "nmos40".into(),
+            polarity: Polarity::Nmos,
+            vt0: 0.45,
+            slope_n: 1.35,
+            kp: 340e-6,
+            lambda: 0.10,
+            cox: 0.012,   // 12 fF/µm² (includes poly depletion / quantum derating)
+            cov: 0.25e-9, // 0.25 fF/µm per side
+            ut: 0.02585,
+        }
+    }
+
+    /// 40 nm-class PMOS card (hole mobility ≈ 0.4× electron mobility; the
+    /// standard-cell convention compensates with W_P ≈ 2·W_N).
+    pub fn pmos_40nm() -> Self {
+        MosfetModel {
+            name: "pmos40".into(),
+            polarity: Polarity::Pmos,
+            vt0: 0.45,
+            slope_n: 1.35,
+            kp: 140e-6,
+            lambda: 0.12,
+            cox: 0.012,
+            cov: 0.25e-9,
+            ut: 0.02585,
+        }
+    }
+
+    /// Returns a copy skewed to a process corner: ±40 mV on |V_T0| and
+    /// ∓8 % on `kp` (SS is slower *and* weaker, FF the opposite).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use sfet_devices::mosfet::{Corner, MosfetModel};
+    /// let ss = MosfetModel::nmos_40nm().at_corner(Corner::Slow);
+    /// assert!(ss.vt0 > MosfetModel::nmos_40nm().vt0);
+    /// assert!(ss.kp < MosfetModel::nmos_40nm().kp);
+    /// ```
+    pub fn at_corner(&self, corner: Corner) -> Self {
+        let (dvt, kp_scale) = match corner {
+            Corner::Slow => (0.04, 0.92),
+            Corner::Typical => (0.0, 1.0),
+            Corner::Fast => (-0.04, 1.08),
+        };
+        let mut m = self.clone();
+        m.vt0 += dvt;
+        m.kp *= kp_scale;
+        m.name = format!("{}_{corner}", self.name);
+        m
+    }
+
+    /// Returns a copy with the threshold magnitude shifted by `dvt` volts —
+    /// the "HVT" knob used by the paper's iso-I_MAX comparison (Fig. 5).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use sfet_devices::mosfet::MosfetModel;
+    /// let m = MosfetModel::pmos_40nm().with_vt_shift(0.1);
+    /// assert!((m.vt0 - 0.55).abs() < 1e-12);
+    /// assert!(m.name.contains("dvt"));
+    /// ```
+    pub fn with_vt_shift(&self, dvt: f64) -> Self {
+        let mut m = self.clone();
+        m.vt0 += dvt;
+        m.name = format!("{}_dvt{:+.0}m", self.name, dvt * 1e3);
+        m
+    }
+
+    /// Validates physical constraints on the card.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidParameter`] naming the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<()> {
+        let checks: [(&'static str, f64, bool, &'static str); 6] = [
+            ("vt0", self.vt0, self.vt0 > 0.0, "vt0 > 0"),
+            ("slope_n", self.slope_n, self.slope_n >= 1.0, "slope_n >= 1"),
+            ("kp", self.kp, self.kp > 0.0, "kp > 0"),
+            ("lambda", self.lambda, self.lambda >= 0.0, "lambda >= 0"),
+            ("cox", self.cox, self.cox > 0.0, "cox > 0"),
+            ("ut", self.ut, self.ut > 0.0, "ut > 0"),
+        ];
+        for (name, value, ok, constraint) in checks {
+            if !ok {
+                return Err(DeviceError::InvalidParameter {
+                    name,
+                    value,
+                    constraint,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        MosfetModel::nmos_40nm().validate().unwrap();
+        MosfetModel::pmos_40nm().validate().unwrap();
+    }
+
+    #[test]
+    fn vt_shift_applies() {
+        let m = MosfetModel::nmos_40nm().with_vt_shift(0.2);
+        assert!((m.vt0 - 0.65).abs() < 1e-12);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_card_rejected() {
+        let mut m = MosfetModel::nmos_40nm();
+        m.kp = 0.0;
+        assert!(matches!(
+            m.validate(),
+            Err(DeviceError::InvalidParameter { name: "kp", .. })
+        ));
+    }
+
+    #[test]
+    fn polarity_display() {
+        assert_eq!(Polarity::Nmos.to_string(), "nmos");
+        assert_eq!(Polarity::Pmos.to_string(), "pmos");
+    }
+
+    #[test]
+    fn corners_ordered() {
+        let base = MosfetModel::nmos_40nm();
+        let ss = base.at_corner(Corner::Slow);
+        let ff = base.at_corner(Corner::Fast);
+        assert!(ss.vt0 > base.vt0 && base.vt0 > ff.vt0);
+        assert!(ss.kp < base.kp && base.kp < ff.kp);
+        ss.validate().unwrap();
+        ff.validate().unwrap();
+        assert!(ss.name.contains("ss"));
+        // Typical corner is the identity up to the name.
+        let tt = base.at_corner(Corner::Typical);
+        assert_eq!(tt.vt0, base.vt0);
+        assert_eq!(tt.kp, base.kp);
+    }
+
+    #[test]
+    fn pmos_weaker_than_nmos() {
+        assert!(MosfetModel::pmos_40nm().kp < MosfetModel::nmos_40nm().kp);
+    }
+}

@@ -1,0 +1,314 @@
+//! PTM phase state machine with finite switching time.
+//!
+//! The state machine is advanced *between* accepted simulator time steps:
+//! within a step the resistance is treated as a known function of time,
+//! keeping the device linear inside the Newton solve. The simulator
+//! monitors [`PtmState::threshold_excess`] to detect crossings, shrinks the
+//! step to land near the crossing, then calls [`PtmState::fire`].
+
+use super::params::PtmParams;
+use crate::Result;
+use sfet_numeric::smooth::{exp_lerp, smoothstep};
+
+/// Stable phase of a PTM device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PtmPhase {
+    /// High-resistance insulating phase (`R_INS`).
+    Insulating,
+    /// Low-resistance metallic phase (`R_MET`).
+    Metallic,
+}
+
+impl PtmPhase {
+    /// The phase a transition from `self` targets.
+    pub fn other(&self) -> PtmPhase {
+        match self {
+            PtmPhase::Insulating => PtmPhase::Metallic,
+            PtmPhase::Metallic => PtmPhase::Insulating,
+        }
+    }
+}
+
+impl std::fmt::Display for PtmPhase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PtmPhase::Insulating => "insulating",
+            PtmPhase::Metallic => "metallic",
+        })
+    }
+}
+
+/// A recorded phase transition (used by the Fig. 8 transition-count
+/// analysis and by waveform annotation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransitionEvent {
+    /// Simulation time at which the transition began \[s\].
+    pub time: f64,
+    /// Phase the device is transitioning *to*.
+    pub to: PtmPhase,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Transition {
+    start: f64,
+    from_r: f64,
+}
+
+/// Dynamic state of one PTM device instance.
+///
+/// # Example
+///
+/// ```
+/// use sfet_devices::ptm::{PtmParams, PtmState, PtmPhase};
+///
+/// # fn main() -> Result<(), sfet_devices::DeviceError> {
+/// let mut ptm = PtmState::new(PtmParams::vo2_default())?;
+/// assert_eq!(ptm.phase(), PtmPhase::Insulating);
+/// // 0.5 V across the device exceeds V_IMT = 0.4 V:
+/// assert!(ptm.threshold_excess(0.5).unwrap() > 0.0);
+/// ptm.fire(1e-12);
+/// ptm.update(1e-12 + 20e-12); // past T_PTM: transition completes
+/// assert_eq!(ptm.phase(), PtmPhase::Metallic);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PtmState {
+    params: PtmParams,
+    phase: PtmPhase,
+    transition: Option<Transition>,
+}
+
+impl PtmState {
+    /// Creates a PTM in the insulating phase (the zero-bias state).
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter validation failures.
+    pub fn new(params: PtmParams) -> Result<Self> {
+        params.validate()?;
+        Ok(PtmState {
+            params,
+            phase: PtmPhase::Insulating,
+            transition: None,
+        })
+    }
+
+    /// The device parameters.
+    pub fn params(&self) -> &PtmParams {
+        &self.params
+    }
+
+    /// Current stable phase (the *source* phase while a transition is in
+    /// flight).
+    pub fn phase(&self) -> PtmPhase {
+        self.phase
+    }
+
+    /// Whether a phase transition is currently in progress.
+    pub fn in_transition(&self) -> bool {
+        self.transition.is_some()
+    }
+
+    fn stable_resistance(&self, phase: PtmPhase) -> f64 {
+        match phase {
+            PtmPhase::Insulating => self.params.r_ins,
+            PtmPhase::Metallic => self.params.r_met,
+        }
+    }
+
+    /// Device resistance at absolute time `t`.
+    ///
+    /// During a transition the resistance follows a smooth log-space ramp
+    /// from the value at firing time to the target phase's resistance over
+    /// `T_PTM`; otherwise it is the stable phase resistance.
+    pub fn resistance(&self, t: f64) -> f64 {
+        match self.transition {
+            None => self.stable_resistance(self.phase),
+            Some(tr) => {
+                let target = self.stable_resistance(self.phase.other());
+                if self.params.t_ptm <= 0.0 {
+                    return target;
+                }
+                let progress = smoothstep((t - tr.start) / self.params.t_ptm);
+                exp_lerp(tr.from_r, target, progress)
+            }
+        }
+    }
+
+    /// Signed distance of `|v|` past the armed threshold, or `None` while a
+    /// transition is in flight (the device cannot re-trigger until the
+    /// current transition completes).
+    ///
+    /// A non-negative return value means the threshold has been reached and
+    /// [`fire`](Self::fire) should be called.
+    pub fn threshold_excess(&self, v: f64) -> Option<f64> {
+        if self.transition.is_some() {
+            return None;
+        }
+        Some(match self.phase {
+            PtmPhase::Insulating => v.abs() - self.params.v_imt,
+            PtmPhase::Metallic => self.params.v_mit - v.abs(),
+        })
+    }
+
+    /// Begins a phase transition at time `t`, returning the event record.
+    ///
+    /// With `t_ptm == 0` the transition completes immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a transition is already in flight (the simulator must not
+    /// fire a non-armed device; see [`threshold_excess`](Self::threshold_excess)).
+    pub fn fire(&mut self, t: f64) -> TransitionEvent {
+        assert!(
+            self.transition.is_none(),
+            "PTM fired while a transition is already in flight"
+        );
+        let to = self.phase.other();
+        if self.params.t_ptm <= 0.0 {
+            self.phase = to;
+        } else {
+            self.transition = Some(Transition {
+                start: t,
+                from_r: self.stable_resistance(self.phase),
+            });
+        }
+        TransitionEvent { time: t, to }
+    }
+
+    /// Completes any in-flight transition whose `T_PTM` window has elapsed
+    /// by time `t`. Called after every accepted simulator step.
+    pub fn update(&mut self, t: f64) {
+        if let Some(tr) = self.transition {
+            if t >= tr.start + self.params.t_ptm {
+                self.phase = self.phase.other();
+                self.transition = None;
+            }
+        }
+    }
+
+    /// Resets to the zero-bias (insulating, idle) state.
+    pub fn reset(&mut self) {
+        self.phase = PtmPhase::Insulating;
+        self.transition = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> PtmState {
+        PtmState::new(PtmParams::vo2_default()).unwrap()
+    }
+
+    #[test]
+    fn starts_insulating() {
+        let s = state();
+        assert_eq!(s.phase(), PtmPhase::Insulating);
+        assert!(!s.in_transition());
+        assert_eq!(s.resistance(0.0), 500e3);
+    }
+
+    #[test]
+    fn threshold_arming_insulating() {
+        let s = state();
+        assert!(s.threshold_excess(0.39).unwrap() < 0.0);
+        assert!(s.threshold_excess(0.41).unwrap() > 0.0);
+        // Bipolar: negative bias triggers too.
+        assert!(s.threshold_excess(-0.41).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn full_transition_cycle() {
+        let mut s = state();
+        let ev = s.fire(0.0);
+        assert_eq!(ev.to, PtmPhase::Metallic);
+        assert!(s.in_transition());
+        // Mid-transition resistance is strictly between the endpoints.
+        let r_mid = s.resistance(5e-12);
+        assert!(r_mid < 500e3 && r_mid > 5e3);
+        s.update(9e-12);
+        assert!(s.in_transition(), "not yet complete at 9 ps");
+        s.update(10e-12);
+        assert!(!s.in_transition());
+        assert_eq!(s.phase(), PtmPhase::Metallic);
+        assert_eq!(s.resistance(11e-12), 5e3);
+        // Metallic arming: drops below V_MIT.
+        assert!(s.threshold_excess(0.05).unwrap() > 0.0);
+        assert!(s.threshold_excess(0.2).unwrap() < 0.0);
+        // Back to insulating.
+        s.fire(20e-12);
+        s.update(40e-12);
+        assert_eq!(s.phase(), PtmPhase::Insulating);
+    }
+
+    #[test]
+    fn resistance_monotone_during_imt_transition() {
+        let mut s = state();
+        s.fire(0.0);
+        let mut prev = s.resistance(0.0);
+        for i in 1..=20 {
+            let t = i as f64 * 0.5e-12;
+            let r = s.resistance(t);
+            assert!(r <= prev + 1e-9, "resistance must fall monotonically");
+            prev = r;
+        }
+        assert!((s.resistance(10e-12) - 5e3).abs() < 1.0);
+    }
+
+    #[test]
+    fn no_rearm_during_transition() {
+        let mut s = state();
+        s.fire(0.0);
+        assert_eq!(s.threshold_excess(1.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "already in flight")]
+    fn double_fire_panics() {
+        let mut s = state();
+        s.fire(0.0);
+        s.fire(1e-12);
+    }
+
+    #[test]
+    fn zero_tptm_instantaneous() {
+        let mut s = PtmState::new(PtmParams::vo2_default().with_t_ptm(0.0)).unwrap();
+        s.fire(0.0);
+        assert!(!s.in_transition());
+        assert_eq!(s.phase(), PtmPhase::Metallic);
+        assert_eq!(s.resistance(0.0), 5e3);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut s = state();
+        s.fire(0.0);
+        s.update(20e-12);
+        s.reset();
+        assert_eq!(s.phase(), PtmPhase::Insulating);
+        assert!(!s.in_transition());
+    }
+
+    #[test]
+    fn resistance_continuous_at_fire_and_completion() {
+        let mut s = state();
+        let r_before = s.resistance(0.0);
+        s.fire(0.0);
+        let r_at_fire = s.resistance(0.0);
+        assert!((r_before - r_at_fire).abs() / r_before < 1e-12);
+        let r_end_minus = s.resistance(10e-12 - 1e-18);
+        s.update(10e-12);
+        let r_end_plus = s.resistance(10e-12);
+        assert!((r_end_minus - r_end_plus).abs() / r_end_plus < 1e-6);
+    }
+
+    #[test]
+    fn phase_display_and_other() {
+        assert_eq!(PtmPhase::Insulating.other(), PtmPhase::Metallic);
+        assert_eq!(PtmPhase::Metallic.other(), PtmPhase::Insulating);
+        assert_eq!(PtmPhase::Insulating.to_string(), "insulating");
+    }
+}

@@ -1,0 +1,25 @@
+//! Phase Transition Material (PTM) device model.
+//!
+//! The PTM is a two-terminal resistor that switches abruptly between an
+//! insulating state (`R_INS`, ~MΩ) and a metallic state (`R_MET`, ~kΩ):
+//!
+//! * insulating → metallic when the voltage magnitude across the device
+//!   reaches `V_IMT` (equivalently, when the current reaches
+//!   `I_IMT = V_IMT / R_INS`);
+//! * metallic → insulating when the voltage magnitude falls to `V_MIT`
+//!   (`I_MIT = V_MIT / R_MET`);
+//! * each transition takes a finite switching time `T_PTM`, during which
+//!   the resistance ramps between the two values in log space.
+//!
+//! This is the same behavioural abstraction as the Verilog-A model the
+//! paper simulates with (\[15\] in the paper), with parameters based on the
+//! experimental VO₂ demonstrations: `R_INS = 500 kΩ`, `R_MET = 5 kΩ`,
+//! `V_IMT = 0.4 V`, `V_MIT = 0.1 V`, `T_PTM = 10 ps`.
+
+mod dynamics;
+mod params;
+mod static_iv;
+
+pub use dynamics::{PtmPhase, PtmState, TransitionEvent};
+pub use params::PtmParams;
+pub use static_iv::{extract_thresholds, hysteresis_sweep, IvPoint, SweepDirection};

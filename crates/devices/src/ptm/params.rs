@@ -1,0 +1,253 @@
+//! PTM device parameters.
+
+use crate::{DeviceError, Result};
+
+/// Parameters of a phase-transition-material device.
+///
+/// Defaults ([`PtmParams::vo2_default`]) follow Fig. 4 of the paper, which
+/// in turn is based on experimental VO₂ demonstrations.
+///
+/// # Example
+///
+/// ```
+/// use sfet_devices::ptm::PtmParams;
+///
+/// # fn main() -> Result<(), sfet_devices::DeviceError> {
+/// let p = PtmParams::vo2_default();
+/// p.validate()?;
+/// assert!(p.r_ins / p.r_met >= 100.0 - 1e-9); // two-decade resistance contrast
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PtmParams {
+    /// Insulator→metal transition threshold voltage \[V\].
+    pub v_imt: f64,
+    /// Metal→insulator transition threshold voltage \[V\].
+    pub v_mit: f64,
+    /// Insulating-state resistance \[Ω\].
+    pub r_ins: f64,
+    /// Metallic-state resistance \[Ω\].
+    pub r_met: f64,
+    /// Intrinsic phase-transition switching time \[s\].
+    pub t_ptm: f64,
+}
+
+impl PtmParams {
+    /// The paper's standard VO₂ parameter set (Fig. 4).
+    pub fn vo2_default() -> Self {
+        PtmParams {
+            v_imt: 0.4,
+            v_mit: 0.1,
+            r_ins: 500e3,
+            r_met: 5e3,
+            t_ptm: 10e-12,
+        }
+    }
+
+    /// Current threshold for the insulator→metal transition,
+    /// `I_IMT = V_IMT / R_INS`.
+    pub fn i_imt(&self) -> f64 {
+        self.v_imt / self.r_ins
+    }
+
+    /// Current threshold for the metal→insulator transition,
+    /// `I_MIT = V_MIT / R_MET`.
+    pub fn i_mit(&self) -> f64 {
+        self.v_mit / self.r_met
+    }
+
+    /// Returns a copy with thresholds replaced — the Fig. 6 sweep knob.
+    pub fn with_thresholds(&self, v_imt: f64, v_mit: f64) -> Self {
+        PtmParams {
+            v_imt,
+            v_mit,
+            ..*self
+        }
+    }
+
+    /// Returns a copy with the switching time replaced — the Fig. 8 knob.
+    pub fn with_t_ptm(&self, t_ptm: f64) -> Self {
+        PtmParams { t_ptm, ..*self }
+    }
+
+    /// VO₂'s insulator–metal transition is intrinsically *thermal*
+    /// (T_C ≈ 68 °C); electrical switching rides on top of it, so both
+    /// thresholds shrink as the ambient approaches T_C and the insulating
+    /// resistance falls with its semiconducting activation energy. This
+    /// behavioural model captures the designer-relevant consequences:
+    ///
+    /// * `V_IMT`, `V_MIT` scale with `(T_C − T) / (T_C − 25 °C)` (floored
+    ///   at 5 % so the device never becomes a plain wire in simulation);
+    /// * `R_INS` halves every 25 °C of ambient rise (metallic `R_MET` is
+    ///   nearly temperature-flat and is left unchanged).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `celsius >= 68.0` (past T_C the device is permanently
+    /// metallic and no longer a Soft-FET at all — reject rather than
+    /// silently produce a degenerate model).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use sfet_devices::ptm::PtmParams;
+    /// let hot = PtmParams::vo2_default().at_temperature(55.0);
+    /// assert!(hot.v_imt < 0.4 && hot.r_ins < 500e3);
+    /// hot.validate().unwrap();
+    /// ```
+    pub fn at_temperature(&self, celsius: f64) -> Self {
+        const T_C: f64 = 68.0;
+        const T_REF: f64 = 25.0;
+        assert!(
+            celsius < T_C,
+            "ambient {celsius} C is past the VO2 transition temperature"
+        );
+        let threshold_scale = ((T_C - celsius) / (T_C - T_REF)).clamp(0.05, 2.0);
+        let r_ins_scale = 0.5f64.powf((celsius - T_REF) / 25.0);
+        PtmParams {
+            v_imt: self.v_imt * threshold_scale,
+            v_mit: self.v_mit * threshold_scale,
+            r_ins: (self.r_ins * r_ins_scale).max(self.r_met * 2.0),
+            ..*self
+        }
+    }
+
+    /// Returns a copy with both resistances scaled by `k`, preserving the
+    /// `R_INS/R_MET` contrast. Used when attaching a PTM to a much larger
+    /// gate capacitance (e.g. a power gate): physically, a wider PTM via
+    /// has proportionally lower resistance in both phases.
+    pub fn scaled_resistance(&self, k: f64) -> Self {
+        PtmParams {
+            r_ins: self.r_ins * k,
+            r_met: self.r_met * k,
+            ..*self
+        }
+    }
+
+    /// Validates parameter domains and mutual consistency.
+    ///
+    /// # Errors
+    ///
+    /// * [`DeviceError::InvalidParameter`] for out-of-domain single values.
+    /// * [`DeviceError::InconsistentParameters`] if `v_mit >= v_imt` or
+    ///   `r_met >= r_ins`.
+    pub fn validate(&self) -> Result<()> {
+        let checks: [(&'static str, f64, bool, &'static str); 5] = [
+            ("v_imt", self.v_imt, self.v_imt > 0.0, "v_imt > 0"),
+            ("v_mit", self.v_mit, self.v_mit > 0.0, "v_mit > 0"),
+            ("r_ins", self.r_ins, self.r_ins > 0.0, "r_ins > 0"),
+            ("r_met", self.r_met, self.r_met > 0.0, "r_met > 0"),
+            ("t_ptm", self.t_ptm, self.t_ptm >= 0.0, "t_ptm >= 0"),
+        ];
+        for (name, value, ok, constraint) in checks {
+            if !ok {
+                return Err(DeviceError::InvalidParameter {
+                    name,
+                    value,
+                    constraint,
+                });
+            }
+        }
+        if self.v_mit >= self.v_imt {
+            return Err(DeviceError::InconsistentParameters(format!(
+                "v_mit ({}) must be below v_imt ({})",
+                self.v_mit, self.v_imt
+            )));
+        }
+        if self.r_met >= self.r_ins {
+            return Err(DeviceError::InconsistentParameters(format!(
+                "r_met ({}) must be below r_ins ({})",
+                self.r_met, self.r_ins
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Default for PtmParams {
+    fn default() -> Self {
+        Self::vo2_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates() {
+        PtmParams::vo2_default().validate().unwrap();
+    }
+
+    #[test]
+    fn current_thresholds() {
+        let p = PtmParams::vo2_default();
+        assert!((p.i_imt() - 0.4 / 500e3).abs() < 1e-15);
+        assert!((p.i_mit() - 0.1 / 5e3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_thresholds_rejected() {
+        let p = PtmParams::vo2_default().with_thresholds(0.1, 0.4);
+        assert!(matches!(
+            p.validate(),
+            Err(DeviceError::InconsistentParameters(_))
+        ));
+    }
+
+    #[test]
+    fn inverted_resistances_rejected() {
+        let mut p = PtmParams::vo2_default();
+        p.r_met = 1e6;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn negative_values_rejected() {
+        let mut p = PtmParams::vo2_default();
+        p.t_ptm = -1.0;
+        assert!(matches!(
+            p.validate(),
+            Err(DeviceError::InvalidParameter { name: "t_ptm", .. })
+        ));
+    }
+
+    #[test]
+    fn resistance_scaling_preserves_contrast() {
+        let p = PtmParams::vo2_default();
+        let s = p.scaled_resistance(0.01);
+        assert!((s.r_ins / s.r_met - p.r_ins / p.r_met).abs() < 1e-9);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn temperature_model_trends() {
+        let base = PtmParams::vo2_default();
+        let cold = base.at_temperature(0.0);
+        let hot = base.at_temperature(60.0);
+        assert!(cold.v_imt > base.v_imt, "thresholds grow when cold");
+        assert!(hot.v_imt < base.v_imt, "thresholds shrink when hot");
+        assert!(hot.r_ins < base.r_ins, "insulating R falls when hot");
+        assert_eq!(hot.r_met, base.r_met, "metallic branch flat");
+        cold.validate().unwrap();
+        hot.validate().unwrap();
+        // Reference temperature is the identity.
+        let same = base.at_temperature(25.0);
+        assert!((same.v_imt - base.v_imt).abs() < 1e-12);
+        assert!((same.r_ins - base.r_ins).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "transition temperature")]
+    fn past_tc_rejected() {
+        let _ = PtmParams::vo2_default().at_temperature(70.0);
+    }
+
+    #[test]
+    fn builders_keep_other_fields() {
+        let p = PtmParams::vo2_default().with_t_ptm(5e-12);
+        assert_eq!(p.v_imt, 0.4);
+        assert_eq!(p.t_ptm, 5e-12);
+    }
+}

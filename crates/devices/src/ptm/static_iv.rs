@@ -1,0 +1,185 @@
+//! Quasi-static hysteretic I-V characteristic (paper Fig. 2).
+//!
+//! Sweeping the bias slowly (relative to `T_PTM`) across a bare PTM device
+//! traces the classic hysteresis loop: ohmic conduction at `R_INS` until
+//! `V_IMT`, an abrupt jump to the metallic branch, ohmic conduction at
+//! `R_MET` on the way down until `V_MIT`, and a jump back.
+
+use super::dynamics::{PtmPhase, PtmState};
+use super::params::PtmParams;
+use crate::Result;
+
+/// Direction of the applied-bias sweep at a sample point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepDirection {
+    /// Bias increasing.
+    Up,
+    /// Bias decreasing.
+    Down,
+}
+
+/// One sample of the quasi-static I-V characteristic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IvPoint {
+    /// Applied bias \[V\].
+    pub v: f64,
+    /// Device current \[A\].
+    pub i: f64,
+    /// Phase after settling at this bias.
+    pub phase: PtmPhase,
+    /// Sweep direction when the sample was taken.
+    pub direction: SweepDirection,
+}
+
+/// Traces the quasi-static hysteresis loop `0 → v_max → 0` with `steps`
+/// samples per leg.
+///
+/// Quasi-static means each bias point is held long enough for any phase
+/// transition to complete, so `T_PTM` does not appear in the result.
+///
+/// # Errors
+///
+/// Propagates parameter validation failure.
+///
+/// # Example
+///
+/// ```
+/// use sfet_devices::ptm::{hysteresis_sweep, PtmParams, PtmPhase};
+///
+/// # fn main() -> Result<(), sfet_devices::DeviceError> {
+/// let pts = hysteresis_sweep(&PtmParams::vo2_default(), 1.0, 100)?;
+/// // Somewhere in the up-sweep the device goes metallic.
+/// assert!(pts.iter().any(|p| p.phase == PtmPhase::Metallic));
+/// # Ok(())
+/// # }
+/// ```
+pub fn hysteresis_sweep(params: &PtmParams, v_max: f64, steps: usize) -> Result<Vec<IvPoint>> {
+    let mut state = PtmState::new(*params)?;
+    let mut pts = Vec::with_capacity(2 * steps + 2);
+    let mut t = 0.0;
+    // Hold time per point: long enough for a transition to finish.
+    let hold = params.t_ptm.max(1e-12) * 10.0;
+
+    let mut sample = |state: &mut PtmState, v: f64, direction: SweepDirection, t: &mut f64| {
+        // Settle: fire at most once per bias point (quasi-static hold).
+        if let Some(excess) = state.threshold_excess(v) {
+            if excess >= 0.0 {
+                state.fire(*t);
+                *t += hold;
+                state.update(*t);
+            }
+        }
+        let r = state.resistance(*t);
+        pts.push(IvPoint {
+            v,
+            i: v / r,
+            phase: state.phase(),
+            direction,
+        });
+        *t += hold;
+    };
+
+    for k in 0..=steps {
+        let v = v_max * k as f64 / steps as f64;
+        sample(&mut state, v, SweepDirection::Up, &mut t);
+    }
+    for k in (0..steps).rev() {
+        let v = v_max * k as f64 / steps as f64;
+        sample(&mut state, v, SweepDirection::Down, &mut t);
+    }
+    Ok(pts)
+}
+
+/// Extracts the observed transition voltages from a swept loop: the first
+/// up-sweep bias at which the device is metallic, and the first down-sweep
+/// bias at which it is insulating again.
+///
+/// Returns `None` for a loop that never transitioned.
+pub fn extract_thresholds(points: &[IvPoint]) -> Option<(f64, f64)> {
+    let v_up = points
+        .iter()
+        .find(|p| p.direction == SweepDirection::Up && p.phase == PtmPhase::Metallic)?
+        .v;
+    let v_down = points
+        .iter()
+        .find(|p| p.direction == SweepDirection::Down && p.phase == PtmPhase::Insulating)?
+        .v;
+    Some((v_up, v_down))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loop_reproduces_thresholds() {
+        let p = PtmParams::vo2_default();
+        let pts = hysteresis_sweep(&p, 1.0, 200).unwrap();
+        let (v_up, v_down) = extract_thresholds(&pts).unwrap();
+        assert!((v_up - p.v_imt).abs() < 0.01, "IMT at {v_up}");
+        assert!((v_down - p.v_mit).abs() < 0.01, "MIT at {v_down}");
+    }
+
+    #[test]
+    fn hysteresis_window_exists() {
+        let p = PtmParams::vo2_default();
+        let pts = hysteresis_sweep(&p, 1.0, 100).unwrap();
+        // At v = 0.25 V (between V_MIT and V_IMT) the up-sweep is insulating
+        // but the down-sweep is metallic: that's the hysteresis.
+        let up = pts
+            .iter()
+            .find(|pt| pt.direction == SweepDirection::Up && (pt.v - 0.25).abs() < 6e-3)
+            .unwrap();
+        let down = pts
+            .iter()
+            .find(|pt| pt.direction == SweepDirection::Down && (pt.v - 0.25).abs() < 6e-3)
+            .unwrap();
+        assert_eq!(up.phase, PtmPhase::Insulating);
+        assert_eq!(down.phase, PtmPhase::Metallic);
+        assert!(down.i / up.i > 10.0, "metallic branch carries far more current");
+    }
+
+    #[test]
+    fn current_jump_at_transition() {
+        let p = PtmParams::vo2_default();
+        let pts = hysteresis_sweep(&p, 1.0, 400).unwrap();
+        let mut max_jump = 0.0f64;
+        for w in pts.windows(2) {
+            if w[0].direction == SweepDirection::Up && w[1].direction == SweepDirection::Up {
+                max_jump = max_jump.max(w[1].i / w[0].i.max(1e-30));
+            }
+        }
+        // R_INS/R_MET = 100 ⇒ the jump is ~two decades.
+        assert!(max_jump > 50.0, "jump ratio {max_jump}");
+    }
+
+    #[test]
+    fn returns_to_insulating_at_zero() {
+        let p = PtmParams::vo2_default();
+        let pts = hysteresis_sweep(&p, 1.0, 100).unwrap();
+        let last = pts.last().unwrap();
+        assert_eq!(last.phase, PtmPhase::Insulating);
+        assert!(last.i.abs() < 1e-9);
+    }
+
+    #[test]
+    fn below_threshold_sweep_never_fires() {
+        let p = PtmParams::vo2_default();
+        let pts = hysteresis_sweep(&p, 0.35, 50).unwrap();
+        assert!(pts.iter().all(|pt| pt.phase == PtmPhase::Insulating));
+        assert!(extract_thresholds(&pts).is_none());
+    }
+
+    #[test]
+    fn ohmic_branches_have_correct_slope() {
+        let p = PtmParams::vo2_default();
+        let pts = hysteresis_sweep(&p, 1.0, 100).unwrap();
+        for pt in &pts {
+            let expect = match pt.phase {
+                PtmPhase::Insulating => pt.v / p.r_ins,
+                PtmPhase::Metallic => pt.v / p.r_met,
+            };
+            assert!((pt.i - expect).abs() <= 1e-12 + 1e-9 * expect.abs());
+        }
+    }
+}

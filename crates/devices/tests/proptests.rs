@@ -1,0 +1,126 @@
+//! Property tests for the device models: EKV consistency laws and PTM
+//! state-machine invariants under random parameters and biases.
+
+use proptest::prelude::*;
+use sfet_devices::mosfet::{self, MosfetModel};
+use sfet_devices::ptm::{PtmParams, PtmPhase, PtmState};
+
+fn bias() -> impl Strategy<Value = f64> {
+    -0.2f64..1.2
+}
+
+proptest! {
+    /// Drain current is antisymmetric under drain/source exchange (the EKV
+    /// core is symmetric; CLM uses |V_DS|).
+    #[test]
+    fn nmos_ds_antisymmetry(vg in bias(), va in bias(), vb in bias()) {
+        let m = MosfetModel::nmos_40nm();
+        let fwd = mosfet::eval(&m, 120e-9, 40e-9, vg, va, vb, 0.0);
+        let rev = mosfet::eval(&m, 120e-9, 40e-9, vg, vb, va, 0.0);
+        let scale = fwd.id.abs().max(rev.id.abs()).max(1e-15);
+        prop_assert!((fwd.id + rev.id).abs() / scale < 1e-6);
+    }
+
+    /// Current increases with gate drive (NMOS) at any drain bias.
+    #[test]
+    fn nmos_gm_nonnegative(vg in 0.0f64..1.0, vd in 0.05f64..1.2) {
+        let m = MosfetModel::nmos_40nm();
+        let lo = mosfet::eval(&m, 120e-9, 40e-9, vg, vd, 0.0, 0.0);
+        let hi = mosfet::eval(&m, 120e-9, 40e-9, vg + 0.05, vd, 0.0, 0.0);
+        prop_assert!(hi.id >= lo.id * (1.0 - 1e-9));
+        prop_assert!(lo.gm >= 0.0);
+    }
+
+    /// PMOS mirror law: id_p(vg,vd,vs,vb) = -id_n(-vg,-vd,-vs,-vb) with the
+    /// same kp.
+    #[test]
+    fn pmos_is_mirrored_nmos(vg in bias(), vd in bias(), vs in bias()) {
+        let mut n = MosfetModel::nmos_40nm();
+        let mut p = MosfetModel::pmos_40nm();
+        // Equalise kp/lambda so the mirror is exact.
+        p.kp = n.kp;
+        p.lambda = n.lambda;
+        n.slope_n = p.slope_n;
+        let vb = 1.0;
+        let pm = mosfet::eval(&p, 120e-9, 40e-9, vg, vd, vs, vb);
+        let nm = mosfet::eval(&n, 120e-9, 40e-9, -vg, -vd, -vs, -vb);
+        let scale = pm.id.abs().max(1e-15);
+        prop_assert!((pm.id + nm.id).abs() / scale < 1e-9);
+    }
+
+    /// Terminal-current derivative identity: gm + gds + gms + gmb = 0
+    /// (shifting all four terminals together changes nothing).
+    #[test]
+    fn derivative_sum_rule(vg in bias(), vd in bias(), vs in bias()) {
+        for model in [MosfetModel::nmos_40nm(), MosfetModel::pmos_40nm()] {
+            let op = mosfet::eval(&model, 240e-9, 40e-9, vg, vd, vs, 0.0);
+            let sum = op.gm + op.gds + op.gms + op.gmb;
+            let scale = op.gm.abs().max(op.gds.abs()).max(1e-12);
+            prop_assert!(sum.abs() / scale < 1e-6, "sum rule violated: {sum}");
+        }
+    }
+
+    /// Gate capacitance total equals channel + overlap for any geometry.
+    #[test]
+    fn gate_cap_accounting(w_nm in 60.0f64..10_000.0, l_nm in 30.0f64..500.0) {
+        let m = MosfetModel::nmos_40nm();
+        let (w, l) = (w_nm * 1e-9, l_nm * 1e-9);
+        let c = mosfet::gate_caps(&m, w, l);
+        let expect = m.cox * w * l + 2.0 * m.cov * w;
+        prop_assert!(((c.total() - expect) / expect).abs() < 1e-12);
+        prop_assert!(c.cgs > 0.0 && c.cgd > 0.0 && c.cgb > 0.0);
+    }
+
+    /// PTM resistance is always within [R_MET, R_INS] for any event
+    /// sequence the state machine allows.
+    #[test]
+    fn ptm_resistance_always_bounded(
+        fire_times in proptest::collection::vec(0.0f64..1e-9, 0..6),
+        probe in 0.0f64..2e-9,
+    ) {
+        let params = PtmParams::vo2_default();
+        let mut state = PtmState::new(params).unwrap();
+        let mut times = fire_times;
+        times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        for t in times {
+            state.update(t);
+            if !state.in_transition() {
+                state.fire(t);
+            }
+        }
+        let r = state.resistance(probe);
+        prop_assert!(r >= params.r_met * 0.999 && r <= params.r_ins * 1.001);
+    }
+
+    /// The quasi-static hysteresis loop always closes: sweeping up and back
+    /// to zero leaves the device insulating, regardless of parameters.
+    #[test]
+    fn hysteresis_loop_closes(
+        v_imt in 0.2f64..0.9,
+        gap_frac in 0.2f64..0.9,
+        r_exp in 4.5f64..6.5,
+    ) {
+        let params = PtmParams {
+            v_imt,
+            v_mit: v_imt * gap_frac * 0.9,
+            r_ins: 10f64.powf(r_exp),
+            r_met: 10f64.powf(r_exp - 2.0),
+            t_ptm: 10e-12,
+        };
+        params.validate().unwrap();
+        let pts = sfet_devices::ptm::hysteresis_sweep(&params, 1.2, 150).unwrap();
+        prop_assert_eq!(pts.last().unwrap().phase, PtmPhase::Insulating);
+        prop_assert!(pts.last().unwrap().i.abs() < 1e-9);
+    }
+
+    /// threshold_excess is continuous in v and changes sign exactly at the
+    /// armed threshold.
+    #[test]
+    fn threshold_excess_sign(v in 0.0f64..1.0) {
+        let params = PtmParams::vo2_default();
+        let state = PtmState::new(params).unwrap();
+        let e = state.threshold_excess(v).unwrap();
+        prop_assert_eq!(e >= 0.0, v >= params.v_imt);
+        prop_assert!((e - (v.abs() - params.v_imt)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,102 @@
+use std::fmt;
+
+/// Errors produced by the numerical kernels.
+///
+/// Every fallible public function in this crate returns this type, so
+/// downstream crates (the simulator) can wrap it uniformly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NumericError {
+    /// A matrix factorisation hit a pivot whose magnitude is below the
+    /// singularity threshold. Carries the pivot column index.
+    SingularMatrix {
+        /// Column (and, after pivoting, row) at which elimination broke down.
+        column: usize,
+    },
+    /// Operand shapes are incompatible (e.g. solving an `n`-system with an
+    /// `m`-vector). Carries the expected and actual sizes.
+    DimensionMismatch {
+        /// Size required by the operation.
+        expected: usize,
+        /// Size that was actually supplied.
+        actual: usize,
+    },
+    /// Newton–Raphson failed to converge within the iteration limit.
+    NonConvergence {
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+        /// Infinity norm of the final update step.
+        last_delta: f64,
+    },
+    /// A bracketing root-finder was given a bracket that does not contain a
+    /// sign change.
+    InvalidBracket {
+        /// Function value at the lower bracket end.
+        f_lo: f64,
+        /// Function value at the upper bracket end.
+        f_hi: f64,
+    },
+    /// An argument was out of its legal domain (empty data, non-monotonic
+    /// abscissae, non-positive step, ...).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for NumericError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumericError::SingularMatrix { column } => {
+                write!(f, "matrix is singular at column {column}")
+            }
+            NumericError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            NumericError::NonConvergence {
+                iterations,
+                last_delta,
+            } => write!(
+                f,
+                "newton iteration failed to converge after {iterations} iterations \
+                 (last step {last_delta:.3e})"
+            ),
+            NumericError::InvalidBracket { f_lo, f_hi } => write!(
+                f,
+                "bracket does not contain a sign change (f_lo={f_lo:.3e}, f_hi={f_hi:.3e})"
+            ),
+            NumericError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NumericError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_singular() {
+        let e = NumericError::SingularMatrix { column: 3 };
+        assert_eq!(e.to_string(), "matrix is singular at column 3");
+    }
+
+    #[test]
+    fn display_dimension_mismatch() {
+        let e = NumericError::DimensionMismatch {
+            expected: 4,
+            actual: 2,
+        };
+        assert!(e.to_string().contains("expected 4"));
+        assert!(e.to_string().contains("got 2"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NumericError>();
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(NumericError::InvalidArgument("x".into()));
+        assert!(e.to_string().contains("invalid argument"));
+    }
+}

@@ -1,0 +1,203 @@
+//! Piecewise-linear interpolation.
+//!
+//! PWL voltage sources, waveform resampling, and measurement threshold
+//! crossings all reduce to interpolation on a monotone time grid.
+
+use crate::{NumericError, Result};
+
+/// A piecewise-linear function defined by `(x, y)` breakpoints with strictly
+/// increasing `x`.
+///
+/// Evaluation clamps outside the defined range (constant extrapolation),
+/// matching SPICE PWL-source semantics.
+///
+/// # Example
+///
+/// ```
+/// use sfet_numeric::interp::PiecewiseLinear;
+///
+/// # fn main() -> Result<(), sfet_numeric::NumericError> {
+/// let ramp = PiecewiseLinear::new(vec![0.0, 1.0], vec![0.0, 2.0])?;
+/// assert_eq!(ramp.eval(0.5), 1.0);
+/// assert_eq!(ramp.eval(-1.0), 0.0); // clamped
+/// assert_eq!(ramp.eval(9.0), 2.0);  // clamped
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PiecewiseLinear {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+impl PiecewiseLinear {
+    /// Builds a PWL function from breakpoint vectors.
+    ///
+    /// # Errors
+    ///
+    /// [`NumericError::InvalidArgument`] if the vectors are empty, differ in
+    /// length, contain non-finite values, or `xs` is not strictly increasing.
+    pub fn new(xs: Vec<f64>, ys: Vec<f64>) -> Result<Self> {
+        if xs.is_empty() || xs.len() != ys.len() {
+            return Err(NumericError::InvalidArgument(
+                "PWL needs equal, non-zero numbers of x and y breakpoints".into(),
+            ));
+        }
+        if xs.iter().chain(ys.iter()).any(|v| !v.is_finite()) {
+            return Err(NumericError::InvalidArgument(
+                "PWL breakpoints must be finite".into(),
+            ));
+        }
+        if xs.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(NumericError::InvalidArgument(
+                "PWL x breakpoints must be strictly increasing".into(),
+            ));
+        }
+        Ok(PiecewiseLinear { xs, ys })
+    }
+
+    /// Breakpoint abscissae.
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// Breakpoint ordinates.
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
+    }
+
+    /// Evaluates at `x`, clamping outside the breakpoint range.
+    pub fn eval(&self, x: f64) -> f64 {
+        let n = self.xs.len();
+        if x <= self.xs[0] {
+            return self.ys[0];
+        }
+        if x >= self.xs[n - 1] {
+            return self.ys[n - 1];
+        }
+        // partition_point: first index with xs[i] > x; the segment is [i-1, i].
+        let i = self.xs.partition_point(|&xi| xi <= x);
+        let (x0, x1) = (self.xs[i - 1], self.xs[i]);
+        let (y0, y1) = (self.ys[i - 1], self.ys[i]);
+        y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+    }
+
+    /// Slope at `x` (zero outside the range, left-continuous at breakpoints).
+    pub fn slope(&self, x: f64) -> f64 {
+        let n = self.xs.len();
+        if x < self.xs[0] || x >= self.xs[n - 1] {
+            return 0.0;
+        }
+        let i = self.xs.partition_point(|&xi| xi <= x).max(1);
+        (self.ys[i] - self.ys[i - 1]) / (self.xs[i] - self.xs[i - 1])
+    }
+
+    /// The next breakpoint strictly after `x`, if any. The transient engine
+    /// uses this to land time steps exactly on source corners.
+    pub fn next_breakpoint(&self, x: f64) -> Option<f64> {
+        let i = self.xs.partition_point(|&xi| xi <= x);
+        self.xs.get(i).copied()
+    }
+}
+
+/// Linearly interpolates `y` at `x` given two samples `(x0, y0)`, `(x1, y1)`.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(sfet_numeric::interp::lerp_between(0.0, 0.0, 2.0, 4.0, 1.0), 2.0);
+/// ```
+#[inline]
+pub fn lerp_between(x0: f64, y0: f64, x1: f64, y1: f64, x: f64) -> f64 {
+    if x1 == x0 {
+        return 0.5 * (y0 + y1);
+    }
+    y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+}
+
+/// Finds the `x` where the segment `(x0, y0)-(x1, y1)` crosses `level`.
+///
+/// Returns `None` if the segment does not bracket `level`.
+pub fn crossing_between(x0: f64, y0: f64, x1: f64, y1: f64, level: f64) -> Option<f64> {
+    let (d0, d1) = (y0 - level, y1 - level);
+    if d0 == 0.0 {
+        return Some(x0);
+    }
+    if d1 == 0.0 {
+        return Some(x1);
+    }
+    if d0 * d1 > 0.0 {
+        return None;
+    }
+    Some(x0 + (x1 - x0) * d0 / (d0 - d1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_interior_and_breakpoints() {
+        let p = PiecewiseLinear::new(vec![0.0, 1.0, 3.0], vec![0.0, 2.0, 0.0]).unwrap();
+        assert_eq!(p.eval(0.0), 0.0);
+        assert_eq!(p.eval(1.0), 2.0);
+        assert_eq!(p.eval(2.0), 1.0);
+        assert_eq!(p.eval(3.0), 0.0);
+    }
+
+    #[test]
+    fn eval_clamps_outside() {
+        let p = PiecewiseLinear::new(vec![1.0, 2.0], vec![5.0, 6.0]).unwrap();
+        assert_eq!(p.eval(0.0), 5.0);
+        assert_eq!(p.eval(3.0), 6.0);
+    }
+
+    #[test]
+    fn slope_per_segment() {
+        let p = PiecewiseLinear::new(vec![0.0, 1.0, 3.0], vec![0.0, 2.0, 0.0]).unwrap();
+        assert_eq!(p.slope(0.5), 2.0);
+        assert_eq!(p.slope(2.0), -1.0);
+        assert_eq!(p.slope(-1.0), 0.0);
+        assert_eq!(p.slope(5.0), 0.0);
+    }
+
+    #[test]
+    fn next_breakpoint_walks_corners() {
+        let p = PiecewiseLinear::new(vec![0.0, 1.0, 3.0], vec![0.0, 1.0, 1.0]).unwrap();
+        assert_eq!(p.next_breakpoint(-0.5), Some(0.0));
+        assert_eq!(p.next_breakpoint(0.0), Some(1.0));
+        assert_eq!(p.next_breakpoint(1.5), Some(3.0));
+        assert_eq!(p.next_breakpoint(3.0), None);
+    }
+
+    #[test]
+    fn rejects_bad_breakpoints() {
+        assert!(PiecewiseLinear::new(vec![], vec![]).is_err());
+        assert!(PiecewiseLinear::new(vec![0.0, 0.0], vec![1.0, 2.0]).is_err());
+        assert!(PiecewiseLinear::new(vec![1.0, 0.0], vec![1.0, 2.0]).is_err());
+        assert!(PiecewiseLinear::new(vec![0.0], vec![1.0, 2.0]).is_err());
+        assert!(PiecewiseLinear::new(vec![0.0, f64::NAN], vec![1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn single_point_is_constant() {
+        let p = PiecewiseLinear::new(vec![1.0], vec![7.0]).unwrap();
+        assert_eq!(p.eval(-10.0), 7.0);
+        assert_eq!(p.eval(10.0), 7.0);
+        assert_eq!(p.slope(1.0), 0.0);
+    }
+
+    #[test]
+    fn crossing_detection() {
+        assert_eq!(crossing_between(0.0, 0.0, 1.0, 2.0, 1.0), Some(0.5));
+        assert_eq!(crossing_between(0.0, 0.0, 1.0, 2.0, 3.0), None);
+        assert_eq!(crossing_between(0.0, 1.0, 1.0, 2.0, 1.0), Some(0.0));
+        // Falling segment.
+        assert_eq!(crossing_between(2.0, 4.0, 4.0, 0.0, 2.0), Some(3.0));
+    }
+
+    #[test]
+    fn lerp_degenerate_interval() {
+        assert_eq!(lerp_between(1.0, 2.0, 1.0, 4.0, 1.0), 3.0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Numerical kernels underpinning the Soft-FET circuit-simulation stack.
+//!
+//! This crate is self-contained (no dependencies beyond `std`) and provides
+//! the linear-algebra and nonlinear-solver machinery that the MNA simulator
+//! in `sfet-sim` is built on:
+//!
+//! * [`dense`] — column-major dense matrices with partial-pivoting LU
+//!   factorisation, the workhorse for cell-level circuits (tens of nodes).
+//! * [`sparse`] — triplet/CSC sparse matrices and a left-looking
+//!   Gilbert–Peierls LU with partial pivoting, used for PDN-sized systems.
+//! * [`newton`] — a damped Newton–Raphson driver with SPICE-style
+//!   (`reltol`, `abstol`) convergence criteria.
+//! * [`interp`] — piecewise-linear interpolation used by PWL sources and
+//!   waveform resampling.
+//! * [`smooth`] — numerically safe smooth primitives (softplus, logistic,
+//!   smoothstep) used by the EKV MOSFET model.
+//! * [`roots`] — bracketing root refinement (bisection / Brent) used for
+//!   PTM threshold-crossing event location.
+//! * [`integrate`] — integration-method coefficients (backward Euler,
+//!   trapezoidal, Gear-2) for companion models.
+//! * [`stats`] — descriptive statistics for sweep / Monte-Carlo results.
+//!
+//! # Example
+//!
+//! Solve a small linear system with the dense LU:
+//!
+//! ```
+//! use sfet_numeric::dense::DenseMatrix;
+//!
+//! # fn main() -> Result<(), sfet_numeric::NumericError> {
+//! let mut a = DenseMatrix::zeros(2, 2);
+//! a.set(0, 0, 2.0);
+//! a.set(1, 1, 4.0);
+//! let lu = a.lu()?;
+//! let x = lu.solve(&[2.0, 8.0])?;
+//! assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 2.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod dense;
+pub mod integrate;
+pub mod interp;
+pub mod newton;
+pub mod roots;
+pub mod smooth;
+pub mod sparse;
+pub mod stats;
+
+mod error;
+
+pub use error::NumericError;
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, NumericError>;
+
+/// Returns `true` when `a` and `b` agree within `reltol * max(|a|,|b|) + abstol`.
+///
+/// This is the SPICE-style mixed relative/absolute comparison used by the
+/// Newton driver and by convergence checks throughout the simulator.
+///
+/// # Example
+///
+/// ```
+/// assert!(sfet_numeric::approx_eq(1.0, 1.0 + 1e-9, 1e-6, 1e-12));
+/// assert!(!sfet_numeric::approx_eq(1.0, 1.1, 1e-6, 1e-12));
+/// ```
+#[inline]
+pub fn approx_eq(a: f64, b: f64, reltol: f64, abstol: f64) -> bool {
+    (a - b).abs() <= reltol * a.abs().max(b.abs()) + abstol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_exact() {
+        assert!(approx_eq(0.0, 0.0, 1e-3, 1e-12));
+        assert!(approx_eq(5.0, 5.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn approx_eq_relative_window() {
+        assert!(approx_eq(1000.0, 1000.5, 1e-3, 0.0));
+        assert!(!approx_eq(1000.0, 1002.0, 1e-3, 0.0));
+    }
+
+    #[test]
+    fn approx_eq_absolute_window() {
+        assert!(approx_eq(0.0, 1e-13, 0.0, 1e-12));
+        assert!(!approx_eq(0.0, 1e-11, 0.0, 1e-12));
+    }
+
+    #[test]
+    fn approx_eq_symmetry() {
+        assert_eq!(
+            approx_eq(3.0, 3.001, 1e-3, 0.0),
+            approx_eq(3.001, 3.0, 1e-3, 0.0)
+        );
+    }
+}

@@ -1,0 +1,303 @@
+//! Damped Newton–Raphson driver with SPICE-style convergence criteria.
+//!
+//! The simulator's DC and transient solves are both "solve F(x) = 0 where
+//! the caller can produce a Jacobian/RHS linearisation at any x". This
+//! module owns the iteration policy — convergence tests, step damping,
+//! iteration limits — so the MNA layer only supplies the linearisation.
+
+use crate::dense::DenseMatrix;
+use crate::{NumericError, Result};
+
+/// Convergence and damping policy for a Newton–Raphson solve.
+///
+/// # Example
+///
+/// ```
+/// let opts = sfet_numeric::newton::NewtonOptions::default();
+/// assert!(opts.max_iter >= 10);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NewtonOptions {
+    /// Relative tolerance on per-unknown updates (SPICE `RELTOL`).
+    pub reltol: f64,
+    /// Absolute tolerance on voltage-like unknowns (SPICE `VNTOL`).
+    pub abstol: f64,
+    /// Maximum iterations before reporting non-convergence.
+    pub max_iter: usize,
+    /// Largest allowed per-iteration update magnitude; larger proposed steps
+    /// are scaled down uniformly (simple but robust damping for device
+    /// exponentials).
+    pub max_step: f64,
+}
+
+impl Default for NewtonOptions {
+    fn default() -> Self {
+        NewtonOptions {
+            reltol: 1e-4,
+            abstol: 1e-9,
+            max_iter: 100,
+            max_step: 0.5,
+        }
+    }
+}
+
+/// Outcome of a converged Newton solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NewtonSolution {
+    /// Converged unknown vector.
+    pub x: Vec<f64>,
+    /// Iterations consumed.
+    pub iterations: usize,
+    /// Infinity norm of the final update.
+    pub final_delta: f64,
+}
+
+/// A system linearisable at an arbitrary operating point.
+///
+/// Implementors fill `jac` and `rhs` such that the Newton update solves
+/// `jac * x_next = rhs` (the standard SPICE companion-model convention:
+/// the linearised system is written directly in terms of the *next* iterate,
+/// not the delta).
+pub trait Linearize {
+    /// Number of unknowns.
+    fn size(&self) -> usize;
+
+    /// Writes the linearisation at `x` into `jac` (size × size, pre-zeroed)
+    /// and `rhs` (length size, pre-zeroed).
+    fn linearize(&mut self, x: &[f64], jac: &mut DenseMatrix, rhs: &mut [f64]);
+}
+
+/// Runs damped Newton–Raphson on a [`Linearize`] system starting from `x0`.
+///
+/// Convergence requires every unknown's update to satisfy
+/// `|dx| <= reltol * |x| + abstol` for one full iteration.
+///
+/// # Errors
+///
+/// * [`NumericError::NonConvergence`] after `max_iter` iterations.
+/// * Propagates singular-matrix errors from the linear solver.
+///
+/// # Example
+///
+/// Solve the scalar equation `x^2 = 4` (positive root):
+///
+/// ```
+/// use sfet_numeric::dense::DenseMatrix;
+/// use sfet_numeric::newton::{solve, Linearize, NewtonOptions};
+///
+/// struct Square;
+/// impl Linearize for Square {
+///     fn size(&self) -> usize { 1 }
+///     fn linearize(&mut self, x: &[f64], jac: &mut DenseMatrix, rhs: &mut [f64]) {
+///         // f(x) = x^2 - 4; Newton form: f'(x) * x_next = f'(x) * x - f(x)
+///         let fp = 2.0 * x[0];
+///         jac.set(0, 0, fp);
+///         rhs[0] = fp * x[0] - (x[0] * x[0] - 4.0);
+///     }
+/// }
+///
+/// # fn main() -> Result<(), sfet_numeric::NumericError> {
+/// let sol = solve(&mut Square, &[3.0], &NewtonOptions::default())?;
+/// assert!((sol.x[0] - 2.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn solve<S: Linearize + ?Sized>(
+    system: &mut S,
+    x0: &[f64],
+    opts: &NewtonOptions,
+) -> Result<NewtonSolution> {
+    let n = system.size();
+    if x0.len() != n {
+        return Err(NumericError::DimensionMismatch {
+            expected: n,
+            actual: x0.len(),
+        });
+    }
+    let mut x = x0.to_vec();
+    let mut jac = DenseMatrix::zeros(n, n);
+    let mut rhs = vec![0.0; n];
+    let mut last_delta = f64::INFINITY;
+
+    for iter in 1..=opts.max_iter {
+        jac.clear();
+        rhs.iter_mut().for_each(|v| *v = 0.0);
+        system.linearize(&x, &mut jac, &mut rhs);
+
+        let x_next = jac.clone().lu()?.solve(&rhs)?;
+
+        // Damping: uniformly limit the largest update component.
+        let mut max_dx = 0.0f64;
+        for (xn, xo) in x_next.iter().zip(&x) {
+            max_dx = max_dx.max((xn - xo).abs());
+        }
+        let scale = if max_dx > opts.max_step {
+            opts.max_step / max_dx
+        } else {
+            1.0
+        };
+
+        let mut converged = true;
+        for i in 0..n {
+            let dx = (x_next[i] - x[i]) * scale;
+            x[i] += dx;
+            if dx.abs() > opts.reltol * x[i].abs() + opts.abstol {
+                converged = false;
+            }
+        }
+        last_delta = max_dx * scale;
+        // A damped step can't certify convergence — require a full step.
+        if converged && scale == 1.0 {
+            return Ok(NewtonSolution {
+                x,
+                iterations: iter,
+                final_delta: last_delta,
+            });
+        }
+    }
+    Err(NumericError::NonConvergence {
+        iterations: opts.max_iter,
+        last_delta,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// f(x, y) = (x + y - 3, x*y - 2) — roots (1,2) and (2,1).
+    struct TwoByTwo;
+    impl Linearize for TwoByTwo {
+        fn size(&self) -> usize {
+            2
+        }
+        fn linearize(&mut self, x: &[f64], jac: &mut DenseMatrix, rhs: &mut [f64]) {
+            let (a, b) = (x[0], x[1]);
+            let f = [a + b - 3.0, a * b - 2.0];
+            // J = [[1, 1], [b, a]]
+            jac.set(0, 0, 1.0);
+            jac.set(0, 1, 1.0);
+            jac.set(1, 0, b);
+            jac.set(1, 1, a);
+            // rhs = J x - f
+            rhs[0] = a + b - f[0];
+            rhs[1] = b * a + a * b - f[1];
+        }
+    }
+
+    #[test]
+    fn converges_on_2x2_nonlinear() {
+        let opts = NewtonOptions {
+            max_step: 10.0,
+            ..Default::default()
+        };
+        let sol = solve(&mut TwoByTwo, &[2.5, 0.5], &opts).unwrap();
+        assert!((sol.x[0] + sol.x[1] - 3.0).abs() < 1e-8);
+        assert!((sol.x[0] * sol.x[1] - 2.0).abs() < 1e-8);
+    }
+
+    /// Linear system converges in one iteration.
+    struct LinearSys;
+    impl Linearize for LinearSys {
+        fn size(&self) -> usize {
+            2
+        }
+        fn linearize(&mut self, _x: &[f64], jac: &mut DenseMatrix, rhs: &mut [f64]) {
+            jac.set(0, 0, 2.0);
+            jac.set(1, 1, 4.0);
+            rhs[0] = 2.0;
+            rhs[1] = 8.0;
+        }
+    }
+
+    #[test]
+    fn linear_system_one_or_two_iterations() {
+        let opts = NewtonOptions {
+            max_step: 100.0,
+            ..Default::default()
+        };
+        let sol = solve(&mut LinearSys, &[0.0, 0.0], &opts).unwrap();
+        assert!(sol.iterations <= 2);
+        assert!((sol.x[0] - 1.0).abs() < 1e-12);
+        assert!((sol.x[1] - 2.0).abs() < 1e-12);
+    }
+
+    /// Stiff exponential like a diode: i = Is (exp(v/vt) - 1) in series with R.
+    struct DiodeResistor;
+    impl Linearize for DiodeResistor {
+        fn size(&self) -> usize {
+            1
+        }
+        fn linearize(&mut self, x: &[f64], jac: &mut DenseMatrix, rhs: &mut [f64]) {
+            // KCL at the diode node: (1 - v)/R = Is (exp(v/vt) - 1)
+            let (r, is, vt) = (1000.0, 1e-14, 0.02585);
+            let v = x[0].min(1.5); // internal limiting like real simulators
+            let id = is * ((v / vt).exp() - 1.0);
+            let gd = is / vt * (v / vt).exp();
+            // f(v) = id - (1 - v)/R ; J = gd + 1/R ; rhs = J v - f
+            let j = gd + 1.0 / r;
+            jac.set(0, 0, j);
+            rhs[0] = j * x[0] - (id - (1.0 - x[0]) / r);
+        }
+    }
+
+    #[test]
+    fn diode_converges_with_damping() {
+        let sol = solve(&mut DiodeResistor, &[0.0], &NewtonOptions::default()).unwrap();
+        let v = sol.x[0];
+        // Forward drop should be near 0.6 V for these parameters.
+        assert!(v > 0.5 && v < 0.75, "diode voltage {v}");
+    }
+
+    /// System whose Jacobian is singular.
+    struct Singular;
+    impl Linearize for Singular {
+        fn size(&self) -> usize {
+            1
+        }
+        fn linearize(&mut self, _x: &[f64], _jac: &mut DenseMatrix, _rhs: &mut [f64]) {
+            // leave jac zero
+        }
+    }
+
+    #[test]
+    fn singular_jacobian_reported() {
+        assert!(matches!(
+            solve(&mut Singular, &[0.0], &NewtonOptions::default()),
+            Err(NumericError::SingularMatrix { .. })
+        ));
+    }
+
+    /// Oscillating system that never converges: x_next = -x.
+    struct Oscillator;
+    impl Linearize for Oscillator {
+        fn size(&self) -> usize {
+            1
+        }
+        fn linearize(&mut self, x: &[f64], jac: &mut DenseMatrix, rhs: &mut [f64]) {
+            jac.set(0, 0, 1.0);
+            rhs[0] = -x[0];
+        }
+    }
+
+    #[test]
+    fn non_convergence_detected() {
+        let opts = NewtonOptions {
+            max_iter: 20,
+            max_step: 100.0,
+            ..Default::default()
+        };
+        assert!(matches!(
+            solve(&mut Oscillator, &[1.0], &opts),
+            Err(NumericError::NonConvergence { iterations: 20, .. })
+        ));
+    }
+
+    #[test]
+    fn bad_initial_size_rejected() {
+        assert!(matches!(
+            solve(&mut LinearSys, &[0.0], &NewtonOptions::default()),
+            Err(NumericError::DimensionMismatch { .. })
+        ));
+    }
+}

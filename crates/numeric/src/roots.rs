@@ -1,0 +1,246 @@
+//! Bracketing root refinement.
+//!
+//! The transient engine locates PTM threshold crossings by bracketing the
+//! crossing between two accepted time points and refining with Brent's
+//! method (falling back to bisection steps when the interpolation stalls).
+
+use crate::{NumericError, Result};
+
+/// Options for bracketing root refinement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RootOptions {
+    /// Absolute tolerance on the abscissa.
+    pub xtol: f64,
+    /// Maximum iterations.
+    pub max_iter: usize,
+}
+
+impl Default for RootOptions {
+    fn default() -> Self {
+        RootOptions {
+            xtol: 1e-15,
+            max_iter: 100,
+        }
+    }
+}
+
+/// Finds a root of `f` in `[a, b]` by bisection.
+///
+/// # Errors
+///
+/// * [`NumericError::InvalidBracket`] if `f(a)` and `f(b)` have the same
+///   sign (and neither is zero).
+/// * [`NumericError::NonConvergence`] if the iteration limit is reached
+///   before the bracket shrinks below `xtol`.
+///
+/// # Example
+///
+/// ```
+/// use sfet_numeric::roots::{bisect, RootOptions};
+/// # fn main() -> Result<(), sfet_numeric::NumericError> {
+/// let root = bisect(|x| x * x - 2.0, 0.0, 2.0, &RootOptions::default())?;
+/// assert!((root - 2f64.sqrt()).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn bisect<F: FnMut(f64) -> f64>(
+    mut f: F,
+    mut a: f64,
+    mut b: f64,
+    opts: &RootOptions,
+) -> Result<f64> {
+    let mut fa = f(a);
+    let mut fb = f(b);
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa * fb > 0.0 {
+        return Err(NumericError::InvalidBracket { f_lo: fa, f_hi: fb });
+    }
+    for _ in 0..opts.max_iter {
+        let m = 0.5 * (a + b);
+        if (b - a).abs() <= opts.xtol {
+            return Ok(m);
+        }
+        let fm = f(m);
+        if fm == 0.0 {
+            return Ok(m);
+        }
+        if fa * fm < 0.0 {
+            b = m;
+            fb = fm;
+        } else {
+            a = m;
+            fa = fm;
+        }
+        let _ = fb;
+    }
+    Err(NumericError::NonConvergence {
+        iterations: opts.max_iter,
+        last_delta: (b - a).abs(),
+    })
+}
+
+/// Finds a root of `f` in `[a, b]` using Brent's method (inverse quadratic
+/// interpolation with bisection safeguards).
+///
+/// # Errors
+///
+/// Same conditions as [`bisect`].
+///
+/// # Example
+///
+/// ```
+/// use sfet_numeric::roots::{brent, RootOptions};
+/// # fn main() -> Result<(), sfet_numeric::NumericError> {
+/// let root = brent(|x| x.cos() - x, 0.0, 1.0, &RootOptions::default())?;
+/// assert!((root - 0.7390851332151607).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn brent<F: FnMut(f64) -> f64>(
+    mut f: F,
+    mut a: f64,
+    mut b: f64,
+    opts: &RootOptions,
+) -> Result<f64> {
+    let mut fa = f(a);
+    let mut fb = f(b);
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa * fb > 0.0 {
+        return Err(NumericError::InvalidBracket { f_lo: fa, f_hi: fb });
+    }
+    if fa.abs() < fb.abs() {
+        std::mem::swap(&mut a, &mut b);
+        std::mem::swap(&mut fa, &mut fb);
+    }
+    let mut c = a;
+    let mut fc = fa;
+    let mut d = b - a;
+    let mut mflag = true;
+
+    for _ in 0..opts.max_iter {
+        if fb == 0.0 || (b - a).abs() <= opts.xtol {
+            return Ok(b);
+        }
+        let mut s = if fa != fc && fb != fc {
+            // Inverse quadratic interpolation.
+            a * fb * fc / ((fa - fb) * (fa - fc))
+                + b * fa * fc / ((fb - fa) * (fb - fc))
+                + c * fa * fb / ((fc - fa) * (fc - fb))
+        } else {
+            // Secant.
+            b - fb * (b - a) / (fb - fa)
+        };
+
+        let lo = (3.0 * a + b) / 4.0;
+        let (lo, hi) = if lo < b { (lo, b) } else { (b, lo) };
+        let cond_outside = s < lo || s > hi;
+        let cond_slow = if mflag {
+            (s - b).abs() >= (b - c).abs() / 2.0
+        } else {
+            (s - b).abs() >= (c - d).abs() / 2.0
+        };
+        if cond_outside || cond_slow {
+            s = 0.5 * (a + b);
+            mflag = true;
+        } else {
+            mflag = false;
+        }
+        let fs = f(s);
+        d = c;
+        c = b;
+        fc = fb;
+        if fa * fs < 0.0 {
+            b = s;
+            fb = fs;
+        } else {
+            a = s;
+            fa = fs;
+        }
+        if fa.abs() < fb.abs() {
+            std::mem::swap(&mut a, &mut b);
+            std::mem::swap(&mut fa, &mut fb);
+        }
+    }
+    Err(NumericError::NonConvergence {
+        iterations: opts.max_iter,
+        last_delta: (b - a).abs(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_sqrt2() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, &RootOptions::default()).unwrap();
+        assert!((r - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bisect_exact_endpoint() {
+        let r = bisect(|x| x, 0.0, 1.0, &RootOptions::default()).unwrap();
+        assert_eq!(r, 0.0);
+    }
+
+    #[test]
+    fn bisect_invalid_bracket() {
+        assert!(matches!(
+            bisect(|x| x * x + 1.0, -1.0, 1.0, &RootOptions::default()),
+            Err(NumericError::InvalidBracket { .. })
+        ));
+    }
+
+    #[test]
+    fn brent_matches_bisect() {
+        let f = |x: f64| x.exp() - 3.0;
+        let opts = RootOptions::default();
+        let rb = bisect(f, 0.0, 2.0, &opts).unwrap();
+        let rr = brent(f, 0.0, 2.0, &opts).unwrap();
+        assert!((rb - rr).abs() < 1e-10);
+        assert!((rr - 3f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn brent_steep_function() {
+        // Mimics a PTM crossing: nearly flat then a steep wall.
+        let f = |x: f64| (50.0 * (x - 0.73)).tanh();
+        let r = brent(f, 0.0, 1.0, &RootOptions::default()).unwrap();
+        assert!((r - 0.73).abs() < 1e-9);
+    }
+
+    #[test]
+    fn brent_descending_bracket_sign() {
+        let f = |x: f64| 1.0 - x;
+        let r = brent(f, 0.0, 5.0, &RootOptions::default()).unwrap();
+        assert!((r - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn brent_invalid_bracket() {
+        assert!(matches!(
+            brent(|_| 1.0, 0.0, 1.0, &RootOptions::default()),
+            Err(NumericError::InvalidBracket { .. })
+        ));
+    }
+
+    #[test]
+    fn loose_tolerance_converges_fast() {
+        let opts = RootOptions {
+            xtol: 1e-3,
+            max_iter: 60,
+        };
+        let r = bisect(|x| x - 0.5, 0.0, 1.0, &opts).unwrap();
+        assert!((r - 0.5).abs() < 1e-3);
+    }
+}

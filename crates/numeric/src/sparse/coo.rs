@@ -1,0 +1,190 @@
+//! Coordinate (triplet) sparse matrix used during MNA stamping.
+
+use super::CscMatrix;
+
+/// A coordinate-format sparse matrix accumulator.
+///
+/// Duplicate `(row, col)` entries are *summed* when compressing, which makes
+/// `push` exactly the MNA stamp operation: every device contributes its
+/// conductance entries independently.
+///
+/// # Example
+///
+/// ```
+/// use sfet_numeric::sparse::TripletMatrix;
+///
+/// let mut t = TripletMatrix::new(2, 2);
+/// t.push(0, 0, 1.0);
+/// t.push(0, 0, 2.0); // duplicate stamps sum
+/// let a = t.to_csc();
+/// assert_eq!(a.get(0, 0), 3.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TripletMatrix {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl TripletMatrix {
+    /// Creates an empty `rows x cols` accumulator.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        TripletMatrix {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Creates an accumulator with pre-reserved capacity for `nnz` stamps.
+    pub fn with_capacity(rows: usize, cols: usize, nnz: usize) -> Self {
+        TripletMatrix {
+            rows,
+            cols,
+            entries: Vec::with_capacity(nnz),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of raw (pre-deduplication) entries.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Stamps `v` at `(r, c)`. Zero values are skipped (they would only
+    /// create structural fill).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` or `c` is out of bounds.
+    #[inline]
+    pub fn push(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.rows && c < self.cols, "triplet index out of bounds");
+        if v != 0.0 {
+            self.entries.push((r, c, v));
+        }
+    }
+
+    /// Clears all entries, keeping the allocation (per-Newton-iteration reuse).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Compresses into CSC form, summing duplicates and dropping explicit
+    /// zeros that result from cancellation.
+    pub fn to_csc(&self) -> CscMatrix {
+        let mut sorted = self.entries.clone();
+        sorted.sort_unstable_by_key(|a| (a.1, a.0));
+
+        let mut col_ptr = vec![0usize; self.cols + 1];
+        let mut row_idx = Vec::with_capacity(sorted.len());
+        let mut values = Vec::with_capacity(sorted.len());
+
+        let mut iter = sorted.into_iter().peekable();
+        while let Some((r, c, mut v)) = iter.next() {
+            while let Some(&(r2, c2, v2)) = iter.peek() {
+                if r2 == r && c2 == c {
+                    v += v2;
+                    iter.next();
+                } else {
+                    break;
+                }
+            }
+            if v != 0.0 {
+                row_idx.push(r);
+                values.push(v);
+                col_ptr[c + 1] += 1;
+            }
+        }
+        for c in 0..self.cols {
+            col_ptr[c + 1] += col_ptr[c];
+        }
+        CscMatrix::from_parts(self.rows, self.cols, col_ptr, row_idx, values)
+    }
+}
+
+impl Extend<(usize, usize, f64)> for TripletMatrix {
+    fn extend<I: IntoIterator<Item = (usize, usize, f64)>>(&mut self, iter: I) {
+        for (r, c, v) in iter {
+            self.push(r, c, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicates_sum_on_compress() {
+        let mut t = TripletMatrix::new(3, 3);
+        t.push(1, 1, 2.0);
+        t.push(1, 1, 3.0);
+        t.push(0, 2, -1.0);
+        let a = t.to_csc();
+        assert_eq!(a.get(1, 1), 5.0);
+        assert_eq!(a.get(0, 2), -1.0);
+        assert_eq!(a.get(2, 2), 0.0);
+        assert_eq!(a.nnz(), 2);
+    }
+
+    #[test]
+    fn cancellation_drops_entry() {
+        let mut t = TripletMatrix::new(1, 1);
+        t.push(0, 0, 1.0);
+        t.push(0, 0, -1.0);
+        let a = t.to_csc();
+        assert_eq!(a.nnz(), 0);
+    }
+
+    #[test]
+    fn zero_push_skipped() {
+        let mut t = TripletMatrix::new(1, 1);
+        t.push(0, 0, 0.0);
+        assert_eq!(t.nnz(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_panics() {
+        let mut t = TripletMatrix::new(1, 1);
+        t.push(1, 0, 1.0);
+    }
+
+    #[test]
+    fn clear_keeps_shape() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.clear();
+        assert_eq!(t.nnz(), 0);
+        assert_eq!(t.rows(), 2);
+    }
+
+    #[test]
+    fn extend_collects_triplets() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.extend(vec![(0, 0, 1.0), (1, 1, 2.0)]);
+        assert_eq!(t.nnz(), 2);
+    }
+
+    #[test]
+    fn column_pointers_consistent() {
+        let mut t = TripletMatrix::new(3, 3);
+        t.push(0, 0, 1.0);
+        t.push(2, 0, 2.0);
+        t.push(1, 2, 3.0);
+        let a = t.to_csc();
+        assert_eq!(a.col_range(0).len(), 2);
+        assert_eq!(a.col_range(1).len(), 0);
+        assert_eq!(a.col_range(2).len(), 1);
+    }
+}

@@ -1,0 +1,194 @@
+//! Compressed-sparse-column matrix.
+
+#![allow(clippy::needless_range_loop)]
+
+use super::lu::SparseLu;
+use crate::Result;
+
+/// An immutable compressed-sparse-column (CSC) matrix.
+///
+/// Built via [`TripletMatrix::to_csc`](super::TripletMatrix::to_csc); row
+/// indices within each column are sorted ascending and unique.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix {
+    rows: usize,
+    cols: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// Assembles a CSC matrix from raw parts.
+    ///
+    /// Intended for use by [`TripletMatrix`](super::TripletMatrix); the
+    /// invariants (monotone `col_ptr`, sorted unique rows per column) are
+    /// checked with debug assertions only.
+    pub(crate) fn from_parts(
+        rows: usize,
+        cols: usize,
+        col_ptr: Vec<usize>,
+        row_idx: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Self {
+        debug_assert_eq!(col_ptr.len(), cols + 1);
+        debug_assert_eq!(row_idx.len(), values.len());
+        debug_assert!(col_ptr.windows(2).all(|w| w[0] <= w[1]));
+        CscMatrix {
+            rows,
+            cols,
+            col_ptr,
+            row_idx,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of structurally stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The half-open storage range of column `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= cols`.
+    #[inline]
+    pub fn col_range(&self, c: usize) -> std::ops::Range<usize> {
+        self.col_ptr[c]..self.col_ptr[c + 1]
+    }
+
+    /// Iterates `(row, value)` pairs of column `c` in ascending row order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= cols`.
+    pub fn col_iter(&self, c: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.col_range(c)
+            .map(move |p| (self.row_idx[p], self.values[p]))
+    }
+
+    /// Reads element `(r, c)`, returning `0.0` for structural zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "csc index out of bounds");
+        let range = self.col_range(c);
+        match self.row_idx[range.clone()].binary_search(&r) {
+            Ok(off) => self.values[range.start + off],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Matrix–vector product `y = A x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a dimension mismatch if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.cols {
+            return Err(crate::NumericError::DimensionMismatch {
+                expected: self.cols,
+                actual: x.len(),
+            });
+        }
+        let mut y = vec![0.0; self.rows];
+        for c in 0..self.cols {
+            let xc = x[c];
+            if xc == 0.0 {
+                continue;
+            }
+            for p in self.col_range(c) {
+                y[self.row_idx[p]] += self.values[p] * xc;
+            }
+        }
+        Ok(y)
+    }
+
+    /// Converts to a dense matrix (test/diagnostic helper).
+    pub fn to_dense(&self) -> crate::dense::DenseMatrix {
+        let mut m = crate::dense::DenseMatrix::zeros(self.rows, self.cols);
+        for c in 0..self.cols {
+            for (r, v) in self.col_iter(c) {
+                m.set(r, c, v);
+            }
+        }
+        m
+    }
+
+    /// Factorises with the left-looking Gilbert–Peierls LU.
+    ///
+    /// # Errors
+    ///
+    /// * [`crate::NumericError::InvalidArgument`] if not square.
+    /// * [`crate::NumericError::SingularMatrix`] on pivot breakdown.
+    pub fn lu(&self) -> Result<SparseLu> {
+        SparseLu::factor(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::TripletMatrix;
+
+    fn sample() -> super::CscMatrix {
+        let mut t = TripletMatrix::new(3, 3);
+        t.push(0, 0, 1.0);
+        t.push(1, 0, 2.0);
+        t.push(2, 1, 3.0);
+        t.push(0, 2, 4.0);
+        t.to_csc()
+    }
+
+    #[test]
+    fn get_structural_zero() {
+        let a = sample();
+        assert_eq!(a.get(2, 2), 0.0);
+        assert_eq!(a.get(1, 0), 2.0);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let a = sample();
+        let x = [1.0, 2.0, 3.0];
+        let y = a.matvec(&x).unwrap();
+        let yd = a.to_dense().matvec(&x).unwrap();
+        assert_eq!(y, yd);
+    }
+
+    #[test]
+    fn matvec_rejects_bad_len() {
+        let a = sample();
+        assert!(a.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn col_iter_sorted_rows() {
+        let a = sample();
+        let rows: Vec<usize> = a.col_iter(0).map(|(r, _)| r).collect();
+        assert_eq!(rows, vec![0, 1]);
+    }
+
+    #[test]
+    fn to_dense_round_trip() {
+        let a = sample();
+        let d = a.to_dense();
+        for r in 0..3 {
+            for c in 0..3 {
+                assert_eq!(a.get(r, c), d.get(r, c));
+            }
+        }
+    }
+}

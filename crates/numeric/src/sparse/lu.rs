@@ -1,0 +1,385 @@
+//! Left-looking sparse LU factorisation (Gilbert–Peierls) with partial
+//! pivoting.
+//!
+//! For each column `j` the algorithm (1) computes the set of rows reachable
+//! from the nonzero pattern of `A(:, j)` through the directed graph of the
+//! already-computed `L` columns (a depth-first search that yields the
+//! pattern of `L \ A(:, j)` in topological order), (2) performs the sparse
+//! triangular solve numerically on a dense workspace, and (3) picks the
+//! largest remaining entry as the pivot. This is the same scheme used by
+//! CSparse's `cs_lu` and by KLU, and is the standard factorisation for
+//! circuit matrices.
+
+use super::CscMatrix;
+use crate::{NumericError, Result};
+
+/// Pivot magnitudes below this threshold are treated as singular.
+const SINGULARITY_EPS: f64 = 1e-30;
+
+/// Marker for "row not yet pivotal".
+const UNPIVOTED: usize = usize::MAX;
+
+/// Sparse LU factors `P A = L U` produced by [`CscMatrix::lu`].
+///
+/// `L` is unit-lower-triangular and `U` upper-triangular, both stored
+/// column-wise in the *pivoted* row space, together with the permutation.
+#[derive(Debug, Clone)]
+pub struct SparseLu {
+    n: usize,
+    /// Columns of L (excluding the unit diagonal): (pivoted_row, value).
+    l_cols: Vec<Vec<(usize, f64)>>,
+    /// Columns of U including the diagonal as the last entry: (pivoted_row, value).
+    u_cols: Vec<Vec<(usize, f64)>>,
+    /// `pinv[original_row] = pivoted_row`.
+    pinv: Vec<usize>,
+}
+
+impl SparseLu {
+    /// Factorises a square CSC matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumericError::InvalidArgument`] if the matrix is not square.
+    /// * [`NumericError::SingularMatrix`] if no acceptable pivot exists in
+    ///   some column.
+    pub fn factor(a: &CscMatrix) -> Result<Self> {
+        if a.rows() != a.cols() {
+            return Err(NumericError::InvalidArgument(format!(
+                "sparse LU requires a square matrix, got {}x{}",
+                a.rows(),
+                a.cols()
+            )));
+        }
+        let n = a.rows();
+        let mut l_cols: Vec<Vec<(usize, f64)>> = Vec::with_capacity(n);
+        let mut u_cols: Vec<Vec<(usize, f64)>> = Vec::with_capacity(n);
+        let mut pinv = vec![UNPIVOTED; n];
+
+        // Dense numeric workspace plus DFS bookkeeping, all in original-row space.
+        let mut x = vec![0.0f64; n];
+        let mut mark = vec![usize::MAX; n]; // mark[row] == j means visited this column
+        let mut topo: Vec<usize> = Vec::with_capacity(n); // reach in reverse topological order
+        let mut dfs_stack: Vec<(usize, usize)> = Vec::new(); // (orig_row, next child offset)
+
+        for j in 0..n {
+            // --- Symbolic: depth-first search from the pattern of A(:, j). ---
+            topo.clear();
+            for (r0, _) in a.col_iter(j) {
+                if mark[r0] == j {
+                    continue;
+                }
+                dfs_stack.push((r0, 0));
+                mark[r0] = j;
+                while let Some(&mut (r, ref mut off)) = dfs_stack.last_mut() {
+                    // Children of r are the rows of L column pinv[r] (if pivotal).
+                    let children: &[(usize, f64)] = if pinv[r] != UNPIVOTED {
+                        &l_cols[pinv[r]]
+                    } else {
+                        &[]
+                    };
+                    // `children` stores pivoted rows; map back to original rows
+                    // lazily via the inverse we maintain below.
+                    let mut advanced = false;
+                    while *off < children.len() {
+                        let child_orig = children[*off].0; // see note below
+                        *off += 1;
+                        if mark[child_orig] != j {
+                            mark[child_orig] = j;
+                            dfs_stack.push((child_orig, 0));
+                            advanced = true;
+                            break;
+                        }
+                    }
+                    if !advanced {
+                        dfs_stack.pop();
+                        topo.push(r);
+                    }
+                }
+            }
+            // NOTE: during factorisation we keep L's row indices in *original*
+            // row space so the DFS above can traverse directly; they are the
+            // `child_orig` values used above. They are remapped to pivoted
+            // space once factorisation completes (see end of this function).
+
+            // --- Numeric: sparse lower-triangular solve x = L \ A(:, j). ---
+            for &r in &topo {
+                x[r] = 0.0;
+            }
+            for (r, v) in a.col_iter(j) {
+                x[r] = v;
+            }
+            for &r in topo.iter().rev() {
+                // Reverse post-order = topological order of dependencies.
+                if pinv[r] != UNPIVOTED {
+                    let xr = x[r];
+                    if xr != 0.0 {
+                        for &(child_orig, lv) in &l_cols[pinv[r]] {
+                            x[child_orig] -= lv * xr;
+                        }
+                    }
+                }
+            }
+
+            // --- Pivot selection among non-pivotal rows. ---
+            let mut pivot_row = UNPIVOTED;
+            let mut pivot_abs = 0.0f64;
+            for &r in &topo {
+                if pinv[r] == UNPIVOTED {
+                    let v = x[r].abs();
+                    if v > pivot_abs {
+                        pivot_abs = v;
+                        pivot_row = r;
+                    }
+                }
+            }
+            if pivot_row == UNPIVOTED || pivot_abs < SINGULARITY_EPS {
+                return Err(NumericError::SingularMatrix { column: j });
+            }
+            let pivot_val = x[pivot_row];
+            pinv[pivot_row] = j;
+
+            // --- Scatter into U (pivotal rows) and L (the rest / pivot). ---
+            let mut ucol: Vec<(usize, f64)> = Vec::new();
+            let mut lcol: Vec<(usize, f64)> = Vec::new();
+            for &r in &topo {
+                let v = x[r];
+                if v == 0.0 {
+                    continue;
+                }
+                if r == pivot_row {
+                    continue; // diagonal handled below
+                }
+                if pinv[r] != UNPIVOTED && pinv[r] < j {
+                    ucol.push((pinv[r], v));
+                } else {
+                    // Keep original row index for now (needed by later DFS).
+                    lcol.push((r, v / pivot_val));
+                }
+            }
+            ucol.sort_unstable_by_key(|&(r, _)| r);
+            ucol.push((j, pivot_val)); // diagonal last for back-substitution
+            u_cols.push(ucol);
+            l_cols.push(lcol);
+        }
+
+        // Remap L row indices from original to pivoted space.
+        for col in &mut l_cols {
+            for entry in col.iter_mut() {
+                entry.0 = pinv[entry.0];
+            }
+            col.sort_unstable_by_key(|&(r, _)| r);
+        }
+
+        Ok(SparseLu {
+            n,
+            l_cols,
+            u_cols,
+            pinv,
+        })
+    }
+
+    /// System size.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// Total stored nonzeros in `L` and `U` (a fill-in diagnostic).
+    pub fn factor_nnz(&self) -> usize {
+        self.l_cols.iter().map(Vec::len).sum::<usize>()
+            + self.u_cols.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if `b.len() != size()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        if b.len() != self.n {
+            return Err(NumericError::DimensionMismatch {
+                expected: self.n,
+                actual: b.len(),
+            });
+        }
+        // y = P b (pivoted space).
+        let mut y = vec![0.0; self.n];
+        for (orig, &bi) in b.iter().enumerate() {
+            y[self.pinv[orig]] = bi;
+        }
+        // Forward solve L y' = y (unit diagonal, columns in pivoted space).
+        for j in 0..self.n {
+            let yj = y[j];
+            if yj != 0.0 {
+                for &(r, lv) in &self.l_cols[j] {
+                    y[r] -= lv * yj;
+                }
+            }
+        }
+        // Back solve U x = y'. Diagonal entry is last in each U column.
+        for j in (0..self.n).rev() {
+            let (diag_row, diag_val) = *self.u_cols[j].last().expect("U column never empty");
+            debug_assert_eq!(diag_row, j);
+            let xj = y[j] / diag_val;
+            y[j] = xj;
+            if xj != 0.0 {
+                for &(r, uv) in &self.u_cols[j][..self.u_cols[j].len() - 1] {
+                    y[r] -= uv * xj;
+                }
+            }
+        }
+        // No column permutation was applied, so y is already x in original order.
+        Ok(y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::TripletMatrix;
+    use crate::NumericError;
+
+    fn solve_both_ways(t: &TripletMatrix, b: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        let a = t.to_csc();
+        let xs = a.lu().unwrap().solve(b).unwrap();
+        let xd = a.to_dense().solve(b).unwrap();
+        (xs, xd)
+    }
+
+    #[test]
+    fn diagonal_system() {
+        let mut t = TripletMatrix::new(3, 3);
+        t.push(0, 0, 2.0);
+        t.push(1, 1, 4.0);
+        t.push(2, 2, 8.0);
+        let (xs, _) = solve_both_ways(&t, &[2.0, 4.0, 8.0]);
+        assert!(xs.iter().all(|&v| (v - 1.0).abs() < 1e-14));
+    }
+
+    #[test]
+    fn requires_pivoting() {
+        // A = [[0, 1], [1, 0]] has zero diagonal everywhere.
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 1, 1.0);
+        t.push(1, 0, 1.0);
+        let (xs, xd) = solve_both_ways(&t, &[3.0, 7.0]);
+        for (s, d) in xs.iter().zip(&xd) {
+            assert!((s - d).abs() < 1e-13);
+        }
+        assert!((xs[0] - 7.0).abs() < 1e-13);
+    }
+
+    #[test]
+    fn matches_dense_on_mna_like_matrix() {
+        // Resistive ladder MNA pattern: tridiagonal, diagonally dominant.
+        let n = 20;
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 2.5);
+            if i > 0 {
+                t.push(i, i - 1, -1.0);
+                t.push(i - 1, i, -1.0);
+            }
+        }
+        let b: Vec<f64> = (0..n).map(|i| (i as f64) * 0.1 - 0.5).collect();
+        let (xs, xd) = solve_both_ways(&t, &b);
+        for (s, d) in xs.iter().zip(&xd) {
+            assert!((s - d).abs() < 1e-11, "{s} vs {d}");
+        }
+    }
+
+    #[test]
+    fn fill_in_case_arrow_matrix() {
+        // Arrow matrix: dense last row/col forces fill; classic LU stressor.
+        let n = 8;
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 4.0 + i as f64);
+            if i + 1 < n {
+                t.push(n - 1, i, 1.0);
+                t.push(i, n - 1, 1.0);
+            }
+        }
+        let b: Vec<f64> = (0..n).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let (xs, xd) = solve_both_ways(&t, &b);
+        for (s, d) in xs.iter().zip(&xd) {
+            assert!((s - d).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn singular_detected() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(0, 1, 2.0);
+        t.push(1, 0, 2.0);
+        t.push(1, 1, 4.0);
+        let a = t.to_csc();
+        assert!(matches!(
+            a.lu(),
+            Err(NumericError::SingularMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn structurally_singular_detected() {
+        // Empty column 1.
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(1, 0, 1.0);
+        let a = t.to_csc();
+        assert!(a.lu().is_err());
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let t = TripletMatrix::new(2, 3);
+        assert!(matches!(
+            t.to_csc().lu(),
+            Err(NumericError::InvalidArgument(_))
+        ));
+    }
+
+    #[test]
+    fn residual_small_for_asymmetric_system() {
+        let n = 15;
+        let mut t = TripletMatrix::new(n, n);
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        let mut next = || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            ((seed >> 11) as f64) / ((1u64 << 53) as f64) - 0.5
+        };
+        for i in 0..n {
+            t.push(i, i, 5.0 + next());
+            t.push(i, (i + 3) % n, next());
+            t.push((i + 7) % n, i, next());
+        }
+        let a = t.to_csc();
+        let b: Vec<f64> = (0..n).map(|_| next()).collect();
+        let x = a.lu().unwrap().solve(&b).unwrap();
+        let r = a.matvec(&x).unwrap();
+        for (ri, bi) in r.iter().zip(&b) {
+            assert!((ri - bi).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn factor_nnz_reports_fill() {
+        let mut t = TripletMatrix::new(3, 3);
+        for i in 0..3 {
+            t.push(i, i, 1.0);
+        }
+        let lu = t.to_csc().lu().unwrap();
+        // Diagonal matrix: U holds 3 diagonals, L empty.
+        assert_eq!(lu.factor_nnz(), 3);
+    }
+
+    #[test]
+    fn solve_dimension_mismatch() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(1, 1, 1.0);
+        let lu = t.to_csc().lu().unwrap();
+        assert!(lu.solve(&[1.0]).is_err());
+    }
+}

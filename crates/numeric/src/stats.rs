@@ -1,0 +1,128 @@
+//! Small descriptive-statistics helpers for sweep and Monte-Carlo results.
+
+use crate::{NumericError, Result};
+
+/// Descriptive summary of a sample set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample count.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+/// Summarises a non-empty sample set.
+///
+/// # Errors
+///
+/// [`NumericError::InvalidArgument`] if `values` is empty or contains a
+/// non-finite entry.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), sfet_numeric::NumericError> {
+/// let s = sfet_numeric::stats::summarize(&[1.0, 2.0, 3.0])?;
+/// assert_eq!(s.mean, 2.0);
+/// assert_eq!((s.min, s.max), (1.0, 3.0));
+/// # Ok(())
+/// # }
+/// ```
+pub fn summarize(values: &[f64]) -> Result<Summary> {
+    if values.is_empty() {
+        return Err(NumericError::InvalidArgument(
+            "cannot summarise an empty sample set".into(),
+        ));
+    }
+    if values.iter().any(|v| !v.is_finite()) {
+        return Err(NumericError::InvalidArgument(
+            "samples must be finite".into(),
+        ));
+    }
+    let n = values.len();
+    let mean = values.iter().sum::<f64>() / n as f64;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    Ok(Summary {
+        n,
+        mean,
+        std_dev: var.sqrt(),
+        min,
+        max,
+    })
+}
+
+/// Linear-interpolated percentile (`q` in `[0, 1]`) of an **ascending
+/// sorted** slice.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or `q` is outside `[0, 1]`; debug-asserts
+/// the slice is sorted.
+///
+/// # Example
+///
+/// ```
+/// let v = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(sfet_numeric::stats::percentile(&v, 0.5), 2.5);
+/// assert_eq!(sfet_numeric::stats::percentile(&v, 1.0), 4.0);
+/// ```
+pub fn percentile(values: &[f64], q: f64) -> f64 {
+    assert!(!values.is_empty(), "percentile of an empty sample set");
+    assert!((0.0..=1.0).contains(&q), "q must be in [0, 1]");
+    debug_assert!(values.windows(2).all(|w| w[0] <= w[1]), "slice must be sorted");
+    let pos = q * (values.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    values[lo] * (1.0 - frac) + values[hi] * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic() {
+        let s = summarize(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert_eq!(s.n, 8);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.std_dev, 2.0);
+        assert_eq!((s.min, s.max), (2.0, 9.0));
+    }
+
+    #[test]
+    fn summary_single_sample() {
+        let s = summarize(&[3.5]).unwrap();
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.mean, 3.5);
+    }
+
+    #[test]
+    fn summary_rejects_bad_input() {
+        assert!(summarize(&[]).is_err());
+        assert!(summarize(&[1.0, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [10.0, 20.0, 30.0];
+        assert_eq!(percentile(&v, 0.0), 10.0);
+        assert_eq!(percentile(&v, 0.25), 15.0);
+        assert_eq!(percentile(&v, 0.5), 20.0);
+        assert_eq!(percentile(&v, 1.0), 30.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_empty_panics() {
+        let _ = percentile(&[], 0.5);
+    }
+}

@@ -1,0 +1,71 @@
+use std::fmt;
+
+/// Errors from PDN scenario construction and evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PdnError {
+    /// Circuit construction failed.
+    Circuit(sfet_circuit::CircuitError),
+    /// Simulation failed.
+    Sim(sfet_sim::SimError),
+    /// Measurement failed.
+    Waveform(sfet_waveform::WaveformError),
+    /// Scenario parameters are out of domain.
+    InvalidScenario(String),
+}
+
+impl fmt::Display for PdnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PdnError::Circuit(e) => write!(f, "circuit error: {e}"),
+            PdnError::Sim(e) => write!(f, "simulation error: {e}"),
+            PdnError::Waveform(e) => write!(f, "measurement error: {e}"),
+            PdnError::InvalidScenario(msg) => write!(f, "invalid scenario: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PdnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PdnError::Circuit(e) => Some(e),
+            PdnError::Sim(e) => Some(e),
+            PdnError::Waveform(e) => Some(e),
+            PdnError::InvalidScenario(_) => None,
+        }
+    }
+}
+
+impl From<sfet_circuit::CircuitError> for PdnError {
+    fn from(e: sfet_circuit::CircuitError) -> Self {
+        PdnError::Circuit(e)
+    }
+}
+
+impl From<sfet_sim::SimError> for PdnError {
+    fn from(e: sfet_sim::SimError) -> Self {
+        PdnError::Sim(e)
+    }
+}
+
+impl From<sfet_waveform::WaveformError> for PdnError {
+    fn from(e: sfet_waveform::WaveformError) -> Self {
+        PdnError::Waveform(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e: PdnError = sfet_sim::SimError::UnknownSignal("x".into()).into();
+        assert!(e.to_string().contains("simulation error"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync + std::error::Error>() {}
+        check::<PdnError>();
+    }
+}

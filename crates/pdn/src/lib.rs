@@ -1,0 +1,28 @@
+//! Power-delivery-network scenarios for the Soft-FET case studies.
+//!
+//! The paper's Section V applies Soft-FETs to two droop-sensitive
+//! workloads, both of which need a PDN substrate:
+//!
+//! * [`power_gate`] — a sleeping power domain woken through a large PMOS
+//!   header on a rail shared with an active neighbour (Fig. 10). The PDN
+//!   parameters follow the lumped package model regime of Zhang et al.
+//!   (ISLPED 2013), reference \[19\] of the paper.
+//! * [`io_buffer`] — an I/O driver discharging a 1 pF pad behind bond-wire
+//!   inductance, producing simultaneous-switching noise on both rails
+//!   (Fig. 11), plus the guard-band energy model ([`ssn`]).
+//!
+//! Both scenarios come in baseline and Soft-FET flavours selected by an
+//! optional [`sfet_devices::ptm::PtmParams`].
+
+pub mod io_buffer;
+pub mod power_gate;
+pub mod ssn;
+
+mod error;
+mod model;
+
+pub use error::PdnError;
+pub use model::PdnParams;
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, PdnError>;

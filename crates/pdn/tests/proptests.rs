@@ -1,0 +1,74 @@
+//! Property tests for the PDN scenarios: random (but physical) parameter
+//! draws must always produce physically sensible outcomes.
+
+use proptest::prelude::*;
+use sfet_pdn::io_buffer::IoBufferScenario;
+use sfet_pdn::power_gate::PowerGateScenario;
+use sfet_pdn::ssn::{energy_efficiency_gain, guardband};
+use sfet_pdn::PdnParams;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Any physical PDN produces a non-negative droop on wake-up, the rail
+    /// never exceeds nominal by more than the droop dynamics allow, and
+    /// the domain ends up powered.
+    #[test]
+    fn power_gate_outcomes_physical(
+        l_pkg_ph in 60.0f64..300.0,
+        c_dom_nf in 1.0f64..4.0,
+        i_active_ma in 20.0f64..80.0,
+    ) {
+        let scenario = PowerGateScenario {
+            pdn: PdnParams {
+                l_pkg: l_pkg_ph * 1e-12,
+                ..PdnParams::default()
+            },
+            c_domain: c_dom_nf * 1e-9,
+            i_active: i_active_ma * 1e-3,
+            ..PowerGateScenario::default()
+        };
+        let out = scenario.run().unwrap();
+        prop_assert!(out.droop.droop >= 0.0);
+        prop_assert!(out.peak_inrush > 0.0);
+        prop_assert!(out.v_virtual.last_value() > 0.9, "domain powered");
+        // Rail stays within a sane band around nominal.
+        let (_, v_min) = out.rail.min();
+        let (_, v_max) = out.rail.max();
+        prop_assert!(v_min > 0.5 && v_max < 1.5, "rail within [{v_min}, {v_max}]");
+    }
+
+    /// I/O buffer SSN grows with rail inductance (the L di/dt mechanism).
+    #[test]
+    fn ssn_monotone_in_inductance(l_lo_ph in 10.0f64..25.0, scale in 2.0f64..4.0) {
+        let mk = |l_ph: f64| IoBufferScenario {
+            l_vdd: l_ph * 1e-12,
+            l_vss: l_ph * 1e-12,
+            ..IoBufferScenario::default()
+        };
+        let small = mk(l_lo_ph).run().unwrap();
+        let large = mk(l_lo_ph * scale).run().unwrap();
+        prop_assert!(
+            large.ssn > small.ssn,
+            "SSN must grow with L: {} vs {}",
+            large.ssn,
+            small.ssn
+        );
+    }
+
+    /// Guard-band/energy model invariants for arbitrary inputs.
+    #[test]
+    fn energy_model_invariants(
+        b_base in 1e-4f64..0.05,
+        improvement in 0.0f64..0.9,
+        k in 1.0f64..20.0,
+    ) {
+        let b_soft = b_base * (1.0 - improvement);
+        let gain = energy_efficiency_gain(b_base, b_soft, 1.0, k);
+        prop_assert!((0.0..=1.0).contains(&gain));
+        // More improvement never reduces the gain.
+        let gain2 = energy_efficiency_gain(b_base, b_soft * 0.5, 1.0, k);
+        prop_assert!(gain2 >= gain - 1e-12);
+        prop_assert!(guardband(b_base, k) >= guardband(b_soft, k));
+    }
+}

@@ -1,0 +1,314 @@
+//! DC operating point.
+//!
+//! Plain Newton from a zero start works for most of the paper's cells, but
+//! MOSFET exponentials can defeat it. The solver therefore escalates:
+//!
+//! 1. direct Newton–Raphson;
+//! 2. *gmin stepping* — solve with a large shunt conductance from every
+//!    device node to ground, then relax it geometrically to `gmin`;
+//! 3. *source stepping* — ramp all independent sources from 0 to 100 %.
+//!
+//! Capacitors are open in DC (initial conditions are enforced with a stiff
+//! Norton equivalent), inductors are shorts.
+
+use crate::devices::{CompiledCircuit, SimDevice, StampMode};
+use crate::options::SimOptions;
+use crate::{Result, SimError};
+use sfet_circuit::Circuit;
+use crate::matrix::MnaMatrix;
+
+/// Computes the DC operating point of a circuit at `t = 0`.
+///
+/// Returns the MNA solution vector (node voltages followed by branch
+/// currents) together with the compiled circuit, so the transient engine
+/// can reuse the compilation.
+///
+/// # Errors
+///
+/// * [`SimError::Circuit`] if the circuit fails validation.
+/// * [`SimError::NonConvergence`] if all escalation strategies fail.
+pub fn dc_operating_point(circuit: &Circuit, opts: &SimOptions) -> Result<Vec<f64>> {
+    opts.validate()?;
+    circuit.validate()?;
+    let mut compiled = CompiledCircuit::compile(circuit);
+    solve_dc(&mut compiled, opts)
+}
+
+/// DC solve on an already-compiled circuit (shared with the transient
+/// engine).
+pub(crate) fn solve_dc(compiled: &mut CompiledCircuit, opts: &SimOptions) -> Result<Vec<f64>> {
+    let x0 = vec![0.0; compiled.size];
+
+    // Strategy 1: direct Newton.
+    if let Ok(x) = newton_dc(compiled, &x0, 1.0, 0.0, opts) {
+        return Ok(x);
+    }
+
+    // Strategy 2: gmin stepping.
+    let mut x = x0.clone();
+    let mut ok = true;
+    for k in 0..=6 {
+        let shunt = 1e-1 * 10f64.powi(-(2 * k));
+        match newton_dc(compiled, &x, 1.0, shunt, opts) {
+            Ok(next) => x = next,
+            Err(_) => {
+                ok = false;
+                break;
+            }
+        }
+    }
+    if ok {
+        if let Ok(x) = newton_dc(compiled, &x, 1.0, 0.0, opts) {
+            return Ok(x);
+        }
+    }
+
+    // Strategy 3: source stepping.
+    let mut x = x0;
+    for k in 1..=20 {
+        let scale = k as f64 / 20.0;
+        x = newton_dc(compiled, &x, scale, 0.0, opts).map_err(|_| SimError::NonConvergence {
+            time: 0.0,
+            dt: 0.0,
+        })?;
+    }
+    Ok(x)
+}
+
+/// One damped-Newton DC solve with the given source scale and gmin shunt.
+pub(crate) fn newton_dc(
+    compiled: &CompiledCircuit,
+    x0: &[f64],
+    source_scale: f64,
+    gmin_shunt: f64,
+    opts: &SimOptions,
+) -> Result<Vec<f64>> {
+    let n = compiled.size;
+    let mode = StampMode::Dc {
+        source_scale,
+        gmin_shunt,
+    };
+    let mut x = x0.to_vec();
+    let mut jac = MnaMatrix::new(opts.solver, n);
+    let mut rhs = vec![0.0; n];
+
+    for _ in 0..opts.max_newton_iter {
+        jac.clear();
+        rhs.iter_mut().for_each(|v| *v = 0.0);
+        for device in &compiled.devices {
+            device.stamp(mode, &x, &mut jac, &mut rhs, opts.gmin);
+        }
+        let x_next = jac.solve(&rhs)?;
+
+        let mut max_dx = 0.0f64;
+        for (xn, xo) in x_next.iter().zip(&x) {
+            max_dx = max_dx.max((xn - xo).abs());
+        }
+        let scale = if max_dx > opts.max_newton_step {
+            opts.max_newton_step / max_dx
+        } else {
+            1.0
+        };
+        let mut converged = true;
+        let node_count = compiled.node_names.len();
+        for i in 0..n {
+            let dx = (x_next[i] - x[i]) * scale;
+            x[i] += dx;
+            let tol = if i < node_count {
+                opts.reltol * x[i].abs() + opts.vntol
+            } else {
+                opts.reltol * x[i].abs() + opts.abstol
+            };
+            if dx.abs() > tol {
+                converged = false;
+            }
+        }
+        if converged && scale == 1.0 {
+            return Ok(x);
+        }
+    }
+    Err(SimError::NonConvergence { time: 0.0, dt: 0.0 })
+}
+
+/// Initialises companion histories and PTM step state from a DC solution.
+pub(crate) fn init_state_from_dc(compiled: &mut CompiledCircuit, x: &[f64]) {
+    for device in &mut compiled.devices {
+        device.init_history(x);
+        device.prepare_step(0.0);
+    }
+    // A PTM may already sit beyond its threshold at t=0 (e.g. a DC bias
+    // above V_IMT). Fire those immediately so the transient starts from a
+    // consistent phase.
+    for device in &mut compiled.devices {
+        if let SimDevice::Ptm { p, n, state, events, .. } = device {
+            let v = crate::devices::volt(x, *p) - crate::devices::volt(x, *n);
+            if let Some(excess) = state.threshold_excess(v) {
+                if excess >= 0.0 {
+                    events.push(state.fire(0.0));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfet_circuit::SourceWaveform;
+    use sfet_devices::mosfet::MosfetModel;
+
+    #[test]
+    fn resistive_divider() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let mid = ckt.node("mid");
+        let g = Circuit::ground();
+        ckt.add_voltage_source("V1", a, g, SourceWaveform::Dc(2.0))
+            .unwrap();
+        ckt.add_resistor("R1", a, mid, 1e3).unwrap();
+        ckt.add_resistor("R2", mid, g, 1e3).unwrap();
+        let x = dc_operating_point(&ckt, &SimOptions::default()).unwrap();
+        // Unknowns: v(a)=x[0], v(mid)=x[1], i(V1)=x[2].
+        assert!((x[0] - 2.0).abs() < 1e-9);
+        assert!((x[1] - 1.0).abs() < 1e-9);
+        // Source delivers 1 mA: branch current is -1 mA by convention.
+        assert!((x[2] + 1e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacitor_open_in_dc() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let mid = ckt.node("mid");
+        let g = Circuit::ground();
+        ckt.add_voltage_source("V1", a, g, SourceWaveform::Dc(1.0))
+            .unwrap();
+        ckt.add_resistor("R1", a, mid, 1e3).unwrap();
+        ckt.add_capacitor("C1", mid, g, 1e-12).unwrap();
+        // No DC path through C: mid floats to the source value via R (no
+        // current flows).
+        let mut compiled = CompiledCircuit::compile(&ckt);
+        // The cap is open, so mid has no connection to ground: the matrix
+        // would be singular without gmin; DC escalation handles it through
+        // the gmin-stepping path.
+        let x = solve_dc(&mut compiled, &SimOptions::default()).unwrap();
+        assert!((x[1] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn inductor_short_in_dc() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let mid = ckt.node("mid");
+        let g = Circuit::ground();
+        ckt.add_voltage_source("V1", a, g, SourceWaveform::Dc(1.0))
+            .unwrap();
+        ckt.add_inductor("L1", a, mid, 1e-9).unwrap();
+        ckt.add_resistor("R1", mid, g, 100.0).unwrap();
+        let x = dc_operating_point(&ckt, &SimOptions::default()).unwrap();
+        // v(mid) = v(a) = 1; current = 10 mA.
+        assert!((x[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nmos_inverter_dc_levels() {
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let inp = ckt.node("in");
+        let out = ckt.node("out");
+        let g = Circuit::ground();
+        ckt.add_voltage_source("VDD", vdd, g, SourceWaveform::Dc(1.0))
+            .unwrap();
+        ckt.add_voltage_source("VIN", inp, g, SourceWaveform::Dc(0.0))
+            .unwrap();
+        ckt.add_mosfet(
+            "MP",
+            out,
+            inp,
+            vdd,
+            vdd,
+            MosfetModel::pmos_40nm(),
+            240e-9,
+            40e-9,
+        )
+        .unwrap();
+        ckt.add_mosfet(
+            "MN",
+            out,
+            inp,
+            g,
+            g,
+            MosfetModel::nmos_40nm(),
+            120e-9,
+            40e-9,
+        )
+        .unwrap();
+        let x = dc_operating_point(&ckt, &SimOptions::default()).unwrap();
+        // in = 0 → out pulled to VDD.
+        let v_out = x[2];
+        assert!(v_out > 0.98, "inverter high output {v_out}");
+    }
+
+    #[test]
+    fn inverter_low_output_with_high_input() {
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let inp = ckt.node("in");
+        let out = ckt.node("out");
+        let g = Circuit::ground();
+        ckt.add_voltage_source("VDD", vdd, g, SourceWaveform::Dc(1.0))
+            .unwrap();
+        ckt.add_voltage_source("VIN", inp, g, SourceWaveform::Dc(1.0))
+            .unwrap();
+        ckt.add_mosfet(
+            "MP",
+            out,
+            inp,
+            vdd,
+            vdd,
+            MosfetModel::pmos_40nm(),
+            240e-9,
+            40e-9,
+        )
+        .unwrap();
+        ckt.add_mosfet(
+            "MN",
+            out,
+            inp,
+            g,
+            g,
+            MosfetModel::nmos_40nm(),
+            120e-9,
+            40e-9,
+        )
+        .unwrap();
+        let x = dc_operating_point(&ckt, &SimOptions::default()).unwrap();
+        let v_out = x[2];
+        assert!(v_out < 0.02, "inverter low output {v_out}");
+    }
+
+    #[test]
+    fn ptm_divider_insulating() {
+        use sfet_devices::ptm::PtmParams;
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let mid = ckt.node("mid");
+        let g = Circuit::ground();
+        ckt.add_voltage_source("V1", a, g, SourceWaveform::Dc(0.2))
+            .unwrap();
+        ckt.add_ptm("P1", a, mid, PtmParams::vo2_default()).unwrap();
+        ckt.add_resistor("R1", mid, g, 500e3).unwrap();
+        let x = dc_operating_point(&ckt, &SimOptions::default()).unwrap();
+        // Equal divider with R_INS = 500k: v(mid) = 0.1.
+        assert!((x[1] - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn invalid_circuit_rejected() {
+        let ckt = Circuit::new();
+        assert!(matches!(
+            dc_operating_point(&ckt, &SimOptions::default()),
+            Err(SimError::Circuit(_))
+        ));
+    }
+}

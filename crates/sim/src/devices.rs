@@ -1,0 +1,552 @@
+//! Compiled simulation devices and MNA stamping.
+//!
+//! A [`sfet_circuit::Circuit`] is compiled once into a vector of
+//! [`SimDevice`]s holding per-instance simulation state (companion-model
+//! histories, PTM phase state). The MNA unknown vector is laid out as
+//!
+//! ```text
+//! x = [ v(node 1), ..., v(node N-1), i(branch 0), ..., i(branch B-1) ]
+//! ```
+//!
+//! with ground (node 0) eliminated. Voltage sources and inductors own the
+//! branch-current unknowns, in circuit order.
+//!
+//! Sign conventions (KCL written as "sum of currents leaving the node = 0"):
+//!
+//! * a conductance `g` between `p, n` stamps `+g` on the diagonals and `-g`
+//!   off-diagonal;
+//! * a companion/source current `i` flowing `p → n` stamps `rhs[p] -= i`,
+//!   `rhs[n] += i`;
+//! * a branch current is positive flowing from `p` *through the element*
+//!   to `n` (SPICE convention: a supply delivering current reads negative).
+
+use sfet_circuit::{Circuit, Element, SourceWaveform};
+use sfet_devices::mosfet::{self, GateCaps, MosfetModel};
+use sfet_devices::ptm::{PtmState, TransitionEvent};
+use crate::matrix::MnaMatrix;
+use sfet_numeric::integrate::{cap_companion, ind_companion, CapHistory, IndHistory, Method};
+
+/// Index of an unknown in the MNA vector; `None` means ground.
+pub(crate) type Unknown = Option<usize>;
+
+/// Reads the voltage of a (possibly ground) unknown from the solution.
+#[inline]
+pub(crate) fn volt(x: &[f64], u: Unknown) -> f64 {
+    u.map_or(0.0, |i| x[i])
+}
+
+/// Stamps a conductance between two unknowns.
+#[inline]
+fn stamp_g(jac: &mut MnaMatrix, p: Unknown, n: Unknown, g: f64) {
+    if let Some(i) = p {
+        jac.add(i, i, g);
+        if let Some(j) = n {
+            jac.add(i, j, -g);
+        }
+    }
+    if let Some(j) = n {
+        jac.add(j, j, g);
+        if let Some(i) = p {
+            jac.add(j, i, -g);
+        }
+    }
+}
+
+/// Stamps a current `i` flowing from `p` to `n` (leaving `p`).
+#[inline]
+fn stamp_i(rhs: &mut [f64], p: Unknown, n: Unknown, i: f64) {
+    if let Some(a) = p {
+        rhs[a] -= i;
+    }
+    if let Some(b) = n {
+        rhs[b] += i;
+    }
+}
+
+/// Stamps a Jacobian entry `jac[row][col] += v` where `row` is a node
+/// equation and `col` a voltage unknown; both may be ground (no-op).
+#[inline]
+fn stamp_j(jac: &mut MnaMatrix, row: Unknown, col: Unknown, v: f64) {
+    if let (Some(r), Some(c)) = (row, col) {
+        jac.add(r, c, v);
+    }
+}
+
+/// How a stamp is being requested.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum StampMode {
+    /// DC operating point: capacitors open (ICs enforced by a stiff Norton
+    /// equivalent), inductors shorted, sources scaled by `source_scale`
+    /// (for source stepping), `gmin_shunt` added from every device node to
+    /// ground (for gmin stepping).
+    Dc {
+        /// Scale factor on all independent sources (0..=1).
+        source_scale: f64,
+        /// Extra stabilising shunt conductance.
+        gmin_shunt: f64,
+    },
+    /// Transient step ending at `t_next` with step size `dt`.
+    Transient {
+        /// End time of the step being solved \[s\].
+        t_next: f64,
+        /// Step size \[s\].
+        dt: f64,
+        /// Integration method for this step.
+        method: Method,
+    },
+}
+
+/// A compiled device with its simulation state.
+#[derive(Debug, Clone)]
+pub(crate) enum SimDevice {
+    Resistor {
+        p: Unknown,
+        n: Unknown,
+        g: f64,
+    },
+    Capacitor {
+        p: Unknown,
+        n: Unknown,
+        c: f64,
+        ic: Option<f64>,
+        hist: CapHistory,
+    },
+    Inductor {
+        p: Unknown,
+        n: Unknown,
+        branch: usize,
+        l: f64,
+        hist: IndHistory,
+    },
+    Vsrc {
+        p: Unknown,
+        n: Unknown,
+        branch: usize,
+        wave: SourceWaveform,
+    },
+    Isrc {
+        p: Unknown,
+        n: Unknown,
+        wave: SourceWaveform,
+    },
+    Mosfet {
+        d: Unknown,
+        g: Unknown,
+        s: Unknown,
+        b: Unknown,
+        model: MosfetModel,
+        w: f64,
+        l: f64,
+        caps: GateCaps,
+        h_gs: CapHistory,
+        h_gd: CapHistory,
+        h_gb: CapHistory,
+    },
+    Ptm {
+        p: Unknown,
+        n: Unknown,
+        state: PtmState,
+        /// Resistance frozen for the step currently being solved.
+        r_step: f64,
+        events: Vec<TransitionEvent>,
+    },
+}
+
+impl SimDevice {
+    /// Stamps this device's linearised contribution at iterate `x`.
+    pub(crate) fn stamp(
+        &self,
+        mode: StampMode,
+        x: &[f64],
+        jac: &mut MnaMatrix,
+        rhs: &mut [f64],
+        gmin: f64,
+    ) {
+        match self {
+            SimDevice::Resistor { p, n, g } => stamp_g(jac, *p, *n, *g),
+            SimDevice::Capacitor { p, n, c, ic, hist } => match mode {
+                StampMode::Dc { .. } => {
+                    if let Some(ic) = ic {
+                        // Stiff Norton equivalent pinning v(p,n) ≈ ic.
+                        let g_ic = 1e3;
+                        stamp_g(jac, *p, *n, g_ic);
+                        stamp_i(rhs, *p, *n, -g_ic * ic);
+                    }
+                    // Otherwise open in DC.
+                }
+                StampMode::Transient { dt, method, .. } => {
+                    let co = cap_companion(method, *c, dt, hist);
+                    stamp_g(jac, *p, *n, co.g_eq);
+                    stamp_i(rhs, *p, *n, co.i_eq);
+                }
+            },
+            SimDevice::Inductor {
+                p, n, branch, l, hist,
+            } => {
+                let (r_eq, e_eq) = match mode {
+                    StampMode::Dc { .. } => (0.0, 0.0),
+                    StampMode::Transient { dt, method, .. } => {
+                        let co = ind_companion(method, *l, dt, hist);
+                        (co.r_eq, co.e_eq)
+                    }
+                };
+                let br = Some(*branch);
+                // KCL coupling: branch current leaves p, enters n.
+                stamp_j(jac, *p, br, 1.0);
+                stamp_j(jac, *n, br, -1.0);
+                // Branch equation: v_p - v_n - r_eq * i = e_eq.
+                stamp_j(jac, br, *p, 1.0);
+                stamp_j(jac, br, *n, -1.0);
+                jac.add(*branch, *branch, -r_eq);
+                rhs[*branch] += e_eq;
+            }
+            SimDevice::Vsrc {
+                p, n, branch, wave, ..
+            } => {
+                let e = match mode {
+                    StampMode::Dc { source_scale, .. } => wave.initial_value() * source_scale,
+                    StampMode::Transient { t_next, .. } => wave.eval(t_next),
+                };
+                let br = Some(*branch);
+                stamp_j(jac, *p, br, 1.0);
+                stamp_j(jac, *n, br, -1.0);
+                stamp_j(jac, br, *p, 1.0);
+                stamp_j(jac, br, *n, -1.0);
+                rhs[*branch] += e;
+            }
+            SimDevice::Isrc { p, n, wave } => {
+                let i = match mode {
+                    StampMode::Dc { source_scale, .. } => wave.initial_value() * source_scale,
+                    StampMode::Transient { t_next, .. } => wave.eval(t_next),
+                };
+                stamp_i(rhs, *p, *n, i);
+            }
+            SimDevice::Mosfet {
+                d,
+                g,
+                s,
+                b,
+                model,
+                w,
+                l,
+                caps,
+                h_gs,
+                h_gd,
+                h_gb,
+            } => {
+                let (vg, vd, vs, vb) = (volt(x, *g), volt(x, *d), volt(x, *s), volt(x, *b));
+                let op = mosfet::eval(model, *w, *l, vg, vd, vs, vb);
+                // Linearised drain current (into drain) written for the next
+                // iterate: i_d = op.id + gm Δvg + gds Δvd + gms Δvs + gmb Δvb.
+                // Row d gains the current leaving node d (= +i_d); row s the
+                // opposite.
+                let i0 = op.id - op.gm * vg - op.gds * vd - op.gms * vs - op.gmb * vb;
+                stamp_j(jac, *d, *g, op.gm);
+                stamp_j(jac, *d, *d, op.gds);
+                stamp_j(jac, *d, *s, op.gms);
+                stamp_j(jac, *d, *b, op.gmb);
+                stamp_j(jac, *s, *g, -op.gm);
+                stamp_j(jac, *s, *d, -op.gds);
+                stamp_j(jac, *s, *s, -op.gms);
+                stamp_j(jac, *s, *b, -op.gmb);
+                stamp_i(rhs, *d, *s, i0);
+                // GMIN keeps the matrix non-singular when the channel is off.
+                stamp_g(jac, *d, *s, gmin);
+                // Intrinsic gate capacitances (transient only).
+                if let StampMode::Transient { dt, method, .. } = mode {
+                    for (node, c, hist) in [
+                        (*s, caps.cgs, h_gs),
+                        (*d, caps.cgd, h_gd),
+                        (*b, caps.cgb, h_gb),
+                    ] {
+                        let co = cap_companion(method, c, dt, hist);
+                        stamp_g(jac, *g, node, co.g_eq);
+                        stamp_i(rhs, *g, node, co.i_eq);
+                    }
+                }
+            }
+            SimDevice::Ptm { p, n, r_step, state, .. } => {
+                let r = match mode {
+                    StampMode::Dc { .. } => state.resistance(0.0),
+                    StampMode::Transient { .. } => *r_step,
+                };
+                stamp_g(jac, *p, *n, 1.0 / r);
+            }
+        }
+        // gmin stepping shunt (DC robustness): tie every device node weakly
+        // to ground.
+        if let StampMode::Dc { gmin_shunt, .. } = mode {
+            if gmin_shunt > 0.0 {
+                for i in self.touched_unknowns().into_iter().flatten() {
+                    jac.add(i, i, gmin_shunt);
+                }
+            }
+        }
+    }
+
+    /// Voltage-unknown indices this device touches (for gmin stepping).
+    fn touched_unknowns(&self) -> Vec<Unknown> {
+        match self {
+            SimDevice::Resistor { p, n, .. }
+            | SimDevice::Capacitor { p, n, .. }
+            | SimDevice::Isrc { p, n, .. }
+            | SimDevice::Ptm { p, n, .. } => vec![*p, *n],
+            SimDevice::Inductor { p, n, .. } | SimDevice::Vsrc { p, n, .. } => vec![*p, *n],
+            SimDevice::Mosfet { d, g, s, b, .. } => vec![*d, *g, *s, *b],
+        }
+    }
+
+    /// Freezes time-dependent state (PTM resistance) for a step ending at
+    /// `t_next`.
+    pub(crate) fn prepare_step(&mut self, t_next: f64) {
+        if let SimDevice::Ptm { state, r_step, .. } = self {
+            *r_step = state.resistance(t_next);
+        }
+    }
+
+    /// Commits companion-model histories after an accepted step.
+    pub(crate) fn commit(&mut self, x: &[f64], t_next: f64, dt: f64, method: Method) {
+        match self {
+            SimDevice::Capacitor { p, n, c, hist, .. } => {
+                let v_new = volt(x, *p) - volt(x, *n);
+                let co = cap_companion(method, *c, dt, hist);
+                let i_new = co.g_eq * v_new + co.i_eq;
+                hist.v_prev2 = hist.v_prev;
+                hist.v_prev = v_new;
+                hist.i_prev = i_new;
+            }
+            SimDevice::Inductor {
+                p, n, branch, hist, ..
+            } => {
+                let i_new = x[*branch];
+                let v_new = volt(x, *p) - volt(x, *n);
+                hist.i_prev2 = hist.i_prev;
+                hist.i_prev = i_new;
+                hist.v_prev = v_new;
+            }
+            SimDevice::Mosfet {
+                d,
+                g,
+                s,
+                b,
+                caps,
+                h_gs,
+                h_gd,
+                h_gb,
+                ..
+            } => {
+                let vg = volt(x, *g);
+                for (node, c, hist) in [
+                    (*s, caps.cgs, h_gs),
+                    (*d, caps.cgd, h_gd),
+                    (*b, caps.cgb, h_gb),
+                ] {
+                    let v_new = vg - volt(x, node);
+                    let co = cap_companion(method, c, dt, hist);
+                    let i_new = co.g_eq * v_new + co.i_eq;
+                    hist.v_prev2 = hist.v_prev;
+                    hist.v_prev = v_new;
+                    hist.i_prev = i_new;
+                }
+            }
+            SimDevice::Ptm { state, .. } => {
+                state.update(t_next);
+            }
+            _ => {}
+        }
+    }
+
+    /// Initialises companion histories from a DC solution.
+    pub(crate) fn init_history(&mut self, x: &[f64]) {
+        match self {
+            SimDevice::Capacitor { p, n, hist, ic, .. } => {
+                let v = ic.unwrap_or(volt(x, *p) - volt(x, *n));
+                *hist = CapHistory {
+                    v_prev: v,
+                    i_prev: 0.0,
+                    v_prev2: v,
+                };
+            }
+            SimDevice::Inductor { branch, hist, .. } => {
+                *hist = IndHistory {
+                    i_prev: x[*branch],
+                    v_prev: 0.0,
+                    i_prev2: x[*branch],
+                };
+            }
+            SimDevice::Mosfet {
+                d,
+                g,
+                s,
+                b,
+                h_gs,
+                h_gd,
+                h_gb,
+                ..
+            } => {
+                let vg = volt(x, *g);
+                for (node, hist) in [(*s, h_gs), (*d, h_gd), (*b, h_gb)] {
+                    let v = vg - volt(x, node);
+                    *hist = CapHistory {
+                        v_prev: v,
+                        i_prev: 0.0,
+                        v_prev2: v,
+                    };
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A compiled circuit: devices plus the unknown layout and signal name maps.
+#[derive(Debug, Clone)]
+pub(crate) struct CompiledCircuit {
+    pub devices: Vec<SimDevice>,
+    /// Total unknowns: (node_count - 1) + branch_count.
+    pub size: usize,
+    /// Node names for unknowns `0..node_count-1` (node index 1..).
+    pub node_names: Vec<String>,
+    /// Branch unknown names in branch order (element names).
+    pub branch_names: Vec<String>,
+    /// Indices into `devices` of PTM instances, with their names.
+    pub ptm_devices: Vec<(usize, String)>,
+    /// Current-source names in device order (current sources own no branch
+    /// unknown, so they need their own name list).
+    pub isrc_names: Vec<String>,
+}
+
+impl CompiledCircuit {
+    /// Compiles a validated circuit.
+    pub(crate) fn compile(circuit: &Circuit) -> Self {
+        let n_nodes = circuit.node_count();
+        let to_unknown = |id: sfet_circuit::NodeId| -> Unknown {
+            if id.is_ground() {
+                None
+            } else {
+                Some(id.index() - 1)
+            }
+        };
+        let mut branch_names = Vec::new();
+        let mut next_branch = n_nodes - 1;
+        let mut devices = Vec::with_capacity(circuit.elements().len());
+        let mut ptm_devices = Vec::new();
+        let mut isrc_names = Vec::new();
+
+        for element in circuit.elements() {
+            let device = match element {
+                Element::Resistor(r) => SimDevice::Resistor {
+                    p: to_unknown(r.p),
+                    n: to_unknown(r.n),
+                    g: 1.0 / r.ohms,
+                },
+                Element::Capacitor(c) => SimDevice::Capacitor {
+                    p: to_unknown(c.p),
+                    n: to_unknown(c.n),
+                    c: c.farads,
+                    ic: c.ic,
+                    hist: CapHistory::default(),
+                },
+                Element::Inductor(l) => {
+                    let branch = next_branch;
+                    next_branch += 1;
+                    branch_names.push(l.name.clone());
+                    SimDevice::Inductor {
+                        p: to_unknown(l.p),
+                        n: to_unknown(l.n),
+                        branch,
+                        l: l.henries,
+                        hist: IndHistory::default(),
+                    }
+                }
+                Element::VoltageSource(v) => {
+                    let branch = next_branch;
+                    next_branch += 1;
+                    branch_names.push(v.name.clone());
+                    SimDevice::Vsrc {
+                        p: to_unknown(v.p),
+                        n: to_unknown(v.n),
+                        branch,
+                        wave: v.wave.clone(),
+                    }
+                }
+                Element::CurrentSource(i) => {
+                    isrc_names.push(i.name.clone());
+                    SimDevice::Isrc {
+                        p: to_unknown(i.p),
+                        n: to_unknown(i.n),
+                        wave: i.wave.clone(),
+                    }
+                }
+                Element::Mosfet(m) => SimDevice::Mosfet {
+                    d: to_unknown(m.d),
+                    g: to_unknown(m.g),
+                    s: to_unknown(m.s),
+                    b: to_unknown(m.b),
+                    model: m.model.clone(),
+                    w: m.w,
+                    l: m.l,
+                    caps: mosfet::gate_caps(&m.model, m.w, m.l),
+                    h_gs: CapHistory::default(),
+                    h_gd: CapHistory::default(),
+                    h_gb: CapHistory::default(),
+                },
+                Element::Ptm(p) => {
+                    ptm_devices.push((devices.len(), p.name.clone()));
+                    SimDevice::Ptm {
+                        p: to_unknown(p.p),
+                        n: to_unknown(p.n),
+                        state: PtmState::new(p.params)
+                            .expect("params validated at circuit construction"),
+                        r_step: p.params.r_ins,
+                        events: Vec::new(),
+                    }
+                }
+            };
+            devices.push(device);
+        }
+
+        let node_names = (1..n_nodes)
+            .map(|i| circuit.node_name(sfet_circuit::NodeId::from_index(i)).to_string())
+            .collect();
+
+        CompiledCircuit {
+            devices,
+            size: next_branch,
+            node_names,
+            branch_names,
+            ptm_devices,
+            isrc_names,
+        }
+    }
+
+    /// Name of a current-source device, if `device` is one (current sources
+    /// own no branch, so their names are recovered from the original order
+    /// of current sources in the element list).
+    pub(crate) fn isrc_name(&self, device: &SimDevice) -> Option<&str> {
+        let target = device as *const SimDevice;
+        let mut isrc_idx = 0;
+        for d in &self.devices {
+            if let SimDevice::Isrc { .. } = d {
+                if std::ptr::eq(d, target) {
+                    return self.isrc_names.get(isrc_idx).map(String::as_str);
+                }
+                isrc_idx += 1;
+            }
+        }
+        None
+    }
+
+    /// The earliest source breakpoint strictly after `t`, if any.
+    pub(crate) fn next_breakpoint(&self, t: f64) -> Option<f64> {
+        self.devices
+            .iter()
+            .filter_map(|d| match d {
+                SimDevice::Vsrc { wave, .. } | SimDevice::Isrc { wave, .. } => {
+                    wave.next_breakpoint(t)
+                }
+                _ => None,
+            })
+            .min_by(|a, b| a.partial_cmp(b).expect("breakpoints are finite"))
+    }
+}

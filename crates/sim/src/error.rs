@@ -1,0 +1,100 @@
+use std::fmt;
+
+/// Errors from circuit simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The input circuit failed validation.
+    Circuit(sfet_circuit::CircuitError),
+    /// A linear-algebra failure (typically a singular MNA matrix, meaning
+    /// the circuit has no unique solution).
+    Numeric(sfet_numeric::NumericError),
+    /// Newton–Raphson failed to converge at a specific simulation time,
+    /// even after the step size was reduced to `dtmin`.
+    NonConvergence {
+        /// Simulation time of the failed solve \[s\].
+        time: f64,
+        /// Step size at the final attempt \[s\].
+        dt: f64,
+    },
+    /// The transient ran past its step budget (`max_steps`) — usually a
+    /// sign that `dtmin` event refinement is thrashing.
+    StepBudgetExceeded {
+        /// Simulation time reached \[s\].
+        time: f64,
+        /// Steps consumed.
+        steps: usize,
+    },
+    /// A requested signal name does not exist in the result set.
+    UnknownSignal(String),
+    /// Invalid analysis parameters (non-positive stop time, bad tolerances).
+    InvalidOptions(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Circuit(e) => write!(f, "circuit error: {e}"),
+            SimError::Numeric(e) => write!(f, "numeric error: {e}"),
+            SimError::NonConvergence { time, dt } => write!(
+                f,
+                "transient failed to converge at t={time:.4e}s (dt={dt:.2e}s)"
+            ),
+            SimError::StepBudgetExceeded { time, steps } => write!(
+                f,
+                "step budget exhausted after {steps} steps at t={time:.4e}s"
+            ),
+            SimError::UnknownSignal(name) => write!(f, "unknown signal {name:?}"),
+            SimError::InvalidOptions(msg) => write!(f, "invalid options: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Circuit(e) => Some(e),
+            SimError::Numeric(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<sfet_circuit::CircuitError> for SimError {
+    fn from(e: sfet_circuit::CircuitError) -> Self {
+        SimError::Circuit(e)
+    }
+}
+
+impl From<sfet_numeric::NumericError> for SimError {
+    fn from(e: sfet_numeric::NumericError) -> Self {
+        SimError::Numeric(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = SimError::NonConvergence {
+            time: 1e-9,
+            dt: 1e-15,
+        };
+        assert!(e.to_string().contains("converge"));
+        assert!(SimError::UnknownSignal("x".into()).to_string().contains("x"));
+    }
+
+    #[test]
+    fn source_chain() {
+        use std::error::Error as _;
+        let e = SimError::Numeric(sfet_numeric::NumericError::SingularMatrix { column: 0 });
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<SimError>();
+    }
+}

@@ -1,0 +1,56 @@
+//! MNA-based analog circuit simulation engine for the Soft-FET
+//! reproduction.
+//!
+//! This crate turns a [`sfet_circuit::Circuit`] into time-domain waveforms:
+//!
+//! 1. [`dc_operating_point`] computes the DC operating point (Newton–Raphson with gmin
+//!    stepping and a source-stepping fallback);
+//! 2. [`transient`] integrates the circuit through time (trapezoidal /
+//!    backward-Euler companion models, adaptive step control, and — the
+//!    part that makes Soft-FET simulation work — PTM threshold-crossing
+//!    *event detection*: steps are rejected and bisected so each phase
+//!    transition begins within a tight tolerance of its true crossing
+//!    time, then the resistance ramp is resolved with sub-`T_PTM` steps).
+//!
+//! # Example
+//!
+//! An RC low-pass step response:
+//!
+//! ```
+//! use sfet_circuit::{Circuit, SourceWaveform};
+//! use sfet_sim::{transient, SimOptions};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut ckt = Circuit::new();
+//! let (inp, out, gnd) = (ckt.node("in"), ckt.node("out"), Circuit::ground());
+//! ckt.add_voltage_source("V1", inp, gnd, SourceWaveform::ramp(0.0, 1.0, 0.0, 1e-12))?;
+//! ckt.add_resistor("R1", inp, out, 1e3)?;
+//! ckt.add_capacitor("C1", out, gnd, 1e-15)?; // tau = 1 ps
+//! let result = transient(&ckt, 10e-12, &SimOptions::default())?;
+//! let v_out = result.voltage("out")?;
+//! assert!(v_out.last_value() > 0.99);
+//! # Ok(())
+//! # }
+//! ```
+
+mod acsweep;
+mod dcop;
+mod dcsweep;
+mod devices;
+mod error;
+mod matrix;
+mod options;
+mod result;
+mod transient;
+
+pub use acsweep::{ac_sweep, AcSweepResult, Phasor};
+pub use dcop::dc_operating_point;
+pub use dcsweep::{dc_sweep, DcSweepResult};
+pub use error::SimError;
+pub use matrix::LinearSolver;
+pub use options::SimOptions;
+pub use result::{TranResult, TranStats};
+pub use transient::transient;
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, SimError>;

@@ -1,0 +1,193 @@
+//! Simulation options.
+
+use crate::matrix::LinearSolver;
+use crate::{Result, SimError};
+use sfet_numeric::integrate::Method;
+
+/// Tolerances and controls for DC and transient analysis.
+///
+/// The defaults suit the picosecond-scale standard-cell experiments of the
+/// paper; PDN-scale runs typically widen `dtmax` and the step budget via
+/// [`SimOptions::for_duration`].
+///
+/// # Example
+///
+/// ```
+/// use sfet_sim::SimOptions;
+///
+/// let opts = SimOptions::default().with_dtmax(0.05e-12);
+/// assert_eq!(opts.dtmax, 0.05e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimOptions {
+    /// Relative convergence tolerance on unknowns (SPICE `RELTOL`).
+    pub reltol: f64,
+    /// Absolute voltage tolerance \[V\] (SPICE `VNTOL`).
+    pub vntol: f64,
+    /// Absolute current tolerance \[A\] for branch unknowns (SPICE `ABSTOL`).
+    pub abstol: f64,
+    /// Maximum Newton iterations per solve point.
+    pub max_newton_iter: usize,
+    /// Largest allowed Newton voltage update per iteration \[V\].
+    pub max_newton_step: f64,
+    /// Minimum time step \[s\]; a solve that still fails here aborts.
+    pub dtmin: f64,
+    /// Maximum time step \[s\]; bounds truncation error.
+    pub dtmax: f64,
+    /// Default integration method (backward Euler is always used for the
+    /// first step and the step right after a PTM event).
+    pub method: Method,
+    /// Voltage window for PTM threshold-crossing refinement \[V\]: a step is
+    /// rejected and bisected while the crossing overshoot exceeds this.
+    pub event_vtol: f64,
+    /// Shunt conductance added across nonlinear devices \[S\] (SPICE `GMIN`).
+    pub gmin: f64,
+    /// Hard cap on total attempted steps.
+    pub max_steps: usize,
+    /// Linear-solver backend for the MNA system.
+    pub solver: LinearSolver,
+    /// Enable local-truncation-error step control: steps whose solution
+    /// deviates from a quadratic predictor by more than `lte_tol` are
+    /// rejected and halved; smooth stretches grow the step toward `dtmax`.
+    pub lte_control: bool,
+    /// Voltage tolerance for LTE control \[V\].
+    pub lte_tol: f64,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            reltol: 1e-4,
+            vntol: 1e-7,
+            abstol: 1e-12,
+            max_newton_iter: 60,
+            max_newton_step: 0.3,
+            dtmin: 1e-18,
+            dtmax: 0.25e-12,
+            method: Method::Trapezoidal,
+            event_vtol: 2e-3,
+            gmin: 1e-12,
+            max_steps: 2_000_000,
+            solver: LinearSolver::default(),
+            lte_control: false,
+            lte_tol: 1e-3,
+        }
+    }
+}
+
+impl SimOptions {
+    /// Returns options scaled for a transient of duration `tstop`: `dtmax`
+    /// set to `tstop / points`, with the step budget sized accordingly.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// let o = sfet_sim::SimOptions::for_duration(100e-9, 2000);
+    /// assert!((o.dtmax - 50e-12).abs() < 1e-15);
+    /// ```
+    pub fn for_duration(tstop: f64, points: usize) -> Self {
+        let points = points.max(16);
+        SimOptions {
+            dtmax: tstop / points as f64,
+            max_steps: points.saturating_mul(1000).max(2_000_000),
+            ..Default::default()
+        }
+    }
+
+    /// Builder-style override of `dtmax`.
+    pub fn with_dtmax(mut self, dtmax: f64) -> Self {
+        self.dtmax = dtmax;
+        self
+    }
+
+    /// Builder-style override of the integration method.
+    pub fn with_method(mut self, method: Method) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// Builder-style override of the linear-solver backend.
+    pub fn with_solver(mut self, solver: LinearSolver) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// Builder-style enabling of LTE step control at the given voltage
+    /// tolerance.
+    pub fn with_lte(mut self, lte_tol: f64) -> Self {
+        self.lte_control = true;
+        self.lte_tol = lte_tol;
+        self
+    }
+
+    /// Validates option consistency.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidOptions`] describing the violated constraint.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.reltol > 0.0 && self.reltol < 1.0) {
+            return Err(SimError::InvalidOptions("reltol must be in (0, 1)".into()));
+        }
+        if !(self.vntol > 0.0 && self.abstol > 0.0) {
+            return Err(SimError::InvalidOptions(
+                "vntol and abstol must be positive".into(),
+            ));
+        }
+        if !(self.dtmin > 0.0 && self.dtmax > self.dtmin) {
+            return Err(SimError::InvalidOptions(
+                "need 0 < dtmin < dtmax".into(),
+            ));
+        }
+        if self.max_newton_iter < 5 {
+            return Err(SimError::InvalidOptions(
+                "max_newton_iter must be at least 5".into(),
+            ));
+        }
+        if self.event_vtol <= 0.0 || self.event_vtol.is_nan() {
+            return Err(SimError::InvalidOptions("event_vtol must be positive".into()));
+        }
+        if self.lte_control && (self.lte_tol <= 0.0 || self.lte_tol.is_nan()) {
+            return Err(SimError::InvalidOptions("lte_tol must be positive".into()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates() {
+        SimOptions::default().validate().unwrap();
+    }
+
+    #[test]
+    fn bad_tolerances_rejected() {
+        let o = SimOptions {
+            reltol: 0.0,
+            ..Default::default()
+        };
+        assert!(o.validate().is_err());
+        let o = SimOptions {
+            dtmin: 1e-12,
+            dtmax: 1e-13,
+            ..Default::default()
+        };
+        assert!(o.validate().is_err());
+    }
+
+    #[test]
+    fn for_duration_scales() {
+        let o = SimOptions::for_duration(1e-9, 1000);
+        assert!((o.dtmax - 1e-12).abs() < 1e-18);
+        o.validate().unwrap();
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let o = SimOptions::default().with_method(Method::BackwardEuler);
+        assert_eq!(o.method, Method::BackwardEuler);
+    }
+}

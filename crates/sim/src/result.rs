@@ -1,0 +1,177 @@
+//! Transient analysis results.
+
+use std::collections::HashMap;
+
+use crate::{Result, SimError};
+use sfet_devices::ptm::TransitionEvent;
+use sfet_waveform::Waveform;
+
+/// Engine statistics for one transient run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TranStats {
+    /// Accepted time steps.
+    pub steps_accepted: usize,
+    /// Rejected attempts (Newton failure or event refinement).
+    pub steps_rejected: usize,
+    /// Total Newton iterations across all solves.
+    pub newton_iterations: usize,
+    /// Total PTM phase transitions fired.
+    pub ptm_transitions: usize,
+}
+
+/// Result of a transient analysis: sampled node voltages, branch currents,
+/// PTM resistance traces and transition events.
+///
+/// Signals are looked up by name: node voltages by node name, branch
+/// currents by the owning element name (voltage sources and inductors),
+/// PTM traces by the PTM instance name.
+#[derive(Debug, Clone)]
+pub struct TranResult {
+    pub(crate) times: Vec<f64>,
+    pub(crate) node_index: HashMap<String, usize>,
+    pub(crate) node_data: Vec<Vec<f64>>,
+    pub(crate) branch_index: HashMap<String, usize>,
+    pub(crate) branch_data: Vec<Vec<f64>>,
+    pub(crate) ptm_index: HashMap<String, usize>,
+    pub(crate) ptm_resistance: Vec<Vec<f64>>,
+    pub(crate) ptm_events: Vec<Vec<TransitionEvent>>,
+    pub(crate) stats: TranStats,
+}
+
+impl TranResult {
+    /// The sampled time axis.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Engine statistics.
+    pub fn stats(&self) -> TranStats {
+        self.stats
+    }
+
+    /// Names of all recorded node-voltage signals.
+    pub fn node_names(&self) -> impl Iterator<Item = &str> {
+        self.node_index.keys().map(String::as_str)
+    }
+
+    /// Node-voltage waveform by node name.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownSignal`] if the node does not exist.
+    pub fn voltage(&self, node: &str) -> Result<Waveform> {
+        let &idx = self
+            .node_index
+            .get(node)
+            .ok_or_else(|| SimError::UnknownSignal(format!("v({node})")))?;
+        Ok(Waveform::from_samples(self.times.clone(), self.node_data[idx].clone())
+            .expect("engine produces a valid time axis"))
+    }
+
+    /// Branch-current waveform of a voltage source or inductor, by element
+    /// name. Positive current flows from the element's `p` terminal through
+    /// the element (SPICE convention: a supply delivering current reads
+    /// negative).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownSignal`] if no such branch exists.
+    pub fn branch_current(&self, element: &str) -> Result<Waveform> {
+        let &idx = self
+            .branch_index
+            .get(element)
+            .ok_or_else(|| SimError::UnknownSignal(format!("i({element})")))?;
+        Ok(
+            Waveform::from_samples(self.times.clone(), self.branch_data[idx].clone())
+                .expect("engine produces a valid time axis"),
+        )
+    }
+
+    /// Current *drawn from* a supply: the negated branch current of the
+    /// named voltage source. This is the paper's rail-current quantity
+    /// (`I_MAX` is its peak).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownSignal`] if no such source exists.
+    pub fn supply_current(&self, source: &str) -> Result<Waveform> {
+        Ok(self.branch_current(source)?.map(|v| -v))
+    }
+
+    /// PTM resistance trace by instance name.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownSignal`] if no such PTM exists.
+    pub fn ptm_resistance(&self, name: &str) -> Result<Waveform> {
+        let &idx = self
+            .ptm_index
+            .get(name)
+            .ok_or_else(|| SimError::UnknownSignal(format!("r({name})")))?;
+        Ok(
+            Waveform::from_samples(self.times.clone(), self.ptm_resistance[idx].clone())
+                .expect("engine produces a valid time axis"),
+        )
+    }
+
+    /// Phase-transition events of a PTM instance, in time order.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownSignal`] if no such PTM exists.
+    pub fn ptm_events(&self, name: &str) -> Result<&[TransitionEvent]> {
+        let &idx = self
+            .ptm_index
+            .get(name)
+            .ok_or_else(|| SimError::UnknownSignal(format!("events({name})")))?;
+        Ok(&self.ptm_events[idx])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_result() -> TranResult {
+        let mut node_index = HashMap::new();
+        node_index.insert("out".to_string(), 0);
+        let mut branch_index = HashMap::new();
+        branch_index.insert("VDD".to_string(), 0);
+        TranResult {
+            times: vec![0.0, 1.0, 2.0],
+            node_index,
+            node_data: vec![vec![0.0, 0.5, 1.0]],
+            branch_index,
+            branch_data: vec![vec![0.0, -1e-6, 0.0]],
+            ptm_index: HashMap::new(),
+            ptm_resistance: vec![],
+            ptm_events: vec![],
+            stats: TranStats::default(),
+        }
+    }
+
+    #[test]
+    fn voltage_lookup() {
+        let r = sample_result();
+        let v = r.voltage("out").unwrap();
+        assert_eq!(v.last_value(), 1.0);
+        assert!(matches!(
+            r.voltage("nope"),
+            Err(SimError::UnknownSignal(_))
+        ));
+    }
+
+    #[test]
+    fn supply_current_negates() {
+        let r = sample_result();
+        let i = r.supply_current("VDD").unwrap();
+        assert_eq!(i.value_at(1.0), 1e-6);
+    }
+
+    #[test]
+    fn unknown_ptm_errors() {
+        let r = sample_result();
+        assert!(r.ptm_resistance("P1").is_err());
+        assert!(r.ptm_events("P1").is_err());
+    }
+}

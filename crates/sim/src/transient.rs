@@ -1,0 +1,583 @@
+//! Transient analysis engine.
+//!
+//! Adaptive-step integration with Newton–Raphson at each time point.
+//! Three mechanisms control the step size:
+//!
+//! * **truncation bound** — `dtmax` caps the step (experiments choose it
+//!   from the time scale of interest);
+//! * **source breakpoints** — steps land exactly on waveform corners;
+//! * **PTM events** — after a solve, every PTM's terminal voltage is
+//!   checked against its armed threshold. A step that overshoots the
+//!   threshold by more than `event_vtol` is rejected and halved, so the
+//!   transition fires within a tight window of the true crossing; while a
+//!   transition ramp is in flight the step is capped at `T_PTM / 8`.
+//!
+//! The first step and every step immediately after a fired event use
+//! backward Euler (L-stable) to damp the discontinuity; other steps use
+//! the configured method (trapezoidal by default).
+
+use std::collections::HashMap;
+
+use crate::devices::{volt, CompiledCircuit, SimDevice, StampMode};
+use crate::dcop::{init_state_from_dc, solve_dc};
+use crate::options::SimOptions;
+use crate::result::{TranResult, TranStats};
+use crate::{Result, SimError};
+use sfet_circuit::Circuit;
+use crate::matrix::MnaMatrix;
+use sfet_numeric::integrate::Method;
+
+/// Runs a transient analysis from `t = 0` to `tstop`.
+///
+/// The initial state is the DC operating point with all sources at their
+/// `t = 0` values (capacitor initial conditions, when given, are enforced
+/// during the DC solve).
+///
+/// # Errors
+///
+/// * [`SimError::InvalidOptions`] for a non-positive `tstop` or bad options;
+/// * [`SimError::Circuit`] if the circuit fails validation;
+/// * [`SimError::NonConvergence`] / [`SimError::StepBudgetExceeded`] if the
+///   integration cannot complete.
+pub fn transient(circuit: &Circuit, tstop: f64, opts: &SimOptions) -> Result<TranResult> {
+    opts.validate()?;
+    if !(tstop > 0.0 && tstop.is_finite()) {
+        return Err(SimError::InvalidOptions(format!(
+            "tstop must be positive and finite, got {tstop:e}"
+        )));
+    }
+    circuit.validate()?;
+
+    let mut compiled = CompiledCircuit::compile(circuit);
+    let x_dc = solve_dc(&mut compiled, opts)?;
+    init_state_from_dc(&mut compiled, &x_dc);
+
+    let mut recorder = Recorder::new(&compiled);
+    recorder.record(0.0, &x_dc, &compiled);
+
+    let mut stats = TranStats::default();
+    let n = compiled.size;
+    let node_count = compiled.node_names.len();
+    let mut jac = MnaMatrix::new(opts.solver, n);
+    let mut rhs = vec![0.0; n];
+
+    let mut x = x_dc;
+    let mut t = 0.0f64;
+    let mut dt = (opts.dtmax / 16.0).max(opts.dtmin);
+    let mut force_be = true; // first step: backward Euler
+    let mut attempts = 0usize;
+    // History for the quadratic LTE predictor: two previous accepted points.
+    let mut hist: Vec<(f64, Vec<f64>)> = Vec::with_capacity(2);
+
+    while t < tstop * (1.0 - 1e-12) {
+        attempts += 1;
+        if attempts > opts.max_steps {
+            return Err(SimError::StepBudgetExceeded {
+                time: t,
+                steps: attempts,
+            });
+        }
+
+        // --- Choose the step size. ---
+        let mut dt_cur = dt.min(opts.dtmax).min(tstop - t);
+        let mut lands_on_corner = false;
+        if let Some(bp) = compiled.next_breakpoint(t) {
+            let gap = bp - t;
+            if gap > opts.dtmin && gap <= dt_cur {
+                dt_cur = gap;
+                lands_on_corner = true;
+            }
+        }
+        // Resolve in-flight PTM ramps with sub-T_PTM steps.
+        for device in &compiled.devices {
+            if let SimDevice::Ptm { state, .. } = device {
+                if state.in_transition() {
+                    dt_cur = dt_cur.min((state.params().t_ptm / 8.0).max(opts.dtmin));
+                }
+            }
+        }
+        dt_cur = dt_cur.max(opts.dtmin);
+        let t_next = t + dt_cur;
+        let method = if force_be {
+            Method::BackwardEuler
+        } else {
+            opts.method
+        };
+
+        // --- Solve. ---
+        for device in &mut compiled.devices {
+            device.prepare_step(t_next);
+        }
+        let solve = newton_transient(
+            &compiled, &x, t_next, dt_cur, method, opts, &mut jac, &mut rhs, node_count,
+        );
+        let (x_new, iters) = match solve {
+            Ok(pair) => pair,
+            Err(_) => {
+                stats.steps_rejected += 1;
+                dt = dt_cur / 4.0;
+                if dt < opts.dtmin {
+                    return Err(SimError::NonConvergence { time: t_next, dt });
+                }
+                force_be = true;
+                continue;
+            }
+        };
+        stats.newton_iterations += iters;
+
+        // --- Local-truncation-error control (optional). ---
+        let mut lte_grow = false;
+        if opts.lte_control && hist.len() == 2 && !force_be {
+            let (t0, x0) = (&hist[0].0, &hist[0].1);
+            let (t1, x1) = (&hist[1].0, &hist[1].1);
+            // Quadratic extrapolation through (t0,x0), (t1,x1), (t,x) to t_next.
+            let mut err = 0.0f64;
+            for i in 0..node_count {
+                let pred = lagrange3(*t0, x0[i], *t1, x1[i], t, x[i], t_next);
+                err = err.max((x_new[i] - pred).abs());
+            }
+            if err > opts.lte_tol && dt_cur > 4.0 * opts.dtmin {
+                stats.steps_rejected += 1;
+                dt = dt_cur * 0.5;
+                continue;
+            }
+            // Smooth region: let the step grow toward dtmax (applied at the
+            // step-size update below, so it is not clobbered by the
+            // iteration-count controller).
+            lte_grow = err < 0.1 * opts.lte_tol;
+        }
+
+        // --- PTM event refinement. ---
+        let mut worst_overshoot = 0.0f64;
+        for device in &compiled.devices {
+            if let SimDevice::Ptm { p, n, state, .. } = device {
+                let v = volt(&x_new, *p) - volt(&x_new, *n);
+                if let Some(excess) = state.threshold_excess(v) {
+                    worst_overshoot = worst_overshoot.max(excess);
+                }
+            }
+        }
+        if worst_overshoot > opts.event_vtol && dt_cur > 2.0 * opts.dtmin {
+            stats.steps_rejected += 1;
+            dt = dt_cur / 2.0;
+            continue;
+        }
+
+        // --- Accept. ---
+        for device in &mut compiled.devices {
+            device.commit(&x_new, t_next, dt_cur, method);
+        }
+        // A slope discontinuity at a source corner excites the trapezoidal
+        // rule's undamped oscillatory mode in capacitor branch currents
+        // (classic "trapezoidal ringing"); take one L-stable backward-Euler
+        // step across every corner to kill it at the source.
+        force_be = lands_on_corner;
+        // Fire any armed transitions at the accepted point.
+        let mut fired = false;
+        for device in &mut compiled.devices {
+            if let SimDevice::Ptm { p, n, state, events, .. } = device {
+                let v = volt(&x_new, *p) - volt(&x_new, *n);
+                if let Some(excess) = state.threshold_excess(v) {
+                    if excess >= 0.0 {
+                        events.push(state.fire(t_next));
+                        stats.ptm_transitions += 1;
+                        fired = true;
+                    }
+                }
+            }
+        }
+        if fired {
+            force_be = true;
+            dt = dt_cur.min(opts.dtmax / 16.0).max(opts.dtmin);
+        } else if opts.lte_control {
+            // LTE owns the growth policy; Newton difficulty still shrinks.
+            dt = if iters > 12 {
+                dt_cur * 0.6
+            } else if lte_grow {
+                dt_cur * 2.0
+            } else {
+                dt_cur
+            };
+        } else {
+            // Iteration-count step control.
+            dt = if iters <= 5 {
+                dt_cur * 1.3
+            } else if iters > 12 {
+                dt_cur * 0.6
+            } else {
+                dt_cur
+            };
+        }
+
+        recorder.record(t_next, &x_new, &compiled);
+        stats.steps_accepted += 1;
+        if hist.len() == 2 {
+            hist.remove(0);
+        }
+        hist.push((t, x.clone()));
+        x = x_new;
+        t = t_next;
+    }
+
+    Ok(recorder.finish(&compiled, stats))
+}
+
+/// Quadratic Lagrange extrapolation through three points.
+fn lagrange3(t0: f64, y0: f64, t1: f64, y1: f64, t2: f64, y2: f64, t: f64) -> f64 {
+    let l0 = (t - t1) * (t - t2) / ((t0 - t1) * (t0 - t2));
+    let l1 = (t - t0) * (t - t2) / ((t1 - t0) * (t1 - t2));
+    let l2 = (t - t0) * (t - t1) / ((t2 - t0) * (t2 - t1));
+    y0 * l0 + y1 * l1 + y2 * l2
+}
+
+/// Newton solve for one transient time point. Returns the solution and the
+/// iteration count.
+#[allow(clippy::too_many_arguments)]
+fn newton_transient(
+    compiled: &CompiledCircuit,
+    x0: &[f64],
+    t_next: f64,
+    dt: f64,
+    method: Method,
+    opts: &SimOptions,
+    jac: &mut MnaMatrix,
+    rhs: &mut [f64],
+    node_count: usize,
+) -> Result<(Vec<f64>, usize)> {
+    let mode = StampMode::Transient { t_next, dt, method };
+    let mut x = x0.to_vec();
+    for iter in 1..=opts.max_newton_iter {
+        jac.clear();
+        rhs.iter_mut().for_each(|v| *v = 0.0);
+        for device in &compiled.devices {
+            device.stamp(mode, &x, jac, rhs, opts.gmin);
+        }
+        let x_next = jac.solve(rhs)?;
+
+        let mut max_dx = 0.0f64;
+        for (xn, xo) in x_next.iter().zip(&x) {
+            max_dx = max_dx.max((xn - xo).abs());
+        }
+        let scale = if max_dx > opts.max_newton_step {
+            opts.max_newton_step / max_dx
+        } else {
+            1.0
+        };
+        let mut converged = true;
+        for i in 0..x.len() {
+            let dx = (x_next[i] - x[i]) * scale;
+            x[i] += dx;
+            let tol = if i < node_count {
+                opts.reltol * x[i].abs() + opts.vntol
+            } else {
+                opts.reltol * x[i].abs() + opts.abstol
+            };
+            if dx.abs() > tol {
+                converged = false;
+            }
+        }
+        if converged && scale == 1.0 {
+            return Ok((x, iter));
+        }
+    }
+    Err(SimError::NonConvergence { time: t_next, dt })
+}
+
+/// Accumulates sampled signals during integration.
+struct Recorder {
+    times: Vec<f64>,
+    node_data: Vec<Vec<f64>>,
+    branch_data: Vec<Vec<f64>>,
+    ptm_resistance: Vec<Vec<f64>>,
+}
+
+impl Recorder {
+    fn new(compiled: &CompiledCircuit) -> Self {
+        Recorder {
+            times: Vec::with_capacity(1024),
+            node_data: vec![Vec::with_capacity(1024); compiled.node_names.len()],
+            branch_data: vec![Vec::with_capacity(1024); compiled.branch_names.len()],
+            ptm_resistance: vec![Vec::with_capacity(1024); compiled.ptm_devices.len()],
+        }
+    }
+
+    fn record(&mut self, t: f64, x: &[f64], compiled: &CompiledCircuit) {
+        self.times.push(t);
+        let nc = compiled.node_names.len();
+        for (i, col) in self.node_data.iter_mut().enumerate() {
+            col.push(x[i]);
+        }
+        for (j, col) in self.branch_data.iter_mut().enumerate() {
+            col.push(x[nc + j]);
+        }
+        for (k, &(dev_idx, _)) in compiled.ptm_devices.iter().enumerate() {
+            if let SimDevice::Ptm { state, .. } = &compiled.devices[dev_idx] {
+                self.ptm_resistance[k].push(state.resistance(t));
+            }
+        }
+    }
+
+    fn finish(self, compiled: &CompiledCircuit, stats: TranStats) -> TranResult {
+        let node_index: HashMap<String, usize> = compiled
+            .node_names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i))
+            .collect();
+        let branch_index: HashMap<String, usize> = compiled
+            .branch_names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i))
+            .collect();
+        let ptm_index: HashMap<String, usize> = compiled
+            .ptm_devices
+            .iter()
+            .enumerate()
+            .map(|(i, (_, n))| (n.clone(), i))
+            .collect();
+        let ptm_events = compiled
+            .ptm_devices
+            .iter()
+            .map(|&(dev_idx, _)| match &compiled.devices[dev_idx] {
+                SimDevice::Ptm { events, .. } => events.clone(),
+                _ => unreachable!("ptm_devices indexes PTM instances"),
+            })
+            .collect();
+        TranResult {
+            times: self.times,
+            node_index,
+            node_data: self.node_data,
+            branch_index,
+            branch_data: self.branch_data,
+            ptm_index,
+            ptm_resistance: self.ptm_resistance,
+            ptm_events,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfet_circuit::SourceWaveform;
+    use sfet_devices::mosfet::MosfetModel;
+    use sfet_devices::ptm::PtmParams;
+
+    fn opts_for(tstop: f64) -> SimOptions {
+        SimOptions::for_duration(tstop, 2000)
+    }
+
+    #[test]
+    fn rc_step_matches_exponential() {
+        let mut ckt = Circuit::new();
+        let (a, out, g) = { let mut c = |n: &str| ckt.node(n); (c("a"), c("out"), Circuit::ground()) };
+        ckt.add_voltage_source("V1", a, g, SourceWaveform::ramp(0.0, 1.0, 0.0, 1e-15))
+            .unwrap();
+        ckt.add_resistor("R1", a, out, 1e3).unwrap();
+        ckt.add_capacitor("C1", out, g, 1e-15).unwrap(); // tau = 1 ps
+        let tstop = 6e-12;
+        let r = transient(&ckt, tstop, &opts_for(tstop)).unwrap();
+        let v = r.voltage("out").unwrap();
+        for &tau_mult in &[1.0f64, 2.0, 4.0] {
+            let t = tau_mult * 1e-12;
+            let expect = 1.0 - (-tau_mult).exp();
+            let got = v.value_at(t);
+            assert!(
+                (got - expect).abs() < 0.01,
+                "t={tau_mult}tau: {got} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn rl_current_rise() {
+        // V → R → L to ground: i(t) = V/R (1 - exp(-tR/L)).
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let mid = ckt.node("mid");
+        let g = Circuit::ground();
+        ckt.add_voltage_source("V1", a, g, SourceWaveform::ramp(0.0, 1.0, 0.0, 1e-15))
+            .unwrap();
+        ckt.add_resistor("R1", a, mid, 100.0).unwrap();
+        ckt.add_inductor("L1", mid, g, 1e-9).unwrap(); // tau = L/R = 10 ps
+        let tstop = 60e-12;
+        let r = transient(&ckt, tstop, &opts_for(tstop)).unwrap();
+        let i = r.branch_current("L1").unwrap();
+        let expect = 0.01 * (1.0 - (-3.0f64).exp());
+        let got = i.value_at(30e-12);
+        assert!((got - expect).abs() < 2e-4, "{got} vs {expect}");
+    }
+
+    #[test]
+    fn rlc_ringing_frequency() {
+        // Series RLC step: underdamped ringing at w = sqrt(1/LC - (R/2L)^2).
+        let (l, c, res) = (1e-9, 1e-12, 10.0);
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let m1 = ckt.node("m1");
+        let out = ckt.node("out");
+        let g = Circuit::ground();
+        ckt.add_voltage_source("V1", a, g, SourceWaveform::ramp(0.0, 1.0, 0.0, 1e-15))
+            .unwrap();
+        ckt.add_resistor("R1", a, m1, res).unwrap();
+        ckt.add_inductor("L1", m1, out, l).unwrap();
+        ckt.add_capacitor("C1", out, g, c).unwrap();
+        let tstop = 500e-12;
+        let r = transient(&ckt, tstop, &SimOptions::for_duration(tstop, 5000)).unwrap();
+        let v = r.voltage("out").unwrap();
+        // Find the first two peaks above 1.0 and compare the period.
+        let d = v.derivative();
+        let mut peaks = Vec::new();
+        for i in 1..d.len() {
+            if d.values()[i - 1] > 0.0 && d.values()[i] <= 0.0 {
+                peaks.push(d.times()[i]);
+            }
+            if peaks.len() == 2 {
+                break;
+            }
+        }
+        assert_eq!(peaks.len(), 2, "expected ringing");
+        let period = peaks[1] - peaks[0];
+        let w = (1.0 / (l * c) - (res / (2.0 * l)).powi(2)).sqrt();
+        let expect = 2.0 * std::f64::consts::PI / w;
+        assert!(
+            (period - expect).abs() / expect < 0.05,
+            "period {period:e} vs {expect:e}"
+        );
+    }
+
+    #[test]
+    fn inverter_switches() {
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let inp = ckt.node("in");
+        let out = ckt.node("out");
+        let g = Circuit::ground();
+        ckt.add_voltage_source("VDD", vdd, g, SourceWaveform::Dc(1.0))
+            .unwrap();
+        ckt.add_voltage_source("VIN", inp, g, SourceWaveform::ramp(1.0, 0.0, 20e-12, 30e-12))
+            .unwrap();
+        ckt.add_mosfet("MP", out, inp, vdd, vdd, MosfetModel::pmos_40nm(), 240e-9, 40e-9)
+            .unwrap();
+        ckt.add_mosfet("MN", out, inp, g, g, MosfetModel::nmos_40nm(), 120e-9, 40e-9)
+            .unwrap();
+        ckt.add_capacitor("CL", out, g, 2e-15).unwrap();
+        let tstop = 200e-12;
+        let r = transient(&ckt, tstop, &opts_for(tstop)).unwrap();
+        let v_out = r.voltage("out").unwrap();
+        assert!(v_out.first_value() < 0.02, "starts low");
+        assert!(v_out.last_value() > 0.98, "ends high");
+        // Supply delivered charge to the load: peak supply current positive.
+        let i_vdd = r.supply_current("VDD").unwrap();
+        let (_, imax) = i_vdd.peak_abs();
+        assert!(imax > 1e-6, "peak rail current {imax}");
+    }
+
+    #[test]
+    fn ptm_cap_staircase_soft_charging() {
+        // Paper Fig. 3: PTM in series with a capacitor; ramp input.
+        let params = PtmParams::vo2_default();
+        let mut ckt = Circuit::new();
+        let inp = ckt.node("in");
+        let vc = ckt.node("vc");
+        let g = Circuit::ground();
+        ckt.add_voltage_source("VIN", inp, g, SourceWaveform::ramp(0.0, 1.0, 10e-12, 30e-12))
+            .unwrap();
+        ckt.add_ptm("P1", inp, vc, params).unwrap();
+        ckt.add_capacitor("C1", vc, g, 0.5e-15).unwrap();
+        let tstop = 2000e-12;
+        let opts = SimOptions::for_duration(tstop, 4000);
+        let r = transient(&ckt, tstop, &opts).unwrap();
+
+        let v_c = r.voltage("vc").unwrap();
+        // The cap eventually reaches the input level.
+        assert!(v_c.last_value() > 0.95, "final V_C = {}", v_c.last_value());
+        // At least one insulator→metal transition fired.
+        let events = r.ptm_events("P1").unwrap();
+        assert!(!events.is_empty(), "no phase transitions recorded");
+        // The voltage across the PTM can exceed V_IMT only by what the
+        // input ramp adds during the finite T_PTM transition window:
+        // slew * T_PTM = (1V / 30ps) * 10ps ≈ 0.33 V.
+        let v_in = r.voltage("in").unwrap();
+        let v_ptm = v_in.zip_with(&v_c, |a, b| a - b);
+        let (_, peak) = v_ptm.peak_abs();
+        let slew = 1.0 / 30e-12;
+        assert!(
+            peak < params.v_imt + slew * params.t_ptm + 0.05,
+            "PTM voltage overshoot: {peak}"
+        );
+        // But the trigger itself fired within the event tolerance of V_IMT:
+        // find the voltage at the first event time.
+        let t_fire = events[0].time;
+        let v_at_fire = v_ptm.value_at(t_fire);
+        assert!(
+            (v_at_fire - params.v_imt).abs() < 0.02,
+            "fired at {v_at_fire} V, expected near {}",
+            params.v_imt
+        );
+        // Staircase: resistance trace must visit the metallic value.
+        let r_ptm = r.ptm_resistance("P1").unwrap();
+        let (_, r_min) = r_ptm.min();
+        assert!(r_min < 2.0 * params.r_met, "metallic phase reached");
+    }
+
+    #[test]
+    fn breakpoints_are_hit_exactly() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let g = Circuit::ground();
+        ckt.add_voltage_source("V1", a, g, SourceWaveform::ramp(0.0, 1.0, 50e-12, 10e-12))
+            .unwrap();
+        ckt.add_resistor("R1", a, g, 1e3).unwrap();
+        let tstop = 100e-12;
+        let r = transient(&ckt, tstop, &SimOptions::for_duration(tstop, 50)).unwrap();
+        let times = r.times();
+        let has = |t0: f64| times.iter().any(|&t| (t - t0).abs() < 1e-18);
+        assert!(has(50e-12), "ramp start corner missed");
+        assert!(has(60e-12), "ramp end corner missed");
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let g = Circuit::ground();
+        ckt.add_voltage_source("V1", a, g, SourceWaveform::Dc(1.0))
+            .unwrap();
+        ckt.add_resistor("R1", a, g, 1e3).unwrap();
+        let r = transient(&ckt, 1e-12, &SimOptions::default()).unwrap();
+        assert!(r.stats().steps_accepted > 0);
+        assert!(r.stats().newton_iterations >= r.stats().steps_accepted);
+    }
+
+    #[test]
+    fn invalid_tstop_rejected() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let g = Circuit::ground();
+        ckt.add_voltage_source("V1", a, g, SourceWaveform::Dc(1.0))
+            .unwrap();
+        ckt.add_resistor("R1", a, g, 1e3).unwrap();
+        assert!(matches!(
+            transient(&ckt, -1.0, &SimOptions::default()),
+            Err(SimError::InvalidOptions(_))
+        ));
+    }
+
+    #[test]
+    fn gear2_option_runs() {
+        let mut ckt = Circuit::new();
+        let (a, out, g) = { let mut c = |n: &str| ckt.node(n); (c("a"), c("out"), Circuit::ground()) };
+        ckt.add_voltage_source("V1", a, g, SourceWaveform::ramp(0.0, 1.0, 0.0, 1e-15))
+            .unwrap();
+        ckt.add_resistor("R1", a, out, 1e3).unwrap();
+        ckt.add_capacitor("C1", out, g, 1e-15).unwrap();
+        let tstop = 6e-12;
+        let opts = SimOptions::for_duration(tstop, 2000).with_method(Method::Gear2);
+        let r = transient(&ckt, tstop, &opts).unwrap();
+        let v = r.voltage("out").unwrap();
+        assert!((v.value_at(1e-12) - (1.0 - (-1.0f64).exp())).abs() < 0.02);
+    }
+}

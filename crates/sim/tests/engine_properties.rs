@@ -1,0 +1,183 @@
+//! Engine-level property tests: step-size robustness, method agreement,
+//! and passive-network sanity under randomised parameters.
+
+use proptest::prelude::*;
+use sfet_circuit::{Circuit, SourceWaveform};
+use sfet_numeric::integrate::Method;
+use sfet_sim::{transient, SimOptions};
+
+/// A randomised series-RLC driven by a ramp.
+fn rlc(r: f64, l: f64, c: f64, rise: f64) -> Circuit {
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    let m1 = ckt.node("m1");
+    let out = ckt.node("out");
+    let gnd = Circuit::ground();
+    ckt.add_voltage_source("V1", a, gnd, SourceWaveform::ramp(0.0, 1.0, 0.1e-9, rise))
+        .expect("rlc build");
+    ckt.add_resistor("R1", a, m1, r).expect("rlc build");
+    ckt.add_inductor("L1", m1, out, l).expect("rlc build");
+    ckt.add_capacitor("C1", out, gnd, c).expect("rlc build");
+    ckt
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Refining dtmax changes the waveform by less than the coarse-step
+    /// truncation budget — the engine converges with step size.
+    #[test]
+    fn step_refinement_converges(
+        r in 5.0f64..200.0,
+        l_nh in 0.1f64..2.0,
+        c_pf in 0.1f64..2.0,
+    ) {
+        let ckt = rlc(r, l_nh * 1e-9, c_pf * 1e-12, 0.2e-9);
+        let tstop = 4e-9;
+        let coarse = transient(&ckt, tstop, &SimOptions::for_duration(tstop, 400)).unwrap();
+        let fine = transient(&ckt, tstop, &SimOptions::for_duration(tstop, 3200)).unwrap();
+        let vc = coarse.voltage("out").unwrap();
+        let vf = fine.voltage("out").unwrap();
+        for k in 1..=20 {
+            let t = tstop * k as f64 / 20.0;
+            prop_assert!(
+                (vc.value_at(t) - vf.value_at(t)).abs() < 0.05,
+                "t={t:e}: coarse {} vs fine {}",
+                vc.value_at(t),
+                vf.value_at(t)
+            );
+        }
+    }
+
+    /// Trapezoidal and Gear-2 agree on smooth problems at fine steps.
+    #[test]
+    fn methods_agree(
+        r in 20.0f64..200.0,
+        c_pf in 0.1f64..2.0,
+    ) {
+        let ckt = rlc(r, 0.5e-9, c_pf * 1e-12, 0.3e-9);
+        let tstop = 3e-9;
+        let base = SimOptions::for_duration(tstop, 3000);
+        let trap = transient(&ckt, tstop, &base.clone().with_method(Method::Trapezoidal)).unwrap();
+        let gear = transient(&ckt, tstop, &base.with_method(Method::Gear2)).unwrap();
+        let vt = trap.voltage("out").unwrap();
+        let vg = gear.voltage("out").unwrap();
+        for k in 1..=15 {
+            let t = tstop * k as f64 / 15.0;
+            prop_assert!((vt.value_at(t) - vg.value_at(t)).abs() < 0.03);
+        }
+    }
+
+    /// Passive RLC step response never exceeds 2x the source swing (energy
+    /// argument: peak ringing of an underdamped series RLC is bounded by
+    /// 2x the step for any damping).
+    #[test]
+    fn rlc_overshoot_bounded(
+        r in 1.0f64..500.0,
+        l_nh in 0.05f64..5.0,
+        c_pf in 0.05f64..5.0,
+    ) {
+        let ckt = rlc(r, l_nh * 1e-9, c_pf * 1e-12, 50e-12);
+        let tstop = 20e-9;
+        let res = transient(&ckt, tstop, &SimOptions::for_duration(tstop, 2000)).unwrap();
+        let v = res.voltage("out").unwrap();
+        let (_, peak) = v.max();
+        prop_assert!(peak <= 2.0 + 1e-6, "unphysical overshoot {peak}");
+        let (_, trough) = v.min();
+        prop_assert!(trough >= -1.0 - 1e-6, "unphysical undershoot {trough}");
+    }
+
+    /// DC solution of a random resistor mesh obeys the maximum principle:
+    /// every node sits between the source extremes.
+    #[test]
+    fn resistor_mesh_maximum_principle(
+        seed in 1u64..5000,
+        n in 3usize..8,
+        v_src in 0.2f64..2.0,
+    ) {
+        let mut ckt = Circuit::new();
+        let gnd = Circuit::ground();
+        let src = ckt.node("src");
+        ckt.add_voltage_source("V1", src, gnd, SourceWaveform::Dc(v_src)).unwrap();
+        // Random connected mesh: node k connects to a random earlier node.
+        let mut state = seed;
+        let mut rand = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        // Chain topology (keeps every node multiply-connected) plus random
+        // chords for mesh structure.
+        let mut nodes = vec![src];
+        for k in 0..n {
+            let nd = ckt.node(&format!("n{k}"));
+            let prev = *nodes.last().unwrap();
+            let ohms = 10.0 + (rand() % 1000) as f64;
+            ckt.add_resistor(&format!("R{k}"), prev, nd, ohms).unwrap();
+            if k > 1 && rand() % 2 == 0 {
+                let chord = nodes[(rand() as usize) % (nodes.len() - 1)];
+                if chord != nd {
+                    let ohms = 10.0 + (rand() % 1000) as f64;
+                    ckt.add_resistor(&format!("Rx{k}"), chord, nd, ohms).unwrap();
+                }
+            }
+            nodes.push(nd);
+        }
+        // Tie the last node to ground so current actually flows.
+        ckt.add_resistor("Rterm", *nodes.last().unwrap(), gnd, 50.0).unwrap();
+        let x = sfet_sim::dc_operating_point(&ckt, &SimOptions::default()).unwrap();
+        for k in 0..n {
+            let v = x[1 + k]; // src is unknown 0
+            prop_assert!(v >= -1e-9 && v <= v_src + 1e-9, "node n{k} at {v}");
+        }
+    }
+}
+
+/// LTE step control: on a smooth RLC problem it should reach comparable
+/// accuracy with fewer accepted steps than a fixed fine step.
+#[test]
+fn lte_control_saves_steps_on_smooth_problem() {
+    let ckt = rlc(50.0, 1e-9, 1e-12, 0.3e-9);
+    let tstop = 10e-9;
+    // Reference: fine fixed step.
+    let fine = transient(&ckt, tstop, &SimOptions::for_duration(tstop, 8000)).unwrap();
+    // LTE: generous dtmax, tight-ish tolerance.
+    let mut lte_opts = SimOptions::for_duration(tstop, 200).with_lte(0.5e-3);
+    lte_opts.dtmax = tstop / 50.0;
+    let lte = transient(&ckt, tstop, &lte_opts).unwrap();
+
+    let vf = fine.voltage("out").unwrap();
+    let vl = lte.voltage("out").unwrap();
+    let mut worst = 0.0f64;
+    for k in 1..=40 {
+        let t = tstop * k as f64 / 40.0;
+        worst = worst.max((vf.value_at(t) - vl.value_at(t)).abs());
+    }
+    assert!(worst < 0.02, "LTE accuracy {worst}");
+    assert!(
+        lte.stats().steps_accepted < fine.stats().steps_accepted / 4,
+        "LTE used {} steps vs fixed {}",
+        lte.stats().steps_accepted,
+        fine.stats().steps_accepted
+    );
+}
+
+/// LTE control must not break PTM event handling.
+#[test]
+fn lte_control_with_ptm_events() {
+    use sfet_devices::ptm::PtmParams;
+    let mut ckt = Circuit::new();
+    let inp = ckt.node("in");
+    let vc = ckt.node("vc");
+    let gnd = Circuit::ground();
+    ckt.add_voltage_source("VIN", inp, gnd, SourceWaveform::ramp(0.0, 1.0, 10e-12, 30e-12))
+        .unwrap();
+    ckt.add_ptm("P1", inp, vc, PtmParams::vo2_default()).unwrap();
+    ckt.add_capacitor("C1", vc, gnd, 0.5e-15).unwrap();
+    let tstop = 2e-9;
+    let opts = SimOptions::for_duration(tstop, 2000).with_lte(1e-3);
+    let r = transient(&ckt, tstop, &opts).unwrap();
+    assert!(!r.ptm_events("P1").unwrap().is_empty());
+    assert!(r.voltage("vc").unwrap().last_value() > 0.95);
+}

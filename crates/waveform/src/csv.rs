@@ -1,0 +1,90 @@
+//! CSV export of waveform sets.
+//!
+//! The figure-regeneration binaries dump their series as CSV so results can
+//! be plotted externally; all columns are resampled onto the first
+//! waveform's time axis.
+
+use crate::Waveform;
+
+/// Renders named waveforms as CSV text with a `time` column. All waveforms
+/// are resampled (linear interpolation) onto the first waveform's time axis.
+///
+/// # Panics
+///
+/// Panics if `columns` is empty.
+///
+/// # Example
+///
+/// ```
+/// use sfet_waveform::{csv::to_csv, Waveform};
+///
+/// # fn main() -> Result<(), sfet_waveform::WaveformError> {
+/// let v = Waveform::from_samples(vec![0.0, 1.0], vec![0.0, 1.0])?;
+/// let text = to_csv(&[("v(out)", &v)]);
+/// assert!(text.starts_with("time,v(out)\n"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_csv(columns: &[(&str, &Waveform)]) -> String {
+    assert!(!columns.is_empty(), "to_csv needs at least one column");
+    let mut out = String::from("time");
+    for (name, _) in columns {
+        out.push(',');
+        out.push_str(name);
+    }
+    out.push('\n');
+    let base = columns[0].1;
+    for &t in base.times() {
+        out.push_str(&format!("{t:e}"));
+        for (_, wf) in columns {
+            out.push_str(&format!(",{:e}", wf.value_at(t)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes [`to_csv`] output to a file.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the filesystem.
+pub fn write_csv(
+    path: &std::path::Path,
+    columns: &[(&str, &Waveform)],
+) -> std::io::Result<()> {
+    std::fs::write(path, to_csv(columns))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_shape() {
+        let a = Waveform::from_samples(vec![0.0, 1.0, 2.0], vec![1.0, 2.0, 3.0]).unwrap();
+        let b = Waveform::from_samples(vec![0.0, 2.0], vec![0.0, 4.0]).unwrap();
+        let text = to_csv(&[("a", &a), ("b", &b)]);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0], "time,a,b");
+        // b resampled at t=1 → 2.0.
+        assert!(lines[2].starts_with("1e0,2e0,2e0"));
+    }
+
+    #[test]
+    fn write_csv_to_tempfile() {
+        let a = Waveform::from_samples(vec![0.0, 1.0], vec![0.0, 1.0]).unwrap();
+        let path = std::env::temp_dir().join("sfet_csv_test.csv");
+        write_csv(&path, &[("a", &a)]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("time,a"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn empty_columns_panic() {
+        let _ = to_csv(&[]);
+    }
+}

@@ -1,0 +1,44 @@
+use std::fmt;
+
+/// Errors from waveform construction and measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WaveformError {
+    /// Sample vectors are empty, ragged, or the time axis is not strictly
+    /// increasing / finite.
+    InvalidSamples(String),
+    /// A measurement's precondition failed (e.g. the waveform never crosses
+    /// the requested threshold).
+    MeasurementFailed(String),
+}
+
+impl fmt::Display for WaveformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WaveformError::InvalidSamples(msg) => write!(f, "invalid samples: {msg}"),
+            WaveformError::MeasurementFailed(msg) => write!(f, "measurement failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WaveformError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(WaveformError::InvalidSamples("x".into())
+            .to_string()
+            .contains("invalid samples"));
+        assert!(WaveformError::MeasurementFailed("y".into())
+            .to_string()
+            .contains("measurement failed"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync + std::error::Error>() {}
+        check::<WaveformError>();
+    }
+}

@@ -1,0 +1,38 @@
+//! Waveform storage and measurement for the Soft-FET experiments.
+//!
+//! The transient engine in `sfet-sim` produces [`Waveform`]s — sampled
+//! time series. Every number the paper reports is a *measurement* on such
+//! waveforms, and those measurements live here:
+//!
+//! * [`measure::peak`] — peak rail current `I_MAX` and maximum `di/dt`;
+//! * [`measure::delay`] — the paper's propagation delay (50 % input to
+//!   20 %/80 % output);
+//! * [`measure::charge`] — total/output/short-circuit charge (Fig. 7);
+//! * [`measure::droop`](measure::droop()) — supply droop and ground bounce (Figs. 10, 11);
+//! * [`measure::slew`] — 10–90 % slew measurement.
+//!
+//! # Example
+//!
+//! ```
+//! use sfet_waveform::Waveform;
+//!
+//! # fn main() -> Result<(), sfet_waveform::WaveformError> {
+//! let w = Waveform::from_samples(vec![0.0, 1.0, 2.0], vec![0.0, 2.0, 0.0])?;
+//! assert_eq!(w.value_at(0.5), 1.0);
+//! let (t_peak, v_peak) = w.peak_abs();
+//! assert_eq!((t_peak, v_peak), (1.0, 2.0));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod csv;
+pub mod measure;
+
+mod error;
+mod trace;
+
+pub use error::WaveformError;
+pub use trace::Waveform;
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, WaveformError>;

@@ -1,0 +1,103 @@
+//! Charge accounting (paper Fig. 7).
+//!
+//! During a falling input transition the V_CC rail delivers a total charge
+//! `Q_total = ∫ i_vcc dt`. Part of it lands on the output capacitance
+//! (`Q_out = C_load · ΔV_out`); the remainder flowed straight through the
+//! momentarily-conducting stack to ground — the short-circuit charge
+//! (`Q_sc = Q_total - Q_out`). Fig. 7 compares both components across the
+//! peak-current-reduction techniques.
+
+use crate::Waveform;
+
+/// Decomposition of rail charge into useful and short-circuit parts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChargeSplit {
+    /// Total charge drawn from the rail \[C\].
+    pub total: f64,
+    /// Charge delivered to the load capacitance \[C\].
+    pub output: f64,
+    /// Short-circuit (crowbar) charge \[C\].
+    pub short_circuit: f64,
+}
+
+/// Splits the rail charge for one output transition.
+///
+/// * `rail_current` — current drawn from the supply (the V_CC source branch
+///   current, sign-normalised so that delivery is positive);
+/// * `v_out` — output node waveform;
+/// * `c_load` — load capacitance \[F\];
+/// * `t0`, `t1` — transition window.
+///
+/// # Example
+///
+/// ```
+/// use sfet_waveform::{measure::charge_split, Waveform};
+///
+/// # fn main() -> Result<(), sfet_waveform::WaveformError> {
+/// // 1 µA for 1 ns = 1 fC total; output swings 0→0.5 V on 1 fF: 0.5 fC useful.
+/// let i = Waveform::from_samples(vec![0.0, 1e-9], vec![1e-6, 1e-6])?;
+/// let v = Waveform::from_samples(vec![0.0, 1e-9], vec![0.0, 0.5])?;
+/// let q = charge_split(&i, &v, 1e-15, 0.0, 1e-9);
+/// assert!((q.total - 1e-15).abs() < 1e-20);
+/// assert!((q.short_circuit - 0.5e-15).abs() < 1e-20);
+/// # Ok(())
+/// # }
+/// ```
+pub fn charge_split(
+    rail_current: &Waveform,
+    v_out: &Waveform,
+    c_load: f64,
+    t0: f64,
+    t1: f64,
+) -> ChargeSplit {
+    let total = rail_current.integral_between(t0, t1).abs();
+    let dv = v_out.value_at(t1) - v_out.value_at(t0);
+    let output = (c_load * dv).abs();
+    ChargeSplit {
+        total,
+        output,
+        short_circuit: (total - output).max(0.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_load_charge_no_short_circuit() {
+        // Rail delivers exactly C·ΔV.
+        let i = Waveform::from_samples(vec![0.0, 1e-9], vec![2e-6, 2e-6]).unwrap();
+        let v = Waveform::from_samples(vec![0.0, 1e-9], vec![0.0, 2.0]).unwrap();
+        let q = charge_split(&i, &v, 1e-15, 0.0, 1e-9);
+        assert!((q.total - 2e-15).abs() < 1e-21);
+        assert!((q.output - 2e-15).abs() < 1e-21);
+        assert_eq!(q.short_circuit, 0.0);
+    }
+
+    #[test]
+    fn negative_rail_current_normalised() {
+        let i = Waveform::from_samples(vec![0.0, 1e-9], vec![-1e-6, -1e-6]).unwrap();
+        let v = Waveform::from_samples(vec![0.0, 1e-9], vec![1.0, 1.0]).unwrap();
+        let q = charge_split(&i, &v, 1e-15, 0.0, 1e-9);
+        assert!((q.total - 1e-15).abs() < 1e-21);
+        assert!((q.short_circuit - 1e-15).abs() < 1e-21);
+    }
+
+    #[test]
+    fn falling_output_counts_magnitude() {
+        let i = Waveform::from_samples(vec![0.0, 1e-9], vec![1e-6, 1e-6]).unwrap();
+        let v = Waveform::from_samples(vec![0.0, 1e-9], vec![1.0, 0.2]).unwrap();
+        let q = charge_split(&i, &v, 1e-15, 0.0, 1e-9);
+        assert!((q.output - 0.8e-15).abs() < 1e-21);
+    }
+
+    #[test]
+    fn window_restricts_integration() {
+        let i =
+            Waveform::from_samples(vec![0.0, 1e-9, 2e-9], vec![1e-6, 1e-6, 1e-6]).unwrap();
+        let v = Waveform::from_samples(vec![0.0, 2e-9], vec![0.0, 0.0]).unwrap();
+        let q = charge_split(&i, &v, 1e-15, 0.0, 1e-9);
+        assert!((q.total - 1e-15).abs() < 1e-21);
+    }
+}

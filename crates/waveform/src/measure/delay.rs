@@ -1,0 +1,189 @@
+//! Threshold-crossing and propagation-delay measurements.
+//!
+//! The paper defines output delay as "time between 50 % input to 20 (or 80) %
+//! output rise (fall)" — i.e. from the input's half-supply crossing to the
+//! output leaving its initial rail by 20 % of the swing.
+
+use crate::{Result, Waveform, WaveformError};
+use sfet_numeric::interp::crossing_between;
+
+/// Which crossing direction to look for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrossDirection {
+    /// Value passes the level from below.
+    Rising,
+    /// Value passes the level from above.
+    Falling,
+    /// Either direction.
+    Either,
+}
+
+/// Finds the first time at/after `after` where the waveform crosses `level`
+/// in the requested direction.
+///
+/// # Errors
+///
+/// [`WaveformError::MeasurementFailed`] if no such crossing exists.
+///
+/// # Example
+///
+/// ```
+/// use sfet_waveform::measure::{crossing_time, CrossDirection};
+/// use sfet_waveform::Waveform;
+///
+/// # fn main() -> Result<(), sfet_waveform::WaveformError> {
+/// let w = Waveform::from_samples(vec![0.0, 1.0, 2.0], vec![0.0, 1.0, 0.0])?;
+/// assert_eq!(crossing_time(&w, 0.5, CrossDirection::Rising, 0.0)?, 0.5);
+/// assert_eq!(crossing_time(&w, 0.5, CrossDirection::Falling, 0.0)?, 1.5);
+/// # Ok(())
+/// # }
+/// ```
+pub fn crossing_time(
+    wf: &Waveform,
+    level: f64,
+    direction: CrossDirection,
+    after: f64,
+) -> Result<f64> {
+    let times = wf.times();
+    let values = wf.values();
+    for i in 1..times.len() {
+        if times[i] < after {
+            continue;
+        }
+        let (t0, v0) = (times[i - 1].max(after), wf.value_at(times[i - 1].max(after)));
+        let (t1, v1) = (times[i], values[i]);
+        let dir_ok = match direction {
+            CrossDirection::Rising => v1 > v0,
+            CrossDirection::Falling => v1 < v0,
+            CrossDirection::Either => true,
+        };
+        if !dir_ok {
+            continue;
+        }
+        if let Some(tc) = crossing_between(t0, v0, t1, v1, level) {
+            if tc >= after {
+                return Ok(tc);
+            }
+        }
+    }
+    Err(WaveformError::MeasurementFailed(format!(
+        "no {direction:?} crossing of {level:e} after {after:e}"
+    )))
+}
+
+/// Paper-style propagation delay: from the input's 50 % crossing to the
+/// output moving 20 % of the swing away from its initial rail.
+///
+/// `swing` is the full logic swing (V_CC). For a falling input the output
+/// rises, and vice versa; the function auto-detects the input edge direction
+/// from its first and last values.
+///
+/// # Errors
+///
+/// [`WaveformError::MeasurementFailed`] if either crossing is absent, or if
+/// the input waveform has no edge.
+pub fn propagation_delay(input: &Waveform, output: &Waveform, swing: f64) -> Result<f64> {
+    let in_rising = match input.last_value() - input.first_value() {
+        d if d > 0.05 * swing => true,
+        d if d < -0.05 * swing => false,
+        _ => {
+            return Err(WaveformError::MeasurementFailed(
+                "input waveform has no edge to measure from".into(),
+            ))
+        }
+    };
+    let t_in = crossing_time(
+        input,
+        0.5 * swing,
+        if in_rising {
+            CrossDirection::Rising
+        } else {
+            CrossDirection::Falling
+        },
+        input.start_time(),
+    )?;
+    // Output moves opposite to the input (inverting stage): measure when it
+    // has moved 20% of the swing from its initial value.
+    let v0 = output.value_at(t_in);
+    let (level, dir) = if in_rising {
+        (v0 - 0.2 * swing, CrossDirection::Falling)
+    } else {
+        (v0 + 0.2 * swing, CrossDirection::Rising)
+    };
+    let t_out = crossing_time(output, level, dir, t_in)?;
+    Ok(t_out - t_in)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(t0: f64, t1: f64, v0: f64, v1: f64) -> Waveform {
+        Waveform::from_samples(vec![t0, t1], vec![v0, v1]).unwrap()
+    }
+
+    #[test]
+    fn crossing_basic() {
+        let w = ramp(0.0, 1.0, 0.0, 1.0);
+        assert!((crossing_time(&w, 0.25, CrossDirection::Rising, 0.0).unwrap() - 0.25).abs()
+            < 1e-12);
+    }
+
+    #[test]
+    fn crossing_direction_filter() {
+        let w = Waveform::from_samples(vec![0.0, 1.0, 2.0], vec![0.0, 1.0, 0.0]).unwrap();
+        let rise = crossing_time(&w, 0.5, CrossDirection::Rising, 0.0).unwrap();
+        let fall = crossing_time(&w, 0.5, CrossDirection::Falling, 0.0).unwrap();
+        assert!(rise < fall);
+        // Either finds the first one.
+        let any = crossing_time(&w, 0.5, CrossDirection::Either, 0.0).unwrap();
+        assert_eq!(any, rise);
+    }
+
+    #[test]
+    fn crossing_after_skips_early_edges() {
+        let w =
+            Waveform::from_samples(vec![0.0, 1.0, 2.0, 3.0], vec![0.0, 1.0, 0.0, 1.0]).unwrap();
+        let c = crossing_time(&w, 0.5, CrossDirection::Rising, 1.5).unwrap();
+        assert!((c - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_crossing_is_error() {
+        let w = ramp(0.0, 1.0, 0.0, 0.4);
+        assert!(crossing_time(&w, 0.5, CrossDirection::Rising, 0.0).is_err());
+    }
+
+    #[test]
+    fn propagation_delay_inverter_like() {
+        // Input falls 1→0 over [0, 1]; output rises 0→1 over [0.5, 1.5].
+        let input = ramp(0.0, 1.0, 1.0, 0.0);
+        let output = Waveform::from_samples(
+            vec![0.0, 0.5, 1.5, 2.0],
+            vec![0.0, 0.0, 1.0, 1.0],
+        )
+        .unwrap();
+        let d = propagation_delay(&input, &output, 1.0).unwrap();
+        // t_in = 0.5; output reaches 0.2 at t = 0.7.
+        assert!((d - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn propagation_delay_rising_input() {
+        let input = ramp(0.0, 1.0, 0.0, 1.0);
+        let output = Waveform::from_samples(
+            vec![0.0, 0.5, 1.5, 2.0],
+            vec![1.0, 1.0, 0.0, 0.0],
+        )
+        .unwrap();
+        let d = propagation_delay(&input, &output, 1.0).unwrap();
+        assert!((d - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flat_input_rejected() {
+        let input = ramp(0.0, 1.0, 0.5, 0.5);
+        let output = ramp(0.0, 1.0, 0.0, 1.0);
+        assert!(propagation_delay(&input, &output, 1.0).is_err());
+    }
+}

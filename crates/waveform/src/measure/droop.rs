@@ -1,0 +1,96 @@
+//! Supply droop and ground bounce (paper Figs. 1, 10, 11).
+
+use crate::Waveform;
+
+/// Summary of a rail disturbance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DroopReport {
+    /// Nominal rail value used as the reference \[V\].
+    pub nominal: f64,
+    /// Worst undershoot below nominal (≥ 0) \[V\].
+    pub droop: f64,
+    /// Worst overshoot above nominal (≥ 0) \[V\].
+    pub overshoot: f64,
+    /// Time of the worst undershoot \[s\].
+    pub t_droop: f64,
+    /// Peak-to-peak excursion \[V\].
+    pub peak_to_peak: f64,
+}
+
+/// Measures the worst-case supply droop of a rail waveform against its
+/// nominal value.
+///
+/// # Example
+///
+/// ```
+/// use sfet_waveform::{measure::droop, Waveform};
+///
+/// # fn main() -> Result<(), sfet_waveform::WaveformError> {
+/// let rail = Waveform::from_samples(vec![0.0, 1.0, 2.0], vec![1.0, 0.93, 1.01])?;
+/// let r = droop(&rail, 1.0);
+/// assert!((r.droop - 0.07).abs() < 1e-12);
+/// assert!((r.overshoot - 0.01).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn droop(rail: &Waveform, nominal: f64) -> DroopReport {
+    let (t_min, v_min) = rail.min();
+    let (_, v_max) = rail.max();
+    DroopReport {
+        nominal,
+        droop: (nominal - v_min).max(0.0),
+        overshoot: (v_max - nominal).max(0.0),
+        t_droop: t_min,
+        peak_to_peak: v_max - v_min,
+    }
+}
+
+/// Measures ground/supply *bounce*: the largest deviation of the rail from
+/// nominal in either direction. This is the simultaneous-switching-noise
+/// metric of Fig. 11.
+pub fn bounce(rail: &Waveform, nominal: f64) -> f64 {
+    rail.values()
+        .iter()
+        .fold(0.0f64, |m, &v| m.max((v - nominal).abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn droop_on_clean_rail_is_zero() {
+        let w = Waveform::from_samples(vec![0.0, 1.0], vec![1.0, 1.0]).unwrap();
+        let r = droop(&w, 1.0);
+        assert_eq!(r.droop, 0.0);
+        assert_eq!(r.overshoot, 0.0);
+        assert_eq!(r.peak_to_peak, 0.0);
+    }
+
+    #[test]
+    fn droop_time_recorded() {
+        let w =
+            Waveform::from_samples(vec![0.0, 1.0, 2.0, 3.0], vec![1.0, 0.98, 0.9, 0.99]).unwrap();
+        let r = droop(&w, 1.0);
+        assert_eq!(r.t_droop, 2.0);
+        assert!((r.droop - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounce_is_symmetric() {
+        let up = Waveform::from_samples(vec![0.0, 1.0], vec![0.0, 0.03]).unwrap();
+        let dn = Waveform::from_samples(vec![0.0, 1.0], vec![0.0, -0.03]).unwrap();
+        assert_eq!(bounce(&up, 0.0), bounce(&dn, 0.0));
+    }
+
+    #[test]
+    fn ringing_peak_to_peak() {
+        let w = Waveform::from_samples(
+            vec![0.0, 1.0, 2.0, 3.0],
+            vec![1.0, 0.95, 1.04, 1.0],
+        )
+        .unwrap();
+        let r = droop(&w, 1.0);
+        assert!((r.peak_to_peak - 0.09).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,68 @@
+//! Peak current and maximum di/dt — the paper's two headline metrics.
+
+use crate::Waveform;
+
+/// Peak absolute current of a rail-current waveform: `I_MAX` in the paper.
+///
+/// Returns `(time, |value|)`.
+///
+/// # Example
+///
+/// ```
+/// use sfet_waveform::{measure::peak_abs_current, Waveform};
+///
+/// # fn main() -> Result<(), sfet_waveform::WaveformError> {
+/// let i = Waveform::from_samples(vec![0.0, 1.0, 2.0], vec![0.0, -5e-6, -1e-6])?;
+/// let (t, imax) = peak_abs_current(&i);
+/// assert_eq!((t, imax), (1.0, 5e-6));
+/// # Ok(())
+/// # }
+/// ```
+pub fn peak_abs_current(current: &Waveform) -> (f64, f64) {
+    let (t, v) = current.peak_abs();
+    (t, v.abs())
+}
+
+/// Maximum absolute slope of a current waveform: the paper's `di/dt` metric
+/// \[A/s\].
+///
+/// The derivative is evaluated per sample segment; for waveforms produced
+/// by the adaptive transient engine the segments already concentrate where
+/// the current moves fast.
+pub fn max_abs_didt(current: &Waveform) -> f64 {
+    current
+        .derivative()
+        .values()
+        .iter()
+        .fold(0.0f64, |m, &v| m.max(v.abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn didt_of_linear_ramp_is_slope() {
+        let w = Waveform::from_samples(vec![0.0, 1.0, 2.0], vec![0.0, 3.0, 6.0]).unwrap();
+        assert!((max_abs_didt(&w) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn didt_picks_steepest_segment() {
+        let w =
+            Waveform::from_samples(vec![0.0, 1.0, 1.1, 2.0], vec![0.0, 1.0, 3.0, 3.1]).unwrap();
+        assert!((max_abs_didt(&w) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn didt_of_constant_is_zero() {
+        let w = Waveform::from_samples(vec![0.0, 1.0], vec![2.0, 2.0]).unwrap();
+        assert_eq!(max_abs_didt(&w), 0.0);
+    }
+
+    #[test]
+    fn peak_handles_negative_currents() {
+        let w = Waveform::from_samples(vec![0.0, 1.0], vec![1e-6, -2e-6]).unwrap();
+        assert_eq!(peak_abs_current(&w), (1.0, 2e-6));
+    }
+}

@@ -1,0 +1,85 @@
+//! 10–90 % slew-rate measurement.
+
+use super::delay::{crossing_time, CrossDirection};
+use crate::{Result, Waveform, WaveformError};
+
+/// Measures the 10–90 % slew rate of the first full edge of `wf` between
+/// the rails `v_lo` and `v_hi` (returns V/s, always positive).
+///
+/// # Errors
+///
+/// [`WaveformError::MeasurementFailed`] if the waveform never traverses
+/// both the 10 % and 90 % levels.
+///
+/// # Example
+///
+/// ```
+/// use sfet_waveform::{measure::slew_rate, Waveform};
+///
+/// # fn main() -> Result<(), sfet_waveform::WaveformError> {
+/// let w = Waveform::from_samples(vec![0.0, 1e-9], vec![0.0, 1.0])?;
+/// let s = slew_rate(&w, 0.0, 1.0)?;
+/// assert!((s - 1e9).abs() / 1e9 < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn slew_rate(wf: &Waveform, v_lo: f64, v_hi: f64) -> Result<f64> {
+    let swing = v_hi - v_lo;
+    if swing <= 0.0 {
+        return Err(WaveformError::MeasurementFailed(
+            "slew_rate requires v_hi > v_lo".into(),
+        ));
+    }
+    let l10 = v_lo + 0.1 * swing;
+    let l90 = v_lo + 0.9 * swing;
+    let rising = wf.last_value() >= wf.first_value();
+    let (first, second, dir) = if rising {
+        (l10, l90, CrossDirection::Rising)
+    } else {
+        (l90, l10, CrossDirection::Falling)
+    };
+    let t1 = crossing_time(wf, first, dir, wf.start_time())?;
+    let t2 = crossing_time(wf, second, dir, t1)?;
+    if t2 <= t1 {
+        return Err(WaveformError::MeasurementFailed(
+            "degenerate edge: zero transition time".into(),
+        ));
+    }
+    Ok(0.8 * swing / (t2 - t1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn falling_edge_slew() {
+        let w = Waveform::from_samples(vec![0.0, 2e-9], vec![1.0, 0.0]).unwrap();
+        let s = slew_rate(&w, 0.0, 1.0).unwrap();
+        assert!((s - 0.5e9).abs() / 0.5e9 < 1e-9);
+    }
+
+    #[test]
+    fn incomplete_edge_fails() {
+        let w = Waveform::from_samples(vec![0.0, 1e-9], vec![0.0, 0.5]).unwrap();
+        assert!(slew_rate(&w, 0.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn invalid_rails_rejected() {
+        let w = Waveform::from_samples(vec![0.0, 1e-9], vec![0.0, 1.0]).unwrap();
+        assert!(slew_rate(&w, 1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn nonlinear_edge_uses_10_90_window() {
+        // Slow start, fast middle: slew should reflect the 10-90 window only.
+        let w = Waveform::from_samples(
+            vec![0.0, 1e-9, 1.1e-9, 2e-9],
+            vec![0.0, 0.1, 0.9, 1.0],
+        )
+        .unwrap();
+        let s = slew_rate(&w, 0.0, 1.0).unwrap();
+        assert!((s - 0.8 / 0.1e-9).abs() / s < 1e-9);
+    }
+}

@@ -1,0 +1,179 @@
+//! Voltage-transfer-characteristic (VTC) measurements.
+//!
+//! The paper's §III-A argues the Soft-FET leaves DC noise margins
+//! untouched (unlike the Hyper-FET, whose series output resistance
+//! degrades them); these helpers extract the standard static metrics from
+//! a swept transfer curve so that claim can be tested quantitatively.
+
+use crate::{Result, Waveform, WaveformError};
+
+/// Static noise-margin summary of an inverting transfer curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseMargins {
+    /// Input low level `V_IL` (first unity-gain point) \[V\].
+    pub v_il: f64,
+    /// Input high level `V_IH` (second unity-gain point) \[V\].
+    pub v_ih: f64,
+    /// Output high level `V_OH = VTC(V_IL)` \[V\].
+    pub v_oh: f64,
+    /// Output low level `V_OL = VTC(V_IH)` \[V\].
+    pub v_ol: f64,
+    /// Low noise margin `NM_L = V_IL - V_OL` \[V\].
+    pub nm_l: f64,
+    /// High noise margin `NM_H = V_OH - V_IH` \[V\].
+    pub nm_h: f64,
+    /// Switching threshold `V_M` (where `VTC(v) = v`) \[V\].
+    pub v_m: f64,
+}
+
+/// Extracts noise margins from an inverting VTC (input on the waveform's
+/// abscissa, output on its ordinate).
+///
+/// Uses the unity-gain (|dVout/dVin| = 1) definition of `V_IL`/`V_IH`.
+///
+/// # Errors
+///
+/// [`WaveformError::MeasurementFailed`] if the curve is not inverting or
+/// has no unity-gain points (e.g. too few samples).
+///
+/// # Example
+///
+/// ```
+/// use sfet_waveform::{measure::noise_margins, Waveform};
+///
+/// # fn main() -> Result<(), sfet_waveform::WaveformError> {
+/// // Idealised steep inverter: V_M = 0.5.
+/// let vin: Vec<f64> = (0..=100).map(|k| k as f64 / 100.0).collect();
+/// let vout: Vec<f64> = vin.iter().map(|&v| 1.0 / (1.0 + ((v - 0.5) / 0.02).exp())).collect();
+/// let nm = noise_margins(&Waveform::from_samples(vin, vout)?)?;
+/// assert!((nm.v_m - 0.5).abs() < 0.02);
+/// assert!(nm.nm_l > 0.3 && nm.nm_h > 0.3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn noise_margins(vtc: &Waveform) -> Result<NoiseMargins> {
+    if vtc.len() < 5 {
+        return Err(WaveformError::MeasurementFailed(
+            "VTC needs at least 5 samples".into(),
+        ));
+    }
+    if vtc.last_value() >= vtc.first_value() {
+        return Err(WaveformError::MeasurementFailed(
+            "VTC is not inverting".into(),
+        ));
+    }
+    let gain = vtc.derivative();
+    // First crossing of gain = -1 going down, last crossing coming back.
+    let mut v_il = None;
+    let mut v_ih = None;
+    for i in 0..gain.len() {
+        let g = gain.values()[i];
+        if v_il.is_none() && g <= -1.0 {
+            v_il = Some(gain.times()[i]);
+        }
+        if g <= -1.0 {
+            v_ih = Some(gain.times()[i]);
+        }
+    }
+    let (v_il, v_ih) = match (v_il, v_ih) {
+        (Some(a), Some(b)) if b > a => (a, b),
+        (Some(a), Some(_)) => {
+            // Single steep segment: split it symmetrically.
+            (a * 0.999, a * 1.001)
+        }
+        _ => {
+            return Err(WaveformError::MeasurementFailed(
+                "no unity-gain point found".into(),
+            ))
+        }
+    };
+    let v_oh = vtc.value_at(v_il);
+    let v_ol = vtc.value_at(v_ih);
+
+    // Switching threshold: VTC(v) = v.
+    let mut v_m = f64::NAN;
+    for i in 1..vtc.len() {
+        let (x0, y0) = (vtc.times()[i - 1], vtc.values()[i - 1]);
+        let (x1, y1) = (vtc.times()[i], vtc.values()[i]);
+        let d0 = y0 - x0;
+        let d1 = y1 - x1;
+        if d0 >= 0.0 && d1 <= 0.0 {
+            v_m = x0 + (x1 - x0) * d0 / (d0 - d1).max(1e-30);
+            break;
+        }
+    }
+    if !v_m.is_finite() {
+        return Err(WaveformError::MeasurementFailed(
+            "no switching threshold found".into(),
+        ));
+    }
+
+    Ok(NoiseMargins {
+        v_il,
+        v_ih,
+        v_oh,
+        v_ol,
+        nm_l: v_il - v_ol,
+        nm_h: v_oh - v_ih,
+        v_m,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn logistic_vtc(vm: f64, steep: f64) -> Waveform {
+        let vin: Vec<f64> = (0..=200).map(|k| k as f64 / 200.0).collect();
+        let vout: Vec<f64> = vin
+            .iter()
+            .map(|&v| 1.0 / (1.0 + ((v - vm) / steep).exp()))
+            .collect();
+        Waveform::from_samples(vin, vout).unwrap()
+    }
+
+    #[test]
+    fn symmetric_vtc_symmetric_margins() {
+        let nm = noise_margins(&logistic_vtc(0.5, 0.03)).unwrap();
+        assert!((nm.v_m - 0.5).abs() < 0.01);
+        assert!((nm.nm_l - nm.nm_h).abs() < 0.02);
+        assert!(nm.v_il < 0.5 && nm.v_ih > 0.5);
+        assert!(nm.v_oh > 0.9 && nm.v_ol < 0.1);
+    }
+
+    #[test]
+    fn skewed_vtc_shifts_threshold() {
+        let nm = noise_margins(&logistic_vtc(0.4, 0.03)).unwrap();
+        assert!((nm.v_m - 0.4).abs() < 0.02);
+        assert!(nm.nm_l < nm.nm_h);
+    }
+
+    #[test]
+    fn steeper_curve_gives_larger_margins() {
+        let soft = noise_margins(&logistic_vtc(0.5, 0.08)).unwrap();
+        let steep = noise_margins(&logistic_vtc(0.5, 0.02)).unwrap();
+        assert!(steep.nm_l > soft.nm_l);
+        assert!(steep.nm_h > soft.nm_h);
+    }
+
+    #[test]
+    fn non_inverting_rejected() {
+        let w = Waveform::from_samples(vec![0.0, 0.5, 1.0], vec![0.0, 0.5, 1.0]).unwrap();
+        assert!(noise_margins(&w).is_err());
+    }
+
+    #[test]
+    fn too_few_samples_rejected() {
+        let w = Waveform::from_samples(vec![0.0, 1.0], vec![1.0, 0.0]).unwrap();
+        assert!(noise_margins(&w).is_err());
+    }
+
+    #[test]
+    fn shallow_curve_without_gain_rejected() {
+        // Gain never reaches -1.
+        let vin: Vec<f64> = (0..=50).map(|k| k as f64 / 50.0).collect();
+        let vout: Vec<f64> = vin.iter().map(|&v| 0.6 - 0.2 * v).collect();
+        let w = Waveform::from_samples(vin, vout).unwrap();
+        assert!(noise_margins(&w).is_err());
+    }
+}

@@ -1,0 +1,344 @@
+//! The sampled time-series type.
+
+use crate::{Result, WaveformError};
+use sfet_numeric::interp::lerp_between;
+
+/// A sampled waveform: a strictly increasing time axis plus one value per
+/// sample. Evaluation between samples is linear; outside the range it
+/// clamps to the end values.
+///
+/// # Example
+///
+/// ```
+/// use sfet_waveform::Waveform;
+///
+/// # fn main() -> Result<(), sfet_waveform::WaveformError> {
+/// let w = Waveform::from_samples(vec![0.0, 1e-12, 2e-12], vec![0.0, 1.0, 1.0])?;
+/// assert_eq!(w.len(), 3);
+/// assert_eq!(w.value_at(0.5e-12), 0.5);
+/// assert_eq!(w.first_value(), 0.0);
+/// assert_eq!(w.last_value(), 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Waveform {
+    times: Vec<f64>,
+    values: Vec<f64>,
+}
+
+impl Waveform {
+    /// Builds a waveform from parallel time/value vectors.
+    ///
+    /// # Errors
+    ///
+    /// [`WaveformError::InvalidSamples`] if the vectors are empty, differ in
+    /// length, contain non-finite entries, or the times are not strictly
+    /// increasing.
+    pub fn from_samples(times: Vec<f64>, values: Vec<f64>) -> Result<Self> {
+        if times.is_empty() || times.len() != values.len() {
+            return Err(WaveformError::InvalidSamples(
+                "times and values must be non-empty and of equal length".into(),
+            ));
+        }
+        if times.iter().chain(values.iter()).any(|v| !v.is_finite()) {
+            return Err(WaveformError::InvalidSamples(
+                "samples must be finite".into(),
+            ));
+        }
+        if times.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(WaveformError::InvalidSamples(
+                "time axis must be strictly increasing".into(),
+            ));
+        }
+        Ok(Waveform { times, values })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether the waveform holds no samples (never true for a constructed
+    /// waveform; provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// The time axis.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// The sample values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// First sampled time.
+    pub fn start_time(&self) -> f64 {
+        self.times[0]
+    }
+
+    /// Last sampled time.
+    pub fn end_time(&self) -> f64 {
+        *self.times.last().expect("waveform is never empty")
+    }
+
+    /// Value at the first sample.
+    pub fn first_value(&self) -> f64 {
+        self.values[0]
+    }
+
+    /// Value at the last sample.
+    pub fn last_value(&self) -> f64 {
+        *self.values.last().expect("waveform is never empty")
+    }
+
+    /// Iterates `(time, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.times.iter().copied().zip(self.values.iter().copied())
+    }
+
+    /// Linearly interpolated value at `t` (clamped outside the range).
+    pub fn value_at(&self, t: f64) -> f64 {
+        if t <= self.times[0] {
+            return self.values[0];
+        }
+        let n = self.times.len();
+        if t >= self.times[n - 1] {
+            return self.values[n - 1];
+        }
+        let i = self.times.partition_point(|&ti| ti <= t);
+        lerp_between(
+            self.times[i - 1],
+            self.values[i - 1],
+            self.times[i],
+            self.values[i],
+            t,
+        )
+    }
+
+    /// Global minimum value and its time.
+    pub fn min(&self) -> (f64, f64) {
+        self.iter()
+            .fold((self.times[0], f64::INFINITY), |(tb, vb), (t, v)| {
+                if v < vb {
+                    (t, v)
+                } else {
+                    (tb, vb)
+                }
+            })
+    }
+
+    /// Global maximum value and its time.
+    pub fn max(&self) -> (f64, f64) {
+        self.iter()
+            .fold((self.times[0], f64::NEG_INFINITY), |(tb, vb), (t, v)| {
+                if v > vb {
+                    (t, v)
+                } else {
+                    (tb, vb)
+                }
+            })
+    }
+
+    /// Time and value of the sample with the largest magnitude.
+    pub fn peak_abs(&self) -> (f64, f64) {
+        self.iter()
+            .fold((self.times[0], 0.0), |(tb, vb): (f64, f64), (t, v)| {
+                if v.abs() > vb.abs() {
+                    (t, v)
+                } else {
+                    (tb, vb)
+                }
+            })
+    }
+
+    /// Returns a new waveform with every value transformed by `f`.
+    pub fn map<F: FnMut(f64) -> f64>(&self, f: F) -> Waveform {
+        Waveform {
+            times: self.times.clone(),
+            values: self.values.iter().copied().map(f).collect(),
+        }
+    }
+
+    /// Piecewise derivative, sampled at segment midpoints mapped back onto
+    /// the left sample time (length `len() - 1`, or a single zero sample for
+    /// a one-point waveform).
+    pub fn derivative(&self) -> Waveform {
+        if self.times.len() < 2 {
+            return Waveform {
+                times: self.times.clone(),
+                values: vec![0.0],
+            };
+        }
+        let mut times = Vec::with_capacity(self.times.len() - 1);
+        let mut values = Vec::with_capacity(self.times.len() - 1);
+        for i in 1..self.times.len() {
+            let dt = self.times[i] - self.times[i - 1];
+            times.push(0.5 * (self.times[i] + self.times[i - 1]));
+            values.push((self.values[i] - self.values[i - 1]) / dt);
+        }
+        Waveform { times, values }
+    }
+
+    /// Trapezoidal integral over the full waveform.
+    pub fn integral(&self) -> f64 {
+        self.integral_between(self.start_time(), self.end_time())
+    }
+
+    /// Trapezoidal integral over `[t0, t1]` (clamped to the sampled range,
+    /// with partial end segments interpolated).
+    pub fn integral_between(&self, t0: f64, t1: f64) -> f64 {
+        if t1 <= t0 {
+            return 0.0;
+        }
+        let (t0, t1) = (t0.max(self.start_time()), t1.min(self.end_time()));
+        if t1 <= t0 {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for i in 1..self.times.len() {
+            let (ta, tb) = (self.times[i - 1], self.times[i]);
+            if tb <= t0 || ta >= t1 {
+                continue;
+            }
+            let lo = ta.max(t0);
+            let hi = tb.min(t1);
+            let va = self.value_at(lo);
+            let vb = self.value_at(hi);
+            acc += 0.5 * (va + vb) * (hi - lo);
+        }
+        acc
+    }
+
+    /// Resamples onto another waveform's time axis and combines pairwise.
+    pub fn zip_with<F: FnMut(f64, f64) -> f64>(&self, other: &Waveform, mut f: F) -> Waveform {
+        Waveform {
+            times: self.times.clone(),
+            values: self
+                .times
+                .iter()
+                .zip(&self.values)
+                .map(|(&t, &v)| f(v, other.value_at(t)))
+                .collect(),
+        }
+    }
+
+    /// Returns the sub-waveform covering `[t0, t1]` (including interpolated
+    /// end points).
+    ///
+    /// # Errors
+    ///
+    /// [`WaveformError::MeasurementFailed`] if the window does not overlap
+    /// the sampled range.
+    pub fn window(&self, t0: f64, t1: f64) -> Result<Waveform> {
+        if t1 <= t0 || t1 <= self.start_time() || t0 >= self.end_time() {
+            return Err(WaveformError::MeasurementFailed(format!(
+                "window [{t0:e}, {t1:e}] does not overlap waveform range"
+            )));
+        }
+        let t0 = t0.max(self.start_time());
+        let t1 = t1.min(self.end_time());
+        let mut times = vec![t0];
+        let mut values = vec![self.value_at(t0)];
+        for (t, v) in self.iter() {
+            if t > t0 && t < t1 {
+                times.push(t);
+                values.push(v);
+            }
+        }
+        if t1 > *times.last().expect("non-empty") {
+            times.push(t1);
+            values.push(self.value_at(t1));
+        }
+        Ok(Waveform { times, values })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tri() -> Waveform {
+        Waveform::from_samples(vec![0.0, 1.0, 2.0], vec![0.0, 2.0, 0.0]).unwrap()
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(Waveform::from_samples(vec![], vec![]).is_err());
+        assert!(Waveform::from_samples(vec![0.0, 0.0], vec![1.0, 2.0]).is_err());
+        assert!(Waveform::from_samples(vec![0.0], vec![f64::NAN]).is_err());
+        assert!(Waveform::from_samples(vec![0.0, 1.0], vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn value_interpolation_and_clamping() {
+        let w = tri();
+        assert_eq!(w.value_at(-1.0), 0.0);
+        assert_eq!(w.value_at(0.5), 1.0);
+        assert_eq!(w.value_at(1.5), 1.0);
+        assert_eq!(w.value_at(5.0), 0.0);
+    }
+
+    #[test]
+    fn min_max_peak() {
+        let w = Waveform::from_samples(vec![0.0, 1.0, 2.0], vec![1.0, -3.0, 2.0]).unwrap();
+        assert_eq!(w.min(), (1.0, -3.0));
+        assert_eq!(w.max(), (2.0, 2.0));
+        assert_eq!(w.peak_abs(), (1.0, -3.0));
+    }
+
+    #[test]
+    fn derivative_of_triangle() {
+        let d = tri().derivative();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.values()[0], 2.0);
+        assert_eq!(d.values()[1], -2.0);
+    }
+
+    #[test]
+    fn integral_of_triangle() {
+        assert!((tri().integral() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integral_between_partial_segments() {
+        let w = tri();
+        // [0.5, 1.5]: area = two trapezoids of mean 1.5 width 0.5 each = 1.5.
+        assert!((w.integral_between(0.5, 1.5) - 1.5).abs() < 1e-12);
+        assert_eq!(w.integral_between(1.0, 1.0), 0.0);
+        assert_eq!(w.integral_between(2.0, 1.0), 0.0);
+        // Clamps outside.
+        assert!((w.integral_between(-5.0, 5.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn map_and_zip() {
+        let w = tri();
+        let neg = w.map(|v| -v);
+        assert_eq!(neg.values()[1], -2.0);
+        let sum = w.zip_with(&neg, |a, b| a + b);
+        assert!(sum.values().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn window_extraction() {
+        let w = tri();
+        let win = w.window(0.5, 1.5).unwrap();
+        assert_eq!(win.start_time(), 0.5);
+        assert_eq!(win.end_time(), 1.5);
+        assert_eq!(win.value_at(1.0), 2.0);
+        assert!(w.window(5.0, 6.0).is_err());
+        assert!(w.window(1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn iter_pairs() {
+        let w = tri();
+        let pts: Vec<(f64, f64)> = w.iter().collect();
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[1], (1.0, 2.0));
+    }
+}

@@ -1,0 +1,77 @@
+//! A tiny SPICE-like command-line simulator built on the library.
+//!
+//! Reads a netlist (path as the first argument, or a built-in Soft-FET
+//! demo deck when omitted), runs the `.tran` analyses it contains, and
+//! prints node-voltage summaries.
+//!
+//! ```text
+//! cargo run --release --example netlist_cli                # demo deck
+//! cargo run --release --example netlist_cli my_deck.sp     # your deck
+//! ```
+
+use sfet_circuit::parse::{parse_netlist, Analysis};
+use sfet_sim::{transient, SimOptions};
+use softfet::report::{fmt_si, Table};
+
+const DEMO_DECK: &str = "\
+* Soft-FET inverter demo deck
+VDD vdd 0 DC 1.0
+VIN in 0 PWL(0 1 20p 1 50p 0)
+P1 in g VIMT=0.4 VMIT=0.1 RINS=500k RMET=5k TPTM=10p
+M1 out g vdd vdd pmos40 W=240n L=40n
+M2 out g 0 0 nmos40 W=120n L=40n
+C1 out 0 2f
+.tran 0.2p 600p
+.end
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (source, text) = match std::env::args().nth(1) {
+        Some(path) => (path.clone(), std::fs::read_to_string(&path)?),
+        None => ("<built-in demo>".to_string(), DEMO_DECK.to_string()),
+    };
+    println!("deck: {source}");
+
+    let parsed = parse_netlist(&text)?;
+    println!(
+        "parsed {} elements over {} nodes",
+        parsed.circuit.elements().len(),
+        parsed.circuit.node_count()
+    );
+
+    if parsed.analyses.is_empty() {
+        println!("no .tran directive found — add `.tran <dtmax> <tstop>`");
+        return Ok(());
+    }
+
+    for analysis in &parsed.analyses {
+        let Analysis::Tran { dtmax, tstop } = analysis;
+        println!("\nrunning .tran {} {}", fmt_si(*dtmax, "s"), fmt_si(*tstop, "s"));
+        let opts = SimOptions::default().with_dtmax(*dtmax);
+        let result = transient(&parsed.circuit, *tstop, &opts)?;
+        let stats = result.stats();
+        println!(
+            "  {} steps accepted, {} rejected, {} Newton iterations, {} PTM transitions",
+            stats.steps_accepted,
+            stats.steps_rejected,
+            stats.newton_iterations,
+            stats.ptm_transitions
+        );
+
+        let mut table = Table::new(&["node", "v(0)", "v(tstop)", "min", "max"]);
+        let mut names: Vec<&str> = result.node_names().collect();
+        names.sort_unstable();
+        for name in names {
+            let wf = result.voltage(name)?;
+            table.add_row(vec![
+                name.to_string(),
+                format!("{:+.4}", wf.first_value()),
+                format!("{:+.4}", wf.last_value()),
+                format!("{:+.4}", wf.min().1),
+                format!("{:+.4}", wf.max().1),
+            ]);
+        }
+        println!("{table}");
+    }
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! Power-gate droop mitigation (the paper's Fig. 10 application).
+//!
+//! Wakes a sleeping 2 nF power domain through a 2 mm PMOS header on a
+//! shared PDN rail, with and without a Soft-FET gate drive, and reports
+//! the droop seen by an active neighbour.
+//!
+//! ```text
+//! cargo run --release --example power_gate_droop
+//! ```
+
+use sfet_devices::ptm::PtmParams;
+use sfet_pdn::power_gate::PowerGateScenario;
+use softfet::power_gate::compare_power_gate;
+use softfet::report::{fmt_si, Table};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = PowerGateScenario::default();
+    println!(
+        "waking a {} domain through a {} header; active neighbour draws {}",
+        fmt_si(scenario.c_domain, "F"),
+        fmt_si(scenario.pg_width, "m"),
+        fmt_si(scenario.i_active, "A"),
+    );
+
+    let cmp = compare_power_gate(&scenario, PtmParams::vo2_default())?;
+
+    let mut t = Table::new(&["", "baseline header", "Soft-FET header"]);
+    t.add_row(vec![
+        "rail droop".into(),
+        fmt_si(cmp.baseline.droop.droop, "V"),
+        fmt_si(cmp.soft.droop.droop, "V"),
+    ]);
+    t.add_row(vec![
+        "peak inrush".into(),
+        fmt_si(cmp.baseline.peak_inrush, "A"),
+        fmt_si(cmp.soft.peak_inrush, "A"),
+    ]);
+    t.add_row(vec![
+        "wake time".into(),
+        cmp.baseline
+            .wake_time
+            .map(|t| fmt_si(t, "s"))
+            .unwrap_or_default(),
+        cmp.soft
+            .wake_time
+            .map(|t| fmt_si(t, "s"))
+            .unwrap_or_default(),
+    ]);
+    println!("{t}");
+    println!(
+        "Soft-FET header: {:.1} mV less droop at {:.2}x lower inrush \
+         (paper: ~20 mV, 2x), paid for with wake latency.",
+        cmp.droop_improvement_mv(),
+        cmp.current_reduction_factor()
+    );
+    Ok(())
+}

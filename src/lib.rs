@@ -1,0 +1,14 @@
+//! Workspace root crate for the Soft-FET (DAC 2018) reproduction.
+//!
+//! This crate exists to host the cross-crate integration tests in `tests/`
+//! and the runnable examples in `examples/`. The actual library surface
+//! lives in the `softfet` crate and its substrates; this crate simply
+//! re-exports them for convenience.
+
+pub use sfet_circuit as circuit;
+pub use sfet_devices as devices;
+pub use sfet_numeric as numeric;
+pub use sfet_pdn as pdn;
+pub use sfet_sim as sim;
+pub use sfet_waveform as waveform;
+pub use softfet;

@@ -1,0 +1,62 @@
+//! Golden-value regression tests.
+//!
+//! The engine is fully deterministic, so key experiment outputs can be
+//! pinned with tight tolerances. If a change in the stack moves any of
+//! these numbers, that's a *physics* change and EXPERIMENTS.md must be
+//! re-baselined deliberately — these tests make that visible.
+
+use sfet_devices::ptm::PtmParams;
+use sfet_pdn::io_buffer::IoBufferScenario;
+use sfet_pdn::power_gate::PowerGateScenario;
+use softfet::inverter::{InverterSpec, Topology};
+use softfet::metrics::measure_inverter;
+
+fn within(actual: f64, golden: f64, rel: f64, what: &str) {
+    assert!(
+        ((actual - golden) / golden).abs() < rel,
+        "{what}: {actual:.6e} drifted from golden {golden:.6e} (tol {rel})"
+    );
+}
+
+#[test]
+fn golden_baseline_inverter() {
+    let m = measure_inverter(&InverterSpec::minimum(1.0, Topology::Baseline)).unwrap();
+    within(m.i_max, 106.24e-6, 0.02, "baseline I_MAX");
+    within(m.delay, 12.86e-12, 0.03, "baseline delay");
+    within(m.q_total, 1.82e-15, 0.05, "baseline Q_total");
+}
+
+#[test]
+fn golden_softfet_inverter() {
+    let m = measure_inverter(&InverterSpec::minimum(
+        1.0,
+        Topology::SoftFet(PtmParams::vo2_default()),
+    ))
+    .unwrap();
+    within(m.i_max, 45.45e-6, 0.02, "soft-FET I_MAX");
+    within(m.delay, 19.11e-12, 0.03, "soft-FET delay");
+    assert_eq!(m.transitions, 2, "soft-FET transition count");
+}
+
+#[test]
+fn golden_power_gate() {
+    let base = PowerGateScenario::default().run().unwrap();
+    within(base.droop.droop, 50.31e-3, 0.05, "baseline PG droop");
+    within(base.peak_inrush, 1.00, 0.05, "baseline PG inrush");
+    let soft = PowerGateScenario::default()
+        .with_soft_fet(PtmParams::vo2_default())
+        .run()
+        .unwrap();
+    within(soft.droop.droop, 23.6e-3, 0.08, "soft PG droop");
+}
+
+#[test]
+fn golden_io_buffer() {
+    let base = IoBufferScenario::default().run().unwrap();
+    within(base.ssn, 8.03e-3, 0.05, "baseline SSN");
+    let soft = IoBufferScenario::default()
+        .with_soft_fet(PtmParams::vo2_default())
+        .run()
+        .unwrap();
+    within(soft.ssn, 4.38e-3, 0.08, "soft SSN");
+}

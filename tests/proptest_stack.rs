@@ -1,0 +1,131 @@
+//! Property-based integration tests over the full stack: random passive
+//! networks and PTM/MOSFET parameter draws pushed through netlist →
+//! simulation → measurement.
+
+use proptest::prelude::*;
+use sfet_circuit::{Circuit, SourceWaveform};
+use sfet_devices::ptm::PtmParams;
+use sfet_sim::{dc_operating_point, transient, SimOptions};
+
+/// Random RC ladder DC check: with a DC source, every internal node must
+/// settle between the source value and ground.
+fn rc_ladder(stages: usize, rs: &[f64], v: f64) -> Circuit {
+    let mut ckt = Circuit::new();
+    let gnd = Circuit::ground();
+    let src = ckt.node("src");
+    ckt.add_voltage_source("V1", src, gnd, SourceWaveform::Dc(v))
+        .expect("source");
+    let mut prev = src;
+    for (k, &ohms) in rs.iter().enumerate().take(stages) {
+        let node = ckt.node(&format!("n{k}"));
+        ckt.add_resistor(&format!("R{k}"), prev, node, ohms)
+            .expect("resistor");
+        ckt.add_capacitor(&format!("C{k}"), node, gnd, 1e-15)
+            .expect("capacitor");
+        prev = node;
+    }
+    // Resistive termination gives a defined DC solution.
+    ckt.add_resistor("Rterm", prev, gnd, 10e3).expect("term");
+    ckt
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// DC node voltages of a random RC ladder form a monotone divider.
+    #[test]
+    fn dc_ladder_monotone(
+        stages in 1usize..6,
+        seed in 1u64..1000,
+        v in 0.1f64..1.5,
+    ) {
+        let rs: Vec<f64> = (0..stages)
+            .map(|k| 100.0 * ((seed + k as u64 * 7919) % 97 + 1) as f64)
+            .collect();
+        let ckt = rc_ladder(stages, &rs, v);
+        let x = dc_operating_point(&ckt, &SimOptions::default()).unwrap();
+        // x[0] = v(src), x[1..=stages] = ladder nodes, in build order.
+        let mut prev = x[0];
+        prop_assert!((prev - v).abs() < 1e-6);
+        for k in 0..stages {
+            let cur = x[1 + k];
+            prop_assert!(cur <= prev + 1e-9, "divider must be monotone");
+            prop_assert!(cur >= -1e-9);
+            prev = cur;
+        }
+    }
+
+    /// Transient of the ladder converges to its DC solution.
+    #[test]
+    fn transient_settles_to_dc(
+        stages in 1usize..4,
+        seed in 1u64..500,
+    ) {
+        let rs: Vec<f64> = (0..stages)
+            .map(|k| 200.0 * ((seed + k as u64 * 131) % 37 + 1) as f64)
+            .collect();
+        let ckt = rc_ladder(stages, &rs, 1.0);
+        let x_dc = dc_operating_point(&ckt, &SimOptions::default()).unwrap();
+        // Longest time constant is bounded by sum(R) * C * stages; run 20x.
+        let tau: f64 = rs.iter().sum::<f64>() * 1e-15 * stages as f64;
+        let tstop = (20.0 * tau).max(1e-12);
+        let r = transient(&ckt, tstop, &SimOptions::for_duration(tstop, 500)).unwrap();
+        for k in 0..stages {
+            let wf = r.voltage(&format!("n{k}")).unwrap();
+            prop_assert!(
+                (wf.last_value() - x_dc[1 + k]).abs() < 1e-3,
+                "node n{k}: transient {} vs dc {}",
+                wf.last_value(),
+                x_dc[1 + k]
+            );
+        }
+    }
+
+    /// Any valid random PTM parameter set produces a working hysteresis
+    /// loop with thresholds where the parameters put them.
+    #[test]
+    fn random_ptm_hysteresis(
+        v_imt in 0.15f64..0.7,
+        gap in 0.05f64..0.4,
+        r_ins_exp in 5.0f64..6.5,
+        contrast in 1.2f64..3.0,
+    ) {
+        let v_mit = (v_imt - gap).max(0.02);
+        prop_assume!(v_mit < v_imt);
+        let r_ins = 10f64.powf(r_ins_exp);
+        let params = PtmParams {
+            v_imt,
+            v_mit,
+            r_ins,
+            r_met: r_ins / 10f64.powf(contrast),
+            t_ptm: 10e-12,
+        };
+        params.validate().unwrap();
+        let pts = sfet_devices::ptm::hysteresis_sweep(&params, 1.0, 300).unwrap();
+        if v_imt < 0.99 {
+            let (up, down) = sfet_devices::ptm::extract_thresholds(&pts).unwrap();
+            prop_assert!((up - v_imt).abs() < 0.01, "IMT at {up} vs {v_imt}");
+            prop_assert!((down - v_mit).abs() < 0.01, "MIT at {down} vs {v_mit}");
+        }
+    }
+
+    /// The soft inverter completes its transition (output reaches the
+    /// opposite rail) for any PTM in the practical parameter box.
+    #[test]
+    fn soft_inverter_always_completes(
+        v_imt in 0.25f64..0.55,
+        t_ptm_ps in 2.0f64..30.0,
+    ) {
+        let ptm = PtmParams::vo2_default()
+            .with_thresholds(v_imt, 0.1)
+            .with_t_ptm(t_ptm_ps * 1e-12);
+        let spec = softfet::inverter::InverterSpec::minimum(
+            1.0,
+            softfet::inverter::Topology::SoftFet(ptm),
+        ).with_t_stop(1.5e-9);
+        let m = softfet::metrics::measure_inverter(&spec).unwrap();
+        prop_assert!(m.v_out.last_value() > 0.95, "output reached {}", m.v_out.last_value());
+        prop_assert!(m.transitions >= 1);
+        prop_assert!(m.i_max > 0.0 && m.i_max.is_finite());
+    }
+}

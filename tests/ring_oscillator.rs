@@ -1,0 +1,154 @@
+//! Ring-oscillator integration test: an autonomous, strongly nonlinear
+//! workload exercising the whole stack (DC metastability escape, sustained
+//! limit-cycle oscillation, frequency measurement) — and the Soft-FET
+//! variant, which must still oscillate, slower.
+
+use sfet_circuit::{Circuit, SourceWaveform};
+use sfet_devices::mosfet::MosfetModel;
+use sfet_devices::ptm::PtmParams;
+use sfet_sim::{transient, SimOptions};
+use sfet_waveform::measure::{crossing_time, CrossDirection};
+use sfet_waveform::Waveform;
+
+/// Builds an N-stage (odd) ring oscillator. Stage outputs are `n1..nN`;
+/// `n1` carries an initial-condition capacitor to break the metastable
+/// symmetry. `soft` inserts a PTM in front of stage 1's gate.
+fn ring(stages: usize, soft: Option<PtmParams>) -> Circuit {
+    assert!(stages % 2 == 1, "ring needs an odd stage count");
+    let (wp, wn, l) = (240e-9, 120e-9, 40e-9);
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    let gnd = Circuit::ground();
+    ckt.add_voltage_source("VDD", vdd, gnd, SourceWaveform::Dc(1.0))
+        .unwrap();
+    for k in 1..=stages {
+        let input_node = if k == 1 {
+            ckt.node(&format!("n{stages}"))
+        } else {
+            ckt.node(&format!("n{}", k - 1))
+        };
+        let gate = match soft {
+            Some(params) if k == 1 => {
+                let g = ckt.node("g1");
+                ckt.add_ptm("P1", input_node, g, params).unwrap();
+                g
+            }
+            _ => input_node,
+        };
+        let out = ckt.node(&format!("n{k}"));
+        ckt.add_mosfet(
+            &format!("MP{k}"),
+            out,
+            gate,
+            vdd,
+            vdd,
+            MosfetModel::pmos_40nm(),
+            wp,
+            l,
+        )
+        .unwrap();
+        ckt.add_mosfet(
+            &format!("MN{k}"),
+            out,
+            gate,
+            gnd,
+            gnd,
+            MosfetModel::nmos_40nm(),
+            wn,
+            l,
+        )
+        .unwrap();
+        if k == 1 {
+            // Symmetry breaker: stage-1 output starts at ground.
+            ckt.add_capacitor_ic(&format!("C{k}"), out, gnd, 2e-15, 0.0)
+                .unwrap();
+        } else {
+            ckt.add_capacitor(&format!("C{k}"), out, gnd, 2e-15).unwrap();
+        }
+    }
+    ckt
+}
+
+/// Counts rising half-supply crossings and returns the mean period over
+/// the measured window, if at least `min_cycles` full cycles exist.
+fn mean_period(wf: &Waveform, after: f64, min_cycles: usize) -> Option<f64> {
+    let mut crossings = Vec::new();
+    let mut t = after;
+    while let Ok(tc) = crossing_time(wf, 0.5, CrossDirection::Rising, t) {
+        crossings.push(tc);
+        t = tc + 1e-12;
+        if crossings.len() > 200 {
+            break;
+        }
+    }
+    if crossings.len() < min_cycles + 1 {
+        return None;
+    }
+    let n = crossings.len();
+    Some((crossings[n - 1] - crossings[0]) / (n - 1) as f64)
+}
+
+#[test]
+fn three_stage_ring_oscillates() {
+    let ckt = ring(3, None);
+    let tstop = 2e-9;
+    let r = transient(&ckt, tstop, &SimOptions::for_duration(tstop, 4000)).unwrap();
+    let v = r.voltage("n2").unwrap();
+    // Full-swing sustained oscillation.
+    let (_, hi) = v.window(0.5e-9, tstop).unwrap().max();
+    let (_, lo) = v.window(0.5e-9, tstop).unwrap().min();
+    assert!(hi > 0.9 && lo < 0.1, "swing [{lo}, {hi}]");
+    let period = mean_period(&v, 0.5e-9, 3).expect("sustained oscillation");
+    // Period = 2 * N * t_stage; stage delay with 2 fF ~ 15-40 ps.
+    assert!(
+        period > 50e-12 && period < 500e-12,
+        "period {period:.3e} outside the plausible band"
+    );
+    // All three phases oscillate with the same period.
+    let p3 = mean_period(&r.voltage("n3").unwrap(), 0.5e-9, 3).expect("phase 3 oscillates");
+    assert!((p3 - period).abs() / period < 0.05);
+}
+
+#[test]
+fn five_stage_ring_slower_than_three() {
+    let t3 = {
+        let r = transient(&ring(3, None), 2e-9, &SimOptions::for_duration(2e-9, 4000)).unwrap();
+        mean_period(&r.voltage("n2").unwrap(), 0.5e-9, 3).expect("3-ring oscillates")
+    };
+    let t5 = {
+        let r = transient(&ring(5, None), 3e-9, &SimOptions::for_duration(3e-9, 6000)).unwrap();
+        mean_period(&r.voltage("n2").unwrap(), 0.8e-9, 3).expect("5-ring oscillates")
+    };
+    assert!(
+        t5 > 1.3 * t3,
+        "5-stage period {t5:.3e} should be well above 3-stage {t3:.3e}"
+    );
+}
+
+#[test]
+fn soft_fet_ring_oscillates_slower() {
+    // PTM resistances scaled down so the R_INS·C_gate constant suits the
+    // ~100 ps ring period (same designer rule as the PDN scenarios).
+    let ptm = PtmParams::vo2_default().scaled_resistance(0.2);
+    let base = {
+        let r = transient(&ring(3, None), 3e-9, &SimOptions::for_duration(3e-9, 6000)).unwrap();
+        mean_period(&r.voltage("n2").unwrap(), 0.5e-9, 3).expect("baseline ring oscillates")
+    };
+    let soft_run = transient(
+        &ring(3, Some(ptm)),
+        4e-9,
+        &SimOptions::for_duration(4e-9, 8000),
+    )
+    .unwrap();
+    let soft = mean_period(&soft_run.voltage("n2").unwrap(), 1e-9, 2)
+        .expect("soft ring must still oscillate");
+    assert!(
+        soft > base,
+        "soft ring period {soft:.3e} must exceed baseline {base:.3e}"
+    );
+    // The PTM keeps firing every cycle: a sustained event stream.
+    assert!(
+        soft_run.ptm_events("P1").unwrap().len() >= 4,
+        "PTM should fire repeatedly in a free-running ring"
+    );
+}
