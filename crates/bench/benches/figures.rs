@@ -38,13 +38,8 @@ fn fig06_grid_small(c: &mut Criterion) {
     c.bench_function("fig06_grid_3x1", |b| {
         b.iter(|| {
             std::hint::black_box(
-                vimt_vmit_grid(
-                    1.0,
-                    PtmParams::vo2_default(),
-                    &[0.3, 0.4, 0.5],
-                    &[0.1],
-                )
-                .expect("grid"),
+                vimt_vmit_grid(1.0, PtmParams::vo2_default(), &[0.3, 0.4, 0.5], &[0.1])
+                    .expect("grid"),
             )
         })
     });
@@ -54,8 +49,7 @@ fn fig08_tptm_small(c: &mut Criterion) {
     c.bench_function("fig08_tptm_3pts", |b| {
         b.iter(|| {
             std::hint::black_box(
-                tptm_sweep(1.0, PtmParams::vo2_default(), &[5e-12, 10e-12, 20e-12])
-                    .expect("sweep"),
+                tptm_sweep(1.0, PtmParams::vo2_default(), &[5e-12, 10e-12, 20e-12]).expect("sweep"),
             )
         })
     });

@@ -115,7 +115,8 @@ fn solver_backend(c: &mut Criterion) {
         ckt.add_voltage_source("VRM", vrm, gnd, SourceWaveform::Dc(1.0))
             .expect("grid build");
         let corner = ckt.node("g0_0");
-        ckt.add_resistor("Rfeed", vrm, corner, 0.05).expect("grid build");
+        ckt.add_resistor("Rfeed", vrm, corner, 0.05)
+            .expect("grid build");
         for i in 0..n {
             for j in 0..n {
                 let here = ckt.node(&format!("g{i}_{j}"));
@@ -134,16 +135,21 @@ fn solver_backend(c: &mut Criterion) {
             }
         }
         let far = ckt.node(&format!("g{}_{}", n - 1, n - 1));
-        ckt.add_current_source("Iload", far, gnd, SourceWaveform::ramp(0.0, 0.1, 0.2e-9, 0.2e-9))
-            .expect("grid build");
+        ckt.add_current_source(
+            "Iload",
+            far,
+            gnd,
+            SourceWaveform::ramp(0.0, 0.1, 0.2e-9, 0.2e-9),
+        )
+        .expect("grid build");
         let tstop = 2e-9;
         for solver in [LinearSolver::Dense, LinearSolver::Sparse] {
             let opts = SimOptions::for_duration(tstop, 100).with_solver(solver);
-            group.bench_with_input(
-                BenchmarkId::new(solver.to_string(), n * n),
-                &n,
-                |b, _| b.iter(|| std::hint::black_box(transient(&ckt, tstop, &opts).expect("grid converges"))),
-            );
+            group.bench_with_input(BenchmarkId::new(solver.to_string(), n * n), &n, |b, _| {
+                b.iter(|| {
+                    std::hint::black_box(transient(&ckt, tstop, &opts).expect("grid converges"))
+                })
+            });
         }
     }
     group.finish();

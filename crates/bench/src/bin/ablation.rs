@@ -39,7 +39,10 @@ fn rc_reference_error(method: Method, points: usize) -> f64 {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    banner("Ablation 1", "Integration method: RC accuracy and Soft-FET metrics");
+    banner(
+        "Ablation 1",
+        "Integration method: RC accuracy and Soft-FET metrics",
+    );
     let mut t1 = Table::new(&["method", "RC err (100 pts)", "RC err (400 pts)", "order"]);
     for method in [Method::BackwardEuler, Method::Trapezoidal, Method::Gear2] {
         let e1 = rc_reference_error(method, 100);
@@ -92,7 +95,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{t3}");
     println!("expectation: transition time converges as the tolerance tightens, at the cost of rejected steps.\n");
 
-    banner("Ablation 3", "LTE step control vs fixed stepping (smooth PDN-scale problem)");
+    banner(
+        "Ablation 3",
+        "LTE step control vs fixed stepping (smooth PDN-scale problem)",
+    );
     {
         use sfet_circuit::{Circuit, SourceWaveform};
         let build = || -> Result<Circuit, Box<dyn std::error::Error>> {
@@ -137,7 +143,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    banner("Ablation 4", "Linear-solver backend equivalence (dense vs sparse)");
+    banner(
+        "Ablation 4",
+        "Linear-solver backend equivalence (dense vs sparse)",
+    );
     let spec = InverterSpec::minimum(1.0, Topology::SoftFet(ptm));
     let mut rows = Vec::new();
     for solver in [LinearSolver::Dense, LinearSolver::Sparse] {

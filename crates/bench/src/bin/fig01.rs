@@ -46,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ir_drop = i_step * pdn.r_pkg;
     let ldidt = pdn.l_pkg * i_step / t_edge;
     let mut t = Table::new(&["quantity", "value"]);
-    t.add_row(vec!["steady IR drop (I x R_pkg)".into(), fmt_si(ir_drop, "V")]);
+    t.add_row(vec![
+        "steady IR drop (I x R_pkg)".into(),
+        fmt_si(ir_drop, "V"),
+    ]);
     t.add_row(vec![
         "inductive kick (L x di/dt)".into(),
         fmt_si(ldidt, "V"),

@@ -38,8 +38,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{table}");
 
     let (v_up, v_down) = extract_thresholds(&points).expect("loop must transition");
-    println!("observed insulator->metal transition at {v_up:.3} V (paper: {})", params.v_imt);
-    println!("observed metal->insulator transition at {v_down:.3} V (paper: {})", params.v_mit);
+    println!(
+        "observed insulator->metal transition at {v_up:.3} V (paper: {})",
+        params.v_imt
+    );
+    println!(
+        "observed metal->insulator transition at {v_down:.3} V (paper: {})",
+        params.v_mit
+    );
     println!(
         "current jump at transition: ~{:.0}x (R_INS/R_MET = {:.0})",
         params.r_ins / params.r_met,

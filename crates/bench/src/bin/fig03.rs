@@ -20,7 +20,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let inp = ckt.node("in");
     let vc = ckt.node("vc");
     let gnd = Circuit::ground();
-    ckt.add_voltage_source("VIN", inp, gnd, SourceWaveform::ramp(0.0, 1.0, 10e-12, 30e-12))?;
+    ckt.add_voltage_source(
+        "VIN",
+        inp,
+        gnd,
+        SourceWaveform::ramp(0.0, 1.0, 10e-12, 30e-12),
+    )?;
     ckt.add_ptm("P1", inp, vc, params)?;
     ckt.add_capacitor("C1", vc, gnd, c_load)?;
 

@@ -12,7 +12,10 @@ use softfet::metrics::{measure_from_result, run_inverter};
 use softfet::report::{fmt_pct, fmt_si, Table};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    banner("Fig. 4", "Soft-FET inverter: transient voltage and current waveforms");
+    banner(
+        "Fig. 4",
+        "Soft-FET inverter: transient voltage and current waveforms",
+    );
     let ptm = PtmParams::vo2_default();
     println!(
         "PTM params (paper Fig. 4): V_IMT={} V_MIT={} R_INS={} R_MET={} T_PTM={}",

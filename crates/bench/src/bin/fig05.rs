@@ -10,8 +10,8 @@
 use sfet_bench::{banner, save_rows};
 use sfet_devices::ptm::PtmParams;
 use softfet::inverter::{InverterSpec, Topology};
-use softfet::metrics::measure_inverter;
 use softfet::iso_imax::calibrate_iso_imax;
+use softfet::metrics::measure_inverter;
 use softfet::report::{fmt_si, Table};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -28,20 +28,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cal.stack_width_scale,
     );
 
-    let topologies: Vec<(String, Topology)> = std::iter::once((
-        "baseline".to_string(),
-        Topology::Baseline,
-    ))
-    .chain(
-        cal.topologies(ptm)
-            .into_iter()
-            .map(|t| (t.label().to_string(), t)),
-    )
-    .collect();
+    let topologies: Vec<(String, Topology)> =
+        std::iter::once(("baseline".to_string(), Topology::Baseline))
+            .chain(
+                cal.topologies(ptm)
+                    .into_iter()
+                    .map(|t| (t.label().to_string(), t)),
+            )
+            .collect();
 
     let vccs = [0.6, 0.7, 0.8, 0.9, 1.0];
-    let mut delay_table = Table::new(&["V_CC [V]", "baseline", "soft-fet", "hvt", "series-r", "stacked"]);
-    let mut imax_table = Table::new(&["V_CC [V]", "baseline", "soft-fet", "hvt", "series-r", "stacked"]);
+    let mut delay_table = Table::new(&[
+        "V_CC [V]", "baseline", "soft-fet", "hvt", "series-r", "stacked",
+    ]);
+    let mut imax_table = Table::new(&[
+        "V_CC [V]", "baseline", "soft-fet", "hvt", "series-r", "stacked",
+    ]);
     let mut rows = Vec::new();
 
     for &vcc in &vccs {

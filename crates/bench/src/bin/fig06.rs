@@ -3,27 +3,27 @@
 
 use sfet_bench::{banner, save_rows};
 use sfet_devices::ptm::PtmParams;
-use softfet::design_space::vimt_vmit_grid;
+use sfet_numeric::exec::ExecConfig;
+use softfet::design_space::vimt_vmit_grid_stats;
 use softfet::inverter::{InverterSpec, Topology};
 use softfet::metrics::measure_inverter;
-use softfet::report::{fmt_si, Table};
+use softfet::report::{fmt_exec_stats, fmt_si, Table};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    banner("Fig. 6", "PTM design space: I_MAX / di/dt / delay vs (V_IMT, V_MIT)");
+    banner(
+        "Fig. 6",
+        "PTM design space: I_MAX / di/dt / delay vs (V_IMT, V_MIT)",
+    );
     let base = PtmParams::vo2_default();
     let v_imts: Vec<f64> = (4..=12).map(|k| k as f64 * 0.05).collect(); // 0.20..0.60
     let v_mits = [0.05, 0.10, 0.15, 0.20];
 
-    let points = vimt_vmit_grid(1.0, base, &v_imts, &v_mits)?;
+    let (points, stats) =
+        vimt_vmit_grid_stats(&ExecConfig::from_env(), 1.0, base, &v_imts, &v_mits)?;
+    println!("{}\n", fmt_exec_stats(&stats));
 
     for metric in ["I_MAX", "di/dt", "delay"] {
-        let mut table = Table::new(&[
-            "V_IMT \\ V_MIT",
-            "0.05 V",
-            "0.10 V",
-            "0.15 V",
-            "0.20 V",
-        ]);
+        let mut table = Table::new(&["V_IMT \\ V_MIT", "0.05 V", "0.10 V", "0.15 V", "0.20 V"]);
         for &v_imt in &v_imts {
             let mut row = vec![format!("{v_imt:.2} V")];
             for &v_mit in &v_mits {
@@ -89,7 +89,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &[0.6, 0.8, 1.0],
         &[0.25, 0.3, 0.35, 0.4, 0.45, 0.5, 0.55, 0.6],
     )?;
-    let mut ot = Table::new(&["V_CC", "best V_IMT", "V_IMT/V_CC", "I_MAX (opt)", "I_MAX (baseline)"]);
+    let mut ot = Table::new(&[
+        "V_CC",
+        "best V_IMT",
+        "V_IMT/V_CC",
+        "I_MAX (opt)",
+        "I_MAX (baseline)",
+    ]);
     for p in &opt {
         ot.add_row(vec![
             format!("{:.1} V", p.vdd),

@@ -10,19 +10,27 @@ use softfet::metrics::measure_inverter;
 use softfet::report::{fmt_si, Table};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    banner("Fig. 7", "Output vs short-circuit charge per topology (falling input, 1 V)");
+    banner(
+        "Fig. 7",
+        "Output vs short-circuit charge per topology (falling input, 1 V)",
+    );
     let ptm = PtmParams::vo2_default();
     let cal = calibrate_iso_imax(ptm)?;
 
-    let mut topologies: Vec<(String, Topology)> =
-        vec![("baseline".into(), Topology::Baseline)];
+    let mut topologies: Vec<(String, Topology)> = vec![("baseline".into(), Topology::Baseline)];
     topologies.extend(
         cal.topologies(ptm)
             .into_iter()
             .map(|t| (t.label().to_string(), t)),
     );
 
-    let mut table = Table::new(&["topology", "Q_total", "Q_output", "Q_short-circuit", "SC share"]);
+    let mut table = Table::new(&[
+        "topology",
+        "Q_total",
+        "Q_output",
+        "Q_short-circuit",
+        "SC share",
+    ]);
     let mut rows = Vec::new();
     for (label, topo) in &topologies {
         let spec = InverterSpec::minimum(1.0, topo.clone()).with_t_stop(6e-9);

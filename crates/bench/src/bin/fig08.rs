@@ -7,7 +7,10 @@ use softfet::design_space::tptm_sweep;
 use softfet::report::{fmt_si, Table};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    banner("Fig. 8", "Effect of PTM switching time (T_PTM) on I_MAX and di/dt");
+    banner(
+        "Fig. 8",
+        "Effect of PTM switching time (T_PTM) on I_MAX and di/dt",
+    );
     let base = PtmParams::vo2_default();
     let t_ptms: Vec<f64> = [1.0, 2.0, 4.0, 6.0, 8.0, 10.0, 14.0, 20.0, 28.0, 40.0]
         .iter()

@@ -3,12 +3,15 @@
 
 use sfet_bench::{banner, save_csv, save_rows};
 use sfet_devices::ptm::PtmParams;
-use sfet_pdn::power_gate::PowerGateScenario;
+use sfet_pdn::power_gate::{wake_ramp_sweep, PowerGateScenario};
 use softfet::power_gate::compare_power_gate;
 use softfet::report::{fmt_si, Table};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    banner("Fig. 10", "Soft-FET power gate: shared-rail droop during wake-up");
+    banner(
+        "Fig. 10",
+        "Soft-FET power gate: shared-rail droop during wake-up",
+    );
     let scenario = PowerGateScenario::default();
     println!(
         "PDN (regime of [19]): R_pkg={} L_pkg={} C_decap={}; header W={}, domain C={}, neighbour load {}",
@@ -39,10 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "max di/dt".into(),
         fmt_si(cmp.baseline.di_dt, "A/s"),
         fmt_si(cmp.soft.di_dt, "A/s"),
-        format!(
-            "{:.2}x lower",
-            cmp.baseline.di_dt / cmp.soft.di_dt
-        ),
+        format!("{:.2}x lower", cmp.baseline.di_dt / cmp.soft.di_dt),
     ]);
     table.add_row(vec![
         "wake time (to 90%)".into(),
@@ -65,26 +65,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Wake-ramp sweep: how the droop advantage varies with the sleep
-    // controller's ramp rate.
+    // controller's ramp rate (routed through the parallel sweep engine).
     let mut sweep_table = Table::new(&["wake ramp", "droop base", "droop soft", "improvement"]);
     let mut sweep_rows = Vec::new();
-    for ramp_ns in [1.0, 2.0, 4.0] {
-        let s = PowerGateScenario {
-            wake_ramp: ramp_ns * 1e-9,
-            ..scenario.clone()
-        };
-        let c = compare_power_gate(&s, PtmParams::vo2_default())?;
+    let ramp_points = wake_ramp_sweep(&scenario, PtmParams::vo2_default(), &[1e-9, 2e-9, 4e-9])?;
+    for p in &ramp_points {
         sweep_table.add_row(vec![
-            fmt_si(ramp_ns * 1e-9, "s"),
-            fmt_si(c.baseline.droop.droop, "V"),
-            fmt_si(c.soft.droop.droop, "V"),
-            format!("{:.1} mV", c.droop_improvement_mv()),
+            fmt_si(p.wake_ramp, "s"),
+            fmt_si(p.droop_base, "V"),
+            fmt_si(p.droop_soft, "V"),
+            format!("{:.1} mV", (p.droop_base - p.droop_soft) * 1e3),
         ]);
         sweep_rows.push(format!(
             "{:e},{:e},{:e}",
-            ramp_ns * 1e-9,
-            c.baseline.droop.droop,
-            c.soft.droop.droop
+            p.wake_ramp, p.droop_base, p.droop_soft
         ));
     }
     println!("droop vs wake-ramp rate:");

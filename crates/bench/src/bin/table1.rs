@@ -12,7 +12,13 @@ use softfet::report::Table;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     banner("Table 1", "Qualitative comparison of PTM applications");
 
-    let mut t = Table::new(&["", "Hyper-FET (logic)", "MTJ (logic)", "PCM (memory)", "Selector (memory)"]);
+    let mut t = Table::new(&[
+        "",
+        "Hyper-FET (logic)",
+        "MTJ (logic)",
+        "PCM (memory)",
+        "Selector (memory)",
+    ]);
     t.add_row(vec![
         "key mechanism".into(),
         "insulator/metal resistivity".into(),

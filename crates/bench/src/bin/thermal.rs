@@ -13,7 +13,10 @@ use softfet::design_space::temperature_sweep;
 use softfet::report::{fmt_pct, fmt_si, Table};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    banner("Thermal", "Soft-FET benefit vs ambient temperature (VO2 T_C = 68 C)");
+    banner(
+        "Thermal",
+        "Soft-FET benefit vs ambient temperature (VO2 T_C = 68 C)",
+    );
     let base = PtmParams::vo2_default();
     let points = [0.0, 25.0, 40.0, 50.0, 60.0, 65.0];
     let sweep = temperature_sweep(1.0, base, &points)?;

@@ -24,14 +24,35 @@ fn inverter(with_ptm: bool) -> Result<Circuit, Box<dyn std::error::Error>> {
     } else {
         ckt.add_resistor("R1", inp, g, 0.1)?;
     }
-    ckt.add_mosfet("MP", out, g, vdd, vdd, MosfetModel::pmos_40nm(), 240e-9, 40e-9)?;
-    ckt.add_mosfet("MN", out, g, gnd, gnd, MosfetModel::nmos_40nm(), 120e-9, 40e-9)?;
+    ckt.add_mosfet(
+        "MP",
+        out,
+        g,
+        vdd,
+        vdd,
+        MosfetModel::pmos_40nm(),
+        240e-9,
+        40e-9,
+    )?;
+    ckt.add_mosfet(
+        "MN",
+        out,
+        g,
+        gnd,
+        gnd,
+        MosfetModel::nmos_40nm(),
+        120e-9,
+        40e-9,
+    )?;
     ckt.add_capacitor("CL", out, gnd, 2e-15)?;
     Ok(ckt)
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    banner("§III-A", "DC transfer characteristics: Soft-FET vs baseline");
+    banner(
+        "§III-A",
+        "DC transfer characteristics: Soft-FET vs baseline",
+    );
     let points: Vec<f64> = (0..=100).map(|k| k as f64 / 100.0).collect();
     let opts = SimOptions::default();
 
@@ -44,11 +65,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let nm_soft = noise_margins(&vtc_soft)?;
 
     let mut t = Table::new(&["metric", "baseline", "soft-fet"]);
-    let row = |name: &str, a: f64, b: f64| vec![
-        name.to_string(),
-        format!("{:.4} V", a),
-        format!("{:.4} V", b),
-    ];
+    let row = |name: &str, a: f64, b: f64| {
+        vec![
+            name.to_string(),
+            format!("{:.4} V", a),
+            format!("{:.4} V", b),
+        ]
+    };
     t.add_row(row("V_M (switching threshold)", nm_base.v_m, nm_soft.v_m));
     t.add_row(row("V_IL", nm_base.v_il, nm_soft.v_il));
     t.add_row(row("V_IH", nm_base.v_ih, nm_soft.v_ih));

@@ -74,7 +74,9 @@ mod tests {
         assert!(CircuitError::DuplicateElement("R1".into())
             .to_string()
             .contains("R1"));
-        assert!(CircuitError::EmptyCircuit.to_string().contains("no elements"));
+        assert!(CircuitError::EmptyCircuit
+            .to_string()
+            .contains("no elements"));
         let p = CircuitError::Parse {
             line: 7,
             message: "bad card".into(),

@@ -41,8 +41,8 @@ pub mod si;
 mod waveform;
 
 pub use element::{
-    Capacitor, CurrentSource, Element, ElementId, Inductor, MosfetInstance, PtmInstance,
-    Resistor, VoltageSource,
+    Capacitor, CurrentSource, Element, ElementId, Inductor, MosfetInstance, PtmInstance, Resistor,
+    VoltageSource,
 };
 pub use error::CircuitError;
 pub use netlist::Circuit;

@@ -3,8 +3,8 @@
 use std::collections::HashMap;
 
 use crate::element::{
-    Capacitor, CurrentSource, Element, ElementId, Inductor, MosfetInstance, PtmInstance,
-    Resistor, VoltageSource,
+    Capacitor, CurrentSource, Element, ElementId, Inductor, MosfetInstance, PtmInstance, Resistor,
+    VoltageSource,
 };
 use crate::error::CircuitError;
 use crate::node::NodeId;
@@ -155,7 +155,13 @@ impl Circuit {
     /// # Errors
     ///
     /// Duplicate name, non-positive/non-finite value, or shorted terminals.
-    pub fn add_resistor(&mut self, name: &str, p: NodeId, n: NodeId, ohms: f64) -> Result<ElementId> {
+    pub fn add_resistor(
+        &mut self,
+        name: &str,
+        p: NodeId,
+        n: NodeId,
+        ohms: f64,
+    ) -> Result<ElementId> {
         Self::check_positive(name, "resistance", ohms)?;
         Self::check_distinct(name, p, n)?;
         self.insert(Element::Resistor(Resistor {
@@ -315,7 +321,13 @@ impl Circuit {
     /// # Errors
     ///
     /// Duplicate name, shorted terminals, or invalid PTM parameters.
-    pub fn add_ptm(&mut self, name: &str, p: NodeId, n: NodeId, params: PtmParams) -> Result<ElementId> {
+    pub fn add_ptm(
+        &mut self,
+        name: &str,
+        p: NodeId,
+        n: NodeId,
+        params: PtmParams,
+    ) -> Result<ElementId> {
         Self::check_distinct(name, p, n)?;
         params.validate()?;
         self.insert(Element::Ptm(PtmInstance {
@@ -604,10 +616,7 @@ mod tests {
         let a = c.node("a");
         let b = c.node("b");
         c.add_resistor("R1", a, b, 1e3).unwrap();
-        assert!(matches!(
-            c.validate(),
-            Err(CircuitError::NoGroundReference)
-        ));
+        assert!(matches!(c.validate(), Err(CircuitError::NoGroundReference)));
     }
 
     #[test]

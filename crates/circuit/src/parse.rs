@@ -514,12 +514,8 @@ fn parse_source(tokens: &[String]) -> Result<SourceWaveform, CircuitError> {
             if args.len() < 2 || args.len() % 2 != 0 {
                 return Err(err(0, "PWL needs an even number of (t, v) values"));
             }
-            let (xs, ys): (Vec<f64>, Vec<f64>) = args
-                .chunks(2)
-                .map(|c| (c[0], c[1]))
-                .unzip();
-            let pwl = PiecewiseLinear::new(xs, ys)
-                .map_err(|e| err(0, &format!("bad PWL: {e}")))?;
+            let (xs, ys): (Vec<f64>, Vec<f64>) = args.chunks(2).map(|c| (c[0], c[1])).unzip();
+            let pwl = PiecewiseLinear::new(xs, ys).map_err(|e| err(0, &format!("bad PWL: {e}")))?;
             Ok(SourceWaveform::Pwl(pwl))
         }
         "PULSE" => {
@@ -608,8 +604,7 @@ mod tests {
 
     #[test]
     fn parse_pulse_source() {
-        let parsed =
-            parse_netlist("V1 a 0 PULSE(0 1 1n 0.1n 0.1n 0.3n 1n)\nR1 a 0 1k").unwrap();
+        let parsed = parse_netlist("V1 a 0 PULSE(0 1 1n 0.1n 0.1n 0.3n 1n)\nR1 a 0 1k").unwrap();
         match &parsed.circuit.elements()[0] {
             Element::VoltageSource(v) => {
                 assert_eq!(v.wave.eval(1.2e-9), 1.0);
@@ -803,7 +798,7 @@ X1 a pulldown
         assert!(parse_netlist(".subckt foo a\nR1 a 0 1k\n").is_err()); // unterminated
         assert!(parse_netlist(".ends\n").is_err()); // stray .ends
         assert!(parse_netlist("V1 a 0 1\nX1 a b nosuch\nR1 b 0 1k").is_err()); // unknown
-        // Port count mismatch.
+                                                                               // Port count mismatch.
         let deck = ".subckt u a b\nR1 a b 1k\n.ends\nV1 x 0 1\nX1 x u\n";
         assert!(parse_netlist(deck).is_err());
         // Recursive definition trips the depth guard.

@@ -139,7 +139,10 @@ mod tests {
 
     fn close(text: &str, expect: f64) {
         let got = parse_eng(text).unwrap();
-        assert!(((got - expect) / expect).abs() < 1e-12, "{text}: {got} vs {expect}");
+        assert!(
+            ((got - expect) / expect).abs() < 1e-12,
+            "{text}: {got} vs {expect}"
+        );
     }
 
     #[test]
@@ -189,13 +192,12 @@ mod tests {
 
     #[test]
     fn format_parse_round_trip() {
-        for &v in &[1.0, 0.5e-15, 30e-12, 10e-9, 3.3e-6, 2e-3, 47.0, 500e3, 2e6, 1e9] {
+        for &v in &[
+            1.0, 0.5e-15, 30e-12, 10e-9, 3.3e-6, 2e-3, 47.0, 500e3, 2e6, 1e9,
+        ] {
             let t = format_eng(v);
             let back = parse_eng(&t).unwrap();
-            assert!(
-                ((back - v) / v).abs() < 1e-3,
-                "{v} -> {t} -> {back}"
-            );
+            assert!(((back - v) / v).abs() < 1e-3, "{v} -> {t} -> {back}");
         }
     }
 }

@@ -340,7 +340,12 @@ mod tests {
         // NAND2 with falling A and B high: output rises.
         assert!(base.v_out.first_value() < 0.05);
         assert!(base.v_out.last_value() > 0.95);
-        assert!(soft.i_max < base.i_max, "soft {} vs base {}", soft.i_max, base.i_max);
+        assert!(
+            soft.i_max < base.i_max,
+            "soft {} vs base {}",
+            soft.i_max,
+            base.i_max
+        );
         assert!(soft.transitions >= 1);
         assert!(soft.delay > base.delay);
     }

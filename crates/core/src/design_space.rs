@@ -1,12 +1,19 @@
 //! PTM design-space exploration (paper Figs. 6, 8, 9).
 //!
-//! All sweeps are embarrassingly parallel across parameter points; they
-//! fan out over `std::thread::scope` with one worker per available core.
+//! All sweeps are embarrassingly parallel across parameter points and route
+//! through the shared deterministic engine in [`sfet_numeric::exec`]: every
+//! sweep produces bitwise-identical results at any worker count (including
+//! serial), honours the `SFET_THREADS` override, and cancels on the first
+//! failing point, reporting it as [`SoftFetError::Sweep`] with the
+//! offending parameters. Each public sweep has a `*_with` variant taking an
+//! explicit [`ExecConfig`]; the plain variant uses [`ExecConfig::from_env`].
 
 use crate::inverter::{InverterSpec, Topology};
 use crate::metrics::{measure_inverter, InverterMetrics};
 use crate::Result;
+use crate::SoftFetError;
 use sfet_devices::ptm::PtmParams;
+use sfet_numeric::exec::{self, ExecConfig, ExecStats};
 
 /// One point of the V_IMT × V_MIT grid (Fig. 6).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -63,37 +70,26 @@ pub struct SlewPoint {
     pub transitions: usize,
 }
 
-/// Runs `f` over `items` in parallel, preserving order.
-pub(crate) fn parallel_map<T, U, F>(items: &[T], f: F) -> Vec<Result<U>>
+/// Runs `task` over `items` through the shared engine, converting a task
+/// failure into [`SoftFetError::Sweep`] with the offending parameters
+/// rendered by `describe`.
+pub(crate) fn run_sweep<T, U, F, D>(
+    cfg: &ExecConfig,
+    items: &[T],
+    describe: D,
+    task: F,
+) -> Result<Vec<U>>
 where
     T: Sync,
     U: Send,
-    F: Fn(&T) -> Result<U> + Sync,
+    F: Fn(usize, &T) -> Result<U> + Sync,
+    D: Fn(&T) -> String,
 {
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(items.len().max(1));
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut results: Vec<Option<Result<U>>> = (0..items.len()).map(|_| None).collect();
-    let slots = std::sync::Mutex::new(&mut results);
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let out = f(&items[i]);
-                let mut guard = slots.lock().expect("sweep worker poisoned");
-                guard[i] = Some(out);
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|r| r.expect("every index filled"))
-        .collect()
+    exec::par_map(cfg, items, task).map_err(|e| SoftFetError::Sweep {
+        index: e.index,
+        context: describe(&items[e.index]),
+        source: Box::new(e.source),
+    })
 }
 
 /// Measures a Soft-FET inverter for one PTM parameter set at the paper's
@@ -107,7 +103,7 @@ fn soft_metrics(vdd: f64, ptm: PtmParams) -> Result<InverterMetrics> {
 ///
 /// # Errors
 ///
-/// Propagates the first simulation failure.
+/// Propagates the first simulation failure as [`SoftFetError::Sweep`].
 ///
 /// # Example
 ///
@@ -127,6 +123,37 @@ pub fn vimt_vmit_grid(
     v_imts: &[f64],
     v_mits: &[f64],
 ) -> Result<Vec<GridPoint>> {
+    vimt_vmit_grid_with(&ExecConfig::from_env(), vdd, base, v_imts, v_mits)
+}
+
+/// [`vimt_vmit_grid`] with an explicit execution policy.
+///
+/// # Errors
+///
+/// Propagates the first simulation failure as [`SoftFetError::Sweep`].
+pub fn vimt_vmit_grid_with(
+    cfg: &ExecConfig,
+    vdd: f64,
+    base: PtmParams,
+    v_imts: &[f64],
+    v_mits: &[f64],
+) -> Result<Vec<GridPoint>> {
+    vimt_vmit_grid_stats(cfg, vdd, base, v_imts, v_mits).map(|(points, _)| points)
+}
+
+/// [`vimt_vmit_grid`] variant that also reports engine statistics, for the
+/// figure binaries.
+///
+/// # Errors
+///
+/// Propagates the first simulation failure as [`SoftFetError::Sweep`].
+pub fn vimt_vmit_grid_stats(
+    cfg: &ExecConfig,
+    vdd: f64,
+    base: PtmParams,
+    v_imts: &[f64],
+    v_mits: &[f64],
+) -> Result<(Vec<GridPoint>, ExecStats)> {
     let mut combos = Vec::new();
     for &v_imt in v_imts {
         for &v_mit in v_mits {
@@ -135,7 +162,7 @@ pub fn vimt_vmit_grid(
             }
         }
     }
-    parallel_map(&combos, |&(v_imt, v_mit)| {
+    let (result, stats) = exec::par_map_with_stats(cfg, &combos, |_, &(v_imt, v_mit)| {
         let m = soft_metrics(vdd, base.with_thresholds(v_imt, v_mit))?;
         Ok(GridPoint {
             v_imt,
@@ -145,29 +172,53 @@ pub fn vimt_vmit_grid(
             delay: m.delay,
             transitions: m.transitions,
         })
-    })
-    .into_iter()
-    .collect()
+    });
+    let points = result.map_err(|e| SoftFetError::Sweep {
+        context: format!(
+            "v_imt={:.4} V, v_mit={:.4} V",
+            combos[e.index].0, combos[e.index].1
+        ),
+        index: e.index,
+        source: Box::new(e.source),
+    })?;
+    Ok((points, stats))
 }
 
 /// Sweeps the intrinsic switching time T_PTM (Fig. 8).
 ///
 /// # Errors
 ///
-/// Propagates the first simulation failure.
+/// Propagates the first simulation failure as [`SoftFetError::Sweep`].
 pub fn tptm_sweep(vdd: f64, base: PtmParams, t_ptms: &[f64]) -> Result<Vec<TptmPoint>> {
-    parallel_map(t_ptms, |&t_ptm| {
-        let m = soft_metrics(vdd, base.with_t_ptm(t_ptm))?;
-        Ok(TptmPoint {
-            t_ptm,
-            i_max: m.i_max,
-            di_dt: m.di_dt,
-            delay: m.delay,
-            transitions: m.transitions,
-        })
-    })
-    .into_iter()
-    .collect()
+    tptm_sweep_with(&ExecConfig::from_env(), vdd, base, t_ptms)
+}
+
+/// [`tptm_sweep`] with an explicit execution policy.
+///
+/// # Errors
+///
+/// Propagates the first simulation failure as [`SoftFetError::Sweep`].
+pub fn tptm_sweep_with(
+    cfg: &ExecConfig,
+    vdd: f64,
+    base: PtmParams,
+    t_ptms: &[f64],
+) -> Result<Vec<TptmPoint>> {
+    run_sweep(
+        cfg,
+        t_ptms,
+        |t| format!("t_ptm={t:.4e} s"),
+        |_, &t_ptm| {
+            let m = soft_metrics(vdd, base.with_t_ptm(t_ptm))?;
+            Ok(TptmPoint {
+                t_ptm,
+                i_max: m.i_max,
+                di_dt: m.di_dt,
+                delay: m.delay,
+                transitions: m.transitions,
+            })
+        },
+    )
 }
 
 /// Sweeps the input slew (Fig. 9), measuring Soft-FET and baseline at each
@@ -175,41 +226,53 @@ pub fn tptm_sweep(vdd: f64, base: PtmParams, t_ptms: &[f64]) -> Result<Vec<TptmP
 ///
 /// # Errors
 ///
-/// Propagates the first simulation failure.
+/// Propagates the first simulation failure as [`SoftFetError::Sweep`].
 pub fn slew_sweep(vdd: f64, ptm: PtmParams, t_rises: &[f64]) -> Result<Vec<SlewPoint>> {
-    parallel_map(t_rises, |&t_rise| {
-        // Stretch the window so slow edges still settle.
-        let t_stop = (20e-12 + t_rise) * 2.0 + 600e-12;
-        let soft = measure_inverter(
-            &InverterSpec::minimum(vdd, Topology::SoftFet(ptm))
-                .with_t_rise(t_rise)
-                .with_t_stop(t_stop),
-        )?;
-        let base = measure_inverter(
-            &InverterSpec::minimum(vdd, Topology::Baseline)
-                .with_t_rise(t_rise)
-                .with_t_stop(t_stop),
-        )?;
-        Ok(SlewPoint {
-            t_rise,
-            i_max_soft: soft.i_max,
-            i_max_base: base.i_max,
-            reduction_pct: 100.0 * (1.0 - soft.i_max / base.i_max),
-            di_dt_soft: soft.di_dt,
-            di_dt_base: base.di_dt,
-            delay_soft: soft.delay,
-            delay_base: base.delay,
-            transitions: soft.transitions,
-        })
-    })
-    .into_iter()
-    .collect()
+    slew_sweep_with(&ExecConfig::from_env(), vdd, ptm, t_rises)
 }
 
-/// Crate-internal re-export of the parallel sweep driver for sibling
-/// modules (Monte-Carlo variation).
-pub(crate) use parallel_map as parallel_map_pub;
-
+/// [`slew_sweep`] with an explicit execution policy.
+///
+/// # Errors
+///
+/// Propagates the first simulation failure as [`SoftFetError::Sweep`].
+pub fn slew_sweep_with(
+    cfg: &ExecConfig,
+    vdd: f64,
+    ptm: PtmParams,
+    t_rises: &[f64],
+) -> Result<Vec<SlewPoint>> {
+    run_sweep(
+        cfg,
+        t_rises,
+        |t| format!("t_rise={t:.4e} s"),
+        |_, &t_rise| {
+            // Stretch the window so slow edges still settle.
+            let t_stop = (20e-12 + t_rise) * 2.0 + 600e-12;
+            let soft = measure_inverter(
+                &InverterSpec::minimum(vdd, Topology::SoftFet(ptm))
+                    .with_t_rise(t_rise)
+                    .with_t_stop(t_stop),
+            )?;
+            let base = measure_inverter(
+                &InverterSpec::minimum(vdd, Topology::Baseline)
+                    .with_t_rise(t_rise)
+                    .with_t_stop(t_stop),
+            )?;
+            Ok(SlewPoint {
+                t_rise,
+                i_max_soft: soft.i_max,
+                i_max_base: base.i_max,
+                reduction_pct: 100.0 * (1.0 - soft.i_max / base.i_max),
+                di_dt_soft: soft.di_dt,
+                di_dt_base: base.di_dt,
+                delay_soft: soft.delay,
+                delay_base: base.delay,
+                transitions: soft.transitions,
+            })
+        },
+    )
+}
 
 /// One point of the V_CC-dependence study: the V_IMT that minimises I_MAX
 /// at a given supply voltage.
@@ -231,140 +294,50 @@ pub struct OptimalVimtPoint {
 ///
 /// # Errors
 ///
-/// Propagates the first simulation failure.
+/// Propagates the first simulation failure as [`SoftFetError::Sweep`].
 pub fn optimal_vimt_vs_vcc(
     base: PtmParams,
     vdds: &[f64],
     vimt_fractions: &[f64],
 ) -> Result<Vec<OptimalVimtPoint>> {
-    parallel_map(vdds, |&vdd| {
-        let baseline = measure_inverter(&InverterSpec::minimum(vdd, Topology::Baseline))?;
-        let mut best: Option<(f64, f64)> = None;
-        for &frac in vimt_fractions {
-            let v_imt = frac * vdd;
-            let v_mit = (base.v_mit).min(0.5 * v_imt);
-            let m = soft_metrics(vdd, base.with_thresholds(v_imt, v_mit))?;
-            if best.is_none_or(|(_, imax)| m.i_max < imax) {
-                best = Some((v_imt, m.i_max));
-            }
-        }
-        let (best_v_imt, i_max) = best.expect("candidate list is non-empty");
-        Ok(OptimalVimtPoint {
-            vdd,
-            best_v_imt,
-            i_max,
-            i_max_baseline: baseline.i_max,
-        })
-    })
-    .into_iter()
-    .collect()
+    optimal_vimt_vs_vcc_with(&ExecConfig::from_env(), base, vdds, vimt_fractions)
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn parallel_map_preserves_order() {
-        let items: Vec<usize> = (0..32).collect();
-        let out: Vec<usize> = parallel_map(&items, |&i| Ok(i * 2))
-            .into_iter()
-            .collect::<Result<_>>()
-            .unwrap();
-        assert_eq!(out, (0..32).map(|i| i * 2).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn parallel_map_propagates_errors() {
-        let items = vec![1usize, 2, 3];
-        let res: Result<Vec<usize>> = parallel_map(&items, |&i| {
-            if i == 2 {
-                Err(crate::SoftFetError::Calibration("boom".into()))
-            } else {
-                Ok(i)
+/// [`optimal_vimt_vs_vcc`] with an explicit execution policy.
+///
+/// # Errors
+///
+/// Propagates the first simulation failure as [`SoftFetError::Sweep`].
+pub fn optimal_vimt_vs_vcc_with(
+    cfg: &ExecConfig,
+    base: PtmParams,
+    vdds: &[f64],
+    vimt_fractions: &[f64],
+) -> Result<Vec<OptimalVimtPoint>> {
+    run_sweep(
+        cfg,
+        vdds,
+        |v| format!("vdd={v:.3} V"),
+        |_, &vdd| {
+            let baseline = measure_inverter(&InverterSpec::minimum(vdd, Topology::Baseline))?;
+            let mut best: Option<(f64, f64)> = None;
+            for &frac in vimt_fractions {
+                let v_imt = frac * vdd;
+                let v_mit = (base.v_mit).min(0.5 * v_imt);
+                let m = soft_metrics(vdd, base.with_thresholds(v_imt, v_mit))?;
+                if best.is_none_or(|(_, imax)| m.i_max < imax) {
+                    best = Some((v_imt, m.i_max));
+                }
             }
-        })
-        .into_iter()
-        .collect();
-        assert!(res.is_err());
-    }
-
-    #[test]
-    fn grid_skips_impossible_combos() {
-        let pts = vimt_vmit_grid(
-            1.0,
-            PtmParams::vo2_default(),
-            &[0.3],
-            &[0.1, 0.3, 0.5],
-        )
-        .unwrap();
-        // Only v_mit = 0.1 < v_imt = 0.3 survives.
-        assert_eq!(pts.len(), 1);
-        assert_eq!(pts[0].v_mit, 0.1);
-        assert!(pts[0].i_max > 0.0);
-    }
-
-    #[test]
-    fn imax_dips_near_optimal_vimt() {
-        // Fig. 6's headline: I_MAX(V_IMT=0.4) below both 0.25 and 0.55.
-        let pts = vimt_vmit_grid(
-            1.0,
-            PtmParams::vo2_default(),
-            &[0.25, 0.4, 0.55],
-            &[0.1],
-        )
-        .unwrap();
-        let imax_of = |v: f64| {
-            pts.iter()
-                .find(|p| (p.v_imt - v).abs() < 1e-9)
-                .expect("point exists")
-                .i_max
-        };
-        let (lo, opt, hi) = (imax_of(0.25), imax_of(0.4), imax_of(0.55));
-        assert!(opt < lo, "I_MAX dip: 0.4 ({opt:.3e}) vs 0.25 ({lo:.3e})");
-        assert!(opt < hi, "I_MAX dip: 0.4 ({opt:.3e}) vs 0.55 ({hi:.3e})");
-    }
-
-    #[test]
-    fn optimal_vimt_tracks_vcc() {
-        // The optimum V_IMT moves down with V_CC (paper §IV-E: "strong
-        // function of V_CC").
-        let pts = optimal_vimt_vs_vcc(
-            PtmParams::vo2_default(),
-            &[0.7, 1.0],
-            &[0.3, 0.4, 0.5, 0.6],
-        )
-        .unwrap();
-        assert!(pts[0].best_v_imt <= pts[1].best_v_imt + 1e-9);
-        // And at the per-V_CC optimum the Soft-FET beats baseline at both
-        // supplies.
-        for p in &pts {
-            assert!(
-                p.i_max < p.i_max_baseline,
-                "at vdd={}: soft {} vs base {}",
-                p.vdd,
-                p.i_max,
-                p.i_max_baseline
-            );
-        }
-    }
-
-    #[test]
-    fn slew_sweep_benefit_shrinks_for_slow_edges() {
-        // Fig. 9: soft-switching benefit vanishes with decreasing slew rate.
-        let pts = slew_sweep(
-            1.0,
-            PtmParams::vo2_default(),
-            &[30e-12, 600e-12],
-        )
-        .unwrap();
-        assert!(
-            pts[0].reduction_pct > pts[1].reduction_pct,
-            "fast {:.1}% vs slow {:.1}%",
-            pts[0].reduction_pct,
-            pts[1].reduction_pct
-        );
-    }
+            let (best_v_imt, i_max) = best.expect("candidate list is non-empty");
+            Ok(OptimalVimtPoint {
+                vdd,
+                best_v_imt,
+                i_max,
+                i_max_baseline: baseline.i_max,
+            })
+        },
+    )
 }
 
 /// One point of the ambient-temperature study.
@@ -390,25 +363,135 @@ pub struct TemperaturePoint {
 ///
 /// # Errors
 ///
-/// Propagates the first simulation failure.
+/// Propagates the first simulation failure as [`SoftFetError::Sweep`].
 pub fn temperature_sweep(
     vdd: f64,
     base: PtmParams,
     celsius_points: &[f64],
 ) -> Result<Vec<TemperaturePoint>> {
+    temperature_sweep_with(&ExecConfig::from_env(), vdd, base, celsius_points)
+}
+
+/// [`temperature_sweep`] with an explicit execution policy.
+///
+/// # Errors
+///
+/// Propagates the first simulation failure as [`SoftFetError::Sweep`].
+pub fn temperature_sweep_with(
+    cfg: &ExecConfig,
+    vdd: f64,
+    base: PtmParams,
+    celsius_points: &[f64],
+) -> Result<Vec<TemperaturePoint>> {
     let baseline = measure_inverter(&InverterSpec::minimum(vdd, Topology::Baseline))?;
-    parallel_map(celsius_points, |&celsius| {
-        let m = soft_metrics(vdd, base.at_temperature(celsius))?;
-        Ok(TemperaturePoint {
-            celsius,
-            i_max_soft: m.i_max,
-            i_max_base: baseline.i_max,
-            reduction_pct: 100.0 * (1.0 - m.i_max / baseline.i_max),
-            transitions: m.transitions,
-        })
-    })
-    .into_iter()
-    .collect()
+    run_sweep(
+        cfg,
+        celsius_points,
+        |c| format!("ambient={c:.1} C"),
+        |_, &celsius| {
+            let m = soft_metrics(vdd, base.at_temperature(celsius))?;
+            Ok(TemperaturePoint {
+                celsius,
+                i_max_soft: m.i_max,
+                i_max_base: baseline.i_max,
+                reduction_pct: 100.0 * (1.0 - m.i_max / baseline.i_max),
+                transitions: m.transitions,
+            })
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_skips_impossible_combos() {
+        let pts = vimt_vmit_grid(1.0, PtmParams::vo2_default(), &[0.3], &[0.1, 0.3, 0.5]).unwrap();
+        // Only v_mit = 0.1 < v_imt = 0.3 survives.
+        assert_eq!(pts.len(), 1);
+        assert_eq!(pts[0].v_mit, 0.1);
+        assert!(pts[0].i_max > 0.0);
+    }
+
+    #[test]
+    fn imax_dips_near_optimal_vimt() {
+        // Fig. 6's headline: I_MAX(V_IMT=0.4) below both 0.25 and 0.55.
+        let pts =
+            vimt_vmit_grid(1.0, PtmParams::vo2_default(), &[0.25, 0.4, 0.55], &[0.1]).unwrap();
+        let imax_of = |v: f64| {
+            pts.iter()
+                .find(|p| (p.v_imt - v).abs() < 1e-9)
+                .expect("point exists")
+                .i_max
+        };
+        let (lo, opt, hi) = (imax_of(0.25), imax_of(0.4), imax_of(0.55));
+        assert!(opt < lo, "I_MAX dip: 0.4 ({opt:.3e}) vs 0.25 ({lo:.3e})");
+        assert!(opt < hi, "I_MAX dip: 0.4 ({opt:.3e}) vs 0.55 ({hi:.3e})");
+    }
+
+    #[test]
+    fn optimal_vimt_tracks_vcc() {
+        // The optimum V_IMT moves down with V_CC (paper §IV-E: "strong
+        // function of V_CC").
+        let pts = optimal_vimt_vs_vcc(PtmParams::vo2_default(), &[0.7, 1.0], &[0.3, 0.4, 0.5, 0.6])
+            .unwrap();
+        assert!(pts[0].best_v_imt <= pts[1].best_v_imt + 1e-9);
+        // And at the per-V_CC optimum the Soft-FET beats baseline at both
+        // supplies.
+        for p in &pts {
+            assert!(
+                p.i_max < p.i_max_baseline,
+                "at vdd={}: soft {} vs base {}",
+                p.vdd,
+                p.i_max,
+                p.i_max_baseline
+            );
+        }
+    }
+
+    #[test]
+    fn slew_sweep_benefit_shrinks_for_slow_edges() {
+        // Fig. 9: soft-switching benefit vanishes with decreasing slew rate.
+        let pts = slew_sweep(1.0, PtmParams::vo2_default(), &[30e-12, 600e-12]).unwrap();
+        assert!(
+            pts[0].reduction_pct > pts[1].reduction_pct,
+            "fast {:.1}% vs slow {:.1}%",
+            pts[0].reduction_pct,
+            pts[1].reduction_pct
+        );
+    }
+
+    #[test]
+    fn invalid_point_reports_sweep_context() {
+        // A non-physical PTM (t_ptm <= 0) fails validation inside the sweep;
+        // the error must carry the task index and the parameters.
+        let err = tptm_sweep(1.0, PtmParams::vo2_default(), &[10e-12, -1.0])
+            .expect_err("negative t_ptm must fail");
+        match err {
+            SoftFetError::Sweep { index, context, .. } => {
+                assert_eq!(index, 1);
+                assert!(context.contains("t_ptm"), "context: {context}");
+            }
+            other => panic!("expected Sweep error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn grid_stats_cover_all_points() {
+        let (pts, stats) = vimt_vmit_grid_stats(
+            &ExecConfig::with_workers(2),
+            1.0,
+            PtmParams::vo2_default(),
+            &[0.3, 0.4],
+            &[0.1],
+        )
+        .unwrap();
+        assert_eq!(pts.len(), 2);
+        assert_eq!(stats.tasks_completed, 2);
+        assert_eq!(stats.workers, 2);
+        assert!(stats.wall.as_nanos() > 0);
+    }
 }
 
 #[cfg(test)]
@@ -417,10 +500,13 @@ mod temperature_tests {
 
     #[test]
     fn benefit_erodes_near_transition_temperature() {
-        let pts =
-            temperature_sweep(1.0, PtmParams::vo2_default(), &[25.0, 45.0, 62.0]).unwrap();
+        let pts = temperature_sweep(1.0, PtmParams::vo2_default(), &[25.0, 45.0, 62.0]).unwrap();
         // Nominal ambient keeps the headline benefit.
-        assert!(pts[0].reduction_pct > 40.0, "25C: {:.1}%", pts[0].reduction_pct);
+        assert!(
+            pts[0].reduction_pct > 40.0,
+            "25C: {:.1}%",
+            pts[0].reduction_pct
+        );
         // Near T_C the thresholds collapse and the benefit erodes.
         assert!(
             pts[2].reduction_pct < pts[0].reduction_pct,
@@ -429,6 +515,8 @@ mod temperature_tests {
             pts[0].reduction_pct
         );
         // The inverter still functions at every point.
-        assert!(pts.iter().all(|p| p.i_max_soft.is_finite() && p.i_max_soft > 0.0));
+        assert!(pts
+            .iter()
+            .all(|p| p.i_max_soft.is_finite() && p.i_max_soft > 0.0));
     }
 }

@@ -14,6 +14,18 @@ pub enum SoftFetError {
     Calibration(String),
     /// An experiment was configured with out-of-domain parameters.
     InvalidSpec(String),
+    /// A parallel sweep task failed. Produced by the sweeps in
+    /// [`crate::design_space`] and [`crate::variation`] when a point of the
+    /// parameter grid fails: `index` is the task's position in the sweep and
+    /// `context` renders the offending parameters.
+    Sweep {
+        /// Index of the failing task in sweep order.
+        index: usize,
+        /// Human-readable description of the task's parameters.
+        context: String,
+        /// The underlying failure.
+        source: Box<SoftFetError>,
+    },
 }
 
 impl fmt::Display for SoftFetError {
@@ -24,6 +36,11 @@ impl fmt::Display for SoftFetError {
             SoftFetError::Waveform(e) => write!(f, "measurement error: {e}"),
             SoftFetError::Calibration(msg) => write!(f, "calibration failed: {msg}"),
             SoftFetError::InvalidSpec(msg) => write!(f, "invalid experiment spec: {msg}"),
+            SoftFetError::Sweep {
+                index,
+                context,
+                source,
+            } => write!(f, "sweep task #{index} ({context}) failed: {source}"),
         }
     }
 }
@@ -34,6 +51,7 @@ impl std::error::Error for SoftFetError {
             SoftFetError::Circuit(e) => Some(e),
             SoftFetError::Sim(e) => Some(e),
             SoftFetError::Waveform(e) => Some(e),
+            SoftFetError::Sweep { source, .. } => Some(&**source),
             _ => None,
         }
     }
@@ -64,6 +82,15 @@ impl From<sfet_pdn::PdnError> for SoftFetError {
             sfet_pdn::PdnError::Sim(s) => SoftFetError::Sim(s),
             sfet_pdn::PdnError::Waveform(w) => SoftFetError::Waveform(w),
             sfet_pdn::PdnError::InvalidScenario(m) => SoftFetError::InvalidSpec(m),
+            sfet_pdn::PdnError::Sweep {
+                index,
+                context,
+                source,
+            } => SoftFetError::Sweep {
+                index,
+                context,
+                source: Box::new((*source).into()),
+            },
         }
     }
 }

@@ -205,10 +205,7 @@ impl InverterSpec {
             ),
             _ => (MosfetModel::pmos_40nm(), MosfetModel::nmos_40nm()),
         };
-        let (pmodel, nmodel) = (
-            pmodel.at_corner(self.corner),
-            nmodel.at_corner(self.corner),
-        );
+        let (pmodel, nmodel) = (pmodel.at_corner(self.corner), nmodel.at_corner(self.corner));
 
         // Gate coupling: direct, through a PTM, or through a resistor.
         match &self.topology {
@@ -304,7 +301,11 @@ mod tests {
     #[test]
     fn fo4_load_scales_with_input_cap() {
         let spec = InverterSpec::minimum(1.0, Topology::Baseline);
-        assert!(spec.c_load > 1e-15 && spec.c_load < 5e-15, "{}", spec.c_load);
+        assert!(
+            spec.c_load > 1e-15 && spec.c_load < 5e-15,
+            "{}",
+            spec.c_load
+        );
     }
 
     #[test]
@@ -312,7 +313,13 @@ mod tests {
         let mut s = InverterSpec::minimum(1.0, Topology::Baseline);
         s.vdd = 0.0;
         assert!(s.validate().is_err());
-        let mut s = InverterSpec::minimum(1.0, Topology::Stacked { n: 1, width_scale: 1.0 });
+        let mut s = InverterSpec::minimum(
+            1.0,
+            Topology::Stacked {
+                n: 1,
+                width_scale: 1.0,
+            },
+        );
         assert!(s.validate().is_err());
         s = InverterSpec::minimum(1.0, Topology::SeriesR(-5.0));
         assert!(s.validate().is_err());
@@ -359,6 +366,9 @@ mod tests {
     #[test]
     fn labels_stable() {
         assert_eq!(Topology::Baseline.label(), "baseline");
-        assert_eq!(Topology::SoftFet(PtmParams::vo2_default()).label(), "soft-fet");
+        assert_eq!(
+            Topology::SoftFet(PtmParams::vo2_default()).label(),
+            "soft-fet"
+        );
     }
 }

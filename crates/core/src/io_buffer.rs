@@ -1,7 +1,9 @@
 //! Soft-FET I/O buffer comparison (paper Fig. 11).
 
+use crate::design_space::run_sweep;
 use crate::Result;
 use sfet_devices::ptm::PtmParams;
+use sfet_numeric::exec::ExecConfig;
 use sfet_pdn::io_buffer::{IoBufferOutcome, IoBufferScenario};
 use sfet_pdn::ssn::{energy_efficiency_gain, DEFAULT_GUARDBAND_K};
 
@@ -24,12 +26,7 @@ impl IoBufferComparison {
     /// improved energy efficiency"), using the default guard-band
     /// multiplier.
     pub fn energy_gain_pct(&self, v_nom: f64) -> f64 {
-        100.0 * energy_efficiency_gain(
-            self.baseline.ssn,
-            self.soft.ssn,
-            v_nom,
-            DEFAULT_GUARDBAND_K,
-        )
+        100.0 * energy_efficiency_gain(self.baseline.ssn, self.soft.ssn, v_nom, DEFAULT_GUARDBAND_K)
     }
 
     /// Delay penalty of the Soft-FET buffer \[s\].
@@ -76,8 +73,22 @@ pub fn compare_io_buffer(
 ///
 /// # Errors
 ///
-/// Propagates simulation failures.
+/// Propagates simulation failures as [`crate::SoftFetError::Sweep`].
 pub fn ssn_vs_slew(
+    scenario: &IoBufferScenario,
+    logic_ptm: PtmParams,
+    input_rises: &[f64],
+) -> Result<Vec<SsnVsSlewPoint>> {
+    ssn_vs_slew_with(&ExecConfig::from_env(), scenario, logic_ptm, input_rises)
+}
+
+/// [`ssn_vs_slew`] with an explicit execution policy.
+///
+/// # Errors
+///
+/// Propagates simulation failures as [`crate::SoftFetError::Sweep`].
+pub fn ssn_vs_slew_with(
+    cfg: &ExecConfig,
     scenario: &IoBufferScenario,
     logic_ptm: PtmParams,
     input_rises: &[f64],
@@ -86,27 +97,30 @@ pub fn ssn_vs_slew(
     // as a real design would be) and only vary the input edge — the
     // paper's Fig. 11 inset keeps the device constant.
     let soft_template = scenario.with_soft_fet(logic_ptm);
-    let mut out = Vec::with_capacity(input_rises.len());
-    for &input_rise in input_rises {
-        let base = IoBufferScenario {
-            input_rise,
-            ptm: None,
-            ..scenario.clone()
-        }
-        .run()?;
-        let soft = IoBufferScenario {
-            input_rise,
-            ..soft_template.clone()
-        }
-        .run()?;
-        out.push(SsnVsSlewPoint {
-            input_rise,
-            ssn_base: base.ssn,
-            ssn_soft: soft.ssn,
-            improvement_pct: 100.0 * (1.0 - soft.ssn / base.ssn),
-        });
-    }
-    Ok(out)
+    run_sweep(
+        cfg,
+        input_rises,
+        |t| format!("input_rise={t:.4e} s"),
+        |_, &input_rise| {
+            let base = IoBufferScenario {
+                input_rise,
+                ptm: None,
+                ..scenario.clone()
+            }
+            .run()?;
+            let soft = IoBufferScenario {
+                input_rise,
+                ..soft_template.clone()
+            }
+            .run()?;
+            Ok(SsnVsSlewPoint {
+                input_rise,
+                ssn_base: base.ssn,
+                ssn_soft: soft.ssn,
+                improvement_pct: 100.0 * (1.0 - soft.ssn / base.ssn),
+            })
+        },
+    )
 }
 
 #[cfg(test)]

@@ -45,8 +45,7 @@ pub struct InverterMetrics {
 /// events).
 pub fn inverter_sim_options(spec: &InverterSpec) -> SimOptions {
     let dtmax = (spec.t_rise / 100.0).min(2e-12);
-    SimOptions::default()
-        .with_dtmax(dtmax)
+    SimOptions::default().with_dtmax(dtmax)
 }
 
 /// Runs the transient for a spec and returns the raw result (exposed for
@@ -106,13 +105,7 @@ pub fn measure_from_result(spec: &InverterSpec, result: &TranResult) -> Result<I
     let (t_peak, i_max) = i_rail.peak_abs();
     let di_dt = max_abs_didt(&i_rail);
     let delay = propagation_delay(&v_in, &v_out, spec.vdd)?;
-    let q = charge_split(
-        &i_rail,
-        &v_out,
-        spec.c_load,
-        spec.t_start,
-        spec.t_stop,
-    );
+    let q = charge_split(&i_rail, &v_out, spec.c_load, spec.t_start, spec.t_stop);
     let transitions = match &spec.topology {
         Topology::SoftFet(_) => result.ptm_events("PG1")?.len(),
         _ => 0,
@@ -144,7 +137,11 @@ mod tests {
         let m = measure_inverter(&InverterSpec::minimum(1.0, Topology::Baseline)).unwrap();
         // Minimum 40nm-class inverter: peak in the tens of µA, ps delays.
         assert!(m.i_max > 10e-6 && m.i_max < 500e-6, "i_max={:.3e}", m.i_max);
-        assert!(m.delay > 0.1e-12 && m.delay < 100e-12, "delay={:.3e}", m.delay);
+        assert!(
+            m.delay > 0.1e-12 && m.delay < 100e-12,
+            "delay={:.3e}",
+            m.delay
+        );
         assert!(m.q_total >= m.q_out, "charge accounting");
         assert_eq!(m.transitions, 0);
         // Output swings fully.
@@ -179,8 +176,8 @@ mod tests {
 
     #[test]
     fn rising_edge_measures_ground_current() {
-        let spec = InverterSpec::minimum(1.0, Topology::Baseline)
-            .with_edge(crate::inverter::Edge::Rising);
+        let spec =
+            InverterSpec::minimum(1.0, Topology::Baseline).with_edge(crate::inverter::Edge::Rising);
         let m = measure_inverter(&spec).unwrap();
         assert!(m.i_max > 10e-6, "ground-rail peak {:.3e}", m.i_max);
         assert!(m.v_out.first_value() > 0.95);
@@ -255,7 +252,14 @@ mod corner_tests {
                 .unwrap()
                 .i_max
         };
-        let (ss, tt, ff) = (imax(Corner::Slow), imax(Corner::Typical), imax(Corner::Fast));
-        assert!(ss < tt && tt < ff, "ordering: ss {ss:.3e}, tt {tt:.3e}, ff {ff:.3e}");
+        let (ss, tt, ff) = (
+            imax(Corner::Slow),
+            imax(Corner::Typical),
+            imax(Corner::Fast),
+        );
+        assert!(
+            ss < tt && tt < ff,
+            "ordering: ss {ss:.3e}, tt {tt:.3e}, ff {ff:.3e}"
+        );
     }
 }

@@ -114,6 +114,35 @@ pub fn fmt_pct(value: f64) -> String {
     format!("{value:.1}%")
 }
 
+/// Renders one sweep's execution statistics as a single summary line for
+/// the figure binaries, e.g.
+/// `sweep: 121/121 tasks, 8 workers, 1.24 s wall, 93% utilization`.
+///
+/// # Example
+///
+/// ```
+/// let stats = sfet_numeric::exec::ExecStats {
+///     tasks_completed: 4,
+///     tasks_total: 4,
+///     workers: 2,
+///     wall: std::time::Duration::from_millis(10),
+///     busy: std::time::Duration::from_millis(18),
+/// };
+/// let line = softfet::report::fmt_exec_stats(&stats);
+/// assert!(line.contains("4/4 tasks") && line.contains("2 workers"));
+/// ```
+pub fn fmt_exec_stats(stats: &sfet_numeric::exec::ExecStats) -> String {
+    format!(
+        "sweep: {}/{} tasks, {} worker{}, {} wall, {:.0}% utilization",
+        stats.tasks_completed,
+        stats.tasks_total,
+        stats.workers,
+        if stats.workers == 1 { "" } else { "s" },
+        fmt_si(stats.wall.as_secs_f64(), "s"),
+        100.0 * stats.utilization(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -137,7 +137,11 @@ mod tests {
     fn nmos_on_current_in_calibration_band() {
         let op = eval(&nmos(), W, L, 1.0, 1.0, 0.0, 0.0);
         // Target ~100 µA for the minimum device; accept a generous band.
-        assert!(op.id > 40e-6 && op.id < 300e-6, "Ion = {:.1} µA", op.id * 1e6);
+        assert!(
+            op.id > 40e-6 && op.id < 300e-6,
+            "Ion = {:.1} µA",
+            op.id * 1e6
+        );
     }
 
     #[test]
@@ -194,7 +198,11 @@ mod tests {
             for &vg in &[0.0, 0.3, 0.6, 1.0] {
                 for &vd in &[0.0, 0.4, 1.0] {
                     for &vs in &[0.0, 0.2] {
-                        let vb = if model.polarity == Polarity::Nmos { 0.0 } else { 1.0 };
+                        let vb = if model.polarity == Polarity::Nmos {
+                            0.0
+                        } else {
+                            1.0
+                        };
                         let op = eval(&model, W, L, vg, vd, vs, vb);
                         let num_gm = (eval(&model, W, L, vg + h, vd, vs, vb).id
                             - eval(&model, W, L, vg - h, vd, vs, vb).id)

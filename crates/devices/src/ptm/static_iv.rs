@@ -136,7 +136,10 @@ mod tests {
             .unwrap();
         assert_eq!(up.phase, PtmPhase::Insulating);
         assert_eq!(down.phase, PtmPhase::Metallic);
-        assert!(down.i / up.i > 10.0, "metallic branch carries far more current");
+        assert!(
+            down.i / up.i > 10.0,
+            "metallic branch carries far more current"
+        );
     }
 
     #[test]

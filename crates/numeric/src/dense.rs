@@ -381,12 +381,8 @@ mod tests {
 
     #[test]
     fn solve_known_3x3() {
-        let a = DenseMatrix::from_rows(&[
-            &[2.0, 1.0, -1.0],
-            &[-3.0, -1.0, 2.0],
-            &[-2.0, 1.0, 2.0],
-        ])
-        .unwrap();
+        let a = DenseMatrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]])
+            .unwrap();
         let x = a.solve(&[8.0, -11.0, -3.0]).unwrap();
         assert_vec_close(&x, &[2.0, 3.0, -1.0], 1e-12);
     }
@@ -488,7 +484,9 @@ mod tests {
         let n = 12;
         let mut seed = 0x12345678u64;
         let mut next = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64) / (u32::MAX as f64) - 0.5
         };
         let mut a = DenseMatrix::zeros(n, n);

@@ -19,6 +19,10 @@
 //! * [`integrate`] — integration-method coefficients (backward Euler,
 //!   trapezoidal, Gear-2) for companion models.
 //! * [`stats`] — descriptive statistics for sweep / Monte-Carlo results.
+//! * [`exec`] — the deterministic parallel sweep engine: order-preserving
+//!   `par_map` over scoped threads with lock-free result slots,
+//!   cancel-on-first-error, `SFET_THREADS` worker override, and per-task
+//!   SplitMix64 seed derivation.
 //!
 //! # Example
 //!
@@ -39,6 +43,7 @@
 //! ```
 
 pub mod dense;
+pub mod exec;
 pub mod integrate;
 pub mod interp;
 pub mod newton;

@@ -90,7 +90,7 @@ mod tests {
         assert_eq!(softplus(1000.0), 1000.0);
         assert!(softplus(-1000.0) >= 0.0);
         assert!(softplus(-1000.0) < 1e-300);
-        assert!((softplus(0.0) - 0.6931471805599453).abs() < 1e-15);
+        assert!((softplus(0.0) - std::f64::consts::LN_2).abs() < 1e-15);
     }
 
     #[test]

@@ -68,7 +68,10 @@ impl TripletMatrix {
     /// Panics if `r` or `c` is out of bounds.
     #[inline]
     pub fn push(&mut self, r: usize, c: usize, v: f64) {
-        assert!(r < self.rows && c < self.cols, "triplet index out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "triplet index out of bounds"
+        );
         if v != 0.0 {
             self.entries.push((r, c, v));
         }

@@ -313,10 +313,7 @@ mod tests {
         t.push(1, 0, 2.0);
         t.push(1, 1, 4.0);
         let a = t.to_csc();
-        assert!(matches!(
-            a.lu(),
-            Err(NumericError::SingularMatrix { .. })
-        ));
+        assert!(matches!(a.lu(), Err(NumericError::SingularMatrix { .. })));
     }
 
     #[test]

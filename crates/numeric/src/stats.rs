@@ -77,7 +77,10 @@ pub fn summarize(values: &[f64]) -> Result<Summary> {
 pub fn percentile(values: &[f64], q: f64) -> f64 {
     assert!(!values.is_empty(), "percentile of an empty sample set");
     assert!((0.0..=1.0).contains(&q), "q must be in [0, 1]");
-    debug_assert!(values.windows(2).all(|w| w[0] <= w[1]), "slice must be sorted");
+    debug_assert!(
+        values.windows(2).all(|w| w[0] <= w[1]),
+        "slice must be sorted"
+    );
     let pos = q * (values.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;

@@ -11,6 +11,16 @@ pub enum PdnError {
     Waveform(sfet_waveform::WaveformError),
     /// Scenario parameters are out of domain.
     InvalidScenario(String),
+    /// A parallel sweep task failed: `index` is the task's position in the
+    /// sweep and `context` renders the offending parameters.
+    Sweep {
+        /// Index of the failing task in sweep order.
+        index: usize,
+        /// Human-readable description of the task's parameters.
+        context: String,
+        /// The underlying failure.
+        source: Box<PdnError>,
+    },
 }
 
 impl fmt::Display for PdnError {
@@ -20,6 +30,11 @@ impl fmt::Display for PdnError {
             PdnError::Sim(e) => write!(f, "simulation error: {e}"),
             PdnError::Waveform(e) => write!(f, "measurement error: {e}"),
             PdnError::InvalidScenario(msg) => write!(f, "invalid scenario: {msg}"),
+            PdnError::Sweep {
+                index,
+                context,
+                source,
+            } => write!(f, "sweep task #{index} ({context}) failed: {source}"),
         }
     }
 }
@@ -30,6 +45,7 @@ impl std::error::Error for PdnError {
             PdnError::Circuit(e) => Some(e),
             PdnError::Sim(e) => Some(e),
             PdnError::Waveform(e) => Some(e),
+            PdnError::Sweep { source, .. } => Some(&**source),
             PdnError::InvalidScenario(_) => None,
         }
     }

@@ -265,7 +265,10 @@ mod tests {
 
     #[test]
     fn invalid_rejected() {
-        let s = IoBufferScenario { c_pad: 0.0, ..Default::default() };
+        let s = IoBufferScenario {
+            c_pad: 0.0,
+            ..Default::default()
+        };
         assert!(s.validate().is_err());
     }
 

@@ -26,3 +26,26 @@ pub use model::PdnParams;
 
 /// Convenience result alias.
 pub type Result<T> = std::result::Result<T, PdnError>;
+
+/// Runs `task` over `items` through the deterministic engine in
+/// [`sfet_numeric::exec`], converting a task failure into
+/// [`PdnError::Sweep`] with the offending parameters rendered by
+/// `describe`.
+pub(crate) fn run_sweep<T, U, F, D>(
+    cfg: &sfet_numeric::exec::ExecConfig,
+    items: &[T],
+    describe: D,
+    task: F,
+) -> Result<Vec<U>>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> Result<U> + Sync,
+    D: Fn(&T) -> String,
+{
+    sfet_numeric::exec::par_map(cfg, items, task).map_err(|e| PdnError::Sweep {
+        index: e.index,
+        context: describe(&items[e.index]),
+        source: Box::new(e.source),
+    })
+}

@@ -6,8 +6,9 @@
 //! reference [19]: a few mΩ of package resistance, tens to hundreds of pH
 //! of loop inductance, and nF-class on-die decoupling.
 
-use crate::{PdnError, Result};
+use crate::{run_sweep, PdnError, Result};
 use sfet_circuit::{Circuit, NodeId, SourceWaveform};
+use sfet_numeric::exec::ExecConfig;
 
 /// Lumped PDN parameters.
 ///
@@ -120,16 +121,39 @@ impl PdnParams {
     ///
     /// Propagates circuit and AC-analysis failures.
     pub fn impedance_profile(&self, freqs: &[f64]) -> Result<Vec<(f64, f64)>> {
+        self.impedance_profile_with(&ExecConfig::from_env(), freqs)
+    }
+
+    /// [`PdnParams::impedance_profile`] with an explicit execution policy.
+    /// Each frequency point is an independent complex solve against the
+    /// same stamped matrices, so the parallel profile is bitwise identical
+    /// to a serial one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit and AC-analysis failures as [`PdnError::Sweep`].
+    pub fn impedance_profile_with(
+        &self,
+        cfg: &ExecConfig,
+        freqs: &[f64],
+    ) -> Result<Vec<(f64, f64)>> {
         let mut ckt = Circuit::new();
         let rail = self.attach(&mut ckt, "vdd")?;
         let gnd = Circuit::ground();
         ckt.add_current_source("IAC", rail, gnd, SourceWaveform::Dc(0.0))?;
-        let res = sfet_sim::ac_sweep(&ckt, "IAC", freqs, &sfet_sim::SimOptions::default())
-            .map_err(crate::PdnError::Sim)?;
-        let mags = res
-            .magnitude(&Self::rail_node_name("vdd"))
-            .map_err(crate::PdnError::Sim)?;
-        Ok(freqs.iter().copied().zip(mags).collect())
+        let rail_name = Self::rail_node_name("vdd");
+        let opts = sfet_sim::SimOptions::default();
+        run_sweep(
+            cfg,
+            freqs,
+            |f| format!("f={f:.4e} Hz"),
+            |_, &f| {
+                let res =
+                    sfet_sim::ac_sweep(&ckt, "IAC", &[f], &opts).map_err(crate::PdnError::Sim)?;
+                let mags = res.magnitude(&rail_name).map_err(crate::PdnError::Sim)?;
+                Ok((f, mags[0]))
+            },
+        )
     }
 
     /// The package anti-resonance frequency `1 / (2π√(L_pkg·C_decap))` \[Hz\].
@@ -150,7 +174,10 @@ mod tests {
 
     #[test]
     fn invalid_rejected() {
-        let p = PdnParams { l_pkg: 0.0, ..Default::default() };
+        let p = PdnParams {
+            l_pkg: 0.0,
+            ..Default::default()
+        };
         assert!(p.validate().is_err());
     }
 

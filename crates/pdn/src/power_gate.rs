@@ -15,10 +15,11 @@
 //! in the logic-cell experiments (documented in DESIGN.md).
 
 use crate::model::PdnParams;
-use crate::{PdnError, Result};
+use crate::{run_sweep, PdnError, Result};
 use sfet_circuit::{Circuit, SourceWaveform};
 use sfet_devices::mosfet::{gate_caps, MosfetModel};
 use sfet_devices::ptm::PtmParams;
+use sfet_numeric::exec::ExecConfig;
 use sfet_sim::{transient, SimOptions};
 use sfet_waveform::measure::{crossing_time, droop, CrossDirection, DroopReport};
 use sfet_waveform::Waveform;
@@ -234,6 +235,78 @@ impl PowerGateScenario {
     }
 }
 
+/// One row of the wake-ramp trade-off study: baseline vs Soft-FET at one
+/// sleep-signal ramp duration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WakeRampPoint {
+    /// Sleep-signal ramp duration \[s\].
+    pub wake_ramp: f64,
+    /// Baseline shared-rail droop \[V\].
+    pub droop_base: f64,
+    /// Soft-FET shared-rail droop \[V\].
+    pub droop_soft: f64,
+    /// Baseline peak inrush \[A\].
+    pub inrush_base: f64,
+    /// Soft-FET peak inrush \[A\].
+    pub inrush_soft: f64,
+    /// Soft-FET wake time (command → 90 % of nominal) \[s\], if reached.
+    pub wake_time_soft: Option<f64>,
+}
+
+/// Sweeps the sleep-signal ramp duration, measuring baseline and Soft-FET
+/// wake-ups at each point — the design trade between wake latency and
+/// shared-rail disturbance. The PTM is re-scaled per point (the header
+/// resistance tracks the ramp, as in [`PowerGateScenario::with_soft_fet`])
+/// and `t_stop` is stretched so slow ramps still complete.
+///
+/// # Errors
+///
+/// Propagates the first scenario failure as [`PdnError::Sweep`].
+pub fn wake_ramp_sweep(
+    scenario: &PowerGateScenario,
+    logic_ptm: PtmParams,
+    wake_ramps: &[f64],
+) -> Result<Vec<WakeRampPoint>> {
+    wake_ramp_sweep_with(&ExecConfig::from_env(), scenario, logic_ptm, wake_ramps)
+}
+
+/// [`wake_ramp_sweep`] with an explicit execution policy.
+///
+/// # Errors
+///
+/// Propagates the first scenario failure as [`PdnError::Sweep`].
+pub fn wake_ramp_sweep_with(
+    cfg: &ExecConfig,
+    scenario: &PowerGateScenario,
+    logic_ptm: PtmParams,
+    wake_ramps: &[f64],
+) -> Result<Vec<WakeRampPoint>> {
+    run_sweep(
+        cfg,
+        wake_ramps,
+        |r| format!("wake_ramp={r:.4e} s"),
+        |_, &wake_ramp| {
+            let base = PowerGateScenario {
+                wake_ramp,
+                ptm: None,
+                t_stop: scenario.t_stop.max(scenario.wake_start + 8.0 * wake_ramp),
+                ..scenario.clone()
+            };
+            let soft = base.with_soft_fet(logic_ptm);
+            let out_b = base.run()?;
+            let out_s = soft.run()?;
+            Ok(WakeRampPoint {
+                wake_ramp,
+                droop_base: out_b.droop.droop,
+                droop_soft: out_s.droop.droop,
+                inrush_base: out_b.peak_inrush,
+                inrush_soft: out_s.peak_inrush,
+                wake_time_soft: out_s.wake_time,
+            })
+        },
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,10 +320,16 @@ mod tests {
 
     #[test]
     fn invalid_scenarios_rejected() {
-        let s = PowerGateScenario { c_domain: -1.0, ..Default::default() };
+        let s = PowerGateScenario {
+            c_domain: -1.0,
+            ..Default::default()
+        };
         assert!(s.validate().is_err());
         let base = PowerGateScenario::default();
-        let s = PowerGateScenario { t_stop: base.wake_start, ..base };
+        let s = PowerGateScenario {
+            t_stop: base.wake_start,
+            ..base
+        };
         assert!(s.validate().is_err());
     }
 
@@ -294,6 +373,44 @@ mod tests {
         );
         // And the domain still wakes up.
         assert!(out_s.v_virtual.last_value() > 0.9 * base.pdn.v_nom);
+    }
+
+    #[test]
+    fn wake_ramp_sweep_reports_soft_benefit_per_point() {
+        let pts = wake_ramp_sweep(
+            &PowerGateScenario::default(),
+            PtmParams::vo2_default(),
+            &[2e-9, 4e-9],
+        )
+        .unwrap();
+        assert_eq!(pts.len(), 2);
+        for p in &pts {
+            assert!(
+                p.droop_soft < p.droop_base,
+                "ramp {:.1e}: soft droop {:.1} mV vs base {:.1} mV",
+                p.wake_ramp,
+                p.droop_soft * 1e3,
+                p.droop_base * 1e3
+            );
+            assert!(p.wake_time_soft.is_some(), "domain must still wake");
+        }
+    }
+
+    #[test]
+    fn wake_ramp_sweep_error_names_the_point() {
+        let err = wake_ramp_sweep(
+            &PowerGateScenario::default(),
+            PtmParams::vo2_default(),
+            &[2e-9, -1.0],
+        )
+        .expect_err("negative ramp must fail validation");
+        match err {
+            PdnError::Sweep { index, context, .. } => {
+                assert_eq!(index, 1);
+                assert!(context.contains("wake_ramp"), "context: {context}");
+            }
+            other => panic!("expected Sweep, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,97 @@
+//! Collection strategies: `vec` and `hash_set`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::ops::Range;
+
+/// Generates `Vec`s whose length is drawn from `len` (half-open, like the
+/// real proptest's `1..8`).
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}
+
+/// Generates `HashSet`s with a size drawn from `len`. Duplicate draws are
+/// retried a bounded number of times, so for very narrow element domains the
+/// set may come out smaller than requested (the real crate rejects instead).
+pub fn hash_set<S>(element: S, len: Range<usize>) -> HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Eq + Hash,
+{
+    HashSetStrategy { element, len }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = sample_len(&self.len, rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// See [`hash_set`].
+#[derive(Debug, Clone)]
+pub struct HashSetStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S> Strategy for HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Eq + Hash,
+{
+    type Value = HashSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+        let n = sample_len(&self.len, rng);
+        let mut out = HashSet::with_capacity(n);
+        let mut attempts = 0;
+        while out.len() < n && attempts < 32 * n + 64 {
+            attempts += 1;
+            out.insert(self.element.generate(rng));
+        }
+        out
+    }
+}
+
+fn sample_len(len: &Range<usize>, rng: &mut TestRng) -> usize {
+    assert!(len.start < len.end, "empty collection length range");
+    len.start + (rng.next_u64() as usize) % (len.end - len.start)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_respects_length_range() {
+        let mut rng = TestRng::new(11);
+        let s = vec(0.0f64..1.0, 2..40);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((2..40).contains(&v.len()));
+            assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+    }
+
+    #[test]
+    fn hash_set_elements_distinct() {
+        let mut rng = TestRng::new(13);
+        let s = hash_set(0usize..1000, 1..20);
+        for _ in 0..100 {
+            let set = s.generate(&mut rng);
+            assert!(!set.is_empty() && set.len() < 20);
+        }
+    }
+}

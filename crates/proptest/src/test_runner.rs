@@ -1,0 +1,203 @@
+//! Deterministic case runner and RNG.
+
+use crate::strategy::Strategy;
+use std::fmt::Debug;
+use std::fmt::Write as _;
+
+/// Runner configuration. Only the knobs the workspace uses are exposed;
+/// `..ProptestConfig::default()` update syntax works as in the real crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases each test must pass.
+    pub cases: u32,
+    /// Total rejections (`prop_assume!` failures) tolerated before the test
+    /// aborts.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A default configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is regenerated.
+    Reject,
+    /// `prop_assert!` (or friends) failed with a message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// SplitMix64 generator: tiny, fast, and plenty for test-case generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator with the given seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Generates one value and appends `name = value` to the case log so
+/// failures can report the exact inputs (the stub does not shrink).
+pub fn generate_logged<S>(strategy: &S, rng: &mut TestRng, name: &str, log: &mut String) -> S::Value
+where
+    S: Strategy,
+    S::Value: Debug,
+{
+    let value = strategy.generate(rng);
+    if !log.is_empty() {
+        log.push_str(", ");
+    }
+    let _ = write!(log, "{name} = {value:?}");
+    value
+}
+
+/// Drives one `proptest!` test: repeatedly generates inputs and runs the
+/// body until `cases` cases pass, a case fails, or the reject budget is
+/// exhausted.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: TestRng,
+    test_name: &'static str,
+}
+
+impl TestRunner {
+    /// Creates a runner whose RNG is seeded from the test name, so every
+    /// test explores a different but reproducible corner of the space.
+    pub fn new(config: ProptestConfig, test_name: &'static str) -> Self {
+        // FNV-1a over the name: stable across runs, compilers, platforms.
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in test_name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRunner {
+            config,
+            rng: TestRng::new(seed),
+            test_name,
+        }
+    }
+
+    /// Runs the closure until `cases` successes. The closure returns the
+    /// case outcome plus a human-readable description of the inputs.
+    pub fn run<F>(&mut self, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> (Result<(), TestCaseError>, String),
+    {
+        let mut passed = 0;
+        let mut rejected = 0;
+        while passed < self.config.cases {
+            let (outcome, inputs) = case(&mut self.rng);
+            match outcome {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject) => {
+                    rejected += 1;
+                    if rejected > self.config.max_global_rejects {
+                        panic!(
+                            "{}: too many prop_assume! rejections ({rejected}) \
+                             after {passed} passing cases",
+                            self.test_name
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "{}: property failed after {passed} passing cases\n  \
+                         failure: {msg}\n  inputs: {inputs}",
+                        self.test_name
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let (mut a, mut b) = (TestRng::new(42), TestRng::new(42));
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn runner_counts_cases() {
+        let mut runs = 0;
+        TestRunner::new(ProptestConfig::with_cases(10), "counts").run(|_| {
+            runs += 1;
+            (Ok(()), String::new())
+        });
+        assert_eq!(runs, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn runner_reports_failures() {
+        TestRunner::new(ProptestConfig::with_cases(5), "fails").run(|rng| {
+            let v = rng.unit_f64();
+            (
+                Err(TestCaseError::fail("always fails")),
+                format!("v = {v:?}"),
+            )
+        });
+    }
+
+    #[test]
+    fn rejects_are_not_failures() {
+        let mut total = 0;
+        TestRunner::new(ProptestConfig::with_cases(4), "rejects").run(|_| {
+            total += 1;
+            if total % 2 == 0 {
+                (Ok(()), String::new())
+            } else {
+                (Err(TestCaseError::Reject), String::new())
+            }
+        });
+        assert_eq!(total, 8);
+    }
+}

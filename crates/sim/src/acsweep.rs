@@ -23,8 +23,8 @@
 
 use std::collections::HashMap;
 
-use crate::devices::{volt, CompiledCircuit, SimDevice};
 use crate::dcop::solve_dc;
+use crate::devices::{volt, CompiledCircuit, SimDevice};
 use crate::matrix::MnaMatrix;
 use crate::options::SimOptions;
 use crate::{Result, SimError};
@@ -181,10 +181,7 @@ fn stamp_ac(
     node_count: usize,
 ) -> Result<()> {
     let mut found_source = false;
-    let add2 = |m: &mut Vec<(usize, usize, f64)>,
-                    p: Option<usize>,
-                    q: Option<usize>,
-                    v: f64| {
+    let add2 = |m: &mut Vec<(usize, usize, f64)>, p: Option<usize>, q: Option<usize>, v: f64| {
         if let Some(i) = p {
             m.push((i, i, v));
             if let Some(j) = q {
@@ -202,8 +199,12 @@ fn stamp_ac(
     for device in &compiled.devices {
         match device {
             SimDevice::Resistor { p, n, g: cond } => add2(g, *p, *n, *cond),
-            SimDevice::Capacitor { p, n, c: farads, .. } => add2(c, *p, *n, *farads),
-            SimDevice::Inductor { p, n, branch, l, .. } => {
+            SimDevice::Capacitor {
+                p, n, c: farads, ..
+            } => add2(c, *p, *n, *farads),
+            SimDevice::Inductor {
+                p, n, branch, l, ..
+            } => {
                 if let Some(i) = *p {
                     g.push((i, *branch, 1.0));
                     g.push((*branch, i, 1.0));
@@ -318,7 +319,11 @@ mod tests {
         assert!((mag[0] - 1.0).abs() < 1e-3);
         let f3 = 1.0 / (2.0 * std::f64::consts::PI * 1e3 * 1e-9);
         let k3 = freqs.iter().position(|&f| f > f3).unwrap();
-        assert!((mag[k3] - 1.0 / 2f64.sqrt()).abs() < 0.08, "corner {}", mag[k3]);
+        assert!(
+            (mag[k3] - 1.0 / 2f64.sqrt()).abs() < 0.08,
+            "corner {}",
+            mag[k3]
+        );
         let last = *mag.last().unwrap();
         assert!(last < 0.01, "rolloff {last}");
         // Phase approaches -90 degrees.
@@ -391,8 +396,17 @@ mod tests {
         ckt.add_voltage_source("VIN", inp, gnd, SourceWaveform::Dc(0.55))
             .unwrap();
         ckt.add_resistor("RL", vdd, out, 20e3).unwrap();
-        ckt.add_mosfet("M1", out, inp, gnd, gnd, MosfetModel::nmos_40nm(), 240e-9, 40e-9)
-            .unwrap();
+        ckt.add_mosfet(
+            "M1",
+            out,
+            inp,
+            gnd,
+            gnd,
+            MosfetModel::nmos_40nm(),
+            240e-9,
+            40e-9,
+        )
+        .unwrap();
         let res = ac_sweep(&ckt, "VIN", &[1e6], &SimOptions::default()).unwrap();
         let gain = res.magnitude("out").unwrap()[0];
         assert!(gain > 1.0, "amplifying stage, got {gain}");

@@ -12,10 +12,10 @@
 //! Norton equivalent), inductors are shorts.
 
 use crate::devices::{CompiledCircuit, SimDevice, StampMode};
+use crate::matrix::MnaMatrix;
 use crate::options::SimOptions;
 use crate::{Result, SimError};
 use sfet_circuit::Circuit;
-use crate::matrix::MnaMatrix;
 
 /// Computes the DC operating point of a circuit at `t = 0`.
 ///
@@ -67,10 +67,8 @@ pub(crate) fn solve_dc(compiled: &mut CompiledCircuit, opts: &SimOptions) -> Res
     let mut x = x0;
     for k in 1..=20 {
         let scale = k as f64 / 20.0;
-        x = newton_dc(compiled, &x, scale, 0.0, opts).map_err(|_| SimError::NonConvergence {
-            time: 0.0,
-            dt: 0.0,
-        })?;
+        x = newton_dc(compiled, &x, scale, 0.0, opts)
+            .map_err(|_| SimError::NonConvergence { time: 0.0, dt: 0.0 })?;
     }
     Ok(x)
 }
@@ -140,7 +138,14 @@ pub(crate) fn init_state_from_dc(compiled: &mut CompiledCircuit, x: &[f64]) {
     // above V_IMT). Fire those immediately so the transient starts from a
     // consistent phase.
     for device in &mut compiled.devices {
-        if let SimDevice::Ptm { p, n, state, events, .. } = device {
+        if let SimDevice::Ptm {
+            p,
+            n,
+            state,
+            events,
+            ..
+        } = device
+        {
             let v = crate::devices::volt(x, *p) - crate::devices::volt(x, *n);
             if let Some(excess) = state.threshold_excess(v) {
                 if excess >= 0.0 {

@@ -10,8 +10,8 @@
 
 use std::collections::HashMap;
 
-use crate::devices::{volt, CompiledCircuit, SimDevice};
 use crate::dcop::newton_dc;
+use crate::devices::{volt, CompiledCircuit, SimDevice};
 use crate::options::SimOptions;
 use crate::{Result, SimError};
 use sfet_circuit::{Circuit, SourceWaveform};
@@ -99,7 +99,9 @@ pub fn dc_sweep(
     let src_idx = compiled
         .devices
         .iter()
-        .position(|d| matches!(d, SimDevice::Vsrc { .. }) && device_name(&compiled, d) == Some(source))
+        .position(|d| {
+            matches!(d, SimDevice::Vsrc { .. }) && device_name(&compiled, d) == Some(source)
+        })
         .ok_or_else(|| SimError::UnknownSignal(format!("voltage source {source:?}")))?;
 
     let mut x = vec![0.0; compiled.size];
@@ -118,7 +120,14 @@ pub fn dc_sweep(
         for _ in 0..4 {
             let mut fired = false;
             for device in &mut compiled.devices {
-                if let SimDevice::Ptm { p, n, state, events, .. } = device {
+                if let SimDevice::Ptm {
+                    p,
+                    n,
+                    state,
+                    events,
+                    ..
+                } = device
+                {
                     let v = volt(&solved, *p) - volt(&solved, *n);
                     if state.threshold_excess(v).is_some_and(|e| e >= 0.0) {
                         events.push(state.fire(0.0));
@@ -213,10 +222,28 @@ mod tests {
         } else {
             ckt.add_resistor("R1", inp, g, 0.1).unwrap();
         }
-        ckt.add_mosfet("MP", out, g, vdd, vdd, MosfetModel::pmos_40nm(), 240e-9, 40e-9)
-            .unwrap();
-        ckt.add_mosfet("MN", out, g, gnd, gnd, MosfetModel::nmos_40nm(), 120e-9, 40e-9)
-            .unwrap();
+        ckt.add_mosfet(
+            "MP",
+            out,
+            g,
+            vdd,
+            vdd,
+            MosfetModel::pmos_40nm(),
+            240e-9,
+            40e-9,
+        )
+        .unwrap();
+        ckt.add_mosfet(
+            "MN",
+            out,
+            g,
+            gnd,
+            gnd,
+            MosfetModel::nmos_40nm(),
+            120e-9,
+            40e-9,
+        )
+        .unwrap();
         ckt.add_capacitor("CL", out, gnd, 2e-15).unwrap();
         ckt
     }
@@ -243,10 +270,20 @@ mod tests {
     /// therefore noise margins) untouched.
     #[test]
     fn soft_fet_vtc_matches_baseline() {
-        let base = dc_sweep(&inverter(false), "VIN", &ramp_points(20), &SimOptions::default())
-            .unwrap();
-        let soft = dc_sweep(&inverter(true), "VIN", &ramp_points(20), &SimOptions::default())
-            .unwrap();
+        let base = dc_sweep(
+            &inverter(false),
+            "VIN",
+            &ramp_points(20),
+            &SimOptions::default(),
+        )
+        .unwrap();
+        let soft = dc_sweep(
+            &inverter(true),
+            "VIN",
+            &ramp_points(20),
+            &SimOptions::default(),
+        )
+        .unwrap();
         for k in 0..=20 {
             let vb = base.voltage_at("out", k).unwrap();
             let vs = soft.voltage_at("out", k).unwrap();

@@ -20,10 +20,10 @@
 //! * a branch current is positive flowing from `p` *through the element*
 //!   to `n` (SPICE convention: a supply delivering current reads negative).
 
+use crate::matrix::MnaMatrix;
 use sfet_circuit::{Circuit, Element, SourceWaveform};
 use sfet_devices::mosfet::{self, GateCaps, MosfetModel};
 use sfet_devices::ptm::{PtmState, TransitionEvent};
-use crate::matrix::MnaMatrix;
 use sfet_numeric::integrate::{cap_companion, ind_companion, CapHistory, IndHistory, Method};
 
 /// Index of an unknown in the MNA vector; `None` means ground.
@@ -181,7 +181,11 @@ impl SimDevice {
                 }
             },
             SimDevice::Inductor {
-                p, n, branch, l, hist,
+                p,
+                n,
+                branch,
+                l,
+                hist,
             } => {
                 let (r_eq, e_eq) = match mode {
                     StampMode::Dc { .. } => (0.0, 0.0),
@@ -265,7 +269,13 @@ impl SimDevice {
                     }
                 }
             }
-            SimDevice::Ptm { p, n, r_step, state, .. } => {
+            SimDevice::Ptm {
+                p,
+                n,
+                r_step,
+                state,
+                ..
+            } => {
                 let r = match mode {
                     StampMode::Dc { .. } => state.resistance(0.0),
                     StampMode::Transient { .. } => *r_step,
@@ -507,7 +517,11 @@ impl CompiledCircuit {
         }
 
         let node_names = (1..n_nodes)
-            .map(|i| circuit.node_name(sfet_circuit::NodeId::from_index(i)).to_string())
+            .map(|i| {
+                circuit
+                    .node_name(sfet_circuit::NodeId::from_index(i))
+                    .to_string()
+            })
             .collect();
 
         CompiledCircuit {

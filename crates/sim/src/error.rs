@@ -82,7 +82,9 @@ mod tests {
             dt: 1e-15,
         };
         assert!(e.to_string().contains("converge"));
-        assert!(SimError::UnknownSignal("x".into()).to_string().contains("x"));
+        assert!(SimError::UnknownSignal("x".into())
+            .to_string()
+            .contains("x"));
     }
 
     #[test]

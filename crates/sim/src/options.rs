@@ -135,9 +135,7 @@ impl SimOptions {
             ));
         }
         if !(self.dtmin > 0.0 && self.dtmax > self.dtmin) {
-            return Err(SimError::InvalidOptions(
-                "need 0 < dtmin < dtmax".into(),
-            ));
+            return Err(SimError::InvalidOptions("need 0 < dtmin < dtmax".into()));
         }
         if self.max_newton_iter < 5 {
             return Err(SimError::InvalidOptions(
@@ -145,7 +143,9 @@ impl SimOptions {
             ));
         }
         if self.event_vtol <= 0.0 || self.event_vtol.is_nan() {
-            return Err(SimError::InvalidOptions("event_vtol must be positive".into()));
+            return Err(SimError::InvalidOptions(
+                "event_vtol must be positive".into(),
+            ));
         }
         if self.lte_control && (self.lte_tol <= 0.0 || self.lte_tol.is_nan()) {
             return Err(SimError::InvalidOptions("lte_tol must be positive".into()));

@@ -64,8 +64,10 @@ impl TranResult {
             .node_index
             .get(node)
             .ok_or_else(|| SimError::UnknownSignal(format!("v({node})")))?;
-        Ok(Waveform::from_samples(self.times.clone(), self.node_data[idx].clone())
-            .expect("engine produces a valid time axis"))
+        Ok(
+            Waveform::from_samples(self.times.clone(), self.node_data[idx].clone())
+                .expect("engine produces a valid time axis"),
+        )
     }
 
     /// Branch-current waveform of a voltage source or inductor, by element
@@ -155,10 +157,7 @@ mod tests {
         let r = sample_result();
         let v = r.voltage("out").unwrap();
         assert_eq!(v.last_value(), 1.0);
-        assert!(matches!(
-            r.voltage("nope"),
-            Err(SimError::UnknownSignal(_))
-        ));
+        assert!(matches!(r.voltage("nope"), Err(SimError::UnknownSignal(_))));
     }
 
     #[test]

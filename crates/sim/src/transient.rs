@@ -18,13 +18,13 @@
 
 use std::collections::HashMap;
 
-use crate::devices::{volt, CompiledCircuit, SimDevice, StampMode};
 use crate::dcop::{init_state_from_dc, solve_dc};
+use crate::devices::{volt, CompiledCircuit, SimDevice, StampMode};
+use crate::matrix::MnaMatrix;
 use crate::options::SimOptions;
 use crate::result::{TranResult, TranStats};
 use crate::{Result, SimError};
 use sfet_circuit::Circuit;
-use crate::matrix::MnaMatrix;
 use sfet_numeric::integrate::Method;
 
 /// Runs a transient analysis from `t = 0` to `tstop`.
@@ -175,7 +175,14 @@ pub fn transient(circuit: &Circuit, tstop: f64, opts: &SimOptions) -> Result<Tra
         // Fire any armed transitions at the accepted point.
         let mut fired = false;
         for device in &mut compiled.devices {
-            if let SimDevice::Ptm { p, n, state, events, .. } = device {
+            if let SimDevice::Ptm {
+                p,
+                n,
+                state,
+                events,
+                ..
+            } = device
+            {
                 let v = volt(&x_new, *p) - volt(&x_new, *n);
                 if let Some(excess) = state.threshold_excess(v) {
                     if excess >= 0.0 {
@@ -372,7 +379,10 @@ mod tests {
     #[test]
     fn rc_step_matches_exponential() {
         let mut ckt = Circuit::new();
-        let (a, out, g) = { let mut c = |n: &str| ckt.node(n); (c("a"), c("out"), Circuit::ground()) };
+        let (a, out, g) = {
+            let mut c = |n: &str| ckt.node(n);
+            (c("a"), c("out"), Circuit::ground())
+        };
         ckt.add_voltage_source("V1", a, g, SourceWaveform::ramp(0.0, 1.0, 0.0, 1e-15))
             .unwrap();
         ckt.add_resistor("R1", a, out, 1e3).unwrap();
@@ -457,12 +467,35 @@ mod tests {
         let g = Circuit::ground();
         ckt.add_voltage_source("VDD", vdd, g, SourceWaveform::Dc(1.0))
             .unwrap();
-        ckt.add_voltage_source("VIN", inp, g, SourceWaveform::ramp(1.0, 0.0, 20e-12, 30e-12))
-            .unwrap();
-        ckt.add_mosfet("MP", out, inp, vdd, vdd, MosfetModel::pmos_40nm(), 240e-9, 40e-9)
-            .unwrap();
-        ckt.add_mosfet("MN", out, inp, g, g, MosfetModel::nmos_40nm(), 120e-9, 40e-9)
-            .unwrap();
+        ckt.add_voltage_source(
+            "VIN",
+            inp,
+            g,
+            SourceWaveform::ramp(1.0, 0.0, 20e-12, 30e-12),
+        )
+        .unwrap();
+        ckt.add_mosfet(
+            "MP",
+            out,
+            inp,
+            vdd,
+            vdd,
+            MosfetModel::pmos_40nm(),
+            240e-9,
+            40e-9,
+        )
+        .unwrap();
+        ckt.add_mosfet(
+            "MN",
+            out,
+            inp,
+            g,
+            g,
+            MosfetModel::nmos_40nm(),
+            120e-9,
+            40e-9,
+        )
+        .unwrap();
         ckt.add_capacitor("CL", out, g, 2e-15).unwrap();
         let tstop = 200e-12;
         let r = transient(&ckt, tstop, &opts_for(tstop)).unwrap();
@@ -483,8 +516,13 @@ mod tests {
         let inp = ckt.node("in");
         let vc = ckt.node("vc");
         let g = Circuit::ground();
-        ckt.add_voltage_source("VIN", inp, g, SourceWaveform::ramp(0.0, 1.0, 10e-12, 30e-12))
-            .unwrap();
+        ckt.add_voltage_source(
+            "VIN",
+            inp,
+            g,
+            SourceWaveform::ramp(0.0, 1.0, 10e-12, 30e-12),
+        )
+        .unwrap();
         ckt.add_ptm("P1", inp, vc, params).unwrap();
         ckt.add_capacitor("C1", vc, g, 0.5e-15).unwrap();
         let tstop = 2000e-12;
@@ -569,7 +607,10 @@ mod tests {
     #[test]
     fn gear2_option_runs() {
         let mut ckt = Circuit::new();
-        let (a, out, g) = { let mut c = |n: &str| ckt.node(n); (c("a"), c("out"), Circuit::ground()) };
+        let (a, out, g) = {
+            let mut c = |n: &str| ckt.node(n);
+            (c("a"), c("out"), Circuit::ground())
+        };
         ckt.add_voltage_source("V1", a, g, SourceWaveform::ramp(0.0, 1.0, 0.0, 1e-15))
             .unwrap();
         ckt.add_resistor("R1", a, out, 1e3).unwrap();

@@ -15,13 +15,36 @@ fn soft_inverter() -> Circuit {
     let gnd = Circuit::ground();
     ckt.add_voltage_source("VDD", vdd, gnd, SourceWaveform::Dc(1.0))
         .unwrap();
-    ckt.add_voltage_source("VIN", inp, gnd, SourceWaveform::ramp(1.0, 0.0, 20e-12, 30e-12))
-        .unwrap();
+    ckt.add_voltage_source(
+        "VIN",
+        inp,
+        gnd,
+        SourceWaveform::ramp(1.0, 0.0, 20e-12, 30e-12),
+    )
+    .unwrap();
     ckt.add_ptm("P1", inp, g, PtmParams::vo2_default()).unwrap();
-    ckt.add_mosfet("MP", out, g, vdd, vdd, MosfetModel::pmos_40nm(), 240e-9, 40e-9)
-        .unwrap();
-    ckt.add_mosfet("MN", out, g, gnd, gnd, MosfetModel::nmos_40nm(), 120e-9, 40e-9)
-        .unwrap();
+    ckt.add_mosfet(
+        "MP",
+        out,
+        g,
+        vdd,
+        vdd,
+        MosfetModel::pmos_40nm(),
+        240e-9,
+        40e-9,
+    )
+    .unwrap();
+    ckt.add_mosfet(
+        "MN",
+        out,
+        g,
+        gnd,
+        gnd,
+        MosfetModel::nmos_40nm(),
+        120e-9,
+        40e-9,
+    )
+    .unwrap();
     ckt.add_capacitor("CL", out, gnd, 2e-15).unwrap();
     ckt
 }
@@ -29,10 +52,16 @@ fn soft_inverter() -> Circuit {
 #[test]
 fn dc_backends_agree_on_soft_inverter() {
     let ckt = soft_inverter();
-    let xd = dc_operating_point(&ckt, &SimOptions::default().with_solver(LinearSolver::Dense))
-        .unwrap();
-    let xs = dc_operating_point(&ckt, &SimOptions::default().with_solver(LinearSolver::Sparse))
-        .unwrap();
+    let xd = dc_operating_point(
+        &ckt,
+        &SimOptions::default().with_solver(LinearSolver::Dense),
+    )
+    .unwrap();
+    let xs = dc_operating_point(
+        &ckt,
+        &SimOptions::default().with_solver(LinearSolver::Sparse),
+    )
+    .unwrap();
     assert_eq!(xd.len(), xs.len());
     for (a, b) in xd.iter().zip(&xs) {
         assert!((a - b).abs() < 1e-7, "dense {a} vs sparse {b}");
@@ -82,19 +111,27 @@ fn sparse_backend_handles_pdn_scale_grid() {
             let here = node(&mut ckt, i, j);
             if i + 1 < n {
                 let down = node(&mut ckt, i + 1, j);
-                ckt.add_resistor(&format!("Rv{i}_{j}"), here, down, 0.1).unwrap();
+                ckt.add_resistor(&format!("Rv{i}_{j}"), here, down, 0.1)
+                    .unwrap();
             }
             if j + 1 < n {
                 let right = node(&mut ckt, i, j + 1);
-                ckt.add_resistor(&format!("Rh{i}_{j}"), here, right, 0.1).unwrap();
+                ckt.add_resistor(&format!("Rh{i}_{j}"), here, right, 0.1)
+                    .unwrap();
             }
-            ckt.add_capacitor(&format!("C{i}_{j}"), here, gnd, 1e-12).unwrap();
+            ckt.add_capacitor(&format!("C{i}_{j}"), here, gnd, 1e-12)
+                .unwrap();
         }
     }
     // Load step at the far corner.
     let far = node(&mut ckt, n - 1, n - 1);
-    ckt.add_current_source("Iload", far, gnd, SourceWaveform::ramp(0.0, 0.1, 1e-9, 0.2e-9))
-        .unwrap();
+    ckt.add_current_source(
+        "Iload",
+        far,
+        gnd,
+        SourceWaveform::ramp(0.0, 0.1, 1e-9, 0.2e-9),
+    )
+    .unwrap();
 
     let tstop = 5e-9;
     let opts = SimOptions::for_duration(tstop, 500).with_solver(LinearSolver::Sparse);

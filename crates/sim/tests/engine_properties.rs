@@ -171,9 +171,15 @@ fn lte_control_with_ptm_events() {
     let inp = ckt.node("in");
     let vc = ckt.node("vc");
     let gnd = Circuit::ground();
-    ckt.add_voltage_source("VIN", inp, gnd, SourceWaveform::ramp(0.0, 1.0, 10e-12, 30e-12))
+    ckt.add_voltage_source(
+        "VIN",
+        inp,
+        gnd,
+        SourceWaveform::ramp(0.0, 1.0, 10e-12, 30e-12),
+    )
+    .unwrap();
+    ckt.add_ptm("P1", inp, vc, PtmParams::vo2_default())
         .unwrap();
-    ckt.add_ptm("P1", inp, vc, PtmParams::vo2_default()).unwrap();
     ckt.add_capacitor("C1", vc, gnd, 0.5e-15).unwrap();
     let tstop = 2e-9;
     let opts = SimOptions::for_duration(tstop, 2000).with_lte(1e-3);

@@ -49,10 +49,7 @@ pub fn to_csv(columns: &[(&str, &Waveform)]) -> String {
 /// # Errors
 ///
 /// Propagates I/O errors from the filesystem.
-pub fn write_csv(
-    path: &std::path::Path,
-    columns: &[(&str, &Waveform)],
-) -> std::io::Result<()> {
+pub fn write_csv(path: &std::path::Path, columns: &[(&str, &Waveform)]) -> std::io::Result<()> {
     std::fs::write(path, to_csv(columns))
 }
 

@@ -94,8 +94,7 @@ mod tests {
 
     #[test]
     fn window_restricts_integration() {
-        let i =
-            Waveform::from_samples(vec![0.0, 1e-9, 2e-9], vec![1e-6, 1e-6, 1e-6]).unwrap();
+        let i = Waveform::from_samples(vec![0.0, 1e-9, 2e-9], vec![1e-6, 1e-6, 1e-6]).unwrap();
         let v = Waveform::from_samples(vec![0.0, 2e-9], vec![0.0, 0.0]).unwrap();
         let q = charge_split(&i, &v, 1e-15, 0.0, 1e-9);
         assert!((q.total - 1e-15).abs() < 1e-21);

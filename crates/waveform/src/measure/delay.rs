@@ -50,7 +50,10 @@ pub fn crossing_time(
         if times[i] < after {
             continue;
         }
-        let (t0, v0) = (times[i - 1].max(after), wf.value_at(times[i - 1].max(after)));
+        let (t0, v0) = (
+            times[i - 1].max(after),
+            wf.value_at(times[i - 1].max(after)),
+        );
         let (t1, v1) = (times[i], values[i]);
         let dir_ok = match direction {
             CrossDirection::Rising => v1 > v0,
@@ -125,8 +128,9 @@ mod tests {
     #[test]
     fn crossing_basic() {
         let w = ramp(0.0, 1.0, 0.0, 1.0);
-        assert!((crossing_time(&w, 0.25, CrossDirection::Rising, 0.0).unwrap() - 0.25).abs()
-            < 1e-12);
+        assert!(
+            (crossing_time(&w, 0.25, CrossDirection::Rising, 0.0).unwrap() - 0.25).abs() < 1e-12
+        );
     }
 
     #[test]
@@ -142,8 +146,7 @@ mod tests {
 
     #[test]
     fn crossing_after_skips_early_edges() {
-        let w =
-            Waveform::from_samples(vec![0.0, 1.0, 2.0, 3.0], vec![0.0, 1.0, 0.0, 1.0]).unwrap();
+        let w = Waveform::from_samples(vec![0.0, 1.0, 2.0, 3.0], vec![0.0, 1.0, 0.0, 1.0]).unwrap();
         let c = crossing_time(&w, 0.5, CrossDirection::Rising, 1.5).unwrap();
         assert!((c - 2.5).abs() < 1e-12);
     }
@@ -158,11 +161,8 @@ mod tests {
     fn propagation_delay_inverter_like() {
         // Input falls 1→0 over [0, 1]; output rises 0→1 over [0.5, 1.5].
         let input = ramp(0.0, 1.0, 1.0, 0.0);
-        let output = Waveform::from_samples(
-            vec![0.0, 0.5, 1.5, 2.0],
-            vec![0.0, 0.0, 1.0, 1.0],
-        )
-        .unwrap();
+        let output =
+            Waveform::from_samples(vec![0.0, 0.5, 1.5, 2.0], vec![0.0, 0.0, 1.0, 1.0]).unwrap();
         let d = propagation_delay(&input, &output, 1.0).unwrap();
         // t_in = 0.5; output reaches 0.2 at t = 0.7.
         assert!((d - 0.2).abs() < 1e-12);
@@ -171,11 +171,8 @@ mod tests {
     #[test]
     fn propagation_delay_rising_input() {
         let input = ramp(0.0, 1.0, 0.0, 1.0);
-        let output = Waveform::from_samples(
-            vec![0.0, 0.5, 1.5, 2.0],
-            vec![1.0, 1.0, 0.0, 0.0],
-        )
-        .unwrap();
+        let output =
+            Waveform::from_samples(vec![0.0, 0.5, 1.5, 2.0], vec![1.0, 1.0, 0.0, 0.0]).unwrap();
         let d = propagation_delay(&input, &output, 1.0).unwrap();
         assert!((d - 0.2).abs() < 1e-12);
     }

@@ -85,11 +85,8 @@ mod tests {
 
     #[test]
     fn ringing_peak_to_peak() {
-        let w = Waveform::from_samples(
-            vec![0.0, 1.0, 2.0, 3.0],
-            vec![1.0, 0.95, 1.04, 1.0],
-        )
-        .unwrap();
+        let w =
+            Waveform::from_samples(vec![0.0, 1.0, 2.0, 3.0], vec![1.0, 0.95, 1.04, 1.0]).unwrap();
         let r = droop(&w, 1.0);
         assert!((r.peak_to_peak - 0.09).abs() < 1e-12);
     }

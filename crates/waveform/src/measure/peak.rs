@@ -49,8 +49,7 @@ mod tests {
 
     #[test]
     fn didt_picks_steepest_segment() {
-        let w =
-            Waveform::from_samples(vec![0.0, 1.0, 1.1, 2.0], vec![0.0, 1.0, 3.0, 3.1]).unwrap();
+        let w = Waveform::from_samples(vec![0.0, 1.0, 1.1, 2.0], vec![0.0, 1.0, 3.0, 3.1]).unwrap();
         assert!((max_abs_didt(&w) - 20.0).abs() < 1e-9);
     }
 

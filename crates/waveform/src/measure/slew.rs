@@ -74,11 +74,8 @@ mod tests {
     #[test]
     fn nonlinear_edge_uses_10_90_window() {
         // Slow start, fast middle: slew should reflect the 10-90 window only.
-        let w = Waveform::from_samples(
-            vec![0.0, 1e-9, 1.1e-9, 2e-9],
-            vec![0.0, 0.1, 0.9, 1.0],
-        )
-        .unwrap();
+        let w = Waveform::from_samples(vec![0.0, 1e-9, 1.1e-9, 2e-9], vec![0.0, 0.1, 0.9, 1.0])
+            .unwrap();
         let s = slew_rate(&w, 0.0, 1.0).unwrap();
         assert!((s - 0.8 / 0.1e-9).abs() / s < 1e-9);
     }

@@ -12,7 +12,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let v_imts: Vec<f64> = (4..=12).map(|k| k as f64 * 0.05).collect();
     let v_mits: Vec<f64> = vec![0.05, 0.10, 0.15, 0.20];
 
-    println!("sweeping {}x{} PTM threshold grid ...", v_imts.len(), v_mits.len());
+    println!(
+        "sweeping {}x{} PTM threshold grid ...",
+        v_imts.len(),
+        v_mits.len()
+    );
     let points = vimt_vmit_grid(1.0, PtmParams::vo2_default(), &v_imts, &v_mits)?;
 
     let max_imax = points
@@ -38,8 +42,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             {
                 Some(p) => {
                     let frac = (p.i_max - min_imax) / (max_imax - min_imax).max(1e-30);
-                    let idx = ((frac * (shades.len() - 1) as f64).round() as usize)
-                        .min(shades.len() - 1);
+                    let idx =
+                        ((frac * (shades.len() - 1) as f64).round() as usize).min(shades.len() - 1);
                     print!("{:>11}", shades[idx]);
                 }
                 None => print!("{:>11}", "-"),

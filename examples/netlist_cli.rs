@@ -46,7 +46,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for analysis in &parsed.analyses {
         let Analysis::Tran { dtmax, tstop } = analysis;
-        println!("\nrunning .tran {} {}", fmt_si(*dtmax, "s"), fmt_si(*tstop, "s"));
+        println!(
+            "\nrunning .tran {} {}",
+            fmt_si(*dtmax, "s"),
+            fmt_si(*tstop, "s")
+        );
         let opts = SimOptions::default().with_dtmax(*dtmax);
         let result = transient(&parsed.circuit, *tstop, &opts)?;
         let stats = result.stats();

@@ -16,7 +16,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let inp = ckt.node("in");
     let vc = ckt.node("vc");
     let gnd = Circuit::ground();
-    ckt.add_voltage_source("VIN", inp, gnd, SourceWaveform::ramp(0.0, 1.0, 10e-12, 30e-12))?;
+    ckt.add_voltage_source(
+        "VIN",
+        inp,
+        gnd,
+        SourceWaveform::ramp(0.0, 1.0, 10e-12, 30e-12),
+    )?;
     ckt.add_ptm("P1", inp, vc, params)?;
     ckt.add_capacitor("C1", vc, gnd, 0.5e-15)?;
 
@@ -34,7 +39,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let pos = |v: f64| ((v.clamp(0.0, 1.0)) * COLS as f64).round() as usize;
         row[pos(v_in.value_at(t))] = b'I';
         row[pos(v_c.value_at(t))] = b'C';
-        println!("{} | t = {:5.1} ps", String::from_utf8_lossy(&row), t * 1e12);
+        println!(
+            "{} | t = {:5.1} ps",
+            String::from_utf8_lossy(&row),
+            t * 1e12
+        );
     }
 
     let events = result.ptm_events("P1")?;

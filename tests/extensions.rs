@@ -27,10 +27,28 @@ fn inverter_circuit(with_ptm: bool) -> Circuit {
     } else {
         ckt.add_resistor("R1", inp, g, 0.1).unwrap();
     }
-    ckt.add_mosfet("MP", out, g, vdd, vdd, MosfetModel::pmos_40nm(), 240e-9, 40e-9)
-        .unwrap();
-    ckt.add_mosfet("MN", out, g, gnd, gnd, MosfetModel::nmos_40nm(), 120e-9, 40e-9)
-        .unwrap();
+    ckt.add_mosfet(
+        "MP",
+        out,
+        g,
+        vdd,
+        vdd,
+        MosfetModel::pmos_40nm(),
+        240e-9,
+        40e-9,
+    )
+    .unwrap();
+    ckt.add_mosfet(
+        "MN",
+        out,
+        g,
+        gnd,
+        gnd,
+        MosfetModel::nmos_40nm(),
+        120e-9,
+        40e-9,
+    )
+    .unwrap();
     ckt.add_capacitor("CL", out, gnd, 2e-15).unwrap();
     ckt
 }
@@ -118,7 +136,10 @@ fn variation_study_consistent() {
     assert_eq!(mc.samples, 12);
     assert!(mc.min_i_max > 0.0);
     assert!(mc.std_i_max < mc.mean_i_max, "spread below mean scale");
-    assert!(mc.yield_fraction > 0.5, "most samples within a 120 uA budget");
+    assert!(
+        mc.yield_fraction > 0.5,
+        "most samples within a 120 uA budget"
+    );
 
     let sens = imax_sensitivities(1.0, base, 0.05).unwrap();
     let mag = |name: &str| {

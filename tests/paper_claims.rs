@@ -67,13 +67,7 @@ fn claim_iso_imax_low_voltage_delay() {
 /// V_IMT.
 #[test]
 fn claim_design_space_shapes() {
-    let pts = vimt_vmit_grid(
-        1.0,
-        PtmParams::vo2_default(),
-        &[0.3, 0.4, 0.5],
-        &[0.1],
-    )
-    .unwrap();
+    let pts = vimt_vmit_grid(1.0, PtmParams::vo2_default(), &[0.3, 0.4, 0.5], &[0.1]).unwrap();
     let by_vimt = |v: f64| pts.iter().find(|p| (p.v_imt - v).abs() < 1e-9).unwrap();
     let (p3, p4, p5) = (by_vimt(0.3), by_vimt(0.4), by_vimt(0.5));
     assert!(p4.i_max < p3.i_max && p4.i_max < p5.i_max, "dip at 0.4 V");
@@ -83,20 +77,21 @@ fn claim_design_space_shapes() {
     // optimum upward (0.4 → 0.5); the double-transition 0.3 V case lands
     // higher than the paper's because its *second* transition fires close
     // to the rail (documented in EXPERIMENTS.md).
-    assert!(p5.di_dt > p4.di_dt, "di/dt grows with V_IMT above the optimum");
+    assert!(
+        p5.di_dt > p4.di_dt,
+        "di/dt grows with V_IMT above the optimum"
+    );
 }
 
 /// Fig. 8: many transitions at tiny T_PTM, fewer at large; I_MAX minimum
 /// at a moderate T_PTM.
 #[test]
 fn claim_tptm_shapes() {
-    let pts = tptm_sweep(
-        1.0,
-        PtmParams::vo2_default(),
-        &[1e-12, 8e-12, 40e-12],
-    )
-    .unwrap();
-    assert!(pts[0].transitions >= pts[2].transitions, "transition count falls with T_PTM");
+    let pts = tptm_sweep(1.0, PtmParams::vo2_default(), &[1e-12, 8e-12, 40e-12]).unwrap();
+    assert!(
+        pts[0].transitions >= pts[2].transitions,
+        "transition count falls with T_PTM"
+    );
     assert!(
         pts[1].i_max < pts[0].i_max && pts[1].i_max < pts[2].i_max,
         "I_MAX minimised at moderate T_PTM: {:?}",

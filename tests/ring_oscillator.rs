@@ -63,7 +63,8 @@ fn ring(stages: usize, soft: Option<PtmParams>) -> Circuit {
             ckt.add_capacitor_ic(&format!("C{k}"), out, gnd, 2e-15, 0.0)
                 .unwrap();
         } else {
-            ckt.add_capacitor(&format!("C{k}"), out, gnd, 2e-15).unwrap();
+            ckt.add_capacitor(&format!("C{k}"), out, gnd, 2e-15)
+                .unwrap();
         }
     }
     ckt

@@ -22,12 +22,35 @@ fn charge_conservation_through_inverter() {
         .unwrap();
     ckt.add_voltage_source("VSSM", vssm, gnd, SourceWaveform::Dc(0.0))
         .unwrap();
-    ckt.add_voltage_source("VIN", inp, gnd, SourceWaveform::ramp(1.0, 0.0, 20e-12, 30e-12))
-        .unwrap();
-    ckt.add_mosfet("MP", out, inp, vdd, vdd, MosfetModel::pmos_40nm(), 240e-9, 40e-9)
-        .unwrap();
-    ckt.add_mosfet("MN", out, inp, vssm, gnd, MosfetModel::nmos_40nm(), 120e-9, 40e-9)
-        .unwrap();
+    ckt.add_voltage_source(
+        "VIN",
+        inp,
+        gnd,
+        SourceWaveform::ramp(1.0, 0.0, 20e-12, 30e-12),
+    )
+    .unwrap();
+    ckt.add_mosfet(
+        "MP",
+        out,
+        inp,
+        vdd,
+        vdd,
+        MosfetModel::pmos_40nm(),
+        240e-9,
+        40e-9,
+    )
+    .unwrap();
+    ckt.add_mosfet(
+        "MN",
+        out,
+        inp,
+        vssm,
+        gnd,
+        MosfetModel::nmos_40nm(),
+        120e-9,
+        40e-9,
+    )
+    .unwrap();
     let c_load = 2e-15;
     ckt.add_capacitor("CL", out, gnd, c_load).unwrap();
 
@@ -60,7 +83,10 @@ fn charge_conservation_through_inverter() {
 
     // The load receives exactly C * V_CC of charge for the full swing.
     let q_load = c_load * dv(&v_out_wf, &gnd0);
-    assert!((q_load - c_load).abs() < 0.05 * c_load, "full-swing load charge");
+    assert!(
+        (q_load - c_load).abs() < 0.05 * c_load,
+        "full-swing load charge"
+    );
 
     // Regression for the trapezoidal-ringing bug: long after the edge the
     // branch currents must sit at leakage level (pA..nA), not oscillate at
@@ -92,7 +118,10 @@ fn rc_loop_passivity() {
         let mut prev = v.first_value();
         assert!((prev - 1.0).abs() < 0.02, "IC applied ({method})");
         for (_, val) in v.iter() {
-            assert!(val <= prev + 1e-9, "voltage must decay monotonically ({method})");
+            assert!(
+                val <= prev + 1e-9,
+                "voltage must decay monotonically ({method})"
+            );
             prev = val;
         }
         // tau = 10 ps: after 100 ps the cap is fully drained.
@@ -164,14 +193,39 @@ C1 out 0 2f
         .add_voltage_source("VDD", vdd, gnd, SourceWaveform::Dc(1.0))
         .unwrap();
     built
-        .add_voltage_source("VIN", inp, gnd, SourceWaveform::ramp(1.0, 0.0, 20e-12, 30e-12))
+        .add_voltage_source(
+            "VIN",
+            inp,
+            gnd,
+            SourceWaveform::ramp(1.0, 0.0, 20e-12, 30e-12),
+        )
         .unwrap();
-    built.add_ptm("P1", inp, g, PtmParams::vo2_default()).unwrap();
     built
-        .add_mosfet("M1", out, g, vdd, vdd, MosfetModel::pmos_40nm(), 240e-9, 40e-9)
+        .add_ptm("P1", inp, g, PtmParams::vo2_default())
         .unwrap();
     built
-        .add_mosfet("M2", out, g, gnd, gnd, MosfetModel::nmos_40nm(), 120e-9, 40e-9)
+        .add_mosfet(
+            "M1",
+            out,
+            g,
+            vdd,
+            vdd,
+            MosfetModel::pmos_40nm(),
+            240e-9,
+            40e-9,
+        )
+        .unwrap();
+    built
+        .add_mosfet(
+            "M2",
+            out,
+            g,
+            gnd,
+            gnd,
+            MosfetModel::nmos_40nm(),
+            120e-9,
+            40e-9,
+        )
         .unwrap();
     built.add_capacitor("C1", out, gnd, 2e-15).unwrap();
 
