@@ -64,6 +64,93 @@ fn sparse_lu(c: &mut Criterion) {
     group.finish();
 }
 
+/// Clone-and-factor versus the persistent-workspace reuse path, for both
+/// backends — the PR-2 hot-loop optimisation. Same matrices as the
+/// `dense_lu` / `sparse_lu` groups so the absolute numbers line up.
+fn factor_reuse(c: &mut Criterion) {
+    use sfet_numeric::dense::LuFactors;
+
+    let mut group = c.benchmark_group("factor_reuse");
+    for &n in &[8usize, 16, 32, 128] {
+        let mut a = DenseMatrix::zeros(n, n);
+        let mut seed = 1u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((seed >> 33) as f64) / (u32::MAX as f64) - 0.5
+        };
+        for r in 0..n {
+            for col in 0..n {
+                a.set(r, col, next());
+            }
+            a.add(r, r, 4.0);
+        }
+        let b0: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        // Pre-PR2 engine hot path (clone + row-major LU from scratch),
+        // preserved in `sfet_bench::legacy` as the comparison baseline.
+        group.bench_with_input(
+            BenchmarkId::new("dense_clone_lu_legacy", n),
+            &n,
+            |bench, _| {
+                bench.iter(|| {
+                    std::hint::black_box(sfet_bench::legacy::dense_clone_lu_solve(&a, &b0));
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("dense_clone_lu", n), &n, |bench, _| {
+            bench.iter(|| {
+                let lu = a.clone().lu().expect("well-conditioned");
+                std::hint::black_box(lu.solve(&b0).expect("sized rhs"));
+            })
+        });
+        let mut factors = LuFactors::workspace(n);
+        let mut b = b0.clone();
+        let mut scratch = Vec::new();
+        group.bench_with_input(BenchmarkId::new("dense_refactor", n), &n, |bench, _| {
+            bench.iter(|| {
+                factors.refactor(&a).expect("well-conditioned");
+                b.copy_from_slice(&b0);
+                factors
+                    .solve_in_place(&mut b, &mut scratch)
+                    .expect("sized rhs");
+                std::hint::black_box(&b);
+            })
+        });
+    }
+    for &n in &[64usize, 256, 1024] {
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 3.0);
+            if i > 0 {
+                t.push(i, i - 1, -1.0);
+                t.push(i - 1, i, -1.0);
+            }
+            if i + 17 < n {
+                t.push(i, i + 17, -0.1);
+            }
+        }
+        let a = t.to_csc();
+        let b0: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        group.bench_with_input(BenchmarkId::new("sparse_full_lu", n), &n, |bench, _| {
+            bench.iter(|| {
+                let lu = a.lu().expect("well-conditioned");
+                std::hint::black_box(lu.solve(&b0).expect("sized rhs"));
+            })
+        });
+        let mut lu = a.lu().expect("well-conditioned");
+        let mut b = b0.clone();
+        let mut scratch = Vec::new();
+        group.bench_with_input(BenchmarkId::new("sparse_refactor", n), &n, |bench, _| {
+            bench.iter(|| {
+                lu.refactor(&a).expect("same pattern");
+                b.copy_from_slice(&b0);
+                lu.solve_in_place(&mut b, &mut scratch).expect("sized rhs");
+                std::hint::black_box(&b);
+            })
+        });
+    }
+    group.finish();
+}
+
 fn device_eval(c: &mut Criterion) {
     let nmos = MosfetModel::nmos_40nm();
     c.bench_function("mosfet_ekv_eval", |b| {
@@ -158,7 +245,7 @@ fn solver_backend(c: &mut Criterion) {
 criterion_group!(
     name = kernels;
     config = Criterion::default().sample_size(10);
-    targets = dense_lu, sparse_lu, device_eval, rc_transient, softfet_inverter_transient,
-        solver_backend
+    targets = dense_lu, sparse_lu, factor_reuse, device_eval, rc_transient,
+        softfet_inverter_transient, solver_backend
 );
 criterion_main!(kernels);

@@ -60,7 +60,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ]);
     t.add_row(vec![
         "time of worst droop".into(),
-        fmt_si(report.t_droop, "s"),
+        report
+            .t_droop
+            .map_or_else(|| "n/a (no droop)".into(), |t| fmt_si(t, "s")),
     ]);
     t.add_row(vec![
         "ringing peak-to-peak".into(),

@@ -223,6 +223,60 @@ pub struct LuFactors {
     perm_sign: f64,
 }
 
+/// Runs the partial-pivoting elimination on `a` in place, recording the
+/// row permutation in `perm` (which must start as the identity). Returns
+/// the permutation sign. Shared by [`LuFactors::factor`] (one-shot) and
+/// [`LuFactors::refactor`] (workspace reuse) so both paths are bitwise
+/// identical.
+fn factor_in_place(a: &mut DenseMatrix, perm: &mut [usize]) -> Result<f64> {
+    let n = a.rows;
+    let mut perm_sign = 1.0;
+    let data = &mut a.data;
+    for k in 0..n {
+        // Partial pivot: largest magnitude in column k at/below row k.
+        // Column k is contiguous in the column-major layout.
+        let col_k = &data[k * n + k..(k + 1) * n];
+        let mut pivot_row = k;
+        let mut pivot_val = col_k[0].abs();
+        for (off, v) in col_k.iter().enumerate().skip(1) {
+            let v = v.abs();
+            if v > pivot_val {
+                pivot_val = v;
+                pivot_row = k + off;
+            }
+        }
+        if pivot_val < SINGULARITY_EPS {
+            return Err(NumericError::SingularMatrix { column: k });
+        }
+        if pivot_row != k {
+            for c in 0..n {
+                data.swap(c * n + k, c * n + pivot_row);
+            }
+            perm.swap(k, pivot_row);
+            perm_sign = -perm_sign;
+        }
+        // Scale the multiplier column.
+        let pivot = data[k * n + k];
+        for v in &mut data[k * n + k + 1..(k + 1) * n] {
+            *v /= pivot;
+        }
+        // Right-looking rank-1 update of the trailing submatrix, one
+        // contiguous column at a time (the multiplier column streams from
+        // cache across all target columns).
+        let (head, tail) = data.split_at_mut((k + 1) * n);
+        let mul = &head[k * n + k + 1..];
+        for col in tail.chunks_exact_mut(n) {
+            let ukc = col[k];
+            if ukc != 0.0 {
+                for (x, &m) in col[k + 1..].iter_mut().zip(mul) {
+                    *x -= m * ukc;
+                }
+            }
+        }
+    }
+    Ok(perm_sign)
+}
+
 impl LuFactors {
     fn factor(mut a: DenseMatrix) -> Result<Self> {
         if a.rows != a.cols {
@@ -233,47 +287,56 @@ impl LuFactors {
         }
         let n = a.rows;
         let mut perm: Vec<usize> = (0..n).collect();
-        let mut perm_sign = 1.0;
-
-        for k in 0..n {
-            // Partial pivot: find the largest magnitude in column k at/below row k.
-            let mut pivot_row = k;
-            let mut pivot_val = a.get(k, k).abs();
-            for r in (k + 1)..n {
-                let v = a.get(r, k).abs();
-                if v > pivot_val {
-                    pivot_val = v;
-                    pivot_row = r;
-                }
-            }
-            if pivot_val < SINGULARITY_EPS {
-                return Err(NumericError::SingularMatrix { column: k });
-            }
-            if pivot_row != k {
-                for c in 0..n {
-                    let tmp = a.get(k, c);
-                    a.set(k, c, a.get(pivot_row, c));
-                    a.set(pivot_row, c, tmp);
-                }
-                perm.swap(k, pivot_row);
-                perm_sign = -perm_sign;
-            }
-            let pivot = a.get(k, k);
-            for r in (k + 1)..n {
-                let m = a.get(r, k) / pivot;
-                a.set(r, k, m);
-                if m != 0.0 {
-                    for c in (k + 1)..n {
-                        a.add(r, c, -m * a.get(k, c));
-                    }
-                }
-            }
-        }
+        let perm_sign = factor_in_place(&mut a, &mut perm)?;
         Ok(LuFactors {
             lu: a,
             perm,
             perm_sign,
         })
+    }
+
+    /// Allocates an `n x n` factorisation workspace for repeated in-place
+    /// refactorisation via [`LuFactors::refactor`]. The workspace starts as
+    /// the (trivially factored) identity.
+    pub fn workspace(n: usize) -> Self {
+        LuFactors {
+            lu: DenseMatrix::identity(n),
+            perm: (0..n).collect(),
+            perm_sign: 1.0,
+        }
+    }
+
+    /// Numeric refactorisation: copies `a` over the stored factors and
+    /// re-runs the elimination entirely in place. Performs **zero heap
+    /// allocation**, which makes it the hot-loop path for Newton iterations
+    /// that factor a same-sized matrix every pass. Bitwise identical to a
+    /// fresh [`DenseMatrix::lu`] of the same matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumericError::DimensionMismatch`] if `a` is not the workspace size.
+    /// * [`NumericError::InvalidArgument`] if `a` is not square.
+    /// * [`NumericError::SingularMatrix`] on pivot breakdown (the workspace
+    ///   contents are unspecified afterwards; refactor again before solving).
+    pub fn refactor(&mut self, a: &DenseMatrix) -> Result<()> {
+        if a.rows != a.cols {
+            return Err(NumericError::InvalidArgument(format!(
+                "LU requires a square matrix, got {}x{}",
+                a.rows, a.cols
+            )));
+        }
+        if a.rows != self.lu.rows {
+            return Err(NumericError::DimensionMismatch {
+                expected: self.lu.rows,
+                actual: a.rows,
+            });
+        }
+        self.lu.data.copy_from_slice(&a.data);
+        for (i, p) in self.perm.iter_mut().enumerate() {
+            *p = i;
+        }
+        self.perm_sign = factor_in_place(&mut self.lu, &mut self.perm)?;
+        Ok(())
     }
 
     /// System size.
@@ -296,23 +359,36 @@ impl LuFactors {
         }
         // Apply permutation: y = P b.
         let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        self.substitute_in_place(&mut x);
+        Ok(x)
+    }
+
+    /// Forward/back substitution, column-oriented so each active column of
+    /// L/U streams contiguously from the column-major factor storage.
+    fn substitute_in_place(&self, x: &mut [f64]) {
+        let n = x.len();
+        let lu = &self.lu.data;
         // Forward substitution with unit-diagonal L.
-        for r in 1..n {
-            let mut s = x[r];
-            for c in 0..r {
-                s -= self.lu.get(r, c) * x[c];
+        for c in 0..n {
+            let xc = x[c];
+            if xc != 0.0 {
+                let col = &lu[c * n + c + 1..(c + 1) * n];
+                for (xr, &l) in x[c + 1..].iter_mut().zip(col) {
+                    *xr -= l * xc;
+                }
             }
-            x[r] = s;
         }
         // Back substitution with U.
-        for r in (0..n).rev() {
-            let mut s = x[r];
-            for c in (r + 1)..n {
-                s -= self.lu.get(r, c) * x[c];
+        for c in (0..n).rev() {
+            let xc = x[c] / lu[c * n + c];
+            x[c] = xc;
+            if xc != 0.0 {
+                let col = &lu[c * n..c * n + c];
+                for (xr, &u) in x[..c].iter_mut().zip(col) {
+                    *xr -= u * xc;
+                }
             }
-            x[r] = s / self.lu.get(r, r);
         }
-        Ok(x)
     }
 
     /// Solves in place, reusing `b` as the solution buffer (hot path for the
@@ -331,20 +407,7 @@ impl LuFactors {
         }
         scratch.clear();
         scratch.extend(self.perm.iter().map(|&p| b[p]));
-        for r in 1..n {
-            let mut s = scratch[r];
-            for c in 0..r {
-                s -= self.lu.get(r, c) * scratch[c];
-            }
-            scratch[r] = s;
-        }
-        for r in (0..n).rev() {
-            let mut s = scratch[r];
-            for c in (r + 1)..n {
-                s -= self.lu.get(r, c) * scratch[c];
-            }
-            scratch[r] = s / self.lu.get(r, r);
-        }
+        self.substitute_in_place(scratch);
         b.copy_from_slice(scratch);
         Ok(())
     }
@@ -459,6 +522,69 @@ mod tests {
         let mut scratch = Vec::new();
         lu.solve_in_place(&mut bb, &mut scratch).unwrap();
         assert_vec_close(&x, &bb, 1e-14);
+    }
+
+    #[test]
+    fn refactor_matches_fresh_factor_bitwise() {
+        let mut ws = LuFactors::workspace(3);
+        for shift in [0.0f64, 0.25, -1.5] {
+            let a = DenseMatrix::from_rows(&[
+                &[2.0 + shift, 1.0, -1.0],
+                &[-3.0, -1.0 + shift, 2.0],
+                &[-2.0, 1.0, 2.0 + shift],
+            ])
+            .unwrap();
+            ws.refactor(&a).unwrap();
+            let fresh = a.clone().lu().unwrap();
+            let b = [8.0, -11.0, -3.0];
+            let xw = ws.solve(&b).unwrap();
+            let xf = fresh.solve(&b).unwrap();
+            for (w, f) in xw.iter().zip(&xf) {
+                assert_eq!(w.to_bits(), f.to_bits(), "refactor must be bitwise");
+            }
+            assert_eq!(ws.det().to_bits(), fresh.det().to_bits());
+        }
+    }
+
+    #[test]
+    fn refactor_rejects_size_mismatch() {
+        let mut ws = LuFactors::workspace(2);
+        let a = DenseMatrix::identity(3);
+        assert!(matches!(
+            ws.refactor(&a),
+            Err(NumericError::DimensionMismatch {
+                expected: 2,
+                actual: 3
+            })
+        ));
+        let rect = DenseMatrix::zeros(2, 3);
+        assert!(matches!(
+            ws.refactor(&rect),
+            Err(NumericError::InvalidArgument(_))
+        ));
+    }
+
+    #[test]
+    fn refactor_detects_singular_and_recovers() {
+        let mut ws = LuFactors::workspace(2);
+        let singular = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(matches!(
+            ws.refactor(&singular),
+            Err(NumericError::SingularMatrix { .. })
+        ));
+        // The workspace is reusable after a failed refactor.
+        let good = DenseMatrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]).unwrap();
+        ws.refactor(&good).unwrap();
+        let x = ws.solve(&[1.0, 2.0]).unwrap();
+        let expect = good.solve(&[1.0, 2.0]).unwrap();
+        assert_vec_close(&x, &expect, 1e-14);
+    }
+
+    #[test]
+    fn workspace_starts_as_identity() {
+        let ws = LuFactors::workspace(3);
+        let x = ws.solve(&[1.0, 2.0, 3.0]).unwrap();
+        assert_vec_close(&x, &[1.0, 2.0, 3.0], 1e-14);
     }
 
     #[test]

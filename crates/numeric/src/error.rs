@@ -12,6 +12,16 @@ pub enum NumericError {
         /// Column (and, after pivoting, row) at which elimination broke down.
         column: usize,
     },
+    /// A numeric-only refactorisation found a pivot that degraded too far
+    /// below its column's magnitude, so the frozen pivot order is no longer
+    /// numerically safe. Callers should fall back to a full factorisation
+    /// (which re-pivots).
+    PivotDegraded {
+        /// Column at which the frozen pivot degraded.
+        column: usize,
+        /// `|pivot| / max|column entry|` at the point of failure.
+        ratio: f64,
+    },
     /// Operand shapes are incompatible (e.g. solving an `n`-system with an
     /// `m`-vector). Carries the expected and actual sizes.
     DimensionMismatch {
@@ -46,6 +56,11 @@ impl fmt::Display for NumericError {
             NumericError::SingularMatrix { column } => {
                 write!(f, "matrix is singular at column {column}")
             }
+            NumericError::PivotDegraded { column, ratio } => write!(
+                f,
+                "pivot degraded at column {column} (ratio {ratio:.3e}); \
+                 full refactorisation required"
+            ),
             NumericError::DimensionMismatch { expected, actual } => {
                 write!(f, "dimension mismatch: expected {expected}, got {actual}")
             }
@@ -86,6 +101,16 @@ mod tests {
         };
         assert!(e.to_string().contains("expected 4"));
         assert!(e.to_string().contains("got 2"));
+    }
+
+    #[test]
+    fn display_pivot_degraded() {
+        let e = NumericError::PivotDegraded {
+            column: 2,
+            ratio: 1e-5,
+        };
+        assert!(e.to_string().contains("column 2"));
+        assert!(e.to_string().contains("full refactorisation"));
     }
 
     #[test]

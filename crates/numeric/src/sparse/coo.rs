@@ -8,6 +8,11 @@ use super::CscMatrix;
 /// `push` exactly the MNA stamp operation: every device contributes its
 /// conductance entries independently.
 ///
+/// Each [`to_csc`](TripletMatrix::to_csc) pays a full sort + deduplication.
+/// For hot loops that re-stamp the same positions every iteration (Newton),
+/// prefer [`CscAssembler`](super::CscAssembler), which compiles the stamp
+/// sequence once and scatters values directly afterwards.
+///
 /// # Example
 ///
 /// ```

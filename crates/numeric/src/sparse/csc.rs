@@ -58,6 +58,14 @@ impl CscMatrix {
         self.values.len()
     }
 
+    /// Mutable view of the stored values, in column-major slot order.
+    ///
+    /// Used by the pattern-caching assembler to rewrite the numeric values
+    /// of a compiled pattern without touching its structure.
+    pub(crate) fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
     /// The half-open storage range of column `c`.
     ///
     /// # Panics

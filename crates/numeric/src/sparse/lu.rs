@@ -16,6 +16,13 @@ use crate::{NumericError, Result};
 /// Pivot magnitudes below this threshold are treated as singular.
 const SINGULARITY_EPS: f64 = 1e-30;
 
+/// A numeric-only [`SparseLu::refactor`] rejects a frozen pivot whose
+/// magnitude falls below this fraction of the largest entry in its column
+/// (among the rows partial pivoting would have considered). This is the
+/// KLU-style growth guard: below it the caller must redo a full,
+/// re-pivoting factorisation.
+const REFACTOR_PIVOT_RTOL: f64 = 1e-3;
+
 /// Marker for "row not yet pivotal".
 const UNPIVOTED: usize = usize::MAX;
 
@@ -23,6 +30,13 @@ const UNPIVOTED: usize = usize::MAX;
 ///
 /// `L` is unit-lower-triangular and `U` upper-triangular, both stored
 /// column-wise in the *pivoted* row space, together with the permutation.
+///
+/// The stored column patterns retain explicit zeros, so they describe the
+/// full symbolic reach of each column. That makes the factors a reusable
+/// symbolic analysis: [`SparseLu::refactor`] replays only the numeric phase
+/// on a same-pattern matrix, skipping the depth-first searches and pivot
+/// search entirely, and produces bitwise-identical factors to a fresh
+/// [`SparseLu::factor`] of the same values.
 #[derive(Debug, Clone)]
 pub struct SparseLu {
     n: usize,
@@ -32,6 +46,8 @@ pub struct SparseLu {
     u_cols: Vec<Vec<(usize, f64)>>,
     /// `pinv[original_row] = pivoted_row`.
     pinv: Vec<usize>,
+    /// Dense numeric workspace reused by [`SparseLu::refactor`].
+    work: Vec<f64>,
 }
 
 impl SparseLu {
@@ -60,6 +76,7 @@ impl SparseLu {
         let mut mark = vec![usize::MAX; n]; // mark[row] == j means visited this column
         let mut topo: Vec<usize> = Vec::with_capacity(n); // reach in reverse topological order
         let mut dfs_stack: Vec<(usize, usize)> = Vec::new(); // (orig_row, next child offset)
+        let mut upd: Vec<(usize, usize)> = Vec::with_capacity(n); // (pivoted_row, orig_row)
 
         for j in 0..n {
             // --- Symbolic: depth-first search from the pattern of A(:, j). ---
@@ -108,14 +125,24 @@ impl SparseLu {
             for (r, v) in a.col_iter(j) {
                 x[r] = v;
             }
-            for &r in topo.iter().rev() {
-                // Reverse post-order = topological order of dependencies.
+            // Apply the updates in ascending pivot order. Because L is
+            // unit-lower-triangular in pivoted space, every dependency of a
+            // pivotal row has a smaller pivot index, so this is a valid
+            // topological order — and it is the exact order `refactor`
+            // replays from the stored U pattern, which keeps the two paths
+            // bitwise-identical.
+            upd.clear();
+            for &r in &topo {
                 if pinv[r] != UNPIVOTED {
-                    let xr = x[r];
-                    if xr != 0.0 {
-                        for &(child_orig, lv) in &l_cols[pinv[r]] {
-                            x[child_orig] -= lv * xr;
-                        }
+                    upd.push((pinv[r], r));
+                }
+            }
+            upd.sort_unstable();
+            for &(_, r) in &upd {
+                let xr = x[r];
+                if xr != 0.0 {
+                    for &(child_orig, lv) in &l_cols[pinv[r]] {
+                        x[child_orig] -= lv * xr;
                     }
                 }
             }
@@ -139,25 +166,21 @@ impl SparseLu {
             pinv[pivot_row] = j;
 
             // --- Scatter into U (pivotal rows) and L (the rest / pivot). ---
-            let mut ucol: Vec<(usize, f64)> = Vec::new();
+            // Explicit zeros are retained so the stored patterns cover the
+            // whole symbolic reach; `refactor` depends on this.
+            let mut ucol: Vec<(usize, f64)> = Vec::with_capacity(upd.len() + 1);
+            for &(pi, r) in &upd {
+                ucol.push((pi, x[r])); // already sorted ascending by pivot row
+            }
+            ucol.push((j, pivot_val)); // diagonal last for back-substitution
             let mut lcol: Vec<(usize, f64)> = Vec::new();
             for &r in &topo {
-                let v = x[r];
-                if v == 0.0 {
-                    continue;
-                }
-                if r == pivot_row {
-                    continue; // diagonal handled below
-                }
-                if pinv[r] != UNPIVOTED && pinv[r] < j {
-                    ucol.push((pinv[r], v));
-                } else {
+                // `pivot_row` was just assigned pinv == j, so it is excluded.
+                if pinv[r] == UNPIVOTED {
                     // Keep original row index for now (needed by later DFS).
-                    lcol.push((r, v / pivot_val));
+                    lcol.push((r, x[r] / pivot_val));
                 }
             }
-            ucol.sort_unstable_by_key(|&(r, _)| r);
-            ucol.push((j, pivot_val)); // diagonal last for back-substitution
             u_cols.push(ucol);
             l_cols.push(lcol);
         }
@@ -175,7 +198,107 @@ impl SparseLu {
             l_cols,
             u_cols,
             pinv,
+            work: x,
         })
+    }
+
+    /// Recomputes the numeric factors for a matrix with the **same sparsity
+    /// pattern** as the one originally factorised, reusing the cached
+    /// symbolic analysis (reach sets, fill pattern, pivot order). No
+    /// depth-first search and no pivot search are performed, and no heap
+    /// allocation occurs.
+    ///
+    /// The result is bitwise-identical to a fresh [`SparseLu::factor`] of
+    /// the same matrix, as long as the frozen pivot order remains
+    /// acceptable.
+    ///
+    /// The caller must pass a matrix whose structural nonzero positions are
+    /// a subset of the originally factorised pattern; positions outside it
+    /// silently corrupt the factors.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumericError::DimensionMismatch`] if `a` has a different size.
+    /// * [`NumericError::InvalidArgument`] if `a` is not square.
+    /// * [`NumericError::SingularMatrix`] if a frozen pivot is numerically
+    ///   zero.
+    /// * [`NumericError::PivotDegraded`] if a frozen pivot fell below
+    ///   `REFACTOR_PIVOT_RTOL` times its column magnitude; the factors are
+    ///   invalid and the caller should run a full [`SparseLu::factor`].
+    pub fn refactor(&mut self, a: &CscMatrix) -> Result<()> {
+        if a.rows() != a.cols() {
+            return Err(NumericError::InvalidArgument(format!(
+                "sparse LU requires a square matrix, got {}x{}",
+                a.rows(),
+                a.cols()
+            )));
+        }
+        if a.rows() != self.n {
+            return Err(NumericError::DimensionMismatch {
+                expected: self.n,
+                actual: a.rows(),
+            });
+        }
+        let SparseLu {
+            n,
+            l_cols,
+            u_cols,
+            pinv,
+            work,
+        } = self;
+        let x = work.as_mut_slice();
+        for j in 0..*n {
+            // Zero the workspace over the column's stored pattern, then
+            // scatter A(:, j) into pivoted row space.
+            for &(pi, _) in &u_cols[j] {
+                x[pi] = 0.0;
+            }
+            for &(pi, _) in &l_cols[j] {
+                x[pi] = 0.0;
+            }
+            for (r_orig, v) in a.col_iter(j) {
+                x[pinv[r_orig]] = v;
+            }
+            // Numeric left-looking updates, in the same ascending pivot
+            // order as `factor` (the U pattern sans trailing diagonal).
+            let ucol = &u_cols[j];
+            for &(pi, _) in &ucol[..ucol.len() - 1] {
+                let xr = x[pi];
+                if xr != 0.0 {
+                    for &(ci, lv) in &l_cols[pi] {
+                        x[ci] -= lv * xr;
+                    }
+                }
+            }
+            // Frozen pivot checks: outright singular, or degraded relative
+            // to the rows partial pivoting would have considered.
+            let pivot_val = x[j];
+            let pivot_abs = pivot_val.abs();
+            if pivot_abs < SINGULARITY_EPS {
+                return Err(NumericError::SingularMatrix { column: j });
+            }
+            let mut col_max = pivot_abs;
+            for &(pi, _) in &l_cols[j] {
+                col_max = col_max.max(x[pi].abs());
+            }
+            if pivot_abs < REFACTOR_PIVOT_RTOL * col_max {
+                return Err(NumericError::PivotDegraded {
+                    column: j,
+                    ratio: pivot_abs / col_max,
+                });
+            }
+            // Gather the new values back into the stored patterns.
+            let ucol = &mut u_cols[j];
+            let diag = ucol.len() - 1;
+            for e in &mut ucol[..diag] {
+                e.1 = x[e.0];
+            }
+            ucol[diag].1 = pivot_val;
+            for e in l_cols[j].iter_mut() {
+                e.1 = x[e.0] / pivot_val;
+            }
+        }
+        Ok(())
     }
 
     /// System size.
@@ -183,7 +306,9 @@ impl SparseLu {
         self.n
     }
 
-    /// Total stored nonzeros in `L` and `U` (a fill-in diagnostic).
+    /// Total stored entries in `L` and `U` (a fill-in diagnostic). This is
+    /// the symbolic fill: explicit zeros inside the reach pattern count,
+    /// since they occupy storage and participate in `refactor`.
     pub fn factor_nnz(&self) -> usize {
         self.l_cols.iter().map(Vec::len).sum::<usize>()
             + self.u_cols.iter().map(Vec::len).sum::<usize>()
@@ -229,6 +354,53 @@ impl SparseLu {
         }
         // No column permutation was applied, so y is already x in original order.
         Ok(y)
+    }
+
+    /// Solves `A x = b` in place: `b` is overwritten with the solution.
+    ///
+    /// `scratch` is resized to the system size on first use and reused
+    /// thereafter, so steady-state solves perform no heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if `b.len() != size()`.
+    pub fn solve_in_place(&self, b: &mut [f64], scratch: &mut Vec<f64>) -> Result<()> {
+        if b.len() != self.n {
+            return Err(NumericError::DimensionMismatch {
+                expected: self.n,
+                actual: b.len(),
+            });
+        }
+        scratch.resize(self.n, 0.0);
+        let y = scratch.as_mut_slice();
+        // y = P b (pivoted space).
+        for (orig, &bi) in b.iter().enumerate() {
+            y[self.pinv[orig]] = bi;
+        }
+        // Forward solve L y' = y (unit diagonal, columns in pivoted space).
+        for j in 0..self.n {
+            let yj = y[j];
+            if yj != 0.0 {
+                for &(r, lv) in &self.l_cols[j] {
+                    y[r] -= lv * yj;
+                }
+            }
+        }
+        // Back solve U x = y'. Diagonal entry is last in each U column.
+        for j in (0..self.n).rev() {
+            let (diag_row, diag_val) = *self.u_cols[j].last().expect("U column never empty");
+            debug_assert_eq!(diag_row, j);
+            let xj = y[j] / diag_val;
+            y[j] = xj;
+            if xj != 0.0 {
+                for &(r, uv) in &self.u_cols[j][..self.u_cols[j].len() - 1] {
+                    y[r] -= uv * xj;
+                }
+            }
+        }
+        // No column permutation was applied, so y is already x in original order.
+        b.copy_from_slice(y);
+        Ok(())
     }
 }
 
@@ -378,5 +550,116 @@ mod tests {
         t.push(1, 1, 1.0);
         let lu = t.to_csc().lu().unwrap();
         assert!(lu.solve(&[1.0]).is_err());
+    }
+
+    /// An MNA-flavoured test matrix with off-diagonal structure and fill,
+    /// whose values can be swept while the pattern stays fixed.
+    fn sweepable(n: usize, shift: f64) -> TripletMatrix {
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 3.0 + shift + 0.37 * i as f64);
+            if i > 0 {
+                t.push(i, i - 1, -1.0 - 0.05 * shift);
+                t.push(i - 1, i, -1.0 + 0.03 * shift);
+            }
+            t.push(i, n - 1, 0.2 + 0.01 * shift);
+            t.push(n - 1, i, 0.1 - 0.02 * shift);
+        }
+        t
+    }
+
+    #[test]
+    fn refactor_matches_fresh_factor_bitwise() {
+        let n = 12;
+        let mut reused = sweepable(n, 0.0).to_csc().lu().unwrap();
+        let b: Vec<f64> = (0..n).map(|i| 0.3 * i as f64 - 1.0).collect();
+        for step in 0..5 {
+            let a = sweepable(n, 0.25 * step as f64).to_csc();
+            reused.refactor(&a).unwrap();
+            let fresh = a.lu().unwrap();
+            let xr = reused.solve(&b).unwrap();
+            let xf = fresh.solve(&b).unwrap();
+            for (r, f) in xr.iter().zip(&xf) {
+                assert_eq!(r.to_bits(), f.to_bits(), "step {step}: {r} vs {f}");
+            }
+            assert_eq!(reused.factor_nnz(), fresh.factor_nnz());
+        }
+    }
+
+    #[test]
+    fn solve_in_place_matches_solve() {
+        let n = 9;
+        let a = sweepable(n, 1.5).to_csc();
+        let lu = a.lu().unwrap();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let x = lu.solve(&b).unwrap();
+        let mut bx = b.clone();
+        let mut scratch = Vec::new();
+        lu.solve_in_place(&mut bx, &mut scratch).unwrap();
+        for (a, b) in x.iter().zip(&bx) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let mut short = vec![1.0];
+        assert!(lu.solve_in_place(&mut short, &mut scratch).is_err());
+    }
+
+    #[test]
+    fn refactor_rejects_size_mismatch() {
+        let mut lu = sweepable(4, 0.0).to_csc().lu().unwrap();
+        let other = sweepable(6, 0.0).to_csc();
+        assert!(matches!(
+            lu.refactor(&other),
+            Err(NumericError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn refactor_detects_degraded_pivot() {
+        // Factor with a dominant (0,0) pivot, then refactor with that entry
+        // collapsed: the frozen pivot order is no longer acceptable.
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 0, 10.0);
+        t.push(1, 0, 1.0);
+        t.push(0, 1, 1.0);
+        t.push(1, 1, 10.0);
+        let mut lu = t.to_csc().lu().unwrap();
+
+        let mut t2 = TripletMatrix::new(2, 2);
+        t2.push(0, 0, 1e-9);
+        t2.push(1, 0, 1.0);
+        t2.push(0, 1, 1.0);
+        t2.push(1, 1, 10.0);
+        let a2 = t2.to_csc();
+        assert!(matches!(
+            lu.refactor(&a2),
+            Err(NumericError::PivotDegraded { column: 0, .. })
+        ));
+        // A full factorisation re-pivots and succeeds.
+        let x = a2.lu().unwrap().solve(&[1.0, 2.0]).unwrap();
+        let r = a2.matvec(&x).unwrap();
+        assert!((r[0] - 1.0).abs() < 1e-12 && (r[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn refactor_detects_singular() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 0, 2.0);
+        t.push(1, 1, 3.0);
+        let mut lu = t.to_csc().lu().unwrap();
+        let mut tz = TripletMatrix::new(2, 2);
+        tz.push(0, 0, 2.0);
+        tz.push(1, 1, 1e-40);
+        // Zero-valued structural entries keep the pattern identical.
+        assert!(matches!(
+            lu.refactor(&tz.to_csc()),
+            Err(NumericError::SingularMatrix { column: 1 })
+        ));
+        // The cached analysis survives: a good same-pattern matrix works.
+        let mut tg = TripletMatrix::new(2, 2);
+        tg.push(0, 0, 4.0);
+        tg.push(1, 1, 5.0);
+        lu.refactor(&tg.to_csc()).unwrap();
+        let x = lu.solve(&[4.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-14 && (x[1] - 2.0).abs() < 1e-14);
     }
 }

@@ -24,10 +24,12 @@
 //! # }
 //! ```
 
+mod assembler;
 mod coo;
 mod csc;
 pub mod lu;
 
+pub use assembler::CscAssembler;
 pub use coo::TripletMatrix;
 pub use csc::CscMatrix;
 pub use lu::SparseLu;

@@ -1,0 +1,121 @@
+//! The refactor + solve hot path must be allocation-free: every Newton
+//! iteration of the simulator runs through it, and a per-iteration heap
+//! allocation would dominate small-circuit solve time.
+//!
+//! A counting global allocator observes the steady-state loop after a
+//! warm-up pass (the warm-up sizes the persistent workspaces).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use sfet_numeric::dense::{DenseMatrix, LuFactors};
+use sfet_numeric::sparse::TripletMatrix;
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::SeqCst)
+}
+
+/// Allocation count attributable to `f`, taken as the minimum over a few
+/// attempts: the hot path is deterministic (0 every time), while stray
+/// allocations from test-harness threads are transient and don't repeat.
+fn min_allocations<F: FnMut()>(mut f: F) -> u64 {
+    (0..3)
+        .map(|_| {
+            let before = allocations();
+            f();
+            allocations() - before
+        })
+        .min()
+        .unwrap()
+}
+
+/// Both backends' reuse paths run a sustained refactor/solve loop without
+/// touching the heap. One test function so the counter is not racing
+/// against a sibling test thread.
+#[test]
+fn refactor_solve_hot_path_is_allocation_free() {
+    let n = 12;
+
+    // --- Dense: persistent workspace, in-place refactorisation. ---
+    let mut a = DenseMatrix::zeros(n, n);
+    for i in 0..n {
+        a.set(i, i, 4.0 + i as f64);
+        if i + 1 < n {
+            a.set(i, i + 1, -1.0);
+            a.set(i + 1, i, -1.5);
+        }
+    }
+    let mut factors = LuFactors::workspace(n);
+    let mut b = vec![0.0; n];
+    let mut scratch = Vec::new();
+    // Warm-up pass sizes the scratch buffer.
+    factors.refactor(&a).unwrap();
+    b.iter_mut().for_each(|v| *v = 1.0);
+    factors.solve_in_place(&mut b, &mut scratch).unwrap();
+
+    let dense_allocs = min_allocations(|| {
+        for k in 0..200u32 {
+            a.set(0, 0, 4.0 + f64::from(k) * 1e-3);
+            factors.refactor(&a).unwrap();
+            b.iter_mut().for_each(|v| *v = 1.0);
+            factors.solve_in_place(&mut b, &mut scratch).unwrap();
+        }
+    });
+    assert_eq!(dense_allocs, 0, "dense refactor/solve loop allocated");
+    assert!(b.iter().all(|v| v.is_finite()));
+
+    // --- Sparse: cached symbolic analysis, numeric-only refactor. ---
+    let make = |shift: f64| {
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 5.0 + shift + i as f64);
+            if i + 1 < n {
+                t.push(i, i + 1, -1.0);
+                t.push(i + 1, i, -2.0 + shift * 0.1);
+            }
+        }
+        t.to_csc()
+    };
+    let a0 = make(0.0);
+    let a1 = make(0.25);
+    let mut lu = a0.lu().unwrap();
+    let mut b = vec![0.0; n];
+    let mut scratch = Vec::new();
+    lu.refactor(&a1).unwrap();
+    b.iter_mut().for_each(|v| *v = 1.0);
+    lu.solve_in_place(&mut b, &mut scratch).unwrap();
+
+    let sparse_allocs = min_allocations(|| {
+        for k in 0..200 {
+            let a = if k % 2 == 0 { &a0 } else { &a1 };
+            lu.refactor(a).unwrap();
+            b.iter_mut().for_each(|v| *v = 1.0);
+            lu.solve_in_place(&mut b, &mut scratch).unwrap();
+        }
+    });
+    assert_eq!(sparse_allocs, 0, "sparse refactor/solve loop allocated");
+    assert!(b.iter().all(|v| v.is_finite()));
+}

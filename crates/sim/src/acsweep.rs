@@ -23,7 +23,7 @@
 
 use std::collections::HashMap;
 
-use crate::dcop::solve_dc;
+use crate::dcop::{solve_dc, DcWorkspace};
 use crate::devices::{volt, CompiledCircuit, SimDevice};
 use crate::matrix::MnaMatrix;
 use crate::options::SimOptions;
@@ -113,7 +113,8 @@ pub fn ac_sweep(
         ));
     }
     let mut compiled = CompiledCircuit::compile(circuit);
-    let x_op = solve_dc(&mut compiled, opts)?;
+    let mut dc_ws = DcWorkspace::new(&compiled, opts);
+    let x_op = solve_dc(&mut compiled, opts, &mut dc_ws)?;
     let n = compiled.size;
 
     // Assemble G, C and the stimulus once (frequency-independent).
@@ -133,10 +134,14 @@ pub fn ac_sweep(
     )?;
 
     let mut data = vec![Vec::with_capacity(freqs.len()); node_count];
+    // Bordered real system of size 2n; the matrix lives outside the loop so
+    // the stamp sequence (identical at every frequency) keeps the compiled
+    // sparsity pattern and symbolic factorisation across the sweep.
+    let mut m = MnaMatrix::new(opts.solver, 2 * n, opts.reuse_factorization);
+    let mut rhs = vec![0.0; 2 * n];
     for &f in freqs {
         let w = 2.0 * std::f64::consts::PI * f;
-        // Bordered real system of size 2n.
-        let mut m = MnaMatrix::new(opts.solver, 2 * n);
+        m.clear();
         for &(r, c, v) in &g_entries {
             m.add(r, c, v);
             m.add(r + n, c + n, v);
@@ -145,13 +150,13 @@ pub fn ac_sweep(
             m.add(r, c + n, -w * v);
             m.add(r + n, c, w * v);
         }
-        let mut rhs = vec![0.0; 2 * n];
+        rhs.iter_mut().for_each(|v| *v = 0.0);
         rhs[..n].copy_from_slice(&u);
-        let x = m.solve(&rhs)?;
+        m.factor_solve(&mut rhs)?;
         for (i, col) in data.iter_mut().enumerate() {
             col.push(Phasor {
-                re: x[i],
-                im: x[i + n],
+                re: rhs[i],
+                im: rhs[i + n],
             });
         }
     }

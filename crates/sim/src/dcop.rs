@@ -14,8 +14,36 @@
 use crate::devices::{CompiledCircuit, SimDevice, StampMode};
 use crate::matrix::MnaMatrix;
 use crate::options::SimOptions;
+use crate::result::DcStats;
 use crate::{Result, SimError};
 use sfet_circuit::Circuit;
+
+/// Reusable DC solver workspace: the MNA matrix (with its cached sparsity
+/// pattern and factors) plus the RHS buffer, shared across Newton calls so
+/// continuation strategies and bias sweeps reuse the compiled pattern
+/// instead of re-deriving it every solve.
+pub(crate) struct DcWorkspace {
+    jac: MnaMatrix,
+    rhs: Vec<f64>,
+    newton_iterations: usize,
+}
+
+impl DcWorkspace {
+    pub(crate) fn new(compiled: &CompiledCircuit, opts: &SimOptions) -> Self {
+        DcWorkspace {
+            jac: MnaMatrix::new(opts.solver, compiled.size, opts.reuse_factorization),
+            rhs: vec![0.0; compiled.size],
+            newton_iterations: 0,
+        }
+    }
+
+    pub(crate) fn stats(&self) -> DcStats {
+        DcStats {
+            newton_iterations: self.newton_iterations,
+            solver: self.jac.stats(),
+        }
+    }
+}
 
 /// Computes the DC operating point of a circuit at `t = 0`.
 ///
@@ -28,19 +56,39 @@ use sfet_circuit::Circuit;
 /// * [`SimError::Circuit`] if the circuit fails validation.
 /// * [`SimError::NonConvergence`] if all escalation strategies fail.
 pub fn dc_operating_point(circuit: &Circuit, opts: &SimOptions) -> Result<Vec<f64>> {
+    Ok(dc_operating_point_with_stats(circuit, opts)?.0)
+}
+
+/// Like [`dc_operating_point`], but also returns engine statistics
+/// (Newton iteration count and linear-solver telemetry).
+///
+/// # Errors
+///
+/// Same as [`dc_operating_point`].
+pub fn dc_operating_point_with_stats(
+    circuit: &Circuit,
+    opts: &SimOptions,
+) -> Result<(Vec<f64>, DcStats)> {
     opts.validate()?;
     circuit.validate()?;
     let mut compiled = CompiledCircuit::compile(circuit);
-    solve_dc(&mut compiled, opts)
+    let mut ws = DcWorkspace::new(&compiled, opts);
+    let x = solve_dc(&mut compiled, opts, &mut ws)?;
+    let stats = ws.stats();
+    Ok((x, stats))
 }
 
 /// DC solve on an already-compiled circuit (shared with the transient
-/// engine).
-pub(crate) fn solve_dc(compiled: &mut CompiledCircuit, opts: &SimOptions) -> Result<Vec<f64>> {
+/// engine and the sweeps).
+pub(crate) fn solve_dc(
+    compiled: &mut CompiledCircuit,
+    opts: &SimOptions,
+    ws: &mut DcWorkspace,
+) -> Result<Vec<f64>> {
     let x0 = vec![0.0; compiled.size];
 
     // Strategy 1: direct Newton.
-    if let Ok(x) = newton_dc(compiled, &x0, 1.0, 0.0, opts) {
+    if let Ok(x) = newton_dc(compiled, &x0, 1.0, 0.0, opts, ws) {
         return Ok(x);
     }
 
@@ -49,7 +97,7 @@ pub(crate) fn solve_dc(compiled: &mut CompiledCircuit, opts: &SimOptions) -> Res
     let mut ok = true;
     for k in 0..=6 {
         let shunt = 1e-1 * 10f64.powi(-(2 * k));
-        match newton_dc(compiled, &x, 1.0, shunt, opts) {
+        match newton_dc(compiled, &x, 1.0, shunt, opts, ws) {
             Ok(next) => x = next,
             Err(_) => {
                 ok = false;
@@ -58,7 +106,7 @@ pub(crate) fn solve_dc(compiled: &mut CompiledCircuit, opts: &SimOptions) -> Res
         }
     }
     if ok {
-        if let Ok(x) = newton_dc(compiled, &x, 1.0, 0.0, opts) {
+        if let Ok(x) = newton_dc(compiled, &x, 1.0, 0.0, opts, ws) {
             return Ok(x);
         }
     }
@@ -67,7 +115,7 @@ pub(crate) fn solve_dc(compiled: &mut CompiledCircuit, opts: &SimOptions) -> Res
     let mut x = x0;
     for k in 1..=20 {
         let scale = k as f64 / 20.0;
-        x = newton_dc(compiled, &x, scale, 0.0, opts)
+        x = newton_dc(compiled, &x, scale, 0.0, opts, ws)
             .map_err(|_| SimError::NonConvergence { time: 0.0, dt: 0.0 })?;
     }
     Ok(x)
@@ -80,6 +128,7 @@ pub(crate) fn newton_dc(
     source_scale: f64,
     gmin_shunt: f64,
     opts: &SimOptions,
+    ws: &mut DcWorkspace,
 ) -> Result<Vec<f64>> {
     let n = compiled.size;
     let mode = StampMode::Dc {
@@ -87,16 +136,18 @@ pub(crate) fn newton_dc(
         gmin_shunt,
     };
     let mut x = x0.to_vec();
-    let mut jac = MnaMatrix::new(opts.solver, n);
-    let mut rhs = vec![0.0; n];
+    let jac = &mut ws.jac;
+    let rhs = &mut ws.rhs;
 
     for _ in 0..opts.max_newton_iter {
+        ws.newton_iterations += 1;
         jac.clear();
         rhs.iter_mut().for_each(|v| *v = 0.0);
         for device in &compiled.devices {
-            device.stamp(mode, &x, &mut jac, &mut rhs, opts.gmin);
+            device.stamp(mode, &x, jac, rhs, opts.gmin);
         }
-        let x_next = jac.solve(&rhs)?;
+        jac.factor_solve(rhs)?;
+        let x_next: &[f64] = rhs;
 
         let mut max_dx = 0.0f64;
         for (xn, xo) in x_next.iter().zip(&x) {
@@ -196,8 +247,17 @@ mod tests {
         // The cap is open, so mid has no connection to ground: the matrix
         // would be singular without gmin; DC escalation handles it through
         // the gmin-stepping path.
-        let x = solve_dc(&mut compiled, &SimOptions::default()).unwrap();
+        let opts = SimOptions::default();
+        let mut ws = DcWorkspace::new(&compiled, &opts);
+        let x = solve_dc(&mut compiled, &opts, &mut ws).unwrap();
         assert!((x[1] - 1.0).abs() < 1e-3);
+        // Telemetry: the escalation strategies shared one workspace. A
+        // failed factorisation (the singular direct attempt) counts an
+        // iteration but no completed solve, so solves ≤ iterations.
+        let stats = ws.stats();
+        assert!(stats.newton_iterations > 0);
+        assert!(stats.solver.solves > 0);
+        assert!(stats.solver.solves as usize <= stats.newton_iterations);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 
-use crate::dcop::newton_dc;
+use crate::dcop::{newton_dc, DcWorkspace};
 use crate::devices::{volt, CompiledCircuit, SimDevice};
 use crate::options::SimOptions;
 use crate::{Result, SimError};
@@ -104,6 +104,9 @@ pub fn dc_sweep(
         })
         .ok_or_else(|| SimError::UnknownSignal(format!("voltage source {source:?}")))?;
 
+    // One solver workspace for the whole sweep: the compiled sparsity
+    // pattern and symbolic factorisation carry across bias points.
+    let mut ws = DcWorkspace::new(&compiled, opts);
     let mut x = vec![0.0; compiled.size];
     let mut warm = false;
     let mut node_data = vec![Vec::with_capacity(points.len()); compiled.node_names.len()];
@@ -116,7 +119,7 @@ pub fn dc_sweep(
         // Quasi-static PTM settling: solve, fire any armed transition,
         // complete it instantly, re-solve; loop until no device fires
         // (bounded — each PTM can flip at most twice per bias point).
-        let mut solved = solve_point(&mut compiled, &x, warm, opts)?;
+        let mut solved = solve_point(&mut compiled, &x, warm, opts, &mut ws)?;
         for _ in 0..4 {
             let mut fired = false;
             for device in &mut compiled.devices {
@@ -142,7 +145,7 @@ pub fn dc_sweep(
             for device in &mut compiled.devices {
                 device.prepare_step(0.0);
             }
-            solved = solve_point(&mut compiled, &solved, true, opts)?;
+            solved = solve_point(&mut compiled, &solved, true, opts, &mut ws)?;
         }
         x = solved;
         warm = true;
@@ -181,13 +184,14 @@ fn solve_point(
     x0: &[f64],
     warm: bool,
     opts: &SimOptions,
+    ws: &mut DcWorkspace,
 ) -> Result<Vec<f64>> {
     if warm {
-        if let Ok(x) = newton_dc(compiled, x0, 1.0, 0.0, opts) {
+        if let Ok(x) = newton_dc(compiled, x0, 1.0, 0.0, opts, ws) {
             return Ok(x);
         }
     }
-    crate::dcop::solve_dc(compiled, opts)
+    crate::dcop::solve_dc(compiled, opts, ws)
 }
 
 fn device_name<'a>(compiled: &'a CompiledCircuit, device: &SimDevice) -> Option<&'a str> {

@@ -295,14 +295,17 @@ impl SimDevice {
     }
 
     /// Voltage-unknown indices this device touches (for gmin stepping).
-    fn touched_unknowns(&self) -> Vec<Unknown> {
+    /// Returns a fixed-size array (padded with ground) so the per-stamp
+    /// hot path stays allocation-free.
+    fn touched_unknowns(&self) -> [Unknown; 4] {
         match self {
             SimDevice::Resistor { p, n, .. }
             | SimDevice::Capacitor { p, n, .. }
             | SimDevice::Isrc { p, n, .. }
-            | SimDevice::Ptm { p, n, .. } => vec![*p, *n],
-            SimDevice::Inductor { p, n, .. } | SimDevice::Vsrc { p, n, .. } => vec![*p, *n],
-            SimDevice::Mosfet { d, g, s, b, .. } => vec![*d, *g, *s, *b],
+            | SimDevice::Ptm { p, n, .. }
+            | SimDevice::Inductor { p, n, .. }
+            | SimDevice::Vsrc { p, n, .. } => [*p, *n, None, None],
+            SimDevice::Mosfet { d, g, s, b, .. } => [*d, *g, *s, *b],
         }
     }
 

@@ -44,12 +44,12 @@ mod result;
 mod transient;
 
 pub use acsweep::{ac_sweep, AcSweepResult, Phasor};
-pub use dcop::dc_operating_point;
+pub use dcop::{dc_operating_point, dc_operating_point_with_stats};
 pub use dcsweep::{dc_sweep, DcSweepResult};
 pub use error::SimError;
-pub use matrix::LinearSolver;
+pub use matrix::{LinearSolver, SolverStats};
 pub use options::SimOptions;
-pub use result::{TranResult, TranStats};
+pub use result::{DcStats, TranResult, TranStats};
 pub use transient::transient;
 
 /// Convenience result alias.

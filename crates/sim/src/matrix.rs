@@ -1,4 +1,4 @@
-//! MNA matrix backends.
+//! MNA matrix backends with reusable factorisation.
 //!
 //! Cell-level circuits (tens of unknowns) factor fastest with the dense
 //! LU; PDN-scale systems (hundreds+ of unknowns, >95 % structurally zero)
@@ -6,10 +6,27 @@
 //! [`LinearSolver`](crate::SimOptions) and both share the same stamping
 //! interface, so device code is backend-agnostic. The `solver_backend`
 //! Criterion bench in `sfet-bench` quantifies the crossover.
+//!
+//! Both backends are built for the Newton hot loop, where the same matrix
+//! structure is assembled and solved thousands of times:
+//!
+//! * **dense** — stamps accumulate into a persistent [`DenseMatrix`], which
+//!   is factorised *in place* into a persistent [`LuFactors`] workspace and
+//!   solved in place, so one Newton iteration performs zero heap
+//!   allocation;
+//! * **sparse** — stamps go through a pattern-caching [`CscAssembler`]
+//!   (stamp sequence compiled once into a fixed CSC pattern plus scatter
+//!   map), and the Gilbert–Peierls symbolic analysis is cached in a
+//!   [`SparseLu`] whose numeric-only `refactor` is reused across Newton
+//!   iterations and timesteps. A refactorisation whose frozen pivot
+//!   degrades past threshold transparently falls back to a full,
+//!   re-pivoting factorisation.
 
-use sfet_numeric::dense::DenseMatrix;
-use sfet_numeric::sparse::TripletMatrix;
-use sfet_numeric::Result;
+use std::time::Instant;
+
+use sfet_numeric::dense::{DenseMatrix, LuFactors};
+use sfet_numeric::sparse::{CscAssembler, SparseLu};
+use sfet_numeric::{NumericError, Result};
 
 /// Which linear-solver backend the MNA engine uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -30,49 +47,205 @@ impl std::fmt::Display for LinearSolver {
     }
 }
 
+/// Linear-solver telemetry accumulated over an analysis.
+///
+/// Equality ignores [`solve_time_ns`](SolverStats::solve_time_ns) so that
+/// two deterministic runs compare equal even though their wall-clock
+/// timings differ.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolverStats {
+    /// Full factorisations (symbolic analysis + pivot search + numeric).
+    /// The dense backend counts every in-place factorisation here, since
+    /// dense LU always re-pivots.
+    pub full_factorizations: u64,
+    /// Numeric-only refactorisations that reused the cached symbolic
+    /// analysis and frozen pivot order (sparse backend only).
+    pub refactorizations: u64,
+    /// Linear solves (forward/back substitutions).
+    pub solves: u64,
+    /// Sparse stamp-pattern compilations: the initial one plus one per
+    /// stamp-sequence change (e.g. DC gmin shunts toggling).
+    pub pattern_rebuilds: u64,
+    /// Refactorisations rejected for pivot degradation and retried as
+    /// full, re-pivoting factorisations.
+    pub pivot_fallbacks: u64,
+    /// Stored factor entries (L + U) of the latest factorisation — the
+    /// fill-in diagnostic. The dense backend reports `n * n`.
+    pub factor_nnz: usize,
+    /// Cumulative wall-clock time spent assembling factors and solving
+    /// \[ns\]. Excluded from equality comparisons.
+    pub solve_time_ns: u64,
+}
+
+impl PartialEq for SolverStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.full_factorizations == other.full_factorizations
+            && self.refactorizations == other.refactorizations
+            && self.solves == other.solves
+            && self.pattern_rebuilds == other.pattern_rebuilds
+            && self.pivot_fallbacks == other.pivot_fallbacks
+            && self.factor_nnz == other.factor_nnz
+    }
+}
+
+impl Eq for SolverStats {}
+
+impl SolverStats {
+    /// Fraction of factorisations that took the cheap numeric-only reuse
+    /// path; `0.0` when nothing was factorised.
+    pub fn reuse_ratio(&self) -> f64 {
+        let total = self.full_factorizations + self.refactorizations;
+        if total == 0 {
+            0.0
+        } else {
+            self.refactorizations as f64 / total as f64
+        }
+    }
+}
+
 /// An MNA system matrix that devices stamp into.
 #[derive(Debug, Clone)]
-pub(crate) enum MnaMatrix {
-    Dense(DenseMatrix),
-    Sparse(TripletMatrix),
+pub(crate) struct MnaMatrix {
+    backend: Backend,
+    /// Allow the sparse backend to reuse cached factors across solves.
+    reuse: bool,
+    stats: SolverStats,
+}
+
+#[derive(Debug, Clone)]
+enum Backend {
+    Dense {
+        m: DenseMatrix,
+        factors: LuFactors,
+        scratch: Vec<f64>,
+    },
+    Sparse {
+        asm: Box<CscAssembler>,
+        lu: Option<SparseLu>,
+        /// Assembler epoch the cached symbolic analysis belongs to.
+        lu_epoch: u64,
+        scratch: Vec<f64>,
+    },
 }
 
 impl MnaMatrix {
-    /// Creates an `n x n` matrix for the chosen backend.
-    pub(crate) fn new(backend: LinearSolver, n: usize) -> Self {
-        match backend {
-            LinearSolver::Dense => MnaMatrix::Dense(DenseMatrix::zeros(n, n)),
-            LinearSolver::Sparse => MnaMatrix::Sparse(TripletMatrix::with_capacity(n, n, 8 * n)),
+    /// Creates an `n x n` matrix for the chosen backend. `reuse` enables
+    /// the sparse numeric-only refactorisation path (dense is always
+    /// in-place regardless).
+    pub(crate) fn new(backend: LinearSolver, n: usize, reuse: bool) -> Self {
+        let backend = match backend {
+            LinearSolver::Dense => Backend::Dense {
+                m: DenseMatrix::zeros(n, n),
+                factors: LuFactors::workspace(n),
+                scratch: Vec::with_capacity(n),
+            },
+            LinearSolver::Sparse => Backend::Sparse {
+                asm: Box::new(CscAssembler::new(n, n)),
+                lu: None,
+                lu_epoch: 0,
+                scratch: Vec::with_capacity(n),
+            },
+        };
+        MnaMatrix {
+            backend,
+            reuse,
+            stats: SolverStats::default(),
         }
     }
 
-    /// Zeroes the matrix, keeping allocations.
+    /// Begins a fresh assembly round, keeping allocations and any cached
+    /// pattern / factors.
     pub(crate) fn clear(&mut self) {
-        match self {
-            MnaMatrix::Dense(m) => m.clear(),
-            MnaMatrix::Sparse(t) => t.clear(),
+        match &mut self.backend {
+            Backend::Dense { m, .. } => m.clear(),
+            Backend::Sparse { asm, .. } => asm.begin(),
         }
     }
 
     /// Accumulates `v` at `(r, c)` — the stamp primitive.
     #[inline]
     pub(crate) fn add(&mut self, r: usize, c: usize, v: f64) {
-        match self {
-            MnaMatrix::Dense(m) => m.add(r, c, v),
-            MnaMatrix::Sparse(t) => t.push(r, c, v),
+        match &mut self.backend {
+            Backend::Dense { m, .. } => m.add(r, c, v),
+            Backend::Sparse { asm, .. } => asm.add(r, c, v),
         }
     }
 
-    /// Factorises and solves `A x = rhs`.
+    /// Factorises the assembled matrix and solves `A x = rhs` in place:
+    /// `rhs` is overwritten with the solution. This is the Newton hot
+    /// path — steady-state calls perform no heap allocation on the dense
+    /// backend and reuse the cached pattern + symbolic analysis on the
+    /// sparse one.
     ///
     /// # Errors
     ///
     /// Propagates singular-matrix and dimension errors from the backend.
-    pub(crate) fn solve(&self, rhs: &[f64]) -> Result<Vec<f64>> {
-        match self {
-            MnaMatrix::Dense(m) => m.clone().lu()?.solve(rhs),
-            MnaMatrix::Sparse(t) => t.to_csc().lu()?.solve(rhs),
+    pub(crate) fn factor_solve(&mut self, rhs: &mut [f64]) -> Result<()> {
+        let t0 = Instant::now();
+        let out = self.factor_solve_inner(rhs);
+        self.stats.solve_time_ns += t0.elapsed().as_nanos() as u64;
+        out
+    }
+
+    fn factor_solve_inner(&mut self, rhs: &mut [f64]) -> Result<()> {
+        match &mut self.backend {
+            Backend::Dense {
+                m,
+                factors,
+                scratch,
+            } => {
+                factors.refactor(m)?;
+                self.stats.full_factorizations += 1;
+                self.stats.factor_nnz = m.rows() * m.cols();
+                factors.solve_in_place(rhs, scratch)?;
+            }
+            Backend::Sparse {
+                asm,
+                lu,
+                lu_epoch,
+                scratch,
+            } => {
+                asm.finish();
+                let epoch = asm.epoch();
+                let a = asm.matrix().expect("finish compiles a pattern");
+                self.stats.pattern_rebuilds = epoch;
+                let mut refactored = false;
+                if self.reuse && *lu_epoch == epoch {
+                    if let Some(f) = lu.as_mut() {
+                        match f.refactor(a) {
+                            Ok(()) => refactored = true,
+                            Err(NumericError::PivotDegraded { .. }) => {
+                                // Frozen pivot order went bad; a full
+                                // factorisation below re-pivots.
+                                self.stats.pivot_fallbacks += 1;
+                            }
+                            Err(NumericError::SingularMatrix { .. }) => {
+                                // Singular under the frozen order; the full
+                                // factorisation gets to try other pivots.
+                            }
+                            Err(e) => return Err(e),
+                        }
+                    }
+                }
+                if refactored {
+                    self.stats.refactorizations += 1;
+                } else {
+                    *lu = Some(a.lu()?);
+                    *lu_epoch = epoch;
+                    self.stats.full_factorizations += 1;
+                }
+                let f = lu.as_ref().expect("factorised above");
+                self.stats.factor_nnz = f.factor_nnz();
+                f.solve_in_place(rhs, scratch)?;
+            }
         }
+        self.stats.solves += 1;
+        Ok(())
+    }
+
+    /// Accumulated solver telemetry.
+    pub(crate) fn stats(&self) -> SolverStats {
+        self.stats
     }
 }
 
@@ -88,15 +261,20 @@ mod tests {
         m.add(1, 0, 1.0);
     }
 
+    fn solve_once(m: &mut MnaMatrix) -> Vec<f64> {
+        let mut rhs = vec![0.0, 2.0];
+        m.factor_solve(&mut rhs).unwrap();
+        rhs
+    }
+
     #[test]
     fn backends_agree() {
-        let mut d = MnaMatrix::new(LinearSolver::Dense, 2);
-        let mut s = MnaMatrix::new(LinearSolver::Sparse, 2);
+        let mut d = MnaMatrix::new(LinearSolver::Dense, 2, true);
+        let mut s = MnaMatrix::new(LinearSolver::Sparse, 2, true);
         stamp_divider(&mut d);
         stamp_divider(&mut s);
-        let rhs = [0.0, 2.0];
-        let xd = d.solve(&rhs).unwrap();
-        let xs = s.solve(&rhs).unwrap();
+        let xd = solve_once(&mut d);
+        let xs = solve_once(&mut s);
         for (a, b) in xd.iter().zip(&xs) {
             assert!((a - b).abs() < 1e-12);
         }
@@ -106,15 +284,150 @@ mod tests {
     #[test]
     fn clear_resets_both() {
         for backend in [LinearSolver::Dense, LinearSolver::Sparse] {
-            let mut m = MnaMatrix::new(backend, 2);
+            let mut m = MnaMatrix::new(backend, 2, true);
             m.add(0, 0, 1.0);
             m.add(1, 1, 1.0);
             m.clear();
             m.add(0, 0, 2.0);
             m.add(1, 1, 2.0);
-            let x = m.solve(&[2.0, 2.0]).unwrap();
-            assert!((x[0] - 1.0).abs() < 1e-12, "{backend}");
+            let mut rhs = vec![2.0, 2.0];
+            m.factor_solve(&mut rhs).unwrap();
+            assert!((rhs[0] - 1.0).abs() < 1e-12, "{backend}");
         }
+    }
+
+    #[test]
+    fn sparse_reuses_pattern_and_factors() {
+        let mut m = MnaMatrix::new(LinearSolver::Sparse, 2, true);
+        for k in 0..5 {
+            m.clear();
+            m.add(0, 0, 1e-3 + k as f64 * 1e-4);
+            m.add(0, 1, 1.0);
+            m.add(1, 0, 1.0);
+            let mut rhs = vec![0.0, 2.0];
+            m.factor_solve(&mut rhs).unwrap();
+            assert!((rhs[0] - 2.0).abs() < 1e-12);
+        }
+        let st = m.stats();
+        assert_eq!(st.solves, 5);
+        assert_eq!(st.full_factorizations, 1, "only the first solve factors");
+        assert_eq!(st.refactorizations, 4, "the rest reuse the analysis");
+        assert_eq!(st.pattern_rebuilds, 1, "one pattern compile");
+        assert!(st.reuse_ratio() > 0.79);
+    }
+
+    #[test]
+    fn sparse_reuse_matches_no_reuse_bitwise() {
+        let solve_seq = |reuse: bool| -> Vec<u64> {
+            let mut m = MnaMatrix::new(LinearSolver::Sparse, 3, reuse);
+            let mut out = Vec::new();
+            for k in 0..6 {
+                let s = 1.0 + 0.13 * k as f64;
+                m.clear();
+                m.add(0, 0, 2.0 * s);
+                m.add(0, 1, -1.0);
+                m.add(1, 0, -1.0);
+                m.add(1, 1, 2.5 * s);
+                m.add(1, 2, -0.5);
+                m.add(2, 1, -0.5);
+                m.add(2, 2, 3.0 * s);
+                let mut rhs = vec![1.0, -0.5, 0.25];
+                m.factor_solve(&mut rhs).unwrap();
+                out.extend(rhs.iter().map(|v| v.to_bits()));
+            }
+            out
+        };
+        assert_eq!(solve_seq(true), solve_seq(false));
+    }
+
+    #[test]
+    fn sparse_pattern_change_recompiles_and_recovers() {
+        let mut m = MnaMatrix::new(LinearSolver::Sparse, 2, true);
+        m.add(0, 0, 1.0);
+        m.add(1, 1, 1.0);
+        let mut rhs = vec![1.0, 1.0];
+        m.factor_solve(&mut rhs).unwrap();
+        // Different sequence (extra off-diagonals): must recompile + refactor
+        // fully, and still solve correctly.
+        m.clear();
+        m.add(0, 0, 2.0);
+        m.add(0, 1, 1.0);
+        m.add(1, 0, 1.0);
+        m.add(1, 1, 2.0);
+        let mut rhs = vec![3.0, 3.0];
+        m.factor_solve(&mut rhs).unwrap();
+        assert!((rhs[0] - 1.0).abs() < 1e-12 && (rhs[1] - 1.0).abs() < 1e-12);
+        let st = m.stats();
+        assert_eq!(st.full_factorizations, 2);
+        assert_eq!(st.refactorizations, 0);
+        assert_eq!(st.pattern_rebuilds, 2);
+    }
+
+    #[test]
+    fn sparse_pivot_degradation_falls_back() {
+        let mut m = MnaMatrix::new(LinearSolver::Sparse, 2, true);
+        m.add(0, 0, 10.0);
+        m.add(1, 0, 1.0);
+        m.add(0, 1, 1.0);
+        m.add(1, 1, 10.0);
+        let mut rhs = vec![1.0, 1.0];
+        m.factor_solve(&mut rhs).unwrap();
+        // Collapse the frozen pivot: the refactor must be rejected and the
+        // full factorisation must re-pivot successfully.
+        m.clear();
+        m.add(0, 0, 1e-9);
+        m.add(1, 0, 1.0);
+        m.add(0, 1, 1.0);
+        m.add(1, 1, 10.0);
+        let mut rhs = vec![1.0, 2.0];
+        m.factor_solve(&mut rhs).unwrap();
+        let st = m.stats();
+        assert_eq!(st.pivot_fallbacks, 1);
+        assert_eq!(st.full_factorizations, 2);
+        // Verify the solution against the 2x2 inverse.
+        let (a, b, c, d) = (1e-9, 1.0, 1.0, 10.0);
+        let det = a * d - b * c;
+        let x0 = (d * 1.0 - b * 2.0) / det;
+        let x1 = (-c * 1.0 + a * 2.0) / det;
+        assert!((rhs[0] - x0).abs() < 1e-9 * x0.abs().max(1.0));
+        assert!((rhs[1] - x1).abs() < 1e-9 * x1.abs().max(1.0));
+    }
+
+    #[test]
+    fn dense_counts_factorizations() {
+        let mut m = MnaMatrix::new(LinearSolver::Dense, 2, true);
+        for _ in 0..3 {
+            m.clear();
+            stamp_divider(&mut m);
+            let mut rhs = vec![0.0, 2.0];
+            m.factor_solve(&mut rhs).unwrap();
+        }
+        let st = m.stats();
+        assert_eq!(st.full_factorizations, 3);
+        assert_eq!(st.solves, 3);
+        assert_eq!(st.factor_nnz, 4);
+    }
+
+    #[test]
+    fn stats_equality_ignores_timing() {
+        let a = SolverStats {
+            solves: 3,
+            solve_time_ns: 100,
+            ..Default::default()
+        };
+        let b = SolverStats {
+            solves: 3,
+            solve_time_ns: 999,
+            ..Default::default()
+        };
+        assert_eq!(a, b);
+        assert_ne!(
+            a,
+            SolverStats {
+                solves: 4,
+                ..Default::default()
+            }
+        );
     }
 
     #[test]

@@ -46,6 +46,11 @@ pub struct SimOptions {
     pub max_steps: usize,
     /// Linear-solver backend for the MNA system.
     pub solver: LinearSolver,
+    /// Reuse the cached sparsity pattern and symbolic factorisation across
+    /// Newton iterations and timesteps (sparse backend). Produces
+    /// bitwise-identical results to fresh factorisation; disable only for
+    /// solver debugging / regression comparison.
+    pub reuse_factorization: bool,
     /// Enable local-truncation-error step control: steps whose solution
     /// deviates from a quadratic predictor by more than `lte_tol` are
     /// rejected and halved; smooth stretches grow the step toward `dtmax`.
@@ -69,6 +74,7 @@ impl Default for SimOptions {
             gmin: 1e-12,
             max_steps: 2_000_000,
             solver: LinearSolver::default(),
+            reuse_factorization: true,
             lte_control: false,
             lte_tol: 1e-3,
         }
@@ -109,6 +115,12 @@ impl SimOptions {
     /// Builder-style override of the linear-solver backend.
     pub fn with_solver(mut self, solver: LinearSolver) -> Self {
         self.solver = solver;
+        self
+    }
+
+    /// Builder-style override of factorisation reuse.
+    pub fn with_factor_reuse(mut self, reuse: bool) -> Self {
+        self.reuse_factorization = reuse;
         self
     }
 

@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 
+use crate::matrix::SolverStats;
 use crate::{Result, SimError};
 use sfet_devices::ptm::TransitionEvent;
 use sfet_waveform::Waveform;
@@ -17,6 +18,18 @@ pub struct TranStats {
     pub newton_iterations: usize,
     /// Total PTM phase transitions fired.
     pub ptm_transitions: usize,
+    /// Linear-solver telemetry for the transient Newton loop (the initial
+    /// DC operating point is not included).
+    pub solver: SolverStats,
+}
+
+/// Engine statistics for a DC operating-point solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DcStats {
+    /// Total Newton iterations across all escalation strategies.
+    pub newton_iterations: usize,
+    /// Linear-solver telemetry for the DC solve.
+    pub solver: SolverStats,
 }
 
 /// Result of a transient analysis: sampled node voltages, branch currents,

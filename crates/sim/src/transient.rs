@@ -18,7 +18,7 @@
 
 use std::collections::HashMap;
 
-use crate::dcop::{init_state_from_dc, solve_dc};
+use crate::dcop::{init_state_from_dc, solve_dc, DcWorkspace};
 use crate::devices::{volt, CompiledCircuit, SimDevice, StampMode};
 use crate::matrix::MnaMatrix;
 use crate::options::SimOptions;
@@ -49,7 +49,8 @@ pub fn transient(circuit: &Circuit, tstop: f64, opts: &SimOptions) -> Result<Tra
     circuit.validate()?;
 
     let mut compiled = CompiledCircuit::compile(circuit);
-    let x_dc = solve_dc(&mut compiled, opts)?;
+    let mut dc_ws = DcWorkspace::new(&compiled, opts);
+    let x_dc = solve_dc(&mut compiled, opts, &mut dc_ws)?;
     init_state_from_dc(&mut compiled, &x_dc);
 
     let mut recorder = Recorder::new(&compiled);
@@ -58,7 +59,7 @@ pub fn transient(circuit: &Circuit, tstop: f64, opts: &SimOptions) -> Result<Tra
     let mut stats = TranStats::default();
     let n = compiled.size;
     let node_count = compiled.node_names.len();
-    let mut jac = MnaMatrix::new(opts.solver, n);
+    let mut jac = MnaMatrix::new(opts.solver, n, opts.reuse_factorization);
     let mut rhs = vec![0.0; n];
 
     let mut x = x_dc;
@@ -83,8 +84,13 @@ pub fn transient(circuit: &Circuit, tstop: f64, opts: &SimOptions) -> Result<Tra
         let mut lands_on_corner = false;
         if let Some(bp) = compiled.next_breakpoint(t) {
             let gap = bp - t;
-            if gap > opts.dtmin && gap <= dt_cur {
-                dt_cur = gap;
+            if gap <= dt_cur {
+                // Snap onto the corner. A corner closer than dtmin cannot
+                // be landed on exactly, so step across it with a
+                // dtmin-sized step instead of silently stepping over it
+                // with the full step; either way the corner is treated as
+                // a discontinuity (backward Euler next step).
+                dt_cur = gap.max(opts.dtmin);
                 lands_on_corner = true;
             }
         }
@@ -115,10 +121,19 @@ pub fn transient(circuit: &Circuit, tstop: f64, opts: &SimOptions) -> Result<Tra
             Ok(pair) => pair,
             Err(_) => {
                 stats.steps_rejected += 1;
-                dt = dt_cur / 4.0;
-                if dt < opts.dtmin {
-                    return Err(SimError::NonConvergence { time: t_next, dt });
+                // The predictor history is stale across a rejected solve
+                // followed by a backward-Euler restart.
+                hist.clear();
+                // Give up only after a backward-Euler attempt AT dtmin has
+                // failed; otherwise clamp the quartered retry to dtmin so
+                // the floor step is actually attempted.
+                if method == Method::BackwardEuler && dt_cur <= opts.dtmin * (1.0 + 1e-9) {
+                    return Err(SimError::NonConvergence {
+                        time: t_next,
+                        dt: dt_cur,
+                    });
                 }
+                dt = (dt_cur / 4.0).max(opts.dtmin);
                 force_be = true;
                 continue;
             }
@@ -218,14 +233,22 @@ pub fn transient(circuit: &Circuit, tstop: f64, opts: &SimOptions) -> Result<Tra
 
         recorder.record(t_next, &x_new, &compiled);
         stats.steps_accepted += 1;
-        if hist.len() == 2 {
-            hist.remove(0);
+        if force_be {
+            // The accepted point sits on a discontinuity (source corner or
+            // PTM transition): extrapolating through pre-discontinuity
+            // points would mispredict, so restart the LTE history.
+            hist.clear();
+        } else {
+            if hist.len() == 2 {
+                hist.remove(0);
+            }
+            hist.push((t, x.clone()));
         }
-        hist.push((t, x.clone()));
         x = x_new;
         t = t_next;
     }
 
+    stats.solver = jac.stats();
     Ok(recorder.finish(&compiled, stats))
 }
 
@@ -259,7 +282,8 @@ fn newton_transient(
         for device in &compiled.devices {
             device.stamp(mode, &x, jac, rhs, opts.gmin);
         }
-        let x_next = jac.solve(rhs)?;
+        jac.factor_solve(rhs)?;
+        let x_next: &[f64] = rhs;
 
         let mut max_dx = 0.0f64;
         for (xn, xo) in x_next.iter().zip(&x) {
@@ -575,6 +599,96 @@ mod tests {
         let has = |t0: f64| times.iter().any(|&t| (t - t0).abs() < 1e-18);
         assert!(has(50e-12), "ramp start corner missed");
         assert!(has(60e-12), "ramp end corner missed");
+    }
+
+    /// A Newton failure whose quartered retry would land below `dtmin`
+    /// must clamp to `dtmin` and attempt that floor step (backward Euler)
+    /// before giving up. Here the snapped-to corner step faces a 1 V input
+    /// jump that the damped Newton cannot absorb within the iteration
+    /// budget, but the clamped dtmin-sized retry sees only a ~0.3 V ramp
+    /// segment and converges — previously this returned a spurious
+    /// `NonConvergence`.
+    #[test]
+    fn newton_failure_retries_at_dtmin_floor() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let out = ckt.node("out");
+        let g = Circuit::ground();
+        ckt.add_voltage_source("V1", a, g, SourceWaveform::ramp(0.0, 1.0, 0.0, 1e-15))
+            .unwrap();
+        ckt.add_resistor("R1", a, out, 1e3).unwrap();
+        ckt.add_capacitor("C1", out, g, 1e-15).unwrap(); // tau = 1 ps
+        let opts = SimOptions {
+            dtmin: 0.3e-15,
+            max_newton_step: 0.1,
+            max_newton_iter: 5,
+            ..Default::default()
+        };
+        let tstop = 6e-12;
+        let r = transient(&ckt, tstop, &opts).unwrap();
+        let v = r.voltage("out").unwrap();
+        let got = v.value_at(2e-12);
+        let expect = 1.0 - (-2.0f64).exp();
+        assert!((got - expect).abs() < 0.02, "{got} vs {expect}");
+        assert!(r.stats().steps_rejected > 0, "the corner step must fail");
+    }
+
+    /// A source corner closer than `dtmin` to the current time must be
+    /// stepped across with a dtmin-sized backward-Euler step, not silently
+    /// stepped over with the full-size step. The 0.1 ps ramp here is
+    /// shorter than `dtmin = 0.5 ps`.
+    #[test]
+    fn sub_dtmin_corner_stepped_across() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let out = ckt.node("out");
+        let g = Circuit::ground();
+        ckt.add_voltage_source("V1", a, g, SourceWaveform::ramp(0.0, 1.0, 10e-12, 0.1e-12))
+            .unwrap();
+        ckt.add_resistor("R1", a, out, 1e3).unwrap();
+        ckt.add_capacitor("C1", out, g, 1e-15).unwrap();
+        let opts = SimOptions {
+            dtmin: 0.5e-12,
+            dtmax: 5e-12,
+            ..Default::default()
+        };
+        let tstop = 100e-12;
+        let r = transient(&ckt, tstop, &opts).unwrap();
+        let times = r.times();
+        assert!(
+            times.iter().any(|&t| (t - 10e-12).abs() < 1e-18),
+            "ramp start corner missed"
+        );
+        // The step taken from the ramp-start corner must be the dtmin
+        // floor across the sub-dtmin ramp-end corner, not the full step.
+        assert!(
+            times.iter().any(|&t| t > 10.1e-12 && t <= 10.6e-12 + 1e-18),
+            "sub-dtmin corner stepped over with a full-size step"
+        );
+        assert!(r.voltage("out").unwrap().last_value() > 0.99);
+    }
+
+    /// LTE control across a sharp source corner: the predictor history is
+    /// reset at the discontinuity, so post-corner steps are not rejected
+    /// against an extrapolation through pre-corner points.
+    #[test]
+    fn lte_control_handles_corner_discontinuity() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let out = ckt.node("out");
+        let g = Circuit::ground();
+        ckt.add_voltage_source("V1", a, g, SourceWaveform::ramp(0.0, 1.0, 50e-12, 1e-15))
+            .unwrap();
+        ckt.add_resistor("R1", a, out, 1e3).unwrap();
+        ckt.add_capacitor("C1", out, g, 2e-15).unwrap(); // tau = 2 ps
+        let tstop = 70e-12;
+        let opts = SimOptions::for_duration(tstop, 2000).with_lte(1e-3);
+        let r = transient(&ckt, tstop, &opts).unwrap();
+        let v = r.voltage("out").unwrap();
+        // 4 tau after the corner: (1 - e^-4) of the step.
+        let got = v.value_at(58e-12);
+        let expect = 1.0 - (-4.0f64).exp();
+        assert!((got - expect).abs() < 0.02, "{got} vs {expect}");
     }
 
     #[test]

@@ -11,8 +11,9 @@ pub struct DroopReport {
     pub droop: f64,
     /// Worst overshoot above nominal (≥ 0) \[V\].
     pub overshoot: f64,
-    /// Time of the worst undershoot \[s\].
-    pub t_droop: f64,
+    /// Time of the worst undershoot \[s\]; `None` when the rail never dips
+    /// below nominal (no droop to locate).
+    pub t_droop: Option<f64>,
     /// Peak-to-peak excursion \[V\].
     pub peak_to_peak: f64,
 }
@@ -36,11 +37,12 @@ pub struct DroopReport {
 pub fn droop(rail: &Waveform, nominal: f64) -> DroopReport {
     let (t_min, v_min) = rail.min();
     let (_, v_max) = rail.max();
+    let droop = (nominal - v_min).max(0.0);
     DroopReport {
         nominal,
-        droop: (nominal - v_min).max(0.0),
+        droop,
         overshoot: (v_max - nominal).max(0.0),
-        t_droop: t_min,
+        t_droop: (droop > 0.0).then_some(t_min),
         peak_to_peak: v_max - v_min,
     }
 }
@@ -65,6 +67,7 @@ mod tests {
         assert_eq!(r.droop, 0.0);
         assert_eq!(r.overshoot, 0.0);
         assert_eq!(r.peak_to_peak, 0.0);
+        assert_eq!(r.t_droop, None, "no droop, no droop time");
     }
 
     #[test]
@@ -72,7 +75,7 @@ mod tests {
         let w =
             Waveform::from_samples(vec![0.0, 1.0, 2.0, 3.0], vec![1.0, 0.98, 0.9, 0.99]).unwrap();
         let r = droop(&w, 1.0);
-        assert_eq!(r.t_droop, 2.0);
+        assert_eq!(r.t_droop, Some(2.0));
         assert!((r.droop - 0.1).abs() < 1e-12);
     }
 
