@@ -4,8 +4,11 @@
 //! capacitor, driven by a voltage ramp. The capacitor voltage rises in a
 //! staircase — slow insulating segments punctuated by fast metallic
 //! catch-ups — and finally settles to the input level.
+//!
+//! Pass `--trace <path>` to record the solver's telemetry event stream
+//! to a JSONL file (and a summary table to stderr).
 
-use sfet_bench::{banner, save_csv};
+use sfet_bench::{banner, save_csv, telemetry_from_args};
 use sfet_circuit::{Circuit, SourceWaveform};
 use sfet_devices::ptm::PtmParams;
 use sfet_sim::{transient, SimOptions};
@@ -30,7 +33,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ckt.add_capacitor("C1", vc, gnd, c_load)?;
 
     let tstop = 2.5e-9;
-    let result = transient(&ckt, tstop, &SimOptions::for_duration(tstop, 5000))?;
+    let opts = SimOptions::for_duration(tstop, 5000).with_telemetry(telemetry_from_args());
+    let result = transient(&ckt, tstop, &opts)?;
 
     let v_in = result.voltage("in")?;
     let v_c = result.voltage("vc")?;

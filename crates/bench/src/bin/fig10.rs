@@ -1,10 +1,17 @@
 //! Fig. 10 — Soft-FET power gate: supply-droop mitigation on a shared
 //! rail during domain wake-up.
+//!
+//! Pass `--trace <path>` to record the solver's telemetry event stream
+//! for the baseline + Soft-FET wake-ups to a JSONL file (and a summary
+//! table to stderr). The ramp sweep at the end runs untraced — its tasks
+//! execute in parallel, and the headline comparison is the interesting
+//! trace.
 
-use sfet_bench::{banner, save_csv, save_rows};
+use sfet_bench::{banner, save_csv, save_rows, telemetry_from_args};
 use sfet_devices::ptm::PtmParams;
 use sfet_pdn::power_gate::{wake_ramp_sweep, PowerGateScenario};
-use softfet::power_gate::compare_power_gate;
+use sfet_sim::SimOptions;
+use softfet::power_gate::compare_power_gate_with_options;
 use softfet::report::{fmt_si, Table};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -23,7 +30,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         fmt_si(scenario.i_active, "A"),
     );
 
-    let cmp = compare_power_gate(&scenario, PtmParams::vo2_default())?;
+    let opts =
+        SimOptions::for_duration(scenario.t_stop, 4000).with_telemetry(telemetry_from_args());
+    let cmp = compare_power_gate_with_options(&scenario, PtmParams::vo2_default(), &opts)?;
 
     let mut table = Table::new(&["metric", "baseline PG", "soft-FET PG", "improvement"]);
     table.add_row(vec![

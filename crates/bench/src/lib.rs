@@ -112,6 +112,43 @@ pub mod legacy {
     }
 }
 
+/// Builds a telemetry handle from a `--trace <path>` command-line flag.
+///
+/// When the invoking binary was passed `--trace trace.jsonl`, the
+/// returned handle records [`sfet_telemetry::Level::Step`]-level events
+/// to that file as JSONL and prints the aggregate summary table to
+/// stderr when the process exits. Without the flag, the disabled
+/// (zero-cost) handle is returned. Exits with status 2 on a malformed
+/// flag or an uncreatable file — these binaries have no other CLI
+/// surface to report through.
+pub fn telemetry_from_args() -> sfet_telemetry::Telemetry {
+    use sfet_telemetry::{JsonlSink, Level, SummarySink, Tee, Telemetry};
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg != "--trace" {
+            continue;
+        }
+        let Some(path) = args.next() else {
+            eprintln!("--trace requires a file path");
+            std::process::exit(2);
+        };
+        let file = match std::fs::File::create(&path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("--trace: cannot create {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        println!("  [trace] {path}");
+        let tee = Tee::new()
+            .with(JsonlSink::new(std::io::BufWriter::new(file)))
+            .with(SummarySink::new(std::io::stderr()));
+        return Telemetry::with_level(tee, Level::Step);
+    }
+    Telemetry::disabled()
+}
+
 /// Prints the standard experiment banner.
 pub fn banner(fig: &str, title: &str) {
     println!("==========================================================");

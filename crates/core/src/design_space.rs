@@ -345,10 +345,10 @@ pub fn optimal_vimt_vs_vcc_with(
 pub struct TemperaturePoint {
     /// Ambient temperature [°C].
     pub celsius: f64,
-    /// Soft-FET peak current with the temperature-adjusted PTM [A].
+    /// Soft-FET peak current with the temperature-adjusted PTM \[A\].
     pub i_max_soft: f64,
     /// Baseline peak current (temperature model applies to the PTM only;
-    /// the MOSFET cards stay at their nominal corner) [A].
+    /// the MOSFET cards stay at their nominal corner) \[A\].
     pub i_max_base: f64,
     /// Peak-current reduction, percent.
     pub reduction_pct: f64,

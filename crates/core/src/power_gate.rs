@@ -3,6 +3,7 @@
 use crate::Result;
 use sfet_devices::ptm::PtmParams;
 use sfet_pdn::power_gate::{PowerGateOutcome, PowerGateScenario};
+use sfet_sim::SimOptions;
 
 /// Baseline vs Soft-FET power-gate wake-up on the same PDN.
 #[derive(Debug, Clone)]
@@ -59,13 +60,33 @@ pub fn compare_power_gate(
     scenario: &PowerGateScenario,
     logic_ptm: PtmParams,
 ) -> Result<PowerGateComparison> {
+    compare_power_gate_with_options(
+        scenario,
+        logic_ptm,
+        &SimOptions::for_duration(scenario.t_stop, 4000),
+    )
+}
+
+/// [`compare_power_gate`] under explicit simulator options — attach a
+/// telemetry sink via [`SimOptions::with_telemetry`] to trace both runs
+/// into one stream (the baseline transient completes before the Soft-FET
+/// one begins, so the two `transient` spans never interleave).
+///
+/// # Errors
+///
+/// Propagates scenario and simulation failures.
+pub fn compare_power_gate_with_options(
+    scenario: &PowerGateScenario,
+    logic_ptm: PtmParams,
+    opts: &SimOptions,
+) -> Result<PowerGateComparison> {
     let baseline_scenario = PowerGateScenario {
         ptm: None,
         ..scenario.clone()
     };
     let soft_scenario = scenario.with_soft_fet(logic_ptm);
-    let baseline = baseline_scenario.run()?;
-    let soft = soft_scenario.run()?;
+    let baseline = baseline_scenario.run_with(opts)?;
+    let soft = soft_scenario.run_with(opts)?;
     Ok(PowerGateComparison { baseline, soft })
 }
 

@@ -112,7 +112,7 @@ pub struct Bencher {
 }
 
 impl Bencher {
-    /// Runs `f` once to warm up, then [`TIMED_ITERS`] timed iterations.
+    /// Runs `f` once to warm up, then `TIMED_ITERS` timed iterations.
     pub fn iter<O, F>(&mut self, mut f: F)
     where
         F: FnMut() -> O,

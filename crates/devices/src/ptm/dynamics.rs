@@ -48,6 +48,15 @@ pub struct TransitionEvent {
     pub to: PtmPhase,
 }
 
+impl TransitionEvent {
+    /// `true` for an insulator→metal transition (IMT), `false` for
+    /// metal→insulator (MIT). The telemetry layer uses this to split
+    /// the `ptm.imt_events` / `ptm.mit_events` counters.
+    pub fn is_imt(&self) -> bool {
+        self.to == PtmPhase::Metallic
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct Transition {
     start: f64,

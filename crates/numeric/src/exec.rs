@@ -43,6 +43,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use sfet_telemetry::{names, Level, Telemetry};
+
 /// Environment variable overriding the worker count for all sweeps.
 pub const THREADS_ENV: &str = "SFET_THREADS";
 
@@ -57,6 +59,7 @@ pub struct ExecConfig {
     workers: Option<usize>,
     chunk: Option<usize>,
     progress: Option<Arc<ProgressFn>>,
+    telemetry: Telemetry,
 }
 
 impl fmt::Debug for ExecConfig {
@@ -65,6 +68,7 @@ impl fmt::Debug for ExecConfig {
             .field("workers", &self.workers)
             .field("chunk", &self.chunk)
             .field("progress", &self.progress.as_ref().map(|_| "<callback>"))
+            .field("telemetry", &self.telemetry)
             .finish()
     }
 }
@@ -106,6 +110,22 @@ impl ExecConfig {
     pub fn on_progress(mut self, progress: Arc<ProgressFn>) -> Self {
         self.progress = Some(progress);
         self
+    }
+
+    /// Attaches a telemetry handle. Each sweep then emits one
+    /// `exec.par_map` span plus `exec.tasks_total` / `exec.tasks_completed`
+    /// counters — all from the *coordinator* thread after the join, so the
+    /// event order is independent of worker scheduling (and of the worker
+    /// count itself).
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The telemetry handle attached to this configuration (disabled by
+    /// default).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The worker count this configuration resolves to for `n_items` tasks.
@@ -251,6 +271,7 @@ where
         return (Ok(Vec::new()), stats);
     }
 
+    let span = config.telemetry.span(Level::Analysis, names::SPAN_PAR_MAP);
     let (result, completed, busy) = if workers == 1 {
         run_serial(config, items, &f)
     } else {
@@ -259,6 +280,15 @@ where
     stats.tasks_completed = completed;
     stats.busy = busy;
     stats.wall = start.elapsed();
+    // Emitted post-join from this (the coordinator) thread only: the event
+    // sequence is identical for any worker count.
+    config
+        .telemetry
+        .counter(names::EXEC_TASKS_TOTAL, stats.tasks_total as u64);
+    config
+        .telemetry
+        .counter(names::EXEC_TASKS_COMPLETED, stats.tasks_completed as u64);
+    drop(span);
     (result, stats)
 }
 

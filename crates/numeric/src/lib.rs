@@ -1,8 +1,9 @@
 //! Numerical kernels underpinning the Soft-FET circuit-simulation stack.
 //!
-//! This crate is self-contained (no dependencies beyond `std`) and provides
-//! the linear-algebra and nonlinear-solver machinery that the MNA simulator
-//! in `sfet-sim` is built on:
+//! This crate depends only on `std` and the in-workspace `sfet-telemetry`
+//! observability layer, and provides the linear-algebra and
+//! nonlinear-solver machinery that the MNA simulator in `sfet-sim` is
+//! built on:
 //!
 //! * [`dense`] — column-major dense matrices with partial-pivoting LU
 //!   factorisation, the workhorse for cell-level circuits (tens of nodes).
@@ -21,8 +22,9 @@
 //! * [`stats`] — descriptive statistics for sweep / Monte-Carlo results.
 //! * [`exec`] — the deterministic parallel sweep engine: order-preserving
 //!   `par_map` over scoped threads with lock-free result slots,
-//!   cancel-on-first-error, `SFET_THREADS` worker override, and per-task
-//!   SplitMix64 seed derivation.
+//!   cancel-on-first-error, `SFET_THREADS` worker override, per-task
+//!   SplitMix64 seed derivation, and optional telemetry
+//!   ([`ExecConfig::with_telemetry`](exec::ExecConfig::with_telemetry)).
 //!
 //! # Example
 //!
@@ -41,6 +43,8 @@
 //! # Ok(())
 //! # }
 //! ```
+
+#![warn(missing_docs)]
 
 pub mod dense;
 pub mod exec;

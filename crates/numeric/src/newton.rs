@@ -161,6 +161,31 @@ pub fn solve<S: Linearize + ?Sized>(
     })
 }
 
+/// [`solve`], instrumented: on success emits the `newton.solves` and
+/// `newton.iterations` counters (see `sfet_telemetry::names`) to
+/// `telemetry`.
+///
+/// With a disabled handle this is exactly [`solve`] — the emission calls
+/// are no-op early returns, so the hot loop stays allocation-free.
+///
+/// # Errors
+///
+/// Same as [`solve`].
+pub fn solve_with_telemetry<S: Linearize + ?Sized>(
+    system: &mut S,
+    x0: &[f64],
+    opts: &NewtonOptions,
+    telemetry: &sfet_telemetry::Telemetry,
+) -> Result<NewtonSolution> {
+    let solution = solve(system, x0, opts)?;
+    telemetry.counter(sfet_telemetry::names::NEWTON_SOLVES, 1);
+    telemetry.counter(
+        sfet_telemetry::names::NEWTON_ITERATIONS,
+        solution.iterations as u64,
+    );
+    Ok(solution)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

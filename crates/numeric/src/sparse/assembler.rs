@@ -21,8 +21,8 @@
 
 use super::CscMatrix;
 
-/// A reusable stamp-sequence → CSC compiler. See the [module
-/// docs](self) for the caching contract.
+/// A reusable stamp-sequence → CSC compiler. See the module docs
+/// (`sparse::assembler`) for the caching contract.
 ///
 /// # Example
 ///

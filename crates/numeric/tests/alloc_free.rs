@@ -10,6 +10,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use sfet_numeric::dense::{DenseMatrix, LuFactors};
 use sfet_numeric::sparse::TripletMatrix;
+use sfet_telemetry::{names, Level, Telemetry};
 
 struct CountingAlloc;
 
@@ -118,4 +119,24 @@ fn refactor_solve_hot_path_is_allocation_free() {
     });
     assert_eq!(sparse_allocs, 0, "sparse refactor/solve loop allocated");
     assert!(b.iter().all(|v| v.is_finite()));
+
+    // --- Disabled telemetry inside the hot loop. ---
+    // The simulator calls counter/histogram/span at every Newton iteration;
+    // with the default (disabled) handle these must be no-op early returns
+    // — no clock reads, no locks, and, asserted here, no heap traffic.
+    let telemetry = Telemetry::disabled();
+    let telemetry_allocs = min_allocations(|| {
+        for k in 0..200u32 {
+            a.set(0, 0, 4.0 + f64::from(k) * 1e-3);
+            let span = telemetry.span(Level::Iteration, names::SPAN_NEWTON_ITER);
+            factors.refactor(&a).unwrap();
+            telemetry.counter(names::NEWTON_ITERATIONS, 1);
+            telemetry.histogram(names::H_TRAN_DT, f64::from(k) * 1e-12);
+            drop(span);
+        }
+    });
+    assert_eq!(
+        telemetry_allocs, 0,
+        "disabled telemetry must not touch the heap in the hot loop"
+    );
 }

@@ -188,13 +188,27 @@ impl PowerGateScenario {
 
     /// Runs the scenario and measures the outcome.
     ///
+    /// Equivalent to [`PowerGateScenario::run_with`] with the default
+    /// options for this duration (4000 nominal points, telemetry
+    /// disabled).
+    ///
     /// # Errors
     ///
     /// Propagates build, simulation, and measurement failures.
     pub fn run(&self) -> Result<PowerGateOutcome> {
+        self.run_with(&SimOptions::for_duration(self.t_stop, 4000))
+    }
+
+    /// Runs the scenario under explicit simulator options — the hook for
+    /// attaching telemetry ([`SimOptions::with_telemetry`]) or tightening
+    /// tolerances without rebuilding the circuit by hand.
+    ///
+    /// # Errors
+    ///
+    /// Propagates build, simulation, and measurement failures.
+    pub fn run_with(&self, opts: &SimOptions) -> Result<PowerGateOutcome> {
         let ckt = self.build()?;
-        let opts = SimOptions::for_duration(self.t_stop, 4000);
-        let result = transient(&ckt, self.t_stop, &opts)?;
+        let result = transient(&ckt, self.t_stop, opts)?;
 
         let rail = result.voltage(&PdnParams::rail_node_name("vdd"))?;
         let v_virtual = result.voltage("vvdd")?;

@@ -4,7 +4,7 @@
 //! The build environment for this workspace has no network access, so the
 //! real `proptest` cannot be fetched from crates.io. This crate implements
 //! the subset of its API that the workspace's property tests actually use —
-//! deterministically seeded generation, the [`Strategy`] trait with
+//! deterministically seeded generation, the [`Strategy`](strategy::Strategy) trait with
 //! `prop_map` / `prop_flat_map`, range / tuple / collection / regex-string
 //! strategies, and the `proptest!` / `prop_assert!` family of macros.
 //!

@@ -27,9 +27,11 @@ use crate::dcop::{solve_dc, DcWorkspace};
 use crate::devices::{volt, CompiledCircuit, SimDevice};
 use crate::matrix::MnaMatrix;
 use crate::options::SimOptions;
+use crate::trace;
 use crate::{Result, SimError};
 use sfet_circuit::Circuit;
 use sfet_devices::mosfet;
+use sfet_telemetry::{names, Level};
 
 /// A complex phasor value.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -112,9 +114,13 @@ pub fn ac_sweep(
             "AC sweep needs a non-empty list of positive frequencies".into(),
         ));
     }
+    let sweep_span = opts.telemetry.span(Level::Analysis, names::SPAN_AC_SWEEP);
     let mut compiled = CompiledCircuit::compile(circuit);
     let mut dc_ws = DcWorkspace::new(&compiled, opts);
     let x_op = solve_dc(&mut compiled, opts, &mut dc_ws)?;
+    // The operating-point solve reports under `dc.*`; the frequency loop's
+    // bordered-real solves report under `ac.solver.*` below.
+    trace::emit_dc_stats(&opts.telemetry, &dc_ws.stats());
     let n = compiled.size;
 
     // Assemble G, C and the stimulus once (frequency-independent).
@@ -160,6 +166,9 @@ pub fn ac_sweep(
             });
         }
     }
+
+    trace::emit_solver_stats(&opts.telemetry, "ac", &m.stats());
+    drop(sweep_span);
 
     Ok(AcSweepResult {
         freqs: freqs.to_vec(),

@@ -15,8 +15,10 @@ use crate::devices::{CompiledCircuit, SimDevice, StampMode};
 use crate::matrix::MnaMatrix;
 use crate::options::SimOptions;
 use crate::result::DcStats;
+use crate::trace;
 use crate::{Result, SimError};
 use sfet_circuit::Circuit;
+use sfet_telemetry::{names, Level};
 
 /// Reusable DC solver workspace: the MNA matrix (with its cached sparsity
 /// pattern and factors) plus the RHS buffer, shared across Newton calls so
@@ -60,21 +62,47 @@ pub fn dc_operating_point(circuit: &Circuit, opts: &SimOptions) -> Result<Vec<f6
 }
 
 /// Like [`dc_operating_point`], but also returns engine statistics
-/// (Newton iteration count and linear-solver telemetry).
+/// (Newton iteration count and linear-solver counters).
+///
+/// With telemetry attached ([`SimOptions::with_telemetry`]), the solve is
+/// wrapped in a `dc` span and the returned [`DcStats`] totals are emitted
+/// as `dc.*` counters.
 ///
 /// # Errors
 ///
 /// Same as [`dc_operating_point`].
+///
+/// # Example
+///
+/// ```
+/// use sfet_circuit::{Circuit, SourceWaveform};
+/// use sfet_sim::{dc_operating_point_with_stats, SimOptions};
+///
+/// # fn main() -> Result<(), sfet_sim::SimError> {
+/// let mut ckt = Circuit::new();
+/// let a = ckt.node("a");
+/// ckt.add_voltage_source("V1", a, Circuit::ground(), SourceWaveform::Dc(1.0))?;
+/// ckt.add_resistor("R1", a, Circuit::ground(), 1e3)?;
+/// let (x, stats) = dc_operating_point_with_stats(&ckt, &SimOptions::default())?;
+/// assert!((x[0] - 1.0).abs() < 1e-9);
+/// assert!(stats.newton_iterations > 0);
+/// assert!(stats.solver.solves > 0);
+/// # Ok(())
+/// # }
+/// ```
 pub fn dc_operating_point_with_stats(
     circuit: &Circuit,
     opts: &SimOptions,
 ) -> Result<(Vec<f64>, DcStats)> {
     opts.validate()?;
     circuit.validate()?;
+    let span = opts.telemetry.span(Level::Analysis, names::SPAN_DC);
     let mut compiled = CompiledCircuit::compile(circuit);
     let mut ws = DcWorkspace::new(&compiled, opts);
     let x = solve_dc(&mut compiled, opts, &mut ws)?;
     let stats = ws.stats();
+    trace::emit_dc_stats(&opts.telemetry, &stats);
+    drop(span);
     Ok((x, stats))
 }
 
@@ -95,8 +123,10 @@ pub(crate) fn solve_dc(
     // Strategy 2: gmin stepping.
     let mut x = x0.clone();
     let mut ok = true;
+    let mut gmin_steps = 0u64;
     for k in 0..=6 {
         let shunt = 1e-1 * 10f64.powi(-(2 * k));
+        gmin_steps += 1;
         match newton_dc(compiled, &x, 1.0, shunt, opts, ws) {
             Ok(next) => x = next,
             Err(_) => {
@@ -105,6 +135,7 @@ pub(crate) fn solve_dc(
             }
         }
     }
+    opts.telemetry.counter(names::DC_GMIN_STEPS, gmin_steps);
     if ok {
         if let Ok(x) = newton_dc(compiled, &x, 1.0, 0.0, opts, ws) {
             return Ok(x);
@@ -115,6 +146,7 @@ pub(crate) fn solve_dc(
     let mut x = x0;
     for k in 1..=20 {
         let scale = k as f64 / 20.0;
+        opts.telemetry.counter(names::DC_SOURCE_STEPS, 1);
         x = newton_dc(compiled, &x, scale, 0.0, opts, ws)
             .map_err(|_| SimError::NonConvergence { time: 0.0, dt: 0.0 })?;
     }
@@ -180,7 +212,7 @@ pub(crate) fn newton_dc(
 }
 
 /// Initialises companion histories and PTM step state from a DC solution.
-pub(crate) fn init_state_from_dc(compiled: &mut CompiledCircuit, x: &[f64]) {
+pub(crate) fn init_state_from_dc(compiled: &mut CompiledCircuit, x: &[f64], opts: &SimOptions) {
     for device in &mut compiled.devices {
         device.init_history(x);
         device.prepare_step(0.0);
@@ -200,7 +232,9 @@ pub(crate) fn init_state_from_dc(compiled: &mut CompiledCircuit, x: &[f64]) {
             let v = crate::devices::volt(x, *p) - crate::devices::volt(x, *n);
             if let Some(excess) = state.threshold_excess(v) {
                 if excess >= 0.0 {
-                    events.push(state.fire(0.0));
+                    let event = state.fire(0.0);
+                    trace::emit_ptm_event(&opts.telemetry, &event);
+                    events.push(event);
                 }
             }
         }

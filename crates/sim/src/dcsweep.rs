@@ -13,8 +13,10 @@ use std::collections::HashMap;
 use crate::dcop::{newton_dc, DcWorkspace};
 use crate::devices::{volt, CompiledCircuit, SimDevice};
 use crate::options::SimOptions;
+use crate::trace;
 use crate::{Result, SimError};
 use sfet_circuit::{Circuit, SourceWaveform};
+use sfet_telemetry::{names, Level};
 use sfet_waveform::Waveform;
 
 /// Result of a DC sweep: one operating point per swept value.
@@ -106,6 +108,7 @@ pub fn dc_sweep(
 
     // One solver workspace for the whole sweep: the compiled sparsity
     // pattern and symbolic factorisation carry across bias points.
+    let sweep_span = opts.telemetry.span(Level::Analysis, names::SPAN_DC_SWEEP);
     let mut ws = DcWorkspace::new(&compiled, opts);
     let mut x = vec![0.0; compiled.size];
     let mut warm = false;
@@ -133,7 +136,9 @@ pub fn dc_sweep(
                 {
                     let v = volt(&solved, *p) - volt(&solved, *n);
                     if state.threshold_excess(v).is_some_and(|e| e >= 0.0) {
-                        events.push(state.fire(0.0));
+                        let event = state.fire(0.0);
+                        trace::emit_ptm_event(&opts.telemetry, &event);
+                        events.push(event);
                         state.update(state.params().t_ptm); // instant completion
                         fired = true;
                     }
@@ -157,6 +162,9 @@ pub fn dc_sweep(
             col.push(x[nc + j]);
         }
     }
+
+    trace::emit_dc_stats(&opts.telemetry, &ws.stats());
+    drop(sweep_span);
 
     Ok(DcSweepResult {
         swept: points.to_vec(),

@@ -32,6 +32,18 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Observability
+//!
+//! Every analysis accepts a telemetry handle via
+//! [`SimOptions::with_telemetry`]: spans bracket each analysis (and, at
+//! finer levels, each timestep and Newton iteration), while counters and
+//! histograms mirror the [`TranStats`] / [`DcStats`] / [`SolverStats`]
+//! totals the analyses return. With the default (disabled) handle all
+//! instrumentation points are no-op early returns. See `docs/TELEMETRY.md`
+//! for the event schema.
+
+#![warn(missing_docs)]
 
 mod acsweep;
 mod dcop;
@@ -41,6 +53,7 @@ mod error;
 mod matrix;
 mod options;
 mod result;
+mod trace;
 mod transient;
 
 pub use acsweep::{ac_sweep, AcSweepResult, Phasor};

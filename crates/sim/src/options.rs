@@ -3,6 +3,7 @@
 use crate::matrix::LinearSolver;
 use crate::{Result, SimError};
 use sfet_numeric::integrate::Method;
+use sfet_telemetry::Telemetry;
 
 /// Tolerances and controls for DC and transient analysis.
 ///
@@ -57,6 +58,12 @@ pub struct SimOptions {
     pub lte_control: bool,
     /// Voltage tolerance for LTE control \[V\].
     pub lte_tol: f64,
+    /// Telemetry handle events are emitted through. Disabled by default;
+    /// when disabled every instrumentation point is a no-op early return
+    /// (verified allocation-free by `sfet-numeric`'s counting-allocator
+    /// test). Note `SimOptions` equality compares only whether telemetry
+    /// is enabled, not where it goes (see [`Telemetry`]'s `PartialEq`).
+    pub telemetry: Telemetry,
 }
 
 impl Default for SimOptions {
@@ -77,6 +84,7 @@ impl Default for SimOptions {
             reuse_factorization: true,
             lte_control: false,
             lte_tol: 1e-3,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -129,6 +137,24 @@ impl SimOptions {
     pub fn with_lte(mut self, lte_tol: f64) -> Self {
         self.lte_control = true;
         self.lte_tol = lte_tol;
+        self
+    }
+
+    /// Builder-style attachment of a telemetry handle: every analysis run
+    /// with these options emits spans, counters, and histograms to it.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use sfet_sim::SimOptions;
+    /// use sfet_telemetry::{SharedAggregator, Telemetry};
+    ///
+    /// let agg = SharedAggregator::new();
+    /// let opts = SimOptions::default().with_telemetry(Telemetry::new(agg.clone()));
+    /// assert!(opts.telemetry.is_enabled());
+    /// ```
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
         self
     }
 

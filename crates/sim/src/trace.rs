@@ -1,0 +1,63 @@
+//! Telemetry emission helpers shared by the analysis engines.
+//!
+//! The engines keep their hot loops telemetry-free by accumulating into
+//! the existing stats structs ([`TranStats`], [`DcStats`],
+//! [`SolverStats`]) and emitting counters **from those structs at the
+//! analysis boundary** — which also guarantees, by construction, that a
+//! trace's counter totals agree with the stats the caller receives.
+
+use crate::matrix::SolverStats;
+use crate::result::{DcStats, TranStats};
+use sfet_devices::ptm::TransitionEvent;
+use sfet_telemetry::{names, Telemetry};
+
+/// Emits one linear-solver counter set under `prefix` (`"dc"`, `"tran"`,
+/// or `"ac"`), e.g. `tran.solver.refactorizations`.
+pub(crate) fn emit_solver_stats(tel: &Telemetry, prefix: &str, stats: &SolverStats) {
+    if !tel.is_enabled() {
+        return;
+    }
+    let emit = |suffix: &str, value: u64| {
+        tel.counter(&format!("{prefix}.{suffix}"), value);
+    };
+    emit(names::SOLVER_FULL_FACTORIZATIONS, stats.full_factorizations);
+    emit(names::SOLVER_REFACTORIZATIONS, stats.refactorizations);
+    emit(names::SOLVER_SOLVES, stats.solves);
+    emit(names::SOLVER_PATTERN_REBUILDS, stats.pattern_rebuilds);
+    emit(names::SOLVER_PIVOT_FALLBACKS, stats.pivot_fallbacks);
+}
+
+/// Emits the transient counter set (totals equal the [`TranStats`] the
+/// run returns) plus its solver counters under the `tran.` prefix.
+pub(crate) fn emit_tran_stats(tel: &Telemetry, stats: &TranStats) {
+    if !tel.is_enabled() {
+        return;
+    }
+    tel.counter(names::TRAN_STEPS_ACCEPTED, stats.steps_accepted as u64);
+    tel.counter(names::TRAN_STEPS_REJECTED, stats.steps_rejected as u64);
+    tel.counter(
+        names::TRAN_NEWTON_ITERATIONS,
+        stats.newton_iterations as u64,
+    );
+    tel.counter(names::TRAN_PTM_TRANSITIONS, stats.ptm_transitions as u64);
+    emit_solver_stats(tel, "tran", &stats.solver);
+}
+
+/// Emits the DC counter set (totals equal [`DcStats`]) plus its solver
+/// counters under the `dc.` prefix.
+pub(crate) fn emit_dc_stats(tel: &Telemetry, stats: &DcStats) {
+    if !tel.is_enabled() {
+        return;
+    }
+    tel.counter(names::DC_NEWTON_ITERATIONS, stats.newton_iterations as u64);
+    emit_solver_stats(tel, "dc", &stats.solver);
+}
+
+/// Emits the IMT-or-MIT counter for one fired PTM transition.
+pub(crate) fn emit_ptm_event(tel: &Telemetry, event: &TransitionEvent) {
+    if event.is_imt() {
+        tel.counter(names::PTM_IMT_EVENTS, 1);
+    } else {
+        tel.counter(names::PTM_MIT_EVENTS, 1);
+    }
+}

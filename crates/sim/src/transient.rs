@@ -23,9 +23,11 @@ use crate::devices::{volt, CompiledCircuit, SimDevice, StampMode};
 use crate::matrix::MnaMatrix;
 use crate::options::SimOptions;
 use crate::result::{TranResult, TranStats};
+use crate::trace;
 use crate::{Result, SimError};
 use sfet_circuit::Circuit;
 use sfet_numeric::integrate::Method;
+use sfet_telemetry::{names, Level};
 
 /// Runs a transient analysis from `t = 0` to `tstop`.
 ///
@@ -48,10 +50,14 @@ pub fn transient(circuit: &Circuit, tstop: f64, opts: &SimOptions) -> Result<Tra
     }
     circuit.validate()?;
 
+    let run_span = opts.telemetry.span(Level::Analysis, names::SPAN_TRANSIENT);
     let mut compiled = CompiledCircuit::compile(circuit);
     let mut dc_ws = DcWorkspace::new(&compiled, opts);
     let x_dc = solve_dc(&mut compiled, opts, &mut dc_ws)?;
-    init_state_from_dc(&mut compiled, &x_dc);
+    // The initial operating point reports under the `dc.*` namespace; it
+    // is deliberately excluded from `TranStats`/`tran.*`.
+    trace::emit_dc_stats(&opts.telemetry, &dc_ws.stats());
+    init_state_from_dc(&mut compiled, &x_dc, opts);
 
     let mut recorder = Recorder::new(&compiled);
     recorder.record(0.0, &x_dc, &compiled);
@@ -78,6 +84,9 @@ pub fn transient(circuit: &Circuit, tstop: f64, opts: &SimOptions) -> Result<Tra
                 steps: attempts,
             });
         }
+        // Dropped at every exit from this loop body (accept or any of the
+        // rejection `continue`s), closing the step-attempt span.
+        let _step_span = opts.telemetry.span(Level::Step, names::SPAN_TIMESTEP);
 
         // --- Choose the step size. ---
         let mut dt_cur = dt.min(opts.dtmax).min(tstop - t);
@@ -153,6 +162,7 @@ pub fn transient(circuit: &Circuit, tstop: f64, opts: &SimOptions) -> Result<Tra
             }
             if err > opts.lte_tol && dt_cur > 4.0 * opts.dtmin {
                 stats.steps_rejected += 1;
+                opts.telemetry.counter(names::TRAN_LTE_REJECTIONS, 1);
                 dt = dt_cur * 0.5;
                 continue;
             }
@@ -201,7 +211,9 @@ pub fn transient(circuit: &Circuit, tstop: f64, opts: &SimOptions) -> Result<Tra
                 let v = volt(&x_new, *p) - volt(&x_new, *n);
                 if let Some(excess) = state.threshold_excess(v) {
                     if excess >= 0.0 {
-                        events.push(state.fire(t_next));
+                        let event = state.fire(t_next);
+                        trace::emit_ptm_event(&opts.telemetry, &event);
+                        events.push(event);
                         stats.ptm_transitions += 1;
                         fired = true;
                     }
@@ -233,6 +245,16 @@ pub fn transient(circuit: &Circuit, tstop: f64, opts: &SimOptions) -> Result<Tra
 
         recorder.record(t_next, &x_new, &compiled);
         stats.steps_accepted += 1;
+        if opts.telemetry.is_enabled() {
+            opts.telemetry.histogram(names::H_TRAN_DT, dt_cur);
+            opts.telemetry
+                .histogram(names::H_TRAN_STEP_ITERS, iters as f64);
+            if dt > dt_cur {
+                opts.telemetry.counter(names::TRAN_DT_GROWTHS, 1);
+            } else if dt < dt_cur {
+                opts.telemetry.counter(names::TRAN_DT_SHRINKS, 1);
+            }
+        }
         if force_be {
             // The accepted point sits on a discontinuity (source corner or
             // PTM transition): extrapolating through pre-discontinuity
@@ -249,6 +271,8 @@ pub fn transient(circuit: &Circuit, tstop: f64, opts: &SimOptions) -> Result<Tra
     }
 
     stats.solver = jac.stats();
+    trace::emit_tran_stats(&opts.telemetry, &stats);
+    drop(run_span);
     Ok(recorder.finish(&compiled, stats))
 }
 
@@ -277,6 +301,9 @@ fn newton_transient(
     let mode = StampMode::Transient { t_next, dt, method };
     let mut x = x0.to_vec();
     for iter in 1..=opts.max_newton_iter {
+        let _iter_span = opts
+            .telemetry
+            .span(Level::Iteration, names::SPAN_NEWTON_ITER);
         jac.clear();
         rhs.iter_mut().for_each(|v| *v = 0.0);
         for device in &compiled.devices {

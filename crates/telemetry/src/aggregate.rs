@@ -1,0 +1,484 @@
+//! In-memory aggregation sinks: [`Aggregator`], its thread-shareable
+//! wrapper [`SharedAggregator`], the end-of-run [`SummarySink`], and the
+//! fan-out [`Tee`].
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use crate::event::{Event, TelemetrySink};
+
+/// Running summary of one histogram: count, sum, and extrema.
+///
+/// Deliberately moment-based rather than bucketed so that merging
+/// per-task summaries from a parallel sweep is exact and
+/// order-independent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of recorded observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl HistogramSummary {
+    fn record(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    fn merge(&mut self, other: &HistogramSummary) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Arithmetic mean of the observations (`NaN` when empty).
+    pub fn mean(&self) -> f64 {
+        self.sum / self.count as f64
+    }
+}
+
+impl Default for HistogramSummary {
+    fn default() -> Self {
+        HistogramSummary {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+/// Running summary of one span name: completions and total wall time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpanSummary {
+    /// Number of completed (begin + end) spans.
+    pub count: u64,
+    /// Total wall time across completed spans \[ns\].
+    pub total_ns: u64,
+}
+
+/// In-memory sink that folds the event stream into per-name totals.
+///
+/// Counters sum their deltas, histograms keep [`HistogramSummary`]
+/// moments, spans keep completion counts and total duration. All maps
+/// are `BTreeMap`s so iteration order — and therefore
+/// [`render_table`](Aggregator::render_table) output — is deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use sfet_telemetry::{Aggregator, Event, TelemetrySink};
+///
+/// let mut agg = Aggregator::default();
+/// agg.record(&Event::Counter { name: "tran.steps_accepted", delta: 2 });
+/// agg.record(&Event::Histogram { name: "tran.dt_seconds", value: 1e-12 });
+/// assert_eq!(agg.counter("tran.steps_accepted"), 2);
+/// assert_eq!(agg.histogram("tran.dt_seconds").unwrap().count, 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Aggregator {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, HistogramSummary>,
+    spans: BTreeMap<String, SpanSummary>,
+}
+
+impl Aggregator {
+    /// A fresh, empty aggregator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total of the counter `name` (0 when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Summary of the histogram `name`, if any observation was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms.get(name)
+    }
+
+    /// Summary of the span `name`, if any span completed.
+    pub fn span(&self, name: &str) -> Option<&SpanSummary> {
+        self.spans.get(name)
+    }
+
+    /// All counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// All histogram summaries in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &HistogramSummary)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// All span summaries in name order.
+    pub fn spans(&self) -> impl Iterator<Item = (&str, &SpanSummary)> {
+        self.spans.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty() && self.spans.is_empty()
+    }
+
+    /// Folds another aggregator into this one.
+    ///
+    /// Merging is associative and commutative over counter and histogram
+    /// contents, which is what lets a parallel sweep aggregate per-task
+    /// and roll up in deterministic task-index order afterwards.
+    pub fn merge(&mut self, other: &Aggregator) {
+        for (name, delta) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += delta;
+        }
+        for (name, hist) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(hist);
+        }
+        for (name, span) in &other.spans {
+            let entry = self.spans.entry(name.clone()).or_default();
+            entry.count += span.count;
+            entry.total_ns += span.total_ns;
+        }
+    }
+
+    /// Renders the aggregate as a fixed-width, human-readable table
+    /// (what [`SummarySink`] prints at end of run).
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str("── telemetry summary ──────────────────────────────────────────\n");
+        if self.is_empty() {
+            out.push_str("  (no events recorded)\n");
+            return out;
+        }
+        if !self.counters.is_empty() {
+            out.push_str("  counters\n");
+            for (name, value) in &self.counters {
+                out.push_str(&format!("    {name:<42} {value:>14}\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("  histograms                                  count          mean           min           max\n");
+            for (name, h) in &self.histograms {
+                out.push_str(&format!(
+                    "    {:<40} {:>9} {:>13.4e} {:>13.4e} {:>13.4e}\n",
+                    name,
+                    h.count,
+                    h.mean(),
+                    h.min,
+                    h.max
+                ));
+            }
+        }
+        if !self.spans.is_empty() {
+            out.push_str("  spans                                       count         total\n");
+            for (name, s) in &self.spans {
+                out.push_str(&format!(
+                    "    {:<40} {:>9} {:>13}\n",
+                    name,
+                    s.count,
+                    fmt_duration_ns(s.total_ns)
+                ));
+            }
+        }
+        out
+    }
+}
+
+fn fmt_duration_ns(ns: u64) -> String {
+    let ns = ns as f64;
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+impl TelemetrySink for Aggregator {
+    fn record(&mut self, event: &Event<'_>) {
+        match *event {
+            Event::Counter { name, delta } => {
+                *self.counters.entry(name.to_owned()).or_insert(0) += delta;
+            }
+            Event::Histogram { name, value } => {
+                self.histograms
+                    .entry(name.to_owned())
+                    .or_default()
+                    .record(value);
+            }
+            Event::SpanEnd { name, dur_ns, .. } => {
+                let entry = self.spans.entry(name.to_owned()).or_default();
+                entry.count += 1;
+                entry.total_ns += dur_ns;
+            }
+            Event::SpanBegin { .. } => {}
+        }
+    }
+}
+
+/// A clonable, thread-safe handle to an [`Aggregator`].
+///
+/// Pass one clone to [`Telemetry::new`](crate::Telemetry::new) as the
+/// sink and keep another to [`snapshot`](SharedAggregator::snapshot) the
+/// totals after the run.
+#[derive(Debug, Clone, Default)]
+pub struct SharedAggregator {
+    inner: Arc<Mutex<Aggregator>>,
+}
+
+impl SharedAggregator {
+    /// A fresh, empty shared aggregator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A copy of the current totals.
+    pub fn snapshot(&self) -> Aggregator {
+        self.inner.lock().map(|a| a.clone()).unwrap_or_default()
+    }
+}
+
+impl TelemetrySink for SharedAggregator {
+    fn record(&mut self, event: &Event<'_>) {
+        if let Ok(mut agg) = self.inner.lock() {
+            agg.record(event);
+        }
+    }
+}
+
+/// Sink that aggregates in memory and writes the summary table to a
+/// writer when flushed (and, as a safety net, when dropped).
+///
+/// This is the "human-readable end-of-run summary" sink: hand it
+/// `std::io::stderr()` and the table appears once, after the run.
+pub struct SummarySink<W: Write + Send> {
+    agg: Aggregator,
+    out: W,
+    written: bool,
+}
+
+impl<W: Write + Send> SummarySink<W> {
+    /// A summary sink writing its table to `out`.
+    pub fn new(out: W) -> Self {
+        SummarySink {
+            agg: Aggregator::default(),
+            out,
+            written: false,
+        }
+    }
+
+    fn write_table(&mut self) {
+        // Best-effort: a failed write to stderr should not fail the run.
+        let _ = self.out.write_all(self.agg.render_table().as_bytes());
+        let _ = self.out.flush();
+        self.written = true;
+    }
+}
+
+impl<W: Write + Send> TelemetrySink for SummarySink<W> {
+    fn record(&mut self, event: &Event<'_>) {
+        self.written = false;
+        self.agg.record(event);
+    }
+
+    fn flush(&mut self) {
+        if !self.written {
+            self.write_table();
+        }
+    }
+}
+
+impl<W: Write + Send> Drop for SummarySink<W> {
+    fn drop(&mut self) {
+        if !self.written && !self.agg.is_empty() {
+            self.write_table();
+        }
+    }
+}
+
+impl<W: Write + Send> std::fmt::Debug for SummarySink<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SummarySink")
+            .field("events_pending", &!self.written)
+            .finish()
+    }
+}
+
+/// Fan-out sink: forwards every event to each inner sink in order.
+///
+/// Lets one run feed both a JSONL trace file and an end-of-run summary
+/// table (the `--trace` flag on the bench binaries does exactly this).
+#[derive(Default)]
+pub struct Tee {
+    sinks: Vec<Box<dyn TelemetrySink>>,
+}
+
+impl Tee {
+    /// An empty tee (events are dropped until a sink is added).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a sink to the fan-out, builder style.
+    pub fn with(mut self, sink: impl TelemetrySink + 'static) -> Self {
+        self.sinks.push(Box::new(sink));
+        self
+    }
+}
+
+impl TelemetrySink for Tee {
+    fn record(&mut self, event: &Event<'_>) {
+        for sink in &mut self.sinks {
+            sink.record(event);
+        }
+    }
+
+    fn flush(&mut self) {
+        for sink in &mut self.sinks {
+            sink.flush();
+        }
+    }
+}
+
+impl std::fmt::Debug for Tee {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tee")
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Aggregator {
+        let mut agg = Aggregator::default();
+        agg.record(&Event::Counter {
+            name: "c",
+            delta: 2,
+        });
+        agg.record(&Event::Counter {
+            name: "c",
+            delta: 3,
+        });
+        agg.record(&Event::Histogram {
+            name: "h",
+            value: 1.0,
+        });
+        agg.record(&Event::Histogram {
+            name: "h",
+            value: 3.0,
+        });
+        agg.record(&Event::SpanBegin {
+            name: "s",
+            id: 0,
+            t_ns: 10,
+        });
+        agg.record(&Event::SpanEnd {
+            name: "s",
+            id: 0,
+            t_ns: 25,
+            dur_ns: 15,
+        });
+        agg
+    }
+
+    #[test]
+    fn aggregates_match_hand_counts() {
+        let agg = sample();
+        assert_eq!(agg.counter("c"), 5);
+        assert_eq!(agg.counter("missing"), 0);
+        let h = agg.histogram("h").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 4.0);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 3.0);
+        assert_eq!(h.mean(), 2.0);
+        let s = agg.span("s").unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.total_ns, 15);
+    }
+
+    #[test]
+    fn merge_is_exact() {
+        let mut a = sample();
+        let b = sample();
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 10);
+        assert_eq!(a.histogram("h").unwrap().count, 4);
+        assert_eq!(a.histogram("h").unwrap().sum, 8.0);
+        assert_eq!(a.span("s").unwrap().total_ns, 30);
+    }
+
+    #[test]
+    fn merge_into_empty_equals_clone() {
+        let mut empty = Aggregator::default();
+        let full = sample();
+        empty.merge(&full);
+        assert_eq!(empty, full);
+    }
+
+    #[test]
+    fn render_table_lists_all_names() {
+        let table = sample().render_table();
+        assert!(table.contains("telemetry summary"));
+        assert!(table.contains('c'));
+        assert!(table.contains('h'));
+        assert!(table.contains('s'));
+        assert!(Aggregator::default().render_table().contains("no events"));
+    }
+
+    #[test]
+    fn summary_sink_writes_once_on_flush() {
+        let buf: Vec<u8> = Vec::new();
+        let mut sink = SummarySink::new(buf);
+        sink.record(&Event::Counter {
+            name: "c",
+            delta: 1,
+        });
+        sink.flush();
+        sink.flush(); // second flush without new events: no duplicate
+        assert_eq!(
+            String::from_utf8(sink.out.clone())
+                .unwrap()
+                .matches("telemetry summary")
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn tee_forwards_to_all() {
+        let a = SharedAggregator::new();
+        let b = SharedAggregator::new();
+        let mut tee = Tee::new().with(a.clone()).with(b.clone());
+        tee.record(&Event::Counter {
+            name: "c",
+            delta: 7,
+        });
+        assert_eq!(a.snapshot().counter("c"), 7);
+        assert_eq!(b.snapshot().counter("c"), 7);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration_ns(500), "500 ns");
+        assert_eq!(fmt_duration_ns(1_500), "1.500 µs");
+        assert_eq!(fmt_duration_ns(2_500_000), "2.500 ms");
+        assert_eq!(fmt_duration_ns(3_000_000_000), "3.000 s");
+    }
+}

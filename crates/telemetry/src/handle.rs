@@ -1,0 +1,302 @@
+//! The [`Telemetry`] handle that instrumented code holds and emits
+//! through.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::event::{Event, Level, TelemetrySink};
+
+struct Inner {
+    sink: Mutex<Box<dyn TelemetrySink>>,
+    level: Level,
+    epoch: Instant,
+    next_span: AtomicU64,
+}
+
+/// A cheaply clonable handle to a telemetry sink — the single type
+/// instrumented code interacts with.
+///
+/// The default handle is *disabled*: every emit method is an immediate
+/// early return on a `None` check, with no clock read, no lock, and no
+/// allocation, so instrumentation can stay in hot loops unconditionally.
+/// An enabled handle wraps an `Arc<Mutex<dyn TelemetrySink>>` plus a
+/// monotonic epoch; clones share the sink, which is how per-analysis
+/// emissions from nested calls land in one stream.
+///
+/// # Examples
+///
+/// ```
+/// use sfet_telemetry::{Aggregator, Level, SharedAggregator, Telemetry};
+///
+/// let agg = SharedAggregator::new();
+/// let tel = Telemetry::new(agg.clone());
+/// {
+///     let _span = tel.span(Level::Analysis, "transient");
+///     tel.counter("tran.steps_accepted", 3);
+///     tel.histogram("tran.dt_seconds", 1e-12);
+/// }
+/// let snap: Aggregator = agg.snapshot();
+/// assert_eq!(snap.counter("tran.steps_accepted"), 3);
+/// assert_eq!(snap.span("transient").unwrap().count, 1);
+///
+/// // The disabled handle swallows everything at zero cost.
+/// let off = Telemetry::disabled();
+/// assert!(!off.is_enabled());
+/// off.counter("tran.steps_accepted", 99); // no-op
+/// ```
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Telemetry {
+    /// A disabled handle (same as [`Telemetry::default`]): all emit
+    /// methods are no-ops.
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// An enabled handle driving `sink`, emitting spans up to
+    /// [`Level::Analysis`].
+    pub fn new(sink: impl TelemetrySink + 'static) -> Self {
+        Self::with_level(sink, Level::Analysis)
+    }
+
+    /// An enabled handle driving `sink`, emitting spans up to and
+    /// including `level`.
+    pub fn with_level(sink: impl TelemetrySink + 'static, level: Level) -> Self {
+        Telemetry {
+            inner: Some(Arc::new(Inner {
+                sink: Mutex::new(Box::new(sink)),
+                level,
+                epoch: Instant::now(),
+                next_span: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    /// Whether this handle forwards events to a sink.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The maximum span level this handle emits, or `None` when
+    /// disabled.
+    pub fn level(&self) -> Option<Level> {
+        self.inner.as_ref().map(|i| i.level)
+    }
+
+    /// Whether a span at `level` would be emitted (cheap pre-check for
+    /// call sites that compute span payloads).
+    #[inline]
+    pub fn spans_at(&self, level: Level) -> bool {
+        match &self.inner {
+            Some(i) => level <= i.level,
+            None => false,
+        }
+    }
+
+    /// Adds `delta` to the counter `name`.
+    #[inline]
+    pub fn counter(&self, name: &str, delta: u64) {
+        if let Some(inner) = &self.inner {
+            if delta != 0 {
+                inner.record(&Event::Counter { name, delta });
+            }
+        }
+    }
+
+    /// Records one observation `value` under the histogram `name`.
+    #[inline]
+    pub fn histogram(&self, name: &str, value: f64) {
+        if let Some(inner) = &self.inner {
+            inner.record(&Event::Histogram { name, value });
+        }
+    }
+
+    /// Opens a span named `name` at `level`; the returned guard closes
+    /// it on drop.
+    ///
+    /// Returns an inert guard (no events emitted) when the handle is
+    /// disabled or `level` is finer than the handle's level.
+    #[inline]
+    pub fn span(&self, level: Level, name: &'static str) -> SpanGuard {
+        match &self.inner {
+            Some(inner) if level <= inner.level => {
+                let id = inner.next_span.fetch_add(1, Ordering::Relaxed);
+                let t_ns = inner.now_ns();
+                inner.record(&Event::SpanBegin { name, id, t_ns });
+                SpanGuard {
+                    inner: Some(OpenSpan {
+                        tel: Arc::clone(inner),
+                        name,
+                        id,
+                        begin_ns: t_ns,
+                    }),
+                }
+            }
+            _ => SpanGuard { inner: None },
+        }
+    }
+
+    /// Flushes the underlying sink (no-op when disabled).
+    pub fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            if let Ok(mut sink) = inner.sink.lock() {
+                sink.flush();
+            }
+        }
+    }
+}
+
+impl Inner {
+    fn now_ns(&self) -> u64 {
+        // Saturating: a run longer than ~584 years overflows u64 nanos.
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    fn record(&self, event: &Event<'_>) {
+        if let Ok(mut sink) = self.sink.lock() {
+            sink.record(event);
+        }
+    }
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut d = f.debug_struct("Telemetry");
+        d.field("enabled", &self.is_enabled());
+        if let Some(level) = self.level() {
+            d.field("level", &level);
+        }
+        d.finish()
+    }
+}
+
+/// Compares *enabledness only* — two enabled handles are equal even if
+/// they drive different sinks. This keeps derived `PartialEq` on option
+/// structs (e.g. `SimOptions`) meaningful: options differing only in
+/// where diagnostics go still compare equal in configuration.
+impl PartialEq for Telemetry {
+    fn eq(&self, other: &Self) -> bool {
+        self.is_enabled() == other.is_enabled()
+    }
+}
+
+struct OpenSpan {
+    tel: Arc<Inner>,
+    name: &'static str,
+    id: u64,
+    begin_ns: u64,
+}
+
+/// RAII guard returned by [`Telemetry::span`]; emits the matching
+/// `SpanEnd` when dropped.
+#[must_use = "a span closes when its guard drops; binding to `_` closes it immediately"]
+pub struct SpanGuard {
+    inner: Option<OpenSpan>,
+}
+
+impl SpanGuard {
+    /// Whether this guard will emit a `SpanEnd` on drop.
+    pub fn is_recording(&self) -> bool {
+        self.inner.is_some()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(open) = self.inner.take() {
+            let t_ns = open.tel.now_ns();
+            open.tel.record(&Event::SpanEnd {
+                name: open.name,
+                id: open.id,
+                t_ns,
+                dur_ns: t_ns.saturating_sub(open.begin_ns),
+            });
+        }
+    }
+}
+
+impl std::fmt::Debug for SpanGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanGuard")
+            .field("recording", &self.is_recording())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::SharedAggregator;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let tel = Telemetry::disabled();
+        assert!(!tel.is_enabled());
+        assert_eq!(tel.level(), None);
+        tel.counter("c", 1);
+        tel.histogram("h", 1.0);
+        let guard = tel.span(Level::Analysis, "s");
+        assert!(!guard.is_recording());
+        drop(guard);
+        tel.flush();
+    }
+
+    #[test]
+    fn level_gates_spans_but_not_counters() {
+        let agg = SharedAggregator::new();
+        let tel = Telemetry::with_level(agg.clone(), Level::Analysis);
+        assert!(tel.spans_at(Level::Analysis));
+        assert!(!tel.spans_at(Level::Step));
+        let fine = tel.span(Level::Iteration, "newton_iter");
+        assert!(!fine.is_recording());
+        drop(fine);
+        tel.counter("c", 2);
+        let snap = agg.snapshot();
+        assert_eq!(snap.counter("c"), 2);
+        assert!(snap.span("newton_iter").is_none());
+    }
+
+    #[test]
+    fn clones_share_one_sink() {
+        let agg = SharedAggregator::new();
+        let tel = Telemetry::new(agg.clone());
+        let tel2 = tel.clone();
+        tel.counter("c", 1);
+        tel2.counter("c", 1);
+        assert_eq!(agg.snapshot().counter("c"), 2);
+    }
+
+    #[test]
+    fn partial_eq_compares_enabledness_only() {
+        let a = Telemetry::new(SharedAggregator::new());
+        let b = Telemetry::new(SharedAggregator::new());
+        assert_eq!(a, b);
+        assert_ne!(a, Telemetry::disabled());
+        assert_eq!(Telemetry::disabled(), Telemetry::default());
+    }
+
+    #[test]
+    fn zero_delta_counters_are_suppressed() {
+        let agg = SharedAggregator::new();
+        let tel = Telemetry::new(agg.clone());
+        tel.counter("c", 0);
+        assert!(agg.snapshot().is_empty());
+    }
+
+    #[test]
+    fn span_durations_accumulate() {
+        let agg = SharedAggregator::new();
+        let tel = Telemetry::new(agg.clone());
+        for _ in 0..3 {
+            let _span = tel.span(Level::Analysis, "dc");
+        }
+        let snap = agg.snapshot();
+        let s = snap.span("dc").unwrap();
+        assert_eq!(s.count, 3);
+    }
+}

@@ -1,0 +1,290 @@
+//! [`JsonlSink`]: streams events as JSON Lines.
+//!
+//! The JSON is hand-rolled (the workspace is dependency-free by policy);
+//! the emitted subset is deliberately tiny: objects with string, integer,
+//! and float fields only. Non-finite floats — which JSON cannot
+//! represent — are written as `null`.
+
+use std::io::Write;
+
+use crate::event::{Event, TelemetrySink, SCHEMA_VERSION};
+
+/// Sink that writes one JSON object per line to a writer.
+///
+/// The first line is a header carrying [`SCHEMA_VERSION`] and whether
+/// timing fields are present. With
+/// [`with_timings(false)`](JsonlSink::with_timings), the `t_ns`/`dur_ns`
+/// fields are omitted
+/// entirely, making the stream a pure function of the simulation — the
+/// determinism tests diff such streams bitwise across thread counts.
+///
+/// Writes are best-effort: after the first I/O error the sink goes
+/// silent rather than failing the simulation it observes.
+///
+/// # Examples
+///
+/// ```
+/// use sfet_telemetry::{Event, JsonlSink, TelemetrySink};
+///
+/// let mut sink = JsonlSink::new(Vec::new()).with_timings(false);
+/// sink.record(&Event::Counter { name: "tran.steps_accepted", delta: 2 });
+/// sink.flush();
+/// let text = String::from_utf8(sink.into_inner()).unwrap();
+/// let mut lines = text.lines();
+/// assert_eq!(lines.next().unwrap(), r#"{"type":"header","schema":1,"timings":false}"#);
+/// assert_eq!(
+///     lines.next().unwrap(),
+///     r#"{"type":"counter","name":"tran.steps_accepted","delta":2}"#
+/// );
+/// ```
+pub struct JsonlSink<W: Write + Send> {
+    out: W,
+    timings: bool,
+    header_written: bool,
+    failed: bool,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// A JSONL sink writing to `out`, with timing fields included.
+    pub fn new(out: W) -> Self {
+        JsonlSink {
+            out,
+            timings: true,
+            header_written: false,
+            failed: false,
+        }
+    }
+
+    /// Sets whether timing fields (`t_ns`, `dur_ns`) are written.
+    /// Disable them to get a bitwise-reproducible stream.
+    pub fn with_timings(mut self, timings: bool) -> Self {
+        self.timings = timings;
+        self
+    }
+
+    /// Consumes the sink, returning the writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+
+    fn write_line(&mut self, line: &str) {
+        if self.failed {
+            return;
+        }
+        if writeln!(self.out, "{line}").is_err() {
+            self.failed = true;
+        }
+    }
+
+    fn ensure_header(&mut self) {
+        if !self.header_written {
+            self.header_written = true;
+            let line = format!(
+                r#"{{"type":"header","schema":{},"timings":{}}}"#,
+                SCHEMA_VERSION, self.timings
+            );
+            self.write_line(&line);
+        }
+    }
+}
+
+/// Escapes `s` for inclusion inside a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON number (`null` for NaN/±inf).
+fn json_f64(value: f64) -> String {
+    if value.is_finite() {
+        // `{:?}` prints the shortest round-trippable form, which is
+        // valid JSON for finite values.
+        format!("{value:?}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+impl<W: Write + Send> TelemetrySink for JsonlSink<W> {
+    fn record(&mut self, event: &Event<'_>) {
+        self.ensure_header();
+        let line = match *event {
+            Event::SpanBegin { name, id, t_ns } => {
+                if self.timings {
+                    format!(
+                        r#"{{"type":"span_begin","name":"{}","id":{},"t_ns":{}}}"#,
+                        escape(name),
+                        id,
+                        t_ns
+                    )
+                } else {
+                    format!(
+                        r#"{{"type":"span_begin","name":"{}","id":{}}}"#,
+                        escape(name),
+                        id
+                    )
+                }
+            }
+            Event::SpanEnd {
+                name,
+                id,
+                t_ns,
+                dur_ns,
+            } => {
+                if self.timings {
+                    format!(
+                        r#"{{"type":"span_end","name":"{}","id":{},"t_ns":{},"dur_ns":{}}}"#,
+                        escape(name),
+                        id,
+                        t_ns,
+                        dur_ns
+                    )
+                } else {
+                    format!(
+                        r#"{{"type":"span_end","name":"{}","id":{}}}"#,
+                        escape(name),
+                        id
+                    )
+                }
+            }
+            Event::Counter { name, delta } => format!(
+                r#"{{"type":"counter","name":"{}","delta":{}}}"#,
+                escape(name),
+                delta
+            ),
+            Event::Histogram { name, value } => format!(
+                r#"{{"type":"histogram","name":"{}","value":{}}}"#,
+                escape(name),
+                json_f64(value)
+            ),
+        };
+        self.write_line(&line);
+    }
+
+    fn flush(&mut self) {
+        self.ensure_header();
+        if !self.failed && self.out.flush().is_err() {
+            self.failed = true;
+        }
+    }
+}
+
+impl<W: Write + Send> std::fmt::Debug for JsonlSink<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink")
+            .field("timings", &self.timings)
+            .field("failed", &self.failed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines_of(sink: JsonlSink<Vec<u8>>) -> Vec<String> {
+        String::from_utf8(sink.into_inner())
+            .unwrap()
+            .lines()
+            .map(str::to_owned)
+            .collect()
+    }
+
+    #[test]
+    fn header_first_then_events_with_timings() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.record(&Event::SpanBegin {
+            name: "dc",
+            id: 0,
+            t_ns: 5,
+        });
+        sink.record(&Event::SpanEnd {
+            name: "dc",
+            id: 0,
+            t_ns: 9,
+            dur_ns: 4,
+        });
+        let lines = lines_of(sink);
+        assert_eq!(lines[0], r#"{"type":"header","schema":1,"timings":true}"#);
+        assert_eq!(
+            lines[1],
+            r#"{"type":"span_begin","name":"dc","id":0,"t_ns":5}"#
+        );
+        assert_eq!(
+            lines[2],
+            r#"{"type":"span_end","name":"dc","id":0,"t_ns":9,"dur_ns":4}"#
+        );
+    }
+
+    #[test]
+    fn timings_disabled_strips_clock_fields() {
+        let mut sink = JsonlSink::new(Vec::new()).with_timings(false);
+        sink.record(&Event::SpanBegin {
+            name: "dc",
+            id: 1,
+            t_ns: 123,
+        });
+        sink.record(&Event::SpanEnd {
+            name: "dc",
+            id: 1,
+            t_ns: 456,
+            dur_ns: 333,
+        });
+        let lines = lines_of(sink);
+        for line in &lines {
+            assert!(!line.contains("t_ns"), "unexpected timing field in {line}");
+            assert!(
+                !line.contains("dur_ns"),
+                "unexpected timing field in {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn floats_round_trip_and_nonfinite_become_null() {
+        let mut sink = JsonlSink::new(Vec::new()).with_timings(false);
+        sink.record(&Event::Histogram {
+            name: "h",
+            value: 1.5e-12,
+        });
+        sink.record(&Event::Histogram {
+            name: "h",
+            value: f64::NAN,
+        });
+        let lines = lines_of(sink);
+        assert_eq!(
+            lines[1],
+            r#"{"type":"histogram","name":"h","value":1.5e-12}"#
+        );
+        assert_eq!(lines[2], r#"{"type":"histogram","name":"h","value":null}"#);
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        assert_eq!(escape(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(escape("x\ny"), r"x\ny");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn flush_alone_still_emits_header() {
+        let mut sink = JsonlSink::new(Vec::new()).with_timings(false);
+        sink.flush();
+        let lines = lines_of(sink);
+        assert_eq!(
+            lines,
+            vec![r#"{"type":"header","schema":1,"timings":false}"#]
+        );
+    }
+}

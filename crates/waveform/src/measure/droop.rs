@@ -21,6 +21,11 @@ pub struct DroopReport {
 /// Measures the worst-case supply droop of a rail waveform against its
 /// nominal value.
 ///
+/// A rail that never dips below `nominal` reports `droop == 0.0` with
+/// `t_droop == None` — there is no undershoot instant to locate, and
+/// callers must not read a time out of a droop-free report. `t_droop` is
+/// `Some` exactly when `droop > 0.0`.
+///
 /// # Example
 ///
 /// ```

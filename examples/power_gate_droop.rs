@@ -5,13 +5,36 @@
 //! the droop seen by an active neighbour.
 //!
 //! ```text
-//! cargo run --release --example power_gate_droop
+//! cargo run --release --example power_gate_droop [-- --trace trace.jsonl]
 //! ```
+//!
+//! With `--trace <path>` the simulator's telemetry event stream for both
+//! wake-ups (baseline first, then Soft-FET — see `docs/TELEMETRY.md`) is
+//! written to the file as JSONL and summarised on stderr at exit.
 
 use sfet_devices::ptm::PtmParams;
 use sfet_pdn::power_gate::PowerGateScenario;
-use softfet::power_gate::compare_power_gate;
+use sfet_sim::SimOptions;
+use sfet_telemetry::{JsonlSink, Level, SummarySink, Tee, Telemetry};
+use softfet::power_gate::compare_power_gate_with_options;
 use softfet::report::{fmt_si, Table};
+
+/// `--trace <path>` → enabled telemetry handle; absent → disabled.
+fn telemetry_from_args() -> Result<Telemetry, Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--trace" {
+            let path = args.next().ok_or("--trace requires a file path")?;
+            let file = std::io::BufWriter::new(std::fs::File::create(&path)?);
+            eprintln!("tracing to {path}");
+            let tee = Tee::new()
+                .with(JsonlSink::new(file))
+                .with(SummarySink::new(std::io::stderr()));
+            return Ok(Telemetry::with_level(tee, Level::Step));
+        }
+    }
+    Ok(Telemetry::disabled())
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scenario = PowerGateScenario::default();
@@ -22,7 +45,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         fmt_si(scenario.i_active, "A"),
     );
 
-    let cmp = compare_power_gate(&scenario, PtmParams::vo2_default())?;
+    let opts =
+        SimOptions::for_duration(scenario.t_stop, 4000).with_telemetry(telemetry_from_args()?);
+    let cmp = compare_power_gate_with_options(&scenario, PtmParams::vo2_default(), &opts)?;
 
     let mut t = Table::new(&["", "baseline header", "Soft-FET header"]);
     t.add_row(vec![

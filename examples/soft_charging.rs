@@ -3,12 +3,34 @@
 //! paper's Fig. 3), rendered as an ASCII plot.
 //!
 //! ```text
-//! cargo run --release --example soft_charging
+//! cargo run --release --example soft_charging [-- --trace trace.jsonl]
 //! ```
+//!
+//! With `--trace <path>` the simulator's telemetry event stream (steps,
+//! Newton iterations, PTM transitions — see `docs/TELEMETRY.md`) is
+//! written to the file as JSONL and summarised on stderr at exit.
 
 use sfet_circuit::{Circuit, SourceWaveform};
 use sfet_devices::ptm::PtmParams;
 use sfet_sim::{transient, SimOptions};
+use sfet_telemetry::{JsonlSink, Level, SummarySink, Tee, Telemetry};
+
+/// `--trace <path>` → enabled telemetry handle; absent → disabled.
+fn telemetry_from_args() -> Result<Telemetry, Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--trace" {
+            let path = args.next().ok_or("--trace requires a file path")?;
+            let file = std::io::BufWriter::new(std::fs::File::create(&path)?);
+            eprintln!("tracing to {path}");
+            let tee = Tee::new()
+                .with(JsonlSink::new(file))
+                .with(SummarySink::new(std::io::stderr()));
+            return Ok(Telemetry::with_level(tee, Level::Step));
+        }
+    }
+    Ok(Telemetry::disabled())
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params = PtmParams::vo2_default();
@@ -26,7 +48,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ckt.add_capacitor("C1", vc, gnd, 0.5e-15)?;
 
     let tstop = 120e-12;
-    let result = transient(&ckt, tstop, &SimOptions::for_duration(tstop, 4000))?;
+    let opts = SimOptions::for_duration(tstop, 4000).with_telemetry(telemetry_from_args()?);
+    let result = transient(&ckt, tstop, &opts)?;
     let v_in = result.voltage("in")?;
     let v_c = result.voltage("vc")?;
 

@@ -1,0 +1,106 @@
+//! Checks every relative link in the repository's markdown files: stale
+//! paths in README/DESIGN/docs rot silently otherwise.
+
+use std::path::{Path, PathBuf};
+
+/// All `.md` files under the workspace root, skipping build output and
+/// VCS internals.
+fn markdown_files(root: &Path) -> Vec<PathBuf> {
+    let mut found = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name != "target" && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".md") {
+                found.push(path);
+            }
+        }
+    }
+    found.sort();
+    found
+}
+
+/// Extracts `(target)` of every inline markdown link in `text`,
+/// ignoring fenced code blocks.
+fn link_targets(text: &str) -> Vec<String> {
+    let mut targets = Vec::new();
+    let mut in_fence = false;
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while let Some(open) = line[i..].find("](") {
+            let start = i + open + 2;
+            let Some(len) = line[start..].find(')') else {
+                break;
+            };
+            // Reject image-size style or nested parens conservatively by
+            // taking the first closing paren — real paths contain none.
+            if bytes.get(start..start + len).is_some() {
+                targets.push(line[start..start + len].to_string());
+            }
+            i = start + len + 1;
+        }
+    }
+    targets
+}
+
+#[test]
+fn relative_markdown_links_resolve() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let files = markdown_files(&root);
+    assert!(
+        files.iter().any(|f| f.ends_with("README.md")),
+        "walker must find README.md"
+    );
+
+    let mut broken = Vec::new();
+    for file in &files {
+        let text = std::fs::read_to_string(file).unwrap();
+        for target in link_targets(&text) {
+            // External links, in-page anchors, and autolink-ish schemes
+            // are out of scope.
+            if target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+                || target.starts_with('#')
+                || target.is_empty()
+            {
+                continue;
+            }
+            // Strip an anchor suffix: `docs/X.md#section` checks the file.
+            let path_part = target.split('#').next().unwrap();
+            let resolved = file.parent().unwrap().join(path_part);
+            if !resolved.exists() {
+                broken.push(format!("{}: ({target})", file.display()));
+            }
+        }
+    }
+    assert!(
+        broken.is_empty(),
+        "broken relative links:\n  {}",
+        broken.join("\n  ")
+    );
+}
+
+#[test]
+fn link_extraction_handles_fences_and_anchors() {
+    let text = "see [a](x.md) and [b](y.md#top)\n```\n[not](code.md)\n```\n[c](https://e.com)";
+    let targets = link_targets(text);
+    assert_eq!(targets, vec!["x.md", "y.md#top", "https://e.com"]);
+}
