@@ -1,0 +1,153 @@
+//! Reference netlist builders for the verification subsystem.
+//!
+//! `sfet-verify` scores the transient engine against circuits with
+//! closed-form solutions. These builders construct those canonical
+//! topologies with fixed, documented node and element names so the exact
+//! solutions and the golden-waveform harness can address signals without
+//! duplicating netlist code:
+//!
+//! | builder | topology | probe |
+//! |---|---|---|
+//! | [`driven_rc`] | `VIN → R1 → out, C1 out→gnd` | `v(out)` |
+//! | [`driven_rl`] | `VIN → R1 → mid, L1 mid→gnd` | `i(L1)` |
+//! | [`driven_lc`] | `VIN → L1 → out, C1 out→gnd` | `v(out)` |
+//! | [`driven_rlc`] | `VIN → R1 → m1, L1 m1→out, C1 out→gnd` | `v(out)` |
+//! | [`current_driven_rc`] | `IIN gnd→out ∥ R1 ∥ C1` | `v(out)` |
+
+use crate::{Circuit, Result, SourceWaveform};
+
+/// Series RC driven by a voltage source: `VIN` at node `in`, `R1` from
+/// `in` to `out`, `C1` from `out` to ground. Probe `v(out)`.
+///
+/// # Errors
+///
+/// Propagates element-construction failures (non-positive values).
+///
+/// # Example
+///
+/// ```
+/// use sfet_circuit::{builders, SourceWaveform};
+///
+/// # fn main() -> Result<(), sfet_circuit::CircuitError> {
+/// let ckt = builders::driven_rc(1e3, 1e-15, SourceWaveform::Dc(1.0))?;
+/// ckt.validate()?;
+/// # Ok(())
+/// # }
+/// ```
+pub fn driven_rc(r: f64, c: f64, drive: SourceWaveform) -> Result<Circuit> {
+    let mut ckt = Circuit::new();
+    let inp = ckt.node("in");
+    let out = ckt.node("out");
+    let gnd = Circuit::ground();
+    ckt.add_voltage_source("VIN", inp, gnd, drive)?;
+    ckt.add_resistor("R1", inp, out, r)?;
+    ckt.add_capacitor("C1", out, gnd, c)?;
+    Ok(ckt)
+}
+
+/// Series RL driven by a voltage source: `VIN` at node `in`, `R1` from
+/// `in` to `mid`, `L1` from `mid` to ground. Probe `i(L1)`.
+///
+/// # Errors
+///
+/// Propagates element-construction failures (non-positive values).
+pub fn driven_rl(r: f64, l: f64, drive: SourceWaveform) -> Result<Circuit> {
+    let mut ckt = Circuit::new();
+    let inp = ckt.node("in");
+    let mid = ckt.node("mid");
+    let gnd = Circuit::ground();
+    ckt.add_voltage_source("VIN", inp, gnd, drive)?;
+    ckt.add_resistor("R1", inp, mid, r)?;
+    ckt.add_inductor("L1", mid, gnd, l)?;
+    Ok(ckt)
+}
+
+/// Lossless series LC driven by a voltage source: `VIN` at node `in`,
+/// `L1` from `in` to `out`, `C1` from `out` to ground. Probe `v(out)` —
+/// the undamped tank oscillation at `ω₀ = 1/√(LC)`.
+///
+/// # Errors
+///
+/// Propagates element-construction failures (non-positive values).
+pub fn driven_lc(l: f64, c: f64, drive: SourceWaveform) -> Result<Circuit> {
+    let mut ckt = Circuit::new();
+    let inp = ckt.node("in");
+    let out = ckt.node("out");
+    let gnd = Circuit::ground();
+    ckt.add_voltage_source("VIN", inp, gnd, drive)?;
+    ckt.add_inductor("L1", inp, out, l)?;
+    ckt.add_capacitor("C1", out, gnd, c)?;
+    Ok(ckt)
+}
+
+/// Series RLC driven by a voltage source: `VIN` at node `in`, `R1` from
+/// `in` to `m1`, `L1` from `m1` to `out`, `C1` from `out` to ground.
+/// Probe `v(out)`.
+///
+/// # Errors
+///
+/// Propagates element-construction failures (non-positive values).
+pub fn driven_rlc(r: f64, l: f64, c: f64, drive: SourceWaveform) -> Result<Circuit> {
+    let mut ckt = Circuit::new();
+    let inp = ckt.node("in");
+    let m1 = ckt.node("m1");
+    let out = ckt.node("out");
+    let gnd = Circuit::ground();
+    ckt.add_voltage_source("VIN", inp, gnd, drive)?;
+    ckt.add_resistor("R1", inp, m1, r)?;
+    ckt.add_inductor("L1", m1, out, l)?;
+    ckt.add_capacitor("C1", out, gnd, c)?;
+    Ok(ckt)
+}
+
+/// Parallel RC driven by a current source: `IIN` from ground into `out`,
+/// with `R1` and `C1` from `out` to ground. Probe `v(out)`. This is the
+/// topology the method-of-manufactured-solutions reference uses: the
+/// source current is chosen so a prescribed `v(out)` solves the circuit
+/// exactly.
+///
+/// # Errors
+///
+/// Propagates element-construction failures (non-positive values).
+pub fn current_driven_rc(r: f64, c: f64, drive: SourceWaveform) -> Result<Circuit> {
+    let mut ckt = Circuit::new();
+    let out = ckt.node("out");
+    let gnd = Circuit::ground();
+    ckt.add_current_source("IIN", gnd, out, drive)?;
+    ckt.add_resistor("R1", out, gnd, r)?;
+    ckt.add_capacitor("C1", out, gnd, c)?;
+    Ok(ckt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_builders_validate() {
+        let drive = SourceWaveform::ramp(0.0, 1.0, 1e-12, 2e-12);
+        for ckt in [
+            driven_rc(1e3, 1e-15, drive.clone()).unwrap(),
+            driven_rl(100.0, 1e-9, drive.clone()).unwrap(),
+            driven_lc(1e-9, 1e-15, drive.clone()).unwrap(),
+            driven_rlc(10.0, 1e-9, 1e-12, drive.clone()).unwrap(),
+            current_driven_rc(1e3, 1e-15, drive.clone()).unwrap(),
+        ] {
+            ckt.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn conventional_names_resolve() {
+        let ckt = driven_rlc(10.0, 1e-9, 1e-12, SourceWaveform::Dc(0.0)).unwrap();
+        assert!(ckt.find_node("out").is_some());
+        assert!(ckt.find_element("VIN").is_some());
+        assert!(ckt.find_element("L1").is_some());
+    }
+
+    #[test]
+    fn bad_values_rejected() {
+        assert!(driven_rc(-1.0, 1e-15, SourceWaveform::Dc(0.0)).is_err());
+        assert!(driven_lc(1e-9, 0.0, SourceWaveform::Dc(0.0)).is_err());
+    }
+}

@@ -32,6 +32,7 @@
 //! # }
 //! ```
 
+pub mod builders;
 mod element;
 mod error;
 mod netlist;

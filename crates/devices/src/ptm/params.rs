@@ -45,6 +45,25 @@ impl PtmParams {
         }
     }
 
+    /// The *ideal two-state reference mode*: the paper's VO₂ parameter set
+    /// with an instantaneous transition (`t_ptm = 0`), so the device is an
+    /// exact two-valued resistor with hysteretic switching at the
+    /// thresholds. Circuits built on it have closed-form piecewise
+    /// solutions, which is what the `sfet-verify` analytic-reference
+    /// catalog scores the transient engine against.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use sfet_devices::ptm::PtmParams;
+    /// let p = PtmParams::ideal_reference();
+    /// assert_eq!(p.t_ptm, 0.0);
+    /// p.validate().unwrap();
+    /// ```
+    pub fn ideal_reference() -> Self {
+        Self::vo2_default().with_t_ptm(0.0)
+    }
+
     /// Current threshold for the insulator→metal transition,
     /// `I_IMT = V_IMT / R_INS`.
     pub fn i_imt(&self) -> f64 {

@@ -19,6 +19,8 @@
 //!   PTM threshold-crossing event location.
 //! * [`integrate`] — integration-method coefficients (backward Euler,
 //!   trapezoidal, Gear-2) for companion models.
+//! * [`norms`] — error norms and log–log convergence-order fitting used
+//!   by the `sfet-verify` correctness subsystem.
 //! * [`stats`] — descriptive statistics for sweep / Monte-Carlo results.
 //! * [`exec`] — the deterministic parallel sweep engine: order-preserving
 //!   `par_map` over scoped threads with lock-free result slots,
@@ -51,6 +53,7 @@ pub mod exec;
 pub mod integrate;
 pub mod interp;
 pub mod newton;
+pub mod norms;
 pub mod roots;
 pub mod smooth;
 pub mod sparse;

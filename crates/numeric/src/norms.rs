@@ -1,0 +1,211 @@
+//! Error norms and convergence-order fitting for solver verification.
+//!
+//! The verification subsystem (`sfet-verify`) scores transient runs
+//! against closed-form reference solutions and checks that the observed
+//! error shrinks at the integration method's nominal order. This module
+//! provides the two numeric pieces of that pipeline:
+//!
+//! * [`error_norms`] — time-weighted L2 and L∞ norms of a sampled error
+//!   signal on a (possibly non-uniform) time axis;
+//! * [`fit_order`] — least-squares log–log regression of error against
+//!   step size, whose slope is the observed convergence order.
+
+use crate::{NumericError, Result};
+
+/// Norms of a sampled error signal `e(t)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorNorms {
+    /// Time-weighted RMS error: `sqrt(∫ e(t)² dt / T)` by the trapezoidal
+    /// rule over the sampled axis.
+    pub l2: f64,
+    /// Largest absolute error over all samples.
+    pub linf: f64,
+    /// Sample time at which the L∞ error occurs.
+    pub t_linf: f64,
+    /// Number of samples scored.
+    pub n: usize,
+}
+
+/// Computes [`ErrorNorms`] of `errors` sampled on `times`.
+///
+/// The L2 norm weights each sample by its surrounding interval
+/// (trapezoidal rule), so dense event-refined clusters do not dominate a
+/// mostly-coarse axis. A single-sample input has `l2 == linf`.
+///
+/// # Errors
+///
+/// [`NumericError::InvalidArgument`] if the slices are empty, differ in
+/// length, or `times` is not strictly increasing.
+///
+/// # Example
+///
+/// ```
+/// let n = sfet_numeric::norms::error_norms(&[0.0, 1.0, 2.0], &[0.0, 1e-3, 0.0]).unwrap();
+/// assert_eq!(n.linf, 1e-3);
+/// assert_eq!(n.t_linf, 1.0);
+/// assert!(n.l2 < n.linf);
+/// ```
+pub fn error_norms(times: &[f64], errors: &[f64]) -> Result<ErrorNorms> {
+    if times.is_empty() || times.len() != errors.len() {
+        return Err(NumericError::InvalidArgument(
+            "times and errors must be non-empty and of equal length".into(),
+        ));
+    }
+    if times.windows(2).any(|w| w[0] >= w[1]) {
+        return Err(NumericError::InvalidArgument(
+            "time axis must be strictly increasing".into(),
+        ));
+    }
+    let mut linf = 0.0f64;
+    let mut t_linf = times[0];
+    for (&t, &e) in times.iter().zip(errors) {
+        if e.abs() > linf {
+            linf = e.abs();
+            t_linf = t;
+        }
+    }
+    let l2 = if times.len() == 1 {
+        linf
+    } else {
+        let mut acc = 0.0;
+        for i in 1..times.len() {
+            let dt = times[i] - times[i - 1];
+            acc += 0.5 * (errors[i - 1].powi(2) + errors[i].powi(2)) * dt;
+        }
+        (acc / (times[times.len() - 1] - times[0])).sqrt()
+    };
+    Ok(ErrorNorms {
+        l2,
+        linf,
+        t_linf,
+        n: times.len(),
+    })
+}
+
+/// Result of a log–log convergence fit `error ≈ C · dt^order`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrderFit {
+    /// Fitted convergence order (the log–log slope).
+    pub order: f64,
+    /// Fitted `ln C` intercept.
+    pub log_c: f64,
+    /// Coefficient of determination of the fit in log–log space; near 1
+    /// for a clean power law, lower when the ladder hits an error floor.
+    pub r2: f64,
+}
+
+/// Fits the observed convergence order from a step-size ladder.
+///
+/// Performs an ordinary least-squares fit of `ln error` against `ln dt`;
+/// the slope is the observed order. Points with non-positive error are
+/// floored at `1e-300` so a method that lands exactly on the solution does
+/// not poison the regression.
+///
+/// # Errors
+///
+/// [`NumericError::InvalidArgument`] if fewer than two ladder points are
+/// given, the slices differ in length, or any `dt` is non-positive.
+///
+/// # Example
+///
+/// ```
+/// // A perfect second-order method: error = dt².
+/// let dts = [1e-2, 5e-3, 2.5e-3];
+/// let errs: Vec<f64> = dts.iter().map(|d| d * d).collect();
+/// let fit = sfet_numeric::norms::fit_order(&dts, &errs).unwrap();
+/// assert!((fit.order - 2.0).abs() < 1e-12);
+/// assert!(fit.r2 > 0.999999);
+/// ```
+pub fn fit_order(dts: &[f64], errors: &[f64]) -> Result<OrderFit> {
+    if dts.len() < 2 || dts.len() != errors.len() {
+        return Err(NumericError::InvalidArgument(
+            "need at least two (dt, error) ladder points".into(),
+        ));
+    }
+    if dts.iter().any(|&d| d <= 0.0 || !d.is_finite()) {
+        return Err(NumericError::InvalidArgument(
+            "every dt must be positive and finite".into(),
+        ));
+    }
+    let xs: Vec<f64> = dts.iter().map(|&d| d.ln()).collect();
+    let ys: Vec<f64> = errors.iter().map(|&e| e.max(1e-300).ln()).collect();
+    let n = xs.len() as f64;
+    let mean_x = xs.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(&ys) {
+        sxx += (x - mean_x).powi(2);
+        sxy += (x - mean_x) * (y - mean_y);
+        syy += (y - mean_y).powi(2);
+    }
+    if sxx == 0.0 {
+        return Err(NumericError::InvalidArgument(
+            "ladder dts must not all be equal".into(),
+        ));
+    }
+    let order = sxy / sxx;
+    let log_c = mean_y - order * mean_x;
+    // All-equal errors (syy == 0) are a perfect zero-slope fit.
+    let r2 = if syy == 0.0 {
+        1.0
+    } else {
+        sxy * sxy / (sxx * syy)
+    };
+    Ok(OrderFit { order, log_c, r2 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norms_of_constant_error() {
+        let n = error_norms(&[0.0, 1.0, 3.0], &[2e-3, 2e-3, 2e-3]).unwrap();
+        assert!((n.l2 - 2e-3).abs() < 1e-15);
+        assert_eq!(n.linf, 2e-3);
+        assert_eq!(n.n, 3);
+    }
+
+    #[test]
+    fn norms_weight_by_interval() {
+        // A spike confined to a short interval barely moves the L2 norm.
+        let n = error_norms(&[0.0, 0.999, 1.0], &[0.0, 0.0, 1.0]).unwrap();
+        assert_eq!(n.linf, 1.0);
+        assert_eq!(n.t_linf, 1.0);
+        assert!(n.l2 < 0.05, "l2 = {}", n.l2);
+    }
+
+    #[test]
+    fn norms_reject_bad_axes() {
+        assert!(error_norms(&[], &[]).is_err());
+        assert!(error_norms(&[0.0, 1.0], &[0.0]).is_err());
+        assert!(error_norms(&[1.0, 1.0], &[0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn fit_recovers_first_order() {
+        let dts = [1e-1, 1e-2, 1e-3];
+        let errs: Vec<f64> = dts.iter().map(|d| 3.0 * d).collect();
+        let fit = fit_order(&dts, &errs).unwrap();
+        assert!((fit.order - 1.0).abs() < 1e-12);
+        assert!((fit.log_c - 3.0f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_flags_error_floor() {
+        // Second-order down the ladder, then a hard floor: r2 degrades.
+        let dts = [1e-1, 5e-2, 2.5e-2, 1.25e-2];
+        let errs = [1e-2, 2.5e-3, 1e-6, 1e-6];
+        let fit = fit_order(&dts, &errs).unwrap();
+        assert!(fit.r2 < 0.99, "r2 = {}", fit.r2);
+    }
+
+    #[test]
+    fn fit_rejects_degenerate_ladders() {
+        assert!(fit_order(&[1e-3], &[1.0]).is_err());
+        assert!(fit_order(&[1e-3, -1.0], &[1.0, 1.0]).is_err());
+        assert!(fit_order(&[1e-3, 1e-3], &[1.0, 1.0]).is_err());
+    }
+}

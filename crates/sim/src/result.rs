@@ -8,8 +8,16 @@ use sfet_devices::ptm::TransitionEvent;
 use sfet_waveform::Waveform;
 
 /// Engine statistics for one transient run.
+///
+/// The step counters satisfy `steps_attempted == steps_accepted +
+/// steps_rejected` by construction (every loop iteration either accepts
+/// or rejects), and `newton_iterations >= steps_accepted` (each accepted
+/// step converged through at least one iteration). `sfet-verify` enforces
+/// these invariants across its reference-circuit catalog.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct TranStats {
+    /// Step attempts (accepted + rejected).
+    pub steps_attempted: usize,
     /// Accepted time steps.
     pub steps_accepted: usize,
     /// Rejected attempts (Newton failure or event refinement).
@@ -127,6 +135,70 @@ impl TranResult {
             Waveform::from_samples(self.times.clone(), self.ptm_resistance[idx].clone())
                 .expect("engine produces a valid time axis"),
         )
+    }
+
+    /// Scores a node voltage against a closed-form reference solution,
+    /// returning error norms over the engine's own sample times (no
+    /// interpolation error enters the score). This is the hook the
+    /// `sfet-verify` convergence-order checker runs on.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownSignal`] if the node does not exist.
+    ///
+    /// # Example
+    ///
+    /// ```no_run
+    /// # fn demo(result: &sfet_sim::TranResult) -> Result<(), sfet_sim::SimError> {
+    /// // Score v(out) against an RC step response with tau = 1 ps.
+    /// let norms = result.score_voltage("out", |t| 1.0 - (-t / 1e-12).exp())?;
+    /// assert!(norms.linf < 1e-3);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn score_voltage(
+        &self,
+        node: &str,
+        exact: impl Fn(f64) -> f64,
+    ) -> Result<sfet_numeric::norms::ErrorNorms> {
+        let &idx = self
+            .node_index
+            .get(node)
+            .ok_or_else(|| SimError::UnknownSignal(format!("v({node})")))?;
+        Ok(self.score_samples(&self.node_data[idx], exact))
+    }
+
+    /// Scores a branch current (voltage source or inductor) against a
+    /// closed-form reference solution. See [`TranResult::score_voltage`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownSignal`] if no such branch exists.
+    pub fn score_branch_current(
+        &self,
+        element: &str,
+        exact: impl Fn(f64) -> f64,
+    ) -> Result<sfet_numeric::norms::ErrorNorms> {
+        let &idx = self
+            .branch_index
+            .get(element)
+            .ok_or_else(|| SimError::UnknownSignal(format!("i({element})")))?;
+        Ok(self.score_samples(&self.branch_data[idx], exact))
+    }
+
+    fn score_samples(
+        &self,
+        data: &[f64],
+        exact: impl Fn(f64) -> f64,
+    ) -> sfet_numeric::norms::ErrorNorms {
+        let errors: Vec<f64> = self
+            .times
+            .iter()
+            .zip(data)
+            .map(|(&t, &v)| v - exact(t))
+            .collect();
+        sfet_numeric::norms::error_norms(&self.times, &errors)
+            .expect("engine produces a valid time axis")
     }
 
     /// Phase-transition events of a PTM instance, in time order.

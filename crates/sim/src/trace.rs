@@ -33,6 +33,7 @@ pub(crate) fn emit_tran_stats(tel: &Telemetry, stats: &TranStats) {
     if !tel.is_enabled() {
         return;
     }
+    tel.counter(names::TRAN_STEPS_ATTEMPTED, stats.steps_attempted as u64);
     tel.counter(names::TRAN_STEPS_ACCEPTED, stats.steps_accepted as u64);
     tel.counter(names::TRAN_STEPS_REJECTED, stats.steps_rejected as u64);
     tel.counter(

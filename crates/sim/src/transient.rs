@@ -72,16 +72,15 @@ pub fn transient(circuit: &Circuit, tstop: f64, opts: &SimOptions) -> Result<Tra
     let mut t = 0.0f64;
     let mut dt = (opts.dtmax / 16.0).max(opts.dtmin);
     let mut force_be = true; // first step: backward Euler
-    let mut attempts = 0usize;
-    // History for the quadratic LTE predictor: two previous accepted points.
+                             // History for the quadratic LTE predictor: two previous accepted points.
     let mut hist: Vec<(f64, Vec<f64>)> = Vec::with_capacity(2);
 
     while t < tstop * (1.0 - 1e-12) {
-        attempts += 1;
-        if attempts > opts.max_steps {
+        stats.steps_attempted += 1;
+        if stats.steps_attempted > opts.max_steps {
             return Err(SimError::StepBudgetExceeded {
                 time: t,
-                steps: attempts,
+                steps: stats.steps_attempted,
             });
         }
         // Dropped at every exit from this loop body (accept or any of the

@@ -125,6 +125,8 @@ pub mod names {
     pub const SPAN_PAR_MAP: &str = "exec.par_map";
 
     // --- Transient counters (totals match `TranStats`). ---
+    /// Transient step attempts (accepted + rejected).
+    pub const TRAN_STEPS_ATTEMPTED: &str = "tran.steps_attempted";
     /// Accepted transient steps.
     pub const TRAN_STEPS_ACCEPTED: &str = "tran.steps_accepted";
     /// Rejected transient step attempts (all causes).

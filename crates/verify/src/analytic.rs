@@ -1,0 +1,506 @@
+//! Analytic reference circuits with closed-form transient solutions.
+//!
+//! Every reference pairs a canonical netlist (built by
+//! [`sfet_circuit::builders`]) with the exact solution of the signal it
+//! probes, so any transient run can be scored with the error norms from
+//! [`sfet_numeric::norms`]. The smooth references drive the convergence-order
+//! checker in [`crate::order`]; the piecewise-exponential PTM staircase is
+//! *event-limited* (its accuracy floor is set by threshold localisation, not
+//! by the integration method) and is therefore scored against an absolute
+//! tolerance instead of entering the order fit.
+//!
+//! # The ramp-response trick
+//!
+//! All voltage-driven references use a one-shot ramp `k·[r(t−t₀) − r(t−t₁)]`
+//! (where `r` is the unit ramp) starting *after* `t = 0`, so the DC operating
+//! point is identically zero and no initial-condition bookkeeping is needed.
+//! For a linear circuit whose unit-*step* response is `s(t)`, the response to
+//! a unit ramp is `ρ(t) = ∫₀ᵗ s(τ) dτ`, and superposition gives the ramp
+//! response as `k·[ρ(t−t₀) − ρ(t−t₁)]`. The `ρ` kernels for the RC, LC and
+//! RLC topologies are implemented below and self-tested against their
+//! derivatives.
+
+use sfet_circuit::{builders, Circuit, SourceWaveform};
+use sfet_devices::ptm::PtmParams;
+use sfet_numeric::integrate::Method;
+use sfet_numeric::norms::ErrorNorms;
+use sfet_sim::{transient, SimOptions, TranResult};
+
+use crate::Result;
+
+/// Which signal of the reference circuit the exact solution describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Probe {
+    /// A node voltage, by node name.
+    NodeVoltage(&'static str),
+    /// A branch current, by element name.
+    BranchCurrent(&'static str),
+}
+
+/// A reference circuit with a closed-form solution for one probed signal.
+pub struct AnalyticReference {
+    /// Short stable identifier (used in reports and golden files).
+    pub name: &'static str,
+    /// One-line description of the topology and what it exercises.
+    pub description: &'static str,
+    /// Transient duration \[s\].
+    pub tstop: f64,
+    /// The signal the exact solution describes.
+    pub probe: Probe,
+    /// Whether the solution is smooth enough for order fitting. Event-limited
+    /// references (PTM staircase) set this to `false` and are scored against
+    /// [`AnalyticReference::tol_linf`] only.
+    pub smooth: bool,
+    /// Default `dt` ladder, as divisions of `tstop` (coarse → fine).
+    pub divisions: &'static [usize],
+    /// L∞ accuracy gate at the finest ladder rung with the default
+    /// (trapezoidal) method, in units of [`AnalyticReference::scale`].
+    pub tol_linf: f64,
+    /// Characteristic signal magnitude (for unit-free tolerance checks).
+    pub scale: f64,
+    circuit: Circuit,
+    exact: Box<dyn Fn(f64) -> f64 + Send + Sync>,
+}
+
+impl std::fmt::Debug for AnalyticReference {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnalyticReference")
+            .field("name", &self.name)
+            .field("tstop", &self.tstop)
+            .field("probe", &self.probe)
+            .field("smooth", &self.smooth)
+            .finish_non_exhaustive()
+    }
+}
+
+impl AnalyticReference {
+    /// The reference netlist.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// The exact solution of the probed signal at time `t`.
+    pub fn exact(&self, t: f64) -> f64 {
+        (self.exact)(t)
+    }
+
+    /// Simulation options for one ladder rung: `dtmax = tstop / divisions`
+    /// with the given integration method and LTE control left off, so the
+    /// step size (and hence the measured order) is set by `dtmax` alone.
+    pub fn options(&self, divisions: usize, method: Method) -> SimOptions {
+        SimOptions::for_duration(self.tstop, divisions).with_method(method)
+    }
+
+    /// Runs the reference transient under `opts`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures as [`crate::VerifyError::Sim`].
+    pub fn run(&self, opts: &SimOptions) -> Result<TranResult> {
+        Ok(transient(&self.circuit, self.tstop, opts)?)
+    }
+
+    /// Scores a transient run of this reference against the exact solution.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::VerifyError::Sim`] if the probed signal is missing from the
+    /// result, [`crate::VerifyError::Numeric`] if the time axis is degenerate.
+    pub fn score(&self, result: &TranResult) -> Result<ErrorNorms> {
+        let norms = match self.probe {
+            Probe::NodeVoltage(node) => result.score_voltage(node, |t| (self.exact)(t))?,
+            Probe::BranchCurrent(element) => {
+                result.score_branch_current(element, |t| (self.exact)(t))?
+            }
+        };
+        Ok(norms)
+    }
+
+    /// Convenience: run at one ladder rung and score.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AnalyticReference::run`] / [`AnalyticReference::score`]
+    /// failures.
+    pub fn run_and_score(&self, divisions: usize, method: Method) -> Result<ErrorNorms> {
+        let result = self.run(&self.options(divisions, method))?;
+        self.score(&result)
+    }
+}
+
+/// Ramp-response kernel of a first-order lag (series RC voltage, and — after
+/// dividing by `R` — series RL current): `ρ(x) = x − τ(1 − e^{−x/τ})`,
+/// zero for `x ≤ 0`.
+pub fn rho_first_order(x: f64, tau: f64) -> f64 {
+    if x <= 0.0 {
+        0.0
+    } else {
+        x - tau * (1.0 - (-x / tau).exp())
+    }
+}
+
+/// Ramp-response kernel of the lossless LC tank voltage:
+/// `ρ(x) = x − sin(ω₀x)/ω₀`, zero for `x ≤ 0`.
+pub fn rho_lc(x: f64, w0: f64) -> f64 {
+    if x <= 0.0 {
+        0.0
+    } else {
+        x - (w0 * x).sin() / w0
+    }
+}
+
+/// Ramp-response kernel of the underdamped series RLC capacitor voltage
+/// (`α = R/2L`, `ω_d = √(ω₀² − α²)`):
+///
+/// `ρ(x) = x − I_c(x) − (α/ω_d)·I_s(x)` with
+/// `I_c = [e^{−αx}(−α cos ω_d x + ω_d sin ω_d x) + α] / ω₀²` and
+/// `I_s = [e^{−αx}(−α sin ω_d x − ω_d cos ω_d x) + ω_d] / ω₀²`,
+/// zero for `x ≤ 0`. Reduces to [`rho_lc`] at `α = 0`.
+pub fn rho_rlc(x: f64, alpha: f64, wd: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    let w0_sq = alpha * alpha + wd * wd;
+    let e = (-alpha * x).exp();
+    let (s, c) = (wd * x).sin_cos();
+    let i_cos = (e * (-alpha * c + wd * s) + alpha) / w0_sq;
+    let i_sin = (e * (-alpha * s - wd * c) + wd) / w0_sq;
+    x - i_cos - (alpha / wd) * i_sin
+}
+
+/// Series RC (τ = 1 ps) driven by a 2 ps voltage ramp. Probes `v(out)`.
+fn rc_step() -> Result<AnalyticReference> {
+    let (r, c) = (1e3, 1e-15);
+    let tau = r * c;
+    let (t0, t_rise) = (1e-12, 2e-12);
+    let k = 1.0 / t_rise;
+    let circuit = builders::driven_rc(r, c, SourceWaveform::ramp(0.0, 1.0, t0, t_rise))?;
+    Ok(AnalyticReference {
+        name: "rc_step",
+        description: "series RC ramp response — the basic charging exponential",
+        tstop: 8e-12,
+        probe: Probe::NodeVoltage("out"),
+        smooth: true,
+        divisions: &[100, 200, 400, 800, 1600],
+        tol_linf: 1e-4,
+        scale: 1.0,
+        circuit,
+        exact: Box::new(move |t| {
+            k * (rho_first_order(t - t0, tau) - rho_first_order(t - t0 - t_rise, tau))
+        }),
+    })
+}
+
+/// Series RL (τ = 10 ps) driven by a 5 ps voltage ramp. Probes `i(L1)` —
+/// exercises the branch-current unknown and the inductor companion model.
+fn rl_step() -> Result<AnalyticReference> {
+    let (r, l) = (100.0, 1e-9);
+    let tau = l / r;
+    let (t0, t_rise) = (2e-12, 5e-12);
+    let k = 1.0 / t_rise;
+    let circuit = builders::driven_rl(r, l, SourceWaveform::ramp(0.0, 1.0, t0, t_rise))?;
+    Ok(AnalyticReference {
+        name: "rl_step",
+        description: "series RL ramp response probed at the inductor branch current",
+        tstop: 50e-12,
+        probe: Probe::BranchCurrent("L1"),
+        smooth: true,
+        divisions: &[100, 200, 400, 800, 1600],
+        tol_linf: 1e-4,
+        scale: 1e-2,
+        circuit,
+        exact: Box::new(move |t| {
+            k / r * (rho_first_order(t - t0, tau) - rho_first_order(t - t0 - t_rise, tau))
+        }),
+    })
+}
+
+/// Lossless LC tank (ω₀ = 10¹² rad/s) rung by a 3 ps ramp. Probes `v(out)`.
+/// The undamped oscillation exposes numerical dissipation: backward Euler
+/// decays it, the trapezoidal rule preserves it.
+fn lc_tank() -> Result<AnalyticReference> {
+    let (l, c) = (1e-9_f64, 1e-15_f64);
+    let w0 = 1.0 / (l * c).sqrt();
+    let (t0, t_rise) = (1e-12, 3e-12);
+    let k = 1.0 / t_rise;
+    let circuit = builders::driven_lc(l, c, SourceWaveform::ramp(0.0, 1.0, t0, t_rise))?;
+    Ok(AnalyticReference {
+        name: "lc_tank",
+        description: "lossless LC tank — numerical-dissipation stress test",
+        tstop: 12.5e-12,
+        probe: Probe::NodeVoltage("out"),
+        smooth: true,
+        divisions: &[400, 800, 1600, 3200],
+        tol_linf: 1e-4,
+        scale: 1.0,
+        circuit,
+        exact: Box::new(move |t| k * (rho_lc(t - t0, w0) - rho_lc(t - t0 - t_rise, w0))),
+    })
+}
+
+/// Underdamped series RLC (Q ≈ 3) driven by a 60 ps ramp. Probes `v(out)` —
+/// the damped ringing mirrors the PDN wake-up waveforms at reduced scale.
+fn driven_rlc() -> Result<AnalyticReference> {
+    let (r, l, c) = (10.0_f64, 1e-9_f64, 1e-12_f64);
+    let alpha = r / (2.0 * l);
+    let w0_sq = 1.0 / (l * c);
+    let wd = (w0_sq - alpha * alpha).sqrt();
+    let (t0, t_rise) = (20e-12, 60e-12);
+    let k = 1.0 / t_rise;
+    let circuit = builders::driven_rlc(r, l, c, SourceWaveform::ramp(0.0, 1.0, t0, t_rise))?;
+    Ok(AnalyticReference {
+        name: "driven_rlc",
+        description: "underdamped series RLC ramp response — damped ringing",
+        tstop: 400e-12,
+        probe: Probe::NodeVoltage("out"),
+        smooth: true,
+        divisions: &[400, 800, 1600, 3200],
+        tol_linf: 1e-4,
+        scale: 1.0,
+        circuit,
+        exact: Box::new(move |t| {
+            k * (rho_rlc(t - t0, alpha, wd) - rho_rlc(t - t0 - t_rise, alpha, wd))
+        }),
+    })
+}
+
+/// Manufactured-solution reference: a sine current `A·sin ωt` into a
+/// parallel RC from rest has the exact solution
+/// `v(t) = AR/(1+q²)·(sin ωt − q cos ωt + q e^{−t/τ})` with `q = ωRC`.
+/// Unlike the ramp references it has no source corners at all, so it
+/// isolates the integrator from the breakpoint-snapping machinery.
+fn sine_rc() -> Result<AnalyticReference> {
+    let (r, c) = (1e3, 1e-15);
+    let tau = r * c;
+    let (ampl, freq) = (1e-3, 1e11);
+    let w = 2.0 * std::f64::consts::PI * freq;
+    let q = w * tau;
+    let gain = ampl * r / (1.0 + q * q);
+    let circuit = builders::current_driven_rc(
+        r,
+        c,
+        SourceWaveform::Sine {
+            offset: 0.0,
+            ampl,
+            freq,
+            delay: 0.0,
+        },
+    )?;
+    Ok(AnalyticReference {
+        name: "sine_rc",
+        description: "manufactured solution: sine current into parallel RC, corner-free",
+        tstop: 30e-12,
+        probe: Probe::NodeVoltage("out"),
+        smooth: true,
+        divisions: &[100, 200, 400, 800, 1600],
+        tol_linf: 1e-4,
+        scale: 1.0,
+        circuit,
+        exact: Box::new(move |t| gain * ((w * t).sin() - q * (w * t).cos() + q * (-t / tau).exp())),
+    })
+}
+
+/// Piecewise-exponential gate-charge staircase through an *ideal* two-state
+/// PTM ([`PtmParams::ideal_reference`], `T_PTM = 0`): a 30 ps input ramp
+/// charges a capacitor through the PTM, which switches insulating → metallic
+/// at `V_IMT` and back at `V_MIT`, producing four closed-form exponential
+/// segments. Event-limited (`smooth = false`): the engine localises each
+/// threshold crossing to `event_vtol`, a `dt`-independent floor, so this
+/// reference gates absolute accuracy rather than convergence order.
+fn ptm_staircase() -> Result<AnalyticReference> {
+    let params = PtmParams::ideal_reference();
+    let c = 1e-15;
+    let (tau_ins, tau_met) = (params.r_ins * c, params.r_met * c);
+    let (v_imt, v_mit) = (params.v_imt, params.v_mit);
+    let t_rise = 30e-12;
+    let k = 1.0 / t_rise;
+
+    // Segment boundaries (see docs/VERIFICATION.md for the derivation).
+    // S0, insulating under the ramp: v_c = k·ρ(t; τ_ins), and the PTM drop
+    // k·t − v_c = k·τ_ins·(1 − e^{−t/τ_ins}) reaches V_IMT at
+    let t_imt = -tau_ins * (1.0 - v_imt / (k * tau_ins)).ln();
+    let c0 = k * t_imt - v_imt; // v_c at the IMT instant
+    debug_assert!(t_imt < t_rise, "IMT must fire during the ramp");
+    // S1, metallic under the ramp: first-order lag behind the ramp.
+    let a1 = c0 - k * (t_imt - tau_met);
+    let v_r = k * (t_rise - tau_met) + a1 * ((t_rise - t_imt) / -tau_met).exp();
+    // S2, metallic at the plateau: exponential toward 1 V; the drop 1 − v_c
+    // falls to V_MIT at
+    let t_mit = t_rise + tau_met * ((1.0 - v_r) / v_mit).ln();
+    debug_assert!(t_mit > t_rise);
+
+    let mut ckt = Circuit::new();
+    let inp = ckt.node("in");
+    let out = ckt.node("out");
+    let gnd = Circuit::ground();
+    ckt.add_voltage_source("VIN", inp, gnd, SourceWaveform::ramp(0.0, 1.0, 0.0, t_rise))?;
+    ckt.add_ptm("P1", inp, out, params)?;
+    ckt.add_capacitor("C1", out, gnd, c)?;
+
+    Ok(AnalyticReference {
+        name: "ptm_staircase",
+        description: "ideal-PTM gate-charge staircase — four exponential segments, event-limited",
+        tstop: 80e-12,
+        probe: Probe::NodeVoltage("out"),
+        smooth: false,
+        divisions: &[400, 800, 1600],
+        tol_linf: 1e-2,
+        scale: 1.0,
+        circuit: ckt,
+        exact: Box::new(move |t| {
+            if t <= t_imt {
+                k * rho_first_order(t, tau_ins)
+            } else if t <= t_rise {
+                k * (t - tau_met) + a1 * ((t - t_imt) / -tau_met).exp()
+            } else if t <= t_mit {
+                1.0 - (1.0 - v_r) * ((t - t_rise) / -tau_met).exp()
+            } else {
+                1.0 - v_mit * ((t - t_mit) / -tau_ins).exp()
+            }
+        }),
+    })
+}
+
+/// The full reference catalog, smooth and event-limited.
+///
+/// # Errors
+///
+/// Propagates netlist-construction failures (none are expected for the
+/// built-in parameter sets).
+pub fn catalog() -> Result<Vec<AnalyticReference>> {
+    Ok(vec![
+        rc_step()?,
+        rl_step()?,
+        lc_tank()?,
+        driven_rlc()?,
+        sine_rc()?,
+        ptm_staircase()?,
+    ])
+}
+
+/// The smooth subset of [`catalog`] — the references the order checker uses.
+///
+/// # Errors
+///
+/// Propagates [`catalog`] failures.
+pub fn smooth_catalog() -> Result<Vec<AnalyticReference>> {
+    Ok(catalog()?.into_iter().filter(|r| r.smooth).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Central-difference derivative.
+    fn deriv(f: impl Fn(f64) -> f64, x: f64, h: f64) -> f64 {
+        (f(x + h) - f(x - h)) / (2.0 * h)
+    }
+
+    #[test]
+    fn rho_first_order_derivative_is_step_response() {
+        let tau = 1e-12;
+        for &x in &[0.3e-12_f64, 1e-12, 2.5e-12] {
+            let expect = 1.0 - (-x / tau).exp();
+            let got = deriv(|x| rho_first_order(x, tau), x, 1e-17);
+            assert!((got - expect).abs() < 1e-6, "x={x}: {got} vs {expect}");
+        }
+        assert_eq!(rho_first_order(-1e-12, tau), 0.0);
+    }
+
+    #[test]
+    fn rho_lc_derivative_is_step_response() {
+        let w0 = 1e12;
+        for &x in &[0.5e-12_f64, 2e-12, 5e-12] {
+            let expect = 1.0 - (w0 * x).cos();
+            let got = deriv(|x| rho_lc(x, w0), x, 1e-17);
+            assert!((got - expect).abs() < 1e-5, "x={x}: {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn rho_rlc_derivative_is_step_response() {
+        let (alpha, wd) = (5e9, 3.122e10);
+        for &x in &[10e-12_f64, 50e-12, 200e-12] {
+            let expect = 1.0 - (-alpha * x).exp() * ((wd * x).cos() + alpha / wd * (wd * x).sin());
+            let got = deriv(|x| rho_rlc(x, alpha, wd), x, 1e-16);
+            assert!((got - expect).abs() < 1e-4, "x={x}: {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn rho_rlc_reduces_to_lc_without_damping() {
+        let w0 = 1e12;
+        for &x in &[0.7e-12_f64, 3e-12] {
+            assert!((rho_rlc(x, 1e-6, w0) - rho_lc(x, w0)).abs() < 1e-18);
+        }
+    }
+
+    #[test]
+    fn sine_rc_solution_satisfies_the_node_equation() {
+        let refs = catalog().unwrap();
+        let sine = refs.iter().find(|r| r.name == "sine_rc").unwrap();
+        let (r, c, ampl, freq) = (1e3, 1e-15, 1e-3, 1e11);
+        let w = 2.0 * std::f64::consts::PI * freq;
+        // C·v' + v/R must equal the injected current A·sin ωt.
+        for &t in &[1e-12, 4.7e-12, 13e-12, 25e-12] {
+            let v = sine.exact(t);
+            let dv = deriv(|t| sine.exact(t), t, 1e-17);
+            let residual = c * dv + v / r - ampl * (w * t).sin();
+            assert!(residual.abs() < 1e-7, "t={t}: residual {residual}");
+        }
+        assert!(sine.exact(0.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn staircase_segments_are_continuous_and_threshold_consistent() {
+        let refs = catalog().unwrap();
+        let st = refs.iter().find(|r| r.name == "ptm_staircase").unwrap();
+        // Continuity: scan for jumps anywhere; a discontinuity shows up as a
+        // huge central difference.
+        let n = 4000;
+        let dt = st.tstop / n as f64;
+        let mut prev = st.exact(0.0);
+        for i in 1..=n {
+            let v = st.exact(i as f64 * dt);
+            assert!(
+                (v - prev).abs() < 0.01,
+                "jump at t={:.3e}: {} -> {}",
+                i as f64 * dt,
+                prev,
+                v
+            );
+            prev = v;
+        }
+        // Endpoints: starts discharged, ends nearly charged through the
+        // insulating tail.
+        assert_eq!(st.exact(0.0), 0.0);
+        let end = st.exact(st.tstop);
+        assert!(end > 0.9 && end < 1.0, "end value {end}");
+    }
+
+    #[test]
+    fn catalog_circuits_validate_and_probes_resolve() {
+        for r in catalog().unwrap() {
+            r.circuit().validate().unwrap();
+            match r.probe {
+                Probe::NodeVoltage(node) => {
+                    assert!(r.circuit().find_node(node).is_some(), "{}: {node}", r.name)
+                }
+                Probe::BranchCurrent(el) => {
+                    assert!(r.circuit().find_element(el).is_some(), "{}: {el}", r.name)
+                }
+            }
+            assert!(!r.divisions.is_empty());
+            assert!(r.tstop > 0.0 && r.scale > 0.0 && r.tol_linf > 0.0);
+        }
+    }
+
+    #[test]
+    fn references_have_unique_names() {
+        let refs = catalog().unwrap();
+        let mut names: Vec<_> = refs.iter().map(|r| r.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), refs.len());
+    }
+}

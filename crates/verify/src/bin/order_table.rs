@@ -1,0 +1,63 @@
+//! Convergence-order table tool (the CI `verify` job's artifact).
+//!
+//! Runs every smooth analytic reference down its `dt` ladder with every
+//! integration method, prints the fitted-order table as markdown, and exits
+//! non-zero if any observed order falls more than `ORDER_MARGIN` below its
+//! nominal value. Pass `--out <path>` to also write the table to a file.
+
+use std::process::ExitCode;
+
+use sfet_verify::order::{order_table, render_markdown, ORDER_MARGIN};
+
+fn main() -> ExitCode {
+    let mut out_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => match args.next() {
+                Some(p) => out_path = Some(p),
+                None => {
+                    eprintln!("--out needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("usage: order_table [--out <path>]  (unknown arg `{other}`)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let rows = match order_table() {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("order measurement failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let table = render_markdown(&rows);
+    print!("{table}");
+    if let Some(path) = out_path {
+        if let Err(e) = std::fs::write(&path, &table) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let failures: Vec<_> = rows.iter().filter(|r| !r.pass()).collect();
+    if failures.is_empty() {
+        println!("\nall {} fits within {ORDER_MARGIN} of nominal", rows.len());
+        ExitCode::SUCCESS
+    } else {
+        for f in failures {
+            eprintln!(
+                "order regression: {} with {:?} fitted {:.3}, nominal {:.1} (margin {ORDER_MARGIN})",
+                f.reference,
+                f.method,
+                f.fit.order,
+                f.nominal()
+            );
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,125 @@
+//! Correctness subsystem for the Soft-FET reproduction.
+//!
+//! The simulator's unit tests check mechanisms; this crate checks *answers*.
+//! It holds three pillars, described in detail in `docs/VERIFICATION.md`:
+//!
+//! * [`analytic`] — a catalog of reference circuits with closed-form
+//!   solutions ([`AnalyticReference`]): RC/RL ramp responses, an undamped
+//!   LC tank, a damped RLC, a manufactured sine-driven parallel RC, and a
+//!   piecewise-exponential staircase through an ideal two-state PTM. Each
+//!   exposes `exact(t)` so any transient run can be scored with the L2/L∞
+//!   error norms from [`sfet_numeric::norms`].
+//! * [`order`] — the convergence-order checker: runs each smooth reference
+//!   down a `dt` ladder, fits the observed order by log–log regression
+//!   ([`sfet_numeric::norms::fit_order`]), and asserts the trapezoidal rule
+//!   converges at ≈ 2 and backward Euler at ≈ 1.
+//! * [`golden`] — the golden-waveform regression harness: deterministic
+//!   scenario runs checkpointed to compact on-disk golden files and
+//!   compared under per-signal tolerance envelopes
+//!   ([`sfet_waveform::compare::Tol`]), with a `--update` refresh binary
+//!   (`cargo run -p sfet-verify --bin golden -- --update`).
+//!
+//! The two binaries (`golden`, `order_table`) are the CI entry points; the
+//! integration tests under `crates/verify/tests/` run the same checks in
+//! `cargo test`.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+pub mod analytic;
+pub mod golden;
+pub mod order;
+
+pub use analytic::{catalog, AnalyticReference, Probe};
+pub use order::{measure_order, nominal_order, order_table, OrderMeasurement};
+
+/// Errors surfaced by the verification subsystem.
+#[derive(Debug)]
+pub enum VerifyError {
+    /// Reference netlist construction failed.
+    Circuit(sfet_circuit::CircuitError),
+    /// A transient run failed.
+    Sim(sfet_sim::SimError),
+    /// Waveform extraction or resampling failed.
+    Waveform(sfet_waveform::WaveformError),
+    /// Norm computation or order fitting failed.
+    Numeric(sfet_numeric::NumericError),
+    /// A device-level sweep failed.
+    Device(sfet_devices::DeviceError),
+    /// A PDN scenario failed.
+    Pdn(sfet_pdn::PdnError),
+    /// Golden file I/O failed.
+    Io(std::io::Error),
+    /// A golden file is malformed or refers to an unknown scenario.
+    Format(String),
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::Circuit(e) => write!(f, "circuit error: {e}"),
+            VerifyError::Sim(e) => write!(f, "simulation error: {e}"),
+            VerifyError::Waveform(e) => write!(f, "waveform error: {e}"),
+            VerifyError::Numeric(e) => write!(f, "numeric error: {e}"),
+            VerifyError::Device(e) => write!(f, "device error: {e}"),
+            VerifyError::Pdn(e) => write!(f, "pdn scenario error: {e}"),
+            VerifyError::Io(e) => write!(f, "golden file I/O error: {e}"),
+            VerifyError::Format(msg) => write!(f, "golden file format error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VerifyError::Circuit(e) => Some(e),
+            VerifyError::Sim(e) => Some(e),
+            VerifyError::Waveform(e) => Some(e),
+            VerifyError::Numeric(e) => Some(e),
+            VerifyError::Device(e) => Some(e),
+            VerifyError::Pdn(e) => Some(e),
+            VerifyError::Io(e) => Some(e),
+            VerifyError::Format(_) => None,
+        }
+    }
+}
+
+impl From<sfet_circuit::CircuitError> for VerifyError {
+    fn from(e: sfet_circuit::CircuitError) -> Self {
+        VerifyError::Circuit(e)
+    }
+}
+impl From<sfet_sim::SimError> for VerifyError {
+    fn from(e: sfet_sim::SimError) -> Self {
+        VerifyError::Sim(e)
+    }
+}
+impl From<sfet_waveform::WaveformError> for VerifyError {
+    fn from(e: sfet_waveform::WaveformError) -> Self {
+        VerifyError::Waveform(e)
+    }
+}
+impl From<sfet_numeric::NumericError> for VerifyError {
+    fn from(e: sfet_numeric::NumericError) -> Self {
+        VerifyError::Numeric(e)
+    }
+}
+impl From<sfet_devices::DeviceError> for VerifyError {
+    fn from(e: sfet_devices::DeviceError) -> Self {
+        VerifyError::Device(e)
+    }
+}
+impl From<sfet_pdn::PdnError> for VerifyError {
+    fn from(e: sfet_pdn::PdnError) -> Self {
+        VerifyError::Pdn(e)
+    }
+}
+impl From<std::io::Error> for VerifyError {
+    fn from(e: std::io::Error) -> Self {
+        VerifyError::Io(e)
+    }
+}
+
+/// Convenience result alias for the verification subsystem.
+pub type Result<T> = std::result::Result<T, VerifyError>;

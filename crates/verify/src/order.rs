@@ -1,0 +1,169 @@
+//! Convergence-order measurement for the transient integrators.
+//!
+//! Each smooth [`AnalyticReference`] is run down a ladder of maximum step
+//! sizes (`dtmax = tstop / divisions`, LTE control off so `dtmax` is the
+//! binding step size), the L2 error against the exact solution is recorded
+//! at every rung, and the observed order is the slope of a log–log
+//! least-squares fit ([`sfet_numeric::norms::fit_order`]). The trapezoidal
+//! rule must come out at ≈ 2, backward Euler and Gear-2's BE startup
+//! behaviour at ≈ 1 or better; CI fails when any fit drops more than
+//! [`ORDER_MARGIN`] below nominal.
+
+use sfet_numeric::integrate::Method;
+use sfet_numeric::norms::{fit_order, OrderFit};
+
+use crate::analytic::{smooth_catalog, AnalyticReference};
+use crate::Result;
+
+/// Allowed shortfall of an observed order below its nominal value before
+/// the check (and the CI `verify` job) fails.
+pub const ORDER_MARGIN: f64 = 0.15;
+
+/// One reference × method order measurement: the error ladder and its fit.
+#[derive(Debug, Clone)]
+pub struct OrderMeasurement {
+    /// Reference name ([`AnalyticReference::name`]).
+    pub reference: &'static str,
+    /// Integration method measured.
+    pub method: Method,
+    /// Ladder step sizes \[s\], coarse → fine.
+    pub dts: Vec<f64>,
+    /// Time-weighted L2 error at each rung.
+    pub l2: Vec<f64>,
+    /// L∞ error at each rung.
+    pub linf: Vec<f64>,
+    /// Log–log fit of `l2` against `dts`.
+    pub fit: OrderFit,
+}
+
+impl OrderMeasurement {
+    /// Nominal order for this measurement's method.
+    pub fn nominal(&self) -> f64 {
+        nominal_order(self.method)
+    }
+
+    /// Whether the observed order clears `nominal − ORDER_MARGIN`.
+    pub fn pass(&self) -> bool {
+        self.fit.order >= self.nominal() - ORDER_MARGIN
+    }
+}
+
+/// Nominal convergence order of an integration method on smooth problems.
+/// Gear-2 is gated at 1.0, conservatively: the engine restarts it from
+/// backward-Euler steps at every source corner and its variable-step
+/// startup depresses the prefactor, so the gate asserts at-least-first-order
+/// while the CI table records the actual observed value.
+pub fn nominal_order(method: Method) -> f64 {
+    match method {
+        Method::Trapezoidal => 2.0,
+        Method::BackwardEuler => 1.0,
+        Method::Gear2 => 1.0,
+    }
+}
+
+/// Runs `reference` at every rung of `divisions` with `method` and fits the
+/// observed convergence order of the L2 error.
+///
+/// # Errors
+///
+/// Propagates run/score failures; [`crate::VerifyError::Numeric`] if the
+/// ladder has fewer than two usable rungs.
+pub fn measure_order(
+    reference: &AnalyticReference,
+    method: Method,
+    divisions: &[usize],
+) -> Result<OrderMeasurement> {
+    let mut dts = Vec::with_capacity(divisions.len());
+    let mut l2 = Vec::with_capacity(divisions.len());
+    let mut linf = Vec::with_capacity(divisions.len());
+    for &div in divisions {
+        let norms = reference.run_and_score(div, method)?;
+        dts.push(reference.tstop / div as f64);
+        l2.push(norms.l2);
+        linf.push(norms.linf);
+    }
+    let fit = fit_order(&dts, &l2)?;
+    Ok(OrderMeasurement {
+        reference: reference.name,
+        method,
+        dts,
+        l2,
+        linf,
+        fit,
+    })
+}
+
+/// The full order table: every smooth reference × every integration method,
+/// each at its own default ladder.
+///
+/// # Errors
+///
+/// Propagates [`measure_order`] failures.
+pub fn order_table() -> Result<Vec<OrderMeasurement>> {
+    let mut rows = Vec::new();
+    for reference in smooth_catalog()? {
+        for method in [Method::Trapezoidal, Method::BackwardEuler, Method::Gear2] {
+            rows.push(measure_order(&reference, method, reference.divisions)?);
+        }
+    }
+    Ok(rows)
+}
+
+/// Renders an order table as GitHub-flavoured markdown (the CI artifact).
+pub fn render_markdown(rows: &[OrderMeasurement]) -> String {
+    let mut out = String::from(
+        "| reference | method | observed order | nominal | r² | finest-rung L2 | status |\n\
+         |---|---|---|---|---|---|---|\n",
+    );
+    for row in rows {
+        let status = if row.pass() { "ok" } else { "FAIL" };
+        let finest = row.l2.last().copied().unwrap_or(f64::NAN);
+        out.push_str(&format!(
+            "| {} | {:?} | {:.3} | {:.1} | {:.5} | {:.3e} | {} |\n",
+            row.reference,
+            row.method,
+            row.fit.order,
+            row.nominal(),
+            row.fit.r2,
+            finest,
+            status
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analytic::catalog;
+
+    #[test]
+    fn nominal_orders() {
+        assert_eq!(nominal_order(Method::Trapezoidal), 2.0);
+        assert_eq!(nominal_order(Method::BackwardEuler), 1.0);
+    }
+
+    #[test]
+    fn short_ladder_measures_rc_trapezoidal() {
+        // A cut-down ladder keeps this unit test fast; the full table runs
+        // in tests/convergence.rs and in CI's order_table binary.
+        let refs = catalog().unwrap();
+        let rc = refs.iter().find(|r| r.name == "rc_step").unwrap();
+        let m = measure_order(rc, Method::Trapezoidal, &[100, 200, 400]).unwrap();
+        assert!(m.fit.order > 1.5, "observed order {}", m.fit.order);
+        assert!(m.pass());
+        assert_eq!(m.dts.len(), 3);
+        assert!(m.l2[0] > m.l2[2], "errors must shrink down the ladder");
+    }
+
+    #[test]
+    fn markdown_table_lists_every_row() {
+        let refs = catalog().unwrap();
+        let rc = refs.iter().find(|r| r.name == "rc_step").unwrap();
+        let m = measure_order(rc, Method::BackwardEuler, &[100, 200]).unwrap();
+        let md = render_markdown(&[m]);
+        assert!(md.contains("rc_step"));
+        assert!(md.contains("BackwardEuler"));
+        assert!(md.lines().count() >= 3);
+    }
+}

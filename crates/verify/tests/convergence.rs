@@ -1,0 +1,110 @@
+//! Convergence-order suite: the transient integrators must converge at
+//! their nominal order on every smooth analytic reference, and the
+//! event-limited PTM staircase must hit its absolute accuracy gate.
+//!
+//! The order bands here are deliberately wider than the CI regression gate
+//! (`ORDER_MARGIN` in `sfet_verify::order`): an observed order *above*
+//! nominal is fine (error cancellation), an order below the band is a real
+//! integrator regression.
+
+use sfet_numeric::integrate::Method;
+use sfet_verify::analytic::{catalog, smooth_catalog};
+use sfet_verify::order::measure_order;
+
+#[test]
+fn trapezoidal_is_second_order_on_every_smooth_reference() {
+    for reference in smooth_catalog().unwrap() {
+        let m = measure_order(&reference, Method::Trapezoidal, reference.divisions).unwrap();
+        assert!(
+            m.fit.order >= 1.85,
+            "{}: trapezoidal order {:.3} below 1.85 (ladder {:?})",
+            reference.name,
+            m.fit.order,
+            m.l2
+        );
+        assert!(
+            m.fit.order <= 2.7,
+            "{}: trapezoidal order {:.3} suspiciously high — ladder outside \
+             the asymptotic range",
+            reference.name,
+            m.fit.order
+        );
+        assert!(
+            m.fit.r2 >= 0.95,
+            "{}: poor log-log fit r²={:.4}",
+            reference.name,
+            m.fit.r2
+        );
+    }
+}
+
+#[test]
+fn backward_euler_is_first_order_on_every_smooth_reference() {
+    for reference in smooth_catalog().unwrap() {
+        let m = measure_order(&reference, Method::BackwardEuler, reference.divisions).unwrap();
+        assert!(
+            m.fit.order >= 0.9,
+            "{}: backward-Euler order {:.3} below 0.9",
+            reference.name,
+            m.fit.order
+        );
+        assert!(
+            m.fit.order <= 1.6,
+            "{}: backward-Euler order {:.3} suspiciously high",
+            reference.name,
+            m.fit.order
+        );
+        assert!(
+            m.fit.r2 >= 0.95,
+            "{}: poor log-log fit r²={:.4}",
+            reference.name,
+            m.fit.r2
+        );
+    }
+}
+
+#[test]
+fn gear2_clears_the_conservative_first_order_gate() {
+    for reference in smooth_catalog().unwrap() {
+        let m = measure_order(&reference, Method::Gear2, reference.divisions).unwrap();
+        assert!(
+            m.pass(),
+            "{}: Gear2 order {:.3} below nominal − margin",
+            reference.name,
+            m.fit.order
+        );
+    }
+}
+
+#[test]
+fn every_reference_hits_its_accuracy_gate_at_the_finest_rung() {
+    for reference in catalog().unwrap() {
+        let finest = *reference.divisions.last().unwrap();
+        let norms = reference
+            .run_and_score(finest, Method::Trapezoidal)
+            .unwrap();
+        assert!(
+            norms.linf / reference.scale <= reference.tol_linf,
+            "{}: L∞ {:.3e} (scale {:.1e}) exceeds gate {:.1e}",
+            reference.name,
+            norms.linf,
+            reference.scale,
+            reference.tol_linf
+        );
+    }
+}
+
+#[test]
+fn errors_shrink_monotonically_down_the_trapezoidal_ladder() {
+    for reference in smooth_catalog().unwrap() {
+        let m = measure_order(&reference, Method::Trapezoidal, reference.divisions).unwrap();
+        for pair in m.l2.windows(2) {
+            assert!(
+                pair[1] < pair[0],
+                "{}: L2 ladder not monotone: {:?}",
+                reference.name,
+                m.l2
+            );
+        }
+    }
+}

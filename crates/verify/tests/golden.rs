@@ -1,0 +1,56 @@
+//! Golden-waveform regression suite: every stored golden under
+//! `crates/verify/goldens/` must be reproduced within its tolerance
+//! envelope, and the sweep-based scenario must serialise bitwise-identically
+//! at 1, 2 and 8 workers (the deterministic parallel engine's contract).
+//!
+//! After an intentional behaviour change, refresh the files with
+//! `cargo run -p sfet-verify --bin golden -- --update`.
+
+use sfet_numeric::exec::ExecConfig;
+use sfet_verify::golden::{
+    check_scenario, compact, golden_path, run_scenario_with, scenario_names, serialize,
+};
+
+#[test]
+fn every_scenario_matches_its_stored_golden() {
+    for &name in scenario_names() {
+        assert!(
+            golden_path(name).exists(),
+            "missing golden file {} — run `cargo run -p sfet-verify --bin golden -- --update`",
+            golden_path(name).display()
+        );
+        let reports = check_scenario(name).unwrap();
+        assert!(!reports.is_empty(), "{name}: golden pinned no signals");
+        for r in &reports {
+            assert!(
+                r.report.pass(),
+                "{name}: signal `{}` left its envelope: {}/{} samples out, worst margin \
+                 {:.3e} at t={:.4e} (golden {:.6e}, actual {:.6e})",
+                r.name,
+                r.report.violations,
+                r.report.checked,
+                r.report.worst_margin,
+                r.report.worst_time,
+                r.report.worst_golden,
+                r.report.worst_actual
+            );
+        }
+    }
+}
+
+#[test]
+fn sweep_golden_is_bitwise_identical_across_worker_counts() {
+    let mut renderings = Vec::new();
+    for workers in [1, 2, 8] {
+        let cfg = ExecConfig::with_workers(workers);
+        let run = run_scenario_with("wake_ramp_tradeoff", &cfg).unwrap();
+        renderings.push((workers, serialize(&compact(&run).unwrap())));
+    }
+    let (_, reference) = &renderings[0];
+    for (workers, text) in &renderings[1..] {
+        assert_eq!(
+            text, reference,
+            "wake_ramp_tradeoff serialisation differs between 1 and {workers} workers"
+        );
+    }
+}

@@ -1,0 +1,288 @@
+//! Waveform resampling and tolerance-envelope comparison.
+//!
+//! The golden-waveform regression harness (`sfet-verify`) pins whole
+//! signals, not just scalar metrics. Two honestly-computed runs of the
+//! same scenario may differ by tiny amounts after a solver change that is
+//! *better*, not wrong — so goldens are compared against a tolerance
+//! envelope ([`Tol`]) with three knobs:
+//!
+//! * `abs` — absolute deviation floor (units of the signal);
+//! * `rel` — relative deviation, scaled by the golden value's magnitude;
+//! * `time_shift` — a horizontal window: a sample passes if the actual
+//!   waveform comes within the abs+rel envelope *anywhere* inside
+//!   `±time_shift` of the golden sample time. This absorbs step-placement
+//!   jitter around sharp edges without loosening the vertical envelope.
+
+use crate::{Result, Waveform, WaveformError};
+
+/// A tolerance envelope for comparing a measured value against a golden
+/// one: the allowance at golden value `g` is `abs + rel·|g|`, optionally
+/// searched over a `±time_shift` window for waveform comparisons.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tol {
+    /// Absolute allowance (signal units).
+    pub abs: f64,
+    /// Relative allowance (scaled by the golden magnitude).
+    pub rel: f64,
+    /// Half-width of the time-shift search window \[s\]; `0.0` compares
+    /// strictly pointwise.
+    pub time_shift: f64,
+}
+
+impl Tol {
+    /// A pointwise envelope with the given absolute and relative terms.
+    pub fn new(abs: f64, rel: f64) -> Self {
+        Tol {
+            abs,
+            rel,
+            time_shift: 0.0,
+        }
+    }
+
+    /// Builder-style addition of a time-shift window.
+    pub fn with_time_shift(mut self, time_shift: f64) -> Self {
+        self.time_shift = time_shift;
+        self
+    }
+
+    /// Envelope allowance at golden value `g`: `abs + rel·|g|`.
+    pub fn allowance(&self, golden: f64) -> f64 {
+        self.abs + self.rel * golden.abs()
+    }
+
+    /// Margin of a scalar comparison: `|actual − golden| / allowance`.
+    /// Values `<= 1` are within the envelope.
+    pub fn margin(&self, actual: f64, golden: f64) -> f64 {
+        let allow = self.allowance(golden);
+        if allow <= 0.0 {
+            return if actual == golden { 0.0 } else { f64::INFINITY };
+        }
+        (actual - golden).abs() / allow
+    }
+
+    /// Whether a scalar `actual` lies within the envelope around `golden`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use sfet_waveform::compare::Tol;
+    /// let tol = Tol::new(0.0, 0.02); // 2 % relative
+    /// assert!(tol.check_scalar(1.01, 1.0));
+    /// assert!(!tol.check_scalar(1.05, 1.0));
+    /// ```
+    pub fn check_scalar(&self, actual: f64, golden: f64) -> bool {
+        self.margin(actual, golden) <= 1.0
+    }
+}
+
+/// Outcome of comparing an actual waveform against a golden one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompareReport {
+    /// Golden samples checked.
+    pub checked: usize,
+    /// Samples whose deviation exceeded the envelope.
+    pub violations: usize,
+    /// Worst deviation / allowance ratio over all samples (`<= 1` passes).
+    pub worst_margin: f64,
+    /// Golden sample time of the worst margin.
+    pub worst_time: f64,
+    /// Golden value at the worst margin.
+    pub worst_golden: f64,
+    /// Closest actual value (within the shift window) at the worst margin.
+    pub worst_actual: f64,
+}
+
+impl CompareReport {
+    /// `true` when every golden sample was matched within the envelope.
+    pub fn pass(&self) -> bool {
+        self.violations == 0
+    }
+}
+
+/// Smallest vertical distance from golden value `g` to the piecewise-linear
+/// `actual` waveform over the window `[t - shift, t + shift]`.
+fn window_deviation(actual: &Waveform, t: f64, g: f64, shift: f64) -> (f64, f64) {
+    if shift <= 0.0 {
+        let v = actual.value_at(t);
+        return ((v - g).abs(), v);
+    }
+    let (lo, hi) = (t - shift, t + shift);
+    // Candidate evaluation points: the window ends plus every actual
+    // sample inside the window. Between consecutive candidates the actual
+    // waveform is linear, so the minimum of |actual − g| over a segment is
+    // zero if the segment crosses g and an endpoint value otherwise.
+    let mut prev = actual.value_at(lo);
+    let mut best = (prev - g).abs();
+    let mut best_v = prev;
+    let consider = |v: f64, best: &mut f64, best_v: &mut f64, prev: &mut f64| {
+        if (*prev - g) * (v - g) <= 0.0 {
+            *best = 0.0;
+            *best_v = g;
+        } else if (v - g).abs() < *best {
+            *best = (v - g).abs();
+            *best_v = v;
+        }
+        *prev = v;
+    };
+    for (ts, vs) in actual.iter() {
+        if ts > lo && ts < hi {
+            consider(vs, &mut best, &mut best_v, &mut prev);
+        }
+    }
+    consider(actual.value_at(hi), &mut best, &mut best_v, &mut prev);
+    (best, best_v)
+}
+
+/// Compares `actual` against `golden` sample-by-sample under the envelope
+/// `tol`, reporting the worst margin and the violation count.
+///
+/// Every *golden* sample is scored; the actual waveform is evaluated by
+/// linear interpolation (and searched over the `±time_shift` window when
+/// one is configured).
+///
+/// # Example
+///
+/// ```
+/// use sfet_waveform::compare::{compare, Tol};
+/// use sfet_waveform::Waveform;
+///
+/// # fn main() -> Result<(), sfet_waveform::WaveformError> {
+/// let golden = Waveform::from_samples(vec![0.0, 1.0, 2.0], vec![0.0, 1.0, 1.0])?;
+/// let actual = Waveform::from_samples(vec![0.0, 1.0, 2.0], vec![0.0, 1.004, 1.0])?;
+/// let report = compare(&golden, &actual, &Tol::new(1e-2, 0.0));
+/// assert!(report.pass());
+/// assert!(report.worst_margin < 1.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn compare(golden: &Waveform, actual: &Waveform, tol: &Tol) -> CompareReport {
+    let mut report = CompareReport {
+        checked: 0,
+        violations: 0,
+        worst_margin: 0.0,
+        worst_time: golden.start_time(),
+        worst_golden: golden.first_value(),
+        worst_actual: actual.first_value(),
+    };
+    for (t, g) in golden.iter() {
+        let (dev, closest) = window_deviation(actual, t, g, tol.time_shift);
+        let allow = tol.allowance(g);
+        let margin = if allow > 0.0 {
+            dev / allow
+        } else if dev == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        };
+        report.checked += 1;
+        if margin > 1.0 {
+            report.violations += 1;
+        }
+        if margin > report.worst_margin {
+            report.worst_margin = margin;
+            report.worst_time = t;
+            report.worst_golden = g;
+            report.worst_actual = closest;
+        }
+    }
+    report
+}
+
+/// Resamples a waveform onto `n` uniformly spaced points spanning its full
+/// time range (linear interpolation). Used to store goldens compactly and
+/// compare runs whose adaptive time axes differ.
+///
+/// # Errors
+///
+/// [`WaveformError::InvalidSamples`] if `n < 2` or the waveform spans a
+/// single instant.
+pub fn resample(w: &Waveform, n: usize) -> Result<Waveform> {
+    if n < 2 {
+        return Err(WaveformError::InvalidSamples(
+            "resample needs at least two points".into(),
+        ));
+    }
+    let (t0, t1) = (w.start_time(), w.end_time());
+    if t1 <= t0 {
+        return Err(WaveformError::InvalidSamples(
+            "cannot resample a single-instant waveform".into(),
+        ));
+    }
+    let step = (t1 - t0) / (n - 1) as f64;
+    let times: Vec<f64> = (0..n).map(|i| t0 + step * i as f64).collect();
+    let values: Vec<f64> = times.iter().map(|&t| w.value_at(t)).collect();
+    Waveform::from_samples(times, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wf(times: &[f64], values: &[f64]) -> Waveform {
+        Waveform::from_samples(times.to_vec(), values.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn scalar_envelope() {
+        let tol = Tol::new(1e-3, 0.01);
+        assert!(tol.check_scalar(1.010, 1.0)); // 1e-3 + 1e-2 allowance
+        assert!(!tol.check_scalar(1.012, 1.0));
+        // Zero-allowance envelope only admits exact equality.
+        let exact = Tol::new(0.0, 0.0);
+        assert!(exact.check_scalar(2.0, 2.0));
+        assert!(!exact.check_scalar(2.0 + 1e-12, 2.0));
+    }
+
+    #[test]
+    fn identical_waveforms_pass_zero_tolerance() {
+        let g = wf(&[0.0, 1.0, 2.0], &[0.0, 5.0, -1.0]);
+        let r = compare(&g, &g.clone(), &Tol::new(0.0, 0.0));
+        assert!(r.pass());
+        assert_eq!(r.worst_margin, 0.0);
+        assert_eq!(r.checked, 3);
+    }
+
+    #[test]
+    fn vertical_violation_detected() {
+        let g = wf(&[0.0, 1.0, 2.0], &[0.0, 1.0, 1.0]);
+        let a = wf(&[0.0, 1.0, 2.0], &[0.0, 1.2, 1.0]);
+        let r = compare(&g, &a, &Tol::new(0.05, 0.0));
+        assert!(!r.pass());
+        assert_eq!(r.violations, 1);
+        assert_eq!(r.worst_time, 1.0);
+        assert!((r.worst_actual - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_shift_absorbs_edge_jitter() {
+        // A unit step at t=1.0 in the golden, at t=1.05 in the actual:
+        // hopeless pointwise, fine with a 0.1 s shift window.
+        let g = wf(&[0.0, 0.999, 1.001, 2.0], &[0.0, 0.0, 1.0, 1.0]);
+        let a = wf(&[0.0, 1.049, 1.051, 2.0], &[0.0, 0.0, 1.0, 1.0]);
+        let strict = compare(&g, &a, &Tol::new(0.01, 0.0));
+        assert!(!strict.pass());
+        let shifted = compare(&g, &a, &Tol::new(0.01, 0.0).with_time_shift(0.1));
+        assert!(shifted.pass(), "worst margin {}", shifted.worst_margin);
+    }
+
+    #[test]
+    fn time_shift_does_not_mask_level_errors() {
+        let g = wf(&[0.0, 1.0, 2.0], &[1.0, 1.0, 1.0]);
+        let a = wf(&[0.0, 1.0, 2.0], &[1.5, 1.5, 1.5]);
+        let r = compare(&g, &a, &Tol::new(0.1, 0.0).with_time_shift(0.5));
+        assert!(!r.pass());
+        assert_eq!(r.violations, 3);
+    }
+
+    #[test]
+    fn resample_is_uniform_and_interpolates() {
+        let w = wf(&[0.0, 1.0, 4.0], &[0.0, 1.0, 4.0]);
+        let r = resample(&w, 5).unwrap();
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.times(), &[0.0, 1.0, 2.0, 3.0, 4.0]);
+        for (t, v) in r.iter() {
+            assert!((v - t).abs() < 1e-12);
+        }
+        assert!(resample(&w, 1).is_err());
+    }
+}

@@ -11,6 +11,10 @@
 //! * [`measure::droop`](measure::droop()) — supply droop and ground bounce (Figs. 10, 11);
 //! * [`measure::slew`] — 10–90 % slew measurement.
 //!
+//! The [`compare`] module provides tolerance-envelope waveform comparison
+//! and uniform resampling for the golden-waveform regression harness
+//! (`sfet-verify`, see `docs/VERIFICATION.md`).
+//!
 //! # Example
 //!
 //! ```
@@ -25,6 +29,7 @@
 //! # }
 //! ```
 
+pub mod compare;
 pub mod csv;
 pub mod measure;
 

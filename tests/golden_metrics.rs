@@ -4,17 +4,26 @@
 //! pinned with tight tolerances. If a change in the stack moves any of
 //! these numbers, that's a *physics* change and EXPERIMENTS.md must be
 //! re-baselined deliberately — these tests make that visible.
+//!
+//! Scalar metrics are checked through the same envelope comparator
+//! ([`sfet_waveform::compare::Tol`]) the full golden-waveform harness in
+//! `crates/verify` uses; whole waveforms are pinned there, under
+//! `crates/verify/goldens/`.
 
 use sfet_devices::ptm::PtmParams;
 use sfet_pdn::io_buffer::IoBufferScenario;
 use sfet_pdn::power_gate::PowerGateScenario;
+use sfet_waveform::compare::Tol;
 use softfet::inverter::{InverterSpec, Topology};
 use softfet::metrics::measure_inverter;
 
 fn within(actual: f64, golden: f64, rel: f64, what: &str) {
+    let tol = Tol::new(0.0, rel);
     assert!(
-        ((actual - golden) / golden).abs() < rel,
-        "{what}: {actual:.6e} drifted from golden {golden:.6e} (tol {rel})"
+        tol.check_scalar(actual, golden),
+        "{what}: {actual:.6e} drifted from golden {golden:.6e} \
+         (margin {:.2} of tol {rel})",
+        tol.margin(actual, golden)
     );
 }
 
