@@ -6,12 +6,17 @@
 //! catch-ups — and finally settles to the input level.
 //!
 //! Pass `--trace <path>` to record the solver's telemetry event stream
-//! to a JSONL file (and a summary table to stderr).
+//! to a JSONL file (and a summary table to stderr). Pass
+//! `--checkpoint <path>` (with optional `--checkpoint-every <n>`) to
+//! snapshot the stepper periodically, and `--resume <path>` to restart a
+//! killed run from such a snapshot — the resumed waveform is bitwise
+//! identical to an uninterrupted run, which the CI kill-and-resume smoke
+//! job checks by diffing the emitted CSV.
 
-use sfet_bench::{banner, save_csv, telemetry_from_args};
+use sfet_bench::{banner, checkpoint_from_args, save_csv, telemetry_from_args};
 use sfet_circuit::{Circuit, SourceWaveform};
 use sfet_devices::ptm::PtmParams;
-use sfet_sim::{transient, SimOptions};
+use sfet_sim::{transient_resumable, SimOptions};
 use softfet::report::{fmt_si, Table};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -34,7 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let tstop = 2.5e-9;
     let opts = SimOptions::for_duration(tstop, 5000).with_telemetry(telemetry_from_args());
-    let result = transient(&ckt, tstop, &opts)?;
+    let result = transient_resumable(&ckt, tstop, &opts, &checkpoint_from_args())?;
 
     let v_in = result.voltage("in")?;
     let v_c = result.voltage("vc")?;

@@ -149,6 +149,54 @@ pub fn telemetry_from_args() -> sfet_telemetry::Telemetry {
     Telemetry::disabled()
 }
 
+/// Builds a checkpoint policy from `--checkpoint` / `--checkpoint-every`
+/// / `--resume` command-line flags.
+///
+/// `--checkpoint <path>` enables periodic snapshots of the transient
+/// stepper to `<path>` (atomically replaced each time); the cadence
+/// defaults to every 200 accepted steps and is tuned with
+/// `--checkpoint-every <n>`. `--resume <path>` restarts a killed run from
+/// an existing snapshot — the resumed waveform is bitwise identical to an
+/// uninterrupted run (see `docs/RESILIENCE.md`). Without any of the flags
+/// the disabled (zero-cost) policy is returned. Exits with status 2 on a
+/// malformed flag, matching [`telemetry_from_args`].
+pub fn checkpoint_from_args() -> sfet_sim::CheckpointPolicy {
+    use sfet_sim::CheckpointPolicy;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let value_of = |flag: &str| -> Option<&str> {
+        args.iter().position(|a| a == flag).map(|i| {
+            args.get(i + 1).map(String::as_str).unwrap_or_else(|| {
+                eprintln!("{flag} requires a value");
+                std::process::exit(2);
+            })
+        })
+    };
+
+    let every = match value_of("--checkpoint-every") {
+        Some(s) => match s.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("--checkpoint-every: expected a positive integer, got {s:?}");
+                std::process::exit(2);
+            }
+        },
+        None => 200,
+    };
+    let mut policy = match value_of("--checkpoint") {
+        Some(path) => {
+            println!("  [ckpt] writing {path} every {every} accepted steps");
+            CheckpointPolicy::write_to(path, every)
+        }
+        None => CheckpointPolicy::disabled(),
+    };
+    if let Some(path) = value_of("--resume") {
+        println!("  [ckpt] resuming from {path}");
+        policy = policy.with_resume_from(path);
+    }
+    policy
+}
+
 /// Prints the standard experiment banner.
 pub fn banner(fig: &str, title: &str) {
     println!("==========================================================");

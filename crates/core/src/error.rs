@@ -26,6 +26,8 @@ pub enum SoftFetError {
         /// The underlying failure.
         source: Box<SoftFetError>,
     },
+    /// Sweep-manifest I/O or format failure during a resumable sweep.
+    Manifest(String),
 }
 
 impl fmt::Display for SoftFetError {
@@ -41,6 +43,7 @@ impl fmt::Display for SoftFetError {
                 context,
                 source,
             } => write!(f, "sweep task #{index} ({context}) failed: {source}"),
+            SoftFetError::Manifest(msg) => write!(f, "sweep manifest error: {msg}"),
         }
     }
 }

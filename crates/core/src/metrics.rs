@@ -55,9 +55,19 @@ pub fn inverter_sim_options(spec: &InverterSpec) -> SimOptions {
 ///
 /// Propagates build and simulation failures.
 pub fn run_inverter(spec: &InverterSpec) -> Result<TranResult> {
+    run_inverter_with(spec, &inverter_sim_options(spec))
+}
+
+/// [`run_inverter`] with explicit simulation options. Fault-tolerant
+/// sweeps use this to pass [`SimOptions::escalated`] options on retries
+/// without perturbing first-try tasks.
+///
+/// # Errors
+///
+/// Propagates build and simulation failures.
+pub fn run_inverter_with(spec: &InverterSpec, opts: &SimOptions) -> Result<TranResult> {
     let ckt = spec.build()?;
-    let opts = inverter_sim_options(spec);
-    Ok(transient(&ckt, spec.t_stop, &opts)?)
+    Ok(transient(&ckt, spec.t_stop, opts)?)
 }
 
 /// Runs and measures one inverter transition.
@@ -82,6 +92,17 @@ pub fn run_inverter(spec: &InverterSpec) -> Result<TranResult> {
 /// ```
 pub fn measure_inverter(spec: &InverterSpec) -> Result<InverterMetrics> {
     let result = run_inverter(spec)?;
+    measure_from_result(spec, &result)
+}
+
+/// [`measure_inverter`] with explicit simulation options (see
+/// [`run_inverter_with`]).
+///
+/// # Errors
+///
+/// Propagates simulation and measurement failures.
+pub fn measure_inverter_with(spec: &InverterSpec, opts: &SimOptions) -> Result<InverterMetrics> {
+    let result = run_inverter_with(spec, opts)?;
     measure_from_result(spec, &result)
 }
 

@@ -63,6 +63,18 @@ struct Transition {
     from_r: f64,
 }
 
+/// A serializable snapshot of a [`PtmState`]'s dynamic fields (phase and
+/// any in-flight transition), *excluding* the parameters — a snapshot is
+/// only meaningful restored onto a state built from the same [`PtmParams`].
+/// Used by the simulator's transient checkpoint format.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PtmSnapshot {
+    /// Stable phase at snapshot time.
+    pub phase: PtmPhase,
+    /// In-flight transition as `(start_time, from_resistance)`, if any.
+    pub transition: Option<(f64, f64)>,
+}
+
 /// Dynamic state of one PTM device instance.
 ///
 /// # Example
@@ -202,6 +214,25 @@ impl PtmState {
         self.phase = PtmPhase::Insulating;
         self.transition = None;
     }
+
+    /// Captures the dynamic state (phase + in-flight transition) for
+    /// checkpointing. Parameters are not included; see [`PtmSnapshot`].
+    pub fn snapshot(&self) -> PtmSnapshot {
+        PtmSnapshot {
+            phase: self.phase,
+            transition: self.transition.map(|tr| (tr.start, tr.from_r)),
+        }
+    }
+
+    /// Restores a state previously captured with [`snapshot`](Self::snapshot).
+    /// The caller must ensure the snapshot came from a device with the same
+    /// parameters, or resistance evaluation will be inconsistent.
+    pub fn restore(&mut self, snap: &PtmSnapshot) {
+        self.phase = snap.phase;
+        self.transition = snap
+            .transition
+            .map(|(start, from_r)| Transition { start, from_r });
+    }
 }
 
 #[cfg(test)]
@@ -312,6 +343,24 @@ mod tests {
         s.update(10e-12);
         let r_end_plus = s.resistance(10e-12);
         assert!((r_end_minus - r_end_plus).abs() / r_end_plus < 1e-6);
+    }
+
+    #[test]
+    fn snapshot_round_trips_mid_transition() {
+        let mut s = state();
+        s.fire(1e-12);
+        let snap = s.snapshot();
+        assert_eq!(snap.phase, PtmPhase::Insulating);
+        assert!(snap.transition.is_some());
+        let r_mid = s.resistance(5e-12);
+        let mut fresh = state();
+        fresh.restore(&snap);
+        assert_eq!(fresh, s);
+        assert_eq!(fresh.resistance(5e-12).to_bits(), r_mid.to_bits());
+        // Restored state completes the transition exactly like the original.
+        fresh.update(11e-12);
+        s.update(11e-12);
+        assert_eq!(fresh.phase(), s.phase());
     }
 
     #[test]

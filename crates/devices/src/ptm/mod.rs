@@ -20,6 +20,6 @@ mod dynamics;
 mod params;
 mod static_iv;
 
-pub use dynamics::{PtmPhase, PtmState, TransitionEvent};
+pub use dynamics::{PtmPhase, PtmSnapshot, PtmState, TransitionEvent};
 pub use params::PtmParams;
 pub use static_iv::{extract_thresholds, hysteresis_sweep, IvPoint, SweepDirection};

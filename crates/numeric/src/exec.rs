@@ -40,9 +40,10 @@
 use std::cell::UnsafeCell;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Once};
 use std::time::{Duration, Instant};
 
+use crate::fault::FaultPlan;
 use sfet_telemetry::{names, Level, Telemetry};
 
 /// Environment variable overriding the worker count for all sweeps.
@@ -60,6 +61,14 @@ pub struct ExecConfig {
     chunk: Option<usize>,
     progress: Option<Arc<ProgressFn>>,
     telemetry: Telemetry,
+    /// Extra attempts granted to each task of an outcome-collecting sweep
+    /// (total attempts = `retries + 1`). Ignored by the cancel-on-first-error
+    /// [`par_map`] entry point.
+    retries: usize,
+    /// Optional fault-injection plan, consulted by sweep *callers* to
+    /// synthesise per-task failures (the engine itself stays generic over
+    /// the error type).
+    fault: Option<FaultPlan>,
 }
 
 impl fmt::Debug for ExecConfig {
@@ -69,18 +78,20 @@ impl fmt::Debug for ExecConfig {
             .field("chunk", &self.chunk)
             .field("progress", &self.progress.as_ref().map(|_| "<callback>"))
             .field("telemetry", &self.telemetry)
+            .field("retries", &self.retries)
+            .field("fault", &self.fault)
             .finish()
     }
 }
 
 impl ExecConfig {
-    /// Auto configuration: workers from `SFET_THREADS` if set and valid,
-    /// otherwise the machine's available parallelism.
+    /// Auto configuration: workers from `SFET_THREADS` if set and valid
+    /// (an invalid value warns on stderr and falls back to the default),
+    /// plus any fault plan armed through `SFET_FAULT_PLAN`.
     pub fn from_env() -> Self {
         ExecConfig {
-            workers: std::env::var(THREADS_ENV)
-                .ok()
-                .and_then(|v| parse_workers(&v)),
+            workers: workers_from_env(),
+            fault: FaultPlan::from_env(),
             ..Default::default()
         }
     }
@@ -128,6 +139,32 @@ impl ExecConfig {
         &self.telemetry
     }
 
+    /// Grants each task of an outcome-collecting sweep up to `retries`
+    /// re-runs after a failure (so every task gets `retries + 1` attempts).
+    /// Only [`par_map_outcomes`] and the manifest-backed runner honour
+    /// this; [`par_map`] keeps its cancel-on-first-error contract.
+    pub fn with_retries(mut self, retries: usize) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Total attempts each task of an outcome-collecting sweep receives.
+    pub fn max_attempts(&self) -> usize {
+        self.retries + 1
+    }
+
+    /// Attaches a fault-injection plan for sweep callers to consult (see
+    /// [`FaultPlan::fail_task`]).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// The fault-injection plan attached to this configuration, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
+    }
+
     /// The worker count this configuration resolves to for `n_items` tasks.
     pub fn resolved_workers(&self, n_items: usize) -> usize {
         let auto = || {
@@ -151,6 +188,37 @@ pub fn parse_workers(value: &str) -> Option<usize> {
     match value.trim().parse::<usize>() {
         Ok(0) | Err(_) => None,
         Ok(n) => Some(n),
+    }
+}
+
+/// Resolves a `SFET_THREADS` value to a worker count, or explains why it
+/// cannot be used. `Err` carries the exact warning [`ExecConfig::from_env`]
+/// prints before falling back to the default worker count.
+///
+/// # Errors
+///
+/// A warning message for a zero, empty, or non-numeric value.
+pub fn resolve_env_workers(raw: &str) -> Result<usize, String> {
+    parse_workers(raw).ok_or_else(|| {
+        format!(
+            "{THREADS_ENV}={raw:?} is not a positive integer; \
+             falling back to the default worker count"
+        )
+    })
+}
+
+/// Reads the `SFET_THREADS` override, warning (once per process, on
+/// stderr) and returning `None` for invalid values such as `0`, `""`, or
+/// `"abc"` instead of silently misconfiguring the pool.
+fn workers_from_env() -> Option<usize> {
+    let raw = std::env::var(THREADS_ENV).ok()?;
+    match resolve_env_workers(&raw) {
+        Ok(n) => Some(n),
+        Err(warning) => {
+            static WARN: Once = Once::new();
+            WARN.call_once(|| eprintln!("warning: {warning}"));
+            None
+        }
     }
 }
 
@@ -290,6 +358,127 @@ where
         .counter(names::EXEC_TASKS_COMPLETED, stats.tasks_completed as u64);
     drop(span);
     (result, stats)
+}
+
+/// Outcome of one task in a fault-tolerant (outcome-collecting) sweep.
+///
+/// Unlike [`par_map`]'s cancel-on-first-error contract, an outcome sweep
+/// always runs every task to a verdict: the result vector has one entry per
+/// input item, in input order, and failed tasks report how many attempts
+/// were spent and the error of the *last* attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SweepOutcome<U, E> {
+    /// The task succeeded (possibly after retries).
+    Ok {
+        /// The task's result.
+        value: U,
+        /// Attempts consumed, `1..=ExecConfig::max_attempts()`.
+        attempts: usize,
+    },
+    /// The task failed every granted attempt.
+    Failed {
+        /// Attempts consumed (always `ExecConfig::max_attempts()`).
+        attempts: usize,
+        /// The error of the final attempt.
+        error: E,
+    },
+}
+
+impl<U, E> SweepOutcome<U, E> {
+    /// `true` for a successful outcome.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, SweepOutcome::Ok { .. })
+    }
+
+    /// Attempts consumed by this task.
+    pub fn attempts(&self) -> usize {
+        match self {
+            SweepOutcome::Ok { attempts, .. } | SweepOutcome::Failed { attempts, .. } => *attempts,
+        }
+    }
+
+    /// The successful value, if any.
+    pub fn value(&self) -> Option<&U> {
+        match self {
+            SweepOutcome::Ok { value, .. } => Some(value),
+            SweepOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// Consumes the outcome, yielding the successful value if any.
+    pub fn into_value(self) -> Option<U> {
+        match self {
+            SweepOutcome::Ok { value, .. } => Some(value),
+            SweepOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// The final error, if the task failed.
+    pub fn error(&self) -> Option<&E> {
+        match self {
+            SweepOutcome::Failed { error, .. } => Some(error),
+            SweepOutcome::Ok { .. } => None,
+        }
+    }
+}
+
+/// Fault-tolerant, order-preserving parallel map: every task runs to a
+/// verdict (no cancellation), failures are retried up to the configured
+/// budget ([`ExecConfig::with_retries`]), and partial results are collected
+/// as [`SweepOutcome`]s instead of aborting the sweep.
+///
+/// The task closure receives `(index, attempt, &item)` with `attempt`
+/// counting from 0, so callers can escalate their solver options on each
+/// retry. Determinism contract: a task's result must depend only on
+/// `(index, attempt, item)` — retries re-run on whichever worker claimed
+/// the task, and the outcome vector is identical for any worker count.
+///
+/// Telemetry: in addition to the `exec.par_map` span and task counters,
+/// one `exec.task.retried` counter is emitted (coordinator thread, post
+/// join) with the total number of retry attempts spent across the sweep.
+pub fn par_map_outcomes<T, U, E, F>(
+    config: &ExecConfig,
+    items: &[T],
+    f: F,
+) -> Vec<SweepOutcome<U, E>>
+where
+    T: Sync,
+    U: Send,
+    E: Send,
+    F: Fn(usize, usize, &T) -> Result<U, E> + Sync,
+{
+    let retried = AtomicU64::new(0);
+    let max_attempts = config.max_attempts();
+    let result = par_map(config, items, |index, item| {
+        let mut attempt = 0;
+        loop {
+            match f(index, attempt, item) {
+                Ok(value) => {
+                    return Ok::<_, std::convert::Infallible>(SweepOutcome::Ok {
+                        value,
+                        attempts: attempt + 1,
+                    })
+                }
+                Err(error) if attempt + 1 >= max_attempts => {
+                    return Ok(SweepOutcome::Failed {
+                        attempts: attempt + 1,
+                        error,
+                    })
+                }
+                Err(_) => {
+                    retried.fetch_add(1, Ordering::Relaxed);
+                    attempt += 1;
+                }
+            }
+        }
+    });
+    config
+        .telemetry
+        .counter(names::EXEC_TASKS_RETRIED, retried.load(Ordering::Relaxed));
+    match result {
+        Ok(outcomes) => outcomes,
+        Err(e) => match e.source {},
+    }
 }
 
 fn run_serial<T, U, E, F>(
@@ -599,6 +788,118 @@ mod tests {
         assert_eq!(parse_workers("0"), None);
         assert_eq!(parse_workers("all"), None);
         assert_eq!(parse_workers(""), None);
+    }
+
+    #[test]
+    fn invalid_env_workers_fall_back_with_diagnostic() {
+        // `SFET_THREADS=0`, empty, and non-numeric values must resolve to
+        // "use the default" with an error naming the variable, never panic
+        // or a silent zero-worker pool.
+        for raw in ["0", "", "abc", "-3", "1.5"] {
+            let err = resolve_env_workers(raw).unwrap_err();
+            assert!(
+                err.contains(THREADS_ENV) && err.contains("default"),
+                "diagnostic for {raw:?} should name {THREADS_ENV} and the \
+                 fallback, got: {err}"
+            );
+        }
+        assert_eq!(resolve_env_workers("8"), Ok(8));
+        assert_eq!(resolve_env_workers(" 4 "), Ok(4));
+    }
+
+    #[test]
+    fn outcomes_retry_until_success() {
+        // Tasks 2 and 5 fail their first two attempts, then succeed; with a
+        // 3-attempt budget the sweep reports Ok with the attempt count.
+        let items: Vec<usize> = (0..8).collect();
+        let plan = FaultPlan::new()
+            .with_task_failure(2, 2)
+            .with_task_failure(5, 2);
+        let outcomes = par_map_outcomes(
+            &ExecConfig::with_workers(4).with_retries(2),
+            &items,
+            |index, attempt, &x| {
+                if plan.fail_task(index, attempt) {
+                    Err(Boom(x))
+                } else {
+                    Ok(x * 10 + attempt)
+                }
+            },
+        );
+        assert_eq!(outcomes.len(), 8);
+        for (i, o) in outcomes.iter().enumerate() {
+            assert!(o.is_ok(), "task {i} should eventually succeed");
+            let expect_attempts = if i == 2 || i == 5 { 3 } else { 1 };
+            assert_eq!(o.attempts(), expect_attempts, "task {i}");
+            assert_eq!(o.value(), Some(&(i * 10 + (expect_attempts - 1))));
+        }
+    }
+
+    #[test]
+    fn outcomes_collect_failures_instead_of_aborting() {
+        // A task that fails every granted attempt is reported as Failed with
+        // the full attempt count and final error — the rest of the sweep
+        // still completes (no cancel-on-first-error).
+        let items: Vec<usize> = (0..16).collect();
+        let outcomes = par_map_outcomes(
+            &ExecConfig::with_workers(4).with_retries(1),
+            &items,
+            |_, attempt, &x| {
+                if x == 3 {
+                    Err(Boom(100 + attempt))
+                } else {
+                    Ok(x)
+                }
+            },
+        );
+        let failed: Vec<_> = outcomes.iter().filter(|o| !o.is_ok()).collect();
+        assert_eq!(failed.len(), 1);
+        match &outcomes[3] {
+            SweepOutcome::Failed { attempts, error } => {
+                assert_eq!(*attempts, 2);
+                assert_eq!(*error, Boom(101), "error comes from the last attempt");
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        assert_eq!(
+            outcomes.iter().filter(|o| o.is_ok()).count(),
+            15,
+            "all other tasks complete despite the failure"
+        );
+        assert_eq!(outcomes[4].clone().into_value(), Some(4));
+    }
+
+    #[test]
+    fn outcomes_identical_at_any_worker_count() {
+        let items: Vec<u64> = (0..96).collect();
+        let run = |workers| {
+            par_map_outcomes(
+                &ExecConfig::with_workers(workers).with_retries(2),
+                &items,
+                |i, attempt, &x| {
+                    if x % 7 == 0 && attempt < 1 {
+                        Err(Boom(x as usize))
+                    } else {
+                        Ok(task_seed(x, (i + attempt) as u64))
+                    }
+                },
+            )
+        };
+        let reference = run(1);
+        for workers in [2, 8] {
+            assert_eq!(run(workers), reference, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn outcomes_respect_zero_retry_budget() {
+        let items = [1usize];
+        let outcomes = par_map_outcomes(&ExecConfig::serial(), &items, |_, attempt, _| {
+            assert_eq!(attempt, 0, "no retries granted");
+            Err::<(), _>(Boom(attempt))
+        });
+        assert_eq!(outcomes[0].attempts(), 1);
+        assert_eq!(outcomes[0].error(), Some(&Boom(0)));
     }
 
     #[test]

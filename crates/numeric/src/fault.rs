@@ -1,0 +1,219 @@
+//! Deterministic fault injection for resilience testing.
+//!
+//! Retry and resume paths are only trustworthy if they can be *exercised*:
+//! a [`FaultPlan`] describes, ahead of time, exactly where the stack should
+//! pretend to fail. Faults are keyed on deterministic quantities — the
+//! transient stepper's global attempt counter and the sweep engine's
+//! `(task index, attempt)` pair — so an injected failure reproduces
+//! bit-for-bit on any machine and at any worker count.
+//!
+//! A plan is built programmatically (tests) or parsed from the
+//! `SFET_FAULT_PLAN` environment variable (CI smoke jobs). The grammar is
+//! a comma-separated list of entries:
+//!
+//! ```text
+//! newton@STEP     force a Newton failure on transient step attempt STEP
+//! crash@STEP      simulate a process crash on transient step attempt STEP
+//! task@INDEXxN    fail sweep task INDEX on its first N attempts
+//! ```
+//!
+//! Step attempts are 1-based and count *attempts*, not accepted steps, so a
+//! plan keeps addressing the same solve even when earlier injected failures
+//! add rejections. Example: `SFET_FAULT_PLAN="newton@40,crash@200"` makes
+//! the solver reject step attempt 40 through its normal recovery ladder,
+//! then aborts the run at attempt 200 as if the process had been killed.
+//!
+//! See `docs/RESILIENCE.md` for how the simulator and sweep layers consume
+//! a plan.
+
+use std::sync::Once;
+
+/// Environment variable holding a fault plan for the whole process.
+pub const FAULT_PLAN_ENV: &str = "SFET_FAULT_PLAN";
+
+/// A deterministic schedule of injected failures.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Transient step attempts (1-based) whose Newton solve is failed.
+    newton_steps: Vec<u64>,
+    /// Transient step attempts (1-based) at which the run crashes.
+    crash_steps: Vec<u64>,
+    /// `(task index, failing attempts)`: task `index` fails its first
+    /// `attempts` attempts (attempt numbering is 0-based).
+    task_faults: Vec<(usize, usize)>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds a forced Newton failure at transient step attempt `step`
+    /// (1-based).
+    pub fn with_newton_failure(mut self, step: u64) -> Self {
+        self.newton_steps.push(step);
+        self
+    }
+
+    /// Adds a simulated crash at transient step attempt `step` (1-based).
+    pub fn with_crash(mut self, step: u64) -> Self {
+        self.crash_steps.push(step);
+        self
+    }
+
+    /// Makes sweep task `index` fail its first `attempts` attempts.
+    pub fn with_task_failure(mut self, index: usize, attempts: usize) -> Self {
+        self.task_faults.push((index, attempts));
+        self
+    }
+
+    /// `true` when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.newton_steps.is_empty() && self.crash_steps.is_empty() && self.task_faults.is_empty()
+    }
+
+    /// Whether the Newton solve of transient step attempt `step` (1-based)
+    /// must be failed.
+    pub fn fail_newton(&self, step: u64) -> bool {
+        self.newton_steps.contains(&step)
+    }
+
+    /// Whether the transient must simulate a crash at step attempt `step`
+    /// (1-based).
+    pub fn crash_at(&self, step: u64) -> bool {
+        self.crash_steps.contains(&step)
+    }
+
+    /// Whether sweep task `index` must fail its attempt number `attempt`
+    /// (0-based). A `task@INDEXxN` entry fails attempts `0..N`.
+    pub fn fail_task(&self, index: usize, attempt: usize) -> bool {
+        self.task_faults
+            .iter()
+            .any(|&(i, n)| i == index && attempt < n)
+    }
+
+    /// Parses the grammar described in the module docs.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first malformed entry.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::new();
+        for entry in text.split(',') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let (kind, arg) = entry
+                .split_once('@')
+                .ok_or_else(|| format!("fault entry {entry:?} is missing '@'"))?;
+            match kind.trim() {
+                "newton" => plan.newton_steps.push(parse_step(entry, arg)?),
+                "crash" => plan.crash_steps.push(parse_step(entry, arg)?),
+                "task" => {
+                    let (index, attempts) = arg.split_once(['x', 'X']).ok_or_else(|| {
+                        format!("task entry {entry:?} must look like task@INDEXxN")
+                    })?;
+                    let index = index
+                        .trim()
+                        .parse::<usize>()
+                        .map_err(|_| format!("task entry {entry:?} has a non-numeric index"))?;
+                    let attempts = attempts.trim().parse::<usize>().map_err(|_| {
+                        format!("task entry {entry:?} has a non-numeric attempt count")
+                    })?;
+                    plan.task_faults.push((index, attempts));
+                }
+                other => return Err(format!("unknown fault kind {other:?} in {entry:?}")),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Reads a plan from [`FAULT_PLAN_ENV`]. Returns `None` when the
+    /// variable is unset, empty, or malformed; a malformed value warns on
+    /// stderr once per process rather than silently arming garbage.
+    pub fn from_env() -> Option<Self> {
+        let raw = std::env::var(FAULT_PLAN_ENV).ok()?;
+        if raw.trim().is_empty() {
+            return None;
+        }
+        match Self::parse(&raw) {
+            Ok(plan) if plan.is_empty() => None,
+            Ok(plan) => Some(plan),
+            Err(msg) => {
+                static WARN: Once = Once::new();
+                WARN.call_once(|| {
+                    eprintln!("warning: ignoring invalid {FAULT_PLAN_ENV}: {msg}");
+                });
+                None
+            }
+        }
+    }
+}
+
+fn parse_step(entry: &str, arg: &str) -> Result<u64, String> {
+    match arg.trim().parse::<u64>() {
+        Ok(0) | Err(_) => Err(format!(
+            "fault entry {entry:?} needs a positive step number"
+        )),
+        Ok(step) => Ok(step),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_entry_kinds() {
+        let plan = FaultPlan::parse("newton@40, crash@200 ,task@3x2").unwrap();
+        assert!(plan.fail_newton(40));
+        assert!(!plan.fail_newton(41));
+        assert!(plan.crash_at(200));
+        assert!(!plan.crash_at(40));
+        assert!(plan.fail_task(3, 0));
+        assert!(plan.fail_task(3, 1));
+        assert!(!plan.fail_task(3, 2));
+        assert!(!plan.fail_task(2, 0));
+    }
+
+    #[test]
+    fn builder_matches_parser() {
+        let built = FaultPlan::new()
+            .with_newton_failure(7)
+            .with_crash(9)
+            .with_task_failure(1, 3);
+        assert_eq!(
+            built,
+            FaultPlan::parse("newton@7,crash@9,task@1x3").unwrap()
+        );
+    }
+
+    #[test]
+    fn empty_and_blank_entries() {
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+        assert!(FaultPlan::parse(" , ,").unwrap().is_empty());
+        assert!(FaultPlan::new().is_empty());
+        assert!(!FaultPlan::new().with_crash(1).is_empty());
+    }
+
+    #[test]
+    fn malformed_entries_rejected() {
+        assert!(FaultPlan::parse("newton40").is_err());
+        assert!(FaultPlan::parse("newton@zero").is_err());
+        assert!(FaultPlan::parse("newton@0").is_err());
+        assert!(FaultPlan::parse("task@3").is_err());
+        assert!(FaultPlan::parse("task@ax2").is_err());
+        assert!(FaultPlan::parse("task@1xq").is_err());
+        assert!(FaultPlan::parse("explode@5").is_err());
+    }
+
+    #[test]
+    fn repeated_entries_accumulate() {
+        let plan = FaultPlan::parse("newton@3,newton@5").unwrap();
+        assert!(plan.fail_newton(3) && plan.fail_newton(5));
+        let plan = FaultPlan::parse("task@0x1,task@0x4").unwrap();
+        assert!(plan.fail_task(0, 3), "widest entry wins");
+    }
+}

@@ -26,7 +26,15 @@
 //!   `par_map` over scoped threads with lock-free result slots,
 //!   cancel-on-first-error, `SFET_THREADS` worker override, per-task
 //!   SplitMix64 seed derivation, and optional telemetry
-//!   ([`ExecConfig::with_telemetry`](exec::ExecConfig::with_telemetry)).
+//!   ([`ExecConfig::with_telemetry`](exec::ExecConfig::with_telemetry));
+//!   plus the fault-tolerant entry point
+//!   [`par_map_outcomes`](exec::par_map_outcomes) that retries failing
+//!   tasks and collects partial results instead of aborting.
+//! * [`fault`] — deterministic fault injection (`SFET_FAULT_PLAN`) for
+//!   exercising the retry and checkpoint/resume paths in CI.
+//! * [`manifest`] — append-only sweep manifests so an interrupted sweep
+//!   resumes skipping already-completed tasks
+//!   ([`par_map_resumable`](manifest::par_map_resumable)).
 //!
 //! # Example
 //!
@@ -50,8 +58,10 @@
 
 pub mod dense;
 pub mod exec;
+pub mod fault;
 pub mod integrate;
 pub mod interp;
+pub mod manifest;
 pub mod newton;
 pub mod norms;
 pub mod roots;

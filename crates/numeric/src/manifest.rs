@@ -1,0 +1,679 @@
+//! Sweep manifests: durable progress records for resumable sweeps.
+//!
+//! A long sweep (Monte Carlo population, design-space grid) that dies at
+//! task 9 000 of 10 000 should not repeat the first 9 000 tasks. A
+//! [`SweepManifest`] is an append-only text file that records one line per
+//! finished task; on restart, [`par_map_resumable`] reads it back, skips
+//! every task with a recorded success, and re-runs only the pending (or
+//! previously failed) ones.
+//!
+//! # File format
+//!
+//! Line-oriented UTF-8, append-only, flushed after every record so a crash
+//! loses at most the in-flight line (a torn trailing line is ignored on
+//! load):
+//!
+//! ```text
+//! sfet-manifest v1
+//! sweep <name> total <n>
+//! ok <index> <attempts> <payload>
+//! failed <index> <attempts> <message>
+//! ```
+//!
+//! `<payload>` is a caller-encoded single-line representation of the task's
+//! result; [`encode_f64`]/[`decode_f64`] (and the slice variants) give an
+//! exact, bitwise round-trip for floating-point results. Tasks whose stored
+//! payload fails to decode are conservatively re-run rather than trusted.
+//!
+//! Determinism contract: resuming is only sound when each task's result
+//! depends solely on `(index, item)` — which is exactly the contract
+//! [`crate::exec::par_map`] already imposes — so a resumed sweep assembles
+//! the same result vector, bitwise, as an uninterrupted one.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::exec::{par_map, ExecConfig, SweepOutcome};
+use sfet_telemetry::names;
+
+/// Manifest format version written to (and required in) the header.
+pub const MANIFEST_VERSION: u32 = 1;
+
+const MAGIC: &str = "sfet-manifest";
+
+/// Errors raised by manifest I/O and parsing.
+#[derive(Debug)]
+pub enum ManifestError {
+    /// Underlying filesystem failure (path and OS error text).
+    Io(String),
+    /// The file exists but is not a readable manifest.
+    Format(String),
+    /// The file is a valid manifest for a *different* sweep (name or task
+    /// count differs) — resuming it would silently mix results.
+    Mismatch(String),
+}
+
+impl fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ManifestError::Io(msg) => write!(f, "manifest I/O error: {msg}"),
+            ManifestError::Format(msg) => write!(f, "malformed manifest: {msg}"),
+            ManifestError::Mismatch(msg) => write!(f, "manifest mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+type Result<T> = std::result::Result<T, ManifestError>;
+
+/// One finished-task record read back from a manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ManifestRecord {
+    /// The task succeeded; `payload` is the caller-encoded result.
+    Ok {
+        /// Attempts the task consumed.
+        attempts: usize,
+        /// Caller-encoded result line.
+        payload: String,
+    },
+    /// The task failed every granted attempt.
+    Failed {
+        /// Attempts the task consumed.
+        attempts: usize,
+        /// Display text of the final error.
+        message: String,
+    },
+}
+
+/// An append-only progress file for one sweep. All writes are serialized
+/// through an internal mutex and flushed immediately, so records survive a
+/// crash of the very next task.
+pub struct SweepManifest {
+    path: PathBuf,
+    file: Mutex<File>,
+    name: String,
+    total: usize,
+}
+
+impl fmt::Debug for SweepManifest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SweepManifest")
+            .field("path", &self.path)
+            .field("name", &self.name)
+            .field("total", &self.total)
+            .finish()
+    }
+}
+
+fn io_err(path: &Path, err: std::io::Error) -> ManifestError {
+    ManifestError::Io(format!("{}: {err}", path.display()))
+}
+
+/// Collapses whitespace so a token survives the space-separated format.
+fn sanitize_token(s: &str) -> String {
+    let t: String = s.split_whitespace().collect::<Vec<_>>().join("-");
+    if t.is_empty() {
+        "unnamed".into()
+    } else {
+        t
+    }
+}
+
+/// Keeps free text on one line (messages, payloads).
+fn sanitize_line(s: &str) -> String {
+    s.replace(['\n', '\r'], " ")
+}
+
+impl SweepManifest {
+    /// Creates (or truncates) a manifest for a sweep of `total` tasks.
+    ///
+    /// # Errors
+    ///
+    /// [`ManifestError::Io`] if the file cannot be created or written.
+    pub fn create(path: &Path, name: &str, total: usize) -> Result<Self> {
+        let mut file = File::create(path).map_err(|e| io_err(path, e))?;
+        let name = sanitize_token(name);
+        writeln!(file, "{MAGIC} v{MANIFEST_VERSION}").map_err(|e| io_err(path, e))?;
+        writeln!(file, "sweep {name} total {total}").map_err(|e| io_err(path, e))?;
+        file.flush().map_err(|e| io_err(path, e))?;
+        Ok(SweepManifest {
+            path: path.to_path_buf(),
+            file: Mutex::new(file),
+            name,
+            total,
+        })
+    }
+
+    /// Opens an existing manifest for appending, returning the records it
+    /// already holds (later lines for the same index win, so a re-run's
+    /// verdict supersedes an older one). A torn trailing line — the
+    /// signature of a crash mid-write — is ignored.
+    ///
+    /// # Errors
+    ///
+    /// [`ManifestError::Io`] on filesystem failure, [`ManifestError::Format`]
+    /// if the header or an interior line is malformed.
+    pub fn resume(path: &Path) -> Result<(Self, HashMap<usize, ManifestRecord>)> {
+        let reader = BufReader::new(File::open(path).map_err(|e| io_err(path, e))?);
+        let mut lines = Vec::new();
+        for line in reader.lines() {
+            lines.push(line.map_err(|e| io_err(path, e))?);
+        }
+        let header = lines
+            .first()
+            .ok_or_else(|| ManifestError::Format("empty file".into()))?;
+        let expected = format!("{MAGIC} v{MANIFEST_VERSION}");
+        if header.trim() != expected {
+            return Err(ManifestError::Format(format!(
+                "bad header {header:?} (expected {expected:?})"
+            )));
+        }
+        let sweep_line = lines
+            .get(1)
+            .ok_or_else(|| ManifestError::Format("missing sweep line".into()))?;
+        let (name, total) = parse_sweep_line(sweep_line)?;
+        let mut records = HashMap::new();
+        let last = lines.len().saturating_sub(1);
+        for (lineno, line) in lines.iter().enumerate().skip(2) {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match parse_record(line, total) {
+                Ok((index, record)) => {
+                    records.insert(index, record);
+                }
+                // A torn final line means the process died mid-append; the
+                // task it covered simply re-runs. Anywhere else it is real
+                // corruption.
+                Err(_) if lineno == last => {}
+                Err(e) => return Err(ManifestError::Format(format!("line {}: {e}", lineno + 1))),
+            }
+        }
+        let file = OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| io_err(path, e))?;
+        Ok((
+            SweepManifest {
+                path: path.to_path_buf(),
+                file: Mutex::new(file),
+                name,
+                total,
+            },
+            records,
+        ))
+    }
+
+    /// Resumes `path` if it already holds a manifest for this exact sweep,
+    /// otherwise creates a fresh one. A manifest for a *different* sweep
+    /// (name or total mismatch) is an error rather than silently clobbered.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SweepManifest::create`]/[`SweepManifest::resume`]
+    /// failures, plus [`ManifestError::Mismatch`] on a header conflict.
+    pub fn open_or_create(
+        path: &Path,
+        name: &str,
+        total: usize,
+    ) -> Result<(Self, HashMap<usize, ManifestRecord>)> {
+        if !path.exists() {
+            return Ok((Self::create(path, name, total)?, HashMap::new()));
+        }
+        let (manifest, records) = Self::resume(path)?;
+        let name = sanitize_token(name);
+        if manifest.name != name || manifest.total != total {
+            return Err(ManifestError::Mismatch(format!(
+                "{} records sweep {:?} with {} tasks, expected {:?} with {}",
+                path.display(),
+                manifest.name,
+                manifest.total,
+                name,
+                total
+            )));
+        }
+        Ok((manifest, records))
+    }
+
+    /// The sweep name recorded in the header.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The task count recorded in the header.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Appends a success record. Thread-safe; flushed before returning.
+    ///
+    /// # Errors
+    ///
+    /// [`ManifestError::Io`] if the append or flush fails.
+    pub fn record_ok(&self, index: usize, attempts: usize, payload: &str) -> Result<()> {
+        self.append(&format!("ok {index} {attempts} {}", sanitize_line(payload)))
+    }
+
+    /// Appends a failure record. Thread-safe; flushed before returning.
+    ///
+    /// # Errors
+    ///
+    /// [`ManifestError::Io`] if the append or flush fails.
+    pub fn record_failed(&self, index: usize, attempts: usize, message: &str) -> Result<()> {
+        self.append(&format!(
+            "failed {index} {attempts} {}",
+            sanitize_line(message)
+        ))
+    }
+
+    fn append(&self, line: &str) -> Result<()> {
+        let mut file = self.file.lock().expect("manifest mutex poisoned");
+        writeln!(file, "{line}").map_err(|e| io_err(&self.path, e))?;
+        file.flush().map_err(|e| io_err(&self.path, e))
+    }
+}
+
+fn parse_sweep_line(line: &str) -> Result<(String, usize)> {
+    let mut it = line.split_whitespace();
+    let bad = || ManifestError::Format(format!("bad sweep line {line:?}"));
+    if it.next() != Some("sweep") {
+        return Err(bad());
+    }
+    let name = it.next().ok_or_else(bad)?.to_string();
+    if it.next() != Some("total") {
+        return Err(bad());
+    }
+    let total = it
+        .next()
+        .and_then(|t| t.parse::<usize>().ok())
+        .ok_or_else(bad)?;
+    if it.next().is_some() {
+        return Err(bad());
+    }
+    Ok((name, total))
+}
+
+fn parse_record(line: &str, total: usize) -> std::result::Result<(usize, ManifestRecord), String> {
+    let mut parts = line.splitn(4, ' ');
+    let kind = parts.next().unwrap_or_default();
+    let index = parts
+        .next()
+        .and_then(|t| t.parse::<usize>().ok())
+        .ok_or_else(|| format!("bad index in {line:?}"))?;
+    if index >= total {
+        return Err(format!("index {index} out of range (total {total})"));
+    }
+    let attempts = parts
+        .next()
+        .and_then(|t| t.parse::<usize>().ok())
+        .filter(|&a| a >= 1)
+        .ok_or_else(|| format!("bad attempt count in {line:?}"))?;
+    let rest = parts.next().unwrap_or("").to_string();
+    match kind {
+        "ok" => Ok((
+            index,
+            ManifestRecord::Ok {
+                attempts,
+                payload: rest,
+            },
+        )),
+        "failed" => Ok((
+            index,
+            ManifestRecord::Failed {
+                attempts,
+                message: rest,
+            },
+        )),
+        other => Err(format!("unknown record kind {other:?}")),
+    }
+}
+
+/// Encodes an `f64` as 16 hex digits of its bit pattern — an *exact*
+/// round-trip, unlike any decimal formatting.
+pub fn encode_f64(x: f64) -> String {
+    format!("{:016x}", x.to_bits())
+}
+
+/// Inverse of [`encode_f64`]. `None` for anything else.
+pub fn decode_f64(s: &str) -> Option<f64> {
+    let s = s.trim();
+    if s.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok().map(f64::from_bits)
+}
+
+/// Space-separated [`encode_f64`] of each element.
+pub fn encode_f64s(xs: &[f64]) -> String {
+    xs.iter()
+        .map(|&x| encode_f64(x))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Inverse of [`encode_f64s`]. `None` if any token is malformed.
+pub fn decode_f64s(s: &str) -> Option<Vec<f64>> {
+    s.split_whitespace().map(decode_f64).collect()
+}
+
+/// Fault-tolerant, *resumable* parallel map: like
+/// [`crate::exec::par_map_outcomes`], but every finished task is recorded
+/// in `manifest`, and tasks whose success is already recorded are skipped —
+/// their stored payloads are decoded instead of re-computed. Previously
+/// *failed* tasks (and records whose payload fails to `decode`) are re-run.
+///
+/// The task closure receives `(index, attempt, &item)`; `encode`/`decode`
+/// must round-trip a result exactly (use [`encode_f64s`]/[`decode_f64s`]
+/// for float payloads) or the bitwise-resume guarantee is lost.
+///
+/// # Errors
+///
+/// [`ManifestError::Io`] if a record cannot be appended; task failures are
+/// *not* errors — they surface as [`SweepOutcome::Failed`] entries.
+pub fn par_map_resumable<T, U, E, F, Enc, Dec>(
+    config: &ExecConfig,
+    manifest: &SweepManifest,
+    completed: &HashMap<usize, ManifestRecord>,
+    items: &[T],
+    encode: Enc,
+    decode: Dec,
+    f: F,
+) -> Result<Vec<SweepOutcome<U, E>>>
+where
+    T: Sync,
+    U: Send,
+    E: Send + fmt::Display,
+    F: Fn(usize, usize, &T) -> std::result::Result<U, E> + Sync,
+    Enc: Fn(&U) -> String + Sync,
+    Dec: Fn(&str) -> Option<U> + Sync,
+{
+    assert_eq!(
+        manifest.total(),
+        items.len(),
+        "manifest task count must match the item count"
+    );
+    let mut slots: Vec<Option<SweepOutcome<U, E>>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    let mut resumed = 0u64;
+    for (&index, record) in completed {
+        if let ManifestRecord::Ok { attempts, payload } = record {
+            if let Some(value) = decode(payload) {
+                slots[index] = Some(SweepOutcome::Ok {
+                    value,
+                    attempts: *attempts,
+                });
+                resumed += 1;
+            }
+        }
+    }
+    let pending: Vec<(usize, &T)> = slots
+        .iter()
+        .enumerate()
+        .filter(|(_, slot)| slot.is_none())
+        .map(|(i, _)| (i, &items[i]))
+        .collect();
+
+    let retried = AtomicU64::new(0);
+    let max_attempts = config.max_attempts();
+    let fresh = par_map(config, &pending, |_, &(index, item)| {
+        let mut attempt = 0;
+        let outcome = loop {
+            match f(index, attempt, item) {
+                Ok(value) => {
+                    break SweepOutcome::Ok {
+                        value,
+                        attempts: attempt + 1,
+                    }
+                }
+                Err(error) if attempt + 1 >= max_attempts => {
+                    break SweepOutcome::Failed {
+                        attempts: attempt + 1,
+                        error,
+                    }
+                }
+                Err(_) => {
+                    retried.fetch_add(1, Ordering::Relaxed);
+                    attempt += 1;
+                }
+            }
+        };
+        // Record before returning so a crash right after this task still
+        // finds its verdict on disk.
+        match &outcome {
+            SweepOutcome::Ok { value, attempts } => {
+                manifest.record_ok(index, *attempts, &encode(value))?
+            }
+            SweepOutcome::Failed { attempts, error } => {
+                manifest.record_failed(index, *attempts, &error.to_string())?
+            }
+        }
+        Ok::<_, ManifestError>(outcome)
+    })
+    .map_err(|e| e.source)?;
+
+    config
+        .telemetry()
+        .counter(names::EXEC_TASKS_RETRIED, retried.load(Ordering::Relaxed));
+    config
+        .telemetry()
+        .counter(names::CHECKPOINT_RESUMED, resumed);
+
+    for ((index, _), outcome) in pending.into_iter().zip(fresh) {
+        slots[index] = Some(outcome);
+    }
+    Ok(slots
+        .into_iter()
+        .map(|slot| slot.expect("every slot filled"))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "sfet-manifest-{tag}-{}-{n}.txt",
+            std::process::id()
+        ))
+    }
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct Boom(usize);
+
+    impl fmt::Display for Boom {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "boom at {}", self.0)
+        }
+    }
+
+    #[test]
+    fn records_round_trip() {
+        let path = temp_path("roundtrip");
+        let m = SweepManifest::create(&path, "mc imax", 10).unwrap();
+        m.record_ok(3, 1, &encode_f64(1.25e-3)).unwrap();
+        m.record_failed(7, 3, "did not converge\nat t=1e-9")
+            .unwrap();
+        drop(m);
+        let (m, records) = SweepManifest::resume(&path).unwrap();
+        assert_eq!(m.name(), "mc-imax", "whitespace sanitized");
+        assert_eq!(m.total(), 10);
+        assert_eq!(
+            records.get(&3),
+            Some(&ManifestRecord::Ok {
+                attempts: 1,
+                payload: encode_f64(1.25e-3),
+            })
+        );
+        match records.get(&7) {
+            Some(ManifestRecord::Failed { attempts, message }) => {
+                assert_eq!(*attempts, 3);
+                assert!(!message.contains('\n'), "messages kept single-line");
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_trailing_line_is_ignored() {
+        let path = temp_path("torn");
+        let m = SweepManifest::create(&path, "s", 4).unwrap();
+        m.record_ok(0, 1, "aa").unwrap();
+        drop(m);
+        // Simulate a crash mid-append: a record missing its fields.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        write!(f, "ok 2").unwrap();
+        drop(f);
+        let (_, records) = SweepManifest::resume(&path).unwrap();
+        assert_eq!(records.len(), 1);
+        assert!(records.contains_key(&0));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn interior_corruption_is_an_error() {
+        let path = temp_path("corrupt");
+        std::fs::write(
+            &path,
+            "sfet-manifest v1\nsweep s total 4\ngarbage line\nok 1 1 aa\n",
+        )
+        .unwrap();
+        assert!(matches!(
+            SweepManifest::resume(&path),
+            Err(ManifestError::Format(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_or_create_rejects_foreign_manifest() {
+        let path = temp_path("mismatch");
+        SweepManifest::create(&path, "sweep-a", 8).unwrap();
+        assert!(matches!(
+            SweepManifest::open_or_create(&path, "sweep-b", 8),
+            Err(ManifestError::Mismatch(_))
+        ));
+        assert!(matches!(
+            SweepManifest::open_or_create(&path, "sweep-a", 9),
+            Err(ManifestError::Mismatch(_))
+        ));
+        assert!(SweepManifest::open_or_create(&path, "sweep-a", 8).is_ok());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn f64_encoding_is_exact() {
+        for x in [
+            0.0,
+            -0.0,
+            1.0,
+            -1.25e-300,
+            std::f64::consts::PI,
+            f64::MIN_POSITIVE,
+            f64::INFINITY,
+        ] {
+            let decoded = decode_f64(&encode_f64(x)).unwrap();
+            assert_eq!(decoded.to_bits(), x.to_bits(), "x = {x}");
+        }
+        assert!(decode_f64("xyz").is_none());
+        assert!(decode_f64("123").is_none());
+        let xs = [1.0, -2.5, 3.75e-12];
+        assert_eq!(decode_f64s(&encode_f64s(&xs)).unwrap(), xs);
+    }
+
+    #[test]
+    fn resumable_sweep_skips_recorded_successes() {
+        let path = temp_path("resume");
+        let items: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        let task = |_index: usize, _attempt: usize, x: &f64| Ok::<_, Boom>(x * 2.0);
+
+        // First pass: run only via a fresh manifest.
+        let (m, done) = SweepManifest::open_or_create(&path, "resume", items.len()).unwrap();
+        assert!(done.is_empty());
+        let first = par_map_resumable(
+            &ExecConfig::with_workers(2),
+            &m,
+            &done,
+            &items,
+            |v| encode_f64(*v),
+            decode_f64,
+            task,
+        )
+        .unwrap();
+        drop(m);
+
+        // Second pass: every task must come from the manifest, not the
+        // closure.
+        let ran = AtomicUsize::new(0);
+        let (m, done) = SweepManifest::open_or_create(&path, "resume", items.len()).unwrap();
+        assert_eq!(done.len(), items.len());
+        let second = par_map_resumable(
+            &ExecConfig::with_workers(2),
+            &m,
+            &done,
+            &items,
+            |v| encode_f64(*v),
+            decode_f64,
+            |i, a, x| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                task(i, a, x)
+            },
+        )
+        .unwrap();
+        assert_eq!(ran.load(Ordering::Relaxed), 0, "nothing re-runs");
+        assert_eq!(first, second, "resumed results identical bitwise");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resumable_sweep_retries_and_records_failures() {
+        let path = temp_path("failures");
+        let items: Vec<usize> = (0..6).collect();
+        let (m, done) = SweepManifest::open_or_create(&path, "f", items.len()).unwrap();
+        let outcomes = par_map_resumable(
+            &ExecConfig::serial().with_retries(2),
+            &m,
+            &done,
+            &items,
+            |v: &usize| v.to_string(),
+            |s| s.parse().ok(),
+            |_, attempt, &x| {
+                if x == 4 {
+                    Err(Boom(attempt))
+                } else {
+                    Ok(x)
+                }
+            },
+        )
+        .unwrap();
+        assert_eq!(outcomes[4].attempts(), 3);
+        assert!(!outcomes[4].is_ok());
+        drop(m);
+
+        // On resume the failed task re-runs (and this time succeeds).
+        let (m, done) = SweepManifest::open_or_create(&path, "f", items.len()).unwrap();
+        let retried = par_map_resumable(
+            &ExecConfig::serial().with_retries(2),
+            &m,
+            &done,
+            &items,
+            |v: &usize| v.to_string(),
+            |s| s.parse().ok(),
+            |_, _, &x| Ok::<_, Boom>(x),
+        )
+        .unwrap();
+        assert!(retried.iter().all(|o| o.is_ok()));
+        assert_eq!(retried[4].value(), Some(&4));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -20,7 +20,7 @@ use sfet_circuit::{Circuit, SourceWaveform};
 use sfet_devices::mosfet::{gate_caps, MosfetModel};
 use sfet_devices::ptm::PtmParams;
 use sfet_numeric::exec::ExecConfig;
-use sfet_sim::{transient, SimOptions};
+use sfet_sim::{transient_resumable, CheckpointPolicy, SimOptions};
 use sfet_waveform::measure::{crossing_time, droop, CrossDirection, DroopReport};
 use sfet_waveform::Waveform;
 
@@ -207,8 +207,27 @@ impl PowerGateScenario {
     ///
     /// Propagates build, simulation, and measurement failures.
     pub fn run_with(&self, opts: &SimOptions) -> Result<PowerGateOutcome> {
+        self.run_resumable(opts, &CheckpointPolicy::disabled())
+    }
+
+    /// [`PowerGateScenario::run_with`] under a checkpoint/restart policy:
+    /// with `ckpt.checkpoint_to` set the transient snapshots its state
+    /// periodically, and with `ckpt.resume_from` set it continues from a
+    /// snapshot — producing an outcome bitwise identical to an
+    /// uninterrupted run (see [`sfet_sim::transient_resumable`]). This is
+    /// the long-running PDN scenario the resilience layer exists for.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`PowerGateScenario::run_with`] raises, plus checkpoint
+    /// I/O/format failures and injected-fault crashes.
+    pub fn run_resumable(
+        &self,
+        opts: &SimOptions,
+        ckpt: &CheckpointPolicy,
+    ) -> Result<PowerGateOutcome> {
         let ckt = self.build()?;
-        let result = transient(&ckt, self.t_stop, opts)?;
+        let result = transient_resumable(&ckt, self.t_stop, opts, ckpt)?;
 
         let rail = result.voltage(&PdnParams::rail_node_name("vdd"))?;
         let v_virtual = result.voltage("vvdd")?;

@@ -147,8 +147,15 @@ pub(crate) fn solve_dc(
     for k in 1..=20 {
         let scale = k as f64 / 20.0;
         opts.telemetry.counter(names::DC_SOURCE_STEPS, 1);
-        x = newton_dc(compiled, &x, scale, 0.0, opts, ws)
-            .map_err(|_| SimError::NonConvergence { time: 0.0, dt: 0.0 })?;
+        x = newton_dc(compiled, &x, scale, 0.0, opts, ws).map_err(|e| match e {
+            e @ SimError::NonConvergence { .. } => e,
+            _ => SimError::NonConvergence {
+                time: 0.0,
+                dt: 0.0,
+                residual: f64::INFINITY,
+                unknown: None,
+            },
+        })?;
     }
     Ok(x)
 }
@@ -170,6 +177,8 @@ pub(crate) fn newton_dc(
     let mut x = x0.to_vec();
     let jac = &mut ws.jac;
     let rhs = &mut ws.rhs;
+    let mut last_residual = f64::INFINITY;
+    let mut last_worst = 0usize;
 
     for _ in 0..opts.max_newton_iter {
         ws.newton_iterations += 1;
@@ -192,6 +201,8 @@ pub(crate) fn newton_dc(
         };
         let mut converged = true;
         let node_count = compiled.node_names.len();
+        let mut max_raw = 0.0f64;
+        let mut worst = 0usize;
         for i in 0..n {
             let dx = (x_next[i] - x[i]) * scale;
             x[i] += dx;
@@ -200,6 +211,10 @@ pub(crate) fn newton_dc(
             } else {
                 opts.reltol * x[i].abs() + opts.abstol
             };
+            if dx.abs() > max_raw {
+                max_raw = dx.abs();
+                worst = i;
+            }
             if dx.abs() > tol {
                 converged = false;
             }
@@ -207,8 +222,15 @@ pub(crate) fn newton_dc(
         if converged && scale == 1.0 {
             return Ok(x);
         }
+        last_residual = max_raw;
+        last_worst = worst;
     }
-    Err(SimError::NonConvergence { time: 0.0, dt: 0.0 })
+    Err(SimError::NonConvergence {
+        time: 0.0,
+        dt: 0.0,
+        residual: last_residual,
+        unknown: crate::transient::unknown_name(compiled, last_worst, compiled.node_names.len()),
+    })
 }
 
 /// Initialises companion histories and PTM step state from a DC solution.

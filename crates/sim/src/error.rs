@@ -15,6 +15,12 @@ pub enum SimError {
         time: f64,
         /// Step size at the final attempt \[s\].
         dt: f64,
+        /// Largest per-component Newton update at the final iteration —
+        /// the residual that refused to shrink below tolerance.
+        residual: f64,
+        /// Name of the unknown with the largest update (node voltage or
+        /// branch current), when the solver got far enough to identify it.
+        unknown: Option<String>,
     },
     /// The transient ran past its step budget (`max_steps`) — usually a
     /// sign that `dtmin` event refinement is thrashing.
@@ -28,6 +34,17 @@ pub enum SimError {
     UnknownSignal(String),
     /// Invalid analysis parameters (non-positive stop time, bad tolerances).
     InvalidOptions(String),
+    /// A fault plan (`SFET_FAULT_PLAN`) forced the run to abort, simulating
+    /// a process kill. Resume from the last checkpoint to continue.
+    InjectedCrash {
+        /// Simulation time at the injected crash \[s\].
+        time: f64,
+        /// Step attempt count at the injected crash.
+        step: usize,
+    },
+    /// Checkpoint I/O or format failure (unreadable snapshot, version or
+    /// circuit-fingerprint mismatch).
+    Checkpoint(String),
 }
 
 impl fmt::Display for SimError {
@@ -35,16 +52,34 @@ impl fmt::Display for SimError {
         match self {
             SimError::Circuit(e) => write!(f, "circuit error: {e}"),
             SimError::Numeric(e) => write!(f, "numeric error: {e}"),
-            SimError::NonConvergence { time, dt } => write!(
-                f,
-                "transient failed to converge at t={time:.4e}s (dt={dt:.2e}s)"
-            ),
+            SimError::NonConvergence {
+                time,
+                dt,
+                residual,
+                unknown,
+            } => {
+                write!(
+                    f,
+                    "transient failed to converge at t={time:.4e}s (dt={dt:.2e}s, \
+                     final residual {residual:.3e}"
+                )?;
+                match unknown {
+                    Some(name) => write!(f, " on {name})"),
+                    None => write!(f, ")"),
+                }
+            }
             SimError::StepBudgetExceeded { time, steps } => write!(
                 f,
                 "step budget exhausted after {steps} steps at t={time:.4e}s"
             ),
             SimError::UnknownSignal(name) => write!(f, "unknown signal {name:?}"),
             SimError::InvalidOptions(msg) => write!(f, "invalid options: {msg}"),
+            SimError::InjectedCrash { time, step } => write!(
+                f,
+                "injected crash at t={time:.4e}s (step attempt {step}); \
+                 resume from the last checkpoint"
+            ),
+            SimError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
         }
     }
 }
@@ -80,11 +115,34 @@ mod tests {
         let e = SimError::NonConvergence {
             time: 1e-9,
             dt: 1e-15,
+            residual: 0.25,
+            unknown: Some("v(out)".into()),
         };
-        assert!(e.to_string().contains("converge"));
+        let text = e.to_string();
+        assert!(text.contains("converge"));
+        assert!(
+            text.contains("v(out)") && text.contains("2.5"),
+            "diagnosable failure names the worst unknown and residual: {text}"
+        );
+        let anon = SimError::NonConvergence {
+            time: 1e-9,
+            dt: 1e-15,
+            residual: 0.25,
+            unknown: None,
+        };
+        assert!(!anon.to_string().contains("on "));
         assert!(SimError::UnknownSignal("x".into())
             .to_string()
             .contains("x"));
+        assert!(SimError::InjectedCrash {
+            time: 1e-9,
+            step: 40
+        }
+        .to_string()
+        .contains("step attempt 40"));
+        assert!(SimError::Checkpoint("bad magic".into())
+            .to_string()
+            .contains("bad magic"));
     }
 
     #[test]

@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 mod acsweep;
+mod checkpoint;
 mod dcop;
 mod dcsweep;
 mod devices;
@@ -57,13 +58,14 @@ mod trace;
 mod transient;
 
 pub use acsweep::{ac_sweep, AcSweepResult, Phasor};
+pub use checkpoint::{CheckpointPolicy, CHECKPOINT_VERSION};
 pub use dcop::{dc_operating_point, dc_operating_point_with_stats};
 pub use dcsweep::{dc_sweep, DcSweepResult};
 pub use error::SimError;
 pub use matrix::{LinearSolver, SolverStats};
 pub use options::SimOptions;
 pub use result::{DcStats, TranResult, TranStats};
-pub use transient::transient;
+pub use transient::{transient, transient_resumable};
 
 /// Convenience result alias.
 pub type Result<T> = std::result::Result<T, SimError>;

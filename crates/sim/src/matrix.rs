@@ -101,6 +101,26 @@ impl SolverStats {
             self.refactorizations as f64 / total as f64
         }
     }
+
+    /// Combines the stats of two run segments (e.g. a checkpointed prefix
+    /// and its resumed continuation): cumulative counters add, while
+    /// `factor_nnz` — a latest-factorisation diagnostic — comes from
+    /// `later` unless that segment never factorised.
+    pub fn merged(&self, later: &SolverStats) -> SolverStats {
+        SolverStats {
+            full_factorizations: self.full_factorizations + later.full_factorizations,
+            refactorizations: self.refactorizations + later.refactorizations,
+            solves: self.solves + later.solves,
+            pattern_rebuilds: self.pattern_rebuilds + later.pattern_rebuilds,
+            pivot_fallbacks: self.pivot_fallbacks + later.pivot_fallbacks,
+            factor_nnz: if later.factor_nnz != 0 {
+                later.factor_nnz
+            } else {
+                self.factor_nnz
+            },
+            solve_time_ns: self.solve_time_ns + later.solve_time_ns,
+        }
+    }
 }
 
 /// An MNA system matrix that devices stamp into.

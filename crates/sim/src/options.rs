@@ -2,6 +2,7 @@
 
 use crate::matrix::LinearSolver;
 use crate::{Result, SimError};
+use sfet_numeric::fault::FaultPlan;
 use sfet_numeric::integrate::Method;
 use sfet_telemetry::Telemetry;
 
@@ -64,6 +65,10 @@ pub struct SimOptions {
     /// test). Note `SimOptions` equality compares only whether telemetry
     /// is enabled, not where it goes (see [`Telemetry`]'s `PartialEq`).
     pub telemetry: Telemetry,
+    /// Fault-injection plan for resilience testing. `None` (the default)
+    /// falls back to the process-wide `SFET_FAULT_PLAN` environment
+    /// variable; set an explicit plan to scope injection to one run.
+    pub fault: Option<FaultPlan>,
 }
 
 impl Default for SimOptions {
@@ -85,6 +90,7 @@ impl Default for SimOptions {
             lte_control: false,
             lte_tol: 1e-3,
             telemetry: Telemetry::disabled(),
+            fault: None,
         }
     }
 }
@@ -158,6 +164,33 @@ impl SimOptions {
         self
     }
 
+    /// Builder-style attachment of a fault-injection plan, overriding any
+    /// `SFET_FAULT_PLAN` environment setting for this run.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// Derives a *relaxed* copy of these options for retry attempt
+    /// `attempt` (0 = the original options, returned unchanged). Each
+    /// escalation level doubles the Newton iteration budget (capped at
+    /// 400), deepens `dtmin` by 16×, and raises `gmin` by 10× (capped at
+    /// 1 µS) — the standard SPICE recovery ladder for a solve that failed
+    /// on tolerance rather than on modelling.
+    ///
+    /// Used by fault-tolerant sweeps to give a failed task progressively
+    /// better odds without loosening the options of tasks that succeed
+    /// first try (which would perturb their results).
+    pub fn escalated(&self, attempt: usize) -> Self {
+        let mut opts = self.clone();
+        for _ in 0..attempt {
+            opts.max_newton_iter = (opts.max_newton_iter * 2).min(400);
+            opts.dtmin = (opts.dtmin / 16.0).max(f64::MIN_POSITIVE);
+            opts.gmin = (opts.gmin * 10.0).min(1e-6);
+        }
+        opts
+    }
+
     /// Validates option consistency.
     ///
     /// # Errors
@@ -227,5 +260,28 @@ mod tests {
     fn builder_overrides() {
         let o = SimOptions::default().with_method(Method::BackwardEuler);
         assert_eq!(o.method, Method::BackwardEuler);
+        let o = SimOptions::default().with_fault_plan(FaultPlan::new().with_crash(3));
+        assert!(o.fault.as_ref().unwrap().crash_at(3));
+    }
+
+    #[test]
+    fn escalation_relaxes_monotonically_and_stays_valid() {
+        let base = SimOptions::default();
+        assert_eq!(base.escalated(0), base);
+        let mut prev = base.clone();
+        for attempt in 1..=6 {
+            let o = base.escalated(attempt);
+            o.validate().unwrap();
+            assert!(o.max_newton_iter >= prev.max_newton_iter);
+            assert!(o.dtmin <= prev.dtmin);
+            assert!(o.gmin >= prev.gmin);
+            prev = o;
+        }
+        // Caps hold even for absurd attempt counts.
+        let extreme = base.escalated(100);
+        assert_eq!(extreme.max_newton_iter, 400);
+        assert!(extreme.gmin <= 1e-6);
+        assert!(extreme.dtmin > 0.0);
+        extreme.validate().unwrap();
     }
 }

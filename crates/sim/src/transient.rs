@@ -15,17 +15,26 @@
 //! The first step and every step immediately after a fired event use
 //! backward Euler (L-stable) to damp the discontinuity; other steps use
 //! the configured method (trapezoidal by default).
+//!
+//! # Checkpoint/restart
+//!
+//! [`transient_resumable`] adds crash resilience: with a
+//! [`CheckpointPolicy`] the stepper periodically serializes its full state
+//! (see [`crate::checkpoint`]) and can later resume from the snapshot,
+//! producing a waveform bitwise identical to an uninterrupted run.
 
 use std::collections::HashMap;
 
+use crate::checkpoint::{self, CheckpointPolicy, TranSnapshot};
 use crate::dcop::{init_state_from_dc, solve_dc, DcWorkspace};
 use crate::devices::{volt, CompiledCircuit, SimDevice, StampMode};
-use crate::matrix::MnaMatrix;
+use crate::matrix::{MnaMatrix, SolverStats};
 use crate::options::SimOptions;
 use crate::result::{TranResult, TranStats};
 use crate::trace;
 use crate::{Result, SimError};
 use sfet_circuit::Circuit;
+use sfet_numeric::fault::FaultPlan;
 use sfet_numeric::integrate::Method;
 use sfet_telemetry::{names, Level};
 
@@ -42,6 +51,30 @@ use sfet_telemetry::{names, Level};
 /// * [`SimError::NonConvergence`] / [`SimError::StepBudgetExceeded`] if the
 ///   integration cannot complete.
 pub fn transient(circuit: &Circuit, tstop: f64, opts: &SimOptions) -> Result<TranResult> {
+    transient_resumable(circuit, tstop, opts, &CheckpointPolicy::disabled())
+}
+
+/// [`transient`] with checkpoint/restart support.
+///
+/// With `ckpt.checkpoint_to` set, the stepper writes a snapshot of its
+/// complete state every `ckpt.checkpoint_every` accepted steps (atomic
+/// write — a crash mid-write cannot corrupt the previous good snapshot).
+/// With `ckpt.resume_from` set, the run restores that snapshot instead of
+/// solving the DC operating point and continues to `tstop`; the resumed
+/// waveform is **bitwise identical** to what the uninterrupted run would
+/// have produced, and the returned [`TranStats`] cover both segments.
+///
+/// # Errors
+///
+/// Everything [`transient`] raises, plus [`SimError::Checkpoint`] for
+/// unreadable/mismatched snapshots and [`SimError::InjectedCrash`] when a
+/// fault plan ([`SimOptions::fault`] or `SFET_FAULT_PLAN`) kills the run.
+pub fn transient_resumable(
+    circuit: &Circuit,
+    tstop: f64,
+    opts: &SimOptions,
+    ckpt: &CheckpointPolicy,
+) -> Result<TranResult> {
     opts.validate()?;
     if !(tstop > 0.0 && tstop.is_finite()) {
         return Err(SimError::InvalidOptions(format!(
@@ -49,31 +82,77 @@ pub fn transient(circuit: &Circuit, tstop: f64, opts: &SimOptions) -> Result<Tra
         )));
     }
     circuit.validate()?;
+    let fault = opts.fault.clone().or_else(FaultPlan::from_env);
 
     let run_span = opts.telemetry.span(Level::Analysis, names::SPAN_TRANSIENT);
     let mut compiled = CompiledCircuit::compile(circuit);
-    let mut dc_ws = DcWorkspace::new(&compiled, opts);
-    let x_dc = solve_dc(&mut compiled, opts, &mut dc_ws)?;
-    // The initial operating point reports under the `dc.*` namespace; it
-    // is deliberately excluded from `TranStats`/`tran.*`.
-    trace::emit_dc_stats(&opts.telemetry, &dc_ws.stats());
-    init_state_from_dc(&mut compiled, &x_dc, opts);
+    let fingerprint = checkpoint::fingerprint(&compiled, tstop, opts.method);
 
-    let mut recorder = Recorder::new(&compiled);
-    recorder.record(0.0, &x_dc, &compiled);
-
-    let mut stats = TranStats::default();
     let n = compiled.size;
     let node_count = compiled.node_names.len();
     let mut jac = MnaMatrix::new(opts.solver, n, opts.reuse_factorization);
     let mut rhs = vec![0.0; n];
 
-    let mut x = x_dc;
-    let mut t = 0.0f64;
-    let mut dt = (opts.dtmax / 16.0).max(opts.dtmin);
-    let mut force_be = true; // first step: backward Euler
-                             // History for the quadratic LTE predictor: two previous accepted points.
-    let mut hist: Vec<(f64, Vec<f64>)> = Vec::with_capacity(2);
+    // Stepper state: restored from a snapshot, or initialised from the DC
+    // operating point.
+    let mut recorder;
+    let mut stats;
+    // Solver counters accumulated by earlier segments of a resumed run;
+    // `jac` starts fresh (one extra full factorisation, which does not
+    // perturb the waveform — factor reuse is bitwise-identical to fresh
+    // factorisation by the solver's determinism contract).
+    let resumed_solver: SolverStats;
+    let mut x: Vec<f64>;
+    let mut t: f64;
+    let mut dt: f64;
+    let mut force_be: bool;
+    // History for the quadratic LTE predictor: two previous accepted points.
+    let mut hist: Vec<(f64, Vec<f64>)>;
+
+    if let Some(resume_path) = &ckpt.resume_from {
+        let snap = checkpoint::read_snapshot(resume_path, fingerprint)?;
+        checkpoint::restore_devices(&mut compiled, &snap.devices)?;
+        if snap.x.len() != n {
+            return Err(SimError::Checkpoint(format!(
+                "snapshot solution has {} unknowns, circuit has {n}",
+                snap.x.len()
+            )));
+        }
+        recorder = Recorder::restore(
+            &compiled,
+            snap.times,
+            snap.node_data,
+            snap.branch_data,
+            snap.ptm_resistance,
+        )?;
+        stats = snap.stats;
+        resumed_solver = stats.solver;
+        stats.solver = SolverStats::default();
+        x = snap.x;
+        t = snap.t;
+        dt = snap.dt;
+        force_be = snap.force_be;
+        hist = snap.hist;
+        opts.telemetry.counter(names::CHECKPOINT_RESUMED, 1);
+    } else {
+        let mut dc_ws = DcWorkspace::new(&compiled, opts);
+        let x_dc = solve_dc(&mut compiled, opts, &mut dc_ws)?;
+        // The initial operating point reports under the `dc.*` namespace; it
+        // is deliberately excluded from `TranStats`/`tran.*`.
+        trace::emit_dc_stats(&opts.telemetry, &dc_ws.stats());
+        init_state_from_dc(&mut compiled, &x_dc, opts);
+
+        recorder = Recorder::new(&compiled);
+        recorder.record(0.0, &x_dc, &compiled);
+
+        stats = TranStats::default();
+        resumed_solver = SolverStats::default();
+        x = x_dc;
+        t = 0.0;
+        dt = (opts.dtmax / 16.0).max(opts.dtmin);
+        force_be = true; // first step: backward Euler
+        hist = Vec::with_capacity(2);
+    }
 
     while t < tstop * (1.0 - 1e-12) {
         stats.steps_attempted += 1;
@@ -82,6 +161,16 @@ pub fn transient(circuit: &Circuit, tstop: f64, opts: &SimOptions) -> Result<Tra
                 time: t,
                 steps: stats.steps_attempted,
             });
+        }
+        if let Some(plan) = &fault {
+            // Simulated process kill: abort without writing a checkpoint
+            // (an honest crash leaves only the last *periodic* snapshot).
+            if plan.crash_at(stats.steps_attempted as u64) {
+                return Err(SimError::InjectedCrash {
+                    time: t,
+                    step: stats.steps_attempted,
+                });
+            }
         }
         // Dropped at every exit from this loop body (accept or any of the
         // rejection `continue`s), closing the step-attempt span.
@@ -122,24 +211,35 @@ pub fn transient(circuit: &Circuit, tstop: f64, opts: &SimOptions) -> Result<Tra
         for device in &mut compiled.devices {
             device.prepare_step(t_next);
         }
-        let solve = newton_transient(
-            &compiled, &x, t_next, dt_cur, method, opts, &mut jac, &mut rhs, node_count,
-        );
+        let injected_newton_failure = fault
+            .as_ref()
+            .is_some_and(|plan| plan.fail_newton(stats.steps_attempted as u64));
+        let solve = if injected_newton_failure {
+            Err(SimError::NonConvergence {
+                time: t_next,
+                dt: dt_cur,
+                residual: f64::INFINITY,
+                unknown: Some("<injected fault>".into()),
+            })
+        } else {
+            newton_transient(
+                &compiled, &x, t_next, dt_cur, method, opts, &mut jac, &mut rhs, node_count,
+            )
+        };
         let (x_new, iters) = match solve {
             Ok(pair) => pair,
-            Err(_) => {
+            Err(err) => {
                 stats.steps_rejected += 1;
                 // The predictor history is stale across a rejected solve
                 // followed by a backward-Euler restart.
                 hist.clear();
                 // Give up only after a backward-Euler attempt AT dtmin has
                 // failed; otherwise clamp the quartered retry to dtmin so
-                // the floor step is actually attempted.
+                // the floor step is actually attempted. The inner error is
+                // propagated as-is: it carries the final residual and the
+                // worst unknown, which failed-sweep diagnostics rely on.
                 if method == Method::BackwardEuler && dt_cur <= opts.dtmin * (1.0 + 1e-9) {
-                    return Err(SimError::NonConvergence {
-                        time: t_next,
-                        dt: dt_cur,
-                    });
+                    return Err(err);
                 }
                 dt = (dt_cur / 4.0).max(opts.dtmin);
                 force_be = true;
@@ -267,9 +367,32 @@ pub fn transient(circuit: &Circuit, tstop: f64, opts: &SimOptions) -> Result<Tra
         }
         x = x_new;
         t = t_next;
+
+        // --- Periodic checkpoint (after the state advanced). ---
+        if let Some(path) = &ckpt.checkpoint_to {
+            if ckpt.checkpoint_every > 0 && stats.steps_accepted % ckpt.checkpoint_every == 0 {
+                let mut snap_stats = stats;
+                snap_stats.solver = resumed_solver.merged(&jac.stats());
+                let snap = TranSnapshot {
+                    t,
+                    dt,
+                    force_be,
+                    x: x.clone(),
+                    hist: hist.clone(),
+                    stats: snap_stats,
+                    times: recorder.times.clone(),
+                    node_data: recorder.node_data.clone(),
+                    branch_data: recorder.branch_data.clone(),
+                    ptm_resistance: recorder.ptm_resistance.clone(),
+                    devices: checkpoint::capture_devices(&compiled),
+                };
+                checkpoint::write_snapshot(path, &snap, fingerprint)?;
+                opts.telemetry.counter(names::CHECKPOINT_WRITTEN, 1);
+            }
+        }
     }
 
-    stats.solver = jac.stats();
+    stats.solver = resumed_solver.merged(&jac.stats());
     trace::emit_tran_stats(&opts.telemetry, &stats);
     drop(run_span);
     Ok(recorder.finish(&compiled, stats))
@@ -299,6 +422,9 @@ fn newton_transient(
 ) -> Result<(Vec<f64>, usize)> {
     let mode = StampMode::Transient { t_next, dt, method };
     let mut x = x0.to_vec();
+    // Final-iteration diagnostics for the NonConvergence payload.
+    let mut last_residual = f64::INFINITY;
+    let mut last_worst = 0usize;
     for iter in 1..=opts.max_newton_iter {
         let _iter_span = opts
             .telemetry
@@ -320,24 +446,60 @@ fn newton_transient(
         } else {
             1.0
         };
+        // Convergence is measured on the RAW (undamped) update: a raw step
+        // within tolerance means the iterate already sits at the Newton
+        // target, even when the damping clamp made `scale < 1` — the case
+        // a sharp PTM edge hits when one large-tolerance unknown drives
+        // the clamp. (Measuring the *damped* update instead would accept a
+        // damped crawl that is nowhere near the solution.)
         let mut converged = true;
+        let mut max_raw = 0.0f64;
+        let mut worst = 0usize;
         for i in 0..x.len() {
-            let dx = (x_next[i] - x[i]) * scale;
-            x[i] += dx;
+            let raw = x_next[i] - x[i];
+            x[i] += raw * scale;
             let tol = if i < node_count {
                 opts.reltol * x[i].abs() + opts.vntol
             } else {
                 opts.reltol * x[i].abs() + opts.abstol
             };
-            if dx.abs() > tol {
+            if raw.abs() > max_raw {
+                max_raw = raw.abs();
+                worst = i;
+            }
+            if raw.abs() > tol {
                 converged = false;
             }
         }
-        if converged && scale == 1.0 {
+        if converged {
             return Ok((x, iter));
         }
+        last_residual = max_raw;
+        last_worst = worst;
     }
-    Err(SimError::NonConvergence { time: t_next, dt })
+    Err(SimError::NonConvergence {
+        time: t_next,
+        dt,
+        residual: last_residual,
+        unknown: unknown_name(compiled, last_worst, node_count),
+    })
+}
+
+/// Human-readable name of MNA unknown `idx`: `v(<node>)` for node voltages,
+/// `i(<element>)` for branch currents.
+pub(crate) fn unknown_name(
+    compiled: &CompiledCircuit,
+    idx: usize,
+    node_count: usize,
+) -> Option<String> {
+    if idx < node_count {
+        compiled.node_names.get(idx).map(|n| format!("v({n})"))
+    } else {
+        compiled
+            .branch_names
+            .get(idx - node_count)
+            .map(|n| format!("i({n})"))
+    }
 }
 
 /// Accumulates sampled signals during integration.
@@ -356,6 +518,49 @@ impl Recorder {
             branch_data: vec![Vec::with_capacity(1024); compiled.branch_names.len()],
             ptm_resistance: vec![Vec::with_capacity(1024); compiled.ptm_devices.len()],
         }
+    }
+
+    /// Rebuilds a recorder from checkpointed sample columns, validating
+    /// that the column layout matches the compiled circuit.
+    fn restore(
+        compiled: &CompiledCircuit,
+        times: Vec<f64>,
+        node_data: Vec<Vec<f64>>,
+        branch_data: Vec<Vec<f64>>,
+        ptm_resistance: Vec<Vec<f64>>,
+    ) -> Result<Self> {
+        if node_data.len() != compiled.node_names.len()
+            || branch_data.len() != compiled.branch_names.len()
+            || ptm_resistance.len() != compiled.ptm_devices.len()
+        {
+            return Err(SimError::Checkpoint(format!(
+                "snapshot column layout ({}/{}/{} node/branch/ptm) does not match \
+                 the circuit ({}/{}/{})",
+                node_data.len(),
+                branch_data.len(),
+                ptm_resistance.len(),
+                compiled.node_names.len(),
+                compiled.branch_names.len(),
+                compiled.ptm_devices.len(),
+            )));
+        }
+        let n = times.len();
+        if node_data
+            .iter()
+            .chain(&branch_data)
+            .chain(&ptm_resistance)
+            .any(|col| col.len() != n)
+        {
+            return Err(SimError::Checkpoint(
+                "snapshot sample columns have inconsistent lengths".into(),
+            ));
+        }
+        Ok(Recorder {
+            times,
+            node_data,
+            branch_data,
+            ptm_resistance,
+        })
     }
 
     fn record(&mut self, t: f64, x: &[f64], compiled: &CompiledCircuit) {
@@ -742,6 +947,286 @@ mod tests {
             transient(&ckt, -1.0, &SimOptions::default()),
             Err(SimError::InvalidOptions(_))
         ));
+    }
+
+    /// Fresh temp-file path for checkpoint tests (unique per process and
+    /// per call; tests must not share paths, they run in parallel).
+    fn tmp_path(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "sfet-tran-test-{}-{tag}-{n}.ckpt",
+            std::process::id()
+        ))
+    }
+
+    /// Paper Fig. 3 staircase circuit, reused by the resume tests.
+    fn staircase_circuit() -> Circuit {
+        let params = PtmParams::vo2_default();
+        let mut ckt = Circuit::new();
+        let inp = ckt.node("in");
+        let vc = ckt.node("vc");
+        let g = Circuit::ground();
+        ckt.add_voltage_source(
+            "VIN",
+            inp,
+            g,
+            SourceWaveform::ramp(0.0, 1.0, 10e-12, 30e-12),
+        )
+        .unwrap();
+        ckt.add_ptm("P1", inp, vc, params).unwrap();
+        ckt.add_capacitor("C1", vc, g, 0.5e-15).unwrap();
+        ckt
+    }
+
+    fn assert_bitwise_equal(a: &TranResult, b: &TranResult, what: &str) {
+        assert_eq!(a.times().len(), b.times().len(), "{what}: sample counts");
+        for (ta, tb) in a.times().iter().zip(b.times()) {
+            assert_eq!(ta.to_bits(), tb.to_bits(), "{what}: time axis");
+        }
+        for name in ["in", "vc"] {
+            let (wa, wb) = (a.voltage(name).unwrap(), b.voltage(name).unwrap());
+            for (va, vb) in wa.values().iter().zip(wb.values()) {
+                assert_eq!(va.to_bits(), vb.to_bits(), "{what}: v({name})");
+            }
+        }
+        let (ra, rb) = (
+            a.ptm_resistance("P1").unwrap(),
+            b.ptm_resistance("P1").unwrap(),
+        );
+        for (va, vb) in ra.values().iter().zip(rb.values()) {
+            assert_eq!(va.to_bits(), vb.to_bits(), "{what}: ptm resistance");
+        }
+        assert_eq!(a.ptm_events("P1").unwrap(), b.ptm_events("P1").unwrap());
+        assert_eq!(
+            a.stats().steps_attempted,
+            b.stats().steps_attempted,
+            "{what}"
+        );
+        assert_eq!(a.stats().steps_accepted, b.stats().steps_accepted, "{what}");
+        assert_eq!(a.stats().steps_rejected, b.stats().steps_rejected, "{what}");
+        assert_eq!(
+            a.stats().newton_iterations,
+            b.stats().newton_iterations,
+            "{what}"
+        );
+        assert_eq!(
+            a.stats().ptm_transitions,
+            b.stats().ptm_transitions,
+            "{what}"
+        );
+    }
+
+    /// Regression for the damped-Newton acceptance bug: the solver used to
+    /// require `scale == 1.0` on the accepting iteration, so a solve whose
+    /// raw update was within tolerance but still larger than
+    /// `max_newton_step` kept crawling until the budget ran out — a
+    /// spurious `NonConvergence` on sharp edges under loose tolerances.
+    /// Convergence is now measured on the raw update.
+    #[test]
+    fn damped_final_iteration_accepted_on_raw_convergence() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let mid = ckt.node("mid");
+        let g = Circuit::ground();
+        // Effectively instantaneous 0 -> 0.8 V edge (shorter than dtmin).
+        ckt.add_voltage_source("V1", a, g, SourceWaveform::ramp(0.0, 0.8, 0.0, 1e-18))
+            .unwrap();
+        ckt.add_resistor("R1", a, mid, 1e3).unwrap();
+        ckt.add_resistor("R2", mid, g, 1e3).unwrap();
+        let opts = SimOptions {
+            vntol: 0.55,          // loose: raw 0.5 V update is within tol
+            abstol: 1e-3,         // loose: branch current converges early
+            max_newton_step: 0.1, // crawl: 8 damped iterations to scale == 1
+            max_newton_iter: 5,   // budget runs out before the crawl ends
+            dtmin: 1e-15,         // the edge cannot be sub-stepped away
+            ..Default::default()
+        };
+        let tstop = 10e-12;
+        let r =
+            transient(&ckt, tstop, &opts).expect("raw-converged damped iterate must be accepted");
+        let v = r.voltage("mid").unwrap();
+        // Later steps re-converge onto the exact divider voltage.
+        assert!(
+            (v.last_value() - 0.4).abs() < 0.05,
+            "divider settles: {}",
+            v.last_value()
+        );
+    }
+
+    /// The enriched `NonConvergence` names the worst unknown and carries
+    /// the final residual when the solver genuinely cannot converge.
+    #[test]
+    fn nonconvergence_reports_residual_and_worst_unknown() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let mid = ckt.node("mid");
+        let g = Circuit::ground();
+        ckt.add_voltage_source("V1", a, g, SourceWaveform::ramp(0.0, 0.8, 0.0, 1e-18))
+            .unwrap();
+        ckt.add_resistor("R1", a, mid, 1e3).unwrap();
+        ckt.add_resistor("R2", mid, g, 1e3).unwrap();
+        let opts = SimOptions {
+            // Tight voltage tolerance: the 0.1 V-per-iteration crawl can
+            // never satisfy it within a 5-iteration budget.
+            max_newton_step: 0.1,
+            max_newton_iter: 5,
+            dtmin: 1e-15,
+            ..Default::default()
+        };
+        match transient(&ckt, 10e-12, &opts) {
+            Err(SimError::NonConvergence {
+                residual, unknown, ..
+            }) => {
+                assert!(
+                    residual.is_finite() && residual > 0.1,
+                    "residual carries the stuck raw update: {residual}"
+                );
+                assert_eq!(
+                    unknown.as_deref(),
+                    Some("v(a)"),
+                    "the forced source node is the worst unknown"
+                );
+            }
+            other => panic!("expected NonConvergence, got {other:?}"),
+        }
+    }
+
+    /// Sharp PTM edges under a tight damping clamp: every transition makes
+    /// the PTM voltage pivot within one step, and the damped Newton must
+    /// still land each one.
+    #[test]
+    fn sharp_ptm_edge_converges_under_tight_damping() {
+        let ckt = staircase_circuit();
+        let tstop = 300e-12;
+        let opts = SimOptions {
+            max_newton_step: 0.05,
+            max_newton_iter: 25,
+            ..SimOptions::for_duration(tstop, 600)
+        };
+        let r = transient(&ckt, tstop, &opts).unwrap();
+        assert!(
+            !r.ptm_events("P1").unwrap().is_empty(),
+            "at least one transition fires inside the window"
+        );
+    }
+
+    /// An injected Newton failure is indistinguishable from a real one:
+    /// the step is rejected, dt shrinks, and the run recovers.
+    #[test]
+    fn injected_newton_failure_is_retried() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let out = ckt.node("out");
+        let g = Circuit::ground();
+        ckt.add_voltage_source("V1", a, g, SourceWaveform::ramp(0.0, 1.0, 0.0, 1e-15))
+            .unwrap();
+        ckt.add_resistor("R1", a, out, 1e3).unwrap();
+        ckt.add_capacitor("C1", out, g, 1e-15).unwrap();
+        let tstop = 6e-12;
+        let clean = transient(&ckt, tstop, &opts_for(tstop)).unwrap();
+        let faulty = opts_for(tstop).with_fault_plan(FaultPlan::new().with_newton_failure(10));
+        let r = transient(&ckt, tstop, &faulty).unwrap();
+        assert!(
+            r.stats().steps_rejected > clean.stats().steps_rejected,
+            "the injected failure must cost a rejection"
+        );
+        let v = r.voltage("out").unwrap();
+        assert!((v.value_at(2e-12) - (1.0 - (-2.0f64).exp())).abs() < 0.02);
+    }
+
+    #[test]
+    fn injected_crash_aborts_with_step_attempt() {
+        let ckt = staircase_circuit();
+        let opts =
+            SimOptions::for_duration(300e-12, 600).with_fault_plan(FaultPlan::new().with_crash(40));
+        match transient(&ckt, 300e-12, &opts) {
+            Err(SimError::InjectedCrash { step, .. }) => assert_eq!(step, 40),
+            other => panic!("expected InjectedCrash, got {other:?}"),
+        }
+    }
+
+    /// The tentpole guarantee: kill the run mid-flight (no checkpoint at
+    /// the crash itself — only the last periodic snapshot survives),
+    /// resume, and the result is bitwise identical to an uninterrupted
+    /// run. Exercised across all three integration methods.
+    #[test]
+    fn kill_and_resume_is_bitwise_identical() {
+        let ckt = staircase_circuit();
+        let tstop = 300e-12;
+        for method in [Method::Trapezoidal, Method::BackwardEuler, Method::Gear2] {
+            let opts = SimOptions::for_duration(tstop, 600).with_method(method);
+            let straight = transient(&ckt, tstop, &opts).unwrap();
+            assert!(
+                straight.stats().steps_attempted > 160,
+                "scenario long enough to checkpoint and crash"
+            );
+
+            let path = tmp_path(&format!("resume-{method:?}"));
+            let crashing = opts
+                .clone()
+                .with_fault_plan(FaultPlan::new().with_crash(150));
+            let err = transient_resumable(
+                &ckt,
+                tstop,
+                &crashing,
+                &CheckpointPolicy::write_to(&path, 20),
+            )
+            .unwrap_err();
+            assert!(matches!(err, SimError::InjectedCrash { .. }), "{err}");
+            assert!(path.exists(), "periodic snapshot written before the crash");
+
+            let resumed = transient_resumable(
+                &ckt,
+                tstop,
+                &opts,
+                &CheckpointPolicy::disabled().with_resume_from(&path),
+            )
+            .unwrap();
+            assert_bitwise_equal(&straight, &resumed, &format!("{method:?}"));
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
+    /// `resume_if_exists` with no snapshot on disk degrades to a fresh
+    /// run — the ergonomic default for restartable batch jobs.
+    #[test]
+    fn resume_if_exists_falls_back_to_fresh_run() {
+        let ckt = staircase_circuit();
+        let tstop = 100e-12;
+        let opts = SimOptions::for_duration(tstop, 400);
+        let straight = transient(&ckt, tstop, &opts).unwrap();
+        let missing = tmp_path("missing");
+        let policy = CheckpointPolicy::disabled().resume_if_exists(&missing);
+        assert!(policy.resume_from.is_none());
+        let r = transient_resumable(&ckt, tstop, &opts, &policy).unwrap();
+        assert_bitwise_equal(&straight, &r, "fresh fallback");
+    }
+
+    /// Checkpoint/resume telemetry counters fire.
+    #[test]
+    fn checkpoint_counters_are_emitted() {
+        use sfet_telemetry::{SharedAggregator, Telemetry};
+        let ckt = staircase_circuit();
+        let tstop = 100e-12;
+        let agg = SharedAggregator::new();
+        let opts = SimOptions::for_duration(tstop, 400).with_telemetry(Telemetry::new(agg.clone()));
+        let path = tmp_path("counters");
+        transient_resumable(&ckt, tstop, &opts, &CheckpointPolicy::write_to(&path, 20)).unwrap();
+        let snap = agg.snapshot();
+        assert!(snap.counter(names::CHECKPOINT_WRITTEN) > 0);
+        assert_eq!(snap.counter(names::CHECKPOINT_RESUMED), 0);
+
+        transient_resumable(
+            &ckt,
+            tstop,
+            &opts,
+            &CheckpointPolicy::disabled().with_resume_from(&path),
+        )
+        .unwrap();
+        assert_eq!(agg.snapshot().counter(names::CHECKPOINT_RESUMED), 1);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! Checkpoint/restart property tests: for randomised circuits, step
+//! tolerances, integration methods, and checkpoint cadences, a transient
+//! that snapshots its state, is killed, and resumes from the snapshot must
+//! produce a waveform bitwise identical to the uninterrupted run.
+
+use proptest::prelude::*;
+use sfet_circuit::{Circuit, SourceWaveform};
+use sfet_numeric::fault::FaultPlan;
+use sfet_numeric::integrate::Method;
+use sfet_sim::{transient, transient_resumable, CheckpointPolicy, SimError, SimOptions};
+
+/// A randomised series-RLC driven by a ramp (capacitor voltage carries
+/// trap/Gear-2 integrator history across the snapshot).
+fn rlc(r: f64, l: f64, c: f64) -> Circuit {
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    let m1 = ckt.node("m1");
+    let out = ckt.node("out");
+    let gnd = Circuit::ground();
+    ckt.add_voltage_source("V1", a, gnd, SourceWaveform::ramp(0.0, 1.0, 0.1e-9, 0.2e-9))
+        .expect("rlc build");
+    ckt.add_resistor("R1", a, m1, r).expect("rlc build");
+    ckt.add_inductor("L1", m1, out, l).expect("rlc build");
+    ckt.add_capacitor("C1", out, gnd, c).expect("rlc build");
+    ckt
+}
+
+fn tmp_path(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "sfet-resilience-prop-{}-{tag}-{n}.ckpt",
+        std::process::id()
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(9))]
+
+    /// Kill-and-resume bitwise identity over randomised RLC dynamics,
+    /// all three integration methods, and varying checkpoint cadence /
+    /// crash placement.
+    #[test]
+    fn snapshot_restore_run_equals_straight_through(
+        r in 5.0f64..200.0,
+        l_nh in 0.1f64..2.0,
+        c_pf in 0.1f64..2.0,
+        method_idx in 0usize..3,
+        every in 15usize..60,
+        crash_frac in 0.3f64..0.9,
+    ) {
+        let method = [Method::BackwardEuler, Method::Trapezoidal, Method::Gear2][method_idx];
+        let ckt = rlc(r, l_nh * 1e-9, c_pf * 1e-12);
+        let tstop = 3e-9;
+        let opts = SimOptions::for_duration(tstop, 500).with_method(method);
+
+        let straight = transient(&ckt, tstop, &opts).unwrap();
+        let total = straight.stats().steps_attempted;
+        prop_assume!(total > 60);
+        // Crash somewhere in the middle, after at least one snapshot.
+        let crash_step = ((total as f64 * crash_frac) as usize).max(every + 5);
+        prop_assume!(crash_step < total);
+
+        let path = tmp_path("rlc");
+        let crashing = opts
+            .clone()
+            .with_fault_plan(FaultPlan::new().with_crash(crash_step as u64));
+        let err = transient_resumable(
+            &ckt,
+            tstop,
+            &crashing,
+            &CheckpointPolicy::write_to(&path, every),
+        )
+        .unwrap_err();
+        prop_assert!(matches!(err, SimError::InjectedCrash { .. }), "{err}");
+        prop_assert!(path.exists(), "no snapshot written before the crash");
+
+        let resumed = transient_resumable(
+            &ckt,
+            tstop,
+            &opts,
+            &CheckpointPolicy::disabled().with_resume_from(&path),
+        )
+        .unwrap();
+        let _ = std::fs::remove_file(&path);
+
+        prop_assert_eq!(straight.times().len(), resumed.times().len());
+        for (ta, tb) in straight.times().iter().zip(resumed.times()) {
+            prop_assert_eq!(ta.to_bits(), tb.to_bits(), "time axis diverged");
+        }
+        for name in ["a", "m1", "out"] {
+            let (wa, wb) = (
+                straight.voltage(name).unwrap(),
+                resumed.voltage(name).unwrap(),
+            );
+            for (va, vb) in wa.values().iter().zip(wb.values()) {
+                prop_assert_eq!(va.to_bits(), vb.to_bits(), "v({}) diverged", name);
+            }
+        }
+        let (ia, ib) = (
+            straight.branch_current("L1").unwrap(),
+            resumed.branch_current("L1").unwrap(),
+        );
+        for (va, vb) in ia.values().iter().zip(ib.values()) {
+            prop_assert_eq!(va.to_bits(), vb.to_bits(), "i(L1) diverged");
+        }
+        prop_assert_eq!(straight.stats().steps_accepted, resumed.stats().steps_accepted);
+        prop_assert_eq!(straight.stats().newton_iterations, resumed.stats().newton_iterations);
+    }
+}

@@ -163,6 +163,15 @@ pub mod names {
     pub const EXEC_TASKS_COMPLETED: &str = "exec.tasks_completed";
     /// Tasks submitted to a sweep.
     pub const EXEC_TASKS_TOTAL: &str = "exec.tasks_total";
+    /// Retry attempts consumed across a fault-tolerant sweep
+    /// (`par_map_outcomes`); zero when every task succeeded first try.
+    pub const EXEC_TASKS_RETRIED: &str = "exec.task.retried";
+
+    // --- Checkpoint/restart counters (`sfet_sim::transient`). ---
+    /// Transient checkpoint snapshots written to disk.
+    pub const CHECKPOINT_WRITTEN: &str = "checkpoint.written";
+    /// Transient runs resumed from an on-disk snapshot.
+    pub const CHECKPOINT_RESUMED: &str = "checkpoint.resumed";
 
     // --- Generic Newton driver (`sfet_numeric::newton`). ---
     /// Completed `newton::solve` calls.

@@ -1,0 +1,72 @@
+//! Kill-and-resume golden: crash the Soft-FET power-gate wake transient
+//! mid-flight with an injected fault (an honest kill — no snapshot is
+//! taken at the crash itself, only the last *periodic* checkpoint
+//! survives), resume it, and require the serialised scenario to be
+//! byte-identical to the stored `power_gate_wake.golden`.
+//!
+//! This is deliberately stronger than the envelope comparison the regular
+//! golden suite applies: checkpoint/restart must not move a single bit.
+
+use sfet_devices::ptm::PtmParams;
+use sfet_numeric::fault::FaultPlan;
+use sfet_pdn::power_gate::PowerGateScenario;
+use sfet_pdn::PdnError;
+use sfet_sim::{CheckpointPolicy, SimError, SimOptions};
+use sfet_verify::golden::{compact, golden_path, serialize, GoldenSignal, ScenarioRun};
+use sfet_waveform::compare::Tol;
+
+#[test]
+fn kill_and_resume_power_gate_reproduces_the_golden_byte_for_byte() {
+    let base = PowerGateScenario::default();
+    let soft = base.with_soft_fet(PtmParams::vo2_default());
+    let opts = SimOptions::for_duration(soft.t_stop, 4000);
+
+    let out_b = base.run().unwrap();
+
+    // Crash the Soft-FET run mid-flight, checkpointing every 200 accepted
+    // steps on the way.
+    let path = std::env::temp_dir().join(format!("sfet-verify-resume-{}.ckpt", std::process::id()));
+    let crashing = opts
+        .clone()
+        .with_fault_plan(FaultPlan::new().with_crash(800));
+    let err = soft
+        .run_resumable(&crashing, &CheckpointPolicy::write_to(&path, 200))
+        .unwrap_err();
+    assert!(
+        matches!(err, PdnError::Sim(SimError::InjectedCrash { .. })),
+        "expected the injected kill, got: {err}"
+    );
+    assert!(path.exists(), "no periodic snapshot survived the crash");
+
+    // Resume from the last periodic snapshot with a fault-free plan.
+    let out_s = soft
+        .run_resumable(&opts, &CheckpointPolicy::disabled().with_resume_from(&path))
+        .unwrap();
+    let _ = std::fs::remove_file(&path);
+
+    // Assemble the scenario exactly as the golden harness does (same
+    // signal names, same code-side tolerances — the `tol` lines are part
+    // of the serialised bytes).
+    let v_tol = Tol::new(1e-3, 1e-3).with_time_shift(0.2e-9);
+    let i_tol = Tol::new(2e-3, 1e-2).with_time_shift(0.2e-9);
+    let signal = |name: &str, tol: Tol, wave| GoldenSignal {
+        name: name.to_string(),
+        tol,
+        wave,
+    };
+    let run = ScenarioRun {
+        scenario: "power_gate_wake".into(),
+        signals: vec![
+            signal("rail_base", v_tol, out_b.rail),
+            signal("rail_soft", v_tol, out_s.rail),
+            signal("v_virtual_soft", v_tol, out_s.v_virtual),
+            signal("i_rail_soft", i_tol, out_s.i_rail),
+        ],
+    };
+    let rendered = serialize(&compact(&run).unwrap());
+    let stored = std::fs::read_to_string(golden_path("power_gate_wake")).unwrap();
+    assert_eq!(
+        rendered, stored,
+        "kill-and-resume must reproduce power_gate_wake.golden byte-for-byte"
+    );
+}

@@ -101,12 +101,28 @@ impl CompareReport {
 
 /// Smallest vertical distance from golden value `g` to the piecewise-linear
 /// `actual` waveform over the window `[t - shift, t + shift]`.
+///
+/// Golden samples outside the actual waveform's time domain are *not*
+/// matched against the clamped end value — a run that stopped early must
+/// fail at the overhanging samples, not pass by holding its last value.
+/// (A relative slack of 1e-9 of the actual span absorbs the float jitter
+/// between two adaptive time axes that nominally end at the same instant.)
 fn window_deviation(actual: &Waveform, t: f64, g: f64, shift: f64) -> (f64, f64) {
+    let (a0, a1) = (actual.start_time(), actual.end_time());
+    let eps = 1e-9 * (a1 - a0).abs();
     if shift <= 0.0 {
+        if t < a0 - eps || t > a1 + eps {
+            return (f64::INFINITY, f64::NAN);
+        }
         let v = actual.value_at(t);
         return ((v - g).abs(), v);
     }
     let (lo, hi) = (t - shift, t + shift);
+    if hi < a0 - eps || lo > a1 + eps {
+        return (f64::INFINITY, f64::NAN);
+    }
+    // Search only the part of the window the actual waveform covers.
+    let (lo, hi) = (lo.max(a0), hi.min(a1));
     // Candidate evaluation points: the window ends plus every actual
     // sample inside the window. Between consecutive candidates the actual
     // waveform is linear, so the minimum of |actual − g| over a segment is
@@ -272,6 +288,41 @@ mod tests {
         let r = compare(&g, &a, &Tol::new(0.1, 0.0).with_time_shift(0.5));
         assert!(!r.pass());
         assert_eq!(r.violations, 3);
+    }
+
+    /// Regression: golden samples past the end of the actual waveform
+    /// used to be compared against the *clamped* final actual value, so a
+    /// run that stopped one sample early still passed. Overhang must fail.
+    #[test]
+    fn overhang_beyond_actual_domain_fails() {
+        let g = wf(&[0.0, 1.0, 2.0, 3.0], &[0.0, 1.0, 1.0, 1.0]);
+        // The actual run stops at t = 2: the t = 3 golden sample has no
+        // actual counterpart.
+        let a = wf(&[0.0, 1.0, 2.0], &[0.0, 1.0, 1.0]);
+        let r = compare(&g, &a, &Tol::new(0.05, 0.0));
+        assert!(!r.pass());
+        assert_eq!(r.violations, 1);
+        assert_eq!(r.worst_time, 3.0);
+        assert!(r.worst_margin.is_infinite());
+        // A shift window that cannot reach back into the domain fails too.
+        let r = compare(&g, &a, &Tol::new(0.05, 0.0).with_time_shift(0.5));
+        assert!(!r.pass(), "±0.5 window around t=3 never touches t≤2");
+        // A window that *does* reach the domain may legitimately match.
+        let r = compare(&g, &a, &Tol::new(0.05, 0.0).with_time_shift(1.5));
+        assert!(r.pass(), "worst margin {}", r.worst_margin);
+    }
+
+    /// Sub-epsilon end-time jitter between two adaptive time axes that
+    /// nominally stop at the same instant must not trip the overhang check.
+    #[test]
+    fn end_time_float_jitter_is_tolerated() {
+        let end = 2.0 + 1e-13; // within 1e-9 of the 2.0-second span
+        let g = wf(&[0.0, 1.0, end], &[0.0, 1.0, 1.0]);
+        let a = wf(&[0.0, 1.0, 2.0], &[0.0, 1.0, 1.0]);
+        let r = compare(&g, &a, &Tol::new(1e-6, 0.0));
+        assert!(r.pass(), "worst margin {}", r.worst_margin);
+        let r = compare(&g, &a, &Tol::new(1e-6, 0.0).with_time_shift(0.1));
+        assert!(r.pass(), "worst margin {}", r.worst_margin);
     }
 
     #[test]
