@@ -7,13 +7,22 @@
 //! failing point, reporting it as [`SoftFetError::Sweep`] with the
 //! offending parameters. Each public sweep has a `*_with` variant taking an
 //! explicit [`ExecConfig`]; the plain variant uses [`ExecConfig::from_env`].
+//!
+//! Single-transient sweeps (the V_IMT × V_MIT grid and the T_PTM sweep)
+//! additionally tile their points into structure-of-arrays lanes and run
+//! through the batched transient engine (`SFET_BATCH` lanes per tile; see
+//! `docs/BATCHING.md`) — without changing any result bit, per the batched
+//! engine's determinism contract.
 
 use crate::inverter::{InverterSpec, Topology};
-use crate::metrics::{measure_inverter, InverterMetrics};
+use crate::metrics::{
+    inverter_sim_options, measure_inverter, measure_inverter_batch, InverterMetrics,
+};
 use crate::Result;
 use crate::SoftFetError;
 use sfet_devices::ptm::PtmParams;
 use sfet_numeric::exec::{self, ExecConfig, ExecStats};
+use sfet_sim::SimOptions;
 
 /// One point of the V_IMT × V_MIT grid (Fig. 6).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -98,6 +107,54 @@ fn soft_metrics(vdd: f64, ptm: PtmParams) -> Result<InverterMetrics> {
     measure_inverter(&InverterSpec::minimum(vdd, Topology::SoftFet(ptm)))
 }
 
+/// Batched counterpart of [`run_sweep`] for sweeps whose task is "build one
+/// inverter spec, measure it, project a point from the metrics": items are
+/// tiled into lanes of [`ExecConfig::resolved_batch`] width and each tile
+/// runs through [`measure_inverter_batch`] in one structure-of-arrays
+/// transient pass. Every lane is bitwise identical to the scalar pipeline
+/// (the batched engine's determinism contract), so sweep results are
+/// independent of the `SFET_BATCH` setting. Per-lane failures (including
+/// spec/PTM validation errors at circuit build) surface as
+/// [`SoftFetError::Sweep`] with the failing *task* index and `describe`d
+/// parameters, exactly like the scalar path.
+fn run_metric_sweep_batched<T, U, D, S, P>(
+    cfg: &ExecConfig,
+    items: &[T],
+    describe: D,
+    spec_of: S,
+    point_of: P,
+) -> Result<(Vec<U>, ExecStats)>
+where
+    T: Sync,
+    U: Send,
+    D: Fn(&T) -> String,
+    S: Fn(&T) -> InverterSpec + Sync,
+    P: Fn(&T, &InverterMetrics) -> U + Sync,
+{
+    let (result, stats) = exec::par_map_batched_with_stats(cfg, items, |_start, tile| {
+        let lanes: Vec<(InverterSpec, SimOptions)> = tile
+            .iter()
+            .map(|item| {
+                let spec = spec_of(item);
+                let opts = inverter_sim_options(&spec);
+                (spec, opts)
+            })
+            .collect();
+        let refs: Vec<(&InverterSpec, &SimOptions)> = lanes.iter().map(|(s, o)| (s, o)).collect();
+        measure_inverter_batch(&refs)
+            .into_iter()
+            .zip(tile)
+            .map(|(r, item)| r.map(|m| point_of(item, &m)))
+            .collect()
+    });
+    let points = result.map_err(|e| SoftFetError::Sweep {
+        index: e.index,
+        context: describe(&items[e.index]),
+        source: Box::new(e.source),
+    })?;
+    Ok((points, stats))
+}
+
 /// Sweeps the V_IMT × V_MIT grid (Fig. 6). Grid points with
 /// `v_mit >= v_imt` are physically impossible and are skipped.
 ///
@@ -142,7 +199,9 @@ pub fn vimt_vmit_grid_with(
 }
 
 /// [`vimt_vmit_grid`] variant that also reports engine statistics, for the
-/// figure binaries.
+/// figure binaries. Runs through the batched structure-of-arrays engine
+/// (docs/BATCHING.md); all [`ExecStats`] counts stay per-*point*, not
+/// per-tile.
 ///
 /// # Errors
 ///
@@ -162,26 +221,22 @@ pub fn vimt_vmit_grid_stats(
             }
         }
     }
-    let (result, stats) = exec::par_map_with_stats(cfg, &combos, |_, &(v_imt, v_mit)| {
-        let m = soft_metrics(vdd, base.with_thresholds(v_imt, v_mit))?;
-        Ok(GridPoint {
+    run_metric_sweep_batched(
+        cfg,
+        &combos,
+        |&(v_imt, v_mit)| format!("v_imt={v_imt:.4} V, v_mit={v_mit:.4} V"),
+        |&(v_imt, v_mit)| {
+            InverterSpec::minimum(vdd, Topology::SoftFet(base.with_thresholds(v_imt, v_mit)))
+        },
+        |&(v_imt, v_mit), m| GridPoint {
             v_imt,
             v_mit,
             i_max: m.i_max,
             di_dt: m.di_dt,
             delay: m.delay,
             transitions: m.transitions,
-        })
-    });
-    let points = result.map_err(|e| SoftFetError::Sweep {
-        context: format!(
-            "v_imt={:.4} V, v_mit={:.4} V",
-            combos[e.index].0, combos[e.index].1
-        ),
-        index: e.index,
-        source: Box::new(e.source),
-    })?;
-    Ok((points, stats))
+        },
+    )
 }
 
 /// Sweeps the intrinsic switching time T_PTM (Fig. 8).
@@ -193,7 +248,8 @@ pub fn tptm_sweep(vdd: f64, base: PtmParams, t_ptms: &[f64]) -> Result<Vec<TptmP
     tptm_sweep_with(&ExecConfig::from_env(), vdd, base, t_ptms)
 }
 
-/// [`tptm_sweep`] with an explicit execution policy.
+/// [`tptm_sweep`] with an explicit execution policy. Runs through the
+/// batched structure-of-arrays engine (docs/BATCHING.md).
 ///
 /// # Errors
 ///
@@ -204,21 +260,20 @@ pub fn tptm_sweep_with(
     base: PtmParams,
     t_ptms: &[f64],
 ) -> Result<Vec<TptmPoint>> {
-    run_sweep(
+    run_metric_sweep_batched(
         cfg,
         t_ptms,
         |t| format!("t_ptm={t:.4e} s"),
-        |_, &t_ptm| {
-            let m = soft_metrics(vdd, base.with_t_ptm(t_ptm))?;
-            Ok(TptmPoint {
-                t_ptm,
-                i_max: m.i_max,
-                di_dt: m.di_dt,
-                delay: m.delay,
-                transitions: m.transitions,
-            })
+        |&t_ptm| InverterSpec::minimum(vdd, Topology::SoftFet(base.with_t_ptm(t_ptm))),
+        |&t_ptm, m| TptmPoint {
+            t_ptm,
+            i_max: m.i_max,
+            di_dt: m.di_dt,
+            delay: m.delay,
+            transitions: m.transitions,
         },
     )
+    .map(|(points, _)| points)
 }
 
 /// Sweeps the input slew (Fig. 9), measuring Soft-FET and baseline at each
@@ -231,7 +286,9 @@ pub fn slew_sweep(vdd: f64, ptm: PtmParams, t_rises: &[f64]) -> Result<Vec<SlewP
     slew_sweep_with(&ExecConfig::from_env(), vdd, ptm, t_rises)
 }
 
-/// [`slew_sweep`] with an explicit execution policy.
+/// [`slew_sweep`] with an explicit execution policy. Stays on the scalar
+/// engine: each task runs *two* transients (Soft-FET and baseline) with
+/// slew-dependent durations, which doesn't map onto fixed-shape lanes.
 ///
 /// # Errors
 ///

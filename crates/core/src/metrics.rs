@@ -6,7 +6,7 @@
 
 use crate::inverter::{Edge, InverterSpec, Topology};
 use crate::Result;
-use sfet_sim::{transient, SimOptions, TranResult};
+use sfet_sim::{transient, transient_batch, BatchSpec, SimOptions, TranResult};
 use sfet_waveform::measure::{charge_split, max_abs_didt, propagation_delay};
 use sfet_waveform::Waveform;
 
@@ -104,6 +104,47 @@ pub fn measure_inverter(spec: &InverterSpec) -> Result<InverterMetrics> {
 pub fn measure_inverter_with(spec: &InverterSpec, opts: &SimOptions) -> Result<InverterMetrics> {
     let result = run_inverter_with(spec, opts)?;
     measure_from_result(spec, &result)
+}
+
+/// Measures a whole batch of inverter lanes through the batched
+/// structure-of-arrays transient engine ([`sfet_sim::transient_batch`]).
+///
+/// Each lane's metrics are **bitwise identical** to
+/// [`measure_inverter_with`] on the same `(spec, opts)` pair — the batched
+/// engine's determinism contract — so sweep drivers can tile their tasks
+/// into lanes freely. Per-lane failures (circuit build, simulation, or
+/// measurement) are returned in place without aborting sibling lanes.
+pub fn measure_inverter_batch(
+    lanes: &[(&InverterSpec, &SimOptions)],
+) -> Vec<Result<InverterMetrics>> {
+    let built: Vec<Result<sfet_circuit::Circuit>> =
+        lanes.iter().map(|(spec, _)| spec.build()).collect();
+    let mut batch = Vec::with_capacity(lanes.len());
+    let mut batch_to_lane = Vec::with_capacity(lanes.len());
+    for (i, ckt) in built.iter().enumerate() {
+        if let Ok(ckt) = ckt {
+            batch.push(BatchSpec {
+                circuit: ckt,
+                tstop: lanes[i].0.t_stop,
+                opts: lanes[i].1,
+            });
+            batch_to_lane.push(i);
+        }
+    }
+    let sim = transient_batch(&batch);
+
+    let mut out: Vec<Option<Result<InverterMetrics>>> =
+        built.into_iter().map(|b| b.err().map(Err)).collect();
+    for (k, r) in sim.into_iter().enumerate() {
+        let i = batch_to_lane[k];
+        out[i] = Some(match r {
+            Ok(result) => measure_from_result(lanes[i].0, &result),
+            Err(e) => Err(e.into()),
+        });
+    }
+    out.into_iter()
+        .map(|o| o.expect("every lane is either built or failed"))
+        .collect()
 }
 
 /// Extracts metrics from an existing transient result (lets callers reuse

@@ -75,6 +75,42 @@ pub fn eval(model: &MosfetModel, w: f64, l: f64, vg: f64, vd: f64, vs: f64, vb: 
     }
 }
 
+/// Evaluates one device at `B` bias points (structure-of-arrays), writing
+/// one [`MosOp`] per lane.
+///
+/// Lane `i` is **bitwise identical** to
+/// `eval(model, w, l, vg[i], vd[i], vs[i], vb[i])`: the lane body *is* the
+/// scalar evaluation, so there is no separate numeric path to validate —
+/// the SoA signature exists so sweep drivers can evaluate a whole batch of
+/// bias variants per model pass and the compiler can vectorise the
+/// straight-line smooth-primitive core across lanes.
+///
+/// # Panics
+///
+/// Panics when the bias slices and `out` do not all share one length.
+// One slice per terminal mirrors the scalar signature; bundling them
+// into a struct would force callers to interleave their SoA storage.
+#[allow(clippy::too_many_arguments)]
+pub fn eval_batch(
+    model: &MosfetModel,
+    w: f64,
+    l: f64,
+    vg: &[f64],
+    vd: &[f64],
+    vs: &[f64],
+    vb: &[f64],
+    out: &mut [MosOp],
+) {
+    let lanes = out.len();
+    assert!(
+        vg.len() == lanes && vd.len() == lanes && vs.len() == lanes && vb.len() == lanes,
+        "bias slices must match the output lane count ({lanes})"
+    );
+    for i in 0..lanes {
+        out[i] = eval(model, w, l, vg[i], vd[i], vs[i], vb[i]);
+    }
+}
+
 /// NMOS-convention EKV core with CLM.
 fn eval_core(model: &MosfetModel, w: f64, l: f64, vg: f64, vd: f64, vs: f64, vb: f64) -> MosOp {
     let ut = model.ut;
@@ -225,6 +261,58 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// The SoA entry point is bitwise-identical to per-lane scalar calls,
+    /// over an LCG-randomised bias cloud for both polarities.
+    #[test]
+    fn eval_batch_bitwise_matches_scalar() {
+        let mut state = 0x5eed_cafe_f00du64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            // Bias in [-0.2, 1.2] V.
+            (state >> 11) as f64 / (1u64 << 53) as f64 * 1.4 - 0.2
+        };
+        for model in [nmos(), pmos()] {
+            for lanes in [1usize, 2, 4, 7, 8] {
+                let vg: Vec<f64> = (0..lanes).map(|_| next()).collect();
+                let vd: Vec<f64> = (0..lanes).map(|_| next()).collect();
+                let vs: Vec<f64> = (0..lanes).map(|_| next()).collect();
+                let vb: Vec<f64> = (0..lanes).map(|_| next()).collect();
+                let mut out = vec![MosOp::default(); lanes];
+                eval_batch(&model, W, L, &vg, &vd, &vs, &vb, &mut out);
+                for i in 0..lanes {
+                    let s = eval(&model, W, L, vg[i], vd[i], vs[i], vb[i]);
+                    for (b, r) in [
+                        (out[i].id, s.id),
+                        (out[i].gm, s.gm),
+                        (out[i].gds, s.gds),
+                        (out[i].gms, s.gms),
+                        (out[i].gmb, s.gmb),
+                    ] {
+                        assert_eq!(b.to_bits(), r.to_bits(), "lane {i} of {lanes}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bias slices must match")]
+    fn eval_batch_rejects_ragged_inputs() {
+        let mut out = vec![MosOp::default(); 2];
+        eval_batch(
+            &nmos(),
+            W,
+            L,
+            &[0.0],
+            &[0.0, 0.0],
+            &[0.0, 0.0],
+            &[0.0, 0.0],
+            &mut out,
+        );
     }
 
     #[test]

@@ -18,5 +18,5 @@ mod ekv;
 mod model;
 
 pub use caps::{gate_caps, GateCaps};
-pub use ekv::{eval, MosOp};
+pub use ekv::{eval, eval_batch, MosOp};
 pub use model::{Corner, MosfetModel, Polarity};

@@ -10,8 +10,10 @@
 
 use crate::{NumericError, Result};
 
-/// Pivot magnitudes below this threshold are treated as singular.
-const SINGULARITY_EPS: f64 = 1e-30;
+/// Pivot magnitudes below this threshold are treated as singular. Shared
+/// with the batched SoA backend (`crate::batch`) so both paths classify
+/// the same matrices as singular.
+pub(crate) const SINGULARITY_EPS: f64 = 1e-30;
 
 /// A dense, column-major `rows x cols` matrix of `f64`.
 ///

@@ -49,6 +49,15 @@ use sfet_telemetry::{names, Level, Telemetry};
 /// Environment variable overriding the worker count for all sweeps.
 pub const THREADS_ENV: &str = "SFET_THREADS";
 
+/// Environment variable overriding the lane width for batched sweeps.
+pub const BATCH_ENV: &str = "SFET_BATCH";
+
+/// Default lane width when neither [`ExecConfig::with_batch`] nor
+/// `SFET_BATCH` picks one. Wide enough to amortise per-batch setup
+/// (pattern adoption, device-model shared terms) while keeping a tile's
+/// working set cache-resident for cell-level circuits.
+const DEFAULT_BATCH: usize = 8;
+
 /// Progress callback: `(tasks_completed, tasks_total)`. Called after every
 /// completed task, possibly from several worker threads at once.
 pub type ProgressFn = dyn Fn(usize, usize) + Send + Sync;
@@ -69,6 +78,9 @@ pub struct ExecConfig {
     /// synthesise per-task failures (the engine itself stays generic over
     /// the error type).
     fault: Option<FaultPlan>,
+    /// Lane width for the batched entry points ([`par_map_batched`]);
+    /// `None` resolves to the default. Ignored by the scalar entry points.
+    batch: Option<usize>,
 }
 
 impl fmt::Debug for ExecConfig {
@@ -80,6 +92,7 @@ impl fmt::Debug for ExecConfig {
             .field("telemetry", &self.telemetry)
             .field("retries", &self.retries)
             .field("fault", &self.fault)
+            .field("batch", &self.batch)
             .finish()
     }
 }
@@ -92,6 +105,7 @@ impl ExecConfig {
         ExecConfig {
             workers: workers_from_env(),
             fault: FaultPlan::from_env(),
+            batch: batch_from_env(),
             ..Default::default()
         }
     }
@@ -165,6 +179,25 @@ impl ExecConfig {
         self.fault.as_ref()
     }
 
+    /// Pins the lane width for the batched entry points (clamped to at
+    /// least 1). The result of a batched sweep never depends on the lane
+    /// width — only its throughput does — so this is a tuning knob, not a
+    /// semantic one.
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = Some(batch.max(1));
+        self
+    }
+
+    /// The lane width the batched entry points resolve to for `n_items`
+    /// tasks: the pinned/`SFET_BATCH` width if any, else the default,
+    /// clamped so a tile never exceeds the task count.
+    pub fn resolved_batch(&self, n_items: usize) -> usize {
+        self.batch
+            .unwrap_or(DEFAULT_BATCH)
+            .max(1)
+            .min(n_items.max(1))
+    }
+
     /// The worker count this configuration resolves to for `n_items` tasks.
     pub fn resolved_workers(&self, n_items: usize) -> usize {
         let auto = || {
@@ -213,6 +246,46 @@ pub fn resolve_env_workers(raw: &str) -> Result<usize, String> {
 fn workers_from_env() -> Option<usize> {
     let raw = std::env::var(THREADS_ENV).ok()?;
     match resolve_env_workers(&raw) {
+        Ok(n) => Some(n),
+        Err(warning) => {
+            static WARN: Once = Once::new();
+            WARN.call_once(|| eprintln!("warning: {warning}"));
+            None
+        }
+    }
+}
+
+/// Parses a `SFET_BATCH`-style override; `None` for invalid or zero.
+pub fn parse_batch(value: &str) -> Option<usize> {
+    match value.trim().parse::<usize>() {
+        Ok(0) | Err(_) => None,
+        Ok(n) => Some(n),
+    }
+}
+
+/// Resolves a `SFET_BATCH` value to a lane width, or explains why it
+/// cannot be used. `Err` carries the exact warning [`ExecConfig::from_env`]
+/// prints before falling back to the default lane width.
+///
+/// # Errors
+///
+/// A warning message for a zero, empty, or non-numeric value.
+pub fn resolve_env_batch(raw: &str) -> Result<usize, String> {
+    parse_batch(raw).ok_or_else(|| {
+        format!(
+            "{BATCH_ENV}={raw:?} is not a positive integer; \
+             falling back to the default batch width"
+        )
+    })
+}
+
+/// Reads the `SFET_BATCH` override, warning (once per process, on stderr)
+/// and returning `None` for invalid values such as `0`, `""`, or `"abc"`
+/// instead of silently misconfiguring the lane width — the same contract
+/// as the `SFET_THREADS` override.
+fn batch_from_env() -> Option<usize> {
+    let raw = std::env::var(BATCH_ENV).ok()?;
+    match resolve_env_batch(&raw) {
         Ok(n) => Some(n),
         Err(warning) => {
             static WARN: Once = Once::new();
@@ -479,6 +552,276 @@ where
         Ok(outcomes) => outcomes,
         Err(e) => match e.source {},
     }
+}
+
+/// Splits `items` into `width`-sized tiles tagged with the input index of
+/// their first task. Tiling is a fixed function of `(len, width)` — never
+/// of the worker count — which is what keeps batched sweeps deterministic.
+fn tiles_of<T>(items: &[T], width: usize) -> Vec<(usize, &[T])> {
+    items
+        .chunks(width)
+        .enumerate()
+        .map(|(t, chunk)| (t * width, chunk))
+        .collect()
+}
+
+/// Strips an [`ExecConfig`] down to a silent inner scheduler for tile
+/// dispatch: the batched coordinator owns all telemetry and progress so
+/// counters stay per-*task* (not per-tile) and the event stream matches a
+/// scalar sweep's.
+fn tile_scheduler(workers: usize) -> ExecConfig {
+    ExecConfig {
+        workers: Some(workers),
+        chunk: Some(1),
+        ..Default::default()
+    }
+}
+
+/// Order-preserving **batched** parallel map with cancel-on-first-error.
+///
+/// Tasks are tiled into lanes of [`ExecConfig::resolved_batch`] width and
+/// each tile is handed to `f(start_index, lanes)`, which must return one
+/// `Result` per lane, in lane order. Results come back flattened in input
+/// order; on a lane failure the sweep cancels and reports the lowest
+/// failing *task* (not tile) index. The tiling is a fixed function of the
+/// item count and lane width, so per-task seeding via [`task_seed`] and
+/// the serial/parallel determinism contract carry over unchanged.
+///
+/// Telemetry matches [`par_map`] (`exec.par_map` span, per-task
+/// `exec.tasks_total` / `exec.tasks_completed`), plus the batch-shape
+/// counters `exec.batch.tiles` and `exec.batch.width`.
+///
+/// # Errors
+///
+/// The lowest-indexed lane error observed, wrapped in [`TaskError`] with
+/// the task's input index.
+pub fn par_map_batched<T, U, E, F>(
+    config: &ExecConfig,
+    items: &[T],
+    f: F,
+) -> Result<Vec<U>, TaskError<E>>
+where
+    T: Sync,
+    U: Send,
+    E: Send,
+    F: Fn(usize, &[T]) -> Vec<Result<U, E>> + Sync,
+{
+    par_map_batched_with_stats(config, items, f).0
+}
+
+/// [`par_map_batched`] variant that also reports execution statistics.
+/// All [`ExecStats`] counts are per-*task*, exactly like the scalar
+/// [`par_map_with_stats`]: `tasks_total` is the item count (not the tile
+/// count) and `tasks_completed` counts lanes that ran to a verdict.
+pub fn par_map_batched_with_stats<T, U, E, F>(
+    config: &ExecConfig,
+    items: &[T],
+    f: F,
+) -> (Result<Vec<U>, TaskError<E>>, ExecStats)
+where
+    T: Sync,
+    U: Send,
+    E: Send,
+    F: Fn(usize, &[T]) -> Vec<Result<U, E>> + Sync,
+{
+    let n = items.len();
+    let width = config.resolved_batch(n);
+    let tiles = tiles_of(items, width);
+    // Stats report the *task*-based worker resolution (scalar semantics) so
+    // a batched sweep's `ExecStats` is comparable with its scalar twin; the
+    // inner tile scheduler clamps to the tile count on its own.
+    let workers = config.resolved_workers(n);
+    let start = Instant::now();
+    let mut stats = ExecStats {
+        tasks_total: n,
+        workers,
+        ..Default::default()
+    };
+    if n == 0 {
+        stats.wall = start.elapsed();
+        return (Ok(Vec::new()), stats);
+    }
+
+    let span = config.telemetry.span(Level::Analysis, names::SPAN_PAR_MAP);
+    let done = AtomicUsize::new(0);
+    let progress = config.progress.clone();
+    let (tile_result, inner_stats) = par_map_with_stats(
+        &tile_scheduler(workers),
+        &tiles,
+        |_tile, &(tile_start, lanes)| {
+            let results = f(tile_start, lanes);
+            assert_eq!(
+                results.len(),
+                lanes.len(),
+                "batch closure must return one result per lane"
+            );
+            let mut out = Vec::with_capacity(results.len());
+            let mut first_err: Option<(usize, E)> = None;
+            for (off, result) in results.into_iter().enumerate() {
+                let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+                if let Some(p) = &progress {
+                    p(d, n);
+                }
+                match result {
+                    Ok(value) => out.push(value),
+                    Err(e) => {
+                        if first_err.is_none() {
+                            first_err = Some((tile_start + off, e));
+                        }
+                    }
+                }
+            }
+            match first_err {
+                None => Ok(out),
+                Some(err) => Err(err),
+            }
+        },
+    );
+    stats.tasks_completed = done.load(Ordering::Relaxed);
+    stats.busy = inner_stats.busy;
+    stats.wall = start.elapsed();
+    // Per-task counters from the coordinator thread, identical to a scalar
+    // sweep's, plus the batch-shape extras.
+    config
+        .telemetry
+        .counter(names::EXEC_TASKS_TOTAL, stats.tasks_total as u64);
+    config
+        .telemetry
+        .counter(names::EXEC_TASKS_COMPLETED, stats.tasks_completed as u64);
+    config
+        .telemetry
+        .counter(names::EXEC_BATCH_TILES, tiles.len() as u64);
+    config
+        .telemetry
+        .counter(names::EXEC_BATCH_WIDTH, width as u64);
+    drop(span);
+    let result = match tile_result {
+        Ok(chunks) => Ok(chunks.into_iter().flatten().collect()),
+        Err(TaskError {
+            source: (index, source),
+            ..
+        }) => Err(TaskError { index, source }),
+    };
+    (result, stats)
+}
+
+/// Fault-tolerant **batched** parallel map: the batched counterpart of
+/// [`par_map_outcomes`].
+///
+/// Each tile's first attempt runs through `batch(start_index, lanes)` (one
+/// `Result` per lane, attempt 0). Lanes that fail are retried *scalar* via
+/// `retry(index, attempt, &item)` with `attempt` counting from 1, up to the
+/// configured budget — so one stiff lane re-runs alone (typically with
+/// escalated solver options) without holding its tile's siblings hostage.
+/// Attempt accounting matches the scalar path exactly: a lane that
+/// succeeds first try reports `attempts == 1`; a lane that exhausts the
+/// budget reports `SweepOutcome::Failed` with
+/// `attempts == ExecConfig::max_attempts()`.
+///
+/// Telemetry adds `exec.batch.lane_failures` (lanes that exhausted their
+/// budget) to the [`par_map_batched`] counter set, and emits
+/// `exec.task.retried` exactly like the scalar outcome sweep.
+pub fn par_map_batched_outcomes<T, U, E, FB, FR>(
+    config: &ExecConfig,
+    items: &[T],
+    batch: FB,
+    retry: FR,
+) -> Vec<SweepOutcome<U, E>>
+where
+    T: Sync,
+    U: Send,
+    E: Send,
+    FB: Fn(usize, &[T]) -> Vec<Result<U, E>> + Sync,
+    FR: Fn(usize, usize, &T) -> Result<U, E> + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let width = config.resolved_batch(n);
+    let tiles = tiles_of(items, width);
+    let workers = config.resolved_workers(tiles.len());
+    let max_attempts = config.max_attempts();
+    let retried = AtomicU64::new(0);
+    let lane_failures = AtomicU64::new(0);
+    let done = AtomicUsize::new(0);
+    let progress = config.progress.clone();
+
+    let span = config.telemetry.span(Level::Analysis, names::SPAN_PAR_MAP);
+    let result = par_map(
+        &tile_scheduler(workers),
+        &tiles,
+        |_tile, &(tile_start, lanes)| {
+            let first = batch(tile_start, lanes);
+            assert_eq!(
+                first.len(),
+                lanes.len(),
+                "batch closure must return one result per lane"
+            );
+            let mut out = Vec::with_capacity(lanes.len());
+            for (off, result) in first.into_iter().enumerate() {
+                let index = tile_start + off;
+                let outcome = match result {
+                    Ok(value) => SweepOutcome::Ok { value, attempts: 1 },
+                    Err(mut error) => {
+                        let mut attempt = 1;
+                        loop {
+                            if attempt >= max_attempts {
+                                lane_failures.fetch_add(1, Ordering::Relaxed);
+                                break SweepOutcome::Failed {
+                                    attempts: attempt,
+                                    error,
+                                };
+                            }
+                            retried.fetch_add(1, Ordering::Relaxed);
+                            match retry(index, attempt, &lanes[off]) {
+                                Ok(value) => {
+                                    break SweepOutcome::Ok {
+                                        value,
+                                        attempts: attempt + 1,
+                                    }
+                                }
+                                Err(e) => {
+                                    error = e;
+                                    attempt += 1;
+                                }
+                            }
+                        }
+                    }
+                };
+                let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+                if let Some(p) = &progress {
+                    p(d, n);
+                }
+                out.push(outcome);
+            }
+            Ok::<_, std::convert::Infallible>(out)
+        },
+    );
+    let outcomes: Vec<SweepOutcome<U, E>> = match result {
+        Ok(chunks) => chunks.into_iter().flatten().collect(),
+        Err(e) => match e.source {},
+    };
+    config.telemetry.counter(names::EXEC_TASKS_TOTAL, n as u64);
+    config.telemetry.counter(
+        names::EXEC_TASKS_COMPLETED,
+        done.load(Ordering::Relaxed) as u64,
+    );
+    config
+        .telemetry
+        .counter(names::EXEC_BATCH_TILES, tiles.len() as u64);
+    config
+        .telemetry
+        .counter(names::EXEC_BATCH_WIDTH, width as u64);
+    drop(span);
+    config
+        .telemetry
+        .counter(names::EXEC_TASKS_RETRIED, retried.load(Ordering::Relaxed));
+    config.telemetry.counter(
+        names::EXEC_BATCH_LANE_FAILURES,
+        lane_failures.load(Ordering::Relaxed),
+    );
+    outcomes
 }
 
 fn run_serial<T, U, E, F>(
@@ -907,5 +1250,290 @@ mod tests {
         assert_eq!(ExecConfig::with_workers(16).resolved_workers(3), 3);
         assert_eq!(ExecConfig::with_workers(16).resolved_workers(0), 1);
         assert_eq!(ExecConfig::serial().resolved_workers(100), 1);
+    }
+
+    #[test]
+    fn batch_env_parsing() {
+        assert_eq!(parse_batch("8"), Some(8));
+        assert_eq!(parse_batch(" 2 "), Some(2));
+        assert_eq!(parse_batch("0"), None);
+        assert_eq!(parse_batch("all"), None);
+        assert_eq!(parse_batch(""), None);
+    }
+
+    #[test]
+    fn invalid_env_batch_falls_back_with_diagnostic() {
+        // `SFET_BATCH=0`, empty, and non-numeric values must resolve to
+        // "use the default" with an error naming the variable — the same
+        // contract `SFET_THREADS` honours — never a silent zero-lane tile.
+        for raw in ["0", "", "abc", "-3", "1.5"] {
+            let err = resolve_env_batch(raw).unwrap_err();
+            assert!(
+                err.contains(BATCH_ENV) && err.contains("default"),
+                "diagnostic for {raw:?} should name {BATCH_ENV} and the \
+                 fallback, got: {err}"
+            );
+        }
+        assert_eq!(resolve_env_batch("8"), Ok(8));
+        assert_eq!(resolve_env_batch(" 4 "), Ok(4));
+    }
+
+    #[test]
+    fn batch_resolution_clamps() {
+        // Pinned width is clamped to the task count; B=0 requests are
+        // bumped to 1; the default engages when nothing is pinned.
+        assert_eq!(ExecConfig::default().with_batch(4).resolved_batch(100), 4);
+        assert_eq!(ExecConfig::default().with_batch(64).resolved_batch(23), 23);
+        assert_eq!(ExecConfig::default().with_batch(0).resolved_batch(10), 1);
+        assert_eq!(ExecConfig::default().with_batch(4).resolved_batch(0), 1);
+        assert_eq!(ExecConfig::default().resolved_batch(100), DEFAULT_BATCH);
+        assert_eq!(ExecConfig::default().resolved_batch(3), 3);
+    }
+
+    /// The batch closure every equality test below uses: per-lane results
+    /// derived only from `(index, item)` via [`task_seed`], exactly like a
+    /// scalar task would compute them.
+    fn seed_batch(start: usize, lanes: &[u64]) -> Vec<Result<u64, Boom>> {
+        lanes
+            .iter()
+            .enumerate()
+            .map(|(off, &x)| Ok(task_seed(x, (start + off) as u64)))
+            .collect()
+    }
+
+    #[test]
+    fn batched_matches_scalar_for_all_widths() {
+        // Ragged task count on purpose: 23 does not divide evenly by any
+        // width below, so the tail tile is short. B=1, B > n, and the
+        // default must all reproduce the scalar sweep bitwise.
+        let items: Vec<u64> = (0..23).map(|i| i * 31 + 7).collect();
+        let scalar = par_map(&ExecConfig::with_workers(4), &items, |i, &x| {
+            Ok::<_, Boom>(task_seed(x, i as u64))
+        })
+        .unwrap();
+        for width in [1usize, 2, 4, 8, 64] {
+            for workers in [1usize, 4] {
+                let batched = par_map_batched(
+                    &ExecConfig::with_workers(workers).with_batch(width),
+                    &items,
+                    seed_batch,
+                )
+                .unwrap();
+                assert_eq!(batched, scalar, "width = {width}, workers = {workers}");
+            }
+        }
+        // Unpinned width (the default / env fallback path) as well.
+        let batched = par_map_batched(&ExecConfig::with_workers(4), &items, seed_batch).unwrap();
+        assert_eq!(batched, scalar);
+    }
+
+    #[test]
+    fn batched_error_reports_true_task_index() {
+        // The failing lane sits mid-tile: the reported index must be the
+        // task's input index, not the tile's.
+        let items: Vec<u64> = (0..20).collect();
+        let err = par_map_batched(
+            &ExecConfig::serial().with_batch(8),
+            &items,
+            |start, lanes: &[u64]| {
+                lanes
+                    .iter()
+                    .enumerate()
+                    .map(|(off, &x)| {
+                        if start + off == 13 {
+                            Err(Boom(x as usize))
+                        } else {
+                            Ok(x)
+                        }
+                    })
+                    .collect()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err.index, 13);
+        assert_eq!(err.source, Boom(13));
+    }
+
+    #[test]
+    fn batched_stats_count_tasks_not_tiles() {
+        // Regression: ExecStats once assumed one task per scheduling slot,
+        // so a batched sweep reported tile counts. Totals must match a
+        // scalar run of the same sweep.
+        let items: Vec<u64> = (0..23).collect();
+        let (result, stats) = par_map_batched_with_stats(
+            &ExecConfig::with_workers(2).with_batch(8),
+            &items,
+            seed_batch,
+        );
+        assert!(result.is_ok());
+        assert_eq!(stats.tasks_total, 23);
+        assert_eq!(stats.tasks_completed, 23);
+        assert_eq!(stats.workers, 2);
+        assert!(stats.wall > Duration::ZERO);
+    }
+
+    #[test]
+    fn batched_progress_reaches_total_per_task() {
+        let seen_total = Arc::new(AtomicUsize::new(0));
+        let calls = Arc::new(AtomicUsize::new(0));
+        let (seen, count) = (Arc::clone(&seen_total), Arc::clone(&calls));
+        let cfg = ExecConfig::with_workers(3)
+            .with_batch(4)
+            .on_progress(Arc::new(move |done, total| {
+                assert_eq!(total, 23);
+                seen.fetch_max(done, Ordering::Relaxed);
+                count.fetch_add(1, Ordering::Relaxed);
+            }));
+        let items: Vec<u64> = (0..23).collect();
+        par_map_batched(&cfg, &items, seed_batch).unwrap();
+        assert_eq!(seen_total.load(Ordering::Relaxed), 23);
+        assert_eq!(
+            calls.load(Ordering::Relaxed),
+            23,
+            "one progress call per task, not per tile"
+        );
+    }
+
+    #[test]
+    fn batched_outcomes_match_scalar_outcomes() {
+        // Same fault pattern driven through both engines: every outcome —
+        // values, attempt counts, final errors — must be identical, at any
+        // worker count and lane width.
+        let items: Vec<u64> = (0..37).collect();
+        let plan = FaultPlan::new()
+            .with_task_failure(3, 2)
+            .with_task_failure(10, 1)
+            .with_task_failure(11, 9) // exhausts the budget -> Failed
+            .with_task_failure(36, 1); // ragged-tail lane
+        let task = |index: usize, attempt: usize, x: u64| {
+            if plan.fail_task(index, attempt) {
+                Err(Boom(index * 10 + attempt))
+            } else {
+                Ok(task_seed(x, (index + attempt) as u64))
+            }
+        };
+        let scalar = par_map_outcomes(
+            &ExecConfig::with_workers(4).with_retries(2),
+            &items,
+            |i, a, &x| task(i, a, x),
+        );
+        for width in [1usize, 4, 8] {
+            for workers in [1usize, 2, 8] {
+                let batched = par_map_batched_outcomes(
+                    &ExecConfig::with_workers(workers)
+                        .with_retries(2)
+                        .with_batch(width),
+                    &items,
+                    |start, lanes: &[u64]| {
+                        lanes
+                            .iter()
+                            .enumerate()
+                            .map(|(off, &x)| task(start + off, 0, x))
+                            .collect()
+                    },
+                    |index, attempt, &x| task(index, attempt, x),
+                );
+                assert_eq!(batched, scalar, "width = {width}, workers = {workers}");
+            }
+        }
+        // Sanity-check the fault pattern actually exercised every path.
+        assert_eq!(scalar[3].attempts(), 3);
+        assert_eq!(scalar[10].attempts(), 2);
+        assert!(!scalar[11].is_ok());
+        assert_eq!(scalar[11].attempts(), 3);
+        assert_eq!(scalar[36].attempts(), 2);
+    }
+
+    #[test]
+    fn batched_empty_input_is_ok() {
+        let out: Vec<u8> =
+            par_map_batched(&ExecConfig::from_env(), &[] as &[u8], |_, lanes: &[u8]| {
+                lanes.iter().map(|&x| Ok::<_, Boom>(x)).collect()
+            })
+            .unwrap();
+        assert!(out.is_empty());
+        let outcomes: Vec<SweepOutcome<u8, Boom>> = par_map_batched_outcomes(
+            &ExecConfig::from_env(),
+            &[] as &[u8],
+            |_, lanes: &[u8]| lanes.iter().map(|&x| Ok(x)).collect(),
+            |_, _, &x| Ok(x),
+        );
+        assert!(outcomes.is_empty());
+    }
+
+    #[test]
+    fn batched_telemetry_totals_match_stats_and_scalar() {
+        use sfet_telemetry::SharedAggregator;
+
+        // Satellite regression: the per-task counters a batched sweep emits
+        // must equal both its own ExecStats and what a scalar run of the
+        // same sweep emits — tiles must never leak into task accounting.
+        let items: Vec<u64> = (0..23).collect();
+
+        let scalar_agg = SharedAggregator::new();
+        let scalar_cfg =
+            ExecConfig::with_workers(2).with_telemetry(Telemetry::new(scalar_agg.clone()));
+        par_map(&scalar_cfg, &items, |i, &x| {
+            Ok::<_, Boom>(task_seed(x, i as u64))
+        })
+        .unwrap();
+        let scalar_counts = scalar_agg.snapshot();
+
+        let agg = SharedAggregator::new();
+        let cfg = ExecConfig::with_workers(2)
+            .with_batch(8)
+            .with_telemetry(Telemetry::new(agg.clone()));
+        let (result, stats) = par_map_batched_with_stats(&cfg, &items, seed_batch);
+        assert!(result.is_ok());
+        let counts = agg.snapshot();
+
+        assert_eq!(counts.counter(names::EXEC_TASKS_TOTAL), 23);
+        assert_eq!(
+            counts.counter(names::EXEC_TASKS_COMPLETED),
+            stats.tasks_completed as u64
+        );
+        assert_eq!(
+            counts.counter(names::EXEC_TASKS_TOTAL),
+            scalar_counts.counter(names::EXEC_TASKS_TOTAL)
+        );
+        assert_eq!(
+            counts.counter(names::EXEC_TASKS_COMPLETED),
+            scalar_counts.counter(names::EXEC_TASKS_COMPLETED)
+        );
+        // Batch-shape extras: ceil(23 / 8) = 3 tiles of width 8.
+        assert_eq!(counts.counter(names::EXEC_BATCH_TILES), 3);
+        assert_eq!(counts.counter(names::EXEC_BATCH_WIDTH), 8);
+
+        // The outcome engine's counter set, including retry accounting.
+        let agg = SharedAggregator::new();
+        let cfg = ExecConfig::with_workers(2)
+            .with_batch(8)
+            .with_retries(2)
+            .with_telemetry(Telemetry::new(agg.clone()));
+        let outcomes = par_map_batched_outcomes(
+            &cfg,
+            &items,
+            |start, lanes: &[u64]| {
+                lanes
+                    .iter()
+                    .enumerate()
+                    .map(|(off, &x)| {
+                        if start + off == 5 {
+                            Err(Boom(5))
+                        } else {
+                            Ok(x)
+                        }
+                    })
+                    .collect()
+            },
+            // Task 5 keeps failing: 2 retries spent, then Failed.
+            |_, _, _| Err(Boom(5)),
+        );
+        assert_eq!(outcomes.iter().filter(|o| o.is_ok()).count(), 22);
+        let counts = agg.snapshot();
+        assert_eq!(counts.counter(names::EXEC_TASKS_TOTAL), 23);
+        assert_eq!(counts.counter(names::EXEC_TASKS_COMPLETED), 23);
+        assert_eq!(counts.counter(names::EXEC_TASKS_RETRIED), 2);
+        assert_eq!(counts.counter(names::EXEC_BATCH_LANE_FAILURES), 1);
     }
 }

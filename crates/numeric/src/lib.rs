@@ -29,7 +29,14 @@
 //!   ([`ExecConfig::with_telemetry`](exec::ExecConfig::with_telemetry));
 //!   plus the fault-tolerant entry point
 //!   [`par_map_outcomes`](exec::par_map_outcomes) that retries failing
-//!   tasks and collects partial results instead of aborting.
+//!   tasks and collects partial results instead of aborting, and the
+//!   batched entry points [`par_map_batched`](exec::par_map_batched) /
+//!   [`par_map_batched_outcomes`](exec::par_map_batched_outcomes) that
+//!   tile tasks into SIMD-friendly lanes (`SFET_BATCH`).
+//! * [`batch`] — batched structure-of-arrays linear-solver backends
+//!   ([`BatchBackend`](batch::BatchBackend)): a lane-minor dense LU and a
+//!   shared-pattern sparse LU whose every lane is bitwise-identical to
+//!   the scalar backends.
 //! * [`fault`] — deterministic fault injection (`SFET_FAULT_PLAN`) for
 //!   exercising the retry and checkpoint/resume paths in CI.
 //! * [`manifest`] — append-only sweep manifests so an interrupted sweep
@@ -56,6 +63,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod dense;
 pub mod exec;
 pub mod fault;

@@ -35,9 +35,26 @@ pub(crate) fn volt(x: &[f64], u: Unknown) -> f64 {
     u.map_or(0.0, |i| x[i])
 }
 
+/// A Jacobian sink devices stamp into. [`MnaMatrix`] is the scalar
+/// implementation; the batched transient engine stamps each lane of a
+/// [`sfet_numeric::batch::BatchBackend`] through a per-lane adapter. Both
+/// receive the *identical* sequence of `add` calls for a given device list
+/// and iterate, which is what keeps batched solves bitwise-equal to scalar.
+pub(crate) trait Stamp {
+    /// `jac[r][c] += v`.
+    fn add(&mut self, r: usize, c: usize, v: f64);
+}
+
+impl Stamp for MnaMatrix {
+    #[inline]
+    fn add(&mut self, r: usize, c: usize, v: f64) {
+        MnaMatrix::add(self, r, c, v);
+    }
+}
+
 /// Stamps a conductance between two unknowns.
 #[inline]
-fn stamp_g(jac: &mut MnaMatrix, p: Unknown, n: Unknown, g: f64) {
+fn stamp_g<M: Stamp>(jac: &mut M, p: Unknown, n: Unknown, g: f64) {
     if let Some(i) = p {
         jac.add(i, i, g);
         if let Some(j) = n {
@@ -66,7 +83,7 @@ fn stamp_i(rhs: &mut [f64], p: Unknown, n: Unknown, i: f64) {
 /// Stamps a Jacobian entry `jac[row][col] += v` where `row` is a node
 /// equation and `col` a voltage unknown; both may be ground (no-op).
 #[inline]
-fn stamp_j(jac: &mut MnaMatrix, row: Unknown, col: Unknown, v: f64) {
+fn stamp_j<M: Stamp>(jac: &mut M, row: Unknown, col: Unknown, v: f64) {
     if let (Some(r), Some(c)) = (row, col) {
         jac.add(r, c, v);
     }
@@ -154,11 +171,11 @@ pub(crate) enum SimDevice {
 
 impl SimDevice {
     /// Stamps this device's linearised contribution at iterate `x`.
-    pub(crate) fn stamp(
+    pub(crate) fn stamp<M: Stamp>(
         &self,
         mode: StampMode,
         x: &[f64],
-        jac: &mut MnaMatrix,
+        jac: &mut M,
         rhs: &mut [f64],
         gmin: f64,
     ) {

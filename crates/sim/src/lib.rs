@@ -10,7 +10,10 @@
 //!    part that makes Soft-FET simulation work — PTM threshold-crossing
 //!    *event detection*: steps are rejected and bisected so each phase
 //!    transition begins within a tight tolerance of its true crossing
-//!    time, then the resistance ramp is resolved with sub-`T_PTM` steps).
+//!    time, then the resistance ramp is resolved with sub-`T_PTM` steps);
+//! 3. [`transient_batch`] runs B independent transients through one
+//!    structure-of-arrays linear solver — each lane bitwise identical to
+//!    its scalar [`transient`] run — for parameter-sweep throughput.
 //!
 //! # Example
 //!
@@ -46,6 +49,7 @@
 #![warn(missing_docs)]
 
 mod acsweep;
+mod batch;
 mod checkpoint;
 mod dcop;
 mod dcsweep;
@@ -58,6 +62,7 @@ mod trace;
 mod transient;
 
 pub use acsweep::{ac_sweep, AcSweepResult, Phasor};
+pub use batch::{transient_batch, BatchSpec};
 pub use checkpoint::{CheckpointPolicy, CHECKPOINT_VERSION};
 pub use dcop::{dc_operating_point, dc_operating_point_with_stats};
 pub use dcsweep::{dc_sweep, DcSweepResult};

@@ -398,8 +398,9 @@ pub fn transient_resumable(
     Ok(recorder.finish(&compiled, stats))
 }
 
-/// Quadratic Lagrange extrapolation through three points.
-fn lagrange3(t0: f64, y0: f64, t1: f64, y1: f64, t2: f64, y2: f64, t: f64) -> f64 {
+/// Quadratic Lagrange extrapolation through three points. Shared with the
+/// batched transient engine so both LTE controllers are the same code.
+pub(crate) fn lagrange3(t0: f64, y0: f64, t1: f64, y1: f64, t2: f64, y2: f64, t: f64) -> f64 {
     let l0 = (t - t1) * (t - t2) / ((t0 - t1) * (t0 - t2));
     let l1 = (t - t0) * (t - t2) / ((t1 - t0) * (t1 - t2));
     let l2 = (t - t0) * (t - t1) / ((t2 - t0) * (t2 - t1));
@@ -502,8 +503,9 @@ pub(crate) fn unknown_name(
     }
 }
 
-/// Accumulates sampled signals during integration.
-struct Recorder {
+/// Accumulates sampled signals during integration. Shared with the batched
+/// transient engine (one per lane).
+pub(crate) struct Recorder {
     times: Vec<f64>,
     node_data: Vec<Vec<f64>>,
     branch_data: Vec<Vec<f64>>,
@@ -511,7 +513,7 @@ struct Recorder {
 }
 
 impl Recorder {
-    fn new(compiled: &CompiledCircuit) -> Self {
+    pub(crate) fn new(compiled: &CompiledCircuit) -> Self {
         Recorder {
             times: Vec::with_capacity(1024),
             node_data: vec![Vec::with_capacity(1024); compiled.node_names.len()],
@@ -563,7 +565,7 @@ impl Recorder {
         })
     }
 
-    fn record(&mut self, t: f64, x: &[f64], compiled: &CompiledCircuit) {
+    pub(crate) fn record(&mut self, t: f64, x: &[f64], compiled: &CompiledCircuit) {
         self.times.push(t);
         let nc = compiled.node_names.len();
         for (i, col) in self.node_data.iter_mut().enumerate() {
@@ -579,7 +581,7 @@ impl Recorder {
         }
     }
 
-    fn finish(self, compiled: &CompiledCircuit, stats: TranStats) -> TranResult {
+    pub(crate) fn finish(self, compiled: &CompiledCircuit, stats: TranStats) -> TranResult {
         let node_index: HashMap<String, usize> = compiled
             .node_names
             .iter()

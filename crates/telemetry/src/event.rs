@@ -167,6 +167,18 @@ pub mod names {
     /// (`par_map_outcomes`); zero when every task succeeded first try.
     pub const EXEC_TASKS_RETRIED: &str = "exec.task.retried";
 
+    // --- Batched-sweep counters (`par_map_batched*`): emitted once per
+    // --- sweep from the coordinator, alongside the per-*task* counters
+    // --- above (which keep their scalar meaning — totals match a scalar
+    // --- run of the same sweep). ---
+    /// Tiles a batched sweep was split into (`ceil(tasks / width)`).
+    pub const EXEC_BATCH_TILES: &str = "exec.batch.tiles";
+    /// Resolved lane width of a batched sweep.
+    pub const EXEC_BATCH_WIDTH: &str = "exec.batch.width";
+    /// Lanes that exhausted their retry budget in a batched outcome sweep
+    /// and were reported as `SweepOutcome::Failed`.
+    pub const EXEC_BATCH_LANE_FAILURES: &str = "exec.batch.lane_failures";
+
     // --- Checkpoint/restart counters (`sfet_sim::transient`). ---
     /// Transient checkpoint snapshots written to disk.
     pub const CHECKPOINT_WRITTEN: &str = "checkpoint.written";
