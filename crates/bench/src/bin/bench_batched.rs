@@ -133,7 +133,7 @@ fn monte_carlo_case(n: usize, workers: usize, iters: u32) -> Measurement {
             measure_inverter(&InverterSpec::minimum(vdd, Topology::SoftFet(ptm))).map(|m| m.i_max)
         })
         .expect("scalar sweep");
-        values.sort_by(|a, b| a.partial_cmp(b).expect("finite I_MAX"));
+        values.sort_by(f64::total_cmp);
         values
     };
     let batched_cfg = ExecConfig::with_workers(workers).with_batch(8);

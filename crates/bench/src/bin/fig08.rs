@@ -38,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let min_imax = points
         .iter()
-        .min_by(|a, b| a.i_max.partial_cmp(&b.i_max).expect("finite"))
+        .min_by(|a, b| a.i_max.total_cmp(&b.i_max))
         .expect("non-empty sweep");
     println!(
         "I_MAX minimum at T_PTM = {} — the paper's 'properly optimized' zone",

@@ -1,0 +1,239 @@
+//! Full-chip droop-map metrics over the distributed PDN grid.
+//!
+//! The cell- and scenario-level experiments measure droop at a single
+//! rail; the grid scenario ([`sfet_pdn::PdnGrid`]) produces a spatial
+//! *map* of per-tile minimum voltages. This module reduces such maps to
+//! the paper-style summary quantities (worst/mean/95th-percentile droop,
+//! guard-band violations) and compares a baseline grid against its
+//! Soft-FET variant, mirroring [`crate::power_gate`]'s role for the
+//! lumped scenario.
+//!
+//! All reductions validate their samples: a NaN/Inf tile voltage surfaces
+//! as [`SoftFetError::NonFinite`] naming the tile, never as a sort panic
+//! mid-sweep.
+
+use crate::report::{fmt_pct, fmt_si, Table};
+use crate::{Result, SoftFetError};
+use sfet_pdn::{DroopMap, PdnGrid};
+use sfet_sim::SimOptions;
+
+/// Summary metrics of one droop map.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DroopMapMetrics {
+    /// Tiles in the map.
+    pub tiles: usize,
+    /// Worst (largest) droop below nominal \[V\].
+    pub worst_droop: f64,
+    /// Tile `(ix, iy)` with the worst droop.
+    pub worst_tile: (usize, usize),
+    /// Mean droop across tiles \[V\].
+    pub mean_droop: f64,
+    /// 95th-percentile droop across tiles \[V\].
+    pub p95_droop: f64,
+    /// Tiles whose droop exceeds `guard_band` \[count\].
+    pub violations: usize,
+    /// The guard band the violation count was measured against \[V\].
+    pub guard_band: f64,
+}
+
+/// Reduces a droop map to its summary metrics against `guard_band`.
+///
+/// # Errors
+///
+/// [`SoftFetError::NonFinite`] naming the first non-finite tile sample;
+/// [`SoftFetError::InvalidSpec`] for an empty map.
+///
+/// # Example
+///
+/// ```no_run
+/// use softfet::droop::droop_metrics;
+/// use sfet_pdn::PdnGrid;
+///
+/// # fn main() -> Result<(), softfet::SoftFetError> {
+/// let map = PdnGrid::default().droop_map()?;
+/// let m = droop_metrics(&map, 0.05)?;
+/// assert!(m.worst_droop >= m.p95_droop && m.p95_droop >= 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn droop_metrics(map: &DroopMap, guard_band: f64) -> Result<DroopMapMetrics> {
+    if map.v_min.is_empty() {
+        return Err(SoftFetError::InvalidSpec("empty droop map".into()));
+    }
+    let mut droops = Vec::with_capacity(map.v_min.len());
+    for (lin, &v) in map.v_min.iter().enumerate() {
+        if !v.is_finite() {
+            return Err(SoftFetError::NonFinite(format!(
+                "droop map tile ({}, {}) minimum voltage is {v}",
+                lin % map.nx,
+                lin / map.nx
+            )));
+        }
+        droops.push(map.v_nom - v);
+    }
+    let (wx, wy, v_worst) = map.worst();
+    let mean = droops.iter().sum::<f64>() / droops.len() as f64;
+    droops.sort_by(f64::total_cmp);
+    let p95 = percentile_sorted(&droops, 95.0);
+    let violations = droops.iter().filter(|&&d| d > guard_band).count();
+    Ok(DroopMapMetrics {
+        tiles: droops.len(),
+        worst_droop: map.v_nom - v_worst,
+        worst_tile: (wx, wy),
+        mean_droop: mean,
+        p95_droop: p95,
+        violations,
+        guard_band,
+    })
+}
+
+/// Linear-interpolation percentile of an ascending-sorted slice.
+fn percentile_sorted(sorted: &[f64], pct: f64) -> f64 {
+    let pos = pct / 100.0 * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi.min(sorted.len() - 1)] * frac
+}
+
+/// Baseline-vs-Soft-FET grid comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridComparison {
+    /// Baseline (hard-switching sites) metrics.
+    pub base: DroopMapMetrics,
+    /// Soft-FET (spread-edge sites) metrics.
+    pub soft: DroopMapMetrics,
+    /// Worst-droop reduction, `(base - soft) / base` \[%\].
+    pub reduction_pct: f64,
+}
+
+/// Runs `grid` baseline and with the Soft-FET spread, and summarises both
+/// maps against `guard_band`.
+///
+/// # Errors
+///
+/// Propagates grid build/simulation failures and non-finite metrics.
+pub fn compare_grid(
+    grid: &PdnGrid,
+    spread: f64,
+    guard_band: f64,
+    opts: &SimOptions,
+) -> Result<GridComparison> {
+    let base_map = grid.droop_map_with(opts)?;
+    let soft_map = grid.with_soft_fet_spread(spread).droop_map_with(opts)?;
+    let base = droop_metrics(&base_map, guard_band)?;
+    let soft = droop_metrics(&soft_map, guard_band)?;
+    let reduction_pct = if base.worst_droop > 0.0 {
+        (base.worst_droop - soft.worst_droop) / base.worst_droop * 100.0
+    } else {
+        0.0
+    };
+    Ok(GridComparison {
+        base,
+        soft,
+        reduction_pct,
+    })
+}
+
+/// Renders a comparison as a two-row summary table for the experiment
+/// binaries.
+pub fn comparison_table(cmp: &GridComparison) -> Table {
+    let mut t = Table::new(&[
+        "variant",
+        "worst droop",
+        "worst tile",
+        "mean droop",
+        "p95 droop",
+        "violations",
+    ]);
+    for (name, m) in [("baseline", &cmp.base), ("soft-fet", &cmp.soft)] {
+        t.add_row(vec![
+            name.into(),
+            fmt_si(m.worst_droop, "V"),
+            format!("({}, {})", m.worst_tile.0, m.worst_tile.1),
+            fmt_si(m.mean_droop, "V"),
+            fmt_si(m.p95_droop, "V"),
+            format!("{}/{}", m.violations, m.tiles),
+        ]);
+    }
+    t.add_row(vec![
+        "reduction".into(),
+        fmt_pct(cmp.reduction_pct),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfet_sim::TranStats;
+
+    fn map(nx: usize, ny: usize, v: Vec<f64>) -> DroopMap {
+        DroopMap {
+            nx,
+            ny,
+            v_nom: 1.0,
+            v_min: v,
+            stats: TranStats::default(),
+        }
+    }
+
+    #[test]
+    fn metrics_on_uniform_map() {
+        let m = droop_metrics(&map(2, 2, vec![0.95; 4]), 0.1).unwrap();
+        assert!((m.worst_droop - 0.05).abs() < 1e-12);
+        assert!((m.mean_droop - 0.05).abs() < 1e-12);
+        assert!((m.p95_droop - 0.05).abs() < 1e-12);
+        assert_eq!(m.violations, 0);
+    }
+
+    #[test]
+    fn metrics_rank_tiles_and_count_violations() {
+        let m = droop_metrics(&map(2, 2, vec![0.99, 0.85, 0.97, 0.96]), 0.1).unwrap();
+        assert!((m.worst_droop - 0.15).abs() < 1e-12);
+        assert_eq!(m.worst_tile, (1, 0));
+        assert_eq!(m.violations, 1);
+        assert!(m.p95_droop <= m.worst_droop && m.p95_droop > m.mean_droop);
+    }
+
+    #[test]
+    fn non_finite_tile_is_a_named_error() {
+        let bad = map(2, 2, vec![0.99, f64::NAN, 0.97, 0.96]);
+        match droop_metrics(&bad, 0.1) {
+            Err(SoftFetError::NonFinite(msg)) => {
+                assert!(msg.contains("(1, 0)"), "names the tile: {msg}");
+            }
+            other => panic!("expected NonFinite, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_map_rejected() {
+        assert!(droop_metrics(&map(0, 0, vec![]), 0.1).is_err());
+    }
+
+    #[test]
+    fn grid_comparison_shows_soft_fet_benefit() {
+        let grid = PdnGrid {
+            nx: 6,
+            ny: 6,
+            t_stop: 10e-9,
+            ..PdnGrid::default()
+        };
+        let opts = SimOptions::for_duration(grid.t_stop, 200);
+        let cmp = compare_grid(&grid, 8.0, 0.05, &opts).unwrap();
+        assert!(
+            cmp.soft.worst_droop < cmp.base.worst_droop,
+            "soft {:.2} mV vs base {:.2} mV",
+            cmp.soft.worst_droop * 1e3,
+            cmp.base.worst_droop * 1e3
+        );
+        assert!(cmp.reduction_pct > 0.0);
+        let table = comparison_table(&cmp);
+        assert_eq!(table.len(), 3);
+    }
+}

@@ -28,6 +28,11 @@ pub enum SoftFetError {
     },
     /// Sweep-manifest I/O or format failure during a resumable sweep.
     Manifest(String),
+    /// A measured sample or reduced metric came out NaN/Inf; the message
+    /// names the offending sample/task so a poisoned point in a
+    /// fault-tolerant sweep reports *where* it diverged instead of
+    /// unwinding the whole sweep with a panic.
+    NonFinite(String),
 }
 
 impl fmt::Display for SoftFetError {
@@ -44,6 +49,7 @@ impl fmt::Display for SoftFetError {
                 source,
             } => write!(f, "sweep task #{index} ({context}) failed: {source}"),
             SoftFetError::Manifest(msg) => write!(f, "sweep manifest error: {msg}"),
+            SoftFetError::NonFinite(msg) => write!(f, "non-finite sample: {msg}"),
         }
     }
 }
@@ -85,6 +91,7 @@ impl From<sfet_pdn::PdnError> for SoftFetError {
             sfet_pdn::PdnError::Sim(s) => SoftFetError::Sim(s),
             sfet_pdn::PdnError::Waveform(w) => SoftFetError::Waveform(w),
             sfet_pdn::PdnError::InvalidScenario(m) => SoftFetError::InvalidSpec(m),
+            sfet_pdn::PdnError::NonFiniteMetric(m) => SoftFetError::NonFinite(m),
             sfet_pdn::PdnError::Sweep {
                 index,
                 context,

@@ -74,11 +74,17 @@ pub fn ratio_sweep(
 pub fn best_ratio(points: &[RatioPoint]) -> Option<f64> {
     points
         .iter()
-        .max_by(|a, b| {
-            a.reduction_pct
-                .partial_cmp(&b.reduction_pct)
-                .expect("reductions are finite")
-        })
+        // A NaN reduction (diverged sample) must not panic the
+        // recommendation pass — and must not win it either (positive NaN
+        // sorts above +inf under total order), so NaNs are demoted below
+        // every finite value before the total-order tiebreak.
+        .max_by(
+            |a, b| match (a.reduction_pct.is_nan(), b.reduction_pct.is_nan()) {
+                (true, false) => std::cmp::Ordering::Less,
+                (false, true) => std::cmp::Ordering::Greater,
+                _ => a.reduction_pct.total_cmp(&b.reduction_pct),
+            },
+        )
         .map(|p| p.ratio)
 }
 

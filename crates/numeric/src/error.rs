@@ -48,6 +48,15 @@ pub enum NumericError {
     /// An argument was out of its legal domain (empty data, non-monotonic
     /// abscissae, non-positive step, ...).
     InvalidArgument(String),
+    /// A computation produced a NaN or infinity where a finite value is
+    /// required (an iterate, a residual norm, a reduced sample). Surfacing
+    /// this as an error — instead of letting the NaN poison downstream
+    /// reductions or panic a `partial_cmp` sort — is the contract the
+    /// sweep layers rely on for partial-result collection.
+    NonFinite {
+        /// What produced the non-finite value (e.g. `"gmres residual"`).
+        context: String,
+    },
 }
 
 impl fmt::Display for NumericError {
@@ -77,6 +86,9 @@ impl fmt::Display for NumericError {
                 "bracket does not contain a sign change (f_lo={f_lo:.3e}, f_hi={f_hi:.3e})"
             ),
             NumericError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            NumericError::NonFinite { context } => {
+                write!(f, "non-finite value produced by {context}")
+            }
         }
     }
 }

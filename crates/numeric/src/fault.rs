@@ -15,6 +15,11 @@
 //! newton@STEP     force a Newton failure on transient step attempt STEP
 //! crash@STEP      simulate a process crash on transient step attempt STEP
 //! task@INDEXxN    fail sweep task INDEX on its first N attempts
+//! nan@STEP        poison the Newton solution with NaN from step attempt
+//!                 STEP onwards (models a diverging / iterative-solver
+//!                 breakdown that no retry can fix)
+//! nanmeas@INDEX   make sweep task INDEX's reduced measurement NaN on
+//!                 every attempt (exercises the non-finite sample paths)
 //! ```
 //!
 //! Step attempts are 1-based and count *attempts*, not accepted steps, so a
@@ -41,6 +46,11 @@ pub struct FaultPlan {
     /// `(task index, failing attempts)`: task `index` fails its first
     /// `attempts` attempts (attempt numbering is 0-based).
     task_faults: Vec<(usize, usize)>,
+    /// Transient step attempts (1-based) from which Newton solutions are
+    /// poisoned with NaN (persistent: every attempt ≥ the entry fails).
+    nan_steps: Vec<u64>,
+    /// Sweep task indices whose reduced measurement is forced to NaN.
+    nan_measurements: Vec<usize>,
 }
 
 impl FaultPlan {
@@ -68,9 +78,33 @@ impl FaultPlan {
         self
     }
 
+    /// Poisons Newton solutions with NaN from transient step attempt
+    /// `step` (1-based) onwards. Unlike [`with_newton_failure`]
+    /// (one-shot, recoverable by the step-size ladder), the poison is
+    /// persistent — it models genuine numerical breakdown and drives the
+    /// run to a terminal simulator error at `dtmin`.
+    ///
+    /// [`with_newton_failure`]: FaultPlan::with_newton_failure
+    pub fn with_nan_from(mut self, step: u64) -> Self {
+        self.nan_steps.push(step);
+        self
+    }
+
+    /// Forces sweep task `index`'s reduced measurement to NaN on every
+    /// attempt, exercising the non-finite sample-rejection paths in the
+    /// metric reducers.
+    pub fn with_nan_measurement(mut self, index: usize) -> Self {
+        self.nan_measurements.push(index);
+        self
+    }
+
     /// `true` when the plan injects nothing.
     pub fn is_empty(&self) -> bool {
-        self.newton_steps.is_empty() && self.crash_steps.is_empty() && self.task_faults.is_empty()
+        self.newton_steps.is_empty()
+            && self.crash_steps.is_empty()
+            && self.task_faults.is_empty()
+            && self.nan_steps.is_empty()
+            && self.nan_measurements.is_empty()
     }
 
     /// Whether the Newton solve of transient step attempt `step` (1-based)
@@ -91,6 +125,19 @@ impl FaultPlan {
         self.task_faults
             .iter()
             .any(|&(i, n)| i == index && attempt < n)
+    }
+
+    /// Whether the Newton solution of transient step attempt `step`
+    /// (1-based) must be poisoned with NaN. A `nan@STEP` entry covers
+    /// every attempt from `STEP` onwards.
+    pub fn poison_newton(&self, step: u64) -> bool {
+        self.nan_steps.iter().any(|&s| step >= s)
+    }
+
+    /// Whether sweep task `index`'s reduced measurement must be forced
+    /// to NaN.
+    pub fn nan_measurement(&self, index: usize) -> bool {
+        self.nan_measurements.contains(&index)
     }
 
     /// Parses the grammar described in the module docs.
@@ -124,6 +171,12 @@ impl FaultPlan {
                     })?;
                     plan.task_faults.push((index, attempts));
                 }
+                "nan" => plan.nan_steps.push(parse_step(entry, arg)?),
+                "nanmeas" => plan.nan_measurements.push(
+                    arg.trim()
+                        .parse::<usize>()
+                        .map_err(|_| format!("nanmeas entry {entry:?} has a non-numeric index"))?,
+                ),
                 other => return Err(format!("unknown fault kind {other:?} in {entry:?}")),
             }
         }
@@ -207,6 +260,22 @@ mod tests {
         assert!(FaultPlan::parse("task@ax2").is_err());
         assert!(FaultPlan::parse("task@1xq").is_err());
         assert!(FaultPlan::parse("explode@5").is_err());
+    }
+
+    #[test]
+    fn parses_nan_entries() {
+        let plan = FaultPlan::parse("nan@12,nanmeas@4").unwrap();
+        assert!(!plan.poison_newton(11));
+        assert!(plan.poison_newton(12), "poison starts at the entry step");
+        assert!(plan.poison_newton(500), "poison is persistent");
+        assert!(plan.nan_measurement(4));
+        assert!(!plan.nan_measurement(3));
+        assert_eq!(
+            plan,
+            FaultPlan::new().with_nan_from(12).with_nan_measurement(4)
+        );
+        assert!(FaultPlan::parse("nan@0").is_err());
+        assert!(FaultPlan::parse("nanmeas@x").is_err());
     }
 
     #[test]

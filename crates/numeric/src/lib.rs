@@ -9,6 +9,10 @@
 //!   factorisation, the workhorse for cell-level circuits (tens of nodes).
 //! * [`sparse`] — triplet/CSC sparse matrices and a left-looking
 //!   Gilbert–Peierls LU with partial pivoting, used for PDN-sized systems.
+//! * [`krylov`] — matrix-free iterative solvers for full-chip grids where
+//!   direct factorisation stops scaling: restarted GMRES(m) over a
+//!   [`LinearOperator`](krylov::LinearOperator) with Jacobi and ILU(0)
+//!   preconditioners.
 //! * [`newton`] — a damped Newton–Raphson driver with SPICE-style
 //!   (`reltol`, `abstol`) convergence criteria.
 //! * [`interp`] — piecewise-linear interpolation used by PWL sources and
@@ -69,6 +73,7 @@ pub mod exec;
 pub mod fault;
 pub mod integrate;
 pub mod interp;
+pub mod krylov;
 pub mod manifest;
 pub mod newton;
 pub mod norms;

@@ -100,6 +100,24 @@ impl CscMatrix {
         }
     }
 
+    /// Column-pointer array (`cols + 1` entries, monotone).
+    ///
+    /// Exposed for algorithms that walk the raw structure, e.g. the ILU(0)
+    /// preconditioner in [`crate::krylov`].
+    pub fn col_ptr(&self) -> &[usize] {
+        &self.col_ptr
+    }
+
+    /// Row indices in column-major slot order (aligned with [`values`](Self::values)).
+    pub fn row_indices(&self) -> &[usize] {
+        &self.row_idx
+    }
+
+    /// Stored values in column-major slot order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
     /// Matrix–vector product `y = A x`.
     ///
     /// # Errors
@@ -113,6 +131,21 @@ impl CscMatrix {
             });
         }
         let mut y = vec![0.0; self.rows];
+        self.matvec_into(x, &mut y);
+        Ok(y)
+    }
+
+    /// Allocation-free matrix–vector product `y = A x` into a caller-owned
+    /// buffer — the hot-path form used by the Krylov solvers, which apply
+    /// the operator every iteration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols` or `y.len() != rows`.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "matvec_into x length");
+        assert_eq!(y.len(), self.rows, "matvec_into y length");
+        y.iter_mut().for_each(|v| *v = 0.0);
         for c in 0..self.cols {
             let xc = x[c];
             if xc == 0.0 {
@@ -122,7 +155,6 @@ impl CscMatrix {
                 y[self.row_idx[p]] += self.values[p] * xc;
             }
         }
-        Ok(y)
     }
 
     /// Converts to a dense matrix (test/diagnostic helper).

@@ -11,6 +11,8 @@ pub enum PdnError {
     Waveform(sfet_waveform::WaveformError),
     /// Scenario parameters are out of domain.
     InvalidScenario(String),
+    /// A measured metric came out NaN/Inf; the context names the sample.
+    NonFiniteMetric(String),
     /// A parallel sweep task failed: `index` is the task's position in the
     /// sweep and `context` renders the offending parameters.
     Sweep {
@@ -30,6 +32,7 @@ impl fmt::Display for PdnError {
             PdnError::Sim(e) => write!(f, "simulation error: {e}"),
             PdnError::Waveform(e) => write!(f, "measurement error: {e}"),
             PdnError::InvalidScenario(msg) => write!(f, "invalid scenario: {msg}"),
+            PdnError::NonFiniteMetric(ctx) => write!(f, "non-finite metric: {ctx}"),
             PdnError::Sweep {
                 index,
                 context,
@@ -46,7 +49,7 @@ impl std::error::Error for PdnError {
             PdnError::Sim(e) => Some(e),
             PdnError::Waveform(e) => Some(e),
             PdnError::Sweep { source, .. } => Some(&**source),
-            PdnError::InvalidScenario(_) => None,
+            PdnError::InvalidScenario(_) | PdnError::NonFiniteMetric(_) => None,
         }
     }
 }

@@ -10,10 +10,15 @@
 //! * [`io_buffer`] — an I/O driver discharging a 1 pF pad behind bond-wire
 //!   inductance, producing simultaneous-switching noise on both rails
 //!   (Fig. 11), plus the guard-band energy model ([`ssn`]).
+//! * [`grid`] — a distributed `nx × ny` on-die rail mesh with per-tile
+//!   decap and staggered switching sites, reduced to a full-chip per-tile
+//!   droop map ([`DroopMap`]); the chip-scale workload the iterative
+//!   (GMRES) solver backend exists for.
 //!
 //! Both scenarios come in baseline and Soft-FET flavours selected by an
 //! optional [`sfet_devices::ptm::PtmParams`].
 
+pub mod grid;
 pub mod io_buffer;
 pub mod power_gate;
 pub mod ssn;
@@ -22,6 +27,7 @@ mod error;
 mod model;
 
 pub use error::PdnError;
+pub use grid::{DroopMap, PdnGrid};
 pub use model::PdnParams;
 
 /// Convenience result alias.

@@ -147,11 +147,24 @@ impl PdnParams {
             cfg,
             freqs,
             |f| format!("f={f:.4e} Hz"),
-            |_, &f| {
+            |idx, &f| {
                 let res =
                     sfet_sim::ac_sweep(&ckt, "IAC", &[f], &opts).map_err(crate::PdnError::Sim)?;
                 let mags = res.magnitude(&rail_name).map_err(crate::PdnError::Sim)?;
-                Ok((f, mags[0]))
+                // A non-finite |Z| becomes a named error here, not a panic
+                // in whatever reduction consumes the profile next. The
+                // fault plan's `nanmeas@I` entry poisons point `I` to keep
+                // this path regression-tested.
+                let mut z = mags[0];
+                if cfg.fault_plan().is_some_and(|p| p.nan_measurement(idx)) {
+                    z = f64::NAN;
+                }
+                if !z.is_finite() {
+                    return Err(PdnError::NonFiniteMetric(format!(
+                        "|Z| at f={f:.4e} Hz (point {idx}) is {z}"
+                    )));
+                }
+                Ok((f, z))
             },
         )
     }
@@ -224,6 +237,29 @@ mod tests {
 mod impedance_tests {
     use super::*;
 
+    /// A fault-injected NaN at one frequency point yields a named
+    /// `NonFiniteMetric` error — not a panic in whichever reduction
+    /// (peak search, sort) consumes the profile next.
+    #[test]
+    fn nan_impedance_point_is_named_error_not_panic() {
+        use sfet_numeric::fault::FaultPlan;
+        let pdn = PdnParams::default();
+        let freqs = [1e6, 1e7, 1e8];
+        let cfg = ExecConfig::serial().with_fault_plan(FaultPlan::new().with_nan_measurement(1));
+        let err = pdn.impedance_profile_with(&cfg, &freqs).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("non-finite") && msg.contains("point 1"),
+            "error must name the poisoned point: {msg}"
+        );
+        // Fault-free on the same config shape still succeeds.
+        let profile = pdn
+            .impedance_profile_with(&ExecConfig::serial(), &freqs)
+            .unwrap();
+        assert_eq!(profile.len(), 3);
+        assert!(profile.iter().all(|(_, z)| z.is_finite()));
+    }
+
     #[test]
     fn impedance_peaks_at_package_resonance() {
         let pdn = PdnParams::default();
@@ -235,7 +271,7 @@ mod impedance_tests {
         let (f_peak, z_peak) = profile
             .iter()
             .copied()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
             .unwrap();
         assert!(
             (f_peak / f0).log10().abs() < 0.2,

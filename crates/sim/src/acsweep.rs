@@ -143,7 +143,11 @@ pub fn ac_sweep(
     // Bordered real system of size 2n; the matrix lives outside the loop so
     // the stamp sequence (identical at every frequency) keeps the compiled
     // sparsity pattern and symbolic factorisation across the sweep.
-    let mut m = MnaMatrix::new(opts.solver, 2 * n, opts.reuse_factorization);
+    let mut m = MnaMatrix::new(
+        opts.effective_solver(2 * n),
+        2 * n,
+        opts.reuse_factorization,
+    );
     let mut rhs = vec![0.0; 2 * n];
     for &f in freqs {
         let w = 2.0 * std::f64::consts::PI * f;
@@ -366,7 +370,7 @@ mod tests {
         let (k_peak, peak) = mag
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .unwrap();
         let f_peak = freqs[k_peak];
         assert!(

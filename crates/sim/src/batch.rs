@@ -163,7 +163,12 @@ pub fn transient_batch(specs: &[BatchSpec<'_>]) -> Vec<Result<TranResult>> {
     // stamping loop inline instead of going through a vtable.
     match solver {
         LinearSolver::Dense => drive_lanes(&mut BatchDense::new(n, nl), &mut lanes, n),
-        LinearSolver::Sparse => drive_lanes(&mut BatchSparse::new(n, nl, reuse), &mut lanes, n),
+        // Batched lanes share one factorisation across lanes, which an
+        // iterative solve cannot amortise — GMRES lanes run on the shared
+        // sparse LU instead (scalar runs still use the Krylov path).
+        LinearSolver::Sparse | LinearSolver::Iterative => {
+            drive_lanes(&mut BatchSparse::new(n, nl, reuse), &mut lanes, n)
+        }
     }
 
     lanes

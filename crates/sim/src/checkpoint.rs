@@ -21,7 +21,7 @@
 //! force_be   u8
 //! x          [u64 len][f64 ...]
 //! hist       [u64 count]{ t f64, [u64 len][f64 ...] }   (LTE predictor)
-//! stats      5 × u64, then SolverStats as 7 × u64
+//! stats      5 × u64, then SolverStats as 10 × u64
 //! recorder   times, node_data, branch_data, ptm_resistance (nested vecs)
 //! devices    [u64 count]{ u8 tag, payload }
 //! ```
@@ -44,7 +44,9 @@ use sfet_devices::ptm::{PtmPhase, PtmSnapshot, TransitionEvent};
 use sfet_numeric::integrate::{CapHistory, IndHistory, Method};
 
 /// Checkpoint format version; bumped on any layout change.
-pub const CHECKPOINT_VERSION: u32 = 1;
+/// Version 2 widened the serialised [`SolverStats`] with the GMRES
+/// counters (`gmres_iterations`, `gmres_restarts`, `gmres_fallbacks`).
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 const MAGIC: &[u8; 4] = b"SFCK";
 
@@ -330,6 +332,9 @@ impl Writer {
         self.u64(s.solver.pattern_rebuilds);
         self.u64(s.solver.pivot_fallbacks);
         self.u64(s.solver.factor_nnz as u64);
+        self.u64(s.solver.gmres_iterations);
+        self.u64(s.solver.gmres_restarts);
+        self.u64(s.solver.gmres_fallbacks);
         self.u64(s.solver.solve_time_ns);
     }
 }
@@ -399,6 +404,9 @@ impl<'a> Reader<'a> {
                 pattern_rebuilds: self.u64()?,
                 pivot_fallbacks: self.u64()?,
                 factor_nnz: self.u64()? as usize,
+                gmres_iterations: self.u64()?,
+                gmres_restarts: self.u64()?,
+                gmres_fallbacks: self.u64()?,
                 solve_time_ns: self.u64()?,
             },
         })
@@ -651,6 +659,9 @@ mod tests {
                     pattern_rebuilds: 1,
                     pivot_fallbacks: 0,
                     factor_nnz: 42,
+                    gmres_iterations: 96,
+                    gmres_restarts: 2,
+                    gmres_fallbacks: 1,
                     solve_time_ns: 12345,
                 },
             },

@@ -33,7 +33,11 @@ pub(crate) struct DcWorkspace {
 impl DcWorkspace {
     pub(crate) fn new(compiled: &CompiledCircuit, opts: &SimOptions) -> Self {
         DcWorkspace {
-            jac: MnaMatrix::new(opts.solver, compiled.size, opts.reuse_factorization),
+            jac: MnaMatrix::new(
+                opts.effective_solver(compiled.size),
+                compiled.size,
+                opts.reuse_factorization,
+            ),
             rhs: vec![0.0; compiled.size],
             newton_iterations: 0,
         }
@@ -189,6 +193,16 @@ pub(crate) fn newton_dc(
         }
         jac.factor_solve(rhs)?;
         let x_next: &[f64] = rhs;
+        // A NaN/Inf iterate would pass the `raw.abs() > tol` convergence
+        // test below (NaN comparisons are false) and be returned as a
+        // "converged" solution — reject it here instead.
+        if let Some(bad) = x_next.iter().position(|v| !v.is_finite()) {
+            return Err(crate::transient::non_finite_unknown(
+                compiled,
+                bad,
+                "DC Newton solve",
+            ));
+        }
 
         let mut max_dx = 0.0f64;
         for (xn, xo) in x_next.iter().zip(&x) {

@@ -581,6 +581,10 @@ impl CompiledCircuit {
                 }
                 _ => None,
             })
-            .min_by(|a, b| a.partial_cmp(b).expect("breakpoints are finite"))
+            // total_cmp, not partial_cmp: a NaN breakpoint from a degenerate
+            // waveform must not panic the stepper mid-run (NaN sorts last
+            // under total order, so finite breakpoints still win the min).
+            .filter(|t| t.is_finite())
+            .min_by(f64::total_cmp)
     }
 }

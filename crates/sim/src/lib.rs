@@ -67,7 +67,7 @@ pub use checkpoint::{CheckpointPolicy, CHECKPOINT_VERSION};
 pub use dcop::{dc_operating_point, dc_operating_point_with_stats};
 pub use dcsweep::{dc_sweep, DcSweepResult};
 pub use error::SimError;
-pub use matrix::{LinearSolver, SolverStats};
+pub use matrix::{LinearSolver, SolverPolicy, SolverStats, SOLVER_ENV};
 pub use options::SimOptions;
 pub use result::{DcStats, TranResult, TranStats};
 pub use transient::{transient, transient_resumable};

@@ -25,6 +25,7 @@
 use std::time::Instant;
 
 use sfet_numeric::dense::{DenseMatrix, LuFactors};
+use sfet_numeric::krylov::{gmres, GmresOptions, GmresWorkspace, Ilu0};
 use sfet_numeric::sparse::{CscAssembler, SparseLu};
 use sfet_numeric::{NumericError, Result};
 
@@ -36,6 +37,12 @@ pub enum LinearSolver {
     Dense,
     /// Sparse left-looking (Gilbert–Peierls) LU — scales to PDN meshes.
     Sparse,
+    /// Matrix-free restarted GMRES(m) with an ILU(0) preconditioner over
+    /// the compiled CSC pattern — the full-chip path for grids where
+    /// direct factorisation stops fitting. Falls back to a cached sparse
+    /// LU when GMRES stagnates (counted in
+    /// [`SolverStats::gmres_fallbacks`]).
+    Iterative,
 }
 
 impl std::fmt::Display for LinearSolver {
@@ -43,6 +50,110 @@ impl std::fmt::Display for LinearSolver {
         f.write_str(match self {
             LinearSolver::Dense => "dense",
             LinearSolver::Sparse => "sparse",
+            LinearSolver::Iterative => "gmres",
+        })
+    }
+}
+
+/// Environment variable selecting the solver policy for a whole process
+/// (`direct`, `gmres`/`iterative`, or `auto`).
+pub const SOLVER_ENV: &str = "SFET_SOLVER";
+
+/// How the engines choose a [`LinearSolver`] for each system.
+///
+/// The policy is resolved against the *system size* at matrix-creation
+/// time, so one `SimOptions` value works for both a 10-unknown inverter
+/// (direct LU) and a 10⁵-unknown PDN grid (GMRES) without manual backend
+/// switching. Selected via [`SimOptions::with_solver_policy`](crate::SimOptions::with_solver_policy)
+/// or the [`SOLVER_ENV`] environment variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SolverPolicy {
+    /// Size dispatch: systems with at least
+    /// [`AUTO_ITERATIVE_THRESHOLD`](SolverPolicy::AUTO_ITERATIVE_THRESHOLD)
+    /// unknowns use [`LinearSolver::Iterative`]; smaller ones keep the
+    /// configured direct backend.
+    #[default]
+    Auto,
+    /// Always use the configured direct backend (dense/sparse LU).
+    Direct,
+    /// Always use [`LinearSolver::Iterative`], regardless of size.
+    Iterative,
+}
+
+impl SolverPolicy {
+    /// System size at which [`SolverPolicy::Auto`] switches to GMRES.
+    ///
+    /// Chosen from the `solver_backend` bench: below ~4k unknowns the
+    /// sparse LU refactor-and-solve beats GMRES+ILU(0) wall-clock, and
+    /// its factor memory is still negligible; above it the iterative
+    /// path wins on both and is the only one that reaches 10⁵ unknowns.
+    pub const AUTO_ITERATIVE_THRESHOLD: usize = 4096;
+
+    /// Parses `direct`, `gmres` (alias `iterative`), or `auto`
+    /// (case-insensitive).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the unrecognised value.
+    pub fn parse(text: &str) -> std::result::Result<Self, String> {
+        match text.trim().to_ascii_lowercase().as_str() {
+            "auto" => Ok(SolverPolicy::Auto),
+            "direct" => Ok(SolverPolicy::Direct),
+            "gmres" | "iterative" => Ok(SolverPolicy::Iterative),
+            other => Err(format!(
+                "unknown {SOLVER_ENV} value {other:?} (expected auto, direct, or gmres)"
+            )),
+        }
+    }
+
+    /// Reads the policy from [`SOLVER_ENV`]. Returns `None` when unset or
+    /// empty; a malformed value warns on stderr once per process and is
+    /// ignored rather than silently arming garbage.
+    pub fn from_env() -> Option<Self> {
+        let raw = std::env::var(SOLVER_ENV).ok()?;
+        if raw.trim().is_empty() {
+            return None;
+        }
+        match Self::parse(&raw) {
+            Ok(policy) => Some(policy),
+            Err(msg) => {
+                static WARN: std::sync::Once = std::sync::Once::new();
+                WARN.call_once(|| {
+                    eprintln!("warning: ignoring invalid {SOLVER_ENV}: {msg}");
+                });
+                None
+            }
+        }
+    }
+
+    /// Resolves the policy to a concrete backend for an `n`-unknown
+    /// system, given the directly-configured backend.
+    pub fn resolve(self, configured: LinearSolver, n: usize) -> LinearSolver {
+        match self {
+            SolverPolicy::Direct => match configured {
+                LinearSolver::Iterative => LinearSolver::Sparse,
+                direct => direct,
+            },
+            SolverPolicy::Iterative => LinearSolver::Iterative,
+            SolverPolicy::Auto => {
+                if configured == LinearSolver::Iterative
+                    || n >= SolverPolicy::AUTO_ITERATIVE_THRESHOLD
+                {
+                    LinearSolver::Iterative
+                } else {
+                    configured
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for SolverPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SolverPolicy::Auto => "auto",
+            SolverPolicy::Direct => "direct",
+            SolverPolicy::Iterative => "gmres",
         })
     }
 }
@@ -70,8 +181,17 @@ pub struct SolverStats {
     /// full, re-pivoting factorisations.
     pub pivot_fallbacks: u64,
     /// Stored factor entries (L + U) of the latest factorisation — the
-    /// fill-in diagnostic. The dense backend reports `n * n`.
+    /// fill-in diagnostic. The dense backend reports `n * n`; the
+    /// iterative backend reports the ILU(0) factor pattern size.
     pub factor_nnz: usize,
+    /// GMRES inner (Arnoldi) iterations across all solves (iterative
+    /// backend only). Deterministic, so included in equality.
+    pub gmres_iterations: u64,
+    /// GMRES restart cycles across all solves (iterative backend only).
+    pub gmres_restarts: u64,
+    /// Solves where GMRES stagnated or exhausted its budget and the
+    /// direct sparse-LU fallback produced the answer.
+    pub gmres_fallbacks: u64,
     /// Cumulative wall-clock time spent assembling factors and solving
     /// \[ns\]. Excluded from equality comparisons.
     pub solve_time_ns: u64,
@@ -85,6 +205,9 @@ impl PartialEq for SolverStats {
             && self.pattern_rebuilds == other.pattern_rebuilds
             && self.pivot_fallbacks == other.pivot_fallbacks
             && self.factor_nnz == other.factor_nnz
+            && self.gmres_iterations == other.gmres_iterations
+            && self.gmres_restarts == other.gmres_restarts
+            && self.gmres_fallbacks == other.gmres_fallbacks
     }
 }
 
@@ -118,6 +241,9 @@ impl SolverStats {
             } else {
                 self.factor_nnz
             },
+            gmres_iterations: self.gmres_iterations + later.gmres_iterations,
+            gmres_restarts: self.gmres_restarts + later.gmres_restarts,
+            gmres_fallbacks: self.gmres_fallbacks + later.gmres_fallbacks,
             solve_time_ns: self.solve_time_ns + later.solve_time_ns,
         }
     }
@@ -146,7 +272,26 @@ enum Backend {
         lu_epoch: u64,
         scratch: Vec<f64>,
     },
+    Iterative {
+        asm: Box<CscAssembler>,
+        /// ILU(0) preconditioner; numeric-only refactored while the
+        /// assembler pattern epoch is unchanged.
+        ilu: Option<Ilu0>,
+        ilu_epoch: u64,
+        /// Direct sparse-LU fallback cache for stagnated GMRES solves.
+        lu: Option<SparseLu>,
+        lu_epoch: u64,
+        ws: Box<GmresWorkspace>,
+        /// Solution buffer (GMRES starts from x = 0 for determinism).
+        x: Vec<f64>,
+        scratch: Vec<f64>,
+    },
 }
+
+/// Restart length for the MNA GMRES path. 64 keeps the Arnoldi basis
+/// under ~50 MB even at 10⁵ unknowns while converging typical
+/// diffusion-dominated PDN systems within one or two cycles.
+const GMRES_RESTART: usize = 64;
 
 impl MnaMatrix {
     /// Creates an `n x n` matrix for the chosen backend. `reuse` enables
@@ -165,6 +310,16 @@ impl MnaMatrix {
                 lu_epoch: 0,
                 scratch: Vec::with_capacity(n),
             },
+            LinearSolver::Iterative => Backend::Iterative {
+                asm: Box::new(CscAssembler::new(n, n)),
+                ilu: None,
+                ilu_epoch: 0,
+                lu: None,
+                lu_epoch: 0,
+                ws: Box::new(GmresWorkspace::new(n, GMRES_RESTART)),
+                x: vec![0.0; n],
+                scratch: Vec::with_capacity(n),
+            },
         };
         MnaMatrix {
             backend,
@@ -178,7 +333,7 @@ impl MnaMatrix {
     pub(crate) fn clear(&mut self) {
         match &mut self.backend {
             Backend::Dense { m, .. } => m.clear(),
-            Backend::Sparse { asm, .. } => asm.begin(),
+            Backend::Sparse { asm, .. } | Backend::Iterative { asm, .. } => asm.begin(),
         }
     }
 
@@ -187,7 +342,7 @@ impl MnaMatrix {
     pub(crate) fn add(&mut self, r: usize, c: usize, v: f64) {
         match &mut self.backend {
             Backend::Dense { m, .. } => m.add(r, c, v),
-            Backend::Sparse { asm, .. } => asm.add(r, c, v),
+            Backend::Sparse { asm, .. } | Backend::Iterative { asm, .. } => asm.add(r, c, v),
         }
     }
 
@@ -258,6 +413,82 @@ impl MnaMatrix {
                 self.stats.factor_nnz = f.factor_nnz();
                 f.solve_in_place(rhs, scratch)?;
             }
+            Backend::Iterative {
+                asm,
+                ilu,
+                ilu_epoch,
+                lu,
+                lu_epoch,
+                ws,
+                x,
+                scratch,
+            } => {
+                asm.finish();
+                let epoch = asm.epoch();
+                let a = asm.matrix().expect("finish compiles a pattern");
+                self.stats.pattern_rebuilds = epoch;
+                // ILU(0) preconditioner: numeric-only refresh while the
+                // pattern epoch is unchanged (the Newton hot loop), full
+                // symbolic + numeric factorisation otherwise.
+                let mut refreshed = false;
+                if self.reuse && *ilu_epoch == epoch {
+                    if let Some(pre) = ilu.as_mut() {
+                        if pre.refactor(a).is_ok() {
+                            refreshed = true;
+                        }
+                    }
+                }
+                if refreshed {
+                    self.stats.refactorizations += 1;
+                } else {
+                    *ilu = Some(Ilu0::factor(a)?);
+                    *ilu_epoch = epoch;
+                    self.stats.full_factorizations += 1;
+                }
+                let pre = ilu.as_ref().expect("factorised above");
+                self.stats.factor_nnz = pre.factor_nnz();
+                // GMRES from x = 0: deterministic regardless of solve
+                // history, and the convergence test is on the true
+                // residual (right preconditioning).
+                x.iter_mut().for_each(|v| *v = 0.0);
+                x.resize(rhs.len(), 0.0);
+                let gopts = GmresOptions::default();
+                match gmres(a, pre, rhs, x, &gopts, ws) {
+                    Ok(st) => {
+                        self.stats.gmres_iterations += st.iterations;
+                        self.stats.gmres_restarts += st.restarts;
+                        rhs.copy_from_slice(x);
+                    }
+                    Err(NumericError::NonConvergence { iterations, .. }) => {
+                        // Stagnation / budget exhaustion: the answer comes
+                        // from a cached direct sparse factorisation, so a
+                        // hard system degrades to the LU path instead of
+                        // failing the analysis.
+                        self.stats.gmres_iterations += iterations as u64;
+                        self.stats.gmres_fallbacks += 1;
+                        let mut refactored = false;
+                        if self.reuse && *lu_epoch == epoch {
+                            if let Some(f) = lu.as_mut() {
+                                match f.refactor(a) {
+                                    Ok(()) => refactored = true,
+                                    Err(NumericError::PivotDegraded { .. }) => {
+                                        self.stats.pivot_fallbacks += 1;
+                                    }
+                                    Err(NumericError::SingularMatrix { .. }) => {}
+                                    Err(e) => return Err(e),
+                                }
+                            }
+                        }
+                        if !refactored {
+                            *lu = Some(a.lu()?);
+                            *lu_epoch = epoch;
+                        }
+                        let f = lu.as_ref().expect("factorised above");
+                        f.solve_in_place(rhs, scratch)?;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
         }
         self.stats.solves += 1;
         Ok(())
@@ -291,14 +522,99 @@ mod tests {
     fn backends_agree() {
         let mut d = MnaMatrix::new(LinearSolver::Dense, 2, true);
         let mut s = MnaMatrix::new(LinearSolver::Sparse, 2, true);
+        let mut i = MnaMatrix::new(LinearSolver::Iterative, 2, true);
         stamp_divider(&mut d);
         stamp_divider(&mut s);
+        stamp_divider(&mut i);
         let xd = solve_once(&mut d);
         let xs = solve_once(&mut s);
+        let xi = solve_once(&mut i);
         for (a, b) in xd.iter().zip(&xs) {
             assert!((a - b).abs() < 1e-12);
         }
+        for (a, b) in xd.iter().zip(&xi) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
         assert!((xd[0] - 2.0).abs() < 1e-12);
+    }
+
+    /// The iterative backend reuses the ILU(0) analysis across same-pattern
+    /// solves and reports deterministic GMRES counters.
+    #[test]
+    fn iterative_reuses_and_counts() {
+        let run = || {
+            let mut m = MnaMatrix::new(LinearSolver::Iterative, 2, true);
+            for k in 0..4 {
+                m.clear();
+                m.add(0, 0, 1e-3 + k as f64 * 1e-4);
+                m.add(0, 1, 1.0);
+                m.add(1, 0, 1.0);
+                let mut rhs = vec![0.0, 2.0];
+                m.factor_solve(&mut rhs).unwrap();
+                assert!((rhs[0] - 2.0).abs() < 1e-9);
+            }
+            m.stats()
+        };
+        let st = run();
+        assert_eq!(st.solves, 4);
+        assert_eq!(st.full_factorizations, 1, "one ILU(0) symbolic analysis");
+        assert_eq!(st.refactorizations, 3, "the rest are numeric-only");
+        assert!(st.gmres_iterations > 0);
+        assert_eq!(st.gmres_fallbacks, 0, "well-conditioned: no LU fallback");
+        assert_eq!(st, run(), "counters are deterministic");
+    }
+
+    /// A non-finite right-hand side must surface as an error from the
+    /// iterative backend, never propagate NaN into the solution vector.
+    #[test]
+    fn iterative_nan_rhs_is_error_not_poison() {
+        let mut m = MnaMatrix::new(LinearSolver::Iterative, 2, true);
+        stamp_divider(&mut m);
+        let mut rhs = vec![f64::NAN, 2.0];
+        assert!(matches!(
+            m.factor_solve(&mut rhs),
+            Err(NumericError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn solver_policy_resolution() {
+        use SolverPolicy::*;
+        let th = SolverPolicy::AUTO_ITERATIVE_THRESHOLD;
+        assert_eq!(Auto.resolve(LinearSolver::Dense, 10), LinearSolver::Dense);
+        assert_eq!(
+            Auto.resolve(LinearSolver::Sparse, th),
+            LinearSolver::Iterative
+        );
+        assert_eq!(
+            Auto.resolve(LinearSolver::Iterative, 10),
+            LinearSolver::Iterative,
+            "an explicit iterative backend wins at any size"
+        );
+        assert_eq!(
+            Direct.resolve(LinearSolver::Iterative, th * 2),
+            LinearSolver::Sparse,
+            "direct policy maps the iterative backend to sparse LU"
+        );
+        assert_eq!(
+            Iterative.resolve(LinearSolver::Dense, 2),
+            LinearSolver::Iterative
+        );
+        assert_eq!(SolverPolicy::default(), Auto);
+    }
+
+    #[test]
+    fn solver_policy_parses() {
+        assert_eq!(SolverPolicy::parse("auto"), Ok(SolverPolicy::Auto));
+        assert_eq!(SolverPolicy::parse(" Direct "), Ok(SolverPolicy::Direct));
+        assert_eq!(SolverPolicy::parse("gmres"), Ok(SolverPolicy::Iterative));
+        assert_eq!(
+            SolverPolicy::parse("iterative"),
+            Ok(SolverPolicy::Iterative)
+        );
+        assert!(SolverPolicy::parse("qr").is_err());
+        assert_eq!(SolverPolicy::Iterative.to_string(), "gmres");
+        assert_eq!(SolverPolicy::Auto.to_string(), "auto");
     }
 
     #[test]
@@ -454,6 +770,7 @@ mod tests {
     fn display_names() {
         assert_eq!(LinearSolver::Dense.to_string(), "dense");
         assert_eq!(LinearSolver::Sparse.to_string(), "sparse");
+        assert_eq!(LinearSolver::Iterative.to_string(), "gmres");
         assert_eq!(LinearSolver::default(), LinearSolver::Dense);
     }
 }

@@ -1,6 +1,6 @@
 //! Simulation options.
 
-use crate::matrix::LinearSolver;
+use crate::matrix::{LinearSolver, SolverPolicy};
 use crate::{Result, SimError};
 use sfet_numeric::fault::FaultPlan;
 use sfet_numeric::integrate::Method;
@@ -69,6 +69,11 @@ pub struct SimOptions {
     /// falls back to the process-wide `SFET_FAULT_PLAN` environment
     /// variable; set an explicit plan to scope injection to one run.
     pub fault: Option<FaultPlan>,
+    /// Size-based linear-solver dispatch policy. `None` (the default)
+    /// falls back to the process-wide `SFET_SOLVER` environment variable,
+    /// then to [`SolverPolicy::Auto`]; set an explicit policy to pin one
+    /// run. See [`SimOptions::effective_solver`].
+    pub solver_policy: Option<SolverPolicy>,
 }
 
 impl Default for SimOptions {
@@ -91,6 +96,7 @@ impl Default for SimOptions {
             lte_tol: 1e-3,
             telemetry: Telemetry::disabled(),
             fault: None,
+            solver_policy: None,
         }
     }
 }
@@ -169,6 +175,34 @@ impl SimOptions {
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault = Some(plan);
         self
+    }
+
+    /// Builder-style override of the solver dispatch policy, overriding
+    /// any `SFET_SOLVER` environment setting for this run.
+    pub fn with_solver_policy(mut self, policy: SolverPolicy) -> Self {
+        self.solver_policy = Some(policy);
+        self
+    }
+
+    /// Resolves the backend an analysis of `n` unknowns actually uses:
+    /// the explicit [`solver_policy`](Self::solver_policy) (falling back
+    /// to `SFET_SOLVER`, then [`SolverPolicy::Auto`]) applied to the
+    /// configured [`solver`](Self::solver) backend and the system size.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use sfet_sim::{LinearSolver, SimOptions, SolverPolicy};
+    ///
+    /// let opts = SimOptions::default().with_solver_policy(SolverPolicy::Iterative);
+    /// assert_eq!(opts.effective_solver(8), LinearSolver::Iterative);
+    /// assert_eq!(SimOptions::default().effective_solver(8), LinearSolver::Dense);
+    /// ```
+    pub fn effective_solver(&self, n: usize) -> LinearSolver {
+        self.solver_policy
+            .or_else(SolverPolicy::from_env)
+            .unwrap_or_default()
+            .resolve(self.solver, n)
     }
 
     /// Derives a *relaxed* copy of these options for retry attempt
@@ -262,6 +296,20 @@ mod tests {
         assert_eq!(o.method, Method::BackwardEuler);
         let o = SimOptions::default().with_fault_plan(FaultPlan::new().with_crash(3));
         assert!(o.fault.as_ref().unwrap().crash_at(3));
+    }
+
+    #[test]
+    fn effective_solver_applies_policy() {
+        let base = SimOptions::default().with_solver_policy(SolverPolicy::Auto);
+        assert_eq!(base.effective_solver(16), LinearSolver::Dense);
+        assert_eq!(
+            base.effective_solver(SolverPolicy::AUTO_ITERATIVE_THRESHOLD),
+            LinearSolver::Iterative
+        );
+        let pinned = SimOptions::default()
+            .with_solver(LinearSolver::Iterative)
+            .with_solver_policy(SolverPolicy::Direct);
+        assert_eq!(pinned.effective_solver(1_000_000), LinearSolver::Sparse);
     }
 
     #[test]

@@ -81,14 +81,26 @@ impl TranResult {
     ///
     /// [`SimError::UnknownSignal`] if the node does not exist.
     pub fn voltage(&self, node: &str) -> Result<Waveform> {
+        Ok(
+            Waveform::from_samples(self.times.clone(), self.node_samples(node)?.to_vec())
+                .expect("engine produces a valid time axis"),
+        )
+    }
+
+    /// Borrowed node-voltage samples (aligned with [`TranResult::times`])
+    /// by node name — the allocation-free accessor grid-scale droop-map
+    /// extraction uses, where cloning every tile's waveform would double
+    /// the result's memory footprint.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownSignal`] if the node does not exist.
+    pub fn node_samples(&self, node: &str) -> Result<&[f64]> {
         let &idx = self
             .node_index
             .get(node)
             .ok_or_else(|| SimError::UnknownSignal(format!("v({node})")))?;
-        Ok(
-            Waveform::from_samples(self.times.clone(), self.node_data[idx].clone())
-                .expect("engine produces a valid time axis"),
-        )
+        Ok(&self.node_data[idx])
     }
 
     /// Branch-current waveform of a voltage source or inductor, by element

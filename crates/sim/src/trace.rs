@@ -25,6 +25,13 @@ pub(crate) fn emit_solver_stats(tel: &Telemetry, prefix: &str, stats: &SolverSta
     emit(names::SOLVER_SOLVES, stats.solves);
     emit(names::SOLVER_PATTERN_REBUILDS, stats.pattern_rebuilds);
     emit(names::SOLVER_PIVOT_FALLBACKS, stats.pivot_fallbacks);
+    // GMRES counters only appear on traces that used the iterative
+    // backend, keeping direct-solver traces byte-stable.
+    if stats.gmres_iterations > 0 || stats.gmres_fallbacks > 0 {
+        emit(names::SOLVER_GMRES_ITERS, stats.gmres_iterations);
+        emit(names::SOLVER_GMRES_RESTARTS, stats.gmres_restarts);
+        emit(names::SOLVER_GMRES_FALLBACKS, stats.gmres_fallbacks);
+    }
 }
 
 /// Emits the transient counter set (totals equal the [`TranStats`] the

@@ -36,6 +36,7 @@ use crate::{Result, SimError};
 use sfet_circuit::Circuit;
 use sfet_numeric::fault::FaultPlan;
 use sfet_numeric::integrate::Method;
+use sfet_numeric::NumericError;
 use sfet_telemetry::{names, Level};
 
 /// Runs a transient analysis from `t = 0` to `tstop`.
@@ -90,7 +91,7 @@ pub fn transient_resumable(
 
     let n = compiled.size;
     let node_count = compiled.node_names.len();
-    let mut jac = MnaMatrix::new(opts.solver, n, opts.reuse_factorization);
+    let mut jac = MnaMatrix::new(opts.effective_solver(n), n, opts.reuse_factorization);
     let mut rhs = vec![0.0; n];
 
     // Stepper state: restored from a snapshot, or initialised from the DC
@@ -214,6 +215,9 @@ pub fn transient_resumable(
         let injected_newton_failure = fault
             .as_ref()
             .is_some_and(|plan| plan.fail_newton(stats.steps_attempted as u64));
+        let injected_nan = fault
+            .as_ref()
+            .is_some_and(|plan| plan.poison_newton(stats.steps_attempted as u64));
         let solve = if injected_newton_failure {
             Err(SimError::NonConvergence {
                 time: t_next,
@@ -223,7 +227,16 @@ pub fn transient_resumable(
             })
         } else {
             newton_transient(
-                &compiled, &x, t_next, dt_cur, method, opts, &mut jac, &mut rhs, node_count,
+                &compiled,
+                &x,
+                t_next,
+                dt_cur,
+                method,
+                opts,
+                &mut jac,
+                &mut rhs,
+                node_count,
+                injected_nan,
             )
         };
         let (x_new, iters) = match solve {
@@ -409,6 +422,10 @@ pub(crate) fn lagrange3(t0: f64, y0: f64, t1: f64, y1: f64, t2: f64, y2: f64, t:
 
 /// Newton solve for one transient time point. Returns the solution and the
 /// iteration count.
+///
+/// `poison` injects a NaN into every linear-solver solution (the `nan@`
+/// fault-plan entry), exercising the non-finite guard below exactly the
+/// way a genuinely diverging solve would.
 #[allow(clippy::too_many_arguments)]
 fn newton_transient(
     compiled: &CompiledCircuit,
@@ -420,6 +437,7 @@ fn newton_transient(
     jac: &mut MnaMatrix,
     rhs: &mut [f64],
     node_count: usize,
+    poison: bool,
 ) -> Result<(Vec<f64>, usize)> {
     let mode = StampMode::Transient { t_next, dt, method };
     let mut x = x0.to_vec();
@@ -436,7 +454,22 @@ fn newton_transient(
             device.stamp(mode, &x, jac, rhs, opts.gmin);
         }
         jac.factor_solve(rhs)?;
+        if poison {
+            rhs[0] = f64::NAN;
+        }
         let x_next: &[f64] = rhs;
+        // A NaN/Inf iterate would pass the `raw.abs() > tol` convergence
+        // test below (NaN comparisons are false) and be accepted as a
+        // "converged" step — reject it here instead. The caller's recovery
+        // ladder then retries, and if the breakdown persists the run ends
+        // with a [`NumericError::NonFinite`] at `dtmin` naming the unknown.
+        if let Some(bad) = x_next.iter().position(|v| !v.is_finite()) {
+            return Err(non_finite_unknown(
+                compiled,
+                bad,
+                &format!("transient Newton solve at t={t_next:.6e} s"),
+            ));
+        }
 
         let mut max_dx = 0.0f64;
         for (xn, xo) in x_next.iter().zip(&x) {
@@ -483,6 +516,18 @@ fn newton_transient(
         dt,
         residual: last_residual,
         unknown: unknown_name(compiled, last_worst, node_count),
+    })
+}
+
+/// Builds the error for a non-finite Newton iterate: a
+/// [`NumericError::NonFinite`] whose context names the solve stage and the
+/// first offending MNA unknown, so a poisoned sweep task reports *which*
+/// node diverged rather than unwinding with a panic.
+pub(crate) fn non_finite_unknown(compiled: &CompiledCircuit, idx: usize, stage: &str) -> SimError {
+    let name = unknown_name(compiled, idx, compiled.node_names.len())
+        .unwrap_or_else(|| format!("unknown #{idx}"));
+    SimError::Numeric(NumericError::NonFinite {
+        context: format!("{stage}, first non-finite unknown {name}"),
     })
 }
 
@@ -625,6 +670,7 @@ impl Recorder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::matrix::LinearSolver;
     use sfet_circuit::SourceWaveform;
     use sfet_devices::mosfet::MosfetModel;
     use sfet_devices::ptm::PtmParams;
@@ -1136,6 +1182,70 @@ mod tests {
         );
         let v = r.voltage("out").unwrap();
         assert!((v.value_at(2e-12) - (1.0 - (-2.0f64).exp())).abs() < 0.02);
+    }
+
+    /// A persistent NaN poison (`nan@STEP`) models real numerical
+    /// breakdown: the recovery ladder retries down to `dtmin`, every
+    /// attempt stays poisoned, and the run ends with a named
+    /// [`NumericError::NonFinite`] — never a panic and never a silently
+    /// "converged" NaN waveform.
+    #[test]
+    fn injected_nan_is_a_named_error_not_a_panic() {
+        let ckt = staircase_circuit();
+        let tstop = 300e-12;
+        let opts = SimOptions::for_duration(tstop, 600)
+            .with_fault_plan(FaultPlan::new().with_nan_from(10));
+        match transient(&ckt, tstop, &opts) {
+            Err(SimError::Numeric(NumericError::NonFinite { context })) => {
+                assert!(
+                    context.contains("transient Newton solve"),
+                    "context names the stage: {context}"
+                );
+                assert!(
+                    context.contains("v(") || context.contains("i("),
+                    "context names the first bad unknown: {context}"
+                );
+            }
+            other => panic!("expected NonFinite, got {other:?}"),
+        }
+        // The same plan through the iterative backend takes the same
+        // non-finite guard path.
+        let opts = SimOptions::for_duration(tstop, 600)
+            .with_solver(LinearSolver::Iterative)
+            .with_fault_plan(FaultPlan::new().with_nan_from(10));
+        assert!(matches!(
+            transient(&ckt, tstop, &opts),
+            Err(SimError::Numeric(NumericError::NonFinite { .. }))
+        ));
+    }
+
+    /// The GMRES backend reproduces the direct-solver waveform on a
+    /// PTM-switching transient and reports its iteration counters.
+    #[test]
+    fn iterative_backend_matches_sparse_on_staircase() {
+        let ckt = staircase_circuit();
+        let tstop = 300e-12;
+        let sparse = transient(
+            &ckt,
+            tstop,
+            &SimOptions::for_duration(tstop, 600).with_solver(LinearSolver::Sparse),
+        )
+        .unwrap();
+        let gmres = transient(
+            &ckt,
+            tstop,
+            &SimOptions::for_duration(tstop, 600).with_solver(LinearSolver::Iterative),
+        )
+        .unwrap();
+        assert!(gmres.stats().solver.gmres_iterations > 0);
+        let vs = sparse.voltage("vc").unwrap();
+        let vg = gmres.voltage("vc").unwrap();
+        for &t in &[50e-12, 150e-12, 250e-12] {
+            assert!(
+                (vs.value_at(t) - vg.value_at(t)).abs() < 1e-6,
+                "waveforms agree at t={t:e}"
+            );
+        }
     }
 
     #[test]

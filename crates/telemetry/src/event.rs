@@ -202,6 +202,12 @@ pub mod names {
     pub const SOLVER_PATTERN_REBUILDS: &str = "solver.pattern_rebuilds";
     /// Refactorisations rejected for pivot degradation and retried fully.
     pub const SOLVER_PIVOT_FALLBACKS: &str = "solver.pivot_fallbacks";
+    /// GMRES inner (Arnoldi) iterations across all iterative solves.
+    pub const SOLVER_GMRES_ITERS: &str = "solver.gmres.iters";
+    /// GMRES restart cycles beyond the first per solve.
+    pub const SOLVER_GMRES_RESTARTS: &str = "solver.gmres.restarts";
+    /// Iterative solves that stagnated and fell back to a direct LU.
+    pub const SOLVER_GMRES_FALLBACKS: &str = "solver.gmres.fallbacks";
 
     // --- Histograms. ---
     /// Accepted transient step sizes \[s\].
