@@ -1,0 +1,99 @@
+//! `sfet-serve` — run the simulation job server from the command line.
+//!
+//! ```text
+//! sfet-serve [--addr 127.0.0.1:8787] [--workers N] [--queue N] \
+//!            [--store DIR] [--telemetry FILE.jsonl]
+//! ```
+//!
+//! Blocks until `POST /v1/shutdown` (or process signal), draining
+//! in-flight jobs before exiting. See `docs/SERVE.md` for the API.
+
+use std::sync::Arc;
+
+use sfet_serve::{ServeConfig, Server};
+use sfet_telemetry::{JsonlSink, Telemetry};
+
+struct Args {
+    addr: String,
+    workers: usize,
+    queue: usize,
+    store: String,
+    telemetry: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sfet-serve [--addr HOST:PORT] [--workers N] [--queue N] \
+         [--store DIR] [--telemetry FILE.jsonl]\n\
+         defaults: --addr 127.0.0.1:8787 --workers <cores> --queue 64 --store ./sfet-results"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: "127.0.0.1:8787".into(),
+        workers: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2),
+        queue: 64,
+        store: "./sfet-results".into(),
+        telemetry: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr"),
+            "--workers" => args.workers = value("--workers").parse().unwrap_or_else(|_| usage()),
+            "--queue" => args.queue = value("--queue").parse().unwrap_or_else(|_| usage()),
+            "--store" => args.store = value("--store"),
+            "--telemetry" => args.telemetry = Some(value("--telemetry")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let telemetry = match &args.telemetry {
+        Some(path) => match std::fs::File::create(path) {
+            Ok(file) => Telemetry::new(JsonlSink::new(std::io::BufWriter::new(file))),
+            Err(e) => {
+                eprintln!("cannot open telemetry sink {path}: {e}");
+                std::process::exit(1)
+            }
+        },
+        None => Telemetry::disabled(),
+    };
+    let cfg = ServeConfig::new(&args.store)
+        .with_workers(args.workers)
+        .with_queue_capacity(args.queue)
+        .with_telemetry(telemetry);
+    let server = match Server::bind(&args.addr, cfg) {
+        Ok(s) => Arc::new(s),
+        Err(e) => {
+            eprintln!("cannot start server on {}: {e}", args.addr);
+            std::process::exit(1)
+        }
+    };
+    eprintln!(
+        "sfet-serve listening on http://{} (workers={}, queue={}, store={})",
+        server.addr(),
+        args.workers,
+        args.queue,
+        args.store
+    );
+    server.serve();
+    eprintln!("sfet-serve drained and stopped");
+}

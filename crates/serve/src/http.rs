@@ -1,0 +1,287 @@
+//! Minimal HTTP/1.1 framing over `std::net` — just enough protocol for
+//! the job API, hand-rolled because the workspace is dependency-free.
+//!
+//! Supported: request-line + header parsing, `Content-Length` bodies
+//! (bounded by [`MAX_BODY_BYTES`]), fixed-length and chunked responses,
+//! and `Connection: close` semantics (every exchange is one
+//! request/response; no keep-alive state machine to get wrong). Anything
+//! outside that — upgrade requests, transfer-encoded bodies, pipelining —
+//! is answered with a named 4xx rather than guessed at.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+use crate::error::ApiError;
+
+/// Hard cap on request bodies (netlists are text; 1 MiB is generous).
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// Hard cap on the request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 16 << 10;
+
+/// A parsed HTTP request: method, path (query string stripped), body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Decoded path, without any `?query` suffix.
+    pub path: String,
+    /// Raw body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Reads one request off `stream`.
+    ///
+    /// # Errors
+    ///
+    /// A 4xx [`ApiError`] for malformed framing, oversized heads or
+    /// bodies, or unsupported transfer encodings. I/O errors (client
+    /// hung up) surface as `invalid_request`.
+    pub fn read_from(stream: &mut TcpStream) -> Result<Request, ApiError> {
+        let mut reader = BufReader::new(stream);
+        let request_line = read_line_bounded(&mut reader)?;
+        let mut parts = request_line.split_whitespace();
+        let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(m), Some(t), Some(v)) => (m, t, v),
+            _ => return Err(ApiError::invalid_request("malformed HTTP request line")),
+        };
+        if !version.starts_with("HTTP/1.") {
+            return Err(ApiError::invalid_request(format!(
+                "unsupported protocol version {version}"
+            )));
+        }
+
+        let mut content_length: usize = 0;
+        let mut head_bytes = request_line.len();
+        loop {
+            let line = read_line_bounded(&mut reader)?;
+            head_bytes += line.len() + 2;
+            if head_bytes > MAX_HEAD_BYTES {
+                return Err(ApiError::invalid_request("request head too large"));
+            }
+            if line.is_empty() {
+                break;
+            }
+            let Some((name, value)) = line.split_once(':') else {
+                return Err(ApiError::invalid_request("malformed header line"));
+            };
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim();
+            match name.as_str() {
+                "content-length" => {
+                    content_length = value
+                        .parse()
+                        .map_err(|_| ApiError::invalid_request("unparseable Content-Length"))?;
+                    if content_length > MAX_BODY_BYTES {
+                        return Err(ApiError::payload_too_large(MAX_BODY_BYTES));
+                    }
+                }
+                "transfer-encoding" => {
+                    return Err(ApiError::invalid_request(
+                        "transfer-encoded request bodies are not supported; \
+                         send Content-Length",
+                    ));
+                }
+                _ => {}
+            }
+        }
+
+        let mut body = vec![0u8; content_length];
+        reader
+            .read_exact(&mut body)
+            .map_err(|e| ApiError::invalid_request(format!("short request body: {e}")))?;
+
+        let path = target.split('?').next().unwrap_or(target).to_owned();
+        Ok(Request {
+            method: method.to_ascii_uppercase(),
+            path,
+            body,
+        })
+    }
+
+    /// The body parsed as UTF-8 (the JSON layer takes it from here).
+    ///
+    /// # Errors
+    ///
+    /// 400 `invalid_request` on non-UTF-8 bytes.
+    pub fn body_utf8(&self) -> Result<&str, ApiError> {
+        std::str::from_utf8(&self.body)
+            .map_err(|_| ApiError::invalid_request("request body is not valid UTF-8"))
+    }
+}
+
+/// Reads one CRLF-terminated line, rejecting lines past the head cap.
+fn read_line_bounded(reader: &mut BufReader<&mut TcpStream>) -> Result<String, ApiError> {
+    let mut line = String::new();
+    let n = reader
+        .read_line(&mut line)
+        .map_err(|e| ApiError::invalid_request(format!("reading request: {e}")))?;
+    if n == 0 {
+        return Err(ApiError::invalid_request("connection closed mid-request"));
+    }
+    if line.len() > MAX_HEAD_BYTES {
+        return Err(ApiError::invalid_request("request line too long"));
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}
+
+/// Reason phrases for the statuses this server emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a fixed-length response and flushes. `extra_headers` are
+/// pre-formatted `Name: value` lines.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[String],
+    body: &str,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n",
+        reason(status),
+        body.len()
+    );
+    for h in extra_headers {
+        head.push_str(h);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Writes a JSON response.
+pub fn write_json(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    write_response(stream, status, "application/json", &[], body)
+}
+
+/// Writes an [`ApiError`] response, advertising `Retry-After` when the
+/// status carries one.
+pub fn write_error(stream: &mut TcpStream, err: &ApiError) -> std::io::Result<()> {
+    let mut extra = Vec::new();
+    if let Some(secs) = err.retry_after() {
+        extra.push(format!("Retry-After: {secs}"));
+    }
+    write_response(
+        stream,
+        err.status,
+        "application/json",
+        &extra,
+        &err.to_body(),
+    )
+}
+
+/// Starts a Server-Sent-Events response: status line + headers only;
+/// the caller streams `event:`/`data:` blocks afterwards and closes the
+/// connection to end the stream.
+pub fn begin_sse(stream: &mut TcpStream) -> std::io::Result<()> {
+    stream.write_all(
+        b"HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\n\
+          Cache-Control: no-store\r\nConnection: close\r\n\r\n",
+    )?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    /// Runs `client_bytes` against a parse on the accept side.
+    fn parse_raw(client_bytes: &[u8]) -> Result<Request, ApiError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let bytes = client_bytes.to_vec();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&bytes).unwrap();
+            s.flush().unwrap();
+            // Half-close so a short body reads EOF instead of hanging,
+            // then hold the read side until the server is done parsing.
+            s.shutdown(std::net::Shutdown::Write).unwrap();
+            let mut sink = Vec::new();
+            let _ = s.read_to_end(&mut sink);
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let result = Request::read_from(&mut stream);
+        drop(stream);
+        client.join().unwrap();
+        result
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req =
+            parse_raw(b"POST /v1/jobs HTTP/1.1\r\nHost: x\r\nContent-Length: 2\r\n\r\n{}").unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/jobs");
+        assert_eq!(req.body_utf8().unwrap(), "{}");
+    }
+
+    #[test]
+    fn strips_query_and_upcases_method() {
+        let req = parse_raw(b"get /v1/healthz?probe=1 HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/v1/healthz");
+    }
+
+    #[test]
+    fn rejects_bad_framing_with_named_errors() {
+        assert_eq!(
+            parse_raw(b"nonsense\r\n\r\n").unwrap_err().code,
+            "invalid_request"
+        );
+        assert_eq!(
+            parse_raw(b"GET / SPDY/3\r\n\r\n").unwrap_err().code,
+            "invalid_request"
+        );
+        assert_eq!(
+            parse_raw(b"POST / HTTP/1.1\r\nContent-Length: zebra\r\n\r\n")
+                .unwrap_err()
+                .code,
+            "invalid_request"
+        );
+        assert_eq!(
+            parse_raw(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+                .unwrap_err()
+                .code,
+            "invalid_request"
+        );
+        let huge = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", 2 << 20);
+        assert_eq!(
+            parse_raw(huge.as_bytes()).unwrap_err().code,
+            "payload_too_large"
+        );
+    }
+
+    #[test]
+    fn short_body_is_an_error_not_a_hang() {
+        assert_eq!(
+            parse_raw(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\n{}")
+                .unwrap_err()
+                .code,
+            "invalid_request"
+        );
+    }
+}

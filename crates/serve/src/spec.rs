@@ -1,0 +1,427 @@
+//! Job specification: from a submit-request JSON body to a runnable
+//! (circuit, stop time, options) triple plus its dedup cache key.
+//!
+//! Two job sources exist:
+//!
+//! * **Built-in scenarios** (`"scenario"` field): named circuit
+//!   generators with a small parameter object — the paper's workloads
+//!   exposed as a service. See [`SCENARIOS`].
+//! * **Netlists** (`"netlist"` field): a SPICE-like deck parsed by
+//!   `sfet-circuit`; its `.tran` directive supplies `dtmax` and `tstop`.
+//!
+//! The cache key combines the SFCK circuit-shape fingerprint
+//! ([`sfet_sim::circuit_fingerprint`]) with a canonicalisation of every
+//! result-relevant input the fingerprint cannot see (element values via
+//! the scenario parameterisation or the netlist text, tolerances, step
+//! bounds) — see [`JobSpec::cache_key`].
+
+use sfet_circuit::parse::{parse_netlist, Analysis};
+use sfet_circuit::Circuit;
+use sfet_devices::ptm::PtmParams;
+use sfet_pdn::power_gate::PowerGateScenario;
+use sfet_sim::{circuit_fingerprint, SimOptions};
+
+use crate::error::ApiError;
+use crate::json::{fmt_f64, Json};
+use crate::protocol::{canonical_options, OptionsPatch};
+
+/// Names of the built-in scenarios a job may request.
+pub const SCENARIOS: &[&str] = &["rc_step", "power_gate_wake"];
+
+/// Hard cap on request execution policy so one job cannot hog a worker
+/// with an absurd retry ladder.
+pub const MAX_RETRIES: usize = 8;
+
+/// A fully resolved, runnable job specification.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Human-readable label (scenario name or `netlist`), for status
+    /// reporting.
+    pub label: String,
+    /// The circuit to simulate.
+    pub circuit: Circuit,
+    /// Transient stop time \[s\].
+    pub tstop: f64,
+    /// Resolved simulation options (defaults + client patch applied).
+    pub options: SimOptions,
+    /// Retry budget: attempt `k` runs under `options.escalated(k)`.
+    pub retries: usize,
+    /// Write a checkpoint every this many accepted steps (0 disables);
+    /// retries resume from the last snapshot.
+    pub checkpoint_every: usize,
+    /// Canonicalised value-level inputs (scenario parameters or netlist
+    /// text digest) folded into the cache key alongside the shape
+    /// fingerprint.
+    value_canon: String,
+}
+
+impl JobSpec {
+    /// Parses and resolves a submit-request body.
+    ///
+    /// # Errors
+    ///
+    /// A 4xx [`ApiError`] naming what was wrong (`invalid_request`,
+    /// `unknown_scenario`, `netlist_error`, or `invalid_options`).
+    pub fn from_request(body: &Json) -> Result<JobSpec, ApiError> {
+        if !matches!(body, Json::Obj(_)) {
+            return Err(ApiError::invalid_request("request body must be an object"));
+        }
+        let patch = OptionsPatch::from_json(body.get("options"))?;
+        let retries = uint_field(body, "retries", 1)?;
+        if retries > MAX_RETRIES {
+            return Err(ApiError::invalid_request(format!(
+                "retries must be at most {MAX_RETRIES}"
+            )));
+        }
+        let checkpoint_every = uint_field(body, "checkpoint_every", 0)?;
+
+        let mut spec = match (body.get("scenario"), body.get("netlist")) {
+            (Some(_), Some(_)) => {
+                return Err(ApiError::invalid_request(
+                    "submit either \"scenario\" or \"netlist\", not both",
+                ));
+            }
+            (Some(name), None) => {
+                let name = name
+                    .as_str()
+                    .ok_or_else(|| ApiError::invalid_request("\"scenario\" must be a string"))?;
+                scenario_spec(name, body.get("params"), &patch)?
+            }
+            (None, Some(text)) => {
+                let text = text
+                    .as_str()
+                    .ok_or_else(|| ApiError::invalid_request("\"netlist\" must be a string"))?;
+                netlist_spec(text, &patch)?
+            }
+            (None, None) => {
+                return Err(ApiError::invalid_request(
+                    "request needs a \"scenario\" or \"netlist\" field",
+                ));
+            }
+        };
+        spec.retries = retries;
+        spec.checkpoint_every = checkpoint_every;
+        Ok(spec)
+    }
+
+    /// The content-addressed cache key of this job:
+    /// `"{shape_fingerprint:016x}-{value_hash:016x}"`, where the first
+    /// half is the SFCK fingerprint of (circuit shape, tstop, method)
+    /// and the second is an FNV-1a hash over the canonicalised resolved
+    /// options plus the value-level inputs. Execution policy (retries,
+    /// checkpoint cadence) is excluded: it cannot change the result.
+    pub fn cache_key(&self) -> String {
+        let shape = circuit_fingerprint(&self.circuit, self.tstop, self.options.method);
+        let canon = canonical_options(&self.options, self.tstop, &self.value_canon);
+        format!("{shape:016x}-{:016x}", fnv1a(canon.as_bytes()))
+    }
+}
+
+/// FNV-1a over a byte string (the same construction the SFCK checkpoint
+/// fingerprint uses, applied to the value-level canonical string).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn uint_field(body: &Json, key: &str, default: usize) -> Result<usize, ApiError> {
+    match body.get(key) {
+        None => Ok(default),
+        Some(v) => {
+            let n = v.as_f64().ok_or_else(|| {
+                ApiError::invalid_request(format!("{key} must be a non-negative integer"))
+            })?;
+            if n < 0.0 || n.fract() != 0.0 || n > 1e15 {
+                return Err(ApiError::invalid_request(format!(
+                    "{key} must be a non-negative integer"
+                )));
+            }
+            Ok(n as usize)
+        }
+    }
+}
+
+fn num_param(params: Option<&Json>, key: &str, default: f64) -> Result<f64, ApiError> {
+    match params.and_then(|p| p.get(key)) {
+        None => Ok(default),
+        Some(v) => v
+            .as_f64()
+            .ok_or_else(|| ApiError::invalid_request(format!("params.{key} must be a number"))),
+    }
+}
+
+fn bool_param(params: Option<&Json>, key: &str, default: bool) -> Result<bool, ApiError> {
+    match params.and_then(|p| p.get(key)) {
+        None => Ok(default),
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| ApiError::invalid_request(format!("params.{key} must be a boolean"))),
+    }
+}
+
+fn check_params(params: Option<&Json>, scenario: &str, accepted: &[&str]) -> Result<(), ApiError> {
+    let Some(params) = params else {
+        return Ok(());
+    };
+    let Json::Obj(pairs) = params else {
+        return Err(ApiError::invalid_request("\"params\" must be an object"));
+    };
+    for (key, _) in pairs {
+        if !accepted.contains(&key.as_str()) {
+            return Err(ApiError::invalid_request(format!(
+                "scenario {scenario:?} has no parameter {key:?} (accepted: {})",
+                accepted.join(", ")
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn scenario_spec(
+    name: &str,
+    params: Option<&Json>,
+    patch: &OptionsPatch,
+) -> Result<JobSpec, ApiError> {
+    match name {
+        "rc_step" => rc_step_spec(params, patch),
+        "power_gate_wake" => power_gate_spec(params, patch),
+        other => Err(ApiError::unknown_scenario(other, SCENARIOS)),
+    }
+}
+
+/// `rc_step`: a single-pole RC low-pass driven by a ramped step — the
+/// cheap smoke/load-test workload. Parameters: `r` \[Ω\], `c` \[F\],
+/// `v` (step target \[V\]), `t_ramp` \[s\], `tstop` \[s\].
+fn rc_step_spec(params: Option<&Json>, patch: &OptionsPatch) -> Result<JobSpec, ApiError> {
+    check_params(params, "rc_step", &["r", "c", "v", "t_ramp", "tstop"])?;
+    let r = num_param(params, "r", 1e3)?;
+    let c = num_param(params, "c", 1e-15)?;
+    let v = num_param(params, "v", 1.0)?;
+    let t_ramp = num_param(params, "t_ramp", 1e-12)?;
+    let tstop = num_param(params, "tstop", 10e-12)?;
+    if !(r > 0.0 && c > 0.0 && t_ramp > 0.0 && tstop > 0.0) {
+        return Err(ApiError::invalid_request(
+            "rc_step needs positive r, c, t_ramp, tstop",
+        ));
+    }
+    let mut ckt = Circuit::new();
+    let (inp, out, gnd) = (ckt.node("in"), ckt.node("out"), Circuit::ground());
+    let build = (|| {
+        ckt.add_voltage_source(
+            "V1",
+            inp,
+            gnd,
+            sfet_circuit::SourceWaveform::ramp(0.0, v, 0.0, t_ramp),
+        )?;
+        ckt.add_resistor("R1", inp, out, r)?;
+        ckt.add_capacitor("C1", out, gnd, c)
+    })();
+    build.map_err(ApiError::netlist_error)?;
+    let options = patch.apply(SimOptions::for_duration(tstop, 400))?;
+    Ok(JobSpec {
+        label: "rc_step".into(),
+        circuit: ckt,
+        tstop,
+        options,
+        retries: 0,
+        checkpoint_every: 0,
+        value_canon: format!(
+            "rc_step;r={};c={};v={};t_ramp={}",
+            fmt_f64(r),
+            fmt_f64(c),
+            fmt_f64(v),
+            fmt_f64(t_ramp)
+        ),
+    })
+}
+
+/// `power_gate_wake`: the paper's Fig. 10 power-gate wake-up on a shared
+/// PDN ([`PowerGateScenario`]). Parameters: `wake_ramp` \[s\],
+/// `t_stop` \[s\], `i_active` \[A\], and `soft` (boolean — insert the
+/// scaled VO₂ Soft-FET header gate PTM).
+fn power_gate_spec(params: Option<&Json>, patch: &OptionsPatch) -> Result<JobSpec, ApiError> {
+    check_params(
+        params,
+        "power_gate_wake",
+        &["wake_ramp", "t_stop", "i_active", "soft"],
+    )?;
+    let base = PowerGateScenario::default();
+    let wake_ramp = num_param(params, "wake_ramp", base.wake_ramp)?;
+    let t_stop = num_param(params, "t_stop", base.t_stop)?;
+    let i_active = num_param(params, "i_active", base.i_active)?;
+    let soft = bool_param(params, "soft", false)?;
+    let mut scenario = PowerGateScenario {
+        wake_ramp,
+        t_stop,
+        i_active,
+        ..base
+    };
+    if soft {
+        scenario = scenario.with_soft_fet(PtmParams::vo2_default());
+    }
+    let circuit = scenario.build().map_err(ApiError::netlist_error)?;
+    // Same default density as `PowerGateScenario::run`.
+    let options = patch.apply(SimOptions::for_duration(scenario.t_stop, 4000))?;
+    Ok(JobSpec {
+        label: "power_gate_wake".into(),
+        circuit,
+        tstop: scenario.t_stop,
+        options,
+        retries: 0,
+        checkpoint_every: 0,
+        value_canon: format!(
+            "power_gate_wake;wake_ramp={};t_stop={};i_active={};soft={soft}",
+            fmt_f64(wake_ramp),
+            fmt_f64(t_stop),
+            fmt_f64(i_active)
+        ),
+    })
+}
+
+fn netlist_spec(text: &str, patch: &OptionsPatch) -> Result<JobSpec, ApiError> {
+    let parsed = parse_netlist(text).map_err(ApiError::netlist_error)?;
+    let Some(Analysis::Tran { dtmax, tstop }) = parsed.analyses.first().cloned() else {
+        return Err(ApiError::netlist_error(
+            "netlist needs a `.tran <dtmax> <tstop>` directive",
+        ));
+    };
+    let mut base = SimOptions::for_duration(tstop, 16);
+    base.dtmax = dtmax;
+    let options = patch.apply(base)?;
+    Ok(JobSpec {
+        label: "netlist".into(),
+        circuit: parsed.circuit,
+        tstop,
+        options,
+        retries: 0,
+        checkpoint_every: 0,
+        // The netlist text itself is the value-level identity: two decks
+        // that differ only in comments/whitespace hash differently — a
+        // conservative (never wrongly-shared) cache.
+        value_canon: format!(
+            "netlist;sha={:016x};len={}",
+            fnv1a(text.as_bytes()),
+            text.len()
+        ),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(body: &str) -> Result<JobSpec, ApiError> {
+        JobSpec::from_request(&Json::parse(body).unwrap())
+    }
+
+    #[test]
+    fn rc_step_resolves_with_defaults() {
+        let spec = parse(r#"{"scenario":"rc_step"}"#).unwrap();
+        assert_eq!(spec.label, "rc_step");
+        assert_eq!(spec.tstop, 10e-12);
+        assert_eq!(spec.retries, 1);
+        assert_eq!(spec.circuit.elements().len(), 3);
+    }
+
+    #[test]
+    fn identical_requests_share_a_cache_key() {
+        let a = parse(r#"{"scenario":"rc_step","params":{"r":2000.0}}"#).unwrap();
+        let b = parse(r#"{"scenario":"rc_step","params":{"r":2e3},"retries":3}"#).unwrap();
+        assert_eq!(
+            a.cache_key(),
+            b.cache_key(),
+            "retries must not split the cache"
+        );
+        // Spelling out a default == omitting it.
+        let c = parse(r#"{"scenario":"rc_step","params":{"r":2e3,"c":1e-15}}"#).unwrap();
+        assert_eq!(a.cache_key(), c.cache_key());
+    }
+
+    #[test]
+    fn value_changes_split_the_cache_key() {
+        let a = parse(r#"{"scenario":"rc_step"}"#).unwrap();
+        let b = parse(r#"{"scenario":"rc_step","params":{"r":999.0}}"#).unwrap();
+        let c = parse(r#"{"scenario":"rc_step","options":{"reltol":1e-6}}"#).unwrap();
+        let d = parse(r#"{"scenario":"rc_step","params":{"tstop":2e-11}}"#).unwrap();
+        let keys = [a.cache_key(), b.cache_key(), c.cache_key(), d.cache_key()];
+        for i in 0..keys.len() {
+            for j in i + 1..keys.len() {
+                assert_ne!(keys[i], keys[j], "keys {i} and {j} must differ");
+            }
+        }
+    }
+
+    #[test]
+    fn power_gate_soft_flag_changes_circuit_and_key() {
+        let hard = parse(r#"{"scenario":"power_gate_wake","params":{"t_stop":8e-9}}"#).unwrap();
+        let soft = parse(r#"{"scenario":"power_gate_wake","params":{"t_stop":8e-9,"soft":true}}"#)
+            .unwrap();
+        assert_ne!(hard.cache_key(), soft.cache_key());
+        assert!(!soft.circuit.elements().is_empty());
+    }
+
+    #[test]
+    fn netlist_takes_tran_directive() {
+        let deck = "V1 in 0 DC 1.0\nR1 in out 1k\nC1 out 0 2f\n.tran 0.1p 50p\n.end";
+        let spec = parse(&format!(
+            r#"{{"netlist":{}}}"#,
+            Json::Str(deck.into()).to_json()
+        ))
+        .unwrap();
+        assert_eq!(spec.tstop, 50e-12);
+        assert_eq!(spec.options.dtmax, 0.1e-12);
+    }
+
+    #[test]
+    fn bad_requests_get_named_errors() {
+        assert_eq!(parse(r#"{}"#).unwrap_err().code, "invalid_request");
+        assert_eq!(
+            parse(r#"{"scenario":"nope"}"#).unwrap_err().code,
+            "unknown_scenario"
+        );
+        assert_eq!(
+            parse(r#"{"netlist":"R1 a b 1k\n.end"}"#).unwrap_err().code,
+            "netlist_error"
+        );
+        assert_eq!(
+            parse(r#"{"netlist":"garbage card\n.tran 1p 2p"}"#)
+                .unwrap_err()
+                .code,
+            "netlist_error"
+        );
+        assert_eq!(
+            parse(r#"{"scenario":"rc_step","params":{"r":-5.0}}"#)
+                .unwrap_err()
+                .code,
+            "invalid_request"
+        );
+        assert_eq!(
+            parse(r#"{"scenario":"rc_step","params":{"bogus":1}}"#)
+                .unwrap_err()
+                .code,
+            "invalid_request"
+        );
+        assert_eq!(
+            parse(r#"{"scenario":"rc_step","options":{"dtmax":-1.0}}"#)
+                .unwrap_err()
+                .code,
+            "invalid_options"
+        );
+        assert_eq!(
+            parse(r#"{"scenario":"rc_step","retries":99}"#)
+                .unwrap_err()
+                .code,
+            "invalid_request"
+        );
+        assert_eq!(
+            parse(r#"{"scenario":"rc_step","netlist":"x"}"#)
+                .unwrap_err()
+                .code,
+            "invalid_request"
+        );
+    }
+}

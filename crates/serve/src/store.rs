@@ -1,0 +1,159 @@
+//! Content-addressed on-disk result store.
+//!
+//! One file per distinct simulation: `<dir>/<cache-key>.json`, holding
+//! the encoded result document exactly as `GET /v1/jobs/{id}/result`
+//! serves it. Writes go through a sibling `.tmp` and an atomic rename —
+//! the same torn-write discipline as the SFCK checkpoints — so a crash
+//! mid-write never leaves a corrupt entry, and concurrent writers of the
+//! same key are harmless (both write identical bytes; the last rename
+//! wins).
+//!
+//! The store is the *single* source of result bytes: even the job that
+//! just ran a simulation serves its result by reading its own store
+//! entry back, so a cache hit and a fresh run are byte-identical by
+//! construction.
+
+use std::path::{Path, PathBuf};
+
+/// On-disk result store rooted at one directory.
+///
+/// # Example
+///
+/// ```no_run
+/// use sfet_serve::store::ResultStore;
+///
+/// let store = ResultStore::open("/tmp/sfet-results")?;
+/// store.put("0123456789abcdef-fedcba9876543210", "{\"result\":\"tran.v1\"}")?;
+/// assert!(store.contains("0123456789abcdef-fedcba9876543210"));
+/// # Ok::<(), std::io::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ResultStore {
+    dir: PathBuf,
+}
+
+impl ResultStore {
+    /// Opens (creating if needed) a store rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// The directory-creation failure, if any.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<ResultStore> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(ResultStore { dir })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the entry for `key` (hex cache key; see
+    /// [`crate::spec::JobSpec::cache_key`]).
+    pub fn path_for(&self, key: &str) -> PathBuf {
+        debug_assert!(
+            key.bytes().all(|b| b.is_ascii_hexdigit() || b == b'-'),
+            "cache keys are hex"
+        );
+        self.dir.join(format!("{key}.json"))
+    }
+
+    /// Scratch path for per-job checkpoints (retries resume from here);
+    /// cleaned up by the scheduler once the job finishes.
+    pub fn checkpoint_path_for(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}.ckpt"))
+    }
+
+    /// `true` when a result for `key` is stored.
+    pub fn contains(&self, key: &str) -> bool {
+        self.path_for(key).exists()
+    }
+
+    /// Reads the stored result document for `key`.
+    ///
+    /// # Errors
+    ///
+    /// The underlying I/O error (`NotFound` when the key is absent).
+    pub fn get(&self, key: &str) -> std::io::Result<String> {
+        std::fs::read_to_string(self.path_for(key))
+    }
+
+    /// Stores `document` under `key` atomically (tmp + rename).
+    ///
+    /// # Errors
+    ///
+    /// The underlying I/O error.
+    pub fn put(&self, key: &str, document: &str) -> std::io::Result<()> {
+        let path = self.path_for(key);
+        let mut tmp_os = path.as_os_str().to_os_string();
+        tmp_os.push(".tmp");
+        let tmp = PathBuf::from(tmp_os);
+        std::fs::write(&tmp, document)?;
+        std::fs::rename(&tmp, &path)
+    }
+
+    /// Number of stored entries (diagnostic; walks the directory).
+    pub fn len(&self) -> usize {
+        std::fs::read_dir(&self.dir)
+            .map(|entries| {
+                entries
+                    .flatten()
+                    .filter(|e| e.path().extension().map(|x| x == "json").unwrap_or(false))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// `true` when the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_store(name: &str) -> ResultStore {
+        let dir =
+            std::env::temp_dir().join(format!("sfet-store-test-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ResultStore::open(dir).unwrap()
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let store = tmp_store("roundtrip");
+        let key = "00aa-11bb";
+        assert!(!store.contains(key));
+        store.put(key, "{\"x\":1}").unwrap();
+        assert!(store.contains(key));
+        assert_eq!(store.get(key).unwrap(), "{\"x\":1}");
+        assert_eq!(store.len(), 1);
+        // Overwrite is atomic and last-wins.
+        store.put(key, "{\"x\":2}").unwrap();
+        assert_eq!(store.get(key).unwrap(), "{\"x\":2}");
+        assert_eq!(store.len(), 1);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn missing_key_is_not_found() {
+        let store = tmp_store("missing");
+        assert_eq!(
+            store.get("dead-beef").unwrap_err().kind(),
+            std::io::ErrorKind::NotFound
+        );
+        assert!(store.is_empty());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn tmp_files_do_not_count_as_entries() {
+        let store = tmp_store("tmpfiles");
+        std::fs::write(store.dir().join("abc.json.tmp"), "partial").unwrap();
+        assert_eq!(store.len(), 0);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+}

@@ -1,0 +1,287 @@
+//! Loopback integration suite: a real `Server` on 127.0.0.1, exercised
+//! through the real `Client` over TCP — the acceptance tests for the
+//! service contract:
+//!
+//! * a served result is **bitwise identical** to the direct
+//!   `sfet_sim::transient` call,
+//! * duplicate submissions are answered from the result store with
+//!   **exactly one** simulation run,
+//! * a full queue answers 429 + `Retry-After` instead of blocking,
+//! * malformed input gets a named 4xx, never a panic or a hang,
+//! * graceful shutdown drains in-flight jobs,
+//! * `docs/SERVE.md` documents every endpoint the router answers.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use sfet_pdn::power_gate::PowerGateScenario;
+use sfet_serve::{encode_tran_result, Client, ServeConfig, Server, ENDPOINTS};
+use sfet_sim::{transient, SimOptions};
+
+fn start(
+    name: &str,
+    workers: usize,
+    queue: usize,
+) -> (
+    Arc<Server>,
+    std::thread::JoinHandle<()>,
+    Client,
+    std::path::PathBuf,
+) {
+    let dir = std::env::temp_dir().join(format!("sfet-loopback-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = ServeConfig::new(&dir)
+        .with_workers(workers)
+        .with_queue_capacity(queue);
+    let server = Arc::new(Server::bind("127.0.0.1:0", cfg).expect("bind loopback"));
+    let handle = server.spawn();
+    let client = Client::new(server.addr());
+    (server, handle, client, dir)
+}
+
+fn stop(handle: std::thread::JoinHandle<()>, client: &Client, dir: &std::path::Path) {
+    let _ = client.shutdown();
+    handle.join().expect("accept loop");
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn served_power_gate_result_is_bitwise_identical_to_direct_call() {
+    let (_server, handle, client, dir) = start("bitwise", 2, 16);
+    let body = r#"{"scenario":"power_gate_wake","params":{"t_stop":6e-9}}"#;
+
+    // Through the service: submit, follow SSE to the terminal event,
+    // fetch the result document.
+    let submitted = client.submit_raw(body).unwrap();
+    assert_eq!(
+        submitted.status, 202,
+        "fresh job is accepted: {}",
+        submitted.body
+    );
+    let response = submitted.json().unwrap();
+    let job_id = response.get("job_id").unwrap().as_str().unwrap().to_owned();
+    assert_eq!(response.get("cached").unwrap().as_bool(), Some(false));
+
+    let events = client.follow_events(&job_id).unwrap();
+    let (terminal, _) = events.last().expect("stream has events");
+    assert_eq!(terminal, "done", "events: {events:?}");
+    assert!(
+        events.iter().any(|(name, _)| name == "telemetry"),
+        "simulation telemetry reaches the SSE stream: {events:?}"
+    );
+
+    let served = client.result(&job_id).unwrap();
+    assert_eq!(served.status, 200);
+
+    // Direct library call, same inputs the scenario resolver uses.
+    let scenario = PowerGateScenario {
+        t_stop: 6e-9,
+        ..PowerGateScenario::default()
+    };
+    let circuit = scenario.build().unwrap();
+    let opts = SimOptions::for_duration(scenario.t_stop, 4000);
+    let direct = transient(&circuit, scenario.t_stop, &opts).unwrap();
+
+    assert_eq!(
+        served.body,
+        encode_tran_result(&direct),
+        "served result document must be byte-identical to the direct call"
+    );
+
+    // Belt and braces: spot-check a waveform's samples bit-for-bit
+    // through the JSON round trip.
+    let doc = served.json().unwrap();
+    let nodes = doc.get("nodes").unwrap();
+    let (name, samples) = match nodes {
+        sfet_serve::json::Json::Obj(pairs) => (&pairs[0].0, &pairs[0].1),
+        other => panic!("nodes is {other:?}"),
+    };
+    let direct_samples = direct.node_samples(name).unwrap();
+    let served_bits: Vec<u64> = samples
+        .as_arr()
+        .unwrap()
+        .iter()
+        .map(|v| v.as_f64().unwrap().to_bits())
+        .collect();
+    let direct_bits: Vec<u64> = direct_samples.iter().map(|v| v.to_bits()).collect();
+    assert_eq!(served_bits, direct_bits, "node {name} differs bitwise");
+
+    stop(handle, &client, &dir);
+}
+
+#[test]
+fn duplicate_submission_is_a_cache_hit_with_exactly_one_simulation() {
+    let (server, handle, client, dir) = start("dedup", 2, 16);
+    let body = r#"{"scenario":"rc_step","params":{"r":4700.0}}"#;
+
+    let first = client.submit_raw(body).unwrap();
+    assert_eq!(first.status, 202);
+    let first_id = first
+        .json()
+        .unwrap()
+        .get("job_id")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_owned();
+    client.follow_events(&first_id).unwrap();
+
+    let second = client.submit_raw(body).unwrap();
+    assert_eq!(second.status, 200, "cache hit answers 200 immediately");
+    let doc = second.json().unwrap();
+    assert_eq!(doc.get("cached").unwrap().as_bool(), Some(true));
+    assert_eq!(doc.get("state").unwrap().as_str(), Some("done"));
+    let second_id = doc.get("job_id").unwrap().as_str().unwrap().to_owned();
+
+    // Exactly one simulation ran across both submissions.
+    let stats = server.scheduler().stats();
+    assert_eq!(stats.sim_attempts.load(Ordering::Relaxed), 1);
+    assert_eq!(stats.cache_hits.load(Ordering::Relaxed), 1);
+
+    // Both jobs serve byte-identical documents.
+    let a = client.result(&first_id).unwrap();
+    let b = client.result(&second_id).unwrap();
+    assert_eq!(a.status, 200);
+    assert_eq!(a.body, b.body);
+
+    // And the health endpoint reflects the counters.
+    let health = client.health().unwrap().json().unwrap();
+    assert_eq!(health.get("cache_hits").unwrap().as_f64(), Some(1.0));
+
+    stop(handle, &client, &dir);
+}
+
+#[test]
+fn full_queue_answers_429_with_retry_after() {
+    let (_server, handle, client, dir) = start("backpressure", 1, 1);
+    let mut rejected = None;
+    for i in 0..40 {
+        // Distinct params defeat both the store and in-flight coalescing.
+        let body = format!(r#"{{"scenario":"rc_step","params":{{"r":{}.5}}}}"#, 100 + i);
+        let resp = client.submit_raw(&body).unwrap();
+        if resp.status == 429 {
+            rejected = Some(resp);
+            break;
+        }
+        assert_eq!(resp.status, 202, "non-429 submissions are accepted");
+    }
+    let resp = rejected.expect("a 40-job burst against queue=1 must see backpressure");
+    assert_eq!(resp.retry_after, Some(1), "429 advertises Retry-After");
+    let err = resp.as_api_error().unwrap();
+    assert_eq!(err.code, "queue_full");
+
+    stop(handle, &client, &dir);
+}
+
+#[test]
+fn malformed_requests_get_named_errors_never_hangs() {
+    let (server, handle, client, dir) = start("malformed", 1, 8);
+
+    let cases: &[(&str, u16, &str)] = &[
+        ("{not json", 400, "invalid_json"),
+        ("[1,2,3]", 400, "invalid_request"),
+        ("{}", 400, "invalid_request"),
+        (r#"{"scenario":"warp_drive"}"#, 400, "unknown_scenario"),
+        (
+            r#"{"scenario":"rc_step","options":{"bogus":1}}"#,
+            400,
+            "invalid_options",
+        ),
+        (r#"{"netlist":"R1 a b 1k\n.end"}"#, 400, "netlist_error"),
+    ];
+    for (body, status, code) in cases {
+        let resp = client.submit_raw(body).unwrap();
+        assert_eq!(resp.status, *status, "body {body:?} -> {}", resp.body);
+        assert_eq!(resp.as_api_error().unwrap().code, *code, "body {body:?}");
+    }
+
+    // Routing errors.
+    let resp = client.status("j-999999").unwrap();
+    assert_eq!(resp.status, 404);
+    assert_eq!(resp.as_api_error().unwrap().code, "not_found");
+    let resp = client.result("definitely-not-an-id").unwrap();
+    assert_eq!(resp.status, 404);
+
+    // Raw non-HTTP bytes are answered (with a 400), not hung on.
+    {
+        use std::io::{Read, Write};
+        let mut raw = std::net::TcpStream::connect(client_addr(&server)).unwrap();
+        raw.write_all(b"\x00\x01\x02 total garbage\r\n\r\n")
+            .unwrap();
+        raw.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut reply = String::new();
+        raw.read_to_string(&mut reply).unwrap();
+        assert!(reply.starts_with("HTTP/1.1 400"), "got: {reply}");
+    }
+
+    // The server is still alive and serving after all of the above.
+    assert_eq!(client.health().unwrap().status, 200);
+
+    stop(handle, &client, &dir);
+}
+
+fn client_addr(server: &Arc<Server>) -> std::net::SocketAddr {
+    server.addr()
+}
+
+#[test]
+fn shutdown_drains_inflight_jobs_before_exiting() {
+    let (server, handle, client, _dir) = start("drain", 1, 16);
+    let mut ids = Vec::new();
+    for i in 0..4 {
+        let body = format!(r#"{{"scenario":"rc_step","params":{{"c":{}e-15}}}}"#, i + 2);
+        let resp = client.submit_raw(&body).unwrap();
+        assert_eq!(resp.status, 202);
+        ids.push(
+            resp.json()
+                .unwrap()
+                .get("job_id")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .to_owned(),
+        );
+    }
+
+    let ack = client.shutdown().unwrap();
+    assert_eq!(ack.status, 202);
+    handle.join().expect("accept loop exits after drain");
+
+    // Every queued job ran to completion before the server stopped.
+    for id in &ids {
+        let numeric: u64 = id.trim_start_matches("j-").parse().unwrap();
+        let job = server.scheduler().job(numeric).expect("job survives drain");
+        assert!(
+            matches!(job.state(), sfet_serve::JobState::Done { .. }),
+            "{id} ended as {:?}",
+            job.state()
+        );
+    }
+    assert_eq!(
+        server.scheduler().stats().completed.load(Ordering::Relaxed),
+        4
+    );
+}
+
+#[test]
+fn docs_cover_every_endpoint_the_router_answers() {
+    let doc_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/SERVE.md");
+    let doc = std::fs::read_to_string(doc_path)
+        .expect("docs/SERVE.md exists (the API reference is part of the service contract)");
+    for endpoint in ENDPOINTS {
+        let (method, path) = endpoint.split_once(' ').unwrap();
+        assert!(
+            doc.contains(path),
+            "docs/SERVE.md is missing endpoint path {path}"
+        );
+        assert!(
+            doc.contains(method),
+            "docs/SERVE.md is missing method {method}"
+        );
+    }
+    // The SSE grammar and the error codes table are load-bearing parts
+    // of the reference.
+    for needle in ["text/event-stream", "queue_full", "Retry-After", "cache"] {
+        assert!(doc.contains(needle), "docs/SERVE.md is missing {needle:?}");
+    }
+}

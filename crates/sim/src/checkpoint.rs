@@ -146,6 +146,38 @@ pub(crate) struct TranSnapshot {
     pub devices: Vec<DeviceSnap>,
 }
 
+/// FNV-1a fingerprint of a (circuit, stop time, integration method)
+/// triple — the SFCK identity under which checkpoints refuse foreign
+/// snapshots and the serving layer (`sfet-serve`) deduplicates identical
+/// simulation jobs.
+///
+/// The fingerprint covers the compiled circuit *shape* (unknown count,
+/// node count, and the per-device kind sequence), `tstop`'s exact bit
+/// pattern, and the method tag. Two circuits with the same shape but
+/// different element values share a fingerprint; consumers that need
+/// value-level identity (the result store does) must combine it with a
+/// canonicalisation of the inputs that produced the circuit.
+///
+/// # Example
+///
+/// ```
+/// use sfet_circuit::{Circuit, SourceWaveform};
+/// use sfet_numeric::integrate::Method;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut ckt = Circuit::new();
+/// let (a, gnd) = (ckt.node("a"), Circuit::ground());
+/// ckt.add_voltage_source("V1", a, gnd, SourceWaveform::Dc(1.0))?;
+/// let f1 = sfet_sim::circuit_fingerprint(&ckt, 1e-9, Method::Trapezoidal);
+/// let f2 = sfet_sim::circuit_fingerprint(&ckt, 2e-9, Method::Trapezoidal);
+/// assert_ne!(f1, f2, "tstop is part of the identity");
+/// # Ok(())
+/// # }
+/// ```
+pub fn circuit_fingerprint(circuit: &sfet_circuit::Circuit, tstop: f64, method: Method) -> u64 {
+    fingerprint(&CompiledCircuit::compile(circuit), tstop, method)
+}
+
 /// FNV-1a fingerprint binding a snapshot to one (circuit, tstop, method)
 /// triple, so a snapshot can never be restored onto the wrong run.
 pub(crate) fn fingerprint(compiled: &CompiledCircuit, tstop: f64, method: Method) -> u64 {

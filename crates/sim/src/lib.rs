@@ -63,7 +63,7 @@ mod transient;
 
 pub use acsweep::{ac_sweep, AcSweepResult, Phasor};
 pub use batch::{transient_batch, BatchSpec};
-pub use checkpoint::{CheckpointPolicy, CHECKPOINT_VERSION};
+pub use checkpoint::{circuit_fingerprint, CheckpointPolicy, CHECKPOINT_VERSION};
 pub use dcop::{dc_operating_point, dc_operating_point_with_stats};
 pub use dcsweep::{dc_sweep, DcSweepResult};
 pub use error::SimError;

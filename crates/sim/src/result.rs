@@ -75,6 +75,17 @@ impl TranResult {
         self.node_index.keys().map(String::as_str)
     }
 
+    /// Names of all recorded branch-current signals (voltage sources and
+    /// inductors).
+    pub fn branch_names(&self) -> impl Iterator<Item = &str> {
+        self.branch_index.keys().map(String::as_str)
+    }
+
+    /// Names of all PTM instances with recorded resistance traces.
+    pub fn ptm_names(&self) -> impl Iterator<Item = &str> {
+        self.ptm_index.keys().map(String::as_str)
+    }
+
     /// Node-voltage waveform by node name.
     ///
     /// # Errors

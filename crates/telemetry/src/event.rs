@@ -179,6 +179,27 @@ pub mod names {
     /// and were reported as `SweepOutcome::Failed`.
     pub const EXEC_BATCH_LANE_FAILURES: &str = "exec.batch.lane_failures";
 
+    // --- Job-server counters (`sfet-serve`). ---
+    /// Jobs accepted by the server (cache hits, coalesced, and enqueued).
+    pub const SERVE_JOBS_SUBMITTED: &str = "serve.jobs.submitted";
+    /// Submissions answered from the on-disk result store without
+    /// re-simulation.
+    pub const SERVE_CACHE_HIT: &str = "serve.cache.hit";
+    /// Submissions that had no stored result and were enqueued (or
+    /// coalesced onto an in-flight run) for simulation.
+    pub const SERVE_CACHE_MISS: &str = "serve.cache.miss";
+    /// Submissions coalesced onto an already queued/running job with the
+    /// same cache key (a subset of `serve.cache.miss`).
+    pub const SERVE_JOBS_COALESCED: &str = "serve.jobs.coalesced";
+    /// Jobs that ran a simulation to completion on the worker pool.
+    pub const SERVE_JOBS_COMPLETED: &str = "serve.jobs.completed";
+    /// Jobs that exhausted their retry budget and were reported failed.
+    pub const SERVE_JOBS_FAILED: &str = "serve.jobs.failed";
+    /// Retry attempts consumed by jobs on the worker pool.
+    pub const SERVE_JOB_RETRIED: &str = "serve.job.retried";
+    /// Submissions rejected with HTTP 429 because the job queue was full.
+    pub const SERVE_QUEUE_REJECTED: &str = "serve.queue.rejected";
+
     // --- Checkpoint/restart counters (`sfet_sim::transient`). ---
     /// Transient checkpoint snapshots written to disk.
     pub const CHECKPOINT_WRITTEN: &str = "checkpoint.written";

@@ -99,6 +99,28 @@ fn relative_markdown_links_resolve() {
 }
 
 #[test]
+fn walker_discovers_the_docs_pages() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let files = markdown_files(&root);
+    // The docs/ pages rot silently if a rename drops them out of the
+    // walker's scan set — pin every page the README's index links to.
+    for page in [
+        "docs/ARCHITECTURE.md",
+        "docs/SOLVERS.md",
+        "docs/BATCHING.md",
+        "docs/RESILIENCE.md",
+        "docs/TELEMETRY.md",
+        "docs/VERIFICATION.md",
+        "docs/SERVE.md",
+    ] {
+        assert!(
+            files.iter().any(|f| f.ends_with(page)),
+            "link checker does not see {page}"
+        );
+    }
+}
+
+#[test]
 fn link_extraction_handles_fences_and_anchors() {
     let text = "see [a](x.md) and [b](y.md#top)\n```\n[not](code.md)\n```\n[c](https://e.com)";
     let targets = link_targets(text);
