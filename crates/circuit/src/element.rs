@@ -116,6 +116,76 @@ pub struct MosfetInstance {
     pub l: f64,
 }
 
+/// A linear voltage-controlled voltage source (SPICE `E` card; adds one
+/// branch-current unknown in MNA): `v(p,n) = gain * v(cp,cn)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Vcvs {
+    /// Instance name.
+    pub name: String,
+    /// Positive output terminal.
+    pub p: NodeId,
+    /// Negative output terminal.
+    pub n: NodeId,
+    /// Positive controlling terminal.
+    pub cp: NodeId,
+    /// Negative controlling terminal.
+    pub cn: NodeId,
+    /// Voltage gain \[V/V\], must be finite.
+    pub gain: f64,
+}
+
+/// A linear voltage-controlled current source (SPICE `G` card):
+/// `i(p→n) = gm * v(cp,cn)`, current flowing from `p` through the source
+/// into `n` like an independent current source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Vccs {
+    /// Instance name.
+    pub name: String,
+    /// Positive terminal.
+    pub p: NodeId,
+    /// Negative terminal.
+    pub n: NodeId,
+    /// Positive controlling terminal.
+    pub cp: NodeId,
+    /// Negative controlling terminal.
+    pub cn: NodeId,
+    /// Transconductance \[S\], must be finite.
+    pub gm: f64,
+}
+
+/// A linear current-controlled current source (SPICE `F` card):
+/// `i(p→n) = gain * i(vname)`, where `i(vname)` is the branch current of
+/// the named voltage source (positive flowing p→n through that source).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cccs {
+    /// Instance name.
+    pub name: String,
+    /// Positive terminal.
+    pub p: NodeId,
+    /// Negative terminal.
+    pub n: NodeId,
+    /// Name of the controlling voltage source.
+    pub vname: String,
+    /// Current gain \[A/A\], must be finite.
+    pub gain: f64,
+}
+
+/// A linear current-controlled voltage source (SPICE `H` card; adds one
+/// branch-current unknown in MNA): `v(p,n) = r * i(vname)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ccvs {
+    /// Instance name.
+    pub name: String,
+    /// Positive output terminal.
+    pub p: NodeId,
+    /// Negative output terminal.
+    pub n: NodeId,
+    /// Name of the controlling voltage source.
+    pub vname: String,
+    /// Transresistance \[Ω\], must be finite.
+    pub r: f64,
+}
+
 /// A PTM device instance.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PtmInstance {
@@ -142,6 +212,14 @@ pub enum Element {
     VoltageSource(VoltageSource),
     /// Independent current source.
     CurrentSource(CurrentSource),
+    /// Voltage-controlled voltage source (E card).
+    Vcvs(Vcvs),
+    /// Voltage-controlled current source (G card).
+    Vccs(Vccs),
+    /// Current-controlled current source (F card).
+    Cccs(Cccs),
+    /// Current-controlled voltage source (H card).
+    Ccvs(Ccvs),
     /// MOSFET.
     Mosfet(MosfetInstance),
     /// Phase-transition-material device.
@@ -157,6 +235,10 @@ impl Element {
             Element::Inductor(e) => &e.name,
             Element::VoltageSource(e) => &e.name,
             Element::CurrentSource(e) => &e.name,
+            Element::Vcvs(e) => &e.name,
+            Element::Vccs(e) => &e.name,
+            Element::Cccs(e) => &e.name,
+            Element::Ccvs(e) => &e.name,
             Element::Mosfet(e) => &e.name,
             Element::Ptm(e) => &e.name,
         }
@@ -170,6 +252,10 @@ impl Element {
             Element::Inductor(e) => vec![e.p, e.n],
             Element::VoltageSource(e) => vec![e.p, e.n],
             Element::CurrentSource(e) => vec![e.p, e.n],
+            Element::Vcvs(e) => vec![e.p, e.n, e.cp, e.cn],
+            Element::Vccs(e) => vec![e.p, e.n, e.cp, e.cn],
+            Element::Cccs(e) => vec![e.p, e.n],
+            Element::Ccvs(e) => vec![e.p, e.n],
             Element::Mosfet(e) => vec![e.d, e.g, e.s, e.b],
             Element::Ptm(e) => vec![e.p, e.n],
         }
@@ -177,7 +263,20 @@ impl Element {
 
     /// Whether this element contributes a branch-current unknown in MNA.
     pub fn has_branch_current(&self) -> bool {
-        matches!(self, Element::VoltageSource(_) | Element::Inductor(_))
+        matches!(
+            self,
+            Element::VoltageSource(_) | Element::Inductor(_) | Element::Vcvs(_) | Element::Ccvs(_)
+        )
+    }
+
+    /// For current-controlled sources (F/H cards), the name of the
+    /// controlling voltage source.
+    pub fn control_source(&self) -> Option<&str> {
+        match self {
+            Element::Cccs(e) => Some(&e.vname),
+            Element::Ccvs(e) => Some(&e.vname),
+            _ => None,
+        }
     }
 }
 

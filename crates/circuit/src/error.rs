@@ -30,6 +30,63 @@ pub enum CircuitError {
         /// Description of the problem.
         message: String,
     },
+    /// A `.subckt` card redefines a subcircuit name already in scope.
+    DuplicateSubckt {
+        /// Subcircuit name (lower-cased).
+        name: String,
+        /// 1-based line number of the redefinition.
+        line: usize,
+    },
+    /// An `X` card supplies a different number of connection nodes than the
+    /// subcircuit declares ports.
+    SubcktArity {
+        /// Subcircuit name (lower-cased).
+        subckt: String,
+        /// Ports declared on the `.subckt` card.
+        expected: usize,
+        /// Nodes given on the `X` card.
+        given: usize,
+        /// 1-based line number of the `X` card.
+        line: usize,
+    },
+    /// Subcircuit expansion exceeded the nesting limit — almost always a
+    /// recursive definition.
+    SubcktRecursion {
+        /// Subcircuit whose expansion tripped the limit.
+        subckt: String,
+        /// 1-based line number of the `X` card that went too deep.
+        line: usize,
+    },
+    /// An `X` card references a subcircuit that was never defined.
+    UnknownSubckt {
+        /// The missing subcircuit name (lower-cased).
+        name: String,
+        /// 1-based line number of the `X` card.
+        line: usize,
+    },
+    /// A `{...}` expression or `.param` card references a parameter that is
+    /// not defined in any enclosing scope.
+    UndefinedParam {
+        /// The missing parameter name (lower-cased).
+        name: String,
+        /// 1-based line number of the reference (0 if unknown).
+        line: usize,
+    },
+    /// `.param` definitions form a reference cycle.
+    ParamCycle {
+        /// A parameter on the cycle (lower-cased).
+        name: String,
+        /// 1-based line number of its definition (0 if unknown).
+        line: usize,
+    },
+    /// An F/H controlled source names a controlling element that is not a
+    /// voltage source in the circuit.
+    UnknownControlSource {
+        /// The controlled source's instance name.
+        element: String,
+        /// The controlling voltage source it references.
+        source: String,
+    },
 }
 
 impl fmt::Display for CircuitError {
@@ -53,6 +110,35 @@ impl fmt::Display for CircuitError {
             CircuitError::Parse { line, message } => {
                 write!(f, "netlist parse error at line {line}: {message}")
             }
+            CircuitError::DuplicateSubckt { name, line } => {
+                write!(f, "line {line}: duplicate subcircuit {name:?}")
+            }
+            CircuitError::SubcktArity {
+                subckt,
+                expected,
+                given,
+                line,
+            } => write!(
+                f,
+                "line {line}: subcircuit {subckt:?} has {expected} ports, {given} nodes given"
+            ),
+            CircuitError::SubcktRecursion { subckt, line } => write!(
+                f,
+                "line {line}: subcircuit {subckt:?} nesting too deep (recursive definition?)"
+            ),
+            CircuitError::UnknownSubckt { name, line } => {
+                write!(f, "line {line}: unknown subcircuit {name:?}")
+            }
+            CircuitError::UndefinedParam { name, line } => {
+                write!(f, "line {line}: undefined parameter {name:?}")
+            }
+            CircuitError::ParamCycle { name, line } => {
+                write!(f, "line {line}: parameter {name:?} is defined cyclically")
+            }
+            CircuitError::UnknownControlSource { element, source } => write!(
+                f,
+                "controlled source {element:?} references {source:?}, which is not a voltage source"
+            ),
         }
     }
 }

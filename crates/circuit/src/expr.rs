@@ -1,0 +1,541 @@
+//! Deterministic parameter-expression evaluator for `{...}` netlist
+//! expressions and `.param` cards.
+//!
+//! The accepted grammar is deliberately small and side-effect free:
+//!
+//! ```text
+//! expr    := term (('+' | '-') term)*
+//! term    := factor (('*' | '/') factor)*
+//! factor  := ('-' | '+') factor | primary
+//! primary := NUMBER | IDENT | '(' expr ')'
+//! ```
+//!
+//! Numbers use the full SPICE engineering syntax of
+//! [`crate::si::parse_eng`] (`2.2k`, `30p`, `1meg`, trailing unit letters
+//! ignored). Identifiers are parameter references, resolved
+//! case-insensitively against the evaluation scope. Evaluation is plain
+//! left-to-right `f64` arithmetic, so a given expression and scope always
+//! produce the same bits on every platform the engine supports.
+//!
+//! [`resolve_params`] turns a scope's `.param` definitions — which may
+//! reference each other in any order — into concrete values, detecting
+//! reference cycles ([`CircuitError::ParamCycle`]) and dangling names
+//! ([`CircuitError::UndefinedParam`]) instead of recursing forever.
+//!
+//! # Example
+//!
+//! ```
+//! use std::collections::HashMap;
+//! use sfet_circuit::expr::eval_expr;
+//!
+//! let mut scope = HashMap::new();
+//! scope.insert("w".to_string(), 120e-9);
+//! assert_eq!(eval_expr("2 * w", &scope).unwrap(), 240e-9);
+//! assert_eq!(eval_expr("-(1k + 500) / 2", &scope).unwrap(), -750.0);
+//! ```
+
+use std::collections::HashMap;
+
+use crate::error::CircuitError;
+use crate::si::parse_eng;
+
+/// A resolved parameter scope: lower-cased name → value.
+pub type ParamScope = HashMap<String, f64>;
+
+/// One `.param` definition before resolution: lower-cased name, expression
+/// text, and the 1-based source line of the definition (0 if synthetic).
+#[derive(Debug, Clone)]
+pub struct ParamDef {
+    /// Parameter name, lower-cased.
+    pub name: String,
+    /// Right-hand side expression (braces already stripped).
+    pub expr: String,
+    /// 1-based source line of the definition.
+    pub line: usize,
+}
+
+/// Evaluates an expression against an already-resolved scope.
+///
+/// # Errors
+///
+/// [`CircuitError::Parse`] (line 0; callers rewrite it) on syntax errors or
+/// non-finite results, [`CircuitError::UndefinedParam`] when an identifier
+/// is not in `scope`.
+pub fn eval_expr(text: &str, scope: &ParamScope) -> Result<f64, CircuitError> {
+    let mut lookup = |name: &str, _line: usize| {
+        scope
+            .get(name)
+            .copied()
+            .ok_or(CircuitError::UndefinedParam {
+                name: name.to_string(),
+                line: 0,
+            })
+    };
+    eval_with(text, &mut lookup)
+}
+
+/// Resolves a list of `.param` definitions against an outer scope.
+///
+/// Definitions may reference each other in any textual order and may
+/// reference names from `outer`; a definition shadows the same name in
+/// `outer` for *other* definitions' references (a definition referencing
+/// itself is reported as a cycle, not resolved against the outer scope).
+/// When the same name is defined twice in one scope the later definition
+/// wins, matching ngspice.
+///
+/// Returns `outer` extended/overridden with the resolved definitions.
+///
+/// # Errors
+///
+/// [`CircuitError::ParamCycle`] on cyclic references,
+/// [`CircuitError::UndefinedParam`] on dangling names, and expression
+/// syntax errors as [`CircuitError::Parse`]; each carries the source line
+/// of the definition being resolved.
+pub fn resolve_params(defs: &[ParamDef], outer: &ParamScope) -> Result<ParamScope, CircuitError> {
+    // Later definition of the same name wins.
+    let mut by_name: HashMap<&str, &ParamDef> = HashMap::new();
+    for def in defs {
+        by_name.insert(def.name.as_str(), def);
+    }
+    let mut resolver = Resolver {
+        defs: &by_name,
+        outer,
+        memo: HashMap::new(),
+        visiting: Vec::new(),
+    };
+    let mut scope = outer.clone();
+    for def in defs {
+        let v = resolver.value_of(&def.name, def.line)?;
+        scope.insert(def.name.clone(), v);
+    }
+    Ok(scope)
+}
+
+struct Resolver<'a> {
+    defs: &'a HashMap<&'a str, &'a ParamDef>,
+    outer: &'a ParamScope,
+    memo: HashMap<String, f64>,
+    visiting: Vec<String>,
+}
+
+impl Resolver<'_> {
+    fn value_of(&mut self, name: &str, ref_line: usize) -> Result<f64, CircuitError> {
+        if let Some(&v) = self.memo.get(name) {
+            return Ok(v);
+        }
+        let Some(&def) = self.defs.get(name) else {
+            return self
+                .outer
+                .get(name)
+                .copied()
+                .ok_or(CircuitError::UndefinedParam {
+                    name: name.to_string(),
+                    line: ref_line,
+                });
+        };
+        if self.visiting.iter().any(|n| n == name) {
+            return Err(CircuitError::ParamCycle {
+                name: name.to_string(),
+                line: def.line,
+            });
+        }
+        self.visiting.push(name.to_string());
+        let expr = def.expr.clone();
+        let line = def.line;
+        let result = {
+            let mut lookup = |n: &str, l: usize| self.value_of(n, l);
+            eval_with_line(&expr, line, &mut lookup)
+        };
+        self.visiting.pop();
+        let v = result?;
+        self.memo.insert(name.to_string(), v);
+        Ok(v)
+    }
+}
+
+fn eval_with<F>(text: &str, lookup: &mut F) -> Result<f64, CircuitError>
+where
+    F: FnMut(&str, usize) -> Result<f64, CircuitError>,
+{
+    eval_with_line(text, 0, lookup)
+}
+
+fn eval_with_line<F>(text: &str, line: usize, lookup: &mut F) -> Result<f64, CircuitError>
+where
+    F: FnMut(&str, usize) -> Result<f64, CircuitError>,
+{
+    let tokens = lex(text, line)?;
+    let mut p = Parser {
+        tokens: &tokens,
+        pos: 0,
+        text,
+        line,
+        lookup,
+    };
+    let v = p.expr()?;
+    if p.pos != p.tokens.len() {
+        return Err(p.syntax("trailing input after expression"));
+    }
+    if !v.is_finite() {
+        return Err(CircuitError::Parse {
+            line,
+            message: format!("expression {text:?} evaluates to a non-finite value"),
+        });
+    }
+    Ok(v)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Num(f64),
+    Ident(String),
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    LParen,
+    RParen,
+}
+
+fn lex(text: &str, line: usize) -> Result<Vec<Tok>, CircuitError> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' => i += 1,
+            '+' => {
+                out.push(Tok::Plus);
+                i += 1;
+            }
+            '-' => {
+                out.push(Tok::Minus);
+                i += 1;
+            }
+            '*' => {
+                out.push(Tok::Star);
+                i += 1;
+            }
+            '/' => {
+                out.push(Tok::Slash);
+                i += 1;
+            }
+            '(' => {
+                out.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Tok::RParen);
+                i += 1;
+            }
+            c if c.is_ascii_digit() || c == '.' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'.') {
+                    i += 1;
+                }
+                // Exponent part: e/E followed by optional sign and digits.
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j].is_ascii_digit() {
+                        i = j;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                // Engineering suffix + unit letters, handled by parse_eng.
+                while i < bytes.len() && bytes[i].is_ascii_alphabetic() {
+                    i += 1;
+                }
+                let v = parse_eng(&text[start..i]).map_err(|_| CircuitError::Parse {
+                    line,
+                    message: format!("bad number {:?} in expression {text:?}", &text[start..i]),
+                })?;
+                out.push(Tok::Num(v));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Tok::Ident(text[start..i].to_ascii_lowercase()));
+            }
+            other => {
+                return Err(CircuitError::Parse {
+                    line,
+                    message: format!("unexpected character {other:?} in expression {text:?}"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser<'a, F> {
+    tokens: &'a [Tok],
+    pos: usize,
+    text: &'a str,
+    line: usize,
+    lookup: &'a mut F,
+}
+
+impl<F> Parser<'_, F>
+where
+    F: FnMut(&str, usize) -> Result<f64, CircuitError>,
+{
+    fn syntax(&self, why: &str) -> CircuitError {
+        CircuitError::Parse {
+            line: self.line,
+            message: format!("{why} in expression {:?}", self.text),
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos)
+    }
+
+    fn expr(&mut self) -> Result<f64, CircuitError> {
+        let mut acc = self.term()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Plus) => {
+                    self.pos += 1;
+                    acc += self.term()?;
+                }
+                Some(Tok::Minus) => {
+                    self.pos += 1;
+                    acc -= self.term()?;
+                }
+                _ => return Ok(acc),
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<f64, CircuitError> {
+        let mut acc = self.factor()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Star) => {
+                    self.pos += 1;
+                    acc *= self.factor()?;
+                }
+                Some(Tok::Slash) => {
+                    self.pos += 1;
+                    let d = self.factor()?;
+                    if d == 0.0 {
+                        return Err(self.syntax("division by zero"));
+                    }
+                    acc /= d;
+                }
+                _ => return Ok(acc),
+            }
+        }
+    }
+
+    fn factor(&mut self) -> Result<f64, CircuitError> {
+        match self.peek() {
+            Some(Tok::Minus) => {
+                self.pos += 1;
+                Ok(-self.factor()?)
+            }
+            Some(Tok::Plus) => {
+                self.pos += 1;
+                self.factor()
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<f64, CircuitError> {
+        match self.peek().cloned() {
+            Some(Tok::Num(v)) => {
+                self.pos += 1;
+                Ok(v)
+            }
+            Some(Tok::Ident(name)) => {
+                self.pos += 1;
+                match (self.lookup)(&name, self.line) {
+                    Ok(v) => Ok(v),
+                    // Attach this expression's line to a bare undefined-param
+                    // error coming straight from the scope lookup.
+                    Err(CircuitError::UndefinedParam { name, line: 0 }) => {
+                        Err(CircuitError::UndefinedParam {
+                            name,
+                            line: self.line,
+                        })
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+            Some(Tok::LParen) => {
+                self.pos += 1;
+                let v = self.expr()?;
+                match self.peek() {
+                    Some(Tok::RParen) => {
+                        self.pos += 1;
+                        Ok(v)
+                    }
+                    _ => Err(self.syntax("missing ')'")),
+                }
+            }
+            _ => Err(self.syntax("expected a number, parameter, or '('")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scope(pairs: &[(&str, f64)]) -> ParamScope {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn arithmetic_and_precedence() {
+        let s = ParamScope::new();
+        assert_eq!(eval_expr("1 + 2 * 3", &s).unwrap(), 7.0);
+        assert_eq!(eval_expr("(1 + 2) * 3", &s).unwrap(), 9.0);
+        assert_eq!(eval_expr("8 / 2 / 2", &s).unwrap(), 2.0);
+        assert_eq!(eval_expr("10 - 4 - 3", &s).unwrap(), 3.0);
+        assert_eq!(eval_expr("-3", &s).unwrap(), -3.0);
+        assert_eq!(eval_expr("--3", &s).unwrap(), 3.0);
+        assert_eq!(eval_expr("+5", &s).unwrap(), 5.0);
+        assert_eq!(eval_expr("2 * -3", &s).unwrap(), -6.0);
+    }
+
+    #[test]
+    fn engineering_suffixes_in_expressions() {
+        let s = ParamScope::new();
+        assert_eq!(eval_expr("2.2k", &s).unwrap(), 2200.0);
+        assert_eq!(eval_expr("1meg / 2", &s).unwrap(), 500e3);
+        assert_eq!(eval_expr("30p + 10p", &s).unwrap(), 40e-12);
+        assert_eq!(eval_expr("1.5e3", &s).unwrap(), 1500.0);
+        let v = eval_expr("100nV", &s).unwrap();
+        assert!((v - 100e-9).abs() < 1e-21, "{v}");
+    }
+
+    #[test]
+    fn parameter_references_case_insensitive() {
+        let s = scope(&[("wid", 2.0), ("len", 4.0)]);
+        assert_eq!(eval_expr("WID * Len", &s).unwrap(), 8.0);
+    }
+
+    #[test]
+    fn undefined_param_named_error() {
+        let s = ParamScope::new();
+        match eval_expr("2 * nope", &s) {
+            Err(CircuitError::UndefinedParam { name, .. }) => assert_eq!(name, "nope"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn syntax_errors_rejected() {
+        let s = scope(&[("a", 1.0)]);
+        assert!(eval_expr("", &s).is_err());
+        assert!(eval_expr("1 +", &s).is_err());
+        assert!(eval_expr("(1", &s).is_err());
+        assert!(eval_expr("1 2", &s).is_err());
+        assert!(eval_expr("a ^ 2", &s).is_err());
+        assert!(eval_expr("1 / 0", &s).is_err());
+    }
+
+    #[test]
+    fn resolve_out_of_order_and_shadowing() {
+        let defs = vec![
+            ParamDef {
+                name: "b".into(),
+                expr: "a * 2".into(),
+                line: 1,
+            },
+            ParamDef {
+                name: "a".into(),
+                expr: "1k".into(),
+                line: 2,
+            },
+        ];
+        let outer = scope(&[("a", 7.0)]);
+        let resolved = resolve_params(&defs, &outer).unwrap();
+        // The local definition of `a` shadows the outer one for `b`.
+        assert_eq!(resolved["a"], 1000.0);
+        assert_eq!(resolved["b"], 2000.0);
+    }
+
+    #[test]
+    fn resolve_last_definition_wins() {
+        let defs = vec![
+            ParamDef {
+                name: "x".into(),
+                expr: "1".into(),
+                line: 1,
+            },
+            ParamDef {
+                name: "x".into(),
+                expr: "2".into(),
+                line: 2,
+            },
+        ];
+        let resolved = resolve_params(&defs, &ParamScope::new()).unwrap();
+        assert_eq!(resolved["x"], 2.0);
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let defs = vec![
+            ParamDef {
+                name: "a".into(),
+                expr: "b + 1".into(),
+                line: 1,
+            },
+            ParamDef {
+                name: "b".into(),
+                expr: "a + 1".into(),
+                line: 2,
+            },
+        ];
+        match resolve_params(&defs, &ParamScope::new()) {
+            Err(CircuitError::ParamCycle { name, line }) => {
+                assert!(name == "a" || name == "b");
+                assert!(line == 1 || line == 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn self_reference_is_a_cycle() {
+        let defs = vec![ParamDef {
+            name: "w".into(),
+            expr: "w * 2".into(),
+            line: 3,
+        }];
+        let outer = scope(&[("w", 1.0)]);
+        assert!(matches!(
+            resolve_params(&defs, &outer),
+            Err(CircuitError::ParamCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn dangling_reference_carries_definition_line() {
+        let defs = vec![ParamDef {
+            name: "a".into(),
+            expr: "ghost".into(),
+            line: 9,
+        }];
+        match resolve_params(&defs, &ParamScope::new()) {
+            Err(CircuitError::UndefinedParam { name, line }) => {
+                assert_eq!(name, "ghost");
+                assert_eq!(line, 9);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

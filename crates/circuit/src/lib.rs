@@ -35,6 +35,7 @@
 pub mod builders;
 mod element;
 mod error;
+pub mod expr;
 mod netlist;
 mod node;
 pub mod parse;
@@ -42,8 +43,8 @@ pub mod si;
 mod waveform;
 
 pub use element::{
-    Capacitor, CurrentSource, Element, ElementId, Inductor, MosfetInstance, PtmInstance, Resistor,
-    VoltageSource,
+    Capacitor, Cccs, Ccvs, CurrentSource, Element, ElementId, Inductor, MosfetInstance,
+    PtmInstance, Resistor, Vccs, Vcvs, VoltageSource,
 };
 pub use error::CircuitError;
 pub use netlist::Circuit;

@@ -3,8 +3,8 @@
 use std::collections::HashMap;
 
 use crate::element::{
-    Capacitor, CurrentSource, Element, ElementId, Inductor, MosfetInstance, PtmInstance, Resistor,
-    VoltageSource,
+    Capacitor, Cccs, Ccvs, CurrentSource, Element, ElementId, Inductor, MosfetInstance,
+    PtmInstance, Resistor, Vccs, Vcvs, VoltageSource,
 };
 use crate::error::CircuitError;
 use crate::node::NodeId;
@@ -42,6 +42,11 @@ pub struct Circuit {
     node_lookup: HashMap<String, NodeId>,
     elements: Vec<Element>,
     name_lookup: HashMap<String, ElementId>,
+    /// Resolved top-level `.param` values in first-definition order
+    /// (informational: values are already substituted into elements).
+    params: Vec<(String, f64)>,
+    /// `.ic` node-voltage pins in directive order.
+    node_ics: Vec<(NodeId, f64)>,
 }
 
 impl Circuit {
@@ -52,6 +57,8 @@ impl Circuit {
             node_lookup: HashMap::new(),
             elements: Vec::new(),
             name_lookup: HashMap::new(),
+            params: Vec::new(),
+            node_ics: Vec::new(),
         };
         c.node_lookup.insert("0".to_string(), NodeId(0));
         c
@@ -120,6 +127,40 @@ impl Circuit {
     /// Finds an element id by instance name.
     pub fn find_element(&self, name: &str) -> Option<ElementId> {
         self.name_lookup.get(name).copied()
+    }
+
+    /// Records a resolved top-level `.param` value (informational —
+    /// expressions are substituted before elements are built). Re-defining
+    /// a name overwrites its value in place.
+    pub fn set_param(&mut self, name: &str, value: f64) {
+        let key = name.to_ascii_lowercase();
+        if let Some(slot) = self.params.iter_mut().find(|(n, _)| *n == key) {
+            slot.1 = value;
+        } else {
+            self.params.push((key, value));
+        }
+    }
+
+    /// Resolved top-level `.param` values in first-definition order.
+    pub fn params(&self) -> &[(String, f64)] {
+        &self.params
+    }
+
+    /// Pins a node's voltage for DC initialisation (`.ic v(node)=value`):
+    /// the DC operating point sees a stiff Norton equivalent holding the
+    /// node near `value`; the pin is released during transient stepping.
+    /// Re-pinning a node overwrites the previous value.
+    pub fn set_node_ic(&mut self, node: NodeId, value: f64) {
+        if let Some(slot) = self.node_ics.iter_mut().find(|(n, _)| *n == node) {
+            slot.1 = value;
+        } else {
+            self.node_ics.push((node, value));
+        }
+    }
+
+    /// `.ic` node-voltage pins in directive order.
+    pub fn node_ics(&self) -> &[(NodeId, f64)] {
+        &self.node_ics
     }
 
     fn insert(&mut self, element: Element) -> Result<ElementId> {
@@ -284,6 +325,126 @@ impl Circuit {
         }))
     }
 
+    fn check_finite(name: &str, what: &str, v: f64) -> Result<()> {
+        if !v.is_finite() {
+            return Err(CircuitError::InvalidValue {
+                element: name.to_string(),
+                reason: format!("{what} must be finite, got {v:e}"),
+            });
+        }
+        Ok(())
+    }
+
+    /// Adds a voltage-controlled voltage source (E card):
+    /// `v(p,n) = gain * v(cp,cn)`.
+    ///
+    /// # Errors
+    ///
+    /// Duplicate name, shorted output terminals, or a non-finite gain.
+    pub fn add_vcvs(
+        &mut self,
+        name: &str,
+        p: NodeId,
+        n: NodeId,
+        cp: NodeId,
+        cn: NodeId,
+        gain: f64,
+    ) -> Result<ElementId> {
+        Self::check_distinct(name, p, n)?;
+        Self::check_finite(name, "gain", gain)?;
+        self.insert(Element::Vcvs(Vcvs {
+            name: name.to_string(),
+            p,
+            n,
+            cp,
+            cn,
+            gain,
+        }))
+    }
+
+    /// Adds a voltage-controlled current source (G card):
+    /// `i(p→n) = gm * v(cp,cn)`.
+    ///
+    /// # Errors
+    ///
+    /// Duplicate name, shorted output terminals, or a non-finite
+    /// transconductance.
+    pub fn add_vccs(
+        &mut self,
+        name: &str,
+        p: NodeId,
+        n: NodeId,
+        cp: NodeId,
+        cn: NodeId,
+        gm: f64,
+    ) -> Result<ElementId> {
+        Self::check_distinct(name, p, n)?;
+        Self::check_finite(name, "transconductance", gm)?;
+        self.insert(Element::Vccs(Vccs {
+            name: name.to_string(),
+            p,
+            n,
+            cp,
+            cn,
+            gm,
+        }))
+    }
+
+    /// Adds a current-controlled current source (F card):
+    /// `i(p→n) = gain * i(vname)`. The controlling voltage source may be
+    /// defined later in the netlist; the reference is checked by
+    /// [`Circuit::validate`].
+    ///
+    /// # Errors
+    ///
+    /// Duplicate name, shorted output terminals, or a non-finite gain.
+    pub fn add_cccs(
+        &mut self,
+        name: &str,
+        p: NodeId,
+        n: NodeId,
+        vname: &str,
+        gain: f64,
+    ) -> Result<ElementId> {
+        Self::check_distinct(name, p, n)?;
+        Self::check_finite(name, "gain", gain)?;
+        self.insert(Element::Cccs(Cccs {
+            name: name.to_string(),
+            p,
+            n,
+            vname: vname.to_string(),
+            gain,
+        }))
+    }
+
+    /// Adds a current-controlled voltage source (H card):
+    /// `v(p,n) = r * i(vname)`. The controlling voltage source may be
+    /// defined later in the netlist; the reference is checked by
+    /// [`Circuit::validate`].
+    ///
+    /// # Errors
+    ///
+    /// Duplicate name, shorted output terminals, or a non-finite
+    /// transresistance.
+    pub fn add_ccvs(
+        &mut self,
+        name: &str,
+        p: NodeId,
+        n: NodeId,
+        vname: &str,
+        r: f64,
+    ) -> Result<ElementId> {
+        Self::check_distinct(name, p, n)?;
+        Self::check_finite(name, "transresistance", r)?;
+        self.insert(Element::Ccvs(Ccvs {
+            name: name.to_string(),
+            p,
+            n,
+            vname: vname.to_string(),
+            r,
+        }))
+    }
+
     /// Adds a MOSFET instance.
     ///
     /// # Errors
@@ -343,7 +504,8 @@ impl Circuit {
     /// * at least one element;
     /// * at least one element terminal on ground;
     /// * every non-ground node touched by at least two terminals (a node
-    ///   seen only once has no defined current path).
+    ///   seen only once has no defined current path);
+    /// * every F/H controlled source references an existing voltage source.
     ///
     /// # Errors
     ///
@@ -351,6 +513,20 @@ impl Circuit {
     pub fn validate(&self) -> Result<()> {
         if self.elements.is_empty() {
             return Err(CircuitError::EmptyCircuit);
+        }
+        for e in &self.elements {
+            if let Some(vname) = e.control_source() {
+                let controls = self
+                    .find_element(vname)
+                    .map(|id| matches!(self.element(id), Element::VoltageSource(_)))
+                    .unwrap_or(false);
+                if !controls {
+                    return Err(CircuitError::UnknownControlSource {
+                        element: e.name().to_string(),
+                        source: vname.to_string(),
+                    });
+                }
+            }
         }
         let mut touch = vec![0usize; self.node_names.len()];
         for e in &self.elements {
@@ -375,6 +551,11 @@ impl Circuit {
     pub fn to_netlist(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::from("* netlist generated by sfet-circuit\n");
+        for (name, value) in &self.params {
+            // Full-precision {:e} (not format_eng): the recorded value must
+            // survive the round trip exactly.
+            let _ = writeln!(out, ".param {name}={value:e}");
+        }
         for e in &self.elements {
             let line = match e {
                 Element::Resistor(r) => format!(
@@ -412,6 +593,40 @@ impl Circuit {
                     self.node_name(i.n),
                     format_wave(&i.wave)
                 ),
+                Element::Vcvs(e) => format!(
+                    "E{} {} {} {} {} {:e}",
+                    strip_prefix(&e.name, 'E'),
+                    self.node_name(e.p),
+                    self.node_name(e.n),
+                    self.node_name(e.cp),
+                    self.node_name(e.cn),
+                    e.gain
+                ),
+                Element::Vccs(g) => format!(
+                    "G{} {} {} {} {} {:e}",
+                    strip_prefix(&g.name, 'G'),
+                    self.node_name(g.p),
+                    self.node_name(g.n),
+                    self.node_name(g.cp),
+                    self.node_name(g.cn),
+                    g.gm
+                ),
+                Element::Cccs(c) => format!(
+                    "F{} {} {} {} {:e}",
+                    strip_prefix(&c.name, 'F'),
+                    self.node_name(c.p),
+                    self.node_name(c.n),
+                    c.vname,
+                    c.gain
+                ),
+                Element::Ccvs(h) => format!(
+                    "H{} {} {} {} {:e}",
+                    strip_prefix(&h.name, 'H'),
+                    self.node_name(h.p),
+                    self.node_name(h.n),
+                    h.vname,
+                    h.r
+                ),
                 Element::Mosfet(m) => format!(
                     "M{} {} {} {} {} {} W={} L={}",
                     strip_prefix(&m.name, 'M'),
@@ -436,6 +651,9 @@ impl Circuit {
                 ),
             };
             let _ = writeln!(out, "{line}");
+        }
+        for (node, value) in &self.node_ics {
+            let _ = writeln!(out, ".ic v({})={value:e}", self.node_name(*node));
         }
         out.push_str(".end\n");
         out

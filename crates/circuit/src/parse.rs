@@ -9,33 +9,55 @@
 //! L<name> p n <value>
 //! V<name> p n DC <v> | <v> | PWL(t v ...) | PULSE(v1 v2 d tr tf pw [per]) | SIN(off amp f [d])
 //! I<name> p n <same source syntax>
+//! E<name> p n cp cn <gain>           ; VCVS: v(p,n) = gain * v(cp,cn)
+//! G<name> p n cp cn <gm>             ; VCCS: i(p->n) = gm * v(cp,cn)
+//! F<name> p n <vsource> <gain>       ; CCCS: i(p->n) = gain * i(vsource)
+//! H<name> p n <vsource> <r>          ; CCVS: v(p,n) = r * i(vsource)
 //! M<name> d g s b <model> W=<w> L=<l>
-//! P<name> p n [VIMT=v] [VMIT=v] [RINS=r] [RMET=r] [TPTM=t]
-//! .model <name> nmos40|pmos40 [vt_shift=<v>]
-//! .subckt <name> <ports...> ... .ends    ; hierarchical cells
-//! X<name> <nodes...> <subckt>            ; instantiation (flattened)
+//! P<name> p n [<ptm-model>] [VIMT=v] [VMIT=v] [RINS=r] [RMET=r] [TPTM=t]
+//! .param <name>=<expr> [<name>=<expr> ...]
+//! .model <name> <mos-base> [vt_shift|vt0|kp|lambda|slope_n|cox|cov|ut=<v> ...]
+//! .model <name> <ptm-base> [VIMT|VMIT|RINS|RMET|TPTM=<v> ...]
+//! .subckt <name> <ports...> [<param>=<default> ...] ... .ends
+//! X<name> <nodes...> <subckt> [<param>=<value> ...]
 //! .tran <dtmax> <tstop>
+//! .dc <source> <start> <stop> <step>
+//! .ic v(<node>)=<value> [v(<node>)=<value> ...]
 //! .end
 //! + <continuation of the previous card>
 //! ```
 //!
+//! Any value position (and `.tran`/`.dc` arguments) may be a brace
+//! expression `{...}` over `.param` names — see [`crate::expr`] for the
+//! grammar. `.param` cards apply to their whole scope regardless of where
+//! they appear in it, and a later definition of the same name wins.
+//!
 //! Subcircuits are flattened at parse time: internal nodes and element
 //! names get the instance path as a prefix (`x1.mid`, `Mx1.P`), ports map
-//! to the instantiating nodes, and ground stays global.
+//! to the instantiating nodes, and ground stays global. Subcircuit headers
+//! may declare parameter defaults which `X` cards override
+//! (`X1 a b cell w=2u`); parameters resolve through the instantiation
+//! chain, innermost definition winning. An F/H card inside a subcircuit
+//! can only reference a voltage source in the same subcircuit instance
+//! (the controlling name gets the same instance prefix the `V` card gets).
 //!
 //! Values accept engineering suffixes (see [`crate::si::parse_eng`]).
-//! Model names `nmos40` and `pmos40` are predefined.
+//! MOSFET model bases `nmos40`/`pmos40` (aliases `nmos`/`pmos`) are
+//! predefined; the PTM base `ptm` starts from
+//! [`PtmParams::vo2_default`]. `.model` cards may also derive from any
+//! previously defined model card.
 //!
 //! # Example
 //!
 //! ```
 //! let deck = "\
 //! * inverter driving a load
-//! VDD vdd 0 DC 1.0
-//! VIN in 0 PWL(0 0 10p 0 40p 1)
+//! .param vdd=1.0 cl=2f
+//! VDD vdd 0 DC {vdd}
+//! VIN in 0 PWL(0 0 10p 0 40p {vdd})
 //! M1 out in vdd vdd pmos40 W=240n L=40n
 //! M2 out in 0 0 nmos40 W=120n L=40n
-//! C1 out 0 2f
+//! C1 out 0 {cl}
 //! .tran 0.1p 200p
 //! .end";
 //! let parsed = sfet_circuit::parse::parse_netlist(deck).unwrap();
@@ -43,9 +65,10 @@
 //! assert_eq!(parsed.analyses.len(), 1);
 //! ```
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use crate::error::CircuitError;
+use crate::expr::{eval_expr, resolve_params, ParamDef, ParamScope};
 use crate::netlist::Circuit;
 use crate::si::parse_eng;
 use crate::waveform::SourceWaveform;
@@ -63,6 +86,28 @@ pub enum Analysis {
         /// Stop time \[s\].
         tstop: f64,
     },
+    /// `.dc <source> <start> <stop> <step>` — DC sweep of one source.
+    Dc {
+        /// Name of the swept V/I source.
+        source: String,
+        /// First sweep value.
+        start: f64,
+        /// Last sweep value (inclusive when the grid lands on it).
+        stop: f64,
+        /// Sweep increment; sign must point from `start` toward `stop`.
+        step: f64,
+    },
+}
+
+/// Expands a `.dc` sweep specification into its grid of source values:
+/// `start`, `start + step`, … up to the last point that does not overshoot
+/// `stop` (with a small tolerance so exact divisions include `stop`).
+pub fn dc_grid(start: f64, stop: f64, step: f64) -> Vec<f64> {
+    if step == 0.0 || !step.is_finite() {
+        return vec![start];
+    }
+    let n = ((stop - start) / step + 1e-9).floor().max(0.0) as usize;
+    (0..=n).map(|i| start + i as f64 * step).collect()
 }
 
 /// Result of parsing a netlist: the circuit plus analysis directives.
@@ -79,7 +124,11 @@ pub struct ParsedNetlist {
 /// # Errors
 ///
 /// [`CircuitError::Parse`] with the 1-based line number of the offending
-/// card, or any construction error from the [`Circuit`] builder.
+/// card, a named structural error ([`CircuitError::DuplicateSubckt`],
+/// [`CircuitError::SubcktArity`], [`CircuitError::SubcktRecursion`],
+/// [`CircuitError::UnknownSubckt`], [`CircuitError::UndefinedParam`],
+/// [`CircuitError::ParamCycle`]), or any construction error from the
+/// [`Circuit`] builder.
 pub fn parse_netlist(text: &str) -> Result<ParsedNetlist, CircuitError> {
     // Join continuation lines, remembering each logical line's start line.
     let mut logical: Vec<(usize, String)> = Vec::new();
@@ -99,16 +148,25 @@ pub fn parse_netlist(text: &str) -> Result<ParsedNetlist, CircuitError> {
         logical.push((idx + 1, line.trim().to_string()));
     }
 
-    // Extract .subckt definitions, then flatten X-card instantiations.
+    // Extract .subckt definitions, resolve top-level parameters, then
+    // flatten X-card instantiations (substituting {…} expressions).
     let (toplevel, subckts) = extract_subckts(logical)?;
-    let logical = expand_subckts(toplevel, &subckts, 0)?;
+    let (global_defs, toplevel) = split_param_lines(toplevel)?;
+    let genv = resolve_params(&global_defs, &ParamScope::new())?;
+    let logical = expand_subckts(toplevel, &subckts, 0, &genv)?;
 
-    let mut models: HashMap<String, MosfetModel> = HashMap::new();
-    models.insert("nmos40".into(), MosfetModel::nmos_40nm());
-    models.insert("pmos40".into(), MosfetModel::pmos_40nm());
-
+    let mut models = ModelSet::presets();
     let mut circuit = Circuit::new();
     let mut analyses = Vec::new();
+
+    // Record resolved globals on the circuit in first-definition order
+    // (redefinitions change the value, not the position).
+    let mut seen: HashSet<&str> = HashSet::new();
+    for def in &global_defs {
+        if seen.insert(def.name.as_str()) {
+            circuit.set_param(&def.name, genv[&def.name]);
+        }
+    }
 
     for (line_no, line) in &logical {
         let tokens = tokenize(line);
@@ -122,6 +180,10 @@ pub fn parse_netlist(text: &str) -> Result<ParsedNetlist, CircuitError> {
             parse_model(&tokens, &mut models)
         } else if head == ".tran" {
             parse_tran(&tokens).map(|a| analyses.push(a))
+        } else if head == ".dc" {
+            parse_dc(&tokens).map(|a| analyses.push(a))
+        } else if head == ".ic" {
+            parse_ic(&tokens, &mut circuit)
         } else if head.starts_with('.') {
             Err(err(0, &format!("unknown directive {:?}", tokens[0])))
         } else {
@@ -133,10 +195,34 @@ pub fn parse_netlist(text: &str) -> Result<ParsedNetlist, CircuitError> {
     Ok(ParsedNetlist { circuit, analyses })
 }
 
-/// A subcircuit definition: port names plus body card lines.
+/// The model cards in scope while parsing: MOSFET cards and PTM cards
+/// share the `.model` namespace but live in separate families.
+struct ModelSet {
+    mos: HashMap<String, MosfetModel>,
+    ptm: HashMap<String, PtmParams>,
+}
+
+impl ModelSet {
+    fn presets() -> Self {
+        let mut mos = HashMap::new();
+        mos.insert("nmos40".to_string(), MosfetModel::nmos_40nm());
+        mos.insert("pmos40".to_string(), MosfetModel::pmos_40nm());
+        // Convenience aliases for decks written against generic names.
+        mos.insert("nmos".to_string(), MosfetModel::nmos_40nm());
+        mos.insert("pmos".to_string(), MosfetModel::pmos_40nm());
+        ModelSet {
+            mos,
+            ptm: HashMap::new(),
+        }
+    }
+}
+
+/// A subcircuit definition: port names, header parameter defaults, and
+/// body card lines.
 #[derive(Debug, Clone)]
 struct Subckt {
     ports: Vec<String>,
+    params: Vec<ParamDef>,
     body: Vec<(usize, String)>,
 }
 
@@ -162,19 +248,43 @@ fn extract_subckts(
                 if current.is_some() {
                     return Err(err(line_no, "nested .subckt definitions are not allowed"));
                 }
-                let tokens: Vec<&str> = line.split_whitespace().collect();
-                if tokens.len() < 3 {
+                let tokens = split_card(&line);
+                let mut positional: Vec<String> = Vec::new();
+                let mut params: Vec<ParamDef> = Vec::new();
+                for tok in tokens.iter().skip(1) {
+                    match split_assignment(tok) {
+                        Some((k, v)) => params.push(ParamDef {
+                            name: check_param_name(k, line_no)?,
+                            expr: strip_braces(v).to_string(),
+                            line: line_no,
+                        }),
+                        None => {
+                            if !params.is_empty() {
+                                return Err(err(
+                                    line_no,
+                                    ".subckt ports must come before parameter defaults",
+                                ));
+                            }
+                            positional.push(tok.to_string());
+                        }
+                    }
+                }
+                if positional.len() < 2 {
                     return Err(err(line_no, ".subckt needs a name and at least one port"));
                 }
-                let name = tokens[1].to_ascii_lowercase();
+                let name = positional[0].to_ascii_lowercase();
                 if subckts.contains_key(&name) {
-                    return Err(err(line_no, &format!("duplicate subcircuit {name:?}")));
+                    return Err(CircuitError::DuplicateSubckt {
+                        name,
+                        line: line_no,
+                    });
                 }
-                let ports = tokens[2..].iter().map(|s| s.to_string()).collect();
+                let ports = positional[1..].to_vec();
                 current = Some((
                     name,
                     Subckt {
                         ports,
+                        params,
                         body: Vec::new(),
                     },
                     line_no,
@@ -201,14 +311,20 @@ fn extract_subckts(
 /// Maximum subcircuit nesting depth (guards against recursive definitions).
 const MAX_SUBCKT_DEPTH: usize = 16;
 
-/// Recursively expands `X<name> <node...> <subckt>` cards into flat card
-/// lines. Internal nodes and element names are prefixed with the instance
-/// path (`x1.`); ground (`0`/`gnd`) stays global.
+/// Recursively expands `X<name> <node...> <subckt> [param=value...]` cards
+/// into flat card lines, resolving `.param` scopes and substituting `{…}`
+/// expressions along the way. Internal nodes and element names are
+/// prefixed with the instance path (`x1.`); ground (`0`/`gnd`) stays
+/// global.
 fn expand_subckts(
     lines: NumberedLines,
     subckts: &HashMap<String, Subckt>,
     depth: usize,
+    outer: &ParamScope,
 ) -> Result<NumberedLines, CircuitError> {
+    // `.param` cards apply to their whole scope, wherever they appear.
+    let (defs, lines) = split_param_lines(lines)?;
+    let scope = resolve_params(&defs, outer)?;
     let mut out = Vec::with_capacity(lines.len());
     for (line_no, line) in lines {
         let is_x = line
@@ -217,32 +333,79 @@ fn expand_subckts(
             .map(|c| c.eq_ignore_ascii_case(&'x'))
             .unwrap_or(false);
         if !is_x {
-            out.push((line_no, line));
+            if depth > 0 && line.starts_with('.') {
+                let head = line.split_whitespace().next().unwrap_or(".");
+                return Err(err(
+                    line_no,
+                    &format!("directive {head:?} is not allowed inside .subckt"),
+                ));
+            }
+            out.push((line_no, substitute_braces(&line, &scope, line_no)?));
             continue;
         }
-        if depth >= MAX_SUBCKT_DEPTH {
-            return Err(err(line_no, "subcircuit nesting too deep (recursion?)"));
+        let tokens = split_card(&line);
+        let mut positional: Vec<&str> = Vec::new();
+        let mut overrides: Vec<(String, f64)> = Vec::new();
+        for tok in &tokens {
+            match split_assignment(tok) {
+                Some((k, v)) => {
+                    // X-card overrides are evaluated in the caller's scope.
+                    let value =
+                        eval_expr(strip_braces(v), &scope).map_err(|e| rewrite_line(e, line_no))?;
+                    overrides.push((k.to_ascii_lowercase(), value));
+                }
+                None => positional.push(tok),
+            }
         }
-        let tokens: Vec<&str> = line.split_whitespace().collect();
-        if tokens.len() < 3 {
+        if positional.len() < 3 {
             return Err(err(line_no, "X card needs <name> <nodes...> <subckt>"));
         }
-        let inst = tokens[0].to_ascii_lowercase();
-        let sub_name = tokens[tokens.len() - 1].to_ascii_lowercase();
-        let outer_nodes = &tokens[1..tokens.len() - 1];
+        let inst = positional[0].to_ascii_lowercase();
+        let sub_name = positional[positional.len() - 1].to_ascii_lowercase();
+        let outer_nodes = &positional[1..positional.len() - 1];
         let def = subckts
             .get(&sub_name)
-            .ok_or_else(|| err(line_no, &format!("unknown subcircuit {sub_name:?}")))?;
-        if outer_nodes.len() != def.ports.len() {
-            return Err(err(
-                line_no,
-                &format!(
-                    "subcircuit {sub_name:?} has {} ports, {} nodes given",
-                    def.ports.len(),
-                    outer_nodes.len()
-                ),
-            ));
+            .ok_or_else(|| CircuitError::UnknownSubckt {
+                name: sub_name.clone(),
+                line: line_no,
+            })?;
+        if depth >= MAX_SUBCKT_DEPTH {
+            return Err(CircuitError::SubcktRecursion {
+                subckt: sub_name,
+                line: line_no,
+            });
         }
+        if outer_nodes.len() != def.ports.len() {
+            return Err(CircuitError::SubcktArity {
+                subckt: sub_name,
+                expected: def.ports.len(),
+                given: outer_nodes.len(),
+                line: line_no,
+            });
+        }
+        for (k, _) in &overrides {
+            if !def.params.iter().any(|d| &d.name == k) {
+                return Err(err(
+                    line_no,
+                    &format!("subcircuit {sub_name:?} has no parameter {k:?}"),
+                ));
+            }
+        }
+        // Child scope: caller scope, then X-card overrides, then
+        // non-overridden header defaults resolved against both (so a
+        // default may reference other parameters, including overridden
+        // ones).
+        let mut child = scope.clone();
+        for (k, v) in &overrides {
+            child.insert(k.clone(), *v);
+        }
+        let defaults: Vec<ParamDef> = def
+            .params
+            .iter()
+            .filter(|d| !overrides.iter().any(|(k, _)| k == &d.name))
+            .cloned()
+            .collect();
+        let child = resolve_params(&defaults, &child)?;
         let port_map: HashMap<&str, &str> = def
             .ports
             .iter()
@@ -254,27 +417,38 @@ fn expand_subckts(
             expanded_body.push((*body_line_no, rename_card(body_line, &inst, &port_map)));
         }
         // Recurse for nested X cards inside the body.
-        let flat = expand_subckts(expanded_body, subckts, depth + 1)?;
+        let flat = expand_subckts(expanded_body, subckts, depth + 1, &child)?;
         out.extend(flat);
     }
     Ok(out)
 }
 
 /// Rewrites one body card for instantiation: element name gets the
-/// instance prefix; node tokens map through the port map or get prefixed.
+/// instance prefix; node tokens map through the port map or get prefixed;
+/// the controlling-source token of an F/H card gets the element-style
+/// prefix so it tracks the renamed `V` card in the same instance.
 fn rename_card(line: &str, inst: &str, port_map: &HashMap<&str, &str>) -> String {
-    let tokens: Vec<&str> = line.split_whitespace().collect();
+    let tokens = split_card(line);
     if tokens.is_empty() {
         return line.to_string();
     }
+    if tokens[0].starts_with('.') {
+        // Directives (`.param` for scoped parameters) pass through; the
+        // recursive expansion step interprets or rejects them.
+        return line.to_string();
+    }
     let kind = tokens[0].chars().next().unwrap_or(' ').to_ascii_uppercase();
-    // Which token positions are node names, per card type.
+    // How many leading positional tokens (after the name) are node names.
     let node_count = match kind {
-        'R' | 'C' | 'L' | 'V' | 'I' | 'P' => 2,
-        'M' => 4,
-        'X' => tokens.len().saturating_sub(2), // all but name and subckt name
+        'R' | 'C' | 'L' | 'V' | 'I' | 'P' | 'F' | 'H' => 2,
+        'M' | 'E' | 'G' => 4,
+        'X' => usize::MAX, // all positional tokens except the subckt name
         _ => 0,
     };
+    let positional_total = tokens
+        .iter()
+        .filter(|t| split_assignment(t).is_none())
+        .count();
     // The card's type letter must stay first (the card dispatcher keys on
     // it), so the instance prefix goes after it: MP inside x1 -> Mx1.P.
     let renamed = if kind == 'X' {
@@ -283,11 +457,24 @@ fn rename_card(line: &str, inst: &str, port_map: &HashMap<&str, &str>) -> String
         format!("{}{}.{}", &tokens[0][..1], inst, &tokens[0][1..])
     };
     let mut out = vec![renamed];
-    for (i, tok) in tokens.iter().enumerate().skip(1) {
-        if i <= node_count {
-            out.push(map_node(tok, inst, port_map));
+    let mut pos_idx = 0usize;
+    for tok in tokens.iter().skip(1) {
+        if split_assignment(tok).is_some() {
+            out.push(tok.clone());
+            continue;
+        }
+        pos_idx += 1;
+        let is_node = if kind == 'X' {
+            pos_idx < positional_total - 1
         } else {
-            out.push(tok.to_string());
+            pos_idx <= node_count
+        };
+        if is_node {
+            out.push(map_node(tok, inst, port_map));
+        } else if (kind == 'F' || kind == 'H') && pos_idx == 3 && tok.len() > 1 {
+            out.push(format!("{}{}.{}", &tok[..1], inst, &tok[1..]));
+        } else {
+            out.push(tok.clone());
         }
     }
     out.join(" ")
@@ -310,11 +497,176 @@ fn err(line: usize, message: &str) -> CircuitError {
     }
 }
 
+/// Fills in the source line on errors raised without one (line 0).
 fn rewrite_line(e: CircuitError, line: usize) -> CircuitError {
     match e {
-        CircuitError::Parse { message, .. } => CircuitError::Parse { line, message },
+        CircuitError::Parse { message, line: 0 } => CircuitError::Parse { line, message },
+        CircuitError::UndefinedParam { name, line: 0 } => {
+            CircuitError::UndefinedParam { name, line }
+        }
+        CircuitError::ParamCycle { name, line: 0 } => CircuitError::ParamCycle { name, line },
         other => other,
     }
+}
+
+/// Extracts `.param` cards from a scope's lines, leaving the rest.
+fn split_param_lines(lines: NumberedLines) -> Result<(Vec<ParamDef>, NumberedLines), CircuitError> {
+    let mut defs = Vec::new();
+    let mut rest = Vec::new();
+    for (line_no, line) in lines {
+        let head = line
+            .split_whitespace()
+            .next()
+            .unwrap_or("")
+            .to_ascii_lowercase();
+        if head == ".param" {
+            defs.extend(parse_param_card(line_no, &line)?);
+        } else {
+            rest.push((line_no, line));
+        }
+    }
+    Ok((defs, rest))
+}
+
+/// Parses one `.param name=expr [name=expr ...]` card.
+fn parse_param_card(line_no: usize, line: &str) -> Result<Vec<ParamDef>, CircuitError> {
+    let tokens = split_card(line);
+    if tokens.len() < 2 {
+        return Err(err(
+            line_no,
+            ".param needs at least one <name>=<expr> assignment",
+        ));
+    }
+    let mut defs = Vec::new();
+    for tok in tokens.iter().skip(1) {
+        let Some((name, expr)) = split_assignment(tok) else {
+            return Err(err(
+                line_no,
+                &format!("expected <name>=<expr>, got {tok:?}"),
+            ));
+        };
+        defs.push(ParamDef {
+            name: check_param_name(name, line_no)?,
+            expr: strip_braces(expr).to_string(),
+            line: line_no,
+        });
+    }
+    Ok(defs)
+}
+
+/// Validates and lower-cases a parameter name.
+fn check_param_name(name: &str, line_no: usize) -> Result<String, CircuitError> {
+    let ok = name
+        .chars()
+        .next()
+        .map(|c| c.is_ascii_alphabetic() || c == '_')
+        .unwrap_or(false)
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
+    if !ok {
+        return Err(err(
+            line_no,
+            &format!("invalid parameter name {name:?} (want [a-z_][a-z0-9_]*)"),
+        ));
+    }
+    Ok(name.to_ascii_lowercase())
+}
+
+/// Splits `name=value` tokens produced by [`split_card`]. Returns `None`
+/// for purely positional tokens.
+fn split_assignment(token: &str) -> Option<(&str, &str)> {
+    let eq = token.find('=')?;
+    let (k, v) = (&token[..eq], &token[eq + 1..]);
+    if k.is_empty() || v.is_empty() {
+        return None;
+    }
+    Some((k, v))
+}
+
+/// Strips one level of surrounding braces: `{expr}` -> `expr`.
+fn strip_braces(token: &str) -> &str {
+    let t = token.trim();
+    if let Some(inner) = t.strip_prefix('{').and_then(|s| s.strip_suffix('}')) {
+        inner
+    } else {
+        t
+    }
+}
+
+/// Splits a card into whitespace/comma-separated tokens, keeping `{...}`
+/// expressions (which may contain spaces) atomic and merging `k = v`
+/// spellings into single `k=v` assignment tokens.
+fn split_card(line: &str) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    let mut cur = String::new();
+    let mut depth = 0usize;
+    for ch in line.chars() {
+        match ch {
+            '{' => {
+                depth += 1;
+                cur.push(ch);
+            }
+            '}' => {
+                depth = depth.saturating_sub(1);
+                cur.push(ch);
+            }
+            c if depth > 0 => cur.push(c),
+            '=' => {
+                if cur.is_empty() {
+                    if let Some(prev) = out.pop() {
+                        cur = prev;
+                    }
+                }
+                cur.push('=');
+            }
+            c if c.is_whitespace() || c == ',' => {
+                if !cur.is_empty() && !cur.ends_with('=') {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            c => cur.push(c),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Replaces every `{expr}` in the line with its evaluated value.
+fn substitute_braces(
+    line: &str,
+    scope: &ParamScope,
+    line_no: usize,
+) -> Result<String, CircuitError> {
+    if !line.contains('{') {
+        return Ok(line.to_string());
+    }
+    let mut out = String::with_capacity(line.len());
+    let mut rest = line;
+    while let Some(open) = rest.find('{') {
+        out.push_str(&rest[..open]);
+        let mut depth = 0usize;
+        let mut close = None;
+        for (i, c) in rest[open..].char_indices() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = Some(open + i);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let close = close.ok_or_else(|| err(line_no, "unmatched '{' in expression"))?;
+        let v = eval_expr(&rest[open + 1..close], scope).map_err(|e| rewrite_line(e, line_no))?;
+        out.push_str(&format!("{v:e}"));
+        rest = &rest[close + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
 }
 
 /// Splits a card into tokens, treating parentheses and `=` as separators
@@ -345,16 +697,25 @@ fn tokenize(line: &str) -> Vec<String> {
     out
 }
 
-fn parse_model(
-    tokens: &[String],
-    models: &mut HashMap<String, MosfetModel>,
-) -> Result<(), CircuitError> {
+fn parse_model(tokens: &[String], models: &mut ModelSet) -> Result<(), CircuitError> {
     if tokens.len() < 3 {
         return Err(err(0, ".model needs a name and a base model"));
     }
     let name = tokens[1].to_ascii_lowercase();
     let base = tokens[2].to_ascii_lowercase();
+    if base == "ptm" || models.ptm.contains_key(&base) {
+        let mut params = models
+            .ptm
+            .get(&base)
+            .copied()
+            .unwrap_or_else(PtmParams::vo2_default);
+        apply_ptm_overrides(&tokens[3..], &mut params)?;
+        params.validate()?;
+        models.ptm.insert(name, params);
+        return Ok(());
+    }
     let mut model = models
+        .mos
         .get(&base)
         .cloned()
         .ok_or_else(|| err(0, &format!("unknown base model {base:?}")))?;
@@ -366,13 +727,39 @@ fn parse_model(
         let v = parse_eng(value)?;
         match key.to_ascii_lowercase().as_str() {
             "vt_shift" => model = model.with_vt_shift(v),
+            "vt0" => model.vt0 = v,
             "kp" => model.kp = v,
             "lambda" => model.lambda = v,
+            "slope_n" => model.slope_n = v,
+            "cox" => model.cox = v,
+            "cov" => model.cov = v,
+            "ut" => model.ut = v,
             other => return Err(err(0, &format!("unknown model parameter {other:?}"))),
         }
     }
     model.name = name.clone();
-    models.insert(name, model);
+    model.validate()?;
+    models.mos.insert(name, model);
+    Ok(())
+}
+
+/// Applies `key value` PTM parameter pairs from an already-tokenized card.
+fn apply_ptm_overrides(tokens: &[String], params: &mut PtmParams) -> Result<(), CircuitError> {
+    let mut it = tokens.iter();
+    while let Some(key) = it.next() {
+        let value = it
+            .next()
+            .ok_or_else(|| err(0, &format!("missing value for {key}")))?;
+        let v = parse_eng(value)?;
+        match key.to_ascii_lowercase().as_str() {
+            "vimt" => params.v_imt = v,
+            "vmit" => params.v_mit = v,
+            "rins" => params.r_ins = v,
+            "rmet" => params.r_met = v,
+            "tptm" => params.t_ptm = v,
+            other => return Err(err(0, &format!("unknown ptm parameter {other:?}"))),
+        }
+    }
     Ok(())
 }
 
@@ -386,10 +773,56 @@ fn parse_tran(tokens: &[String]) -> Result<Analysis, CircuitError> {
     })
 }
 
+fn parse_dc(tokens: &[String]) -> Result<Analysis, CircuitError> {
+    if tokens.len() != 5 {
+        return Err(err(0, ".dc needs <source> <start> <stop> <step>"));
+    }
+    let source = tokens[1].clone();
+    let start = parse_eng(&tokens[2])?;
+    let stop = parse_eng(&tokens[3])?;
+    let step = parse_eng(&tokens[4])?;
+    if step == 0.0 || !step.is_finite() || !start.is_finite() || !stop.is_finite() {
+        return Err(err(0, ".dc values must be finite with a non-zero step"));
+    }
+    if (stop - start) * step < 0.0 {
+        return Err(err(0, ".dc step direction does not reach stop from start"));
+    }
+    Ok(Analysis::Dc {
+        source,
+        start,
+        stop,
+        step,
+    })
+}
+
+/// Parses `.ic v(<node>)=<value> ...` node-voltage pins.
+fn parse_ic(tokens: &[String], circuit: &mut Circuit) -> Result<(), CircuitError> {
+    let mut it = tokens[1..].iter();
+    let mut any = false;
+    while let Some(head) = it.next() {
+        if !head.eq_ignore_ascii_case("v") {
+            return Err(err(0, ".ic entries look like v(<node>)=<value>"));
+        }
+        match (it.next(), it.next(), it.next(), it.next()) {
+            (Some(open), Some(node), Some(close), Some(value)) if open == "(" && close == ")" => {
+                let v = parse_eng(value)?;
+                let id = circuit.node(node);
+                circuit.set_node_ic(id, v);
+                any = true;
+            }
+            _ => return Err(err(0, ".ic entries look like v(<node>)=<value>")),
+        }
+    }
+    if !any {
+        return Err(err(0, ".ic needs at least one v(<node>)=<value> entry"));
+    }
+    Ok(())
+}
+
 fn parse_card(
     tokens: &[String],
     circuit: &mut Circuit,
-    models: &HashMap<String, MosfetModel>,
+    models: &ModelSet,
 ) -> Result<(), CircuitError> {
     let card = &tokens[0];
     let kind = card
@@ -433,6 +866,42 @@ fn parse_card(
             }
             Ok(())
         }
+        'E' | 'G' => {
+            if tokens.len() < 6 {
+                return Err(err(
+                    0,
+                    "controlled source card needs <name> <p> <n> <cp> <cn> <value>",
+                ));
+            }
+            let p = circuit.node(&tokens[1]);
+            let n = circuit.node(&tokens[2]);
+            let cp = circuit.node(&tokens[3]);
+            let cn = circuit.node(&tokens[4]);
+            let v = parse_eng(&tokens[5])?;
+            if kind == 'E' {
+                circuit.add_vcvs(card, p, n, cp, cn, v)?;
+            } else {
+                circuit.add_vccs(card, p, n, cp, cn, v)?;
+            }
+            Ok(())
+        }
+        'F' | 'H' => {
+            if tokens.len() < 5 {
+                return Err(err(
+                    0,
+                    "controlled source card needs <name> <p> <n> <vsource> <value>",
+                ));
+            }
+            let p = circuit.node(&tokens[1]);
+            let n = circuit.node(&tokens[2]);
+            let v = parse_eng(&tokens[4])?;
+            if kind == 'F' {
+                circuit.add_cccs(card, p, n, &tokens[3], v)?;
+            } else {
+                circuit.add_ccvs(card, p, n, &tokens[3], v)?;
+            }
+            Ok(())
+        }
         'M' => {
             if tokens.len() < 10 {
                 return Err(err(
@@ -445,6 +914,7 @@ fn parse_card(
             let s = circuit.node(&tokens[3]);
             let b = circuit.node(&tokens[4]);
             let model = models
+                .mos
                 .get(&tokens[5].to_ascii_lowercase())
                 .cloned()
                 .ok_or_else(|| err(0, &format!("unknown model {:?}", tokens[5])))?;
@@ -468,26 +938,18 @@ fn parse_card(
         }
         'P' => {
             if tokens.len() < 3 {
-                return Err(err(0, "ptm card needs <name> <p> <n> [params]"));
+                return Err(err(0, "ptm card needs <name> <p> <n> [model] [params]"));
             }
             let p = circuit.node(&tokens[1]);
             let n = circuit.node(&tokens[2]);
-            let mut params = PtmParams::vo2_default();
-            let mut it = tokens[3..].iter();
-            while let Some(key) = it.next() {
-                let value = it
-                    .next()
-                    .ok_or_else(|| err(0, &format!("missing value for {key}")))?;
-                let v = parse_eng(value)?;
-                match key.to_ascii_lowercase().as_str() {
-                    "vimt" => params.v_imt = v,
-                    "vmit" => params.v_mit = v,
-                    "rins" => params.r_ins = v,
-                    "rmet" => params.r_met = v,
-                    "tptm" => params.t_ptm = v,
-                    other => return Err(err(0, &format!("unknown ptm parameter {other:?}"))),
+            // Optional PTM model-card name, then key/value overrides.
+            let (mut params, rest) = match tokens.get(3) {
+                Some(t) if models.ptm.contains_key(&t.to_ascii_lowercase()) => {
+                    (models.ptm[&t.to_ascii_lowercase()], &tokens[4..])
                 }
-            }
+                _ => (PtmParams::vo2_default(), &tokens[3..]),
+            };
+            apply_ptm_overrides(rest, &mut params)?;
             circuit.add_ptm(card, p, n, params)?;
             Ok(())
         }
@@ -824,5 +1286,532 @@ CL y 0 2f
         parsed.circuit.validate().unwrap();
         assert!(parsed.circuit.find_element("Px1.1").is_some());
         assert_eq!(parsed.analyses.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_subckt_is_a_named_error() {
+        let deck = ".subckt u a b\nR1 a b 1k\n.ends\n.subckt u a b\nR1 a b 2k\n.ends\n";
+        match parse_netlist(deck).unwrap_err() {
+            CircuitError::DuplicateSubckt { name, line } => {
+                assert_eq!(name, "u");
+                assert_eq!(line, 4);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arity_mismatch_is_a_named_error() {
+        let deck = ".subckt u a b\nR1 a b 1k\n.ends\nV1 x 0 1\nX1 x u\n";
+        match parse_netlist(deck).unwrap_err() {
+            CircuitError::SubcktArity {
+                subckt,
+                expected,
+                given,
+                line,
+            } => {
+                assert_eq!(subckt, "u");
+                assert_eq!(expected, 2);
+                assert_eq!(given, 1);
+                assert_eq!(line, 5);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recursion_is_a_named_error() {
+        let deck = ".subckt loop a b\nX1 a b loop\n.ends\nV1 x 0 1\nX1 x 0 loop\n";
+        match parse_netlist(deck).unwrap_err() {
+            CircuitError::SubcktRecursion { subckt, line } => {
+                assert_eq!(subckt, "loop");
+                assert_eq!(line, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_subckt_is_a_named_error() {
+        match parse_netlist("V1 a 0 1\nX1 a b nosuch\nR1 b 0 1k").unwrap_err() {
+            CircuitError::UnknownSubckt { name, line } => {
+                assert_eq!(name, "nosuch");
+                assert_eq!(line, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn directive_inside_subckt_rejected() {
+        let deck = "\
+.subckt bad a b
+R1 a b 1k
+.tran 1p 10p
+.ends
+V1 x 0 1
+X1 x 0 bad
+";
+        match parse_netlist(deck).unwrap_err() {
+            CircuitError::Parse { line, message } => {
+                assert_eq!(line, 3);
+                assert!(message.contains(".tran"), "{message}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod param_tests {
+    use super::*;
+    use crate::element::Element;
+
+    #[test]
+    fn global_params_feed_values_and_are_recorded() {
+        let deck = "\
+.param vdd=1.2 rload={vdd*1000}
+V1 a 0 DC {vdd}
+R1 a 0 {rload}
+";
+        let parsed = parse_netlist(deck).unwrap();
+        match &parsed.circuit.elements()[0] {
+            Element::VoltageSource(v) => assert_eq!(v.wave.eval(0.0), 1.2),
+            _ => unreachable!(),
+        }
+        match &parsed.circuit.elements()[1] {
+            Element::Resistor(r) => assert!((r.ohms - 1200.0).abs() < 1e-9),
+            _ => unreachable!(),
+        }
+        assert_eq!(parsed.circuit.params().len(), 2);
+        assert_eq!(parsed.circuit.params()[0], ("vdd".to_string(), 1.2));
+    }
+
+    #[test]
+    fn params_apply_regardless_of_position() {
+        // The .param card comes after its use; scope-wide semantics.
+        let deck = "R1 a 0 {r}\nV1 a 0 1\n.param r=2k";
+        let parsed = parse_netlist(deck).unwrap();
+        match &parsed.circuit.elements()[0] {
+            Element::Resistor(r) => assert_eq!(r.ohms, 2000.0),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn later_param_definition_wins() {
+        let deck = ".param r=1k\n.param r=3k\nV1 a 0 1\nR1 a 0 {r}";
+        let parsed = parse_netlist(deck).unwrap();
+        match &parsed.circuit.elements()[1] {
+            Element::Resistor(r) => assert_eq!(r.ohms, 3000.0),
+            _ => unreachable!(),
+        }
+        assert_eq!(parsed.circuit.params(), &[("r".to_string(), 3000.0)]);
+    }
+
+    #[test]
+    fn expressions_with_spaces_and_suffixes() {
+        let deck = ".param c0 = {2 * (1f + 0.5f)}\nV1 a 0 1\nC1 a 0 {c0}";
+        let parsed = parse_netlist(deck).unwrap();
+        match &parsed.circuit.elements()[1] {
+            Element::Capacitor(c) => assert!((c.farads - 3e-15).abs() < 1e-27),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn undefined_param_carries_use_line() {
+        let e = parse_netlist("V1 a 0 1\nR1 a 0 {nope}").unwrap_err();
+        match e {
+            CircuitError::UndefinedParam { name, line } => {
+                assert_eq!(name, "nope");
+                assert_eq!(line, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn param_cycle_is_a_named_error() {
+        let e = parse_netlist(".param a={b} b={a}\nV1 x 0 1\nR1 x 0 {a}").unwrap_err();
+        assert!(matches!(e, CircuitError::ParamCycle { .. }), "{e:?}");
+    }
+
+    #[test]
+    fn subckt_defaults_and_x_card_overrides() {
+        let deck = "\
+.subckt div a b rtop=1k rbot={rtop}
+R1 a m {rtop}
+R2 m b {rbot}
+.ends
+V1 in 0 1
+X1 in 0 div
+X2 in 0 div rtop=2k
+";
+        let parsed = parse_netlist(deck).unwrap();
+        parsed.circuit.validate().unwrap();
+        let ohms = |name: &str| match parsed
+            .circuit
+            .elements()
+            .iter()
+            .find(|e| e.name() == name)
+            .unwrap()
+        {
+            Element::Resistor(r) => r.ohms,
+            _ => unreachable!(),
+        };
+        assert_eq!(ohms("Rx1.1"), 1000.0);
+        assert_eq!(ohms("Rx1.2"), 1000.0);
+        // Override propagates into the default that references it.
+        assert_eq!(ohms("Rx2.1"), 2000.0);
+        assert_eq!(ohms("Rx2.2"), 2000.0);
+    }
+
+    #[test]
+    fn subckt_param_shadows_global() {
+        let deck = "\
+.param w=1k
+.subckt cell a b w=2k
+R1 a b {w}
+.ends
+V1 in 0 1
+R0 in mid {w}
+X1 mid 0 cell
+";
+        let parsed = parse_netlist(deck).unwrap();
+        let ohms = |name: &str| match parsed
+            .circuit
+            .elements()
+            .iter()
+            .find(|e| e.name() == name)
+            .unwrap()
+        {
+            Element::Resistor(r) => r.ohms,
+            _ => unreachable!(),
+        };
+        assert_eq!(ohms("R0"), 1000.0);
+        assert_eq!(ohms("Rx1.1"), 2000.0);
+    }
+
+    #[test]
+    fn body_params_resolve_against_enclosing_scope() {
+        let deck = "\
+.param base=100
+.subckt cell a b
+.param r={base*10}
+R1 a b {r}
+.ends
+V1 in 0 1
+X1 in 0 cell
+";
+        let parsed = parse_netlist(deck).unwrap();
+        match parsed
+            .circuit
+            .elements()
+            .iter()
+            .find(|e| e.name() == "Rx1.1")
+            .unwrap()
+        {
+            Element::Resistor(r) => assert_eq!(r.ohms, 1000.0),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn unknown_x_card_param_rejected() {
+        let deck = ".subckt u a b w=1k\nR1 a b {w}\n.ends\nV1 x 0 1\nX1 x 0 u bogus=2\n";
+        let e = parse_netlist(deck).unwrap_err();
+        match e {
+            CircuitError::Parse { line, message } => {
+                assert_eq!(line, 5);
+                assert!(message.contains("bogus"), "{message}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn braces_in_directives() {
+        let deck = ".param ts=100p\nV1 a 0 1\nR1 a 0 1k\n.tran {ts/100} {ts}";
+        let parsed = parse_netlist(deck).unwrap();
+        assert_eq!(
+            parsed.analyses,
+            vec![Analysis::Tran {
+                dtmax: 1e-12,
+                tstop: 100e-12
+            }]
+        );
+    }
+
+    #[test]
+    fn bad_param_name_rejected() {
+        assert!(parse_netlist(".param 1x=2\nV1 a 0 1\nR1 a 0 1k").is_err());
+        assert!(parse_netlist(".param\nV1 a 0 1\nR1 a 0 1k").is_err());
+    }
+
+    #[test]
+    fn unmatched_brace_rejected() {
+        let e = parse_netlist("V1 a 0 1\nR1 a 0 {r").unwrap_err();
+        assert!(matches!(e, CircuitError::Parse { line: 2, .. }), "{e:?}");
+    }
+}
+
+#[cfg(test)]
+mod controlled_source_tests {
+    use super::*;
+    use crate::element::Element;
+
+    #[test]
+    fn parse_vcvs_and_vccs() {
+        let deck = "\
+V1 in 0 DC 0.1
+R1 in 0 1k
+E1 amp 0 in 0 10
+RL amp 0 1k
+G1 0 gout in 0 1m
+RG gout 0 2k
+";
+        let parsed = parse_netlist(deck).unwrap();
+        parsed.circuit.validate().unwrap();
+        match parsed.circuit.elements().iter().find(|e| e.name() == "E1") {
+            Some(Element::Vcvs(e)) => assert_eq!(e.gain, 10.0),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parsed.circuit.elements().iter().find(|e| e.name() == "G1") {
+            Some(Element::Vccs(g)) => assert_eq!(g.gm, 1e-3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_cccs_and_ccvs() {
+        let deck = "\
+V1 in 0 DC 1
+R1 in 0 1k
+F1 fout 0 V1 2
+RF fout 0 1k
+H1 hout 0 V1 50
+RH hout 0 1k
+";
+        let parsed = parse_netlist(deck).unwrap();
+        parsed.circuit.validate().unwrap();
+        match parsed.circuit.elements().iter().find(|e| e.name() == "F1") {
+            Some(Element::Cccs(f)) => {
+                assert_eq!(f.vname, "V1");
+                assert_eq!(f.gain, 2.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parsed.circuit.elements().iter().find(|e| e.name() == "H1") {
+            Some(Element::Ccvs(h)) => assert_eq!(h.r, 50.0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dangling_control_source_fails_validation() {
+        let deck = "I1 0 a DC 1m\nRA a 0 1k\nF1 b 0 VMISSING 2\nRB b 0 1k";
+        let parsed = parse_netlist(deck).unwrap();
+        match parsed.circuit.validate().unwrap_err() {
+            CircuitError::UnknownControlSource { element, source } => {
+                assert_eq!(element, "F1");
+                assert_eq!(source, "VMISSING");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn f_card_in_subckt_references_local_vsource() {
+        let deck = "\
+.subckt mirror in out
+VSENSE in 0 DC 0
+F1 out 0 VSENSE 2
+.ends
+I1 0 a DC 1m
+X1 a b mirror
+RL b 0 1k
+";
+        let parsed = parse_netlist(deck).unwrap();
+        parsed.circuit.validate().unwrap();
+        assert!(parsed.circuit.find_element("Vx1.SENSE").is_some());
+        match parsed
+            .circuit
+            .elements()
+            .iter()
+            .find(|e| e.name() == "Fx1.1")
+        {
+            Some(Element::Cccs(f)) => assert_eq!(f.vname, "Vx1.SENSE"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn controlled_sources_round_trip_through_writer() {
+        let deck = "\
+V1 in 0 DC 1
+R1 in 0 1k
+E1 e 0 in 0 4
+RE e 0 1k
+G1 0 g in 0 2m
+RG g 0 1k
+F1 f 0 V1 3
+RF f 0 1k
+H1 h 0 V1 25
+RH h 0 1k
+";
+        let parsed = parse_netlist(deck).unwrap();
+        let text = parsed.circuit.to_netlist();
+        let reparsed = parse_netlist(&text).unwrap();
+        assert_eq!(parsed.circuit.elements(), reparsed.circuit.elements());
+    }
+}
+
+#[cfg(test)]
+mod directive_tests {
+    use super::*;
+
+    #[test]
+    fn dc_directive_parses() {
+        let parsed = parse_netlist("V1 a 0 1\nR1 a 0 1k\n.dc V1 0 1 0.25").unwrap();
+        assert_eq!(
+            parsed.analyses,
+            vec![Analysis::Dc {
+                source: "V1".to_string(),
+                start: 0.0,
+                stop: 1.0,
+                step: 0.25
+            }]
+        );
+    }
+
+    #[test]
+    fn dc_directive_rejects_bad_step() {
+        assert!(parse_netlist("V1 a 0 1\nR1 a 0 1k\n.dc V1 0 1 0").is_err());
+        assert!(parse_netlist("V1 a 0 1\nR1 a 0 1k\n.dc V1 0 1 -0.1").is_err());
+        assert!(parse_netlist("V1 a 0 1\nR1 a 0 1k\n.dc V1 0 1").is_err());
+    }
+
+    #[test]
+    fn dc_grid_spans_inclusive_ranges() {
+        assert_eq!(dc_grid(0.0, 1.0, 0.25), vec![0.0, 0.25, 0.5, 0.75, 1.0]);
+        assert_eq!(dc_grid(1.0, 0.0, -0.5), vec![1.0, 0.5, 0.0]);
+        // Non-dividing step stops short of overshooting.
+        assert_eq!(
+            dc_grid(0.0, 1.0, 0.3),
+            vec![0.0, 0.3, 0.6, 0.8999999999999999]
+        );
+        assert_eq!(dc_grid(0.5, 0.5, 0.1), vec![0.5]);
+    }
+
+    #[test]
+    fn ic_directive_pins_nodes() {
+        let parsed = parse_netlist("V1 a 0 1\nR1 a b 1k\nC1 b 0 1f\n.ic v(b)=0.5").unwrap();
+        let node_ics = parsed.circuit.node_ics();
+        assert_eq!(node_ics.len(), 1);
+        let b = parsed.circuit.find_node("b").unwrap();
+        assert_eq!(node_ics[0], (b, 0.5));
+    }
+
+    #[test]
+    fn ic_directive_multiple_entries_and_overwrite() {
+        let deck = "V1 a 0 1\nR1 a b 1k\nC1 b 0 1f\n.ic v(b)=0.5 v(a)=1\n.ic v(b)=0.7";
+        let parsed = parse_netlist(deck).unwrap();
+        let b = parsed.circuit.find_node("b").unwrap();
+        let ics = parsed.circuit.node_ics();
+        assert_eq!(ics.len(), 2);
+        assert!(ics.contains(&(b, 0.7)));
+    }
+
+    #[test]
+    fn ic_directive_rejects_bad_shapes() {
+        assert!(parse_netlist("V1 a 0 1\nR1 a 0 1k\n.ic").is_err());
+        assert!(parse_netlist("V1 a 0 1\nR1 a 0 1k\n.ic i(a)=1").is_err());
+        assert!(parse_netlist("V1 a 0 1\nR1 a 0 1k\n.ic v(a)").is_err());
+    }
+
+    #[test]
+    fn model_card_full_overrides() {
+        let deck = "\
+.model fast nmos40 vt0=0.3 kp=400u lambda=0.1 slope_n=1.3
+VDD d 0 1
+M1 d g 0 0 fast W=120n L=40n
+R1 g 0 1k";
+        let parsed = parse_netlist(deck).unwrap();
+        match &parsed.circuit.elements()[1] {
+            crate::element::Element::Mosfet(m) => {
+                assert_eq!(m.model.vt0, 0.3);
+                assert!((m.model.kp - 400e-6).abs() < 1e-15);
+                assert_eq!(m.model.lambda, 0.1);
+                assert_eq!(m.model.slope_n, 1.3);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn model_cards_can_derive_from_model_cards() {
+        let deck = "\
+.model hvtn nmos40 vt_shift=0.1
+.model hvtn2 hvtn vt_shift=0.1
+VDD d 0 1
+M1 d g 0 0 hvtn2 W=120n L=40n
+R1 g 0 1k";
+        let parsed = parse_netlist(deck).unwrap();
+        match &parsed.circuit.elements()[1] {
+            crate::element::Element::Mosfet(m) => {
+                // nmos40 vt0 is 0.45; two +0.1 shifts stack.
+                assert!((m.model.vt0 - 0.65).abs() < 1e-12);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn ptm_model_cards_apply_to_p_cards() {
+        let deck = "\
+.model myptm ptm VIMT=0.35 RINS=200k
+V1 a 0 1
+P1 a b myptm TPTM=2p
+C1 b 0 1f";
+        let parsed = parse_netlist(deck).unwrap();
+        match &parsed.circuit.elements()[1] {
+            crate::element::Element::Ptm(p) => {
+                assert_eq!(p.params.v_imt, 0.35);
+                assert_eq!(p.params.r_ins, 200e3);
+                assert_eq!(p.params.t_ptm, 2e-12); // instance override on top
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn ptm_model_cards_can_derive() {
+        let deck = "\
+.model base ptm VIMT=0.35
+.model hot base VMIT=0.05
+V1 a 0 1
+P1 a b hot
+C1 b 0 1f";
+        let parsed = parse_netlist(deck).unwrap();
+        match &parsed.circuit.elements()[1] {
+            crate::element::Element::Ptm(p) => {
+                assert_eq!(p.params.v_imt, 0.35);
+                assert_eq!(p.params.v_mit, 0.05);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn invalid_ptm_model_card_rejected() {
+        // v_mit above v_imt violates the device invariant.
+        assert!(parse_netlist(".model bad ptm VIMT=0.1 VMIT=0.5\nV1 a 0 1\nR1 a 0 1k").is_err());
+    }
+
+    #[test]
+    fn nmos_pmos_aliases_available() {
+        let deck = "VDD d 0 1\nM1 d g 0 0 nmos W=120n L=40n\nR1 g 0 1k";
+        assert!(parse_netlist(deck).is_ok());
     }
 }

@@ -172,6 +172,76 @@ mod tests {
         assert_eq!(parse_eng("1meg").unwrap(), 1e6);
     }
 
+    /// Pins the complete SPICE suffix semantics, including the classic
+    /// gotchas: suffixes are case-insensitive, `m`/`M` are always milli,
+    /// only the spelled-out `meg`/`MEG` is 1e6, `mil` is the imperial
+    /// thousandth-inch, and trailing unit letters are ignored — so `1MHz`
+    /// is one *milli*-hertz-ish 1e-3 and `1A` is one *atto*, exactly as in
+    /// SPICE.
+    #[test]
+    fn suffix_semantics_table() {
+        let table: &[(&str, f64)] = &[
+            // Every scale suffix, lower and upper case.
+            ("1t", 1e12),
+            ("1T", 1e12),
+            ("1g", 1e9),
+            ("1G", 1e9),
+            ("1meg", 1e6),
+            ("1MEG", 1e6),
+            ("1Meg", 1e6),
+            ("1k", 1e3),
+            ("1K", 1e3),
+            ("1m", 1e-3),
+            ("1M", 1e-3),
+            ("1u", 1e-6),
+            ("1U", 1e-6),
+            ("1n", 1e-9),
+            ("1N", 1e-9),
+            ("1p", 1e-12),
+            ("1P", 1e-12),
+            ("1f", 1e-15),
+            ("1F", 1e-15),
+            ("1a", 1e-18),
+            ("1A", 1e-18),
+            // The mil family (thousandth of an inch).
+            ("1mil", 25.4e-6),
+            ("1MIL", 25.4e-6),
+            ("2mil", 50.8e-6),
+            // Unit letters after a scale suffix are ignored.
+            ("1kOhm", 1e3),
+            ("1KOHM", 1e3),
+            ("2megohm", 2e6),
+            ("2MEGOhm", 2e6),
+            ("30ps", 30e-12),
+            ("2.5nF", 2.5e-9),
+            ("100uA", 100e-6),
+            // Unit-only letters (no scale prefix) mean scale 1.
+            ("1V", 1.0),
+            ("1v", 1.0),
+            ("3Hz", 3.0),
+            ("2s", 2.0),
+            // The gotchas: M is milli even when a unit follows.
+            ("1MHz", 1e-3),
+            ("1mV", 1e-3),
+            ("1MA", 1e-3),
+            // meg wins over m+unit when spelled out.
+            ("2MEGV", 2e6),
+            // Signs and decimals compose with suffixes.
+            ("-2.5k", -2.5e3),
+            ("+0.5m", 0.5e-3),
+            // Exponents compose with suffixes too.
+            ("1e3k", 1e6),
+            ("2E-3m", 2e-6),
+        ];
+        for &(text, expect) in table {
+            let got = parse_eng(text).unwrap();
+            assert!(
+                ((got - expect) / expect).abs() < 1e-12,
+                "{text}: {got} vs {expect}"
+            );
+        }
+    }
+
     #[test]
     fn parse_rejects_garbage() {
         assert!(parse_eng("").is_err());

@@ -1,0 +1,203 @@
+//! Write → parse round-trip property: arbitrary circuits built through the
+//! programmatic API survive `to_netlist` → `parse_netlist` with identical
+//! element lists, `.param` tables, and `.ic` pins.
+//!
+//! Values emitted with `{:e}` (params, controlled-source coefficients, `.ic`
+//! pins) must round-trip bit-exactly; values emitted through
+//! [`sfet_circuit::si::format_eng`] (R/C/L, source waveform corners) carry
+//! 4 significant digits and are compared to 0.1%.
+
+use proptest::prelude::*;
+use sfet_circuit::{parse::parse_netlist, Circuit, Element, NodeId, SourceWaveform};
+
+/// Values format_eng can carry: spanning femto to mega.
+fn arb_fmt_value() -> impl Strategy<Value = f64> {
+    (-12i32..7, 1.0f64..9.99).prop_map(|(e, m)| m * 10f64.powi(e))
+}
+
+/// Values emitted in full `{:e}` precision — any finite nonzero double
+/// round-trips exactly through Rust's shortest-representation formatter.
+fn arb_exact_value() -> impl Strategy<Value = f64> {
+    (0u8..2, 1e-6f64..1e6).prop_map(|(neg, mag)| if neg == 0 { mag } else { -mag })
+}
+
+/// One generated element: a kind selector, node-pool picks, and values.
+#[derive(Debug, Clone)]
+struct ElemSpec {
+    kind: u8,
+    a: usize,
+    b: usize,
+    c: usize,
+    d: usize,
+    fmt_val: f64,
+    exact_val: f64,
+}
+
+fn arb_elem() -> impl Strategy<Value = ElemSpec> {
+    (
+        0u8..9,
+        0usize..POOL,
+        0usize..POOL - 1,
+        0usize..POOL,
+        0usize..POOL,
+        arb_fmt_value(),
+        arb_exact_value(),
+    )
+        .prop_map(|(kind, a, b, c, d, fmt_val, exact_val)| ElemSpec {
+            kind,
+            a,
+            b,
+            c,
+            d,
+            fmt_val,
+            exact_val,
+        })
+}
+
+const POOL: usize = 6;
+
+/// Builds a circuit from specs: an anchor V0 (so F/H always have a control
+/// source to reference), then one element per spec over a shared node pool.
+fn build(specs: &[ElemSpec], params: &[f64], ics: &[(usize, f64)]) -> Circuit {
+    let mut ckt = Circuit::new();
+    let nodes: Vec<NodeId> = (0..POOL).map(|i| ckt.node(&format!("n{i}"))).collect();
+    ckt.add_voltage_source("V0", nodes[0], Circuit::ground(), SourceWaveform::Dc(1.0))
+        .unwrap();
+    for (k, s) in specs.iter().enumerate() {
+        let p = nodes[s.a];
+        // Guaranteed distinct from p.
+        let n = nodes[(s.a + 1 + s.b) % POOL];
+        let (cp, cn) = (nodes[s.c], nodes[s.d]);
+        match s.kind {
+            0 => ckt.add_resistor(&format!("R{k}"), p, n, s.fmt_val.abs()),
+            1 => ckt.add_capacitor(&format!("C{k}"), p, n, s.fmt_val.abs()),
+            2 => ckt.add_inductor(&format!("L{k}"), p, n, s.fmt_val.abs()),
+            3 => {
+                ckt.add_voltage_source(&format!("V{}", k + 1), p, n, SourceWaveform::Dc(s.fmt_val))
+            }
+            4 => ckt.add_current_source(&format!("I{k}"), p, n, SourceWaveform::Dc(s.fmt_val)),
+            5 => ckt.add_vcvs(&format!("E{k}"), p, n, cp, cn, s.exact_val),
+            6 => ckt.add_vccs(&format!("G{k}"), p, n, cp, cn, s.exact_val),
+            7 => ckt.add_cccs(&format!("F{k}"), p, n, "V0", s.exact_val),
+            8 => ckt.add_ccvs(&format!("H{k}"), p, n, "V0", s.exact_val),
+            _ => unreachable!(),
+        }
+        .unwrap();
+    }
+    for (i, &v) in params.iter().enumerate() {
+        ckt.set_param(&format!("p{i}"), v);
+    }
+    for &(node, v) in ics {
+        ckt.set_node_ic(nodes[node], v);
+    }
+    ckt
+}
+
+/// Relative closeness for format_eng's 4 significant digits.
+fn close(a: f64, b: f64) -> bool {
+    if a == b {
+        return true;
+    }
+    ((a - b) / a).abs() < 1e-3
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary circuits over all element kinds round-trip through the
+    /// netlist text with identical structure.
+    #[test]
+    fn arbitrary_circuit_round_trip(
+        specs in proptest::collection::vec(arb_elem(), 1..12),
+        params in proptest::collection::vec(arb_exact_value(), 0..4),
+        ics in proptest::collection::vec((0usize..POOL, arb_exact_value()), 0..3),
+    ) {
+        let ckt = build(&specs, &params, &ics);
+        let text = ckt.to_netlist();
+        let parsed = parse_netlist(&text).unwrap_or_else(|e| {
+            panic!("generated netlist failed to parse: {e}\n{text}")
+        });
+        let back = &parsed.circuit;
+
+        // Element lists match pairwise: same kind, name, node names, values.
+        prop_assert_eq!(back.elements().len(), ckt.elements().len());
+        for (a, b) in ckt.elements().iter().zip(back.elements()) {
+            prop_assert_eq!(a.name(), b.name(), "in\n{}", text);
+            match (a, b) {
+                (Element::Resistor(x), Element::Resistor(y)) => {
+                    prop_assert_eq!(ckt.node_name(x.p), back.node_name(y.p));
+                    prop_assert_eq!(ckt.node_name(x.n), back.node_name(y.n));
+                    prop_assert!(close(x.ohms, y.ohms));
+                }
+                (Element::Capacitor(x), Element::Capacitor(y)) => {
+                    prop_assert_eq!(ckt.node_name(x.p), back.node_name(y.p));
+                    prop_assert_eq!(ckt.node_name(x.n), back.node_name(y.n));
+                    prop_assert!(close(x.farads, y.farads));
+                }
+                (Element::Inductor(x), Element::Inductor(y)) => {
+                    prop_assert_eq!(ckt.node_name(x.p), back.node_name(y.p));
+                    prop_assert_eq!(ckt.node_name(x.n), back.node_name(y.n));
+                    prop_assert!(close(x.henries, y.henries));
+                }
+                (Element::VoltageSource(x), Element::VoltageSource(y)) => {
+                    prop_assert_eq!(ckt.node_name(x.p), back.node_name(y.p));
+                    prop_assert_eq!(ckt.node_name(x.n), back.node_name(y.n));
+                    match (&x.wave, &y.wave) {
+                        (SourceWaveform::Dc(u), SourceWaveform::Dc(v)) => {
+                            prop_assert!(close(*u, *v));
+                        }
+                        other => prop_assert!(false, "waveform kind changed: {other:?}"),
+                    }
+                }
+                (Element::CurrentSource(x), Element::CurrentSource(y)) => {
+                    prop_assert_eq!(ckt.node_name(x.p), back.node_name(y.p));
+                    prop_assert_eq!(ckt.node_name(x.n), back.node_name(y.n));
+                    match (&x.wave, &y.wave) {
+                        (SourceWaveform::Dc(u), SourceWaveform::Dc(v)) => {
+                            prop_assert!(close(*u, *v));
+                        }
+                        other => prop_assert!(false, "waveform kind changed: {other:?}"),
+                    }
+                }
+                // {:e}-emitted coefficients must round-trip bit-exactly.
+                (Element::Vcvs(x), Element::Vcvs(y)) => {
+                    prop_assert_eq!(ckt.node_name(x.p), back.node_name(y.p));
+                    prop_assert_eq!(ckt.node_name(x.n), back.node_name(y.n));
+                    prop_assert_eq!(ckt.node_name(x.cp), back.node_name(y.cp));
+                    prop_assert_eq!(ckt.node_name(x.cn), back.node_name(y.cn));
+                    prop_assert_eq!(x.gain, y.gain);
+                }
+                (Element::Vccs(x), Element::Vccs(y)) => {
+                    prop_assert_eq!(ckt.node_name(x.p), back.node_name(y.p));
+                    prop_assert_eq!(ckt.node_name(x.n), back.node_name(y.n));
+                    prop_assert_eq!(ckt.node_name(x.cp), back.node_name(y.cp));
+                    prop_assert_eq!(ckt.node_name(x.cn), back.node_name(y.cn));
+                    prop_assert_eq!(x.gm, y.gm);
+                }
+                (Element::Cccs(x), Element::Cccs(y)) => {
+                    prop_assert_eq!(ckt.node_name(x.p), back.node_name(y.p));
+                    prop_assert_eq!(ckt.node_name(x.n), back.node_name(y.n));
+                    prop_assert_eq!(&x.vname, &y.vname);
+                    prop_assert_eq!(x.gain, y.gain);
+                }
+                (Element::Ccvs(x), Element::Ccvs(y)) => {
+                    prop_assert_eq!(ckt.node_name(x.p), back.node_name(y.p));
+                    prop_assert_eq!(ckt.node_name(x.n), back.node_name(y.n));
+                    prop_assert_eq!(&x.vname, &y.vname);
+                    prop_assert_eq!(x.r, y.r);
+                }
+                other => prop_assert!(false, "element kind changed: {other:?}"),
+            }
+        }
+
+        // .param table: same names, same order, bit-exact values.
+        prop_assert_eq!(back.params(), ckt.params());
+
+        // .ic pins: same (node name, value) sequence, bit-exact values.
+        prop_assert_eq!(back.node_ics().len(), ckt.node_ics().len());
+        for ((na, va), (nb, vb)) in ckt.node_ics().iter().zip(back.node_ics()) {
+            prop_assert_eq!(ckt.node_name(*na), back.node_name(*nb));
+            prop_assert_eq!(va, vb);
+        }
+    }
+}

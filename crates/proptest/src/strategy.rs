@@ -110,7 +110,7 @@ macro_rules! int_range_strategy {
     )*};
 }
 
-int_range_strategy!(usize, u64, u32, i64, i32);
+int_range_strategy!(usize, u64, u32, u16, u8, i64, i32);
 
 macro_rules! tuple_strategy {
     ($($name:ident),*) => {
@@ -131,6 +131,8 @@ tuple_strategy!(A, B, C);
 tuple_strategy!(A, B, C, D);
 tuple_strategy!(A, B, C, D, E);
 tuple_strategy!(A, B, C, D, E, G);
+tuple_strategy!(A, B, C, D, E, G, H);
+tuple_strategy!(A, B, C, D, E, G, H, I);
 
 /// String-pattern strategy: a `&str` is interpreted as a regex (subset) and
 /// generates matching strings. Supported: literal characters, `[...]`

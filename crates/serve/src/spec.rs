@@ -284,7 +284,12 @@ fn power_gate_spec(params: Option<&Json>, patch: &OptionsPatch) -> Result<JobSpe
 
 fn netlist_spec(text: &str, patch: &OptionsPatch) -> Result<JobSpec, ApiError> {
     let parsed = parse_netlist(text).map_err(ApiError::netlist_error)?;
-    let Some(Analysis::Tran { dtmax, tstop }) = parsed.analyses.first().cloned() else {
+    // The job server runs transient jobs; take the first `.tran` directive
+    // and ignore any `.dc` sweeps the deck also carries.
+    let Some((dtmax, tstop)) = parsed.analyses.iter().find_map(|a| match a {
+        Analysis::Tran { dtmax, tstop } => Some((*dtmax, *tstop)),
+        _ => None,
+    }) else {
         return Err(ApiError::netlist_error(
             "netlist needs a `.tran <dtmax> <tstop>` directive",
         ));

@@ -263,6 +263,75 @@ fn stamp_ac(
                     found_source = true;
                 }
             }
+            SimDevice::Vcvs {
+                p,
+                n,
+                cp,
+                cn,
+                branch,
+                gain,
+            } => {
+                if let Some(i) = *p {
+                    g.push((i, *branch, 1.0));
+                    g.push((*branch, i, 1.0));
+                }
+                if let Some(j) = *n {
+                    g.push((j, *branch, -1.0));
+                    g.push((*branch, j, -1.0));
+                }
+                if let Some(i) = *cp {
+                    g.push((*branch, i, -gain));
+                }
+                if let Some(j) = *cn {
+                    g.push((*branch, j, *gain));
+                }
+            }
+            SimDevice::Vccs { p, n, cp, cn, gm } => {
+                for (row, sign) in [(*p, 1.0), (*n, -1.0)] {
+                    if let Some(r) = row {
+                        if let Some(i) = *cp {
+                            g.push((r, i, sign * gm));
+                        }
+                        if let Some(j) = *cn {
+                            g.push((r, j, -sign * gm));
+                        }
+                    }
+                }
+            }
+            SimDevice::Cccs {
+                p,
+                n,
+                cbranch,
+                gain,
+                ..
+            } => {
+                if let Some(i) = *p {
+                    g.push((i, *cbranch, *gain));
+                }
+                if let Some(j) = *n {
+                    g.push((j, *cbranch, -gain));
+                }
+            }
+            SimDevice::Ccvs {
+                p,
+                n,
+                cbranch,
+                branch,
+                r,
+            } => {
+                if let Some(i) = *p {
+                    g.push((i, *branch, 1.0));
+                    g.push((*branch, i, 1.0));
+                }
+                if let Some(j) = *n {
+                    g.push((j, *branch, -1.0));
+                    g.push((*branch, j, -1.0));
+                }
+                g.push((*branch, *cbranch, -r));
+            }
+            // `.ic` pins shape the DC operating point only; the small-signal
+            // matrices see nothing from them.
+            SimDevice::NodeIc { .. } => {}
             SimDevice::Mosfet {
                 d,
                 g: gate,

@@ -222,6 +222,11 @@ fn device_tag(device: &SimDevice) -> u8 {
         SimDevice::Isrc { .. } => 4,
         SimDevice::Mosfet { .. } => 5,
         SimDevice::Ptm { .. } => 6,
+        SimDevice::Vcvs { .. } => 7,
+        SimDevice::Vccs { .. } => 8,
+        SimDevice::Cccs { .. } => 9,
+        SimDevice::Ccvs { .. } => 10,
+        SimDevice::NodeIc { .. } => 11,
     }
 }
 
@@ -307,7 +312,14 @@ pub(crate) fn restore_devices(compiled: &mut CompiledCircuit, snaps: &[DeviceSna
                 *events = evs.clone();
             }
             (
-                SimDevice::Resistor { .. } | SimDevice::Vsrc { .. } | SimDevice::Isrc { .. },
+                SimDevice::Resistor { .. }
+                | SimDevice::Vsrc { .. }
+                | SimDevice::Isrc { .. }
+                | SimDevice::Vcvs { .. }
+                | SimDevice::Vccs { .. }
+                | SimDevice::Cccs { .. }
+                | SimDevice::Ccvs { .. }
+                | SimDevice::NodeIc { .. },
                 DeviceSnap::Stateless,
             ) => {}
             _ => {

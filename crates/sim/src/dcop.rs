@@ -439,6 +439,87 @@ mod tests {
     }
 
     #[test]
+    fn vcvs_amplifies_dc() {
+        let mut ckt = Circuit::new();
+        let inp = ckt.node("in");
+        let amp = ckt.node("amp");
+        let g = Circuit::ground();
+        ckt.add_voltage_source("V1", inp, g, SourceWaveform::Dc(0.1))
+            .unwrap();
+        ckt.add_resistor("R1", inp, g, 1e3).unwrap();
+        ckt.add_vcvs("E1", amp, g, inp, g, 10.0).unwrap();
+        ckt.add_resistor("RL", amp, g, 1e3).unwrap();
+        let x = dc_operating_point(&ckt, &SimOptions::default()).unwrap();
+        // v(amp) = 10 * v(in).
+        assert!((x[1] - 1.0).abs() < 1e-9, "v(amp) = {}", x[1]);
+    }
+
+    #[test]
+    fn vccs_drives_load() {
+        let mut ckt = Circuit::new();
+        let inp = ckt.node("in");
+        let out = ckt.node("out");
+        let g = Circuit::ground();
+        ckt.add_voltage_source("V1", inp, g, SourceWaveform::Dc(0.1))
+            .unwrap();
+        ckt.add_resistor("R1", inp, g, 1e3).unwrap();
+        ckt.add_vccs("G1", g, out, inp, g, 1e-3).unwrap();
+        ckt.add_resistor("RL", out, g, 1e3).unwrap();
+        let x = dc_operating_point(&ckt, &SimOptions::default()).unwrap();
+        // i = gm * v(in) = 0.1 mA injected into out: v(out) = 0.1.
+        assert!((x[1] - 0.1).abs() < 1e-9, "v(out) = {}", x[1]);
+    }
+
+    #[test]
+    fn cccs_mirrors_branch_current() {
+        let mut ckt = Circuit::new();
+        let inp = ckt.node("in");
+        let out = ckt.node("out");
+        let g = Circuit::ground();
+        ckt.add_voltage_source("V1", inp, g, SourceWaveform::Dc(1.0))
+            .unwrap();
+        ckt.add_resistor("R1", inp, g, 1e3).unwrap();
+        ckt.add_cccs("F1", out, g, "V1", 2.0).unwrap();
+        ckt.add_resistor("RL", out, g, 1e3).unwrap();
+        let x = dc_operating_point(&ckt, &SimOptions::default()).unwrap();
+        // i(V1) = -1 mA (delivering); F injects -2 mA leaving out, i.e.
+        // +2 mA into out: v(out) = 2.0.
+        assert!((x[1] - 2.0).abs() < 1e-9, "v(out) = {}", x[1]);
+    }
+
+    #[test]
+    fn ccvs_senses_branch_current() {
+        let mut ckt = Circuit::new();
+        let inp = ckt.node("in");
+        let out = ckt.node("out");
+        let g = Circuit::ground();
+        ckt.add_voltage_source("V1", inp, g, SourceWaveform::Dc(1.0))
+            .unwrap();
+        ckt.add_resistor("R1", inp, g, 1e3).unwrap();
+        ckt.add_ccvs("H1", out, g, "V1", 500.0).unwrap();
+        ckt.add_resistor("RL", out, g, 1e3).unwrap();
+        let x = dc_operating_point(&ckt, &SimOptions::default()).unwrap();
+        // v(out) = r * i(V1) = 500 * (-1 mA) = -0.5.
+        assert!((x[1] + 0.5).abs() < 1e-9, "v(out) = {}", x[1]);
+    }
+
+    #[test]
+    fn node_ic_pins_dc_solution() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        let g = Circuit::ground();
+        ckt.add_voltage_source("V1", a, g, SourceWaveform::Dc(1.0))
+            .unwrap();
+        ckt.add_resistor("R1", a, b, 1e3).unwrap();
+        ckt.add_capacitor("C1", b, g, 1e-12).unwrap();
+        ckt.set_node_ic(b, 0.25);
+        let x = dc_operating_point(&ckt, &SimOptions::default()).unwrap();
+        // The stiff pin (1 kS) dominates the 1 mS resistor path.
+        assert!((x[1] - 0.25).abs() < 1e-4, "v(b) = {}", x[1]);
+    }
+
+    #[test]
     fn invalid_circuit_rejected() {
         let ckt = Circuit::new();
         assert!(matches!(

@@ -146,6 +146,48 @@ pub(crate) enum SimDevice {
         n: Unknown,
         wave: SourceWaveform,
     },
+    /// VCVS (E card): `v(p,n) = gain * v(cp,cn)`; owns a branch unknown.
+    Vcvs {
+        p: Unknown,
+        n: Unknown,
+        cp: Unknown,
+        cn: Unknown,
+        branch: usize,
+        gain: f64,
+    },
+    /// VCCS (G card): `i(p→n) = gm * v(cp,cn)`.
+    Vccs {
+        p: Unknown,
+        n: Unknown,
+        cp: Unknown,
+        cn: Unknown,
+        gm: f64,
+    },
+    /// CCCS (F card): `i(p→n) = gain * i(control branch)`.
+    Cccs {
+        p: Unknown,
+        n: Unknown,
+        /// Branch-unknown index of the controlling voltage source.
+        cbranch: usize,
+        gain: f64,
+    },
+    /// CCVS (H card): `v(p,n) = r * i(control branch)`; owns a branch
+    /// unknown.
+    Ccvs {
+        p: Unknown,
+        n: Unknown,
+        /// Branch-unknown index of the controlling voltage source.
+        cbranch: usize,
+        branch: usize,
+        r: f64,
+    },
+    /// `.ic v(node)=v` pin: a stiff Norton equivalent holds the node near
+    /// `v` during the DC operating point only (mirroring the capacitor-IC
+    /// treatment); it contributes nothing during transient stepping.
+    NodeIc {
+        node: Unknown,
+        v: f64,
+    },
     Mosfet {
         d: Unknown,
         g: Unknown,
@@ -242,6 +284,70 @@ impl SimDevice {
                 };
                 stamp_i(rhs, *p, *n, i);
             }
+            SimDevice::Vcvs {
+                p,
+                n,
+                cp,
+                cn,
+                branch,
+                gain,
+            } => {
+                let br = Some(*branch);
+                // KCL coupling: branch current leaves p, enters n.
+                stamp_j(jac, *p, br, 1.0);
+                stamp_j(jac, *n, br, -1.0);
+                // Branch equation: v_p - v_n - gain * (v_cp - v_cn) = 0.
+                stamp_j(jac, br, *p, 1.0);
+                stamp_j(jac, br, *n, -1.0);
+                stamp_j(jac, br, *cp, -gain);
+                stamp_j(jac, br, *cn, *gain);
+            }
+            SimDevice::Vccs { p, n, cp, cn, gm } => {
+                // Current gm*(v_cp - v_cn) leaves node p, enters node n.
+                stamp_j(jac, *p, *cp, *gm);
+                stamp_j(jac, *p, *cn, -gm);
+                stamp_j(jac, *n, *cp, -gm);
+                stamp_j(jac, *n, *cn, *gm);
+            }
+            SimDevice::Cccs {
+                p,
+                n,
+                cbranch,
+                gain,
+            } => {
+                // Current gain * i(cbranch) leaves node p, enters node n;
+                // the controlling current is itself an unknown.
+                if let Some(pi) = p {
+                    jac.add(*pi, *cbranch, *gain);
+                }
+                if let Some(ni) = n {
+                    jac.add(*ni, *cbranch, -gain);
+                }
+            }
+            SimDevice::Ccvs {
+                p,
+                n,
+                cbranch,
+                branch,
+                r,
+            } => {
+                let br = Some(*branch);
+                stamp_j(jac, *p, br, 1.0);
+                stamp_j(jac, *n, br, -1.0);
+                // Branch equation: v_p - v_n - r * i(cbranch) = 0.
+                stamp_j(jac, br, *p, 1.0);
+                stamp_j(jac, br, *n, -1.0);
+                jac.add(*branch, *cbranch, -r);
+            }
+            SimDevice::NodeIc { node, v } => {
+                if let StampMode::Dc { .. } = mode {
+                    // Stiff Norton equivalent pinning v(node) ≈ v, released
+                    // for transient (same stiffness as the capacitor IC pin).
+                    let g_ic = 1e3;
+                    stamp_j(jac, *node, *node, g_ic);
+                    stamp_i(rhs, *node, None, -g_ic * v);
+                }
+            }
             SimDevice::Mosfet {
                 d,
                 g,
@@ -321,7 +427,13 @@ impl SimDevice {
             | SimDevice::Isrc { p, n, .. }
             | SimDevice::Ptm { p, n, .. }
             | SimDevice::Inductor { p, n, .. }
+            | SimDevice::Cccs { p, n, .. }
+            | SimDevice::Ccvs { p, n, .. }
             | SimDevice::Vsrc { p, n, .. } => [*p, *n, None, None],
+            SimDevice::Vcvs { p, n, cp, cn, .. } | SimDevice::Vccs { p, n, cp, cn, .. } => {
+                [*p, *n, *cp, *cn]
+            }
+            SimDevice::NodeIc { node, .. } => [*node, None, None, None],
             SimDevice::Mosfet { d, g, s, b, .. } => [*d, *g, *s, *b],
         }
     }
@@ -457,6 +569,31 @@ impl CompiledCircuit {
                 Some(id.index() - 1)
             }
         };
+        // Pass 1: branch-unknown layout. Voltage sources, inductors, VCVS
+        // and CCVS own branch currents in element order; F/H cards resolve
+        // their controlling voltage source's branch through this map, which
+        // may point forward in the element list.
+        let mut vsrc_branch: std::collections::HashMap<String, usize> =
+            std::collections::HashMap::new();
+        {
+            let mut b = n_nodes - 1;
+            for element in circuit.elements() {
+                if element.has_branch_current() {
+                    if let Element::VoltageSource(v) = element {
+                        vsrc_branch.insert(v.name.clone(), b);
+                    }
+                    b += 1;
+                }
+            }
+        }
+        let control_branch = |name: &str| -> usize {
+            *vsrc_branch
+                .get(name)
+                .expect("control source validated at circuit construction")
+        };
+
+        // Pass 2: build the devices (branch assignment replayed in the same
+        // element order).
         let mut branch_names = Vec::new();
         let mut next_branch = n_nodes - 1;
         let mut devices = Vec::with_capacity(circuit.elements().len());
@@ -508,6 +645,44 @@ impl CompiledCircuit {
                         wave: i.wave.clone(),
                     }
                 }
+                Element::Vcvs(e) => {
+                    let branch = next_branch;
+                    next_branch += 1;
+                    branch_names.push(e.name.clone());
+                    SimDevice::Vcvs {
+                        p: to_unknown(e.p),
+                        n: to_unknown(e.n),
+                        cp: to_unknown(e.cp),
+                        cn: to_unknown(e.cn),
+                        branch,
+                        gain: e.gain,
+                    }
+                }
+                Element::Vccs(g) => SimDevice::Vccs {
+                    p: to_unknown(g.p),
+                    n: to_unknown(g.n),
+                    cp: to_unknown(g.cp),
+                    cn: to_unknown(g.cn),
+                    gm: g.gm,
+                },
+                Element::Cccs(f) => SimDevice::Cccs {
+                    p: to_unknown(f.p),
+                    n: to_unknown(f.n),
+                    cbranch: control_branch(&f.vname),
+                    gain: f.gain,
+                },
+                Element::Ccvs(h) => {
+                    let branch = next_branch;
+                    next_branch += 1;
+                    branch_names.push(h.name.clone());
+                    SimDevice::Ccvs {
+                        p: to_unknown(h.p),
+                        n: to_unknown(h.n),
+                        cbranch: control_branch(&h.vname),
+                        branch,
+                        r: h.r,
+                    }
+                }
                 Element::Mosfet(m) => SimDevice::Mosfet {
                     d: to_unknown(m.d),
                     g: to_unknown(m.g),
@@ -534,6 +709,14 @@ impl CompiledCircuit {
                 }
             };
             devices.push(device);
+        }
+
+        // `.ic` pins ride along as pseudo-devices active only in DC mode.
+        for (node, v) in circuit.node_ics() {
+            devices.push(SimDevice::NodeIc {
+                node: to_unknown(*node),
+                v: *v,
+            });
         }
 
         let node_names = (1..n_nodes)

@@ -705,6 +705,48 @@ mod tests {
     }
 
     #[test]
+    fn node_ic_released_in_transient() {
+        // `.ic`-pinned node starts at 0.25 V and charges toward 1 V with
+        // the RC time constant once the DC pin is released.
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        let g = Circuit::ground();
+        ckt.add_voltage_source("V1", a, g, SourceWaveform::Dc(1.0))
+            .unwrap();
+        ckt.add_resistor("R1", a, b, 1e3).unwrap();
+        ckt.add_capacitor("C1", b, g, 1e-15).unwrap(); // tau = 1 ps
+        ckt.set_node_ic(b, 0.25);
+        let tstop = 10e-12;
+        let r = transient(&ckt, tstop, &opts_for(tstop)).unwrap();
+        let v = r.voltage("b").unwrap();
+        assert!((v.first_value() - 0.25).abs() < 1e-3, "{}", v.first_value());
+        // v(t) = 1 - 0.75 exp(-t/tau).
+        let expect = 1.0 - 0.75 * (-2.0f64).exp();
+        assert!((v.value_at(2e-12) - expect).abs() < 0.01);
+        assert!((v.last_value() - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn vcvs_follows_waveform_in_transient() {
+        let mut ckt = Circuit::new();
+        let inp = ckt.node("in");
+        let amp = ckt.node("amp");
+        let g = Circuit::ground();
+        ckt.add_voltage_source("V1", inp, g, SourceWaveform::ramp(0.0, 0.1, 0.0, 50e-12))
+            .unwrap();
+        ckt.add_resistor("R1", inp, g, 1e3).unwrap();
+        ckt.add_vcvs("E1", amp, g, inp, g, 5.0).unwrap();
+        ckt.add_resistor("RL", amp, g, 1e3).unwrap();
+        let tstop = 50e-12;
+        let r = transient(&ckt, tstop, &opts_for(tstop)).unwrap();
+        let v = r.voltage("amp").unwrap();
+        // Memoryless gain: v(amp) tracks 5 * v(in) at every accepted step.
+        assert!((v.value_at(25e-12) - 0.25).abs() < 1e-6);
+        assert!((v.last_value() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
     fn rl_current_rise() {
         // V → R → L to ground: i(t) = V/R (1 - exp(-tR/L)).
         let mut ckt = Circuit::new();

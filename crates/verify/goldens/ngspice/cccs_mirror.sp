@@ -1,0 +1,9 @@
+* CCCS mirroring a sensed branch current into a load.
+* VSENSE carries i = vin/1k; F doubles it into RL: v(out,t) = 2 * vin(t).
+V1 in 0 PWL(0 0 100p 1 200p 1)
+VSENSE in a 0
+R1 a 0 1k
+F1 0 out VSENSE 2
+RL out 0 1k
+.tran 1p 200p
+.end

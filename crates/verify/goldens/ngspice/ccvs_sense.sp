@@ -1,0 +1,9 @@
+* CCVS translating a sensed branch current into a voltage.
+* VSENSE carries i = vin/1k; H applies r = 500: v(out,t) = 0.5 * vin(t).
+V1 in 0 PWL(0 0 100p 1 200p 1)
+VSENSE in a 0
+R1 a 0 1k
+H1 out 0 VSENSE 500
+RL out 0 1k
+.tran 1p 200p
+.end

@@ -1,0 +1,9 @@
+* .dc sweep of a loaded divider driving a VCVS.
+* Analytic transfer curves: v(mid) = 0.75 * vin, v(out) = 1.5 * vin.
+V1 in 0 DC 0
+R1 in mid 1k
+R2 mid 0 3k
+E1 out 0 mid 0 2
+RL out 0 10k
+.dc V1 0 1 0.05
+.end

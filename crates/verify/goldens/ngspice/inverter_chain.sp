@@ -1,0 +1,13 @@
+* Two-stage CMOS inverter chain on derived .model cards (engine-pinned).
+.model fastn nmos40 vt_shift=-0.05
+.model fastp pmos40 vt_shift=0.05
+VDD vdd 0 DC 1.0
+VIN a 0 PULSE(0 1 50p 10p 10p 150p 400p)
+M1 b a vdd vdd fastp W=240n L=40n
+M2 b a 0 0 fastn W=120n L=40n
+M3 c b vdd vdd fastp W=480n L=40n
+M4 c b 0 0 fastn W=240n L=40n
+C1 b 0 1f
+C2 c 0 2f
+.tran 0.5p 400p
+.end

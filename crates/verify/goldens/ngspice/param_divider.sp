@@ -1,0 +1,12 @@
+* Parameterized subcircuit divider: .param, {expr} defaults, and an X override.
+* rtop override = 2k propagates into the rbot={rtop} default, so the divider is
+* balanced: v(out,t) = vin(t) / 2.
+.param rtop=2k
+.subckt div in out rtop=1k rbot={rtop}
+R1 in out {rtop}
+R2 out 0 {rbot}
+.ends
+V1 in 0 PWL(0 0 100p 1)
+X1 in out div rtop={rtop}
+.tran 1p 100p
+.end

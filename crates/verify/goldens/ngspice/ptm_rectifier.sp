@@ -1,0 +1,8 @@
+* PTM device on a named .model ptm card, pulsed drive (engine-pinned).
+.model vo2fast ptm TPTM=5p
+VIN in 0 PULSE(0 1 20p 20p 20p 100p 250p)
+P1 in out vo2fast
+C1 out 0 5f
+R1 out 0 100k
+.tran 0.5p 500p
+.end

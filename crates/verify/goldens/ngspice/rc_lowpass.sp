@@ -1,0 +1,8 @@
+* RC low-pass charge from a .ic-pinned start.
+* Analytic: v(out,t) = 1 - exp(-t/RC), tau = 1k * 1f = 1 ps.
+V1 in 0 DC 1
+R1 in out 1k
+C1 out 0 1f
+.ic v(out)=0
+.tran 0.05p 8p
+.end

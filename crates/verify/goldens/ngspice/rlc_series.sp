@@ -1,0 +1,8 @@
+* Series RLC step response (underdamped).
+* alpha = R/2L = 5e9 /s, wd = sqrt(1/LC - alpha^2) = 3.122e10 rad/s.
+V1 in 0 PWL(0 0 1p 0 2p 1 1n 1)
+R1 in a 10
+L1 a b 1n
+C1 b 0 1p
+.tran 0.5p 600p
+.end

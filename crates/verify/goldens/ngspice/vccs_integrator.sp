@@ -1,0 +1,9 @@
+* VCCS charging a capacitor: a transconductance integrator.
+* Analytic: v(out,t) ~= (gm/C) * integral(vin) = 1e9 * (t - 10.5p) after the step
+* (bleed resistor tau = 1 us >> tstop, so droop is negligible).
+V1 in 0 PWL(0 0 10p 0 11p 1 1n 1)
+G1 0 out in 0 1m
+C1 out 0 1p
+R1 out 0 1meg
+.tran 1p 500p
+.end

@@ -1,0 +1,10 @@
+* VCVS amplifier over a resistive divider, gain from a .param expression.
+* Analytic (memoryless): v(out,t) = gain * vin(t) / 2 = 2 * vin(t).
+.param gain=4
+V1 in 0 PWL(0 0 100p 1 200p 0.5)
+R1 in mid 1k
+R2 mid 0 1k
+E1 out 0 mid 0 {gain}
+RL out 0 10k
+.tran 1p 200p
+.end

@@ -1,0 +1,126 @@
+//! ngspice-corpus check/update tool.
+//!
+//! ```text
+//! cargo run -p sfet-verify --bin regen_ngspice              # check all decks
+//! cargo run -p sfet-verify --bin regen_ngspice -- --update  # regenerate CSVs
+//! cargo run -p sfet-verify --bin regen_ngspice -- vcvs_amp  # one deck
+//! ```
+//!
+//! Checking re-runs every deck and compares it against its committed
+//! `.expected.csv` under the corpus tolerances, lints the corpus for
+//! orphaned files, and exits non-zero on any failure. Updating rewrites
+//! the CSVs from a fresh engine run — see the provenance notes in
+//! `sfet_verify::ngspice` before doing that.
+
+use std::process::ExitCode;
+
+use sfet_verify::ngspice::{check_deck, corpus, expected_path, lint_corpus, update_expected};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: regen_ngspice [--update] [deck...]");
+    eprintln!(
+        "known decks: {}",
+        corpus()
+            .iter()
+            .map(|d| d.name)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut update = false;
+    let mut picked: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--update" => update = true,
+            "--help" | "-h" => return usage(),
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag `{other}`");
+                return usage();
+            }
+            other => picked.push(other.to_string()),
+        }
+    }
+    let all = corpus();
+    let names: Vec<&str> = if picked.is_empty() {
+        all.iter().map(|d| d.name).collect()
+    } else {
+        for p in &picked {
+            if !all.iter().any(|d| d.name == p.as_str()) {
+                eprintln!("unknown deck `{p}`");
+                return usage();
+            }
+        }
+        picked.iter().map(String::as_str).collect()
+    };
+
+    let mut failed = false;
+    for name in &names {
+        if update {
+            match update_expected(name) {
+                Ok(()) => println!("{name}: wrote {}", expected_path(name).display()),
+                Err(e) => {
+                    eprintln!("{name}: update failed: {e}");
+                    failed = true;
+                }
+            }
+        } else {
+            match check_deck(name) {
+                Ok(reports) => {
+                    let bad: Vec<_> = reports.iter().filter(|r| !r.report.pass()).collect();
+                    if bad.is_empty() {
+                        let worst = reports
+                            .iter()
+                            .map(|r| r.report.worst_margin)
+                            .fold(0.0_f64, f64::max);
+                        println!(
+                            "{name}: ok ({} signals, worst margin {worst:.3e})",
+                            reports.len()
+                        );
+                    } else {
+                        failed = true;
+                        for r in bad {
+                            eprintln!(
+                                "{name}: signal `{}` out of envelope: {} of {} samples, worst \
+                                 margin {:.3e} at t={:.4e} (expected {:.6e}, actual {:.6e})",
+                                r.name,
+                                r.report.violations,
+                                r.report.checked,
+                                r.report.worst_margin,
+                                r.report.worst_time,
+                                r.report.worst_golden,
+                                r.report.worst_actual
+                            );
+                        }
+                    }
+                }
+                Err(e) => {
+                    eprintln!("{name}: check failed: {e} (run with --update to regenerate)");
+                    failed = true;
+                }
+            }
+        }
+    }
+    // Full runs also lint the corpus directory for orphans.
+    if picked.is_empty() && !update {
+        match lint_corpus() {
+            Ok(problems) => {
+                for p in &problems {
+                    eprintln!("corpus lint: {p}");
+                    failed = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("corpus lint failed: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

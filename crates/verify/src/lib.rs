@@ -29,6 +29,7 @@ use std::fmt;
 
 pub mod analytic;
 pub mod golden;
+pub mod ngspice;
 pub mod order;
 
 pub use analytic::{catalog, AnalyticReference, Probe};

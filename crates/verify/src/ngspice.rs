@@ -1,0 +1,528 @@
+//! ngspice cross-validation corpus for the general SPICE frontend.
+//!
+//! Every feature the netlist frontend supports — `.param` expressions,
+//! parameterized subcircuits, the E/G/F/H controlled sources, derived
+//! `.model` cards, `.ic` pins, and `.dc` sweeps — is exercised by at least
+//! one committed deck under `crates/verify/goldens/ngspice/`. Each
+//! `<name>.sp` deck is paired with a `<name>.expected.csv` waveform file;
+//! [`check_deck`] re-runs the deck and compares every signal against the
+//! stored expectation under a per-signal [`Tol`] envelope, exactly like the
+//! scenario golden harness in [`crate::golden`].
+//!
+//! ## Provenance — read this before trusting a deck
+//!
+//! The decks are written in ngspice-compatible syntax so the corpus can be
+//! re-validated against ngspice offline (`ngspice -b <deck>` with matching
+//! `wrdata` probes); ngspice itself is **not** required — or invoked — in
+//! CI. The committed CSVs were produced by this engine via the regen
+//! binary, and their trustworthiness is tiered by [`Provenance`]:
+//!
+//! * [`Provenance::Analytic`] decks have closed-form solutions, and the
+//!   test suite (`tests/ngspice_validation.rs`) independently checks the
+//!   fresh run against the formula — the CSV is cross-validated, not
+//!   self-certified.
+//! * [`Provenance::EnginePinned`] decks (MOSFET/PTM nonlinear circuits)
+//!   have no closed form; their CSVs pin current behaviour as a regression
+//!   reference only.
+//!
+//! Refresh the CSVs after an intentional behaviour change with
+//!
+//! ```text
+//! cargo run -p sfet-verify --bin regen_ngspice -- --update
+//! ```
+
+use std::path::PathBuf;
+
+use sfet_circuit::parse::{dc_grid, parse_netlist, Analysis};
+use sfet_sim::{dc_sweep, transient, SimOptions};
+use sfet_waveform::compare::{compare, resample, Tol};
+use sfet_waveform::Waveform;
+
+use crate::golden::SignalReport;
+use crate::{Result, VerifyError};
+
+/// Samples stored per expected-CSV signal (uniform resampling grid).
+pub const CSV_POINTS: usize = 512;
+
+/// Where a deck's expected CSV derives its authority from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Provenance {
+    /// The deck has a closed-form solution and the test suite checks the
+    /// engine against the formula independently of the CSV.
+    Analytic,
+    /// No closed form; the CSV pins current engine behaviour (regression
+    /// reference only).
+    EnginePinned,
+}
+
+/// One signal a deck pins, with its comparison envelope.
+#[derive(Debug, Clone)]
+pub struct SignalSpec {
+    /// Probe name: `v(<node>)` or `i(<element>)` (spelled exactly as in
+    /// the deck).
+    pub name: &'static str,
+    /// Envelope used when the signal is checked against its expected CSV.
+    pub tol: Tol,
+}
+
+/// One deck of the corpus.
+#[derive(Debug, Clone)]
+pub struct DeckSpec {
+    /// Deck file stem (`<name>.sp` / `<name>.expected.csv`).
+    pub name: &'static str,
+    /// Authority of the expected CSV.
+    pub provenance: Provenance,
+    /// Signals checked against the expected CSV.
+    pub signals: Vec<SignalSpec>,
+}
+
+fn sig(name: &'static str, tol: Tol) -> SignalSpec {
+    SignalSpec { name, tol }
+}
+
+/// The deck corpus, in check order. Every `.sp` file in [`deck_dir`] must
+/// appear here and vice versa (enforced by the corpus-lint test).
+pub fn corpus() -> Vec<DeckSpec> {
+    let tight = Tol::new(1e-3, 1e-3).with_time_shift(1e-13);
+    let nonlinear = Tol::new(2e-3, 1e-3).with_time_shift(1e-12);
+    vec![
+        DeckSpec {
+            name: "rc_lowpass",
+            provenance: Provenance::Analytic,
+            signals: vec![sig("v(out)", tight)],
+        },
+        DeckSpec {
+            name: "rlc_series",
+            provenance: Provenance::Analytic,
+            signals: vec![sig("v(b)", nonlinear)],
+        },
+        DeckSpec {
+            name: "vcvs_amp",
+            provenance: Provenance::Analytic,
+            signals: vec![sig("v(mid)", tight), sig("v(out)", tight)],
+        },
+        DeckSpec {
+            name: "vccs_integrator",
+            provenance: Provenance::Analytic,
+            signals: vec![sig("v(out)", tight)],
+        },
+        DeckSpec {
+            name: "cccs_mirror",
+            provenance: Provenance::Analytic,
+            signals: vec![sig("v(out)", tight), sig("i(VSENSE)", tight)],
+        },
+        DeckSpec {
+            name: "ccvs_sense",
+            provenance: Provenance::Analytic,
+            signals: vec![sig("v(out)", tight), sig("i(VSENSE)", tight)],
+        },
+        DeckSpec {
+            name: "param_divider",
+            provenance: Provenance::Analytic,
+            signals: vec![sig("v(out)", tight)],
+        },
+        DeckSpec {
+            name: "dc_transfer",
+            provenance: Provenance::Analytic,
+            signals: vec![sig("v(mid)", tight), sig("v(out)", tight)],
+        },
+        DeckSpec {
+            name: "inverter_chain",
+            provenance: Provenance::EnginePinned,
+            signals: vec![sig("v(b)", nonlinear), sig("v(c)", nonlinear)],
+        },
+        DeckSpec {
+            name: "ptm_rectifier",
+            provenance: Provenance::EnginePinned,
+            signals: vec![sig("v(out)", nonlinear)],
+        },
+    ]
+}
+
+/// Directory the deck corpus lives in (`crates/verify/goldens/ngspice/`).
+pub fn deck_dir() -> PathBuf {
+    crate::golden::golden_dir().join("ngspice")
+}
+
+/// Path of one deck's netlist file.
+pub fn deck_path(name: &str) -> PathBuf {
+    deck_dir().join(format!("{name}.sp"))
+}
+
+/// Path of one deck's expected-waveform CSV.
+pub fn expected_path(name: &str) -> PathBuf {
+    deck_dir().join(format!("{name}.expected.csv"))
+}
+
+fn format_err(msg: impl Into<String>) -> VerifyError {
+    VerifyError::Format(msg.into())
+}
+
+/// Looks up a deck's corpus entry.
+///
+/// # Errors
+///
+/// [`VerifyError::Format`] for a name not in the corpus.
+pub fn deck_spec(name: &str) -> Result<DeckSpec> {
+    corpus()
+        .into_iter()
+        .find(|d| d.name == name)
+        .ok_or_else(|| format_err(format!("deck `{name}` is not in the ngspice corpus")))
+}
+
+/// Runs a deck with default simulation options and extracts its pinned
+/// signals in corpus order. `.tran` decks run the transient engine;
+/// `.dc` decks run the sweep engine (signal axis = swept source value).
+///
+/// # Errors
+///
+/// Parse failures, simulation failures, unknown signals, and decks with no
+/// analysis directive all surface as [`VerifyError`]s.
+pub fn run_deck(name: &str) -> Result<Vec<(String, Waveform)>> {
+    run_deck_with(name, &SimOptions::default())
+}
+
+/// [`run_deck`] with explicit base options (`.tran` decks still apply the
+/// deck's own `dtmax` on top) — this is how the backend-identity tests
+/// replay a deck on a different linear solver.
+///
+/// # Errors
+///
+/// As [`run_deck`].
+pub fn run_deck_with(name: &str, base: &SimOptions) -> Result<Vec<(String, Waveform)>> {
+    let spec = deck_spec(name)?;
+    let text = std::fs::read_to_string(deck_path(name))?;
+    let parsed = parse_netlist(&text)?;
+    let analysis = parsed
+        .analyses
+        .first()
+        .ok_or_else(|| format_err(format!("deck `{name}` has no analysis directive")))?;
+    match *analysis {
+        Analysis::Tran { dtmax, tstop } => {
+            let opts = base.clone().with_dtmax(dtmax);
+            let result = transient(&parsed.circuit, tstop, &opts)?;
+            spec.signals
+                .iter()
+                .map(|s| {
+                    let wave = match parse_probe(s.name)? {
+                        Probe::Voltage(node) => result.voltage(node)?,
+                        Probe::Current(elem) => result.branch_current(elem)?,
+                    };
+                    Ok((s.name.to_string(), wave))
+                })
+                .collect()
+        }
+        Analysis::Dc {
+            ref source,
+            start,
+            stop,
+            step,
+        } => {
+            let points = dc_grid(start, stop, step);
+            let result = dc_sweep(&parsed.circuit, source, &points, base)?;
+            spec.signals
+                .iter()
+                .map(|s| {
+                    let wave = match parse_probe(s.name)? {
+                        Probe::Voltage(node) => result.transfer_curve(node)?,
+                        Probe::Current(_) => {
+                            return Err(format_err(format!(
+                                "deck `{name}`: i(...) probes are not supported for .dc decks"
+                            )))
+                        }
+                    };
+                    Ok((s.name.to_string(), wave))
+                })
+                .collect()
+        }
+    }
+}
+
+enum Probe<'a> {
+    Voltage(&'a str),
+    Current(&'a str),
+}
+
+fn parse_probe(name: &str) -> Result<Probe<'_>> {
+    let inner = |prefix: &str| {
+        name.strip_prefix(prefix)
+            .and_then(|r| r.strip_suffix(')'))
+            .filter(|r| !r.is_empty())
+    };
+    if let Some(node) = inner("v(") {
+        Ok(Probe::Voltage(node))
+    } else if let Some(elem) = inner("i(") {
+        Ok(Probe::Current(elem))
+    } else {
+        Err(format_err(format!(
+            "bad probe `{name}` (expected v(<node>) or i(<element>))"
+        )))
+    }
+}
+
+/// Serialises signals to the expected-CSV text, resampled to at most
+/// [`CSV_POINTS`] samples on the first signal's axis.
+///
+/// # Errors
+///
+/// Propagates resampling failures for degenerate signals.
+pub fn to_expected_csv(signals: &[(String, Waveform)]) -> Result<String> {
+    let compacted: Vec<(String, Waveform)> = signals
+        .iter()
+        .map(|(n, w)| {
+            let wave = if w.len() > CSV_POINTS {
+                resample(w, CSV_POINTS)?
+            } else {
+                w.clone()
+            };
+            Ok((n.clone(), wave))
+        })
+        .collect::<Result<_>>()?;
+    let columns: Vec<(&str, &Waveform)> = compacted.iter().map(|(n, w)| (n.as_str(), w)).collect();
+    Ok(sfet_waveform::csv::to_csv(&columns))
+}
+
+/// Parses an expected CSV back into named waveforms (all sharing the
+/// file's time axis).
+///
+/// # Errors
+///
+/// [`VerifyError::Format`] describing the first malformed line.
+pub fn parse_expected_csv(text: &str) -> Result<Vec<(String, Waveform)>> {
+    let mut lines = text.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| format_err("empty expected CSV"))?;
+    let names: Vec<&str> = header.split(',').collect();
+    if names.first() != Some(&"time") || names.len() < 2 {
+        return Err(format_err(format!("bad CSV header `{header}`")));
+    }
+    let n_cols = names.len();
+    let mut times = Vec::new();
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); n_cols - 1];
+    for (k, line) in lines.enumerate() {
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != n_cols {
+            return Err(format_err(format!(
+                "CSV row {} has {} fields, expected {n_cols}",
+                k + 2,
+                fields.len()
+            )));
+        }
+        let parse = |tok: &str| -> Result<f64> {
+            tok.parse::<f64>()
+                .map_err(|e| format_err(format!("bad CSV number `{tok}`: {e}")))
+        };
+        times.push(parse(fields[0])?);
+        for (col, tok) in columns.iter_mut().zip(&fields[1..]) {
+            col.push(parse(tok)?);
+        }
+    }
+    names[1..]
+        .iter()
+        .zip(columns)
+        .map(|(name, values)| {
+            Ok((
+                name.to_string(),
+                Waveform::from_samples(times.clone(), values)?,
+            ))
+        })
+        .collect()
+}
+
+/// Loads a deck's stored expected waveforms.
+///
+/// # Errors
+///
+/// [`VerifyError::Io`] when the CSV is missing (run the regen binary),
+/// [`VerifyError::Format`] when it is malformed.
+pub fn load_expected(name: &str) -> Result<Vec<(String, Waveform)>> {
+    parse_expected_csv(&std::fs::read_to_string(expected_path(name))?)
+}
+
+/// Re-runs a deck and compares every pinned signal against its expected
+/// CSV under the corpus (code-side) tolerances.
+///
+/// # Errors
+///
+/// Propagates run and load failures; a missing signal in the CSV is a
+/// [`VerifyError::Format`].
+pub fn check_deck(name: &str) -> Result<Vec<SignalReport>> {
+    let spec = deck_spec(name)?;
+    let fresh = run_deck(name)?;
+    let expected = load_expected(name)?;
+    spec.signals
+        .iter()
+        .map(|s| {
+            let (_, exp) = expected.iter().find(|(n, _)| n == s.name).ok_or_else(|| {
+                format_err(format!(
+                    "signal `{}` missing from {} (regen the corpus)",
+                    s.name,
+                    expected_path(name).display()
+                ))
+            })?;
+            let (_, act) = fresh
+                .iter()
+                .find(|(n, _)| n == s.name)
+                .expect("run_deck extracts every corpus signal");
+            Ok(SignalReport {
+                name: s.name.to_string(),
+                report: compare(exp, act, &s.tol),
+            })
+        })
+        .collect()
+}
+
+/// Checks the whole corpus and renders a human-readable report. The bool
+/// is the overall pass/fail.
+///
+/// # Errors
+///
+/// Propagates the first deck that fails to run or load (a tolerance miss
+/// is a reported failure, not an error).
+pub fn check_all() -> Result<(bool, String)> {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let mut all_pass = true;
+    for deck in corpus() {
+        let reports = check_deck(deck.name)?;
+        let deck_pass = reports.iter().all(|r| r.report.pass());
+        all_pass &= deck_pass;
+        let _ = writeln!(
+            out,
+            "{} [{}] {:?}",
+            if deck_pass { "PASS" } else { "FAIL" },
+            deck.name,
+            deck.provenance
+        );
+        for r in &reports {
+            let _ = writeln!(
+                out,
+                "  {:<12} worst margin {:>9.3e} at t={:.4e} (expected {:.6e}, got {:.6e}) {}",
+                r.name,
+                r.report.worst_margin,
+                r.report.worst_time,
+                r.report.worst_golden,
+                r.report.worst_actual,
+                if r.report.pass() {
+                    "ok"
+                } else {
+                    "OUT OF ENVELOPE"
+                }
+            );
+        }
+    }
+    Ok((all_pass, out))
+}
+
+/// Runs a deck and writes its expected CSV.
+///
+/// # Errors
+///
+/// Propagates run and write failures.
+pub fn update_expected(name: &str) -> Result<()> {
+    let signals = run_deck(name)?;
+    std::fs::create_dir_all(deck_dir())?;
+    std::fs::write(expected_path(name), to_expected_csv(&signals)?)?;
+    Ok(())
+}
+
+/// Corpus lint: every corpus entry has both files on disk, and every
+/// `.sp`/`.expected.csv` file on disk belongs to a corpus entry. Returns
+/// the list of violations (empty = clean).
+///
+/// # Errors
+///
+/// [`VerifyError::Io`] if the corpus directory cannot be read.
+pub fn lint_corpus() -> Result<Vec<String>> {
+    let mut problems = Vec::new();
+    let decks = corpus();
+    for d in &decks {
+        if !deck_path(d.name).is_file() {
+            problems.push(format!("corpus deck `{}` has no .sp file", d.name));
+        }
+        if !expected_path(d.name).is_file() {
+            problems.push(format!(
+                "corpus deck `{}` has no .expected.csv (run regen_ngspice --update)",
+                d.name
+            ));
+        }
+    }
+    for entry in std::fs::read_dir(deck_dir())? {
+        let path = entry?.path();
+        let Some(fname) = path.file_name().and_then(|f| f.to_str()) else {
+            continue;
+        };
+        let stem = fname
+            .strip_suffix(".sp")
+            .or_else(|| fname.strip_suffix(".expected.csv"));
+        match stem {
+            Some(stem) => {
+                if !decks.iter().any(|d| d.name == stem) {
+                    problems.push(format!("file `{fname}` has no corpus entry"));
+                }
+            }
+            None => {
+                if fname != "MANIFEST.md" {
+                    problems.push(format!("unexpected file `{fname}` in deck corpus"));
+                }
+            }
+        }
+    }
+    Ok(problems)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_parsing() {
+        assert!(matches!(parse_probe("v(out)"), Ok(Probe::Voltage("out"))));
+        assert!(matches!(
+            parse_probe("i(VSENSE)"),
+            Ok(Probe::Current("VSENSE"))
+        ));
+        assert!(parse_probe("out").is_err());
+        assert!(parse_probe("v()").is_err());
+    }
+
+    #[test]
+    fn expected_csv_round_trip() {
+        let w1 = Waveform::from_samples(vec![0.0, 1e-12, 2e-12], vec![0.0, 0.5, 1.0]).unwrap();
+        let w2 = Waveform::from_samples(vec![0.0, 1e-12, 2e-12], vec![1.0, 0.5, 0.25]).unwrap();
+        let signals = vec![("v(a)".to_string(), w1), ("i(V1)".to_string(), w2)];
+        let text = to_expected_csv(&signals).unwrap();
+        let back = parse_expected_csv(&text).unwrap();
+        assert_eq!(back.len(), 2);
+        for ((na, wa), (nb, wb)) in signals.iter().zip(&back) {
+            assert_eq!(na, nb);
+            assert_eq!(wa.times(), wb.times());
+            assert_eq!(wa.values(), wb.values());
+        }
+    }
+
+    #[test]
+    fn parse_expected_rejects_malformed() {
+        assert!(parse_expected_csv("").is_err());
+        assert!(parse_expected_csv("freq,v(a)\n0,1\n").is_err());
+        assert!(parse_expected_csv("time,v(a)\n0\n").is_err());
+        assert!(parse_expected_csv("time,v(a)\n0,abc\n").is_err());
+    }
+
+    #[test]
+    fn unknown_deck_is_a_format_error() {
+        assert!(matches!(deck_spec("nope"), Err(VerifyError::Format(_))));
+    }
+
+    #[test]
+    fn corpus_names_are_unique_and_nonempty() {
+        let decks = corpus();
+        assert!(decks.len() >= 8, "corpus must stay at \u{2265}8 decks");
+        let mut names: Vec<&str> = decks.iter().map(|d| d.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), decks.len(), "duplicate deck names");
+        assert!(decks.iter().all(|d| !d.signals.is_empty()));
+    }
+}

@@ -9,8 +9,8 @@
 //! cargo run --release --example netlist_cli my_deck.sp     # your deck
 //! ```
 
-use sfet_circuit::parse::{parse_netlist, Analysis};
-use sfet_sim::{transient, SimOptions};
+use sfet_circuit::parse::{dc_grid, parse_netlist, Analysis};
+use sfet_sim::{dc_sweep, transient, SimOptions};
 use softfet::report::{fmt_si, Table};
 
 const DEMO_DECK: &str = "\
@@ -40,42 +40,80 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     if parsed.analyses.is_empty() {
-        println!("no .tran directive found — add `.tran <dtmax> <tstop>`");
+        println!("no analysis directive found — add `.tran <dtmax> <tstop>` or `.dc ...`");
         return Ok(());
     }
 
     for analysis in &parsed.analyses {
-        let Analysis::Tran { dtmax, tstop } = analysis;
-        println!(
-            "\nrunning .tran {} {}",
-            fmt_si(*dtmax, "s"),
-            fmt_si(*tstop, "s")
-        );
-        let opts = SimOptions::default().with_dtmax(*dtmax);
-        let result = transient(&parsed.circuit, *tstop, &opts)?;
-        let stats = result.stats();
-        println!(
-            "  {} steps accepted, {} rejected, {} Newton iterations, {} PTM transitions",
-            stats.steps_accepted,
-            stats.steps_rejected,
-            stats.newton_iterations,
-            stats.ptm_transitions
-        );
+        match analysis {
+            Analysis::Tran { dtmax, tstop } => {
+                println!(
+                    "\nrunning .tran {} {}",
+                    fmt_si(*dtmax, "s"),
+                    fmt_si(*tstop, "s")
+                );
+                let opts = SimOptions::default().with_dtmax(*dtmax);
+                let result = transient(&parsed.circuit, *tstop, &opts)?;
+                let stats = result.stats();
+                println!(
+                    "  {} steps accepted, {} rejected, {} Newton iterations, {} PTM transitions",
+                    stats.steps_accepted,
+                    stats.steps_rejected,
+                    stats.newton_iterations,
+                    stats.ptm_transitions
+                );
 
-        let mut table = Table::new(&["node", "v(0)", "v(tstop)", "min", "max"]);
-        let mut names: Vec<&str> = result.node_names().collect();
-        names.sort_unstable();
-        for name in names {
-            let wf = result.voltage(name)?;
-            table.add_row(vec![
-                name.to_string(),
-                format!("{:+.4}", wf.first_value()),
-                format!("{:+.4}", wf.last_value()),
-                format!("{:+.4}", wf.min().1),
-                format!("{:+.4}", wf.max().1),
-            ]);
+                let mut table = Table::new(&["node", "v(0)", "v(tstop)", "min", "max"]);
+                let mut names: Vec<&str> = result.node_names().collect();
+                names.sort_unstable();
+                for name in names {
+                    let wf = result.voltage(name)?;
+                    table.add_row(vec![
+                        name.to_string(),
+                        format!("{:+.4}", wf.first_value()),
+                        format!("{:+.4}", wf.last_value()),
+                        format!("{:+.4}", wf.min().1),
+                        format!("{:+.4}", wf.max().1),
+                    ]);
+                }
+                println!("{table}");
+            }
+            Analysis::Dc {
+                source,
+                start,
+                stop,
+                step,
+            } => {
+                let points = dc_grid(*start, *stop, *step);
+                println!(
+                    "\nrunning .dc {source} {start} {stop} {step} ({} points)",
+                    points.len()
+                );
+                let opts = SimOptions::default();
+                let result = dc_sweep(&parsed.circuit, source, &points, &opts)?;
+                let mut table = Table::new(&["node", "v(start)", "v(stop)", "min", "max"]);
+                let mut names: Vec<String> = (1..parsed.circuit.node_count())
+                    .map(|i| {
+                        parsed
+                            .circuit
+                            .node_name(sfet_circuit::NodeId::from_index(i))
+                            .to_string()
+                    })
+                    .collect();
+                names.sort_unstable();
+                for name in names {
+                    let wf = result.transfer_curve(&name)?;
+                    table.add_row(vec![
+                        name.clone(),
+                        format!("{:+.4}", wf.first_value()),
+                        format!("{:+.4}", wf.last_value()),
+                        format!("{:+.4}", wf.min().1),
+                        format!("{:+.4}", wf.max().1),
+                    ]);
+                }
+                println!("{table}");
+            }
         }
-        println!("{table}");
     }
     Ok(())
 }
