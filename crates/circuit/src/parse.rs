@@ -101,13 +101,39 @@ pub enum Analysis {
 
 /// Expands a `.dc` sweep specification into its grid of source values:
 /// `start`, `start + step`, … up to the last point that does not overshoot
-/// `stop` (with a small tolerance so exact divisions include `stop`).
+/// `stop`. When the step divides the range to within floating-point
+/// rounding, the final point is snapped to exactly `stop` (the inclusive
+/// endpoint the card promises) instead of carrying the accumulated
+/// `start + n·step` rounding.
+///
+/// The divisibility test uses a tolerance *relative to the operand
+/// magnitudes*: the dominant error in `(stop - start) / step` is the
+/// decimal rounding of `start`/`stop` themselves, which is on the order of
+/// `ε·max(|start|, |stop|)` — for fine steps around a large offset (say
+/// `step = 1 nV` at `start = 0.1 V`) that error is many thousand times a
+/// fixed `1e-9` count epsilon, which used to drop the stop point.
 pub fn dc_grid(start: f64, stop: f64, step: f64) -> Vec<f64> {
-    if step == 0.0 || !step.is_finite() {
+    if step == 0.0 || !step.is_finite() || !start.is_finite() || !stop.is_finite() {
         return vec![start];
     }
-    let n = ((stop - start) / step + 1e-9).floor().max(0.0) as usize;
-    (0..=n).map(|i| start + i as f64 * step).collect()
+    let span = (stop - start) / step;
+    if !span.is_finite() || span < 0.0 {
+        // The step points away from `stop`: only the start value.
+        return vec![start];
+    }
+    // Bound on the rounding error of `span`: the subtraction is off by up
+    // to ~ε·max(|start|,|stop|), the division and `step` rounding by
+    // ~ε·span; a 4× safety factor covers the worst-case combination. A
+    // real mid-step remainder is a O(1) fraction of a step, far above it.
+    let tol = 4.0 * f64::EPSILON * (start.abs().max(stop.abs()) / step.abs() + span).max(1.0);
+    let nearest = span.round();
+    let divides = (span - nearest).abs() <= tol;
+    let n = if divides { nearest } else { span.floor() } as usize;
+    let mut grid: Vec<f64> = (0..=n).map(|i| start + i as f64 * step).collect();
+    if divides {
+        grid[n] = stop;
+    }
+    grid
 }
 
 /// Result of parsing a netlist: the circuit plus analysis directives.
@@ -1702,6 +1728,44 @@ mod directive_tests {
             vec![0.0, 0.3, 0.6, 0.8999999999999999]
         );
         assert_eq!(dc_grid(0.5, 0.5, 0.1), vec![0.5]);
+    }
+
+    #[test]
+    fn dc_grid_keeps_stop_for_fine_steps_at_an_offset() {
+        // Regression: with a nanovolt step around a 0.1 V offset the
+        // rounding of `(stop - start) / step` is dominated by the decimal
+        // rounding of the endpoints — thousands of times the old absolute
+        // `1e-9` count epsilon — and the inclusive stop point was dropped.
+        for k in [114usize, 135, 142, 163] {
+            let (start, step) = (0.1, 1e-9);
+            let stop = start + k as f64 * step;
+            let grid = dc_grid(start, stop, step);
+            assert_eq!(grid.len(), k + 1, "k={k}: stop point dropped");
+            assert_eq!(*grid.last().unwrap(), stop, "k={k}");
+        }
+    }
+
+    #[test]
+    fn dc_grid_snaps_final_point_to_stop() {
+        // 0.3/0.1 does not divide exactly in binary; the last point used
+        // to overshoot to 0.30000000000000004 instead of landing on stop.
+        let grid = dc_grid(0.0, 0.3, 0.1);
+        assert_eq!(grid.len(), 4);
+        assert_eq!(*grid.last().unwrap(), 0.3);
+        // Long sweeps likewise end exactly on the card's stop value.
+        let grid = dc_grid(0.0, 100.0, 1e-5);
+        assert_eq!(grid.len(), 10_000_001);
+        assert_eq!(*grid.last().unwrap(), 100.0);
+    }
+
+    #[test]
+    fn dc_grid_degenerate_inputs_yield_start_only() {
+        assert_eq!(dc_grid(0.0, 1.0, f64::NAN), vec![0.0]);
+        assert_eq!(dc_grid(0.0, f64::NAN, 0.1), vec![0.0]);
+        assert_eq!(dc_grid(f64::NAN, 1.0, 0.1).len(), 1);
+        // Step pointing away from stop: start only (unchanged behavior).
+        assert_eq!(dc_grid(0.0, 1.0, -0.1), vec![0.0]);
+        assert_eq!(dc_grid(1.0, 0.0, 0.1), vec![1.0]);
     }
 
     #[test]

@@ -73,7 +73,14 @@ pub fn parse_eng(text: &str) -> Result<f64, CircuitError> {
             _ => return Err(parse_err(s, "unknown scale suffix")),
         }
     };
-    Ok(base * scale)
+    let value = base * scale;
+    // `f64::from_str` accepts overflowing literals like "1e999" by
+    // saturating to infinity; a netlist value that decodes non-finite can
+    // only poison every downstream solve, so name it here.
+    if !value.is_finite() {
+        return Err(parse_err(s, "value overflows to a non-finite number"));
+    }
+    Ok(value)
 }
 
 fn parse_err(text: &str, why: &str) -> CircuitError {
@@ -135,6 +142,18 @@ mod tests {
         assert_eq!(parse_eng("-1.5").unwrap(), -1.5);
         assert_eq!(parse_eng("2e3").unwrap(), 2000.0);
         assert_eq!(parse_eng("1E-9").unwrap(), 1e-9);
+    }
+
+    #[test]
+    fn parse_rejects_nonfinite_overflow() {
+        // "1e999" saturates f64 to infinity; it must be a parse error,
+        // not an infinite element value handed to the solver.
+        for text in ["1e999", "-1e999", "1e307k", "9e305meg"] {
+            let err = parse_eng(text).unwrap_err();
+            assert!(err.to_string().contains("non-finite"), "{text}: {err}");
+        }
+        // Large but finite values still parse.
+        assert_eq!(parse_eng("1e308").unwrap(), 1e308);
     }
 
     fn close(text: &str, expect: f64) {

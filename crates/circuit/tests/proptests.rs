@@ -129,3 +129,54 @@ proptest! {
         prop_assert!(unique.len() >= expected);
     }
 }
+
+proptest! {
+    /// `.dc` grid expansion: the grid always starts exactly on `start`,
+    /// never overshoots `stop`, is monotone in the step direction, and —
+    /// when constructed from an integer number of steps — ends exactly on
+    /// `stop` regardless of how badly the decimal endpoints round.
+    #[test]
+    fn dc_grid_divisible_ranges_pin_endpoints(
+        start in -2.0f64..2.0,
+        step_mag in 1e-9f64..0.5,
+        k in 1usize..400,
+        direction in 0u8..2,
+    ) {
+        let descending = direction == 1;
+        let step = if descending { -step_mag } else { step_mag };
+        let stop = start + k as f64 * step;
+        let grid = sfet_circuit::parse::dc_grid(start, stop, step);
+        prop_assert_eq!(grid.len(), k + 1, "inclusive stop dropped or overshot");
+        prop_assert_eq!(grid[0], start);
+        prop_assert_eq!(*grid.last().unwrap(), stop);
+        for w in grid.windows(2) {
+            if descending {
+                prop_assert!(w[1] < w[0], "descending grid must stay monotone");
+            } else {
+                prop_assert!(w[1] > w[0], "ascending grid must stay monotone");
+            }
+        }
+    }
+
+    /// Arbitrary (possibly non-dividing) ranges: first point pinned to
+    /// `start`, no point past `stop`, monotone throughout.
+    #[test]
+    fn dc_grid_never_overshoots(
+        start in -2.0f64..2.0,
+        span in 0.0f64..4.0,
+        step in 1e-6f64..0.7,
+    ) {
+        let stop = start + span;
+        let grid = sfet_circuit::parse::dc_grid(start, stop, step);
+        prop_assert!(!grid.is_empty());
+        prop_assert_eq!(grid[0], start);
+        let tol = 4.0 * f64::EPSILON * (start.abs().max(stop.abs()) / step + span / step).max(1.0);
+        for (i, v) in grid.iter().enumerate() {
+            // Allow the divisibility tolerance's worth of slack, in step units.
+            prop_assert!(*v <= stop + tol * step, "point {i} overshoots stop");
+        }
+        for w in grid.windows(2) {
+            prop_assert!(w[1] > w[0]);
+        }
+    }
+}

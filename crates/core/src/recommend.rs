@@ -70,6 +70,13 @@ pub fn ratio_sweep(
 
 /// The ratio with the largest peak-current reduction.
 ///
+/// **Tie-break:** among points with equal reduction the *smallest* ratio
+/// wins. A larger slew/T_PTM ratio means a faster (smaller-T_PTM, more
+/// expensive) PTM device, so on a benefit plateau the recommendation must
+/// name the cheapest device that reaches it — not whichever plateau point
+/// the sweep happened to visit last. The `sfet-optimize` Pareto-frontier
+/// knee selection reuses this same cheapest-on-a-plateau rule.
+///
 /// Returns `None` for an empty sweep.
 pub fn best_ratio(points: &[RatioPoint]) -> Option<f64> {
     points
@@ -77,12 +84,17 @@ pub fn best_ratio(points: &[RatioPoint]) -> Option<f64> {
         // A NaN reduction (diverged sample) must not panic the
         // recommendation pass — and must not win it either (positive NaN
         // sorts above +inf under total order), so NaNs are demoted below
-        // every finite value before the total-order tiebreak.
+        // every finite value before the total-order comparison. Equal
+        // reductions fall through to the ratio key, inverted so that the
+        // smaller (cheaper) ratio compares as greater and wins `max_by`.
         .max_by(
             |a, b| match (a.reduction_pct.is_nan(), b.reduction_pct.is_nan()) {
                 (true, false) => std::cmp::Ordering::Less,
                 (false, true) => std::cmp::Ordering::Greater,
-                _ => a.reduction_pct.total_cmp(&b.reduction_pct),
+                _ => a
+                    .reduction_pct
+                    .total_cmp(&b.reduction_pct)
+                    .then(b.ratio.total_cmp(&a.ratio)),
             },
         )
         .map(|p| p.ratio)
@@ -122,5 +134,47 @@ mod tests {
         ];
         assert_eq!(best_ratio(&pts), Some(2.0));
         assert_eq!(best_ratio(&[]), None);
+    }
+
+    fn plateau_point(ratio: f64, reduction_pct: f64) -> RatioPoint {
+        RatioPoint {
+            ratio,
+            t_ptm: 30e-12 / ratio,
+            reduction_pct,
+            transitions: 1,
+        }
+    }
+
+    #[test]
+    fn best_ratio_plateau_prefers_cheapest_device() {
+        // Regression: `max_by` keeps the *last* maximum, so a reduction
+        // plateau used to recommend the largest ratio — the smallest,
+        // most expensive T_PTM. The cheapest plateau member must win,
+        // wherever it sits in sweep order.
+        let pts = vec![
+            plateau_point(1.0, 12.0),
+            plateau_point(1.5, 30.0),
+            plateau_point(2.0, 30.0),
+            plateau_point(4.0, 30.0),
+        ];
+        assert_eq!(best_ratio(&pts), Some(1.5));
+        // Sweep order must not matter.
+        let mut rev = pts.clone();
+        rev.reverse();
+        assert_eq!(best_ratio(&rev), Some(1.5));
+    }
+
+    #[test]
+    fn best_ratio_demotes_nan_reductions() {
+        let pts = vec![
+            plateau_point(1.0, 20.0),
+            plateau_point(2.0, f64::NAN),
+            plateau_point(3.0, 20.0),
+        ];
+        // NaN never wins; the plateau tie-break still applies.
+        assert_eq!(best_ratio(&pts), Some(1.0));
+        let all_nan = vec![plateau_point(1.0, f64::NAN), plateau_point(2.0, f64::NAN)];
+        // All-NaN sweeps still return *something* (cheapest device).
+        assert_eq!(best_ratio(&all_nan), Some(1.0));
     }
 }

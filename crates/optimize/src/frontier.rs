@@ -1,0 +1,272 @@
+//! Pareto-frontier extraction and artifact writers.
+//!
+//! An optimize run scores many candidates; the interesting slice is the
+//! three-objective Pareto frontier over *(droop reduction ↑, delay
+//! penalty ↓, area ratio ↓)* — the trade surface the paper's figures
+//! sample by hand. [`pareto_frontier`] extracts it, [`knee`] picks the
+//! headline point, and [`frontier_csv`] / [`frontier_markdown`] render
+//! artifacts for CI and the docs.
+
+use std::cmp::Ordering;
+
+use crate::driver::EvaluatedPoint;
+use crate::objective::Evaluation;
+
+/// The objective triple a point competes on.
+fn triple(e: &Evaluation) -> (f64, f64, f64) {
+    (e.droop_reduction_pct, e.delay_penalty_pct, e.area_ratio)
+}
+
+/// Whether `a` Pareto-dominates `b`: no worse on all three objectives and
+/// strictly better on at least one.
+fn dominates(a: &Evaluation, b: &Evaluation) -> bool {
+    let (ar, ad, aa) = triple(a);
+    let (br, bd, ba) = triple(b);
+    ar >= br && ad <= bd && aa <= ba && (ar > br || ad < bd || aa < ba)
+}
+
+/// Extracts the Pareto frontier over the *feasible* evaluated points
+/// (maximize droop reduction, minimize delay penalty, minimize area
+/// ratio). Points with any non-finite objective are excluded. The result
+/// preserves evaluation order; exact duplicates of an earlier triple are
+/// dropped so re-scored incumbents appear once.
+pub fn pareto_frontier(points: &[EvaluatedPoint]) -> Vec<&EvaluatedPoint> {
+    let candidates: Vec<&EvaluatedPoint> = points
+        .iter()
+        .filter(|p| {
+            let (r, d, a) = triple(&p.eval);
+            p.eval.feasible && r.is_finite() && d.is_finite() && a.is_finite()
+        })
+        .collect();
+    let mut frontier: Vec<&EvaluatedPoint> = Vec::new();
+    for (i, p) in candidates.iter().enumerate() {
+        let dominated = candidates
+            .iter()
+            .enumerate()
+            .any(|(j, q)| j != i && dominates(&q.eval, &p.eval));
+        let duplicate = frontier.iter().any(|q| triple(&q.eval) == triple(&p.eval));
+        if !dominated && !duplicate {
+            frontier.push(p);
+        }
+    }
+    frontier
+}
+
+/// Total preference order between two evaluations, `Less` = preferred.
+///
+/// Failed/non-finite last; feasible before infeasible; then highest droop
+/// reduction; plateaus broken by **smallest area ratio** (the same
+/// cheapest-on-a-plateau rule as `softfet::recommend::best_ratio` — when
+/// several designs deliver the same reduction, prefer the one costing the
+/// least silicon), then smallest delay penalty. Callers break remaining
+/// ties by evaluation order.
+pub fn prefer_eval(a: &Evaluation, b: &Evaluation) -> Ordering {
+    fn rank(e: &Evaluation) -> u8 {
+        if e.failed || !e.droop_reduction_pct.is_finite() {
+            2
+        } else if !e.feasible {
+            1
+        } else {
+            0
+        }
+    }
+    rank(a)
+        .cmp(&rank(b))
+        .then_with(|| b.droop_reduction_pct.total_cmp(&a.droop_reduction_pct))
+        .then_with(|| a.area_ratio.total_cmp(&b.area_ratio))
+        .then_with(|| a.delay_penalty_pct.total_cmp(&b.delay_penalty_pct))
+}
+
+/// Picks the frontier's knee: the point [`prefer_eval`] likes best, ties
+/// broken by evaluation order (first proposal wins).
+pub fn knee<'a>(frontier: &[&'a EvaluatedPoint]) -> Option<&'a EvaluatedPoint> {
+    frontier
+        .iter()
+        .enumerate()
+        .min_by(|(i, a), (j, b)| prefer_eval(&a.eval, &b.eval).then(i.cmp(j)))
+        .map(|(_, p)| *p)
+}
+
+/// Renders the frontier as CSV rows (no header): one row per point with
+/// the decoded design values and the score columns.
+pub fn frontier_rows(frontier: &[&EvaluatedPoint]) -> Vec<Vec<f64>> {
+    frontier
+        .iter()
+        .map(|p| {
+            let mut row = vec![p.generation as f64, p.candidate as f64];
+            row.extend_from_slice(&p.values);
+            row.extend_from_slice(&[
+                p.eval.droop_mv,
+                p.eval.droop_reduction_pct,
+                p.eval.delay,
+                p.eval.delay_penalty_pct,
+                p.eval.area_ratio,
+                p.eval.yield_fraction,
+            ]);
+            row
+        })
+        .collect()
+}
+
+/// The CSV header matching [`frontier_rows`], given the space's axis
+/// names.
+pub fn frontier_header(axis_names: &[&str]) -> String {
+    let mut cols = vec!["generation".to_string(), "candidate".to_string()];
+    cols.extend(axis_names.iter().map(|n| n.to_string()));
+    cols.extend(
+        [
+            "droop_mv",
+            "reduction_pct",
+            "delay_s",
+            "delay_penalty_pct",
+            "area_ratio",
+            "yield_fraction",
+        ]
+        .map(String::from),
+    );
+    cols.join(",")
+}
+
+/// Renders the frontier as a CSV document (header + rows, `\n` line
+/// endings, shortest-round-trip float formatting).
+pub fn frontier_csv(axis_names: &[&str], frontier: &[&EvaluatedPoint]) -> String {
+    let mut out = frontier_header(axis_names);
+    out.push('\n');
+    for row in frontier_rows(frontier) {
+        let cells: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the frontier as a markdown table with a knee annotation.
+pub fn frontier_markdown(axis_names: &[&str], frontier: &[&EvaluatedPoint]) -> String {
+    let knee_pt = knee(frontier);
+    let mut out = String::from(
+        "| gen | cand | droop [mV] | reduction [%] | delay [ps] | delay penalty [%] | area ratio | yield |",
+    );
+    out.push('\n');
+    out.push_str("|---|---|---|---|---|---|---|---|\n");
+    for p in frontier {
+        let marker = if knee_pt.is_some_and(|k| std::ptr::eq(*p, k)) {
+            " ◀ knee"
+        } else {
+            ""
+        };
+        out.push_str(&format!(
+            "| {} | {} | {:.3} | {:.1} | {:.2} | {:+.1} | {:.2} | {:.2} |{marker}\n",
+            p.generation,
+            p.candidate,
+            p.eval.droop_mv,
+            p.eval.droop_reduction_pct,
+            p.eval.delay * 1e12,
+            p.eval.delay_penalty_pct,
+            p.eval.area_ratio,
+            p.eval.yield_fraction,
+        ));
+    }
+    if let Some(k) = knee_pt {
+        out.push_str(&format!(
+            "\nKnee: generation {}, candidate {} — {:.1} % droop reduction at {:+.1} % delay penalty, area ratio {:.2} (axes: {}).\n",
+            k.generation,
+            k.candidate,
+            k.eval.droop_reduction_pct,
+            k.eval.delay_penalty_pct,
+            k.eval.area_ratio,
+            axis_names
+                .iter()
+                .zip(&k.values)
+                .map(|(n, v)| format!("{n}={v:.4e}"))
+                .collect::<Vec<_>>()
+                .join(", "),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::OperatingPoint;
+
+    fn pt(reduction: f64, delay_pen: f64, area: f64, feasible: bool, idx: usize) -> EvaluatedPoint {
+        EvaluatedPoint {
+            generation: 0,
+            candidate: idx,
+            unit: vec![],
+            values: vec![0.4, 0.25],
+            point: OperatingPoint::paper(),
+            eval: Evaluation {
+                objective: 10.0 - reduction,
+                feasible,
+                failed: false,
+                droop_mv: 10.0 - reduction / 10.0,
+                droop_reduction_pct: reduction,
+                delay: 20e-12,
+                delay_penalty_pct: delay_pen,
+                area_ratio: area,
+                yield_fraction: 1.0,
+                attempts: 1,
+                failure: None,
+            },
+        }
+    }
+
+    #[test]
+    fn frontier_drops_dominated_and_infeasible() {
+        let pts = vec![
+            pt(50.0, 0.0, 1.0, true, 0),
+            pt(40.0, 0.0, 1.0, true, 1),   // dominated by #0
+            pt(55.0, 2.0, 1.5, true, 2),   // trades delay+area for reduction
+            pt(60.0, -1.0, 0.5, false, 3), // infeasible
+        ];
+        let f = pareto_frontier(&pts);
+        let cands: Vec<usize> = f.iter().map(|p| p.candidate).collect();
+        assert_eq!(cands, vec![0, 2]);
+    }
+
+    #[test]
+    fn frontier_dedups_rescored_incumbents() {
+        let pts = vec![pt(50.0, 0.0, 1.0, true, 0), pt(50.0, 0.0, 1.0, true, 1)];
+        assert_eq!(pareto_frontier(&pts).len(), 1);
+    }
+
+    #[test]
+    fn knee_prefers_cheapest_on_a_reduction_plateau() {
+        // Same plateau shape as the best_ratio regression: several
+        // designs deliver the same reduction — the cheapest must win.
+        let pts = vec![
+            pt(30.0, 0.0, 2.0, true, 0),
+            pt(30.0, 0.0, 1.5, true, 1),
+            pt(30.0, 0.0, 4.0, true, 2),
+            pt(12.0, -2.0, 1.0, true, 3),
+        ];
+        let f = pareto_frontier(&pts);
+        let k = knee(&f).unwrap();
+        assert_eq!(k.candidate, 1, "cheapest plateau member must be the knee");
+    }
+
+    #[test]
+    fn prefer_eval_ranks_failed_last() {
+        let good = pt(10.0, 0.0, 1.0, true, 0).eval;
+        let mut bad = pt(90.0, 0.0, 1.0, true, 1).eval;
+        bad.failed = true;
+        bad.droop_reduction_pct = f64::NAN;
+        assert_eq!(prefer_eval(&good, &bad), Ordering::Less);
+        let infeasible = pt(90.0, 9.0, 1.0, false, 2).eval;
+        assert_eq!(prefer_eval(&good, &infeasible), Ordering::Less);
+    }
+
+    #[test]
+    fn csv_and_markdown_render() {
+        let pts = vec![pt(50.0, 0.5, 1.0, true, 0)];
+        let f = pareto_frontier(&pts);
+        let csv = frontier_csv(&["v_imt", "hyst_ratio"], &f);
+        assert!(csv.starts_with("generation,candidate,v_imt,hyst_ratio,droop_mv"));
+        assert_eq!(csv.lines().count(), 2);
+        let md = frontier_markdown(&["v_imt", "hyst_ratio"], &f);
+        assert!(md.contains("◀ knee"));
+        assert!(md.contains("Knee: generation 0"));
+    }
+}

@@ -1,0 +1,204 @@
+//! Closed-loop design-space optimization for the Soft-FET reproduction.
+//!
+//! The paper picks its operating point by hand: sweep a couple of PTM
+//! parameters, read the figures, choose. This crate closes the loop — a
+//! derivative-free optimizer proposes candidate designs over a
+//! declarative, bounded [`DesignSpace`], every generation is scored as
+//! **one** deterministic batched sweep through the same measurement
+//! pipeline the figures use, and the run emits a Pareto frontier (droop
+//! reduction vs delay penalty vs area) plus the single best feasible
+//! point.
+//!
+//! The layers, bottom-up:
+//!
+//! * [`space`] — named, bounded, linear/log-scaled axes; optimizers work
+//!   in the unit cube, the space decodes to physical values;
+//! * [`objective`] — pluggable score functions; the shipped
+//!   [`DroopObjective`] minimizes worst-corner droop under an iso-delay
+//!   constraint (and optionally a Monte-Carlo yield floor);
+//! * [`optimizer`] — the ask/tell [`Optimizer`] trait with two
+//!   implementations: [`CoordinateDescent`] and the CMA-ES-style
+//!   [`EvolutionStrategy`];
+//! * [`driver`] — the generation loop wiring optimizers to the batched
+//!   sweep engine ([`sfet_numeric::exec`]), with fault-tolerant retries,
+//!   per-generation resume manifests, and `opt.*` telemetry;
+//! * [`frontier`] — Pareto extraction and CSV/markdown artifact writers.
+//!
+//! Determinism contract: a run is a pure function of
+//! `(space, objective, optimizer, seed)`. Generation `g` seeds its RNG
+//! with `task_seed(seed, g)` and every Monte-Carlo lane with
+//! `task_seed(gen_seed, lane_index)`, so results are bitwise identical
+//! across `SFET_THREADS`, `SFET_BATCH`, fault-injected retries, and
+//! manifest kill-and-resume (`tests/determinism.rs` pins all three).
+
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod frontier;
+pub mod objective;
+pub mod optimizer;
+pub mod space;
+
+pub use driver::{optimize, EvaluatedPoint, GenerationSummary, OptimizeConfig, OptimizeOutcome};
+pub use frontier::{frontier_csv, frontier_markdown, knee, pareto_frontier};
+pub use objective::{
+    operating_point, BaselineContext, CornerBaseline, DroopObjective, Evaluation, LaneMeasure,
+    OperatingPoint, YieldConstraint,
+};
+pub use optimizer::{CoordinateDescent, EvolutionStrategy, Optimizer, Scored};
+pub use space::{Axis, DesignSpace, Scale};
+
+use softfet::SoftFetError;
+
+/// Errors surfaced by the optimizer layer.
+#[derive(Debug)]
+pub enum OptimizeError {
+    /// A [`DesignSpace`] definition was invalid.
+    Space(String),
+    /// A decoded candidate could not form a valid operating point.
+    Point(String),
+    /// A baseline measurement failed (candidate lane failures are scored,
+    /// not raised).
+    Sim(SoftFetError),
+    /// The reference operating point could not be measured — without it
+    /// there is no iso-delay cap to score against.
+    Reference(String),
+    /// Resume-manifest I/O failed.
+    Manifest(String),
+    /// The optimizer never proposed a candidate.
+    NoCandidates,
+}
+
+impl std::fmt::Display for OptimizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OptimizeError::Space(m) => write!(f, "invalid design space: {m}"),
+            OptimizeError::Point(m) => write!(f, "invalid operating point: {m}"),
+            OptimizeError::Sim(e) => write!(f, "baseline measurement failed: {e}"),
+            OptimizeError::Reference(m) => write!(f, "reference point failed: {m}"),
+            OptimizeError::Manifest(m) => write!(f, "optimize manifest: {m}"),
+            OptimizeError::NoCandidates => write!(f, "optimizer proposed no candidates"),
+        }
+    }
+}
+
+impl std::error::Error for OptimizeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OptimizeError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SoftFetError> for OptimizeError {
+    fn from(e: SoftFetError) -> Self {
+        OptimizeError::Sim(e)
+    }
+}
+
+/// Crate-level result alias.
+pub type Result<T> = std::result::Result<T, OptimizeError>;
+
+/// Which optimizer a standard run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Cyclic coordinate descent ([`CoordinateDescent`]).
+    Coordinate,
+    /// CMA-ES-style population loop ([`EvolutionStrategy`]).
+    Evolution,
+}
+
+impl Algorithm {
+    /// Parses the wire/CLI name (`coordinate` | `evolution`).
+    pub fn parse(s: &str) -> Option<Algorithm> {
+        match s {
+            "coordinate" => Some(Algorithm::Coordinate),
+            "evolution" => Some(Algorithm::Evolution),
+            _ => None,
+        }
+    }
+
+    /// The wire/CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Coordinate => "coordinate",
+            Algorithm::Evolution => "evolution",
+        }
+    }
+}
+
+/// A standard optimize run: the paper's design space, the standard droop
+/// objective, an algorithm choice, and the run configuration. The
+/// `optimize` bin and the job server both run exactly this.
+#[derive(Debug, Clone)]
+pub struct StandardRun {
+    /// Nominal supply \[V\].
+    pub vdd: f64,
+    /// Optimizer selection.
+    pub algorithm: Algorithm,
+    /// Population size for [`Algorithm::Evolution`] (ignored by
+    /// coordinate descent).
+    pub population: usize,
+    /// Optional Monte-Carlo yield constraint.
+    pub yield_constraint: Option<YieldConstraint>,
+    /// Driver configuration (seed, generation budget, exec policy,
+    /// manifests, progress).
+    pub config: OptimizeConfig,
+}
+
+impl StandardRun {
+    /// A standard run at the given supply and seed: evolution strategy,
+    /// population 8, no yield constraint, environment-driven execution.
+    pub fn new(vdd: f64, seed: u64) -> Self {
+        StandardRun {
+            vdd,
+            algorithm: Algorithm::Evolution,
+            population: 8,
+            yield_constraint: None,
+            config: OptimizeConfig::new(seed),
+        }
+    }
+
+    /// Executes the run over [`DesignSpace::soft_fet_standard`] with
+    /// [`DroopObjective::standard`], starting from the paper's operating
+    /// point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`driver::optimize`]'s errors.
+    pub fn run(&self) -> Result<OptimizeOutcome> {
+        let space = DesignSpace::soft_fet_standard();
+        let mut objective = DroopObjective::standard(self.vdd);
+        objective.yield_constraint = self.yield_constraint;
+        let start = space.encode(&standard_start_values(&space, &objective.reference));
+        match self.algorithm {
+            Algorithm::Coordinate => {
+                let mut opt = CoordinateDescent::new(start, 0.2, 1e-3);
+                optimize(&space, &objective, &mut opt, &self.config)
+            }
+            Algorithm::Evolution => {
+                let mut opt = EvolutionStrategy::new(start, 0.15, self.population);
+                optimize(&space, &objective, &mut opt, &self.config)
+            }
+        }
+    }
+}
+
+/// The paper operating point expressed in the standard space's axis
+/// order — the warm start every standard run begins from.
+fn standard_start_values(space: &DesignSpace, reference: &OperatingPoint) -> Vec<f64> {
+    space
+        .axes()
+        .iter()
+        .map(|a| match a.name {
+            "v_imt" => reference.ptm.v_imt,
+            "hyst_ratio" => reference.ptm.v_mit / reference.ptm.v_imt,
+            "r_scale" => 1.0,
+            "t_ptm" => reference.ptm.t_ptm,
+            "t_rise" => reference.t_rise,
+            "w_scale" => reference.w_scale,
+            _ => a.decode(0.5),
+        })
+        .collect()
+}

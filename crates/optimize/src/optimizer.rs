@@ -1,0 +1,322 @@
+//! Derivative-free optimizers over the unit cube.
+//!
+//! Both optimizers speak the same *ask/tell* [`Optimizer`] trait: each
+//! generation they propose a batch of unit-cube candidates (`ask`), the
+//! driver scores the whole batch in **one** batched sweep, and the scores
+//! come back through `tell`. The optimizers themselves are pure,
+//! deterministic state machines — all randomness comes from the
+//! per-generation [`VariationRng`] the driver seeds with
+//! `task_seed(run_seed, generation)`, so a run replays bitwise
+//! identically at any worker count, batch width, or resume point.
+
+use softfet::variation::VariationRng;
+
+/// A candidate along with its penalized objective (lower is better;
+/// `f64::INFINITY` marks failed evaluations).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scored {
+    /// Unit-cube coordinates.
+    pub unit: Vec<f64>,
+    /// Penalized scalar objective.
+    pub objective: f64,
+}
+
+/// The ask/tell interface a generation-based optimizer implements.
+pub trait Optimizer {
+    /// Short identifier used in artifacts and telemetry.
+    fn name(&self) -> &'static str;
+
+    /// Proposes this generation's candidates (unit-cube points). An empty
+    /// proposal ends the run.
+    fn ask(&mut self, generation: usize, rng: &mut VariationRng) -> Vec<Vec<f64>>;
+
+    /// Receives the scores for the candidates of the *same* generation,
+    /// in proposal order.
+    fn tell(&mut self, generation: usize, scored: &[Scored]);
+
+    /// Whether the optimizer has converged on its own (the driver also
+    /// enforces a generation budget).
+    fn finished(&self) -> bool;
+}
+
+/// Picks the best index of a scored slice: lowest objective under total
+/// order (NaN demoted), ties broken by the lowest index — deterministic
+/// for any input order.
+pub(crate) fn argmin(scored: &[Scored]) -> Option<usize> {
+    scored
+        .iter()
+        .enumerate()
+        .min_by(
+            |(_, a), (_, b)| match (a.objective.is_nan(), b.objective.is_nan()) {
+                (true, false) => std::cmp::Ordering::Greater,
+                (false, true) => std::cmp::Ordering::Less,
+                _ => a.objective.total_cmp(&b.objective),
+            },
+        )
+        .map(|(i, _)| i)
+}
+
+/// Cyclic coordinate descent with step-halving line scans.
+///
+/// Each generation scans the current axis at `±step` and `±step/2` from
+/// the incumbent (clamped to the cube). An improving move relocates the
+/// incumbent; a full cycle of axes without improvement halves the step.
+/// Converged when the step drops below `min_step`. Fully deterministic —
+/// the RNG is never consulted.
+#[derive(Debug, Clone)]
+pub struct CoordinateDescent {
+    incumbent: Vec<f64>,
+    best: f64,
+    axis: usize,
+    step: f64,
+    min_step: f64,
+    stalled_axes: usize,
+    evaluated_start: bool,
+}
+
+impl CoordinateDescent {
+    /// Starts from `start` (unit-cube coordinates) with the given initial
+    /// and terminal step sizes.
+    pub fn new(start: Vec<f64>, step: f64, min_step: f64) -> Self {
+        CoordinateDescent {
+            incumbent: start,
+            best: f64::INFINITY,
+            axis: 0,
+            step: step.clamp(1e-6, 0.5),
+            min_step: min_step.max(1e-9),
+            stalled_axes: 0,
+            evaluated_start: false,
+        }
+    }
+
+    /// The incumbent point.
+    pub fn incumbent(&self) -> &[f64] {
+        &self.incumbent
+    }
+}
+
+impl Optimizer for CoordinateDescent {
+    fn name(&self) -> &'static str {
+        "coordinate"
+    }
+
+    fn ask(&mut self, _generation: usize, _rng: &mut VariationRng) -> Vec<Vec<f64>> {
+        let mut proposals = Vec::new();
+        if !self.evaluated_start {
+            proposals.push(self.incumbent.clone());
+        }
+        let dim = self.incumbent.len();
+        let axis = self.axis % dim;
+        for delta in [self.step, -self.step, self.step / 2.0, -self.step / 2.0] {
+            let mut p = self.incumbent.clone();
+            p[axis] = (p[axis] + delta).clamp(0.0, 1.0);
+            if (p[axis] - self.incumbent[axis]).abs() > 1e-12 && !proposals.contains(&p) {
+                proposals.push(p);
+            }
+        }
+        proposals
+    }
+
+    fn tell(&mut self, _generation: usize, scored: &[Scored]) {
+        self.evaluated_start = true;
+        let Some(best_idx) = argmin(scored) else {
+            return;
+        };
+        let dim = self.incumbent.len();
+        if scored[best_idx].objective < self.best {
+            self.best = scored[best_idx].objective;
+            self.incumbent = scored[best_idx].unit.clone();
+            self.stalled_axes = 0;
+        } else {
+            self.stalled_axes += 1;
+            if self.stalled_axes >= dim {
+                self.step /= 2.0;
+                self.stalled_axes = 0;
+            }
+        }
+        self.axis = (self.axis + 1) % dim;
+    }
+
+    fn finished(&self) -> bool {
+        self.step < self.min_step
+    }
+}
+
+/// CMA-ES-style population loop: a diagonal (σ per axis) evolution
+/// strategy with rank-weighted recombination and per-axis step-size
+/// adaptation.
+///
+/// Honest scope: this is the *separable* flavour — it adapts a mean and a
+/// per-axis σ vector with CMA-ES's log-rank recombination weights, but
+/// carries no full covariance matrix (the design axes are near-separable
+/// and a d×d covariance is unwarranted at these population sizes).
+#[derive(Debug, Clone)]
+pub struct EvolutionStrategy {
+    mean: Vec<f64>,
+    sigma: Vec<f64>,
+    population: usize,
+    weights: Vec<f64>,
+}
+
+impl EvolutionStrategy {
+    /// Starts centred on `start` with per-axis spread `sigma0` and the
+    /// given population size (≥ 2; candidate 0 of every generation is the
+    /// current mean, so the incumbent is always re-scored).
+    pub fn new(start: Vec<f64>, sigma0: f64, population: usize) -> Self {
+        let population = population.max(2);
+        let elite = population.div_ceil(2);
+        // CMA-ES log-rank weights over the elite, normalized to sum 1.
+        let mut weights: Vec<f64> = (0..elite)
+            .map(|i| ((elite as f64) + 0.5).ln() - ((i + 1) as f64).ln())
+            .collect();
+        let total: f64 = weights.iter().sum();
+        for w in &mut weights {
+            *w /= total;
+        }
+        let dim = start.len();
+        EvolutionStrategy {
+            mean: start,
+            sigma: vec![sigma0.clamp(1e-3, 0.5); dim],
+            population,
+            weights,
+        }
+    }
+
+    /// The current distribution mean.
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+}
+
+impl Optimizer for EvolutionStrategy {
+    fn name(&self) -> &'static str {
+        "evolution"
+    }
+
+    fn ask(&mut self, _generation: usize, rng: &mut VariationRng) -> Vec<Vec<f64>> {
+        let mut out = Vec::with_capacity(self.population);
+        out.push(self.mean.clone());
+        for _ in 1..self.population {
+            out.push(
+                self.mean
+                    .iter()
+                    .zip(&self.sigma)
+                    .map(|(m, s)| (m + s * rng.gaussian()).clamp(0.0, 1.0))
+                    .collect(),
+            );
+        }
+        out
+    }
+
+    fn tell(&mut self, _generation: usize, scored: &[Scored]) {
+        if scored.is_empty() {
+            return;
+        }
+        // Rank ascending by objective, ties by index (deterministic).
+        let mut order: Vec<usize> = (0..scored.len()).collect();
+        order.sort_by(|&a, &b| {
+            let (oa, ob) = (scored[a].objective, scored[b].objective);
+            match (oa.is_nan(), ob.is_nan()) {
+                (true, false) => std::cmp::Ordering::Greater,
+                (false, true) => std::cmp::Ordering::Less,
+                _ => oa.total_cmp(&ob).then(a.cmp(&b)),
+            }
+        });
+        let old_mean = self.mean.clone();
+        let dim = self.mean.len();
+        let mut new_mean = vec![0.0; dim];
+        // Mean absolute elite deviation per axis, for σ adaptation.
+        let mut dev = vec![0.0; dim];
+        for (rank, &w) in self.weights.iter().enumerate() {
+            let x = &scored[order[rank % order.len()]].unit;
+            for j in 0..dim {
+                new_mean[j] += w * x[j];
+                dev[j] += w * (x[j] - old_mean[j]).abs();
+            }
+        }
+        for j in 0..dim {
+            self.mean[j] = new_mean[j].clamp(0.0, 1.0);
+            // E|N(0,1)| = √(2/π): deviation above σ·E|N| means the elite
+            // spread wants a wider search on this axis, below means
+            // narrower. Exponential update, clamped to a sane band.
+            let expected = self.sigma[j] * (2.0 / std::f64::consts::PI).sqrt();
+            if expected > 0.0 {
+                let ratio = dev[j] / expected;
+                self.sigma[j] = (self.sigma[j] * (0.3 * (ratio - 1.0)).exp()).clamp(1e-4, 0.5);
+            }
+        }
+    }
+
+    fn finished(&self) -> bool {
+        // Converged when every axis' spread has collapsed.
+        self.sigma.iter().all(|&s| s <= 2e-4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sphere(x: &[f64]) -> f64 {
+        x.iter().map(|v| (v - 0.3) * (v - 0.3)).sum()
+    }
+
+    fn run<O: Optimizer>(mut opt: O, generations: usize, seed: u64) -> (Vec<f64>, f64) {
+        use sfet_numeric::exec::task_seed;
+        let mut best = (vec![], f64::INFINITY);
+        for generation in 0..generations {
+            let mut rng = VariationRng::new(task_seed(seed, generation as u64));
+            let proposals = opt.ask(generation, &mut rng);
+            if proposals.is_empty() || opt.finished() {
+                break;
+            }
+            let scored: Vec<Scored> = proposals
+                .into_iter()
+                .map(|unit| {
+                    let objective = sphere(&unit);
+                    Scored { unit, objective }
+                })
+                .collect();
+            if let Some(i) = argmin(&scored) {
+                if scored[i].objective < best.1 {
+                    best = (scored[i].unit.clone(), scored[i].objective);
+                }
+            }
+            opt.tell(generation, &scored);
+        }
+        best
+    }
+
+    #[test]
+    fn coordinate_descent_converges_on_sphere() {
+        let (x, f) = run(CoordinateDescent::new(vec![0.9, 0.1], 0.25, 1e-4), 60, 7);
+        assert!(f < 1e-4, "objective {f} at {x:?}");
+    }
+
+    #[test]
+    fn evolution_strategy_converges_on_sphere() {
+        let (x, f) = run(EvolutionStrategy::new(vec![0.9, 0.1], 0.2, 8), 40, 7);
+        assert!(f < 1e-3, "objective {f} at {x:?}");
+    }
+
+    #[test]
+    fn evolution_ask_is_seed_deterministic() {
+        let mut a = EvolutionStrategy::new(vec![0.5; 3], 0.2, 6);
+        let mut b = EvolutionStrategy::new(vec![0.5; 3], 0.2, 6);
+        let pa = a.ask(0, &mut VariationRng::new(42));
+        let pb = b.ask(0, &mut VariationRng::new(42));
+        assert_eq!(pa, pb);
+        let pc = b.ask(0, &mut VariationRng::new(43));
+        assert_ne!(pa, pc, "different seeds must differ");
+    }
+
+    #[test]
+    fn argmin_demotes_nan_and_breaks_ties_low() {
+        let s = |o: f64| Scored {
+            unit: vec![],
+            objective: o,
+        };
+        assert_eq!(argmin(&[s(f64::NAN), s(2.0), s(2.0), s(3.0)]), Some(1));
+        assert_eq!(argmin(&[]), None);
+    }
+}

@@ -1,0 +1,259 @@
+//! Declarative, bounded design spaces.
+//!
+//! Optimizers work in the **unit cube** `[0, 1]^d`; a [`DesignSpace`] maps
+//! cube coordinates to physical parameter values through its [`Axis`] list
+//! (linearly or log-scaled). Keeping the optimizer side dimensionless
+//! makes step sizes comparable across axes whose physical ranges span
+//! orders of magnitude (volts next to picoseconds next to resistance
+//! ratios).
+
+use crate::OptimizeError;
+
+/// How an axis interpolates between its bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// `lo + u·(hi − lo)`.
+    Linear,
+    /// `lo·(hi/lo)^u` — equal cube steps are equal *ratios*; bounds must
+    /// be positive.
+    Log,
+}
+
+/// One bounded, named design parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Axis {
+    /// Parameter name, unique within its space.
+    pub name: &'static str,
+    /// Lower bound (inclusive).
+    pub lo: f64,
+    /// Upper bound (inclusive).
+    pub hi: f64,
+    /// Interpolation between the bounds.
+    pub scale: Scale,
+}
+
+impl Axis {
+    /// Maps a unit-cube coordinate to a physical value; `u` is clamped to
+    /// `[0, 1]` first, so optimizer overshoot saturates at the bounds.
+    pub fn decode(&self, u: f64) -> f64 {
+        let u = if u.is_nan() { 0.5 } else { u.clamp(0.0, 1.0) };
+        match self.scale {
+            Scale::Linear => self.lo + u * (self.hi - self.lo),
+            Scale::Log => self.lo * (self.hi / self.lo).powf(u),
+        }
+    }
+
+    /// Inverse of [`Axis::decode`]: maps a physical value (clamped to the
+    /// bounds) back to its cube coordinate.
+    pub fn encode(&self, v: f64) -> f64 {
+        let v = if v.is_nan() {
+            self.lo
+        } else {
+            v.clamp(self.lo.min(self.hi), self.hi.max(self.lo))
+        };
+        match self.scale {
+            Scale::Linear => (v - self.lo) / (self.hi - self.lo),
+            Scale::Log => (v / self.lo).ln() / (self.hi / self.lo).ln(),
+        }
+    }
+}
+
+/// An ordered list of [`Axis`] definitions: the domain an optimizer
+/// explores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignSpace {
+    axes: Vec<Axis>,
+}
+
+impl DesignSpace {
+    /// Builds a space after validating the axes.
+    ///
+    /// # Errors
+    ///
+    /// [`OptimizeError::Space`] for empty axis lists, duplicate names,
+    /// non-finite or inverted bounds, or non-positive log-scale bounds.
+    pub fn new(axes: Vec<Axis>) -> Result<Self, OptimizeError> {
+        if axes.is_empty() {
+            return Err(OptimizeError::Space("design space has no axes".into()));
+        }
+        for (i, a) in axes.iter().enumerate() {
+            if !a.lo.is_finite() || !a.hi.is_finite() || a.lo >= a.hi {
+                return Err(OptimizeError::Space(format!(
+                    "axis `{}`: bounds [{:e}, {:e}] must be finite and increasing",
+                    a.name, a.lo, a.hi
+                )));
+            }
+            if a.scale == Scale::Log && a.lo <= 0.0 {
+                return Err(OptimizeError::Space(format!(
+                    "axis `{}`: log scale needs positive bounds, got lo={:e}",
+                    a.name, a.lo
+                )));
+            }
+            if axes[..i].iter().any(|b| b.name == a.name) {
+                return Err(OptimizeError::Space(format!(
+                    "duplicate axis name `{}`",
+                    a.name
+                )));
+            }
+        }
+        Ok(DesignSpace { axes })
+    }
+
+    /// Number of axes (the cube dimension).
+    pub fn dim(&self) -> usize {
+        self.axes.len()
+    }
+
+    /// The axis definitions, in cube-coordinate order.
+    pub fn axes(&self) -> &[Axis] {
+        &self.axes
+    }
+
+    /// Decodes a cube point into physical values (one per axis, in axis
+    /// order). Coordinates beyond `dim()` are ignored; missing ones read
+    /// as the axis midpoint.
+    pub fn decode(&self, unit: &[f64]) -> Vec<f64> {
+        self.axes
+            .iter()
+            .enumerate()
+            .map(|(i, a)| a.decode(unit.get(i).copied().unwrap_or(0.5)))
+            .collect()
+    }
+
+    /// Encodes physical values back into the cube (the inverse of
+    /// [`DesignSpace::decode`] up to bound clamping).
+    pub fn encode(&self, values: &[f64]) -> Vec<f64> {
+        self.axes
+            .iter()
+            .enumerate()
+            .map(|(i, a)| a.encode(values.get(i).copied().unwrap_or(a.lo)))
+            .collect()
+    }
+
+    /// Index of the axis named `name`.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.axes.iter().position(|a| a.name == name)
+    }
+
+    /// Looks up `name` in a decoded value vector.
+    pub fn value_of(&self, decoded: &[f64], name: &str) -> Option<f64> {
+        self.index_of(name).and_then(|i| decoded.get(i)).copied()
+    }
+
+    /// The standard Soft-FET design space the paper hand-sweeps, as
+    /// bounded axes (see `docs/OPTIMIZE.md` for the ranges' rationale):
+    ///
+    /// | axis | range | scale | meaning |
+    /// |---|---|---|---|
+    /// | `v_imt` | 0.15–0.6 V | linear | insulator→metal threshold |
+    /// | `hyst_ratio` | 0.15–0.8 | linear | `v_mit / v_imt` (keeps the hysteresis window valid by construction) |
+    /// | `r_scale` | 0.25–4 | log | scales `r_ins` *and* `r_met` from the VO₂ defaults (film geometry; PTM area ∝ 1/`r_scale`) |
+    /// | `t_ptm` | 2–60 ps | log | intrinsic transition time |
+    /// | `t_rise` | 10–120 ps | log | input/wake ramp duration |
+    /// | `w_scale` | 0.6–1.8 | log | scales both device widths (sizing ratio) |
+    pub fn soft_fet_standard() -> Self {
+        DesignSpace::new(vec![
+            Axis {
+                name: "v_imt",
+                lo: 0.15,
+                hi: 0.6,
+                scale: Scale::Linear,
+            },
+            Axis {
+                name: "hyst_ratio",
+                lo: 0.15,
+                hi: 0.8,
+                scale: Scale::Linear,
+            },
+            Axis {
+                name: "r_scale",
+                lo: 0.25,
+                hi: 4.0,
+                scale: Scale::Log,
+            },
+            Axis {
+                name: "t_ptm",
+                lo: 2e-12,
+                hi: 60e-12,
+                scale: Scale::Log,
+            },
+            Axis {
+                name: "t_rise",
+                lo: 10e-12,
+                hi: 120e-12,
+                scale: Scale::Log,
+            },
+            Axis {
+                name: "w_scale",
+                lo: 0.6,
+                hi: 1.8,
+                scale: Scale::Log,
+            },
+        ])
+        .expect("the standard axes are statically valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_encode_round_trip() {
+        let space = DesignSpace::soft_fet_standard();
+        let unit = vec![0.0, 0.25, 0.5, 0.75, 1.0, 0.3];
+        let values = space.decode(&unit);
+        let back = space.encode(&values);
+        for (u, b) in unit.iter().zip(&back) {
+            assert!((u - b).abs() < 1e-12, "{u} vs {b}");
+        }
+    }
+
+    #[test]
+    fn decode_clamps_and_defaults() {
+        let space = DesignSpace::soft_fet_standard();
+        let v = space.decode(&[-3.0, 9.0]);
+        assert_eq!(v[0], 0.15);
+        assert_eq!(v[1], 0.8);
+        // Missing coordinates read as the midpoint.
+        let mid = space.decode(&[]);
+        assert!((mid[0] - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_axis_is_ratio_uniform() {
+        let a = Axis {
+            name: "x",
+            lo: 1.0,
+            hi: 100.0,
+            scale: Scale::Log,
+        };
+        assert!((a.decode(0.5) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_spaces_are_rejected() {
+        assert!(DesignSpace::new(vec![]).is_err());
+        let bad_bounds = Axis {
+            name: "x",
+            lo: 1.0,
+            hi: 1.0,
+            scale: Scale::Linear,
+        };
+        assert!(DesignSpace::new(vec![bad_bounds]).is_err());
+        let bad_log = Axis {
+            name: "x",
+            lo: -1.0,
+            hi: 1.0,
+            scale: Scale::Log,
+        };
+        assert!(DesignSpace::new(vec![bad_log]).is_err());
+        let dup = |name| Axis {
+            name,
+            lo: 0.0,
+            hi: 1.0,
+            scale: Scale::Linear,
+        };
+        assert!(DesignSpace::new(vec![dup("a"), dup("a")]).is_err());
+    }
+}

@@ -112,15 +112,22 @@ impl Request {
 }
 
 /// Reads one CRLF-terminated line, rejecting lines past the head cap.
+///
+/// The read itself is capped (`Read::take`), not just the resulting
+/// length: a client streaming an endless newline-free "line" is cut off
+/// after `MAX_HEAD_BYTES + 1` bytes instead of growing the buffer until
+/// memory runs out.
 fn read_line_bounded(reader: &mut BufReader<&mut TcpStream>) -> Result<String, ApiError> {
     let mut line = String::new();
     let n = reader
+        .by_ref()
+        .take(MAX_HEAD_BYTES as u64 + 1)
         .read_line(&mut line)
         .map_err(|e| ApiError::invalid_request(format!("reading request: {e}")))?;
     if n == 0 {
         return Err(ApiError::invalid_request("connection closed mid-request"));
     }
-    if line.len() > MAX_HEAD_BYTES {
+    if line.len() > MAX_HEAD_BYTES || !line.ends_with('\n') && n > MAX_HEAD_BYTES {
         return Err(ApiError::invalid_request("request line too long"));
     }
     while line.ends_with('\n') || line.ends_with('\r') {
@@ -273,6 +280,34 @@ mod tests {
             parse_raw(huge.as_bytes()).unwrap_err().code,
             "payload_too_large"
         );
+    }
+
+    #[test]
+    fn endless_headerless_line_is_cut_off_not_buffered() {
+        // A client streaming a newline-free "request line" while holding
+        // the connection open must be rejected after the head cap — not
+        // buffered without bound until it deigns to send a newline.
+        // Pre-fix this test times out: the parse blocks (and grows its
+        // buffer) for as long as the client keeps writing.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (tx, rx) = std::sync::mpsc::channel();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let _ = tx.send(Request::read_from(&mut stream));
+        });
+        let mut client = TcpStream::connect(addr).unwrap();
+        let junk = vec![b'A'; MAX_HEAD_BYTES + 4096];
+        client.write_all(&junk).unwrap();
+        client.flush().unwrap();
+        // No shutdown: the write side stays open, so only the byte cap
+        // can end the server's read.
+        let result = rx
+            .recv_timeout(std::time::Duration::from_secs(10))
+            .expect("server must reject the oversized line promptly");
+        assert_eq!(result.unwrap_err().code, "invalid_request");
+        drop(client);
+        server.join().unwrap();
     }
 
     #[test]

@@ -58,8 +58,11 @@ pub mod store;
 
 pub use client::{Client, HttpResponse};
 pub use error::ApiError;
-pub use protocol::{encode_tran_result, API_VERSION, RESULT_VERSION};
+pub use protocol::{
+    encode_optimize_result, encode_tran_result, API_VERSION, OPTIMIZE_RESULT_VERSION,
+    RESULT_VERSION,
+};
 pub use scheduler::{JobState, Scheduler, ServeConfig, SubmitReceipt};
 pub use server::{Server, ENDPOINTS};
-pub use spec::{JobSpec, SCENARIOS};
+pub use spec::{JobSpec, JobWork, OptimizeWork, TranWork, SCENARIOS};
 pub use store::ResultStore;

@@ -7,18 +7,23 @@
 //! in `docs/SERVE.md`.
 
 use sfet_numeric::integrate::Method;
+use sfet_optimize::{pareto_frontier, DesignSpace, OptimizeOutcome};
 use sfet_sim::{SimOptions, TranResult};
 
 use crate::error::ApiError;
 use crate::json::build::{obj, u};
 use crate::json::{fmt_f64, Json};
+use crate::spec::OptimizeWork;
 
 /// API version; the path prefix of every route (`/v1/...`). Bumped on
 /// any incompatible change to a request or response shape.
 pub const API_VERSION: &str = "v1";
 
-/// Version tag of the encoded result document (`"result"` field).
+/// Version tag of the encoded transient result document (`"result"` field).
 pub const RESULT_VERSION: &str = "tran.v1";
+
+/// Version tag of the encoded optimize result document.
+pub const OPTIMIZE_RESULT_VERSION: &str = "optimize.v1";
 
 /// Client-supplied subset of [`SimOptions`] accepted on job submission.
 ///
@@ -296,6 +301,113 @@ pub fn encode_tran_result(result: &TranResult) -> String {
     out.push_str(&stats.to_json());
     out.push('}');
     out
+}
+
+/// Encodes an [`OptimizeOutcome`] as the versioned, **deterministic**
+/// result document served for `optimize` jobs.
+///
+/// Determinism contract: the optimizer itself is bitwise reproducible
+/// across thread/batch configuration (pinned by `sfet-optimize`'s
+/// determinism suite), every float here uses the shortest round-trippable
+/// form, and nothing time- or environment-dependent is included — so two
+/// submissions with the same parameters dedup onto byte-identical
+/// documents.
+pub fn encode_optimize_result(work: &OptimizeWork, outcome: &OptimizeOutcome) -> String {
+    let space = DesignSpace::soft_fet_standard();
+    let axes: Vec<&str> = space.axes().iter().map(|a| a.name).collect();
+    let (_, ref_eval) = &outcome.reference;
+    let best = &outcome.best;
+    let frontier = pareto_frontier(&outcome.evaluated);
+
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\"result\":\"");
+    out.push_str(OPTIMIZE_RESULT_VERSION);
+    out.push_str("\",\"algorithm\":\"");
+    out.push_str(outcome.algorithm);
+    out.push_str("\",\"seed\":");
+    out.push_str(&work.seed.to_string());
+    out.push_str(",\"generations\":");
+    out.push_str(&outcome.history.len().to_string());
+    out.push_str(",\"population\":");
+    out.push_str(&work.population.to_string());
+    out.push_str(",\"vdd\":");
+    out.push_str(&fmt_f64(work.vdd));
+    out.push_str(",\"axes\":[");
+    for (i, name) in axes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&Json::Str((*name).to_owned()).to_json());
+    }
+    out.push_str("],\"baseline\":{\"droop_mv\":");
+    out.push_str(&fmt_f64(outcome.baseline.droop_mv));
+    out.push_str("},\"reference\":{\"droop_reduction_pct\":");
+    out.push_str(&fmt_f64(ref_eval.droop_reduction_pct));
+    out.push_str(",\"delay\":");
+    out.push_str(&fmt_f64(ref_eval.delay));
+    out.push_str(",\"area_ratio\":");
+    out.push_str(&fmt_f64(ref_eval.area_ratio));
+    out.push_str("},\"best\":");
+    write_point(&mut out, best);
+    out.push_str(",\"beats_reference\":");
+    out.push_str(
+        if best.eval.feasible && best.eval.droop_reduction_pct >= ref_eval.droop_reduction_pct {
+            "true"
+        } else {
+            "false"
+        },
+    );
+    out.push_str(",\"frontier\":[");
+    for (i, point) in frontier.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_point(&mut out, point);
+    }
+    out.push_str("],\"history\":[");
+    for (i, g) in outcome.history.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let row = obj(vec![
+            ("generation", u(g.generation as u64)),
+            ("candidates", u(g.candidates as u64)),
+            ("lanes", u(g.lanes as u64)),
+            ("failed_lanes", u(g.failed_lanes as u64)),
+            ("infeasible", u(g.infeasible as u64)),
+            ("best_objective", Json::Num(g.best_objective)),
+            ("best_reduction_pct", Json::Num(g.best_reduction_pct)),
+            ("improved", Json::Bool(g.improved)),
+        ]);
+        out.push_str(&row.to_json());
+    }
+    out.push_str("]}");
+    out
+}
+
+/// One evaluated candidate in the optimize result document.
+fn write_point(out: &mut String, point: &sfet_optimize::EvaluatedPoint) {
+    out.push_str("{\"generation\":");
+    out.push_str(&point.generation.to_string());
+    out.push_str(",\"candidate\":");
+    out.push_str(&point.candidate.to_string());
+    out.push_str(",\"values\":");
+    write_f64_array(out, &point.values);
+    out.push_str(",\"objective\":");
+    out.push_str(&fmt_f64(point.eval.objective));
+    out.push_str(",\"droop_mv\":");
+    out.push_str(&fmt_f64(point.eval.droop_mv));
+    out.push_str(",\"droop_reduction_pct\":");
+    out.push_str(&fmt_f64(point.eval.droop_reduction_pct));
+    out.push_str(",\"delay\":");
+    out.push_str(&fmt_f64(point.eval.delay));
+    out.push_str(",\"delay_penalty_pct\":");
+    out.push_str(&fmt_f64(point.eval.delay_penalty_pct));
+    out.push_str(",\"area_ratio\":");
+    out.push_str(&fmt_f64(point.eval.area_ratio));
+    out.push_str(",\"feasible\":");
+    out.push_str(if point.eval.feasible { "true" } else { "false" });
+    out.push('}');
 }
 
 fn write_key(out: &mut String, name: &str) {

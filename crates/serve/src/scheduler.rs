@@ -16,15 +16,17 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
+use sfet_numeric::exec::ExecConfig;
+use sfet_optimize::{GenerationSummary, StandardRun};
 use sfet_sim::{transient_resumable, CheckpointPolicy, SimOptions};
 use sfet_telemetry::{names, Telemetry};
 
 use crate::error::ApiError;
-use crate::json::build::{b, obj, s, u};
+use crate::json::build::{b, n, obj, s, u};
 use crate::json::Json;
 use crate::progress::{EventHub, HubSink};
-use crate::protocol::encode_tran_result;
-use crate::spec::JobSpec;
+use crate::protocol::{encode_optimize_result, encode_tran_result};
+use crate::spec::{JobSpec, JobWork, OptimizeWork, TranWork};
 use crate::store::ResultStore;
 
 /// Scheduler configuration.
@@ -458,10 +460,60 @@ fn worker_loop(shared: &Arc<Shared>) {
     }
 }
 
-/// Runs one job to a terminal state: the retry ladder over
+/// Runs one job to a terminal state, dispatching on its work kind.
+fn run_job(shared: &Arc<Shared>, job: &Arc<Job>) {
+    match &job.spec.work {
+        JobWork::Tran(work) => run_tran_job(shared, job, work),
+        JobWork::Optimize(work) => run_optimize_job(shared, job, work),
+    }
+}
+
+/// Publishes a finished result document and retires the job as `Done`.
+/// Returns the store error, if any, for the caller's retry ladder.
+fn publish_result(shared: &Arc<Shared>, job: &Arc<Job>, document: &str) -> Result<(), String> {
+    // Publish order matters: the store entry must be visible before the
+    // pending key retires (see `submit`).
+    shared
+        .store
+        .put(&job.key, document)
+        .map_err(|e| format!("storing result: {e}"))?;
+    shared
+        .pending
+        .lock()
+        .expect("pending lock")
+        .remove(&job.key);
+    shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+    shared.cfg.telemetry.counter(names::SERVE_JOBS_COMPLETED, 1);
+    job.set_state(JobState::Done { cached: false });
+    job.hub.finish(
+        "done",
+        &obj(vec![("state", s("done")), ("cached", b(false))]).to_json(),
+    );
+    Ok(())
+}
+
+/// Retires a job as terminally `Failed`.
+fn fail_job(shared: &Arc<Shared>, job: &Arc<Job>, error: String) {
+    shared
+        .pending
+        .lock()
+        .expect("pending lock")
+        .remove(&job.key);
+    shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+    shared.cfg.telemetry.counter(names::SERVE_JOBS_FAILED, 1);
+    job.set_state(JobState::Failed {
+        error: error.clone(),
+    });
+    job.hub.finish(
+        "failed",
+        &obj(vec![("state", s("failed")), ("error", s(&error))]).to_json(),
+    );
+}
+
+/// Runs one transient job: the retry ladder over
 /// `options.escalated(attempt)`, checkpoint-resume between attempts,
 /// store publication, and the SSE terminal event.
-fn run_job(shared: &Arc<Shared>, job: &Arc<Job>) {
+fn run_tran_job(shared: &Arc<Shared>, job: &Arc<Job>, work: &TranWork) {
     let tel = &shared.cfg.telemetry;
     let ckpt_path = shared.store.checkpoint_path_for(&job.key);
     let mut last_error = String::new();
@@ -482,43 +534,24 @@ fn run_job(shared: &Arc<Shared>, job: &Arc<Job>) {
             tel.counter(names::SERVE_JOB_RETRIED, 1);
         }
 
-        let opts: SimOptions = job
-            .spec
+        let opts: SimOptions = work
             .options
             .escalated(attempt)
             .with_telemetry(Telemetry::new(HubSink::new(job.hub.clone())));
-        let ckpt = if job.spec.checkpoint_every > 0 {
-            CheckpointPolicy::write_to(&ckpt_path, job.spec.checkpoint_every)
+        let ckpt = if work.checkpoint_every > 0 {
+            CheckpointPolicy::write_to(&ckpt_path, work.checkpoint_every)
                 .resume_if_exists(&ckpt_path)
         } else {
             CheckpointPolicy::disabled()
         };
 
-        match transient_resumable(&job.spec.circuit, job.spec.tstop, &opts, &ckpt) {
+        match transient_resumable(&work.circuit, work.tstop, &opts, &ckpt) {
             Ok(result) => {
                 let document = encode_tran_result(&result);
-                let stored = shared.store.put(&job.key, &document);
                 let _ = std::fs::remove_file(&ckpt_path);
-                match stored {
-                    Ok(()) => {
-                        // Publish order matters: the store entry must be
-                        // visible before the pending key retires (see
-                        // `submit`).
-                        shared
-                            .pending
-                            .lock()
-                            .expect("pending lock")
-                            .remove(&job.key);
-                        shared.stats.completed.fetch_add(1, Ordering::Relaxed);
-                        tel.counter(names::SERVE_JOBS_COMPLETED, 1);
-                        job.set_state(JobState::Done { cached: false });
-                        job.hub.finish(
-                            "done",
-                            &obj(vec![("state", s("done")), ("cached", b(false))]).to_json(),
-                        );
-                        return;
-                    }
-                    Err(e) => last_error = format!("storing result: {e}"),
+                match publish_result(shared, job, &document) {
+                    Ok(()) => return,
+                    Err(e) => last_error = e,
                 }
             }
             Err(e) => last_error = e.to_string(),
@@ -535,20 +568,60 @@ fn run_job(shared: &Arc<Shared>, job: &Arc<Job>) {
     }
 
     let _ = std::fs::remove_file(&ckpt_path);
-    shared
-        .pending
-        .lock()
-        .expect("pending lock")
-        .remove(&job.key);
-    shared.stats.failed.fetch_add(1, Ordering::Relaxed);
-    tel.counter(names::SERVE_JOBS_FAILED, 1);
-    job.set_state(JobState::Failed {
-        error: last_error.clone(),
-    });
-    job.hub.finish(
-        "failed",
-        &obj(vec![("state", s("failed")), ("error", s(&last_error))]).to_json(),
+    fail_job(shared, job, last_error);
+}
+
+/// Runs one optimize job: `sfet-optimize`'s standard run with the job's
+/// parameters, per-generation SSE progress on the job's event hub, and
+/// the deterministic `optimize.v1` result document.
+///
+/// There is no job-level retry ladder here — `retries` becomes the
+/// *per-lane* budget of the batched sweep engine, which escalates solver
+/// options lane by lane instead of rerunning whole generations.
+fn run_optimize_job(shared: &Arc<Shared>, job: &Arc<Job>, work: &OptimizeWork) {
+    job.set_state(JobState::Running { attempt: 0 });
+    job.hub.push(
+        "status",
+        &obj(vec![("state", s("running")), ("attempt", u(0))]).to_json(),
     );
+    shared.stats.sim_attempts.fetch_add(1, Ordering::Relaxed);
+
+    let mut run = StandardRun::new(work.vdd, work.seed);
+    run.algorithm = work.algorithm;
+    run.population = work.population;
+    run.config.max_generations = work.generations;
+    // The engine's `opt.*`/`exec.*` counters fan out to the same SSE
+    // stream the transient jobs use.
+    run.config.exec = ExecConfig::from_env()
+        .with_retries(job.spec.retries)
+        .with_telemetry(Telemetry::new(HubSink::new(job.hub.clone())));
+    let hub = job.hub.clone();
+    run.config.progress = Some(Arc::new(move |g: &GenerationSummary| {
+        hub.push(
+            "generation",
+            &obj(vec![
+                ("generation", u(g.generation as u64)),
+                ("candidates", u(g.candidates as u64)),
+                ("lanes", u(g.lanes as u64)),
+                ("failed_lanes", u(g.failed_lanes as u64)),
+                ("infeasible", u(g.infeasible as u64)),
+                ("best_objective", n(g.best_objective)),
+                ("best_reduction_pct", n(g.best_reduction_pct)),
+                ("improved", b(g.improved)),
+            ])
+            .to_json(),
+        );
+    }));
+
+    match run.run() {
+        Ok(outcome) => {
+            let document = encode_optimize_result(work, &outcome);
+            if let Err(e) = publish_result(shared, job, &document) {
+                fail_job(shared, job, e);
+            }
+        }
+        Err(e) => fail_job(shared, job, e.to_string()),
+    }
 }
 
 #[cfg(test)]

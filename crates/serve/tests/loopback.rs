@@ -188,6 +188,41 @@ fn malformed_requests_get_named_errors_never_hangs() {
             "invalid_options",
         ),
         (r#"{"netlist":"R1 a b 1k\n.end"}"#, 400, "netlist_error"),
+        // A netlist value that saturates f64 to infinity must be named
+        // at submit, not handed to the solver.
+        (
+            r#"{"netlist":"V1 in 0 DC 1e999\nR1 in 0 1k\n.tran 1p 2n\n.end"}"#,
+            400,
+            "netlist_error",
+        ),
+        // An impossible analysis window must not burn a worker slot.
+        (
+            r#"{"netlist":"V1 in 0 DC 1\nR1 in 0 1k\n.tran 1p -2n\n.end"}"#,
+            400,
+            "netlist_error",
+        ),
+        // Optimize-job parameter validation.
+        (
+            r#"{"optimize":{"algorithm":"annealing"}}"#,
+            400,
+            "invalid_request",
+        ),
+        (r#"{"optimize":{"population":1}}"#, 400, "invalid_request"),
+        (
+            r#"{"optimize":{"generations":1e18}}"#,
+            400,
+            "invalid_request",
+        ),
+        (
+            r#"{"optimize":{},"options":{"reltol":1e-6}}"#,
+            400,
+            "invalid_request",
+        ),
+        (
+            r#"{"optimize":{},"scenario":"rc_step"}"#,
+            400,
+            "invalid_request",
+        ),
     ];
     for (body, status, code) in cases {
         let resp = client.submit_raw(body).unwrap();
@@ -261,6 +296,84 @@ fn shutdown_drains_inflight_jobs_before_exiting() {
         server.scheduler().stats().completed.load(Ordering::Relaxed),
         4
     );
+}
+
+#[test]
+fn optimize_job_streams_generations_and_dedups_deterministically() {
+    let (server, handle, client, dir) = start("optimize", 2, 16);
+    let body = r#"{"optimize":{"generations":2,"population":4,"seed":7}}"#;
+
+    let submitted = client.submit_raw(body).unwrap();
+    assert_eq!(submitted.status, 202, "{}", submitted.body);
+    let response = submitted.json().unwrap();
+    let job_id = response.get("job_id").unwrap().as_str().unwrap().to_owned();
+
+    // The SSE stream carries one `generation` event per generation plus
+    // the engine's telemetry, ending in `done`.
+    let events = client.follow_events(&job_id).unwrap();
+    let (terminal, _) = events.last().expect("stream has events");
+    assert_eq!(terminal, "done", "events: {events:?}");
+    let generations: Vec<&(String, String)> = events
+        .iter()
+        .filter(|(name, _)| name == "generation")
+        .collect();
+    assert_eq!(generations.len(), 2, "events: {events:?}");
+    for (i, (_, data)) in generations.iter().enumerate() {
+        let doc = sfet_serve::json::Json::parse(data).unwrap();
+        assert_eq!(doc.get("generation").unwrap().as_f64(), Some(i as f64));
+        assert!(doc.get("best_reduction_pct").unwrap().as_f64().is_some());
+    }
+    assert!(
+        events.iter().any(|(name, _)| name == "telemetry"),
+        "optimizer telemetry reaches the SSE stream: {events:?}"
+    );
+
+    // The result document is the versioned optimize encoding.
+    let served = client.result(&job_id).unwrap();
+    assert_eq!(served.status, 200);
+    let doc = served.json().unwrap();
+    assert_eq!(
+        doc.get("result").and_then(sfet_serve::json::Json::as_str),
+        Some(sfet_serve::OPTIMIZE_RESULT_VERSION)
+    );
+    assert_eq!(doc.get("generations").unwrap().as_f64(), Some(2.0));
+    assert!(doc
+        .get("best")
+        .unwrap()
+        .get("droop_reduction_pct")
+        .is_some());
+    assert!(doc.get("frontier").unwrap().as_arr().is_some());
+
+    // An identical resubmission is a cache hit — the run is a pure
+    // function of its parameters, so no second optimization happens.
+    let second = client.submit_raw(body).unwrap();
+    assert_eq!(second.status, 200, "cache hit answers 200 immediately");
+    let second_doc = second.json().unwrap();
+    assert_eq!(second_doc.get("cached").unwrap().as_bool(), Some(true));
+    let second_id = second_doc
+        .get("job_id")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_owned();
+    let replay = client.result(&second_id).unwrap();
+    assert_eq!(served.body, replay.body, "dedup must serve identical bytes");
+    assert_eq!(
+        server
+            .scheduler()
+            .stats()
+            .sim_attempts
+            .load(Ordering::Relaxed),
+        1
+    );
+
+    // A different seed is a different job.
+    let reseeded = client
+        .submit_raw(r#"{"optimize":{"generations":2,"population":4,"seed":8}}"#)
+        .unwrap();
+    assert_eq!(reseeded.status, 202, "{}", reseeded.body);
+
+    stop(handle, &client, &dir);
 }
 
 #[test]

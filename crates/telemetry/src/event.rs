@@ -200,6 +200,22 @@ pub mod names {
     /// Submissions rejected with HTTP 429 because the job queue was full.
     pub const SERVE_QUEUE_REJECTED: &str = "serve.queue.rejected";
 
+    // --- Design-space optimizer counters (`sfet-optimize`). ---
+    /// Optimizer generations completed (one batched sweep each).
+    pub const OPT_GENERATIONS: &str = "opt.generations";
+    /// Candidate design points scored across all generations.
+    pub const OPT_CANDIDATES: &str = "opt.candidates";
+    /// Simulation lanes evaluated (corners + Monte-Carlo samples summed
+    /// over candidates).
+    pub const OPT_LANES: &str = "opt.lanes";
+    /// Candidates rejected as constraint-infeasible (iso-delay or yield).
+    pub const OPT_INFEASIBLE: &str = "opt.infeasible";
+    /// Candidates whose evaluation failed terminally (a lane exhausted
+    /// its retry budget).
+    pub const OPT_FAILED: &str = "opt.failed";
+    /// Generations that improved the incumbent best objective.
+    pub const OPT_IMPROVED: &str = "opt.improved";
+
     // --- Checkpoint/restart counters (`sfet_sim::transient`). ---
     /// Transient checkpoint snapshots written to disk.
     pub const CHECKPOINT_WRITTEN: &str = "checkpoint.written";

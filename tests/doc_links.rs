@@ -112,6 +112,7 @@ fn walker_discovers_the_docs_pages() {
         "docs/TELEMETRY.md",
         "docs/VERIFICATION.md",
         "docs/SERVE.md",
+        "docs/OPTIMIZE.md",
     ] {
         assert!(
             files.iter().any(|f| f.ends_with(page)),
